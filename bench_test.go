@@ -1,0 +1,319 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark (family)
+// per table and figure. The figure benchmarks run a scaled-down instance
+// of the corresponding experiment per iteration and report the headline
+// error metrics via b.ReportMetric, so `go test -bench=.` both times the
+// pipeline and reprints the paper's comparisons. cmd/tqbench runs the
+// full-scale versions.
+package tquery
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/experiments"
+	"repro/internal/hll"
+	"repro/internal/rskt"
+	"repro/internal/slidingsketch"
+	"repro/internal/transport"
+	"repro/internal/vate"
+)
+
+// benchConfig is a reduced workload so every figure benchmark iteration
+// stays sub-second.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Trace.Packets = 100_000
+	cfg.Trace.Flows = 8_000
+	cfg.Trace.Duration = 3 * time.Minute
+	cfg.SampleEvery = 10
+	cfg.FlowSampleMod = 13
+	return cfg
+}
+
+// ---- Table II: packet-recording throughput ----
+
+func BenchmarkTable2RecordTwoSketch(b *testing.B) {
+	pt, err := core.NewSizePoint(0, countmin.Params{D: 4, W: 16384, Seed: 1}, core.SizeModeCumulative)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pt.Record(uint64(i) % 10000)
+	}
+}
+
+func BenchmarkTable2RecordThreeSketch(b *testing.B) {
+	pt, err := core.NewSpreadPoint(0, rskt.Params{W: 1638, M: hll.DefaultM, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pt.Record(uint64(i)%10000, uint64(i))
+	}
+}
+
+func BenchmarkTable2RecordSlidingSketch(b *testing.B) {
+	s := slidingsketch.New(slidingsketch.Params{D: 10, W: 595, Zones: 10, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record(uint64(i) % 10000)
+	}
+}
+
+func BenchmarkTable2RecordVATE(b *testing.B) {
+	s := vate.New(vate.Params{
+		VirtualBits:   vate.DefaultVirtualBits,
+		PhysicalCells: vate.CellsForMemory(2<<20, 10),
+		WindowN:       10,
+		Seed:          1,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record(uint64(i)%10000, uint64(i))
+	}
+}
+
+// ---- Table I: online query overhead ----
+
+func BenchmarkTable1QueryTwoSketchLocal(b *testing.B) {
+	pt, err := core.NewSizePoint(0, countmin.Params{D: 4, W: 16384, Seed: 1}, core.SizeModeCumulative)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		pt.Record(uint64(i) % 10000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pt.Query(uint64(i) % 10000)
+	}
+}
+
+func BenchmarkTable1QueryThreeSketchLocal(b *testing.B) {
+	pt, err := core.NewSpreadPoint(0, rskt.Params{W: 1638, M: hll.DefaultM, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		pt.Record(uint64(i)%10000, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pt.Query(uint64(i) % 10000)
+	}
+}
+
+func BenchmarkTable1QuerySlidingSketchNetworkwide(b *testing.B) {
+	local := slidingsketch.New(slidingsketch.Params{D: 10, W: 595, Zones: 10, Seed: 1})
+	nw := &baseline.NetworkwideSize{Local: local}
+	for i := 0; i < 2; i++ {
+		peer := slidingsketch.New(slidingsketch.Params{D: 10, W: 595, Zones: 10, Seed: 1})
+		srv, err := transport.ServeQueries("127.0.0.1:0", func(f uint64) float64 {
+			return float64(peer.Estimate(f))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		qc, err := transport.DialQuery(srv.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer qc.Close()
+		nw.Peers = append(nw.Peers, qc)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Query(uint64(i) % 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1QueryVATENetworkwide(b *testing.B) {
+	mk := func() *vate.Sketch {
+		return vate.New(vate.Params{
+			VirtualBits:   vate.DefaultVirtualBits,
+			PhysicalCells: vate.CellsForMemory(2<<20, 10),
+			WindowN:       10,
+			Seed:          1,
+		})
+	}
+	nw := &baseline.NetworkwideSpread{Local: mk()}
+	for i := 0; i < 2; i++ {
+		peer := mk()
+		srv, err := transport.ServeQueries("127.0.0.1:0", peer.Estimate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		qc, err := transport.DialQuery(srv.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer qc.Close()
+		nw.Peers = append(nw.Peers, qc)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Query(uint64(i) % 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures 3-12: accuracy pipelines ----
+
+func benchSpreadFigure(b *testing.B, label string, memMb []int, point int) {
+	b.Helper()
+	cfg := benchConfig()
+	var last experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSpreadAccuracy(cfg, label, memMb, point, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Series[0].Summary.AvgAbsErr, "proto-abs-err")
+	b.ReportMetric(last.Series[1].Summary.AvgAbsErr, "baseline-abs-err")
+}
+
+func benchSizeFigure(b *testing.B, label string, memMb []int, point int) {
+	b.Helper()
+	cfg := benchConfig()
+	var last experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSizeAccuracy(cfg, label, memMb, point, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Series[0].Summary.AvgAbsErr, "proto-abs-err")
+	b.ReportMetric(last.Series[1].Summary.AvgAbsErr, "baseline-abs-err")
+}
+
+func BenchmarkFig3SpreadUniform2Mb(b *testing.B)  { benchSpreadFigure(b, "Fig. 3", []int{2, 2, 2}, 0) }
+func BenchmarkFig4SpreadUniform8Mb(b *testing.B)  { benchSpreadFigure(b, "Fig. 4", []int{8, 8, 8}, 0) }
+func BenchmarkFig5SpreadDiversityV1(b *testing.B) { benchSpreadFigure(b, "Fig. 5", []int{2, 4, 8}, 1) }
+func BenchmarkFig6SpreadDiversityBigV1(b *testing.B) {
+	benchSpreadFigure(b, "Fig. 6", []int{8, 16, 32}, 1)
+}
+func BenchmarkFig7SpreadDiversityV0(b *testing.B) { benchSpreadFigure(b, "Fig. 7", []int{2, 4, 8}, 0) }
+func BenchmarkFig8SizeUniform2Mb(b *testing.B)    { benchSizeFigure(b, "Fig. 8", []int{2, 2, 2}, 0) }
+func BenchmarkFig9SizeUniform8Mb(b *testing.B)    { benchSizeFigure(b, "Fig. 9", []int{8, 8, 8}, 0) }
+func BenchmarkFig10SizeDiversityV1(b *testing.B)  { benchSizeFigure(b, "Fig. 10", []int{2, 4, 8}, 1) }
+func BenchmarkFig11SizeDiversityBigV1(b *testing.B) {
+	benchSizeFigure(b, "Fig. 11", []int{8, 16, 32}, 1)
+}
+func BenchmarkFig12SizeDiversityV2(b *testing.B) { benchSizeFigure(b, "Fig. 12", []int{2, 4, 8}, 2) }
+
+// ---- Figure 13: epoch-count sweeps ----
+
+func benchSweep(b *testing.B, label, kind string, memMb int) {
+	b.Helper()
+	cfg := benchConfig()
+	var last experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunEpochSweep(cfg, label, kind, memMb, []int{5, 10, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if n := len(last.Points); n > 0 {
+		b.ReportMetric(last.Points[n-1].ProtocolAvgAbsErr, "proto-abs-err@nmax")
+		b.ReportMetric(last.Points[n-1].BaselineAvgAbsErr, "baseline-abs-err@nmax")
+	}
+}
+
+func BenchmarkFig13aSizeSweep2Mb(b *testing.B)   { benchSweep(b, "Fig. 13(a)", "size", 2) }
+func BenchmarkFig13bSizeSweep8Mb(b *testing.B)   { benchSweep(b, "Fig. 13(b)", "size", 8) }
+func BenchmarkFig13cSpreadSweep2Mb(b *testing.B) { benchSweep(b, "Fig. 13(c)", "spread", 2) }
+func BenchmarkFig13dSpreadSweep8Mb(b *testing.B) { benchSweep(b, "Fig. 13(d)", "spread", 8) }
+
+// ---- Protocol-internal costs (ST join, epoch boundary) ----
+
+func BenchmarkEpochBoundarySpread(b *testing.B) {
+	params := map[int]rskt.Params{}
+	points := make([]*core.SpreadPoint[*rskt.Sketch], 3)
+	for x := range points {
+		pr := rskt.Params{W: 512, M: hll.DefaultM, Seed: 1}
+		params[x] = pr
+		pt, err := core.NewSpreadPoint(x, pr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points[x] = pt
+	}
+	center, err := core.NewSpreadCenter(10, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		points[i%3].Record(uint64(i%300), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i + 1)
+		for x, pt := range points {
+			if err := center.Receive(x, k, pt.EndEpoch()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for x, pt := range points {
+			agg, err := center.AggregateFor(x, k+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pt.ApplyAggregate(agg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEpochBoundarySize(b *testing.B) {
+	params := map[int]countmin.Params{}
+	points := make([]*core.SizePoint, 3)
+	for x := range points {
+		pr := countmin.Params{D: 4, W: 4096, Seed: 1}
+		params[x] = pr
+		pt, err := core.NewSizePoint(x, pr, core.SizeModeCumulative)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points[x] = pt
+	}
+	center, err := core.NewSizeCenter(10, params, core.SizeModeCumulative)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		points[i%3].Record(uint64(i % 300))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i + 1)
+		for x, pt := range points {
+			if err := center.Receive(x, k, pt.EndEpoch()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for x, pt := range points {
+			agg, err := center.AggregateFor(x, k+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pt.ApplyAggregate(agg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

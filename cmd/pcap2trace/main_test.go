@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeTestPcap synthesizes a small Ethernet/IPv4 capture.
+func writeTestPcap(t *testing.T, path string, packets int) {
+	t.Helper()
+	var buf bytes.Buffer
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint32(gh[20:24], 1) // Ethernet
+	buf.Write(gh[:])
+	for i := 0; i < packets; i++ {
+		frame := append(make([]byte, 12), 0x08, 0x00)
+		ip := make([]byte, 20)
+		ip[0] = 0x45
+		binary.BigEndian.PutUint32(ip[12:16], uint32(i))
+		binary.BigEndian.PutUint32(ip[16:20], 0x0a000001)
+		frame = append(frame, ip...)
+		var rh [16]byte
+		binary.LittleEndian.PutUint32(rh[0:4], uint32(i))
+		binary.LittleEndian.PutUint32(rh[8:12], uint32(len(frame)))
+		binary.LittleEndian.PutUint32(rh[12:16], uint32(len(frame)))
+		buf.Write(rh[:])
+		buf.Write(frame)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvert(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.pcap")
+	out := filepath.Join(dir, "out.bin")
+	writeTestPcap(t, in, 25)
+
+	var stdout bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out, "-points", "2"}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "converted 25 IP packets") {
+		t.Fatalf("output: %s", stdout.String())
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Points() != 2 {
+		t.Fatalf("points = %d", tr.Points())
+	}
+	n := 0
+	for {
+		p, err := tr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Flow != 0x0a000001 {
+			t.Fatalf("flow = %#x", p.Flow)
+		}
+		n++
+	}
+	if n != 25 {
+		t.Fatalf("trace has %d records", n)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(nil, &stdout); err == nil {
+		t.Fatal("expected missing-args error")
+	}
+	if err := run([]string{"-in", "x", "-out", "y", "-flow", "bogus"}, &stdout); err == nil {
+		t.Fatal("expected flow error")
+	}
+	if err := run([]string{"-in", "/nonexistent", "-out", "y"}, &stdout); err == nil {
+		t.Fatal("expected open error")
+	}
+}

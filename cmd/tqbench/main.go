@@ -1,0 +1,105 @@
+// Command tqbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tqbench -list
+//	tqbench -exp fig8
+//	tqbench -all -quick
+//	tqbench -exp fig13a -packets 5000000 -out results.txt
+//
+// Each experiment prints the rows/series the corresponding paper table or
+// figure reports (see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured comparisons).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tqbench", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list available experiments")
+		expID   = fs.String("exp", "", "experiment id to run (see -list)")
+		all     = fs.Bool("all", false, "run every experiment")
+		quick   = fs.Bool("quick", false, "reduced workload (~10x faster)")
+		packets = fs.Int("packets", 0, "override trace packet count")
+		flows   = fs.Int("flows", 0, "override trace flow count")
+		scale   = fs.Int("scale", 0, "override memory scale divisor (paper Mb / scale)")
+		seed    = fs.Int64("seed", 0, "override trace seed")
+		out     = fs.String("out", "", "also append reports to this file")
+		csvDir  = fs.String("csv", "", "also write figure series as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		reg := experiments.Registry()
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(stdout, "%-18s %s\n", id, reg[id].Description)
+		}
+		return nil
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *packets > 0 {
+		cfg.Trace.Packets = *packets
+	}
+	if *flows > 0 {
+		cfg.Trace.Flows = *flows
+	}
+	if *scale > 0 {
+		cfg.MemScaleDiv = *scale
+	}
+	if *seed != 0 {
+		cfg.Trace.Seed = *seed
+	}
+	cfg.CSVDir = *csvDir
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *expID != "":
+		ids = []string{*expID}
+	default:
+		return fmt.Errorf("nothing to do: pass -exp <id>, -all or -list")
+	}
+
+	var sink io.Writer = stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = io.MultiWriter(stdout, f)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		report, err := experiments.Run(cfg, id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintf(sink, "=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), report)
+	}
+	return nil
+}

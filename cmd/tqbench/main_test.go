@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3", "fig13d", "table1", "ablation-upload"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("expected error when nothing to do")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig99", "-quick"}, &out); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "fig8", "-quick",
+		"-packets", "60000", "-flows", "5000",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "two-sketch") {
+		t.Fatalf("missing method in report:\n%s", out.String())
+	}
+}
+
+func TestRunWritesOutFile(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "report.txt")
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "fig8", "-quick",
+		"-packets", "60000", "-flows", "5000",
+		"-out", outFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Sliding Sketch") {
+		t.Fatalf("out file missing report:\n%s", data)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "fig8", "-quick",
+		"-packets", "60000", "-flows", "5000",
+		"-csv", dir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files written")
+	}
+}

@@ -1,0 +1,99 @@
+// Command tqcenter runs a live measurement center: it accepts TCP
+// connections from tqpoint agents, collects their per-epoch sketch
+// uploads, performs the spatial-temporal join, and pushes each point its
+// size-customized networkwide aggregate.
+//
+// Usage:
+//
+//	tqcenter -addr :7070 -kind spread -n 10 -widths 0:1638,1:3276,2:6552
+//	tqcenter -addr :7070 -kind size -n 10 -widths 0:16384,1:16384,2:16384
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tqcenter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tqcenter", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7070", "listen address")
+		kind    = fs.String("kind", "size", `design: "size" or "spread"`)
+		n       = fs.Int("n", 10, "epochs per window (the paper's n)")
+		widths  = fs.String("widths", "", "topology as id:width pairs, e.g. 0:1638,1:3276,2:6552")
+		m       = fs.Int("m", 128, "HLL registers per estimator (spread)")
+		d       = fs.Int("d", 4, "CountMin rows (size)")
+		seed    = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		enhance = fs.Bool("enhance", false, "push the Section IV-D enhancement")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topo, err := parseWidths(*widths)
+	if err != nil {
+		return err
+	}
+	srv, err := transport.ServeCenter(transport.CenterConfig{
+		Addr:    *addr,
+		Kind:    transport.Kind(*kind),
+		WindowN: *n,
+		Widths:  topo,
+		M:       *m,
+		D:       *d,
+		Seed:    *seed,
+		Enhance: *enhance,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("tqcenter: %s design, n=%d, %d points, listening on %s\n",
+		*kind, *n, len(topo), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tqcenter: shutting down")
+	return nil
+}
+
+// parseWidths parses "0:1638,1:3276" into a topology map.
+func parseWidths(s string) (map[int]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -widths (e.g. 0:1638,1:1638,2:1638)")
+	}
+	out := make(map[int]int)
+	for _, part := range strings.Split(s, ",") {
+		id, width, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -widths entry %q", part)
+		}
+		pid, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad point id %q: %w", id, err)
+		}
+		w, err := strconv.Atoi(width)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad width %q for point %d", width, pid)
+		}
+		if _, dup := out[pid]; dup {
+			return nil, fmt.Errorf("duplicate point id %d", pid)
+		}
+		out[pid] = w
+	}
+	return out, nil
+}

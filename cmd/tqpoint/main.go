@@ -1,0 +1,202 @@
+// Command tqpoint runs a live measurement point: it records traffic
+// locally (synthetic traffic, or a trace file's packets for its point id),
+// uploads its sketch to the center at every epoch boundary, merges the
+// center's networkwide aggregates, and periodically answers sample
+// networkwide T-queries from local memory, printing them.
+//
+// Usage:
+//
+//	tqpoint -addr 127.0.0.1:7070 -point 0 -kind size -w 16384 -epoch 6s -pps 50000
+//	tqpoint -addr 127.0.0.1:7070 -point 1 -kind spread -w 1638 -trace trace.bin
+//
+// With -trace, epochs are driven by the trace's virtual timestamps (a
+// recorded 30-minute trace replays as fast as the center keeps up); with
+// synthetic traffic, epochs follow the wall clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/window"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tqpoint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tqpoint", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7070", "center address")
+		point     = fs.Int("point", 0, "this point's id")
+		kind      = fs.String("kind", "size", `design: "size" or "spread"`)
+		w         = fs.Int("w", 16384, "sketch width (must match the center's topology)")
+		m         = fs.Int("m", 128, "HLL registers per estimator (spread)")
+		d         = fs.Int("d", 4, "CountMin rows (size)")
+		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		epoch     = fs.Duration("epoch", 6*time.Second, "epoch length (synthetic traffic mode)")
+		pps       = fs.Int("pps", 20_000, "synthetic traffic rate, packets/s")
+		flows     = fs.Int("flows", 5_000, "synthetic traffic distinct flows")
+		traceFile = fs.String("trace", "", "replay this trace file instead of synthetic traffic")
+		queries   = fs.Int("queries", 3, "sample networkwide queries printed per epoch")
+		queryAddr = fs.String("query-addr", "", "also serve networkwide T-queries on this TCP address (see cmd/tqquery)")
+		stateFile = fs.String("state", "", "load protocol state from this file on start (if present) and save it on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pc, err := transport.DialPoint(transport.PointConfig{
+		Addr: *addr, Point: *point, Kind: transport.Kind(*kind),
+		W: *w, M: *m, D: *d, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer pc.Close()
+	fmt.Printf("tqpoint %d: connected to %s (%s design, w=%d)\n", *point, *addr, *kind, *w)
+
+	if *stateFile != "" {
+		if f, err := os.Open(*stateFile); err == nil {
+			loadErr := pc.LoadState(f)
+			f.Close()
+			if loadErr != nil {
+				return fmt.Errorf("load state: %w", loadErr)
+			}
+			fmt.Printf("tqpoint %d: restored state (epoch %d)\n", *point, pc.Epoch())
+		}
+		defer func() {
+			f, err := os.Create(*stateFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tqpoint: save state: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pc.SaveState(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tqpoint: save state: %v\n", err)
+			}
+		}()
+	}
+
+	if *queryAddr != "" {
+		// Local network functions (or cmd/tqquery) can ask this point for
+		// networkwide answers; each query reads only local memory.
+		qsrv, err := transport.ServeQueries(*queryAddr, func(f uint64) float64 {
+			if *kind == "spread" {
+				v, err := pc.QuerySpread(f)
+				if err != nil {
+					return 0
+				}
+				return v
+			}
+			v, err := pc.QuerySize(f)
+			if err != nil {
+				return 0
+			}
+			return float64(v)
+		})
+		if err != nil {
+			return err
+		}
+		defer qsrv.Close()
+		fmt.Printf("tqpoint %d: serving T-queries on %s\n", *point, qsrv.Addr())
+	}
+
+	report := func() {
+		st := pc.Stats()
+		fmt.Printf("tqpoint %d: epoch %d done (pushes applied=%d late=%d)\n",
+			*point, pc.Epoch()-1, st.PushesApplied, st.PushesLate)
+		rng := rand.New(rand.NewSource(int64(pc.Epoch())))
+		for i := 0; i < *queries; i++ {
+			f := uint64(rng.Intn(*flows))
+			if *kind == "spread" {
+				v, err := pc.QuerySpread(f)
+				if err == nil {
+					fmt.Printf("  networkwide spread(flow %d) ~ %.0f\n", f, v)
+				}
+			} else {
+				v, err := pc.QuerySize(f)
+				if err == nil {
+					fmt.Printf("  networkwide size(flow %d) ~ %d\n", f, v)
+				}
+			}
+		}
+	}
+
+	if *traceFile != "" {
+		return replayTrace(pc, *traceFile, *point, *epoch, report)
+	}
+
+	// Synthetic traffic mode: wall-clock epochs, Zipf-ish flow draws.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*epoch)
+	defer ticker.Stop()
+	perTick := time.Second / time.Duration(max(*pps, 1))
+	traffic := time.NewTicker(max(perTick, time.Microsecond))
+	defer traffic.Stop()
+	rng := rand.New(rand.NewSource(int64(*point) + 1))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(*flows-1))
+	for {
+		select {
+		case <-traffic.C:
+			f := zipf.Uint64()
+			pc.Record(f, rng.Uint64()%1024)
+		case <-ticker.C:
+			if err := pc.EndEpoch(); err != nil {
+				return err
+			}
+			report()
+		case <-stop:
+			fmt.Printf("tqpoint %d: shutting down\n", *point)
+			return nil
+		}
+	}
+}
+
+// replayTrace feeds the trace file's packets for this point, rolling
+// epochs by virtual time.
+func replayTrace(pc *transport.PointClient, path string, point int, epoch time.Duration, report func()) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	win := window.Config{T: epoch * 10, N: 10} // only epoch arithmetic is used
+	cur := int64(1)
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for k := win.EpochOf(p.TS); cur < k; cur++ {
+			if err := pc.EndEpoch(); err != nil {
+				return err
+			}
+			report()
+		}
+		if p.Point == point {
+			pc.Record(p.Flow, p.Elem)
+		}
+	}
+	return pc.EndEpoch()
+}

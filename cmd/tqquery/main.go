@@ -1,0 +1,71 @@
+// Command tqquery asks a running measurement point (tqpoint -query-addr)
+// for networkwide T-query answers. The point answers from local memory;
+// this tool just speaks the peer-query RPC.
+//
+// Usage:
+//
+//	tqquery -addr 127.0.0.1:8081 -flow 12345
+//	tqquery -addr 127.0.0.1:8081 -flow 12345 -watch 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tqquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tqquery", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", "", "measurement point query address (tqpoint -query-addr)")
+		flow  = fs.Uint64("flow", 0, "flow label to query")
+		watch = fs.Duration("watch", 0, "re-query at this interval until interrupted (0 = once)")
+		count = fs.Int("count", 0, "with -watch: stop after this many queries (0 = forever)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("missing -addr")
+	}
+	qc, err := transport.DialQuery(*addr)
+	if err != nil {
+		return err
+	}
+	defer qc.Close()
+
+	ask := func() error {
+		v, err := qc.Query(*flow)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s flow %d: %.2f\n", time.Now().Format(time.TimeOnly), *flow, v)
+		return nil
+	}
+	if err := ask(); err != nil {
+		return err
+	}
+	if *watch <= 0 {
+		return nil
+	}
+	ticker := time.NewTicker(*watch)
+	defer ticker.Stop()
+	for i := 1; *count == 0 || i < *count; i++ {
+		<-ticker.C
+		if err := ask(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

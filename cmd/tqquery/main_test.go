@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestRunQueriesPoint(t *testing.T) {
+	srv, err := transport.ServeQueries("127.0.0.1:0", func(f uint64) float64 {
+		return float64(f) * 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-addr", srv.Addr().String(), "-flow", "14"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flow 14: 42.00") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestRunWatchCount(t *testing.T) {
+	srv, err := transport.ServeQueries("127.0.0.1:0", func(uint64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var out bytes.Buffer
+	err = run([]string{"-addr", srv.Addr().String(), "-flow", "1", "-watch", "1ms", "-count", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "flow 1"); got != 3 {
+		t.Fatalf("watch emitted %d lines, want 3", got)
+	}
+}
+
+func TestRunMissingAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-flow", "1"}, &out); err == nil {
+		t.Fatal("expected missing-addr error")
+	}
+}

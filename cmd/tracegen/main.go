@@ -1,0 +1,86 @@
+// Command tracegen writes a synthetic CAIDA-like packet trace to a file
+// (see internal/trace for the traffic model and why it substitutes for the
+// paper's non-redistributable CAIDA capture).
+//
+// Usage:
+//
+//	tracegen -out trace.bin -packets 2000000 -flows 120000 -points 3
+//	tracegen -out trace.bin -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "", "output trace file (required unless -stats only)")
+		packets  = fs.Int("packets", 2_000_000, "packet count")
+		flows    = fs.Int("flows", 120_000, "distinct flow count")
+		points   = fs.Int("points", 3, "measurement point count")
+		duration = fs.Duration("duration", 30*time.Minute, "trace duration (virtual time)")
+		zipf     = fs.Float64("zipf", 1.2, "flow popularity skew (>1)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		stats    = fs.Bool("stats", false, "print trace statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := trace.Default()
+	cfg.Packets = *packets
+	cfg.Flows = *flows
+	cfg.Points = *points
+	cfg.Duration = *duration
+	cfg.ZipfS = *zipf
+	cfg.Seed = *seed
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w, err := trace.NewWriter(f, cfg.Points)
+		if err != nil {
+			return err
+		}
+		if err := trace.Each(cfg, w.Write); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d packets to %s\n", cfg.Packets, *out)
+	}
+
+	if *stats {
+		st, err := trace.Collect(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "packets: %d\ndistinct flows: %d\nmax flow size: %d (%.2f%% of trace)\nper point: %v\n",
+			st.Packets, st.DistinctFlows, st.MaxFlowSize, 100*st.TopFlowShare, st.PerPoint)
+	}
+	if *out == "" && !*stats {
+		return fmt.Errorf("nothing to do: pass -out and/or -stats")
+	}
+	return nil
+}

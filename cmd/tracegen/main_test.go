@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.bin")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-out", out, "-packets", "5000", "-flows", "500",
+		"-points", "2", "-duration", "10s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Points() != 2 {
+		t.Fatalf("points = %d", r.Points())
+	}
+	n := 0
+	for {
+		if _, err := r.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 5000 {
+		t.Fatalf("trace has %d records, want 5000", n)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-stats", "-packets", "5000", "-flows", "500", "-duration", "10s"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "distinct flows") {
+		t.Fatalf("stats output missing:\n%s", buf.String())
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stats", "-zipf", "0.5"}, &buf); err == nil {
+		t.Fatal("expected validation error for zipf <= 1")
+	}
+}

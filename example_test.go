@@ -1,0 +1,73 @@
+package tquery_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tquery "repro"
+)
+
+// ExampleSizeCluster shows networkwide flow-size T-queries: three
+// measurement points see parts of flow 7's traffic, and any point answers
+// for all of them from local memory.
+func ExampleSizeCluster() {
+	cl, err := tquery.NewSizeCluster(tquery.Config{
+		Points: 3,
+		Window: 10 * time.Second,
+		Epochs: 5, // h = 2s
+		Memory: []int{1 << 20},
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 6 packets of flow 7 per epoch, scattered over the three points,
+	// for 7 epochs.
+	for epoch := 0; epoch < 7; epoch++ {
+		for i := 0; i < 6; i++ {
+			ts := int64(epoch)*int64(2*time.Second) + int64(i)*int64(300*time.Millisecond)
+			if err := cl.Record(tquery.Packet{TS: ts, Point: i % 3, Flow: 7}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	// During epoch 7, answers cover epochs 3-5 networkwide (18 packets)
+	// plus v0's own share of epochs 6 and 7 (2 + 2).
+	fmt.Println("networkwide size at v0:", cl.QuerySize(0, 7))
+	fmt.Println("absent flow:", cl.QuerySize(0, 1234))
+	// Output:
+	// networkwide size at v0: 22
+	// absent flow: 0
+}
+
+// ExampleSpreadCluster shows networkwide flow-spread T-queries with
+// deduplication: the same elements observed at two gateways count once.
+func ExampleSpreadCluster() {
+	cl, err := tquery.NewSpreadCluster(tquery.Config{
+		Points: 2,
+		Window: 10 * time.Second,
+		Epochs: 5,
+		Memory: []int{4 << 20},
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := int64(0)
+	for epoch := 0; epoch < 7; epoch++ {
+		for e := 0; e < 30; e++ {
+			elem := uint64(e) // the same 30 elements every epoch
+			for pt := 0; pt < 2; pt++ {
+				if err := cl.Record(tquery.Packet{TS: ts, Point: pt, Flow: 9, Elem: elem}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			ts += int64(2*time.Second) / 30
+		}
+	}
+	spread := cl.QuerySpread(0, 9)
+	fmt.Println("spread is deduplicated:", spread > 20 && spread < 40)
+	// Output:
+	// spread is deduplicated: true
+}

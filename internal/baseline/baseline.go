@@ -1,0 +1,110 @@
+// Package baseline assembles the networkwide baseline deployments the
+// paper evaluates against (Section VII-A): every measurement point runs the
+// state-of-the-art single-point T-query sketch (Sliding Sketch for size,
+// VATE for spread), and a networkwide query at point v_x fetches the other
+// points' local answers and adds all of them up.
+//
+// The fetch is what makes the baselines slow in Table I: it costs a round
+// trip per peer, while the paper's designs answer from local memory. Peers
+// are abstracted so simulations can wire sketches directly (accuracy
+// experiments) while the query-overhead benchmark wires real TCP peers.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/slidingsketch"
+	"repro/internal/vate"
+)
+
+// SizePeer answers windowed flow-size queries, possibly over a network.
+type SizePeer interface {
+	QuerySize(f uint64) (int64, error)
+}
+
+// SpreadPeer answers windowed flow-spread queries, possibly over a network.
+type SpreadPeer interface {
+	QuerySpread(f uint64) (float64, error)
+}
+
+// LocalSizePeer adapts a local Sliding Sketch as a peer.
+type LocalSizePeer struct {
+	Sketch *slidingsketch.Sketch
+}
+
+// QuerySize returns the local windowed estimate.
+func (p LocalSizePeer) QuerySize(f uint64) (int64, error) {
+	return p.Sketch.Estimate(f), nil
+}
+
+// LocalSpreadPeer adapts a local VATE sketch as a peer.
+type LocalSpreadPeer struct {
+	Sketch *vate.Sketch
+}
+
+// QuerySpread returns the local windowed estimate.
+func (p LocalSpreadPeer) QuerySpread(f uint64) (float64, error) {
+	return p.Sketch.Estimate(f), nil
+}
+
+// NetworkwideSize is the size baseline at one measurement point.
+type NetworkwideSize struct {
+	Local *slidingsketch.Sketch
+	Peers []SizePeer
+}
+
+// Record adds one local packet of flow f.
+func (nw *NetworkwideSize) Record(f uint64) {
+	nw.Local.Record(f)
+}
+
+// Advance rolls the local sliding window one epoch forward.
+func (nw *NetworkwideSize) Advance() {
+	nw.Local.Advance()
+}
+
+// Query answers a networkwide T-query: local estimate plus every peer's
+// estimate.
+func (nw *NetworkwideSize) Query(f uint64) (int64, error) {
+	total := nw.Local.Estimate(f)
+	for i, p := range nw.Peers {
+		v, err := p.QuerySize(f)
+		if err != nil {
+			return 0, fmt.Errorf("baseline: size peer %d: %w", i, err)
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// NetworkwideSpread is the spread baseline at one measurement point. Note
+// that adding up per-point spreads double-counts elements observed at
+// multiple points — an inherent weakness of the baseline the paper keeps.
+type NetworkwideSpread struct {
+	Local *vate.Sketch
+	Peers []SpreadPeer
+}
+
+// Record notes a local packet <f, e>.
+func (nw *NetworkwideSpread) Record(f, e uint64) {
+	nw.Local.Record(f, e)
+}
+
+// Advance rolls the local sliding window one epoch forward.
+func (nw *NetworkwideSpread) Advance() {
+	nw.Local.Advance()
+}
+
+// Query answers a networkwide T-query: local estimate plus every peer's
+// estimate.
+func (nw *NetworkwideSpread) Query(f uint64) (float64, error) {
+	total := nw.Local.Estimate(f)
+	for i, p := range nw.Peers {
+		v, err := p.QuerySpread(f)
+		if err != nil {
+			return 0, fmt.Errorf("baseline: spread peer %d: %w", i, err)
+		}
+		total += v
+	}
+	return total, nil
+}

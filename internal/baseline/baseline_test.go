@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/slidingsketch"
+	"repro/internal/vate"
+)
+
+func newSlidingSketch() *slidingsketch.Sketch {
+	return slidingsketch.New(slidingsketch.Params{D: 4, W: 1024, Zones: 6, Seed: 1})
+}
+
+func newVate() *vate.Sketch {
+	return vate.New(vate.Params{VirtualBits: 1024, PhysicalCells: 1 << 17, WindowN: 5, Seed: 1})
+}
+
+func TestNetworkwideSizeSumsPeers(t *testing.T) {
+	local := &NetworkwideSize{Local: newSlidingSketch()}
+	peerA, peerB := newSlidingSketch(), newSlidingSketch()
+	local.Peers = []SizePeer{LocalSizePeer{Sketch: peerA}, LocalSizePeer{Sketch: peerB}}
+
+	for i := 0; i < 10; i++ {
+		local.Record(7)
+	}
+	for i := 0; i < 5; i++ {
+		peerA.Record(7)
+	}
+	for i := 0; i < 3; i++ {
+		peerB.Record(7)
+	}
+	got, err := local.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 18 {
+		t.Fatalf("networkwide size = %d, want 18", got)
+	}
+}
+
+func TestNetworkwideSizeAdvanceExpires(t *testing.T) {
+	nw := &NetworkwideSize{Local: newSlidingSketch()}
+	nw.Record(1)
+	for i := 0; i < 6; i++ {
+		nw.Advance()
+	}
+	got, err := nw.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("expired flow size = %d, want 0", got)
+	}
+}
+
+type failingSizePeer struct{}
+
+func (failingSizePeer) QuerySize(uint64) (int64, error) {
+	return 0, errors.New("unreachable")
+}
+
+type failingSpreadPeer struct{}
+
+func (failingSpreadPeer) QuerySpread(uint64) (float64, error) {
+	return 0, errors.New("unreachable")
+}
+
+func TestNetworkwidePeerErrorsPropagate(t *testing.T) {
+	nws := &NetworkwideSize{Local: newSlidingSketch(), Peers: []SizePeer{failingSizePeer{}}}
+	if _, err := nws.Query(1); err == nil {
+		t.Fatal("expected peer error for size")
+	}
+	nwp := &NetworkwideSpread{Local: newVate(), Peers: []SpreadPeer{failingSpreadPeer{}}}
+	if _, err := nwp.Query(1); err == nil {
+		t.Fatal("expected peer error for spread")
+	}
+}
+
+func TestNetworkwideSpreadSumsPeers(t *testing.T) {
+	local := &NetworkwideSpread{Local: newVate()}
+	peer := newVate()
+	local.Peers = []SpreadPeer{LocalSpreadPeer{Sketch: peer}}
+
+	for e := 0; e < 300; e++ {
+		local.Record(9, uint64(e))
+	}
+	for e := 0; e < 200; e++ {
+		peer.Record(9, uint64(e)+10_000)
+	}
+	got, err := local.Query(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-500) > 120 {
+		t.Fatalf("networkwide spread = %.0f, want ~500", got)
+	}
+}
+
+func TestNetworkwideSpreadDoubleCountsOverlap(t *testing.T) {
+	// The baseline's known weakness: the same elements at two points are
+	// counted twice. Keep this behaviour (the paper does).
+	local := &NetworkwideSpread{Local: newVate()}
+	peer := newVate()
+	local.Peers = []SpreadPeer{LocalSpreadPeer{Sketch: peer}}
+	for e := 0; e < 400; e++ {
+		local.Record(3, uint64(e))
+		peer.Record(3, uint64(e)) // identical elements
+	}
+	got, err := local.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 600 {
+		t.Fatalf("overlapping spread = %.0f, expected double counting (~800)", got)
+	}
+}

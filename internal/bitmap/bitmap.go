@@ -1,0 +1,102 @@
+// Package bitmap implements the linear-counting bitmap (Whang et al. 1990)
+// and the virtual-bitmap construction (Yoon et al., INFOCOM 2009) that the
+// VATE baseline estimates per-flow spread with.
+//
+// A flow is assigned a fixed number of virtual bit positions inside a large
+// shared physical array; each distinct element sets one of the flow's
+// virtual positions. The spread estimate is the linear-counting formula
+// v*ln(v/z) over the flow's v virtual bits with z of them still zero,
+// corrected for the noise other flows contribute to the shared array.
+package bitmap
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Bitmap is a plain bit set.
+type Bitmap struct {
+	n     int
+	words []uint64
+	ones  int
+}
+
+// New returns a zeroed bitmap of n bits.
+func New(n int) *Bitmap {
+	if n <= 0 {
+		n = 1
+	}
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i, returning whether it was previously clear.
+func (b *Bitmap) Set(i int) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.ones++
+	return true
+}
+
+// Test reports whether bit i is set.
+func (b *Bitmap) Test(i int) bool {
+	return b.words[i/64]&(uint64(1)<<(i%64)) != 0
+}
+
+// Ones returns the number of set bits.
+func (b *Bitmap) Ones() int { return b.ones }
+
+// Zeros returns the number of clear bits.
+func (b *Bitmap) Zeros() int { return b.n - b.ones }
+
+// Reset clears all bits.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.ones = 0
+}
+
+// Or folds o into b. Lengths must match.
+func (b *Bitmap) Or(o *Bitmap) error {
+	if b.n != o.n {
+		return fmt.Errorf("bitmap: or length mismatch: %d vs %d", b.n, o.n)
+	}
+	ones := 0
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+		ones += bits.OnesCount64(b.words[i])
+	}
+	b.ones = ones
+	return nil
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{n: b.n, words: make([]uint64, len(b.words)), ones: b.ones}
+	copy(c.words, b.words)
+	return c
+}
+
+// MemoryBits returns the footprint (one bit per position).
+func (b *Bitmap) MemoryBits() int { return b.n }
+
+// LinearCount returns the linear-counting cardinality estimate for a bitmap
+// of m bits with z of them zero: m * ln(m/z). A full bitmap (z == 0) is
+// saturated; the estimate returned is the value for z = 0.5 as a
+// conventional finite stand-in.
+func LinearCount(m, z int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if z <= 0 {
+		return float64(m) * math.Log(2*float64(m))
+	}
+	return float64(m) * math.Log(float64(m)/float64(z))
+}

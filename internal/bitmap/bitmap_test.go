@@ -1,0 +1,123 @@
+package bitmap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xhash"
+)
+
+func TestSetTest(t *testing.T) {
+	b := New(130)
+	if b.Test(0) || b.Test(129) {
+		t.Fatal("fresh bitmap has set bits")
+	}
+	if !b.Set(0) {
+		t.Fatal("first Set should report newly set")
+	}
+	if b.Set(0) {
+		t.Fatal("second Set should report already set")
+	}
+	b.Set(129)
+	if !b.Test(0) || !b.Test(129) {
+		t.Fatal("Test does not see set bits")
+	}
+	if b.Ones() != 2 || b.Zeros() != 128 {
+		t.Fatalf("Ones=%d Zeros=%d, want 2/128", b.Ones(), b.Zeros())
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(64)
+	for i := 0; i < 64; i++ {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Ones() != 0 {
+		t.Fatal("Reset left set bits")
+	}
+}
+
+func TestOrCountsOnes(t *testing.T) {
+	a, b := New(256), New(256)
+	for i := 0; i < 100; i++ {
+		a.Set(i)
+	}
+	for i := 50; i < 150; i++ {
+		b.Set(i)
+	}
+	if err := a.Or(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Ones() != 150 {
+		t.Fatalf("union ones = %d, want 150", a.Ones())
+	}
+}
+
+func TestOrMismatch(t *testing.T) {
+	if err := New(10).Or(New(11)); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(3)
+	c := a.Clone()
+	a.Set(4)
+	if c.Test(4) {
+		t.Fatal("clone aliases original")
+	}
+	if !c.Test(3) {
+		t.Fatal("clone missing earlier bit")
+	}
+}
+
+func TestLinearCountAccuracy(t *testing.T) {
+	// Hash n distinct elements into an m-bit bitmap; linear counting
+	// should recover n within a few percent while load is moderate.
+	const m = 4096
+	for _, n := range []int{100, 500, 1500, 3000} {
+		b := New(m)
+		for e := 0; e < n; e++ {
+			b.Set(xhash.Index(uint64(e), 99, m))
+		}
+		got := LinearCount(m, b.Zeros())
+		if rel := math.Abs(got-float64(n)) / float64(n); rel > 0.1 {
+			t.Fatalf("n=%d: linear count %.0f, rel err %.3f", n, got, rel)
+		}
+	}
+}
+
+func TestLinearCountEdges(t *testing.T) {
+	if LinearCount(0, 0) != 0 {
+		t.Fatal("LinearCount(0,0) should be 0")
+	}
+	if LinearCount(64, 64) != 0 {
+		t.Fatal("empty bitmap should estimate 0")
+	}
+	full := LinearCount(64, 0)
+	if math.IsInf(full, 1) || full <= 0 {
+		t.Fatalf("saturated estimate should be finite positive, got %v", full)
+	}
+	if LinearCount(64, 1) >= full {
+		t.Fatal("saturated estimate should exceed near-saturated estimate")
+	}
+}
+
+func TestOnesInvariant(t *testing.T) {
+	err := quick.Check(func(idxs []uint16) bool {
+		b := New(1024)
+		seen := make(map[int]bool)
+		for _, i := range idxs {
+			j := int(i) % 1024
+			b.Set(j)
+			seen[j] = true
+		}
+		return b.Ones() == len(seen) && b.Zeros() == 1024-len(seen)
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

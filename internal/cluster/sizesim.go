@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/metrics"
+	"repro/internal/slidingsketch"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// SizeSimConfig configures a flow-size simulation.
+type SizeSimConfig struct {
+	// Window is the T-query window model.
+	Window window.Config
+	// MemoryBits is the sketch memory budget per point; ratios must be
+	// integral.
+	MemoryBits []int
+	// D is the CountMin row count (0 = countmin.DefaultDepth).
+	D int
+	// Seed is the cluster-wide hash seed.
+	Seed uint64
+	// Mode selects cumulative (paper) or delta (ablation) uploads
+	// (0 = cumulative).
+	Mode core.SizeMode
+	// Enhance enables the Section IV-D enhancement.
+	Enhance bool
+	// WithBaseline co-runs the Sliding Sketch networkwide baseline with
+	// the same per-point memory (d=10 rows, n zones, as in the paper).
+	WithBaseline bool
+	// BaselineDepth is the Sliding Sketch row count
+	// (0 = slidingsketch.DefaultDepth).
+	BaselineDepth int
+	// TrackTruth records exact ground truth.
+	TrackTruth bool
+}
+
+// SizeSim is a running flow-size simulation.
+type SizeSim struct {
+	cfg    SizeSimConfig
+	points []*core.SizePoint
+	center *core.SizeCenter
+	truth  *metrics.Truth
+	base   []*baseline.NetworkwideSize
+
+	epoch  int64
+	lastTS window.Time
+
+	// OnBoundary, if set, runs right after the exchange at every epoch
+	// boundary; kNext is the epoch that just began.
+	OnBoundary func(kNext int64) error
+}
+
+// NewSizeSim builds the simulation.
+func NewSizeSim(cfg SizeSimConfig) (*SizeSim, error) {
+	if err := cfg.Window.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.D == 0 {
+		cfg.D = countmin.DefaultDepth
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.SizeModeCumulative
+	}
+	if cfg.BaselineDepth == 0 {
+		cfg.BaselineDepth = slidingsketch.DefaultDepth
+	}
+	widths, err := WidthsForMemory(cfg.MemoryBits, cfg.D*countmin.CounterBits)
+	if err != nil {
+		return nil, err
+	}
+	p := len(widths)
+	params := make(map[int]countmin.Params, p)
+	points := make([]*core.SizePoint, p)
+	for x, w := range widths {
+		pr := countmin.Params{D: cfg.D, W: w, Seed: cfg.Seed}
+		params[x] = pr
+		pt, err := core.NewSizePoint(x, pr, cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		points[x] = pt
+	}
+	center, err := core.NewSizeCenter(cfg.Window.N, params, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	sim := &SizeSim{cfg: cfg, points: points, center: center, epoch: 1}
+	if cfg.TrackTruth {
+		tr, err := metrics.NewTruth(cfg.Window.N, p, true, false)
+		if err != nil {
+			return nil, err
+		}
+		sim.truth = tr
+	}
+	if cfg.WithBaseline {
+		locals := make([]*slidingsketch.Sketch, p)
+		for x := range locals {
+			locals[x] = slidingsketch.New(slidingsketch.Params{
+				D:     cfg.BaselineDepth,
+				W:     slidingsketch.WidthForMemory(cfg.MemoryBits[x], cfg.BaselineDepth, cfg.Window.N),
+				Zones: cfg.Window.N,
+				Seed:  cfg.Seed,
+			})
+		}
+		sim.base = make([]*baseline.NetworkwideSize, p)
+		for x := range locals {
+			nw := &baseline.NetworkwideSize{Local: locals[x]}
+			for y, peer := range locals {
+				if y != x {
+					nw.Peers = append(nw.Peers, baseline.LocalSizePeer{Sketch: peer})
+				}
+			}
+			sim.base[x] = nw
+		}
+	}
+	return sim, nil
+}
+
+// Epoch returns the current epoch.
+func (s *SizeSim) Epoch() int64 { return s.epoch }
+
+// Points exposes the protocol points.
+func (s *SizeSim) Points() []*core.SizePoint { return s.points }
+
+// Center exposes the measurement center (for diagnostics and ablations).
+func (s *SizeSim) Center() *core.SizeCenter { return s.center }
+
+func (s *SizeSim) advanceTo(epoch int64) error {
+	for s.epoch < epoch {
+		k := s.epoch
+		for x, pt := range s.points {
+			if err := s.center.Receive(x, k, pt.EndEpoch()); err != nil {
+				return err
+			}
+		}
+		if s.base != nil {
+			for _, b := range s.base {
+				b.Advance()
+			}
+		}
+		for x, pt := range s.points {
+			agg, err := s.center.AggregateFor(x, k+1)
+			if err != nil {
+				return err
+			}
+			if err := pt.ApplyAggregate(agg); err != nil {
+				return err
+			}
+			if s.cfg.Enhance {
+				enh, err := s.center.EnhancementFor(x, k+1)
+				if err != nil {
+					return err
+				}
+				if err := pt.ApplyEnhancement(enh); err != nil {
+					return err
+				}
+			}
+		}
+		s.epoch = k + 1
+		if s.OnBoundary != nil {
+			if err := s.OnBoundary(s.epoch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Feed processes one trace packet. Packets must arrive in timestamp order.
+func (s *SizeSim) Feed(p trace.Packet) error {
+	if p.TS < s.lastTS {
+		return fmt.Errorf("cluster: packet timestamps not monotone (%d after %d)", p.TS, s.lastTS)
+	}
+	s.lastTS = p.TS
+	if p.Point < 0 || p.Point >= len(s.points) {
+		return fmt.Errorf("cluster: packet for unknown point %d", p.Point)
+	}
+	if err := s.advanceTo(s.cfg.Window.EpochOf(p.TS)); err != nil {
+		return err
+	}
+	s.points[p.Point].Record(p.Flow)
+	if s.truth != nil {
+		s.truth.Record(s.epoch, p.Point, p.Flow, 0)
+	}
+	if s.base != nil {
+		s.base[p.Point].Record(p.Flow)
+	}
+	return nil
+}
+
+// Run replays a whole packet stream through the simulation.
+func (s *SizeSim) Run(stream trace.Iterator) error {
+	for {
+		p, ok := stream.Next()
+		if !ok {
+			return nil
+		}
+		if err := s.Feed(p); err != nil {
+			return err
+		}
+	}
+}
+
+// QueryProtocol answers the T-query for flow f at point x from the
+// protocol's local C sketch.
+func (s *SizeSim) QueryProtocol(x int, f uint64) int64 {
+	return s.points[x].Query(f)
+}
+
+// QueryBaseline answers the T-query for flow f at point x from the Sliding
+// Sketch networkwide baseline.
+func (s *SizeSim) QueryBaseline(x int, f uint64) (int64, error) {
+	if s.base == nil {
+		return 0, fmt.Errorf("cluster: baseline not enabled")
+	}
+	return s.base[x].Query(f)
+}
+
+// TruthAt returns the exact sizes of the approximate networkwide T-stream
+// for a boundary query at the start of epoch kNext at point x.
+func (s *SizeSim) TruthAt(x int, kNext int64) (map[uint64]int64, error) {
+	if s.truth == nil {
+		return nil, fmt.Errorf("cluster: truth tracking not enabled")
+	}
+	return s.truth.SizeTruth(x, kNext), nil
+}
+
+// TruthExactAt returns the exact sizes of the exact networkwide T-query
+// (all points, all completed window epochs) at the boundary of epoch
+// kNext.
+func (s *SizeSim) TruthExactAt(kNext int64) (map[uint64]int64, error) {
+	if s.truth == nil {
+		return nil, fmt.Errorf("cluster: truth tracking not enabled")
+	}
+	return s.truth.SizeTruthExact(kNext), nil
+}

@@ -1,0 +1,327 @@
+// Package cluster drives a simulated deployment — p measurement points, a
+// measurement center, the baselines and an exact ground-truth tracker —
+// over a packet trace in virtual time.
+//
+// The simulator performs the epoch choreography of internal/core at every
+// epoch boundary crossed by the trace's timestamps. The paper's timing
+// assumption (center round trip plus ST join complete within one epoch) is
+// modelled by delivering the center's push before the first packet of the
+// next epoch; the live TCP deployment in internal/transport enforces the
+// same assumption with real communication.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hll"
+	"repro/internal/metrics"
+	"repro/internal/rskt"
+	"repro/internal/trace"
+	"repro/internal/vate"
+	"repro/internal/vhll"
+	"repro/internal/window"
+)
+
+// WidthsForMemory converts per-point memory budgets (bits) into sketch
+// widths with exact integer ratios, so the expand-and-compress join's
+// divisibility requirement holds. regCost is the memory per width unit
+// (2*m*registerBits for rSkt2, d*counterBits for CountMin).
+func WidthsForMemory(memBits []int, regCost int) ([]int, error) {
+	if len(memBits) == 0 {
+		return nil, fmt.Errorf("cluster: no memory budgets")
+	}
+	minMem := memBits[0]
+	for _, m := range memBits {
+		if m <= 0 {
+			return nil, fmt.Errorf("cluster: memory budgets must be positive")
+		}
+		if m < minMem {
+			minMem = m
+		}
+	}
+	base := minMem / regCost
+	if base < 1 {
+		base = 1
+	}
+	widths := make([]int, len(memBits))
+	for i, m := range memBits {
+		if m%minMem != 0 {
+			return nil, fmt.Errorf("cluster: memory %d not an integer multiple of the smallest budget %d", m, minMem)
+		}
+		widths[i] = base * (m / minMem)
+	}
+	return widths, nil
+}
+
+// SpreadSimConfig configures a flow-spread simulation.
+type SpreadSimConfig struct {
+	// Window is the T-query window model.
+	Window window.Config
+	// MemoryBits is the sketch memory budget per point; ratios must be
+	// integral (the paper uses powers of two).
+	MemoryBits []int
+	// M is the register count per HLL estimator (0 = hll.DefaultM).
+	M int
+	// Seed is the cluster-wide hash seed.
+	Seed uint64
+	// Enhance enables the Section IV-D enhancement.
+	Enhance bool
+	// WithBaseline co-runs the VATE networkwide baseline with the same
+	// per-point memory.
+	WithBaseline bool
+	// TrackTruth records exact ground truth (costs memory proportional to
+	// the window's packet count).
+	TrackTruth bool
+	// VirtualBits is the VATE virtual bitmap length (0 = paper's 2048).
+	VirtualBits int
+}
+
+// SpreadSim is a running flow-spread simulation, generic over the epoch
+// sketch like the core protocol itself. NewSpreadSim builds the paper's
+// rSkt2(HLL) deployment; NewVhllSpreadSim builds the vHLL-backed variant
+// used by the core-sketch ablation.
+type SpreadSim[S core.SpreadSketch[S]] struct {
+	cfg    SpreadSimConfig
+	points []*core.SpreadPoint[S]
+	center *core.SpreadCenter[S]
+	truth  *metrics.Truth
+	base   []*baseline.NetworkwideSpread
+
+	epoch  int64
+	lastTS window.Time
+
+	// OnBoundary, if set, runs right after the exchange at every epoch
+	// boundary; kNext is the epoch that just began. Query methods report
+	// the state at the boundary instant.
+	OnBoundary func(kNext int64) error
+}
+
+// NewSpreadSim builds the paper's rSkt2(HLL)-backed simulation.
+func NewSpreadSim(cfg SpreadSimConfig) (*SpreadSim[*rskt.Sketch], error) {
+	if err := cfg.Window.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.M == 0 {
+		cfg.M = hll.DefaultM
+	}
+	widths, err := WidthsForMemory(cfg.MemoryBits, 2*cfg.M*hll.RegisterBits)
+	if err != nil {
+		return nil, err
+	}
+	params := make(map[int]rskt.Params, len(widths))
+	points := make([]*core.SpreadPoint[*rskt.Sketch], len(widths))
+	for x, w := range widths {
+		pr := rskt.Params{W: w, M: cfg.M, Seed: cfg.Seed}
+		params[x] = pr
+		pt, err := core.NewSpreadPoint(x, pr)
+		if err != nil {
+			return nil, err
+		}
+		points[x] = pt
+	}
+	center, err := core.NewSpreadCenter(cfg.Window.N, params)
+	if err != nil {
+		return nil, err
+	}
+	return newSpreadSim(cfg, points, center)
+}
+
+// NewVhllSpreadSim builds a simulation whose epoch sketch is vHLL
+// (register sharing) instead of rSkt2: same protocol, same memory
+// accounting, different noise-handling strategy.
+func NewVhllSpreadSim(cfg SpreadSimConfig) (*SpreadSim[*vhll.Sketch], error) {
+	if err := cfg.Window.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.M == 0 {
+		cfg.M = vhll.DefaultVirtualRegisters
+	}
+	sizes, err := WidthsForMemory(cfg.MemoryBits, hll.RegisterBits)
+	if err != nil {
+		return nil, err
+	}
+	protos := make(map[int]*vhll.Sketch, len(sizes))
+	points := make([]*core.SpreadPoint[*vhll.Sketch], len(sizes))
+	for x, m := range sizes {
+		params := vhll.Params{PhysicalRegisters: m, VirtualRegisters: cfg.M, Seed: cfg.Seed}
+		proto, err := vhll.New(params)
+		if err != nil {
+			return nil, err
+		}
+		protos[x] = proto
+		pt, err := core.NewSpreadPointOf(x, func() *vhll.Sketch {
+			s, err := vhll.New(params)
+			if err != nil {
+				panic(err) // params validated above
+			}
+			return s
+		})
+		if err != nil {
+			return nil, err
+		}
+		points[x] = pt
+	}
+	center, err := core.NewSpreadCenterOf(cfg.Window.N, protos)
+	if err != nil {
+		return nil, err
+	}
+	return newSpreadSim(cfg, points, center)
+}
+
+// newSpreadSim wires the sketch-independent parts (truth, baseline).
+func newSpreadSim[S core.SpreadSketch[S]](cfg SpreadSimConfig, points []*core.SpreadPoint[S], center *core.SpreadCenter[S]) (*SpreadSim[S], error) {
+	if cfg.VirtualBits == 0 {
+		cfg.VirtualBits = vate.DefaultVirtualBits
+	}
+	p := len(points)
+	sim := &SpreadSim[S]{cfg: cfg, points: points, center: center, epoch: 1}
+	if cfg.TrackTruth {
+		tr, err := metrics.NewTruth(cfg.Window.N, p, false, true)
+		if err != nil {
+			return nil, err
+		}
+		sim.truth = tr
+	}
+	if cfg.WithBaseline {
+		locals := make([]*vate.Sketch, p)
+		for x := range locals {
+			locals[x] = vate.New(vate.Params{
+				VirtualBits:   cfg.VirtualBits,
+				PhysicalCells: vate.CellsForMemory(cfg.MemoryBits[x], cfg.Window.N),
+				WindowN:       cfg.Window.N,
+				Seed:          cfg.Seed,
+			})
+		}
+		sim.base = make([]*baseline.NetworkwideSpread, p)
+		for x := range locals {
+			nw := &baseline.NetworkwideSpread{Local: locals[x]}
+			for y, peer := range locals {
+				if y != x {
+					nw.Peers = append(nw.Peers, baseline.LocalSpreadPeer{Sketch: peer})
+				}
+			}
+			sim.base[x] = nw
+		}
+	}
+	return sim, nil
+}
+
+// Epoch returns the current epoch.
+func (s *SpreadSim[S]) Epoch() int64 { return s.epoch }
+
+// Points exposes the protocol points.
+func (s *SpreadSim[S]) Points() []*core.SpreadPoint[S] { return s.points }
+
+// advanceTo rolls the cluster forward to the packet's epoch, running the
+// boundary choreography for every crossed boundary.
+func (s *SpreadSim[S]) advanceTo(epoch int64) error {
+	for s.epoch < epoch {
+		k := s.epoch
+		for x, pt := range s.points {
+			if err := s.center.Receive(x, k, pt.EndEpoch()); err != nil {
+				return err
+			}
+		}
+		if s.base != nil {
+			for _, b := range s.base {
+				b.Advance()
+			}
+		}
+		for x, pt := range s.points {
+			agg, err := s.center.AggregateFor(x, k+1)
+			if err != nil {
+				return err
+			}
+			if err := pt.ApplyAggregate(agg); err != nil {
+				return err
+			}
+			if s.cfg.Enhance {
+				enh, err := s.center.EnhancementFor(x, k+1)
+				if err != nil {
+					return err
+				}
+				if err := pt.ApplyEnhancement(enh); err != nil {
+					return err
+				}
+			}
+		}
+		s.epoch = k + 1
+		if s.OnBoundary != nil {
+			if err := s.OnBoundary(s.epoch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Feed processes one trace packet. Packets must arrive in timestamp order.
+func (s *SpreadSim[S]) Feed(p trace.Packet) error {
+	if p.TS < s.lastTS {
+		return fmt.Errorf("cluster: packet timestamps not monotone (%d after %d)", p.TS, s.lastTS)
+	}
+	s.lastTS = p.TS
+	if p.Point < 0 || p.Point >= len(s.points) {
+		return fmt.Errorf("cluster: packet for unknown point %d", p.Point)
+	}
+	if err := s.advanceTo(s.cfg.Window.EpochOf(p.TS)); err != nil {
+		return err
+	}
+	s.points[p.Point].Record(p.Flow, p.Elem)
+	if s.truth != nil {
+		s.truth.Record(s.epoch, p.Point, p.Flow, p.Elem)
+	}
+	if s.base != nil {
+		s.base[p.Point].Record(p.Flow, p.Elem)
+	}
+	return nil
+}
+
+// Run replays a whole packet stream through the simulation.
+func (s *SpreadSim[S]) Run(stream trace.Iterator) error {
+	for {
+		p, ok := stream.Next()
+		if !ok {
+			return nil
+		}
+		if err := s.Feed(p); err != nil {
+			return err
+		}
+	}
+}
+
+// QueryProtocol answers the T-query for flow f at point x from the
+// protocol's local C sketch.
+func (s *SpreadSim[S]) QueryProtocol(x int, f uint64) float64 {
+	return s.points[x].Query(f)
+}
+
+// QueryBaseline answers the T-query for flow f at point x from the VATE
+// networkwide baseline. The simulation's local peers never fail.
+func (s *SpreadSim[S]) QueryBaseline(x int, f uint64) (float64, error) {
+	if s.base == nil {
+		return 0, fmt.Errorf("cluster: baseline not enabled")
+	}
+	return s.base[x].Query(f)
+}
+
+// TruthAt returns the exact spreads of the approximate networkwide
+// T-stream for a boundary query at the start of epoch kNext at point x.
+func (s *SpreadSim[S]) TruthAt(x int, kNext int64) (map[uint64]int64, error) {
+	if s.truth == nil {
+		return nil, fmt.Errorf("cluster: truth tracking not enabled")
+	}
+	return s.truth.SpreadTruth(x, kNext), nil
+}
+
+// TruthExactAt returns the exact spreads of the exact networkwide T-query
+// (all points, all completed window epochs) at the boundary of epoch
+// kNext.
+func (s *SpreadSim[S]) TruthExactAt(kNext int64) (map[uint64]int64, error) {
+	if s.truth == nil {
+		return nil, fmt.Errorf("cluster: truth tracking not enabled")
+	}
+	return s.truth.SpreadTruthExact(kNext), nil
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+func TestVhllSpreadSimEndToEnd(t *testing.T) {
+	win := window.Config{T: 10 * time.Second, N: 5}
+	sim, err := NewVhllSpreadSim(SpreadSimConfig{
+		Window:     win,
+		MemoryBits: []int{1 << 20, 1 << 20, 1 << 20},
+		Seed:       7,
+		TrackTruth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []metrics.Sample
+	sim.OnBoundary = func(kNext int64) error {
+		if !win.Warm(kNext) || kNext%5 != 0 {
+			return nil
+		}
+		truth, err := sim.TruthAt(0, kNext)
+		if err != nil {
+			return err
+		}
+		for f, want := range truth {
+			if want < 20 {
+				continue
+			}
+			samples = append(samples, metrics.Sample{Truth: float64(want), Est: sim.QueryProtocol(0, f)})
+		}
+		return nil
+	}
+	gen, err := trace.NewGenerator(trace.Config{
+		Packets: 120_000, Flows: 600, Points: 3, Duration: time.Minute,
+		ZipfS: 1.25, SpreadCap: 2_000, SpreadSkew: 0.9, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(gen); err != nil {
+		t.Fatal(err)
+	}
+	s := metrics.Summarize(samples)
+	if s.Count == 0 {
+		t.Fatal("no samples collected")
+	}
+	if math.Abs(s.MeanRelBias) > 0.5 {
+		t.Fatalf("vHLL protocol bias %.3f too large", s.MeanRelBias)
+	}
+}
+
+func TestVhllSpreadSimDiversity(t *testing.T) {
+	win := window.Config{T: 10 * time.Second, N: 5}
+	sim, err := NewVhllSpreadSim(SpreadSimConfig{
+		Window:     win,
+		MemoryBits: []int{1 << 19, 1 << 20, 1 << 21},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive a few epochs of traffic; diversity join must not error.
+	ts := int64(0)
+	for k := 0; k < 8; k++ {
+		for i := 0; i < 500; i++ {
+			if err := sim.Feed(trace.Packet{TS: ts, Point: i % 3, Flow: uint64(i % 20), Elem: uint64(k*500 + i)}); err != nil {
+				t.Fatal(err)
+			}
+			ts += int64(2*time.Second) / 500
+		}
+	}
+	if got := sim.QueryProtocol(0, 5); got < 0 {
+		t.Fatalf("negative clamp broken: %.2f", got)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/countmin"
+	"repro/internal/rskt"
+)
+
+// The live deployment records packets, answers queries, rolls epochs and
+// applies center pushes from different goroutines. These tests exist to
+// fail under `go test -race` if the point types ever lose their locking.
+
+func TestSpreadPointConcurrentAccess(t *testing.T) {
+	pt, err := NewSpreadPoint(0, rskt.Params{W: 64, M: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := rskt.New(rskt.Params{W: 64, M: 32, Seed: 1})
+	for e := 0; e < 100; e++ {
+		agg.Record(5, uint64(e))
+	}
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			pt.Record(uint64(i%50), uint64(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			_ = pt.Query(uint64(i % 50))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = pt.EndEpoch()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			// Target a bogus epoch about half the time; stale pushes must
+			// be rejected, not merged.
+			err := pt.ApplyAggregateAt(int64(i%100), agg)
+			if err != nil && !errors.Is(err, ErrStaleEpoch) {
+				t.Errorf("unexpected apply error: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestSizePointConcurrentAccess(t *testing.T) {
+	pt, err := NewSizePoint(0, countmin.Params{D: 4, W: 128, Seed: 1}, SizeModeCumulative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := countmin.New(countmin.Params{D: 4, W: 128, Seed: 1})
+	agg.Add(3, 10)
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			pt.Record(uint64(i % 100))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			_ = pt.Query(uint64(i % 100))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = pt.EndEpoch()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			err := pt.ApplyEnhancementAt(int64(i%100), agg)
+			if err != nil && !errors.Is(err, ErrStaleEpoch) {
+				t.Errorf("unexpected apply error: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestCentersConcurrentAccess(t *testing.T) {
+	spreadParams := map[int]rskt.Params{0: {W: 16, M: 16, Seed: 1}, 1: {W: 16, M: 16, Seed: 1}}
+	sc, err := NewSpreadCenter(5, spreadParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for x := 0; x < 2; x++ {
+		x := x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := int64(1); k <= 30; k++ {
+				b := rskt.New(spreadParams[x])
+				b.Record(uint64(k), uint64(x))
+				if err := sc.Receive(x, k, b); err != nil {
+					t.Errorf("receive: %v", err)
+					return
+				}
+				if _, err := sc.AggregateFor(x, k+1); err != nil {
+					t.Errorf("aggregate: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,36 @@
+// Package core implements the paper's contribution: the protocol that lets
+// any measurement point answer approximate real-time networkwide T-queries
+// from local memory.
+//
+// Two designs are provided:
+//
+//   - the three-sketch design for flow spread (Section IV), built on
+//     rSkt2(HLL): sketches B (current epoch, uploaded), C (query target) and
+//     C' (staging for the next epoch);
+//   - the two-sketch design for flow size (Section V), built on CountMin:
+//     sketches C and C' only; the center recovers per-epoch data from the
+//     cumulative uploads by counter-wise subtraction.
+//
+// The measurement center performs the spatial-temporal (ST) join: per-point
+// temporal join over the window's completed epochs (register-wise max for
+// spread, counter-wise addition for size) followed by the spatial join
+// across points. Under device diversity the spatial join is the
+// expand-and-compress nonuniform join of Sections IV-C and V-C, and the
+// aggregate returned to each point is customized to that point's width.
+//
+// The intended epoch choreography (driven by internal/cluster or by the
+// live transport) is, at the end of epoch k at every point:
+//
+//  1. point: upload := EndEpoch()   (B for spread, cumulative C for size;
+//     this also performs C <- C', resets C' and B)
+//  2. center: Receive(point, k, upload) for every point
+//  3. center: agg := AggregateFor(point, k+1) during epoch k+1
+//  4. point: ApplyAggregate(agg)    (merged into C')
+//
+// and optionally (Section IV-D enhancement):
+//
+//  5. center: enh := EnhancementFor(point, k+1)
+//  6. point: ApplyEnhancement(enh)  (merged straight into C)
+//
+// Queries at any time read only the local C sketch.
+package core

@@ -1,0 +1,12 @@
+package core
+
+import "errors"
+
+// ErrStaleEpoch reports that a center push arrived after its target epoch
+// had already ended at the point. The protocol's correctness rests on the
+// paper's timing assumption (ST join plus round trip complete within one
+// epoch); a stale push must be dropped rather than merged into the wrong
+// window. For the flow-size design in cumulative mode a dropped push also
+// desynchronizes the center's recovery, so deployments should treat it as
+// an operational alarm.
+var ErrStaleEpoch = errors.New("core: center push missed its epoch")

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/countmin"
+)
+
+// SizeMode selects how a size measurement point uploads its per-epoch data.
+type SizeMode int
+
+const (
+	// SizeModeCumulative is the paper's two-sketch design: the point
+	// uploads its cumulative C sketch and the center recovers each epoch's
+	// delta by subtraction (Section V-B). Two sketches of memory.
+	SizeModeCumulative SizeMode = iota + 1
+	// SizeModeDelta is the ablation variant: the point keeps a third B
+	// sketch like the spread design and uploads the per-epoch delta
+	// directly. Same information at the center, three sketches of memory.
+	SizeModeDelta
+)
+
+// SizePoint is one measurement point running the flow-size design. Safe
+// for concurrent use.
+type SizePoint struct {
+	mu sync.Mutex
+
+	id     int
+	params countmin.Params
+	mode   SizeMode
+	epoch  int64
+
+	b  *countmin.Sketch // only allocated in SizeModeDelta
+	c  *countmin.Sketch // query target; also the upload in cumulative mode
+	cp *countmin.Sketch // C': staging for the next epoch
+}
+
+// NewSizePoint creates a measurement point. Points of one cluster must
+// share D and Seed; W may differ (device diversity).
+func NewSizePoint(id int, p countmin.Params, mode SizeMode) (*SizePoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if mode != SizeModeCumulative && mode != SizeModeDelta {
+		return nil, fmt.Errorf("core: invalid size mode %d", mode)
+	}
+	sp := &SizePoint{
+		id:     id,
+		params: p,
+		mode:   mode,
+		epoch:  1,
+		c:      countmin.New(p),
+		cp:     countmin.New(p),
+	}
+	if mode == SizeModeDelta {
+		sp.b = countmin.New(p)
+	}
+	return sp, nil
+}
+
+// ID returns the point's identifier.
+func (p *SizePoint) ID() int { return p.id }
+
+// Params returns the point's sketch parameters.
+func (p *SizePoint) Params() countmin.Params { return p.params }
+
+// Mode returns the upload mode.
+func (p *SizePoint) Mode() SizeMode { return p.mode }
+
+// Epoch returns the current (1-based) epoch index.
+func (p *SizePoint) Epoch() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Record inserts one packet of flow f.
+func (p *SizePoint) Record(f uint64) {
+	p.mu.Lock()
+	p.c.Record(f)
+	p.cp.Record(f)
+	if p.b != nil {
+		p.b.Record(f)
+	}
+	p.mu.Unlock()
+}
+
+// Query answers the approximate real-time networkwide T-query for flow f
+// from the local C sketch only.
+func (p *SizePoint) Query(f uint64) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.c.Estimate(f)
+}
+
+// EndEpoch performs the epoch-boundary actions and returns the upload for
+// the epoch that just ended: a snapshot of the cumulative C in cumulative
+// mode, or the per-epoch B in delta mode. The returned sketch is owned by
+// the caller.
+func (p *SizePoint) EndEpoch() *countmin.Sketch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var upload *countmin.Sketch
+	if p.mode == SizeModeCumulative {
+		// The snapshot must be taken before C is overwritten by C'.
+		upload = p.c.Clone()
+	} else {
+		upload = p.b
+		p.b = countmin.New(p.params)
+	}
+	p.c, p.cp = p.cp, p.c
+	p.cp.Reset()
+	p.epoch++
+	return upload
+}
+
+// ApplyAggregate adds the center's ST-join result into C'.
+func (p *SizePoint) ApplyAggregate(agg *countmin.Sketch) error {
+	if agg == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.cp.AddSketch(agg); err != nil {
+		return fmt.Errorf("size point %d: apply aggregate: %w", p.id, err)
+	}
+	return nil
+}
+
+// ApplyEnhancement adds the peers' last-completed-epoch sum directly into C
+// (Section IV-D applied to size). In cumulative mode the center compensates
+// for this at recovery time.
+func (p *SizePoint) ApplyEnhancement(enh *countmin.Sketch) error {
+	if enh == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.c.AddSketch(enh); err != nil {
+		return fmt.Errorf("size point %d: apply enhancement: %w", p.id, err)
+	}
+	return nil
+}
+
+// ApplyAggregateAt is ApplyAggregate guarded by an epoch check under the
+// point's lock; returns ErrStaleEpoch if the point has moved past epoch k.
+func (p *SizePoint) ApplyAggregateAt(k int64, agg *countmin.Sketch) error {
+	if agg == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epoch != k {
+		return ErrStaleEpoch
+	}
+	if err := p.cp.AddSketch(agg); err != nil {
+		return fmt.Errorf("size point %d: apply aggregate: %w", p.id, err)
+	}
+	return nil
+}
+
+// ApplyEnhancementAt is ApplyEnhancement guarded by an epoch check under
+// the point's lock.
+func (p *SizePoint) ApplyEnhancementAt(k int64, enh *countmin.Sketch) error {
+	if enh == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epoch != k {
+		return ErrStaleEpoch
+	}
+	if err := p.c.AddSketch(enh); err != nil {
+		return fmt.Errorf("size point %d: apply enhancement: %w", p.id, err)
+	}
+	return nil
+}
+
+// SizeCenter is the measurement center for the flow-size design. In
+// cumulative mode it recovers per-epoch deltas from the cumulative uploads;
+// in delta mode uploads already are deltas.
+type SizeCenter struct {
+	mu sync.Mutex
+
+	windowN int
+	mode    SizeMode
+	params  map[int]countmin.Params
+	wMax    int
+
+	// deltas[point][epoch] is the recovered single-epoch measurement.
+	deltas map[int]map[int64]*countmin.Sketch
+	// sentAgg[point][epoch] is the aggregate pushed to point during that
+	// epoch, exactly as sent (customized width); needed to invert the
+	// cumulative upload.
+	sentAgg map[int]map[int64]*countmin.Sketch
+	// sentEnh[point][epoch] is the enhancement pushed during that epoch.
+	sentEnh map[int]map[int64]*countmin.Sketch
+	// lastEpoch[point] is the last upload epoch, to enforce sequencing.
+	lastEpoch map[int]int64
+}
+
+// NewSizeCenter creates a center for a cluster whose points use the given
+// CountMin parameters (keyed by point id). All parameters must share D and
+// Seed; the maximum width must be a multiple of every width.
+func NewSizeCenter(windowN int, points map[int]countmin.Params, mode SizeMode) (*SizeCenter, error) {
+	if windowN < 3 {
+		return nil, fmt.Errorf("core: window n must be >= 3, got %d", windowN)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("core: no measurement points")
+	}
+	if mode != SizeModeCumulative && mode != SizeModeDelta {
+		return nil, fmt.Errorf("core: invalid size mode %d", mode)
+	}
+	wMax := 0
+	var ref countmin.Params
+	for _, p := range points {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.W > wMax {
+			wMax = p.W
+			ref = p
+		}
+	}
+	for id, p := range points {
+		if p.D != ref.D || p.Seed != ref.Seed {
+			return nil, fmt.Errorf("core: point %d does not share D/Seed with the cluster", id)
+		}
+		if wMax%p.W != 0 {
+			return nil, fmt.Errorf("core: width %d of point %d does not divide max width %d", p.W, id, wMax)
+		}
+	}
+	c := &SizeCenter{
+		windowN:   windowN,
+		mode:      mode,
+		params:    make(map[int]countmin.Params, len(points)),
+		wMax:      wMax,
+		deltas:    make(map[int]map[int64]*countmin.Sketch, len(points)),
+		sentAgg:   make(map[int]map[int64]*countmin.Sketch, len(points)),
+		sentEnh:   make(map[int]map[int64]*countmin.Sketch, len(points)),
+		lastEpoch: make(map[int]int64, len(points)),
+	}
+	for id, p := range points {
+		c.params[id] = p
+		c.deltas[id] = make(map[int64]*countmin.Sketch)
+		c.sentAgg[id] = make(map[int64]*countmin.Sketch)
+		c.sentEnh[id] = make(map[int64]*countmin.Sketch)
+	}
+	return c, nil
+}
+
+// Receive ingests point's upload for the given epoch and recovers that
+// epoch's measurement. Uploads must arrive in epoch order per point.
+func (c *SizeCenter) Receive(point int, epoch int64, upload *countmin.Sketch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	params, ok := c.params[point]
+	if !ok {
+		return fmt.Errorf("core: unknown size point %d", point)
+	}
+	if upload.Params() != params {
+		return fmt.Errorf("core: upload from point %d has parameters %+v, want %+v",
+			point, upload.Params(), params)
+	}
+	if last := c.lastEpoch[point]; epoch != last+1 {
+		return fmt.Errorf("core: point %d uploaded epoch %d, want %d", point, epoch, last+1)
+	}
+
+	delta := upload.Clone()
+	if c.mode == SizeModeCumulative {
+		// Invert the cumulative upload (Section V-B):
+		//   C_{x,k} = agg sent during k-1 + enh sent during k
+		//           + delta_{x,k-1} + delta_{x,k}.
+		if prev, ok := c.deltas[point][epoch-1]; ok {
+			if err := delta.SubSketch(prev); err != nil {
+				return fmt.Errorf("core: recover point %d epoch %d: %w", point, epoch, err)
+			}
+		}
+		if agg, ok := c.sentAgg[point][epoch-1]; ok {
+			if err := delta.SubSketch(agg); err != nil {
+				return fmt.Errorf("core: recover point %d epoch %d: %w", point, epoch, err)
+			}
+		}
+		if enh, ok := c.sentEnh[point][epoch]; ok {
+			if err := delta.SubSketch(enh); err != nil {
+				return fmt.Errorf("core: recover point %d epoch %d: %w", point, epoch, err)
+			}
+		}
+	}
+	c.deltas[point][epoch] = delta
+	c.lastEpoch[point] = epoch
+	c.trimLocked(epoch)
+	return nil
+}
+
+// Delta returns the recovered measurement of one epoch at one point (a
+// clone), or nil if unknown. Exposed for tests and diagnostics.
+func (c *SizeCenter) Delta(point int, epoch int64) *countmin.Sketch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.deltas[point][epoch]
+	if !ok {
+		return nil
+	}
+	return d.Clone()
+}
+
+func (c *SizeCenter) trimLocked(latest int64) {
+	floor := latest - int64(c.windowN) - 1
+	for _, per := range c.deltas {
+		for e := range per {
+			if e < floor {
+				delete(per, e)
+			}
+		}
+	}
+	for _, per := range c.sentAgg {
+		for e := range per {
+			if e < floor {
+				delete(per, e)
+			}
+		}
+	}
+	for _, per := range c.sentEnh {
+		for e := range per {
+			if e < floor {
+				delete(per, e)
+			}
+		}
+	}
+}
+
+// temporalJoinLocked sums point's deltas over epochs [first, last].
+func (c *SizeCenter) temporalJoinLocked(point int, first, last int64) (*countmin.Sketch, error) {
+	var acc *countmin.Sketch
+	for e := first; e <= last; e++ {
+		d, ok := c.deltas[point][e]
+		if !ok {
+			continue
+		}
+		if acc == nil {
+			acc = d.Clone()
+			continue
+		}
+		if err := acc.AddSketch(d); err != nil {
+			return nil, fmt.Errorf("core: temporal join point %d epoch %d: %w", point, e, err)
+		}
+	}
+	return acc, nil
+}
+
+// spatialJoinLocked expands each part to the maximum width and sums.
+func (c *SizeCenter) spatialJoinLocked(parts map[int]*countmin.Sketch) (*countmin.Sketch, error) {
+	var acc *countmin.Sketch
+	for point, s := range parts {
+		if s == nil {
+			continue
+		}
+		e, err := s.ExpandTo(c.wMax)
+		if err != nil {
+			return nil, fmt.Errorf("core: expand point %d: %w", point, err)
+		}
+		if acc == nil {
+			acc = e
+			continue
+		}
+		if err := acc.AddSketch(e); err != nil {
+			return nil, fmt.Errorf("core: spatial join point %d: %w", point, err)
+		}
+	}
+	return acc, nil
+}
+
+// AggregateFor computes, during epoch k, the networkwide sum of epochs
+// k-n+2 .. k-1, compressed to the requesting point's width, and records it
+// as sent (required for recovery in cumulative mode). Idempotent per
+// (point, k): repeated calls return the recorded aggregate.
+func (c *SizeCenter) AggregateFor(point int, k int64) (*countmin.Sketch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	params, ok := c.params[point]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown size point %d", point)
+	}
+	if sent, ok := c.sentAgg[point][k]; ok {
+		return sent.Clone(), nil
+	}
+	first, last := k-int64(c.windowN)+2, k-1
+	parts := make(map[int]*countmin.Sketch, len(c.deltas))
+	for id := range c.deltas {
+		tj, err := c.temporalJoinLocked(id, first, last)
+		if err != nil {
+			return nil, err
+		}
+		parts[id] = tj
+	}
+	joined, err := c.spatialJoinLocked(parts)
+	if err != nil || joined == nil {
+		return nil, err
+	}
+	out, err := joined.CompressTo(params.W)
+	if err != nil {
+		return nil, err
+	}
+	c.sentAgg[point][k] = out.Clone()
+	return out, nil
+}
+
+// EnhancementFor computes, during epoch k, the sum over peers of epoch k-1,
+// compressed to the requesting point's width, and records it as sent.
+// Idempotent per (point, k).
+func (c *SizeCenter) EnhancementFor(point int, k int64) (*countmin.Sketch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	params, ok := c.params[point]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown size point %d", point)
+	}
+	if sent, ok := c.sentEnh[point][k]; ok {
+		return sent.Clone(), nil
+	}
+	parts := make(map[int]*countmin.Sketch, len(c.deltas))
+	for id, per := range c.deltas {
+		if id == point {
+			continue
+		}
+		if d, ok := per[k-1]; ok {
+			parts[id] = d
+		}
+	}
+	joined, err := c.spatialJoinLocked(parts)
+	if err != nil || joined == nil {
+		return nil, err
+	}
+	out, err := joined.CompressTo(params.W)
+	if err != nil {
+		return nil, err
+	}
+	c.sentEnh[point][k] = out.Clone()
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/countmin"
+)
+
+// Snapshot returns the point's epoch and deep copies of its three sketches
+// (B, C, C'), taken atomically. Together with RestoreSnapshot it lets an
+// agent persist its state across restarts without losing the window.
+func (p *SpreadPoint[S]) Snapshot() (epoch int64, b, c, cp S) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch, p.b.Clone(), p.c.Clone(), p.cp.Clone()
+}
+
+// RestoreSnapshot overwrites the point's state with a snapshot. The
+// sketches must match the point's configured shape.
+func (p *SpreadPoint[S]) RestoreSnapshot(epoch int64, b, c, cp S) error {
+	if epoch < 1 {
+		return fmt.Errorf("core: invalid snapshot epoch %d", epoch)
+	}
+	if isNilSketch(b) || isNilSketch(c) || isNilSketch(cp) {
+		return fmt.Errorf("core: nil sketch in snapshot")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.b.CopyFrom(b); err != nil {
+		return fmt.Errorf("core: restore B: %w", err)
+	}
+	if err := p.c.CopyFrom(c); err != nil {
+		return fmt.Errorf("core: restore C: %w", err)
+	}
+	if err := p.cp.CopyFrom(cp); err != nil {
+		return fmt.Errorf("core: restore C': %w", err)
+	}
+	p.epoch = epoch
+	return nil
+}
+
+// Snapshot returns the size point's epoch and deep copies of its sketches.
+// In cumulative mode the B sketch is nil.
+func (p *SizePoint) Snapshot() (epoch int64, b, c, cp *countmin.Sketch) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var bClone *countmin.Sketch
+	if p.b != nil {
+		bClone = p.b.Clone()
+	}
+	return p.epoch, bClone, p.c.Clone(), p.cp.Clone()
+}
+
+// RestoreSnapshot overwrites the size point's state with a snapshot. b
+// must be nil exactly when the point runs in cumulative mode.
+func (p *SizePoint) RestoreSnapshot(epoch int64, b, c, cp *countmin.Sketch) error {
+	if epoch < 1 {
+		return fmt.Errorf("core: invalid snapshot epoch %d", epoch)
+	}
+	if c == nil || cp == nil {
+		return fmt.Errorf("core: nil sketch in snapshot")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if (p.b == nil) != (b == nil) {
+		return fmt.Errorf("core: snapshot upload mode does not match the point's")
+	}
+	if b != nil {
+		if err := p.b.CopyFrom(b); err != nil {
+			return fmt.Errorf("core: restore B: %w", err)
+		}
+	}
+	if err := p.c.CopyFrom(c); err != nil {
+		return fmt.Errorf("core: restore C: %w", err)
+	}
+	if err := p.cp.CopyFrom(cp); err != nil {
+		return fmt.Errorf("core: restore C': %w", err)
+	}
+	p.epoch = epoch
+	return nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"repro/internal/rskt"
+)
+
+// SpreadSketch is the contract the three-sketch design needs from its
+// per-flow spread sketch. rSkt2 (with any of its estimators) satisfies it,
+// and so does any union-mergeable sketch whose columns can be expanded and
+// compressed with power-of-two width ratios (e.g. internal/vhll). The
+// paper builds on rSkt2(HLL) and notes the design "can be easily modified
+// to work with other sketches" (Section IV-B); this interface is that
+// modification point.
+type SpreadSketch[S any] interface {
+	// Record inserts packet <f, e>.
+	Record(f, e uint64)
+	// Estimate answers a flow-spread query.
+	Estimate(f uint64) float64
+	// MergeMax folds another sketch in with union semantics.
+	MergeMax(S) error
+	// CopyFrom overwrites this sketch's state with another's.
+	CopyFrom(S) error
+	// Reset zeroes the sketch.
+	Reset()
+	// Clone returns a deep copy.
+	Clone() S
+	// ExpandTo/CompressTo implement the expand-and-compress nonuniform
+	// join (Sections IV-C); widths must have integral ratios.
+	ExpandTo(w int) (S, error)
+	CompressTo(w int) (S, error)
+	// Width is the sketch's column count (the paper's w).
+	Width() int
+	// Compatible reports whether two sketches may be joined after width
+	// alignment (same estimator shape and hash seed).
+	Compatible(S) bool
+}
+
+// SpreadPoint is one measurement point running the three-sketch design
+// for flow spread, generic over the epoch sketch. It is safe for
+// concurrent use: the live transport records packets while aggregates
+// arrive from the center.
+type SpreadPoint[S SpreadSketch[S]] struct {
+	mu sync.Mutex
+
+	id    int
+	fresh func() S
+	epoch int64 // current epoch k (1-based)
+
+	b  S // current-epoch measurement, uploaded at epoch end
+	c  S // query target (holds the approximate T-stream)
+	cp S // C': staging for the next epoch
+}
+
+// NewSpreadPointOf creates a measurement point whose sketches are built by
+// fresh (called three times up front and once per epoch for the new B).
+func NewSpreadPointOf[S SpreadSketch[S]](id int, fresh func() S) (*SpreadPoint[S], error) {
+	if fresh == nil {
+		return nil, fmt.Errorf("core: nil sketch constructor for point %d", id)
+	}
+	return &SpreadPoint[S]{
+		id:    id,
+		fresh: fresh,
+		epoch: 1,
+		b:     fresh(),
+		c:     fresh(),
+		cp:    fresh(),
+	}, nil
+}
+
+// NewSpreadPoint creates the paper's rSkt2(HLL)-backed measurement point.
+// Points of one cluster must share M and Seed; W may differ (device
+// diversity).
+func NewSpreadPoint(id int, p rskt.Params) (*SpreadPoint[*rskt.Sketch], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return NewSpreadPointOf(id, func() *rskt.Sketch { return rskt.New(p) })
+}
+
+// ID returns the point's identifier.
+func (p *SpreadPoint[S]) ID() int { return p.id }
+
+// Params returns the point's sketch parameters (rSkt2-backed points only;
+// generic callers use Sketch().Width()/Compatible()).
+func (p *SpreadPoint[S]) Params() rskt.Params {
+	if sk, ok := any(p.c).(*rskt.Sketch); ok {
+		return sk.Params()
+	}
+	return rskt.Params{}
+}
+
+// Epoch returns the current (1-based) epoch index.
+func (p *SpreadPoint[S]) Epoch() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Record inserts packet <f, e> into all three sketches (stage 1, local
+// online recording).
+func (p *SpreadPoint[S]) Record(f, e uint64) {
+	p.mu.Lock()
+	p.b.Record(f, e)
+	p.c.Record(f, e)
+	p.cp.Record(f, e)
+	p.mu.Unlock()
+}
+
+// Query answers the approximate real-time networkwide T-query for flow f
+// from the local C sketch only. Slightly negative estimates (subtraction
+// noise) are possible; callers needing counts should clamp at zero.
+func (p *SpreadPoint[S]) Query(f uint64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.c.Estimate(f)
+}
+
+// EndEpoch performs the epoch-boundary actions (stage 2, local periodical
+// measurement update): it returns the B sketch of the epoch that just
+// ended (for upload to the center), copies C' into C, and resets both B
+// and C' for the new epoch. The returned sketch is owned by the caller.
+func (p *SpreadPoint[S]) EndEpoch() S {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	upload := p.b
+	p.b = p.fresh()
+	// "Copy C' to C, reset C'" implemented as swap-then-reset to avoid
+	// the copy: C takes C''s content, the old C becomes the zeroed C'.
+	p.c, p.cp = p.cp, p.c
+	p.cp.Reset()
+	p.epoch++
+	return upload
+}
+
+// ApplyAggregate merges the center's ST-join result (the networkwide union
+// of the window's completed epochs, customized to this point's width) into
+// C' (Task 3). A zero-valued aggregate pointer is a no-op.
+func (p *SpreadPoint[S]) ApplyAggregate(agg S) error {
+	if isNilSketch(agg) {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.cp.MergeMax(agg); err != nil {
+		return fmt.Errorf("spread point %d: apply aggregate: %w", p.id, err)
+	}
+	return nil
+}
+
+// ApplyEnhancement merges the peers' last-completed-epoch union directly
+// into C (the Section IV-D enhancement), tightening the current epoch's
+// answers toward the exact networkwide T-query.
+func (p *SpreadPoint[S]) ApplyEnhancement(enh S) error {
+	if isNilSketch(enh) {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.c.MergeMax(enh); err != nil {
+		return fmt.Errorf("spread point %d: apply enhancement: %w", p.id, err)
+	}
+	return nil
+}
+
+// ApplyAggregateAt is ApplyAggregate guarded by an epoch check performed
+// under the point's lock: the merge happens only if the point is still in
+// epoch k. Returns ErrStaleEpoch otherwise (the push missed the round-trip
+// bound and must be dropped, not merged into the wrong window).
+func (p *SpreadPoint[S]) ApplyAggregateAt(k int64, agg S) error {
+	if isNilSketch(agg) {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epoch != k {
+		return ErrStaleEpoch
+	}
+	if err := p.cp.MergeMax(agg); err != nil {
+		return fmt.Errorf("spread point %d: apply aggregate: %w", p.id, err)
+	}
+	return nil
+}
+
+// ApplyEnhancementAt is ApplyEnhancement guarded by an epoch check under
+// the point's lock.
+func (p *SpreadPoint[S]) ApplyEnhancementAt(k int64, enh S) error {
+	if isNilSketch(enh) {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epoch != k {
+		return ErrStaleEpoch
+	}
+	if err := p.c.MergeMax(enh); err != nil {
+		return fmt.Errorf("spread point %d: apply enhancement: %w", p.id, err)
+	}
+	return nil
+}
+
+// isNilSketch reports whether a sketch value is absent: sketch
+// implementations are pointer types, and a nil pointer is the "no
+// aggregate yet" signal during cluster start-up. Not on the hot path (at
+// most a few calls per epoch).
+func isNilSketch(s any) bool {
+	if s == nil {
+		return true
+	}
+	v := reflect.ValueOf(s)
+	return v.Kind() == reflect.Pointer && v.IsNil()
+}

@@ -1,0 +1,251 @@
+// Package countmin implements the CountMin sketch (Cormode &
+// Muthukrishnan), the per-flow size sketch the paper's two-sketch design
+// builds on.
+//
+// The structure is d rows of w counters. A packet of flow f increments one
+// counter per row (chosen by d independent hash functions); a query returns
+// the minimum of f's d counters, an estimate with one-sided (positive)
+// error.
+//
+// Beyond the classical operations, this implementation provides the
+// counter-wise algebra the paper's measurement center needs: addition
+// (the U operator for size, eq. (12)), subtraction (epoch recovery from
+// cumulative uploads, Section V-B), and the expand/compress column
+// operations of the nonuniform spatial join (Section V-C).
+package countmin
+
+import (
+	"fmt"
+
+	"repro/internal/xhash"
+)
+
+// CounterBits is the width the paper's memory accounting assumes for one
+// counter.
+const CounterBits = 32
+
+// DefaultDepth is the default number of rows. The paper does not pin d for
+// its own design; 4 is the common CountMin choice.
+const DefaultDepth = 4
+
+// Params configures a CountMin sketch.
+type Params struct {
+	// D is the number of rows.
+	D int
+	// W is the number of counters per row. Under device diversity, W
+	// differs between points with power-of-two ratios.
+	W int
+	// Seed is the cluster-wide hash seed. All sketches that are joined by
+	// the center must share it.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.D <= 0 {
+		return fmt.Errorf("countmin: D must be positive, got %d", p.D)
+	}
+	if p.W <= 0 {
+		return fmt.Errorf("countmin: W must be positive, got %d", p.W)
+	}
+	return nil
+}
+
+// WidthForMemory returns the number of counters per row that fit in memBits
+// bits with d rows of CounterBits-bit counters.
+func WidthForMemory(memBits, d int) int {
+	w := memBits / (d * CounterBits)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Sketch is a CountMin instance. Not safe for concurrent use.
+type Sketch struct {
+	params Params
+	// rows[i] has W counters. Signed counters: the center's recovery
+	// subtracts sketches, and estimator noise makes tiny negative
+	// intermediate values possible in adversarial use; clamping happens at
+	// query time.
+	rows [][]int64
+}
+
+// New creates a zeroed sketch. Panics only on programmer error; use
+// Params.Validate for user input.
+func New(p Params) *Sketch {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rows := make([][]int64, p.D)
+	for i := range rows {
+		rows[i] = make([]int64, p.W)
+	}
+	return &Sketch{params: p, rows: rows}
+}
+
+// Params returns the sketch's configuration.
+func (s *Sketch) Params() Params { return s.params }
+
+// Row exposes row i's raw counters for joins and wire encoding.
+func (s *Sketch) Row(i int) []int64 { return s.rows[i] }
+
+// Record adds one occurrence of flow f.
+func (s *Sketch) Record(f uint64) { s.Add(f, 1) }
+
+// Add adds delta occurrences of flow f.
+func (s *Sketch) Add(f uint64, delta int64) {
+	p := &s.params
+	for i := 0; i < p.D; i++ {
+		j := xhash.Index(f^p.Seed, uint64(i)+1, p.W)
+		s.rows[i][j] += delta
+	}
+}
+
+// Estimate returns the size estimate for flow f: the minimum counter over
+// the d rows, clamped at zero.
+func (s *Sketch) Estimate(f uint64) int64 {
+	p := &s.params
+	est := int64(1<<62 - 1)
+	for i := 0; i < p.D; i++ {
+		j := xhash.Index(f^p.Seed, uint64(i)+1, p.W)
+		if c := s.rows[i][j]; c < est {
+			est = c
+		}
+	}
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// AddSketch folds o into s by counter-wise addition (the U operator for
+// size). Dimensions and seed must match.
+func (s *Sketch) AddSketch(o *Sketch) error {
+	if s.params != o.params {
+		return fmt.Errorf("countmin: add parameter mismatch: %+v vs %+v", s.params, o.params)
+	}
+	for i := range s.rows {
+		for j, v := range o.rows[i] {
+			s.rows[i][j] += v
+		}
+	}
+	return nil
+}
+
+// SubSketch subtracts o from s counter-wise. The center uses it to recover
+// a single epoch's measurement from cumulative uploads.
+func (s *Sketch) SubSketch(o *Sketch) error {
+	if s.params != o.params {
+		return fmt.Errorf("countmin: sub parameter mismatch: %+v vs %+v", s.params, o.params)
+	}
+	for i := range s.rows {
+		for j, v := range o.rows[i] {
+			s.rows[i][j] -= v
+		}
+	}
+	return nil
+}
+
+// Reset zeroes every counter.
+func (s *Sketch) Reset() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := New(s.params)
+	for i := range s.rows {
+		copy(c.rows[i], s.rows[i])
+	}
+	return c
+}
+
+// CopyFrom overwrites s's counters with o's (the "copy C' to C" action).
+func (s *Sketch) CopyFrom(o *Sketch) error {
+	if s.params != o.params {
+		return fmt.Errorf("countmin: copy parameter mismatch: %+v vs %+v", s.params, o.params)
+	}
+	for i := range s.rows {
+		copy(s.rows[i], o.rows[i])
+	}
+	return nil
+}
+
+// Equal reports whether the two sketches hold identical state.
+func (s *Sketch) Equal(o *Sketch) bool {
+	if s.params != o.params {
+		return false
+	}
+	for i := range s.rows {
+		for j, v := range s.rows[i] {
+			if o.rows[i][j] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every counter is zero.
+func (s *Sketch) IsZero() bool {
+	for i := range s.rows {
+		for _, v := range s.rows[i] {
+			if v != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MemoryBits returns the footprint under the paper's model (d*w counters of
+// CounterBits bits).
+func (s *Sketch) MemoryBits() int {
+	return s.params.D * s.params.W * CounterBits
+}
+
+// ExpandTo column-wise replicates the sketch to wBig counters per row
+// (Section V-C): expanded[i][j] = s[i][j mod w]. wBig must be a multiple of
+// the current width.
+func (s *Sketch) ExpandTo(wBig int) (*Sketch, error) {
+	w := s.params.W
+	if wBig%w != 0 {
+		return nil, fmt.Errorf("countmin: expand target %d not a multiple of width %d", wBig, w)
+	}
+	q := s.params
+	q.W = wBig
+	out := New(q)
+	for i := range s.rows {
+		for j := 0; j < wBig; j++ {
+			out.rows[i][j] = s.rows[i][j%w]
+		}
+	}
+	return out, nil
+}
+
+// CompressTo folds the sketch down to wSmall counters per row by taking the
+// max over the folded columns (Section V-C). wSmall must divide the current
+// width.
+func (s *Sketch) CompressTo(wSmall int) (*Sketch, error) {
+	w := s.params.W
+	if w%wSmall != 0 {
+		return nil, fmt.Errorf("countmin: compress target %d does not divide width %d", wSmall, w)
+	}
+	q := s.params
+	q.W = wSmall
+	out := New(q)
+	for i := range s.rows {
+		for j := 0; j < w; j++ {
+			if v := s.rows[i][j]; v > out.rows[i][j%wSmall] {
+				out.rows[i][j%wSmall] = v
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package countmin
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testParams() Params {
+	return Params{D: 4, W: 1024, Seed: 7}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Params
+		wantErr bool
+	}{
+		{name: "ok", give: Params{D: 4, W: 16}},
+		{name: "zero d", give: Params{D: 0, W: 16}, wantErr: true},
+		{name: "zero w", give: Params{D: 4, W: 0}, wantErr: true},
+		{name: "negative", give: Params{D: -1, W: -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWidthForMemory(t *testing.T) {
+	// 2 Mb with d=4, 32-bit counters: 2097152 / 128 = 16384.
+	if got := WidthForMemory(1<<21, 4); got != 16384 {
+		t.Fatalf("WidthForMemory = %d, want 16384", got)
+	}
+	if got := WidthForMemory(16, 4); got != 1 {
+		t.Fatalf("WidthForMemory floor = %d, want 1", got)
+	}
+}
+
+func TestEstimateExactWithoutCollisions(t *testing.T) {
+	s := New(testParams())
+	s.Add(1, 100)
+	s.Add(2, 7)
+	if got := s.Estimate(1); got != 100 {
+		t.Fatalf("Estimate(1) = %d, want 100", got)
+	}
+	if got := s.Estimate(2); got != 7 {
+		t.Fatalf("Estimate(2) = %d, want 7", got)
+	}
+	if got := s.Estimate(999); got != 0 {
+		t.Fatalf("Estimate(absent) = %d, want 0", got)
+	}
+}
+
+func TestEstimateOneSidedError(t *testing.T) {
+	// CountMin never underestimates: estimate >= truth, always.
+	s := New(Params{D: 3, W: 64, Seed: 11}) // small to force collisions
+	truth := make(map[uint64]int64)
+	for f := uint64(0); f < 500; f++ {
+		c := int64(f%17 + 1)
+		s.Add(f, c)
+		truth[f] = c
+	}
+	for f, want := range truth {
+		if got := s.Estimate(f); got < want {
+			t.Fatalf("flow %d: estimate %d below truth %d", f, got, want)
+		}
+	}
+}
+
+func TestRecordIsAddOne(t *testing.T) {
+	a, b := New(testParams()), New(testParams())
+	for i := 0; i < 10; i++ {
+		a.Record(5)
+	}
+	b.Add(5, 10)
+	if !a.Equal(b) {
+		t.Fatal("10x Record != Add(10)")
+	}
+}
+
+func TestAddSketchLinearity(t *testing.T) {
+	// sketch(S1) + sketch(S2) == sketch(S1 ++ S2): the property the
+	// temporal and spatial joins for size rely on.
+	p := testParams()
+	a, b, u := New(p), New(p), New(p)
+	for f := uint64(0); f < 300; f++ {
+		a.Add(f, int64(f+1))
+		u.Add(f, int64(f+1))
+	}
+	for f := uint64(100); f < 400; f++ {
+		b.Add(f, 5)
+		u.Add(f, 5)
+	}
+	if err := a.AddSketch(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(u) {
+		t.Fatal("sketch addition is not stream concatenation")
+	}
+}
+
+func TestSubSketchInvertsAdd(t *testing.T) {
+	err := quick.Check(func(seed uint64, n uint8) bool {
+		p := Params{D: 4, W: 128, Seed: 3}
+		a, b := New(p), New(p)
+		orig := New(p)
+		for f := uint64(0); f < uint64(n)+1; f++ {
+			a.Add(f^seed, int64(f%9+1))
+			orig.Add(f^seed, int64(f%9+1))
+			b.Add(f*31+seed, 2)
+		}
+		if err := a.AddSketch(b); err != nil {
+			return false
+		}
+		if err := a.SubSketch(b); err != nil {
+			return false
+		}
+		return a.Equal(orig)
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchErrors(t *testing.T) {
+	a := New(Params{D: 4, W: 64, Seed: 1})
+	b := New(Params{D: 4, W: 128, Seed: 1})
+	c := New(Params{D: 4, W: 64, Seed: 2})
+	if err := a.AddSketch(b); err == nil {
+		t.Fatal("expected width-mismatch error on AddSketch")
+	}
+	if err := a.SubSketch(c); err == nil {
+		t.Fatal("expected seed-mismatch error on SubSketch")
+	}
+	if err := a.CopyFrom(b); err == nil {
+		t.Fatal("expected mismatch error on CopyFrom")
+	}
+}
+
+func TestResetCloneCopy(t *testing.T) {
+	s := New(testParams())
+	s.Add(1, 42)
+	c := s.Clone()
+	s.Reset()
+	if !s.IsZero() {
+		t.Fatal("Reset left nonzero counters")
+	}
+	if c.IsZero() {
+		t.Fatal("Clone aliases original")
+	}
+	var d = New(testParams())
+	if err := d.CopyFrom(c); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(c) {
+		t.Fatal("CopyFrom did not replicate state")
+	}
+}
+
+func TestNegativeClampAtQuery(t *testing.T) {
+	s := New(testParams())
+	s.Add(1, -5)
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("Estimate of negative counters = %d, want 0 (clamped)", got)
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	s := New(Params{D: 10, W: 100, Seed: 0})
+	if got := s.MemoryBits(); got != 10*100*CounterBits {
+		t.Fatalf("MemoryBits = %d", got)
+	}
+}
+
+func TestExpandPreservesEstimates(t *testing.T) {
+	small := New(Params{D: 4, W: 128, Seed: 5})
+	for f := uint64(0); f < 100; f++ {
+		small.Add(f, int64(f*3+1))
+	}
+	big, err := small.ExpandTo(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := uint64(0); f < 100; f++ {
+		if got, want := big.Estimate(f), small.Estimate(f); got != want {
+			t.Fatalf("flow %d: expanded estimate %d != %d", f, got, want)
+		}
+	}
+}
+
+func TestCompressOfExpandIsIdentity(t *testing.T) {
+	s := New(Params{D: 3, W: 64, Seed: 9})
+	for f := uint64(0); f < 200; f++ {
+		s.Add(f, int64(f%23))
+	}
+	big, err := s.ExpandTo(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := big.CompressTo(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatal("compress(expand(s)) != s")
+	}
+}
+
+func TestExpandCompressErrors(t *testing.T) {
+	s := New(Params{D: 2, W: 64, Seed: 0})
+	if _, err := s.ExpandTo(100); err == nil {
+		t.Fatal("expected expand error")
+	}
+	if _, err := s.CompressTo(30); err == nil {
+		t.Fatal("expected compress error")
+	}
+}
+
+func TestCompressDominates(t *testing.T) {
+	// compressed[i][j mod wSmall] >= s[i][j] for every column j.
+	s := New(Params{D: 2, W: 32, Seed: 4})
+	for f := uint64(0); f < 300; f++ {
+		s.Add(f, int64(f%11))
+	}
+	c, err := s.CompressTo(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 32; j++ {
+			if c.Row(i)[j%8] < s.Row(i)[j] {
+				t.Fatalf("row %d col %d: compressed %d < source %d", i, j, c.Row(i)[j%8], s.Row(i)[j])
+			}
+		}
+	}
+}
+
+func TestEstimateMonotoneInStream(t *testing.T) {
+	err := quick.Check(func(f uint64, extra uint8) bool {
+		s := New(Params{D: 4, W: 64, Seed: 8})
+		s.Add(f, 10)
+		before := s.Estimate(f)
+		s.Add(f^1, int64(extra)) // adding other traffic never lowers estimates
+		return s.Estimate(f) >= before
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package countmin
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// wireMagic tags the binary encoding of a CountMin sketch.
+const wireMagic = 0xC3
+
+// MarshalBinary encodes the sketch little-endian: magic, D, W, Seed, then
+// the D*W counters row-major as int64.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	p := s.params
+	out := make([]byte, 0, 1+4+4+8+p.D*p.W*8)
+	out = append(out, wireMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.D))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.W))
+	out = binary.LittleEndian.AppendUint64(out, p.Seed)
+	for _, row := range s.rows {
+		for _, v := range row {
+			out = binary.LittleEndian.AppendUint64(out, uint64(v))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded by MarshalBinary.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 1+4+4+8 {
+		return fmt.Errorf("countmin: truncated sketch encoding")
+	}
+	if data[0] != wireMagic {
+		return fmt.Errorf("countmin: bad magic byte %#x", data[0])
+	}
+	off := 1
+	d := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	w := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	seed := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	p := Params{D: d, W: w, Seed: seed}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("countmin: decode: %w", err)
+	}
+	// Bound dimensions before trusting them for allocation: a hostile
+	// header must not drive memory use or overflow the size arithmetic.
+	const maxCells = 1 << 28
+	if d > maxCells || w > maxCells || d*w > maxCells {
+		return fmt.Errorf("countmin: decode: implausible dimensions %dx%d", d, w)
+	}
+	if want := d * w * 8; len(data[off:]) != want {
+		return fmt.Errorf("countmin: payload %d bytes, want %d", len(data[off:]), want)
+	}
+	rows := make([][]int64, d)
+	for i := range rows {
+		rows[i] = make([]int64, w)
+		for j := range rows[i] {
+			rows[i][j] = int64(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	s.params = p
+	s.rows = rows
+	return nil
+}

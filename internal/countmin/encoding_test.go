@@ -1,0 +1,71 @@
+package countmin
+
+import (
+	"encoding"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*Sketch)(nil)
+	_ encoding.BinaryUnmarshaler = (*Sketch)(nil)
+)
+
+func TestEncodingRoundTrip(t *testing.T) {
+	s := New(Params{D: 5, W: 33, Seed: 77})
+	for f := uint64(0); f < 200; f++ {
+		s.Add(f, int64(f%29)-3) // include negative counters
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatal("round trip changed sketch state")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := New(Params{D: 2, W: 4, Seed: 1})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Sketch
+	if err := g.UnmarshalBinary(data[:3]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 0
+	if err := g.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if err := g.UnmarshalBinary(append(data, 1, 2, 3)); err == nil {
+		t.Fatal("expected payload-size error")
+	}
+}
+
+func TestEncodingQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64, flows uint8) bool {
+		s := New(Params{D: 3, W: 16, Seed: seed})
+		for f := uint64(0); f < uint64(flows); f++ {
+			s.Add(f, int64(f+1))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Sketch
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return got.Equal(s)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

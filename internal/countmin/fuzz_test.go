@@ -1,0 +1,36 @@
+package countmin
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary checks the decoder never panics and that accepted
+// inputs round-trip byte-identically.
+func FuzzUnmarshalBinary(f *testing.F) {
+	s := New(Params{D: 2, W: 4, Seed: 9})
+	s.Add(3, 7)
+	good, err := s.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{wireMagic, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{1}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sk Sketch
+		if err := sk.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("accepted non-canonical encoding")
+		}
+		_ = sk.Estimate(1)
+	})
+}

@@ -1,0 +1,225 @@
+// Package detect implements the network functions the paper motivates on
+// top of real-time networkwide T-queries (Section I): threshold alarms
+// with hysteresis for DDoS-victim and scanner detection, and top-k
+// tracking for elephant flows. Detectors consume (flow, value)
+// observations produced by querying a cluster each epoch; they are
+// agnostic to whether values are sizes or spreads.
+package detect
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// EventKind distinguishes alarm transitions.
+type EventKind int
+
+const (
+	// Raise fires when a flow crosses the threshold for MinEpochs
+	// consecutive observations.
+	Raise EventKind = iota + 1
+	// Clear fires when a previously raised flow falls below the clear
+	// level.
+	Clear
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Raise:
+		return "raise"
+	case Clear:
+		return "clear"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one alarm transition.
+type Event struct {
+	Kind  EventKind
+	Flow  uint64
+	Epoch int64
+	Value float64
+}
+
+// Config parameterizes a threshold detector.
+type Config struct {
+	// Threshold raises an alarm when a flow's value reaches it.
+	Threshold float64
+	// ClearLevel clears a raised alarm when the value falls below it
+	// (hysteresis). Zero means 0.8 * Threshold.
+	ClearLevel float64
+	// MinEpochs is the number of consecutive above-threshold observations
+	// required before raising (debounce). Zero means 1.
+	MinEpochs int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Threshold <= 0 {
+		return fmt.Errorf("detect: threshold must be positive, got %v", c.Threshold)
+	}
+	if c.ClearLevel < 0 || c.ClearLevel > c.Threshold {
+		return fmt.Errorf("detect: clear level %v outside [0, threshold]", c.ClearLevel)
+	}
+	if c.MinEpochs < 0 {
+		return fmt.Errorf("detect: MinEpochs must be non-negative")
+	}
+	return nil
+}
+
+type flowState struct {
+	above  int // consecutive above-threshold observations
+	raised bool
+}
+
+// Detector raises and clears per-flow alarms. Not safe for concurrent use.
+type Detector struct {
+	cfg   Config
+	flows map[uint64]*flowState
+}
+
+// New creates a detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ClearLevel == 0 {
+		cfg.ClearLevel = 0.8 * cfg.Threshold
+	}
+	if cfg.MinEpochs == 0 {
+		cfg.MinEpochs = 1
+	}
+	return &Detector{cfg: cfg, flows: make(map[uint64]*flowState)}, nil
+}
+
+// Observe feeds one (flow, value) observation for the given epoch and
+// returns an alarm transition if one occurred.
+func (d *Detector) Observe(epoch int64, flow uint64, value float64) (Event, bool) {
+	st := d.flows[flow]
+	if st == nil {
+		st = &flowState{}
+		d.flows[flow] = st
+	}
+	switch {
+	case !st.raised && value >= d.cfg.Threshold:
+		st.above++
+		if st.above >= d.cfg.MinEpochs {
+			st.raised = true
+			return Event{Kind: Raise, Flow: flow, Epoch: epoch, Value: value}, true
+		}
+	case !st.raised:
+		st.above = 0
+	case st.raised && value < d.cfg.ClearLevel:
+		st.raised = false
+		st.above = 0
+		return Event{Kind: Clear, Flow: flow, Epoch: epoch, Value: value}, true
+	}
+	return Event{}, false
+}
+
+// Active returns the currently raised flows in ascending order.
+func (d *Detector) Active() []uint64 {
+	var out []uint64
+	for f, st := range d.flows {
+		if st.raised {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Forget drops state for flows not observed recently; callers invoke it
+// periodically with the set of flows still worth tracking.
+func (d *Detector) Forget(keep func(flow uint64) bool) {
+	for f, st := range d.flows {
+		if !st.raised && !keep(f) {
+			delete(d.flows, f)
+		}
+	}
+}
+
+// Item is one flow in a top-k ranking.
+type Item struct {
+	Flow  uint64
+	Value float64
+}
+
+// TopK tracks the k largest flows offered to it (elephant-flow tracking).
+// Offering a flow again updates its value. Not safe for concurrent use.
+type TopK struct {
+	k    int
+	heap topkHeap
+	pos  map[uint64]int
+}
+
+// NewTopK creates a tracker of the k largest values.
+func NewTopK(k int) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("detect: k must be positive, got %d", k)
+	}
+	return &TopK{k: k, pos: make(map[uint64]int, k)}, nil
+}
+
+// Offer records a flow's current value.
+func (t *TopK) Offer(flow uint64, value float64) {
+	if i, ok := t.pos[flow]; ok {
+		t.heap.items[i].Value = value
+		heap.Fix(&t.heap, i)
+		return
+	}
+	if t.heap.Len() < t.k {
+		heap.Push(&t.heap, Item{Flow: flow, Value: value})
+		t.reindex()
+		return
+	}
+	if value <= t.heap.items[0].Value {
+		return
+	}
+	delete(t.pos, t.heap.items[0].Flow)
+	t.heap.items[0] = Item{Flow: flow, Value: value}
+	heap.Fix(&t.heap, 0)
+	t.reindex()
+}
+
+func (t *TopK) reindex() {
+	for i, it := range t.heap.items {
+		t.pos[it.Flow] = i
+	}
+}
+
+// Items returns the tracked flows sorted by descending value.
+func (t *TopK) Items() []Item {
+	out := make([]Item, len(t.heap.items))
+	copy(out, t.heap.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	return out
+}
+
+// Len returns the number of tracked flows.
+func (t *TopK) Len() int { return t.heap.Len() }
+
+// topkHeap is a min-heap by value so the smallest tracked flow is evicted
+// first.
+type topkHeap struct {
+	items []Item
+}
+
+func (h *topkHeap) Len() int           { return len(h.items) }
+func (h *topkHeap) Less(i, j int) bool { return h.items[i].Value < h.items[j].Value }
+func (h *topkHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topkHeap) Push(x any)         { h.items = append(h.items, x.(Item)) }
+func (h *topkHeap) Pop() (out any) {
+	n := len(h.items)
+	out = h.items[n-1]
+	h.items = h.items[:n-1]
+	return out
+}

@@ -1,0 +1,177 @@
+package detect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Config
+		wantErr bool
+	}{
+		{name: "ok", give: Config{Threshold: 100}},
+		{name: "zero threshold", give: Config{}, wantErr: true},
+		{name: "clear above threshold", give: Config{Threshold: 10, ClearLevel: 20}, wantErr: true},
+		{name: "negative min epochs", give: Config{Threshold: 10, MinEpochs: -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDetectorRaiseAndClear(t *testing.T) {
+	d, err := New(Config{Threshold: 100, ClearLevel: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, fired := d.Observe(1, 7, 50); fired {
+		t.Fatal("below-threshold observation fired")
+	}
+	ev, fired := d.Observe(2, 7, 150)
+	if !fired || ev.Kind != Raise || ev.Flow != 7 || ev.Epoch != 2 {
+		t.Fatalf("expected raise, got %+v fired=%v", ev, fired)
+	}
+	// Hysteresis: dipping below the threshold but above the clear level
+	// keeps the alarm raised.
+	if _, fired := d.Observe(3, 7, 80); fired {
+		t.Fatal("alarm cleared inside the hysteresis band")
+	}
+	if got := d.Active(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Active = %v", got)
+	}
+	ev, fired = d.Observe(4, 7, 40)
+	if !fired || ev.Kind != Clear {
+		t.Fatalf("expected clear, got %+v fired=%v", ev, fired)
+	}
+	if len(d.Active()) != 0 {
+		t.Fatal("Active should be empty after clear")
+	}
+}
+
+func TestDetectorDebounce(t *testing.T) {
+	d, err := New(Config{Threshold: 100, MinEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := int64(1); epoch <= 2; epoch++ {
+		if _, fired := d.Observe(epoch, 1, 200); fired {
+			t.Fatalf("fired after %d epochs, want 3", epoch)
+		}
+	}
+	// A dip resets the streak.
+	if _, fired := d.Observe(3, 1, 50); fired {
+		t.Fatal("dip fired")
+	}
+	for epoch := int64(4); epoch <= 5; epoch++ {
+		if _, fired := d.Observe(epoch, 1, 200); fired {
+			t.Fatal("streak did not reset after dip")
+		}
+	}
+	if _, fired := d.Observe(6, 1, 200); !fired {
+		t.Fatal("expected raise after 3 consecutive epochs")
+	}
+}
+
+func TestDetectorKindString(t *testing.T) {
+	if Raise.String() != "raise" || Clear.String() != "clear" || EventKind(0).String() != "unknown" {
+		t.Fatal("bad EventKind strings")
+	}
+}
+
+func TestDetectorForget(t *testing.T) {
+	d, err := New(Config{Threshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(1, 1, 10)  // tracked, not raised
+	d.Observe(1, 2, 200) // raised
+	d.Forget(func(uint64) bool { return false })
+	if len(d.flows) != 1 {
+		t.Fatalf("Forget kept %d flows, want only the raised one", len(d.flows))
+	}
+	if got := d.Active(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("raised flow lost by Forget: %v", got)
+	}
+}
+
+func TestTopKBasic(t *testing.T) {
+	tk, err := NewTopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, v := range map[uint64]float64{1: 10, 2: 50, 3: 30, 4: 40, 5: 20} {
+		tk.Offer(f, v)
+	}
+	items := tk.Items()
+	if len(items) != 3 {
+		t.Fatalf("len = %d", len(items))
+	}
+	if items[0].Flow != 2 || items[1].Flow != 4 || items[2].Flow != 3 {
+		t.Fatalf("top-3 = %+v, want flows 2,4,3", items)
+	}
+}
+
+func TestTopKUpdateExisting(t *testing.T) {
+	tk, err := NewTopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Offer(1, 10)
+	tk.Offer(2, 20)
+	tk.Offer(1, 100) // update, not insert
+	items := tk.Items()
+	if len(items) != 2 || items[0].Flow != 1 || items[0].Value != 100 {
+		t.Fatalf("update failed: %+v", items)
+	}
+}
+
+func TestTopKRejectsSmall(t *testing.T) {
+	tk, err := NewTopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Offer(1, 10)
+	tk.Offer(2, 20)
+	tk.Offer(3, 5) // smaller than both: ignored
+	items := tk.Items()
+	if len(items) != 2 || items[1].Value != 10 {
+		t.Fatalf("small offer evicted a larger flow: %+v", items)
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	if _, err := NewTopK(0); err == nil {
+		t.Fatal("expected error for k = 0")
+	}
+}
+
+func TestTopKAlwaysHoldsLargest(t *testing.T) {
+	err := quick.Check(func(values []uint16) bool {
+		tk, err := NewTopK(5)
+		if err != nil {
+			return false
+		}
+		max := -1.0
+		for i, v := range values {
+			tk.Offer(uint64(i), float64(v))
+			if float64(v) > max {
+				max = float64(v)
+			}
+		}
+		if len(values) == 0 {
+			return tk.Len() == 0
+		}
+		items := tk.Items()
+		return len(items) > 0 && items[0].Value == max
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package detect
+
+import "fmt"
+
+// Scanner drives a Detector over a large candidate set under a per-epoch
+// query budget: each epoch it queries the next Budget candidates in
+// round-robin order and feeds the answers to the detector. This models
+// the operational constraint Table I quantifies — a measurement point can
+// only spend so much time per epoch answering its own T-queries, and the
+// per-query cost decides how many flows it can watch.
+type Scanner struct {
+	det    *Detector
+	budget int
+	cursor int
+}
+
+// NewScanner creates a scanner issuing at most budget queries per Scan.
+func NewScanner(det *Detector, budget int) (*Scanner, error) {
+	if det == nil {
+		return nil, fmt.Errorf("detect: nil detector")
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("detect: budget must be positive, got %d", budget)
+	}
+	return &Scanner{det: det, budget: budget}, nil
+}
+
+// Scan queries up to the budget's worth of candidates (callers must keep
+// the candidate order stable across epochs for full coverage) and returns
+// the alarm events raised or cleared this round.
+func (s *Scanner) Scan(epoch int64, candidates []uint64, query func(flow uint64) float64) []Event {
+	if len(candidates) == 0 {
+		return nil
+	}
+	var events []Event
+	steps := s.budget
+	if steps > len(candidates) {
+		steps = len(candidates)
+	}
+	for i := 0; i < steps; i++ {
+		f := candidates[(s.cursor+i)%len(candidates)]
+		if ev, fired := s.det.Observe(epoch, f, query(f)); fired {
+			events = append(events, ev)
+		}
+	}
+	s.cursor = (s.cursor + steps) % len(candidates)
+	return events
+}
+
+// Detector exposes the scanner's underlying detector (for Active()).
+func (s *Scanner) Detector() *Detector { return s.det }
+
+// CoverageEpochs returns how many epochs a full pass over n candidates
+// takes at this budget.
+func (s *Scanner) CoverageEpochs(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + s.budget - 1) / s.budget
+}

@@ -1,0 +1,90 @@
+package detect
+
+import "testing"
+
+func TestNewScannerValidation(t *testing.T) {
+	det, err := New(Config{Threshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScanner(nil, 5); err == nil {
+		t.Fatal("expected nil-detector error")
+	}
+	if _, err := NewScanner(det, 0); err == nil {
+		t.Fatal("expected bad-budget error")
+	}
+}
+
+func TestScannerRoundRobinCoverage(t *testing.T) {
+	det, err := New(Config{Threshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(det, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []uint64{0, 1, 2, 3, 4, 5, 6}
+	seen := make(map[uint64]int)
+	for epoch := int64(1); epoch <= 7; epoch++ {
+		sc.Scan(epoch, candidates, func(f uint64) float64 {
+			seen[f]++
+			return 0
+		})
+	}
+	// 7 epochs x 3 queries = 21 = 3 full passes over 7 candidates.
+	for f, c := range seen {
+		if c != 3 {
+			t.Fatalf("candidate %d scanned %d times, want 3", f, c)
+		}
+	}
+	if got := sc.CoverageEpochs(len(candidates)); got != 3 {
+		t.Fatalf("CoverageEpochs = %d, want 3", got)
+	}
+}
+
+func TestScannerDetectsWhenReached(t *testing.T) {
+	det, err := New(Config{Threshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(det, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []uint64{10, 11, 12, 13, 14, 15}
+	hot := uint64(14) // scanned in epoch 3 at budget 2
+	var raised []Event
+	for epoch := int64(1); epoch <= 3; epoch++ {
+		evs := sc.Scan(epoch, candidates, func(f uint64) float64 {
+			if f == hot {
+				return 500
+			}
+			return 1
+		})
+		raised = append(raised, evs...)
+	}
+	if len(raised) != 1 || raised[0].Flow != hot || raised[0].Epoch != 3 {
+		t.Fatalf("raised = %+v, want hot flow at epoch 3", raised)
+	}
+	if active := sc.Detector().Active(); len(active) != 1 || active[0] != hot {
+		t.Fatalf("Active = %v", active)
+	}
+}
+
+func TestScannerEmptyCandidates(t *testing.T) {
+	det, err := New(Config{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(det, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := sc.Scan(1, nil, func(uint64) float64 { return 100 }); evs != nil {
+		t.Fatal("scan of empty candidates should do nothing")
+	}
+	if sc.CoverageEpochs(0) != 0 {
+		t.Fatal("CoverageEpochs(0) should be 0")
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// AblationResult compares named variants of one design choice on the same
+// workload, by average absolute error and (where it differs) memory cost.
+type AblationResult struct {
+	Label    string
+	Variants []AblationVariant
+}
+
+// AblationVariant is one arm of an ablation.
+type AblationVariant struct {
+	Name      string
+	Summary   metrics.Summary
+	MemoryMbE float64 // effective per-point sketch memory in paper Mb labels
+}
+
+// RunEnhancementAblation quantifies the Section IV-D enhancement: the same
+// spread cluster with and without merging the peers' last completed epoch
+// into C. Both arms are scored against the *exact* networkwide T-query
+// (all points, all completed window epochs) — the target the enhancement
+// moves answers toward; the base design inherently misses the peers' last
+// epoch of that target.
+func RunEnhancementAblation(cfg Config, memMb int) (AblationResult, error) {
+	out := AblationResult{Label: "ablation-enhance (scored vs the exact networkwide T-query, flows >= 50, n = 5)"}
+	// With n = 5 the peers' last completed epoch is a quarter of the
+	// window, so its absence is visible above sketch noise; tiny flows
+	// are skipped because their relative error is noise-dominated for
+	// every variant.
+	cfg.Window = window.Config{T: cfg.Window.T, N: 5}
+	const minTruth = 50
+	memBits := cfg.scaledMem(memMb)
+	for _, arm := range []struct {
+		name    string
+		enhance bool
+	}{
+		{name: "three-sketch (base, eq. 2)", enhance: false},
+		{name: "three-sketch + IV-D enhancement (eq. 10)", enhance: true},
+	} {
+		sim, err := cluster.NewSpreadSim(cluster.SpreadSimConfig{
+			Window:     cfg.Window,
+			MemoryBits: []int{memBits, memBits, memBits},
+			Seed:       cfg.Seed,
+			Enhance:    arm.enhance,
+			TrackTruth: true,
+		})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		col := &collector{name: arm.name}
+		sim.OnBoundary = func(kNext int64) error {
+			if !cfg.Window.Warm(kNext) || kNext%int64(cfg.SampleEvery) != 0 {
+				return nil
+			}
+			truth, err := sim.TruthExactAt(kNext)
+			if err != nil {
+				return err
+			}
+			for f, want := range truth {
+				if want >= minTruth && cfg.sampleFlow(f) {
+					col.add(float64(want), sim.QueryProtocol(0, f))
+				}
+			}
+			return nil
+		}
+		gen, err := trace.NewGenerator(cfg.Trace)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if err := sim.Run(gen); err != nil {
+			return AblationResult{}, err
+		}
+		out.Variants = append(out.Variants, AblationVariant{
+			Name:      arm.name,
+			Summary:   metrics.Summarize(col.samples),
+			MemoryMbE: float64(memMb),
+		})
+	}
+	return out, nil
+}
+
+// RunUploadModeAblation verifies the two-sketch design's headline saving:
+// cumulative uploads with center-side recovery achieve the same accuracy
+// as keeping a third per-epoch B sketch, at two thirds the memory.
+func RunUploadModeAblation(cfg Config, memMb int) (AblationResult, error) {
+	out := AblationResult{Label: "ablation-upload"}
+	mem := []int{cfg.scaledMem(memMb), cfg.scaledMem(memMb), cfg.scaledMem(memMb)}
+	for _, arm := range []struct {
+		name    string
+		mode    core.SizeMode
+		sketchN float64
+	}{
+		{name: "cumulative upload (paper, 2 sketches)", mode: core.SizeModeCumulative, sketchN: 2},
+		{name: "delta upload (B sketch, 3 sketches)", mode: core.SizeModeDelta, sketchN: 3},
+	} {
+		sim, err := cluster.NewSizeSim(cluster.SizeSimConfig{
+			Window:     cfg.Window,
+			MemoryBits: mem,
+			Seed:       cfg.Seed,
+			Mode:       arm.mode,
+			TrackTruth: true,
+		})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		col := &collector{name: arm.name}
+		sim.OnBoundary = func(kNext int64) error {
+			if !cfg.Window.Warm(kNext) || kNext%int64(cfg.SampleEvery) != 0 {
+				return nil
+			}
+			truth, err := sim.TruthAt(0, kNext)
+			if err != nil {
+				return err
+			}
+			for f, want := range truth {
+				if cfg.sampleFlow(f) {
+					col.add(float64(want), float64(sim.QueryProtocol(0, f)))
+				}
+			}
+			return nil
+		}
+		gen, err := trace.NewGenerator(cfg.Trace)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if err := sim.Run(gen); err != nil {
+			return AblationResult{}, err
+		}
+		out.Variants = append(out.Variants, AblationVariant{
+			Name:      arm.name,
+			Summary:   metrics.Summarize(col.samples),
+			MemoryMbE: float64(memMb) * arm.sketchN / 2,
+		})
+	}
+	return out, nil
+}
+
+// RunRegisterCountAblation sweeps the per-estimator HLL register count m
+// at fixed total memory, justifying the paper's fixed m = 128: too few
+// registers hurt per-estimator accuracy, too many leave too few estimator
+// columns.
+func RunRegisterCountAblation(cfg Config, memMb int, ms []int) (AblationResult, error) {
+	if len(ms) == 0 {
+		ms = []int{32, 64, 128, 256, 512}
+	}
+	out := AblationResult{Label: "ablation-m"}
+	memBits := cfg.scaledMem(memMb)
+	for _, m := range ms {
+		sim, err := cluster.NewSpreadSim(cluster.SpreadSimConfig{
+			Window:     cfg.Window,
+			MemoryBits: []int{memBits, memBits, memBits},
+			M:          m,
+			Seed:       cfg.Seed,
+			TrackTruth: true,
+		})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		col := &collector{}
+		sim.OnBoundary = func(kNext int64) error {
+			if !cfg.Window.Warm(kNext) || kNext%int64(cfg.SampleEvery) != 0 {
+				return nil
+			}
+			truth, err := sim.TruthAt(0, kNext)
+			if err != nil {
+				return err
+			}
+			for f, want := range truth {
+				if cfg.sampleFlow(f) {
+					col.add(float64(want), sim.QueryProtocol(0, f))
+				}
+			}
+			return nil
+		}
+		gen, err := trace.NewGenerator(cfg.Trace)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if err := sim.Run(gen); err != nil {
+			return AblationResult{}, err
+		}
+		out.Variants = append(out.Variants, AblationVariant{
+			Name:      "m=" + strconv.Itoa(m),
+			Summary:   metrics.Summarize(col.samples),
+			MemoryMbE: float64(memMb),
+		})
+	}
+	return out, nil
+}

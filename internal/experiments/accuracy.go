@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Series is one method's accuracy curve in a figure.
+type Series struct {
+	// Name identifies the method ("three-sketch", "VATE", ...).
+	Name string
+	// Summary aggregates the paper's metrics over all scored flows.
+	Summary metrics.Summary
+	// Buckets is the relative-bias / relative-std-err distribution along
+	// the actual value (the paper's (c)/(d) subfigures).
+	Buckets []metrics.Bucket
+	// Scatter is a subsample of (truth, estimate) pairs (the paper's
+	// (a)/(b) scatter subfigures).
+	Scatter []metrics.Sample
+}
+
+// AccuracyResult is the regenerated content of one accuracy figure.
+type AccuracyResult struct {
+	// Label names the paper figure ("Fig. 3", ...).
+	Label string
+	// QueryPoint is the measurement point the queries were issued at.
+	QueryPoint int
+	// MemoryMb are the paper's per-point memory labels.
+	MemoryMb []int
+	// Series holds the protocol's and the baseline's curves.
+	Series []Series
+	// Boundaries is the number of scored epoch boundaries.
+	Boundaries int
+}
+
+const maxScatter = 2000
+
+// collector accumulates one method's samples.
+type collector struct {
+	name    string
+	samples []metrics.Sample
+}
+
+func (c *collector) add(truth, est float64) {
+	c.samples = append(c.samples, metrics.Sample{Truth: truth, Est: est})
+}
+
+func (c *collector) series() Series {
+	scatter := c.samples
+	if len(scatter) > maxScatter {
+		stride := len(scatter) / maxScatter
+		sub := make([]metrics.Sample, 0, maxScatter)
+		for i := 0; i < len(scatter); i += stride {
+			sub = append(sub, scatter[i])
+		}
+		scatter = sub
+	}
+	return Series{
+		Name:    c.name,
+		Summary: metrics.Summarize(c.samples),
+		Buckets: metrics.BucketByTruth(c.samples, 2),
+		Scatter: scatter,
+	}
+}
+
+// RunSpreadAccuracy regenerates one spread-accuracy figure (Figs. 3-7):
+// the three-sketch design vs the VATE baseline, scored at queryPoint, with
+// the given per-point paper memory labels.
+func RunSpreadAccuracy(cfg Config, label string, memMb []int, queryPoint int, enhance bool) (AccuracyResult, error) {
+	memBits := make([]int, len(memMb))
+	for i, mb := range memMb {
+		memBits[i] = cfg.scaledMem(mb)
+	}
+	sim, err := cluster.NewSpreadSim(cluster.SpreadSimConfig{
+		Window:       cfg.Window,
+		MemoryBits:   memBits,
+		Seed:         cfg.Seed,
+		Enhance:      enhance,
+		WithBaseline: true,
+		TrackTruth:   true,
+	})
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	proto := &collector{name: "three-sketch"}
+	base := &collector{name: "VATE"}
+	boundaries := 0
+	sim.OnBoundary = func(kNext int64) error {
+		if !cfg.Window.Warm(kNext) || kNext%int64(cfg.SampleEvery) != 0 {
+			return nil
+		}
+		boundaries++
+		truth, err := sim.TruthAt(queryPoint, kNext)
+		if err != nil {
+			return err
+		}
+		for f, want := range truth {
+			if !cfg.sampleFlow(f) {
+				continue
+			}
+			proto.add(float64(want), sim.QueryProtocol(queryPoint, f))
+			b, err := sim.QueryBaseline(queryPoint, f)
+			if err != nil {
+				return err
+			}
+			base.add(float64(want), b)
+		}
+		return nil
+	}
+	gen, err := trace.NewGenerator(cfg.Trace)
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	if err := sim.Run(gen); err != nil {
+		return AccuracyResult{}, err
+	}
+	if boundaries == 0 {
+		return AccuracyResult{}, fmt.Errorf("experiments: %s scored no boundaries (trace too short for the window)", label)
+	}
+	out := AccuracyResult{
+		Label:      label,
+		QueryPoint: queryPoint,
+		MemoryMb:   memMb,
+		Series:     []Series{proto.series(), base.series()},
+		Boundaries: boundaries,
+	}
+	if cfg.CSVDir != "" {
+		if err := WriteAccuracyCSV(cfg.CSVDir, out); err != nil {
+			return AccuracyResult{}, err
+		}
+	}
+	return out, nil
+}
+
+// RunSizeAccuracy regenerates one size-accuracy figure (Figs. 8-12): the
+// two-sketch design vs the Sliding Sketch baseline.
+func RunSizeAccuracy(cfg Config, label string, memMb []int, queryPoint int, enhance bool) (AccuracyResult, error) {
+	memBits := make([]int, len(memMb))
+	for i, mb := range memMb {
+		memBits[i] = cfg.scaledMem(mb)
+	}
+	sim, err := cluster.NewSizeSim(cluster.SizeSimConfig{
+		Window:       cfg.Window,
+		MemoryBits:   memBits,
+		Seed:         cfg.Seed,
+		Enhance:      enhance,
+		WithBaseline: true,
+		TrackTruth:   true,
+	})
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	proto := &collector{name: "two-sketch"}
+	base := &collector{name: "Sliding Sketch"}
+	boundaries := 0
+	sim.OnBoundary = func(kNext int64) error {
+		if !cfg.Window.Warm(kNext) || kNext%int64(cfg.SampleEvery) != 0 {
+			return nil
+		}
+		boundaries++
+		truth, err := sim.TruthAt(queryPoint, kNext)
+		if err != nil {
+			return err
+		}
+		for f, want := range truth {
+			if !cfg.sampleFlow(f) {
+				continue
+			}
+			proto.add(float64(want), float64(sim.QueryProtocol(queryPoint, f)))
+			b, err := sim.QueryBaseline(queryPoint, f)
+			if err != nil {
+				return err
+			}
+			base.add(float64(want), float64(b))
+		}
+		return nil
+	}
+	gen, err := trace.NewGenerator(cfg.Trace)
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	if err := sim.Run(gen); err != nil {
+		return AccuracyResult{}, err
+	}
+	if boundaries == 0 {
+		return AccuracyResult{}, fmt.Errorf("experiments: %s scored no boundaries (trace too short for the window)", label)
+	}
+	out := AccuracyResult{
+		Label:      label,
+		QueryPoint: queryPoint,
+		MemoryMb:   memMb,
+		Series:     []Series{proto.series(), base.series()},
+		Boundaries: boundaries,
+	}
+	if cfg.CSVDir != "" {
+		if err := WriteAccuracyCSV(cfg.CSVDir, out); err != nil {
+			return AccuracyResult{}, err
+		}
+	}
+	return out, nil
+}

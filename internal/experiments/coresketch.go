@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// RunCoreSketchAblation runs the *full protocol* twice at equal memory —
+// once with rSkt2(HLL) as the epoch sketch (the paper's choice) and once
+// with vHLL (register sharing, the paper's reference [18]) — and compares
+// end-to-end accuracy against the approximate T-stream. This isolates the
+// value of rSkt2's per-flow noise cancellation inside the networkwide
+// pipeline, where epochs and points are max-merged many times.
+func RunCoreSketchAblation(cfg Config, memMb int) (AblationResult, error) {
+	out := AblationResult{Label: "ablation-core-sketch (full protocol, equal memory)"}
+	memBits := cfg.scaledMem(memMb)
+	mem := []int{memBits, memBits, memBits}
+
+	score := func(name string, run func(col *collector) error) error {
+		col := &collector{name: name}
+		if err := run(col); err != nil {
+			return err
+		}
+		out.Variants = append(out.Variants, AblationVariant{
+			Name:      name,
+			Summary:   metrics.Summarize(col.samples),
+			MemoryMbE: float64(memMb),
+		})
+		return nil
+	}
+
+	collect := func(col *collector, queryAt func(x int, f uint64) float64,
+		truthAt func(x int, kNext int64) (map[uint64]int64, error)) func(kNext int64) error {
+		return func(kNext int64) error {
+			if !cfg.Window.Warm(kNext) || kNext%int64(cfg.SampleEvery) != 0 {
+				return nil
+			}
+			truth, err := truthAt(0, kNext)
+			if err != nil {
+				return err
+			}
+			for f, want := range truth {
+				if cfg.sampleFlow(f) {
+					col.add(float64(want), queryAt(0, f))
+				}
+			}
+			return nil
+		}
+	}
+
+	if err := score("rSkt2(HLL) epoch sketch (paper)", func(col *collector) error {
+		sim, err := cluster.NewSpreadSim(cluster.SpreadSimConfig{
+			Window: cfg.Window, MemoryBits: mem, Seed: cfg.Seed, TrackTruth: true,
+		})
+		if err != nil {
+			return err
+		}
+		sim.OnBoundary = collect(col, sim.QueryProtocol, sim.TruthAt)
+		gen, err := trace.NewGenerator(cfg.Trace)
+		if err != nil {
+			return err
+		}
+		return sim.Run(gen)
+	}); err != nil {
+		return AblationResult{}, err
+	}
+
+	if err := score("vHLL epoch sketch (register sharing)", func(col *collector) error {
+		sim, err := cluster.NewVhllSpreadSim(cluster.SpreadSimConfig{
+			Window: cfg.Window, MemoryBits: mem, Seed: cfg.Seed, TrackTruth: true,
+		})
+		if err != nil {
+			return err
+		}
+		sim.OnBoundary = collect(col, sim.QueryProtocol, sim.TruthAt)
+		gen, err := trace.NewGenerator(cfg.Trace)
+		if err != nil {
+			return err
+		}
+		return sim.Run(gen)
+	}); err != nil {
+		return AblationResult{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSV export: every figure's regenerated data can be written as plain CSV
+// files (one per series component) so the plots can be redrawn with any
+// tool. Files land in a directory as <label>_<series>_<component>.csv.
+
+// WriteAccuracyCSV writes an accuracy figure's scatter and bucket series.
+func WriteAccuracyCSV(dir string, res AccuracyResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range res.Series {
+		scatter, err := createCSV(dir, res.Label, s.Name, "scatter")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(scatter, "truth,estimate")
+		for _, p := range s.Scatter {
+			fmt.Fprintf(scatter, "%g,%g\n", p.Truth, p.Est)
+		}
+		if err := scatter.Close(); err != nil {
+			return err
+		}
+
+		buckets, err := createCSV(dir, res.Label, s.Name, "buckets")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(buckets, "lo,hi,count,rel_bias,rel_stderr")
+		for _, b := range s.Buckets {
+			fmt.Fprintf(buckets, "%g,%g,%d,%g,%g\n", b.Lo, b.Hi, b.Count, b.MeanRelBias, b.RelStdErr)
+		}
+		if err := buckets.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSweepCSV writes a Figure 13 subplot's series.
+func WriteSweepCSV(dir string, res SweepResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := createCSV(dir, res.Label, res.Kind, "sweep")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "n,protocol_avg_abs_err,baseline_avg_abs_err")
+	for _, p := range res.Points {
+		fmt.Fprintf(f, "%d,%g,%g\n", p.N, p.ProtocolAvgAbsErr, p.BaselineAvgAbsErr)
+	}
+	return f.Close()
+}
+
+func createCSV(dir, label, series, component string) (io.WriteCloser, error) {
+	name := fmt.Sprintf("%s_%s_%s.csv", slug(label), slug(series), slug(component))
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: create csv: %w", err)
+	}
+	return f, nil
+}
+
+// slug converts a label to a filesystem-friendly token.
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '.', r == '(', r == ')', r == '/', r == '-':
+			// collapse separators to single underscores
+			if b.Len() > 0 && !strings.HasSuffix(b.String(), "_") {
+				b.WriteByte('_')
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}

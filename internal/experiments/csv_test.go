@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSlug(t *testing.T) {
+	tests := []struct{ give, want string }{
+		{give: "Fig. 3", want: "fig_3"},
+		{give: "Fig. 13(a)", want: "fig_13_a"},
+		{give: "Sliding Sketch", want: "sliding_sketch"},
+		{give: "three-sketch", want: "three_sketch"},
+	}
+	for _, tt := range tests {
+		if got := slug(tt.give); got != tt.want {
+			t.Fatalf("slug(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestWriteAccuracyCSV(t *testing.T) {
+	dir := t.TempDir()
+	res := AccuracyResult{
+		Label: "Fig. 8",
+		Series: []Series{
+			{
+				Name:    "two-sketch",
+				Scatter: []metrics.Sample{{Truth: 10, Est: 11}, {Truth: 20, Est: 19}},
+				Buckets: []metrics.Bucket{{Lo: 1, Hi: 10, Count: 2, MeanRelBias: 0.05, RelStdErr: 0.1}},
+			},
+		},
+	}
+	if err := WriteAccuracyCSV(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	scatter, err := os.ReadFile(filepath.Join(dir, "fig_8_two_sketch_scatter.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(scatter), "10,11") {
+		t.Fatalf("scatter csv missing data:\n%s", scatter)
+	}
+	buckets, err := os.ReadFile(filepath.Join(dir, "fig_8_two_sketch_buckets.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buckets), "1,10,2,0.05,0.1") {
+		t.Fatalf("buckets csv missing data:\n%s", buckets)
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	dir := t.TempDir()
+	res := SweepResult{
+		Label: "Fig. 13(a)",
+		Kind:  "size",
+		Points: []SweepPoint{
+			{N: 5, ProtocolAvgAbsErr: 9.1, BaselineAvgAbsErr: 280},
+		},
+	}
+	if err := WriteSweepCSV(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig_13_a_size_sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "5,9.1,280") {
+		t.Fatalf("sweep csv missing data:\n%s", data)
+	}
+}
+
+func TestAccuracyRunWritesCSV(t *testing.T) {
+	cfg := testConfig()
+	cfg.CSVDir = t.TempDir()
+	if _, err := RunSizeAccuracy(cfg, "Fig. CSV", []int{2, 2, 2}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(cfg.CSVDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // 2 series x (scatter + buckets)
+		t.Fatalf("csv files written = %d, want 4", len(entries))
+	}
+}

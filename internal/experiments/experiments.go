@@ -1,0 +1,94 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII) on the synthetic CAIDA-like trace.
+//
+// # Scaling
+//
+// The paper replays a 30-minute CAIDA slice (1.02 B packets, 3.3 M
+// destination flows) against 2-32 Mb sketches. This repository replays a
+// synthetic trace with the same shape but ~27x fewer flows, and divides
+// the paper's memory labels by MemScaleDiv (default 32) so the per-flow
+// sketch load — the quantity accuracy actually depends on — stays in the
+// paper's regime. Labels in results keep the paper's nominal "2Mb"/"8Mb"
+// names.
+//
+// Queries are issued at epoch boundaries (every SampleEvery-th warm
+// boundary) over a deterministic sample of the flows active in the window,
+// and scored against the exact statistics of the approximate networkwide
+// T-stream, exactly as Section VII-A defines.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/window"
+	"repro/internal/xhash"
+)
+
+// Mb is one megabit, the paper's memory unit.
+const Mb = 1 << 20
+
+// Config holds the workload-level knobs shared by all experiments.
+type Config struct {
+	// Trace is the synthetic workload.
+	Trace trace.Config
+	// Window is the T-query model (paper default: T = 1 min, n = 10).
+	Window window.Config
+	// MemScaleDiv divides the paper's Mb labels (see package comment).
+	MemScaleDiv int
+	// SampleEvery scores every k-th warm epoch boundary.
+	SampleEvery int
+	// FlowSampleMod deterministically samples one in FlowSampleMod of the
+	// window's flows per scored boundary (1 = all flows).
+	FlowSampleMod int
+	// Seed is the cluster-wide hash seed.
+	Seed uint64
+	// CSVDir, when non-empty, makes the accuracy and sweep runners also
+	// write their series as CSV files into this directory.
+	CSVDir string
+}
+
+// DefaultConfig returns the full-scale experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		Trace:         trace.Default(),
+		Window:        window.Config{T: time.Minute, N: 10},
+		MemScaleDiv:   32,
+		SampleEvery:   10,
+		FlowSampleMod: 7,
+		Seed:          42,
+	}
+}
+
+// QuickConfig returns a reduced configuration for tests and smoke runs:
+// same shape, ~10x less work.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Trace.Packets = 300_000
+	cfg.Trace.Flows = 20_000
+	cfg.Trace.Duration = 6 * time.Minute
+	cfg.SampleEvery = 10
+	cfg.FlowSampleMod = 5
+	return cfg
+}
+
+// scaledMem converts a paper memory label in Mb to this run's bit budget.
+func (c Config) scaledMem(paperMb int) int {
+	div := c.MemScaleDiv
+	if div < 1 {
+		div = 1
+	}
+	bits := paperMb * Mb / div
+	if bits < 1 {
+		bits = 1
+	}
+	return bits
+}
+
+// sampleFlow reports whether flow f is in the deterministic query sample.
+func (c Config) sampleFlow(f uint64) bool {
+	if c.FlowSampleMod <= 1 {
+		return true
+	}
+	return xhash.Hash64(f, c.Seed^0xf10f)%uint64(c.FlowSampleMod) == 0
+}

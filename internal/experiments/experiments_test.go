@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig shrinks the workload so the full experiment path runs in
+// seconds.
+func testConfig() Config {
+	cfg := QuickConfig()
+	cfg.Trace.Packets = 150_000
+	cfg.Trace.Flows = 10_000
+	cfg.Trace.Duration = 4 * time.Minute
+	cfg.SampleEvery = 10
+	cfg.FlowSampleMod = 11
+	return cfg
+}
+
+func TestScaledMem(t *testing.T) {
+	cfg := testConfig()
+	cfg.MemScaleDiv = 32
+	if got := cfg.scaledMem(2); got != 2*Mb/32 {
+		t.Fatalf("scaledMem(2) = %d", got)
+	}
+	cfg.MemScaleDiv = 0
+	if got := cfg.scaledMem(2); got != 2*Mb {
+		t.Fatalf("scaledMem with div 0 = %d", got)
+	}
+}
+
+func TestSampleFlowDeterministic(t *testing.T) {
+	cfg := testConfig()
+	for f := uint64(0); f < 100; f++ {
+		if cfg.sampleFlow(f) != cfg.sampleFlow(f) {
+			t.Fatal("sampleFlow not deterministic")
+		}
+	}
+	cfg.FlowSampleMod = 1
+	if !cfg.sampleFlow(12345) {
+		t.Fatal("mod 1 must sample everything")
+	}
+}
+
+func TestSizeAccuracyExperimentShape(t *testing.T) {
+	res, err := RunSizeAccuracy(testConfig(), "Fig. 8 (test)", []int{2, 2, 2}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(res.Series))
+	}
+	proto, base := res.Series[0], res.Series[1]
+	if proto.Summary.Count == 0 {
+		t.Fatal("no flows scored")
+	}
+	// The paper's headline: the two-sketch design beats Sliding Sketch
+	// decisively at equal memory.
+	if proto.Summary.AvgAbsErr >= base.Summary.AvgAbsErr {
+		t.Fatalf("two-sketch avg err %.2f not below Sliding Sketch %.2f",
+			proto.Summary.AvgAbsErr, base.Summary.AvgAbsErr)
+	}
+	text := FormatAccuracy(res)
+	if !strings.Contains(text, "two-sketch") || !strings.Contains(text, "Sliding Sketch") {
+		t.Fatalf("report missing methods:\n%s", text)
+	}
+}
+
+func TestSpreadAccuracyExperimentShape(t *testing.T) {
+	res, err := RunSpreadAccuracy(testConfig(), "Fig. 3 (test)", []int{2, 2, 2}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, base := res.Series[0], res.Series[1]
+	if proto.Summary.Count == 0 {
+		t.Fatal("no flows scored")
+	}
+	if proto.Summary.AvgAbsErr >= base.Summary.AvgAbsErr {
+		t.Fatalf("three-sketch avg err %.2f not below VATE %.2f",
+			proto.Summary.AvgAbsErr, base.Summary.AvgAbsErr)
+	}
+}
+
+func TestDiversityExperimentRuns(t *testing.T) {
+	res, err := RunSizeAccuracy(testConfig(), "Fig. 10 (test)", []int{2, 4, 8}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series[0].Summary.Count == 0 {
+		t.Fatal("no flows scored under diversity")
+	}
+}
+
+func TestEpochSweepShape(t *testing.T) {
+	cfg := testConfig()
+	res, err := RunEpochSweep(cfg, "Fig. 13 (test)", "size", 2, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("sweep points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.ProtocolAvgAbsErr >= p.BaselineAvgAbsErr {
+			t.Fatalf("n=%d: protocol %.2f not below baseline %.2f",
+				p.N, p.ProtocolAvgAbsErr, p.BaselineAvgAbsErr)
+		}
+	}
+	if out := FormatSweep(res); !strings.Contains(out, "n") {
+		t.Fatal("empty sweep report")
+	}
+}
+
+func TestEpochSweepRejectsBadN(t *testing.T) {
+	if _, err := RunEpochSweep(testConfig(), "x", "size", 2, []int{7}); err == nil {
+		t.Fatal("expected error: 7 does not divide 60s")
+	}
+	if _, err := RunEpochSweep(testConfig(), "x", "bogus", 2, []int{5}); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestQueryOverheadOrdering(t *testing.T) {
+	res, err := RunQueryOverhead(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table I's shape: local-memory queries are orders of magnitude
+	// cheaper than RTT-bound baseline queries.
+	if res.TwoSketch >= res.SlidingSketch {
+		t.Fatalf("two-sketch %v not below Sliding Sketch %v", res.TwoSketch, res.SlidingSketch)
+	}
+	if res.ThreeSketch >= res.VATE {
+		t.Fatalf("three-sketch %v not below VATE %v", res.ThreeSketch, res.VATE)
+	}
+	if res.SlidingSketch < 10*res.TwoSketch {
+		t.Fatalf("baseline gap too small: %v vs %v (expected RTT-dominated)",
+			res.SlidingSketch, res.TwoSketch)
+	}
+	if out := FormatOverhead(res); !strings.Contains(out, "Table I") {
+		t.Fatal("bad overhead report")
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	res, err := RunThroughput(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"two-sketch":     res.TwoSketchPPS,
+		"three-sketch":   res.ThreeSketchPPS,
+		"sliding sketch": res.SlidingSketchPPS,
+		"vate":           res.VATEPPS,
+	} {
+		if v < 100_000 {
+			t.Fatalf("%s throughput %.0f pps implausibly low", name, v)
+		}
+	}
+	if out := FormatThroughput(res); !strings.Contains(out, "Table II") {
+		t.Fatal("bad throughput report")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig13d",
+		"table1", "table2",
+		"ablation-enhance", "ablation-upload", "ablation-m",
+		"ablation-estimator", "ablation-core-sketch", "detect-latency",
+		"mem-sweep-size", "mem-sweep-spread",
+	}
+	reg := Registry()
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run(testConfig(), "fig99"); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestUploadModeAblationEquivalence(t *testing.T) {
+	res, err := RunUploadModeAblation(testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 2 {
+		t.Fatalf("variants = %d", len(res.Variants))
+	}
+	a, b := res.Variants[0].Summary, res.Variants[1].Summary
+	// Identical accuracy: recovery is exact, so the cheap design loses
+	// nothing.
+	if a.AvgAbsErr != b.AvgAbsErr || a.Count != b.Count {
+		t.Fatalf("cumulative (%.3f) and delta (%.3f) accuracy differ", a.AvgAbsErr, b.AvgAbsErr)
+	}
+	if res.Variants[0].MemoryMbE >= res.Variants[1].MemoryMbE {
+		t.Fatal("cumulative mode should cost less memory")
+	}
+	if out := FormatAblation(res); !strings.Contains(out, "ablation-upload") {
+		t.Fatal("bad ablation report")
+	}
+}
+
+func TestEstimatorAblationShape(t *testing.T) {
+	res, err := RunEstimatorAblation(testConfig(), 2, 300, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 4 {
+		t.Fatalf("variants = %d, want 4", len(res.Variants))
+	}
+	for _, v := range res.Variants {
+		if v.Summary.Count == 0 {
+			t.Fatalf("%s scored no flows", v.Name)
+		}
+		if v.Summary.RelStdErr <= 0 {
+			t.Fatalf("%s has zero stderr, suspicious", v.Name)
+		}
+	}
+	// The paper picks rSkt2(HLL) as the most accurate at equal memory.
+	hllErr := res.Variants[0].Summary.RelStdErr
+	for _, v := range res.Variants[1:] {
+		if hllErr > 2*v.Summary.RelStdErr {
+			t.Fatalf("HLL (%.3f) much worse than %s (%.3f): estimator comparison inverted",
+				hllErr, v.Name, v.Summary.RelStdErr)
+		}
+	}
+}
+
+func TestDetectionLatencyShape(t *testing.T) {
+	cfg := testConfig()
+	// Fixed budgets: the measured-overhead path divides by wall time,
+	// which race/instrumented builds inflate.
+	res, err := RunDetectionLatencyWithBudgets(cfg, 2, 2000, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruthEpoch <= res.AttackEpoch {
+		t.Fatalf("truth crossed at %d, before/at attack onset %d", res.TruthEpoch, res.AttackEpoch)
+	}
+	proto, base := res.LatencyEpochs()
+	if proto < 0 {
+		t.Fatal("three-sketch never detected the attack")
+	}
+	// The RTT-bound baseline can scan far fewer candidates per epoch, so
+	// it must not detect faster than the protocol.
+	if base >= 0 && base < proto {
+		t.Fatalf("baseline detected faster (%d) than protocol (%d)", base, proto)
+	}
+	if res.ProtoQueriesPerEpoch <= res.BaseQueriesPerEpoch {
+		t.Fatalf("scan budgets inverted: proto %d, base %d",
+			res.ProtoQueriesPerEpoch, res.BaseQueriesPerEpoch)
+	}
+	if out := FormatDetection(res); !strings.Contains(out, "alarm") {
+		t.Fatal("bad detection report")
+	}
+}
+
+func TestMemorySweepMonotone(t *testing.T) {
+	res, err := RunMemorySweep(testConfig(), "test", "size", []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// More memory must not hurt either method, and the design must win at
+	// both settings.
+	if res.Points[1].ProtocolAvgAbsErr > res.Points[0].ProtocolAvgAbsErr {
+		t.Fatalf("protocol error grew with memory: %+v", res.Points)
+	}
+	if res.Points[1].BaselineAvgAbsErr > res.Points[0].BaselineAvgAbsErr {
+		t.Fatalf("baseline error grew with memory: %+v", res.Points)
+	}
+	for _, p := range res.Points {
+		if p.ProtocolAvgAbsErr >= p.BaselineAvgAbsErr {
+			t.Fatalf("ordering inverted at %dMb", p.MemoryMb)
+		}
+	}
+	if out := FormatMemSweep(res); !strings.Contains(out, "Mb") {
+		t.Fatal("bad mem-sweep report")
+	}
+	if _, err := RunMemorySweep(testConfig(), "x", "bogus", []int{2}); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestCoreSketchAblationShape(t *testing.T) {
+	res, err := RunCoreSketchAblation(testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 2 {
+		t.Fatalf("variants = %d, want 2", len(res.Variants))
+	}
+	for _, v := range res.Variants {
+		if v.Summary.Count == 0 {
+			t.Fatalf("%s scored no flows", v.Name)
+		}
+	}
+	// Both variants must be the same flow set (same trace, same sampling).
+	if res.Variants[0].Summary.Count != res.Variants[1].Summary.Count {
+		t.Fatalf("variant flow counts differ: %d vs %d",
+			res.Variants[0].Summary.Count, res.Variants[1].Summary.Count)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MemSweepPoint is one memory setting's outcome.
+type MemSweepPoint struct {
+	MemoryMb          int
+	ProtocolAvgAbsErr float64
+	BaselineAvgAbsErr float64
+}
+
+// MemSweepResult is an extension figure the paper implies but does not
+// plot: average absolute error of the design and its baseline as the
+// uniform per-point memory doubles.
+type MemSweepResult struct {
+	Label  string
+	Kind   string
+	Points []MemSweepPoint
+}
+
+// DefaultMemSweepMb are the memory labels swept (the paper's evaluation
+// touches 2..32 Mb).
+var DefaultMemSweepMb = []int{1, 2, 4, 8, 16, 32}
+
+// RunMemorySweep measures MemSweepResult for "size" or "spread".
+func RunMemorySweep(cfg Config, label, kind string, mems []int) (MemSweepResult, error) {
+	if len(mems) == 0 {
+		mems = DefaultMemSweepMb
+	}
+	out := MemSweepResult{Label: label, Kind: kind}
+	for _, mb := range mems {
+		mem := []int{mb, mb, mb}
+		var protoErr, baseErr float64
+		switch kind {
+		case "size":
+			res, err := RunSizeAccuracy(cfg, label, mem, 0, false)
+			if err != nil {
+				return MemSweepResult{}, err
+			}
+			protoErr, baseErr = res.Series[0].Summary.AvgAbsErr, res.Series[1].Summary.AvgAbsErr
+		case "spread":
+			res, err := RunSpreadAccuracy(cfg, label, mem, 0, false)
+			if err != nil {
+				return MemSweepResult{}, err
+			}
+			protoErr, baseErr = res.Series[0].Summary.AvgAbsErr, res.Series[1].Summary.AvgAbsErr
+		default:
+			return MemSweepResult{}, fmt.Errorf("experiments: unknown mem-sweep kind %q", kind)
+		}
+		out.Points = append(out.Points, MemSweepPoint{
+			MemoryMb:          mb,
+			ProtocolAvgAbsErr: protoErr,
+			BaselineAvgAbsErr: baseErr,
+		})
+	}
+	return out, nil
+}
+
+// FormatMemSweep renders a memory sweep as text.
+func FormatMemSweep(res MemSweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — avg absolute error vs per-point memory (%s)\n", res.Label, res.Kind)
+	proto, base := "two-sketch", "Sliding Sketch"
+	if res.Kind == "spread" {
+		proto, base = "three-sketch", "VATE"
+	}
+	fmt.Fprintf(&b, "%8s %16s %16s\n", "mem", proto, base)
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "%6dMb %16.2f %16.2f\n", p.MemoryMb, p.ProtocolAvgAbsErr, p.BaselineAvgAbsErr)
+	}
+	return b.String()
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment regenerates one of the paper's tables or figures and returns
+// a textual report.
+type Experiment struct {
+	// ID is the handle used by `tqbench -exp`.
+	ID string
+	// Description says what the experiment reproduces.
+	Description string
+	// Run executes the experiment.
+	Run func(cfg Config) (string, error)
+}
+
+// Registry lists every reproducible experiment, keyed by ID.
+func Registry() map[string]Experiment {
+	exps := []Experiment{
+		{
+			ID:          "fig3",
+			Description: "Fig. 3: spread accuracy, uniform 2Mb, three-sketch vs VATE",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunSpreadAccuracy(cfg, "Fig. 3", []int{2, 2, 2}, 0, false)
+				if err != nil {
+					return "", err
+				}
+				return FormatAccuracy(res), nil
+			},
+		},
+		{
+			ID:          "fig4",
+			Description: "Fig. 4: spread accuracy, uniform 8Mb, three-sketch vs VATE",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunSpreadAccuracy(cfg, "Fig. 4", []int{8, 8, 8}, 0, false)
+				if err != nil {
+					return "", err
+				}
+				return FormatAccuracy(res), nil
+			},
+		},
+		{
+			ID:          "fig5",
+			Description: "Fig. 5: spread accuracy under diversity 2/4/8Mb at v1",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunSpreadAccuracy(cfg, "Fig. 5", []int{2, 4, 8}, 1, false)
+				if err != nil {
+					return "", err
+				}
+				return FormatAccuracy(res), nil
+			},
+		},
+		{
+			ID:          "fig6",
+			Description: "Fig. 6: spread accuracy under diversity 8/16/32Mb at v1",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunSpreadAccuracy(cfg, "Fig. 6", []int{8, 16, 32}, 1, false)
+				if err != nil {
+					return "", err
+				}
+				return FormatAccuracy(res), nil
+			},
+		},
+		{
+			ID:          "fig7",
+			Description: "Fig. 7: spread accuracy of three-sketch at v0/v2 under both diversity settings",
+			Run: func(cfg Config) (string, error) {
+				var b strings.Builder
+				for _, sub := range []struct {
+					tag   string
+					mem   []int
+					point int
+				}{
+					{tag: "Fig. 7(a)", mem: []int{2, 4, 8}, point: 0},
+					{tag: "Fig. 7(b)", mem: []int{2, 4, 8}, point: 2},
+					{tag: "Fig. 7(c)", mem: []int{8, 16, 32}, point: 0},
+					{tag: "Fig. 7(d)", mem: []int{8, 16, 32}, point: 2},
+				} {
+					res, err := RunSpreadAccuracy(cfg, sub.tag, sub.mem, sub.point, false)
+					if err != nil {
+						return "", err
+					}
+					b.WriteString(FormatAccuracy(res))
+					b.WriteString("\n")
+				}
+				return b.String(), nil
+			},
+		},
+		{
+			ID:          "fig8",
+			Description: "Fig. 8: size accuracy, uniform 2Mb, two-sketch vs Sliding Sketch",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunSizeAccuracy(cfg, "Fig. 8", []int{2, 2, 2}, 0, false)
+				if err != nil {
+					return "", err
+				}
+				return FormatAccuracy(res), nil
+			},
+		},
+		{
+			ID:          "fig9",
+			Description: "Fig. 9: size accuracy, uniform 8Mb, two-sketch vs Sliding Sketch",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunSizeAccuracy(cfg, "Fig. 9", []int{8, 8, 8}, 0, false)
+				if err != nil {
+					return "", err
+				}
+				return FormatAccuracy(res), nil
+			},
+		},
+		{
+			ID:          "fig10",
+			Description: "Fig. 10: size accuracy under diversity 2/4/8Mb at v1",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunSizeAccuracy(cfg, "Fig. 10", []int{2, 4, 8}, 1, false)
+				if err != nil {
+					return "", err
+				}
+				return FormatAccuracy(res), nil
+			},
+		},
+		{
+			ID:          "fig11",
+			Description: "Fig. 11: size accuracy under diversity 8/16/32Mb at v1",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunSizeAccuracy(cfg, "Fig. 11", []int{8, 16, 32}, 1, false)
+				if err != nil {
+					return "", err
+				}
+				return FormatAccuracy(res), nil
+			},
+		},
+		{
+			ID:          "fig12",
+			Description: "Fig. 12: size accuracy of two-sketch at v0/v2 under both diversity settings",
+			Run: func(cfg Config) (string, error) {
+				var b strings.Builder
+				for _, sub := range []struct {
+					tag   string
+					mem   []int
+					point int
+				}{
+					{tag: "Fig. 12(a)", mem: []int{2, 4, 8}, point: 0},
+					{tag: "Fig. 12(b)", mem: []int{2, 4, 8}, point: 2},
+					{tag: "Fig. 12(c)", mem: []int{8, 16, 32}, point: 0},
+					{tag: "Fig. 12(d)", mem: []int{8, 16, 32}, point: 2},
+				} {
+					res, err := RunSizeAccuracy(cfg, sub.tag, sub.mem, sub.point, false)
+					if err != nil {
+						return "", err
+					}
+					b.WriteString(FormatAccuracy(res))
+					b.WriteString("\n")
+				}
+				return b.String(), nil
+			},
+		},
+		{
+			ID:          "fig13a",
+			Description: "Fig. 13(a): avg abs error vs n, size, 2Mb",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunEpochSweep(cfg, "Fig. 13(a)", "size", 2, nil)
+				if err != nil {
+					return "", err
+				}
+				return FormatSweep(res), nil
+			},
+		},
+		{
+			ID:          "fig13b",
+			Description: "Fig. 13(b): avg abs error vs n, size, 8Mb",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunEpochSweep(cfg, "Fig. 13(b)", "size", 8, nil)
+				if err != nil {
+					return "", err
+				}
+				return FormatSweep(res), nil
+			},
+		},
+		{
+			ID:          "fig13c",
+			Description: "Fig. 13(c): avg abs error vs n, spread, 2Mb",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunEpochSweep(cfg, "Fig. 13(c)", "spread", 2, nil)
+				if err != nil {
+					return "", err
+				}
+				return FormatSweep(res), nil
+			},
+		},
+		{
+			ID:          "fig13d",
+			Description: "Fig. 13(d): avg abs error vs n, spread, 8Mb",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunEpochSweep(cfg, "Fig. 13(d)", "spread", 8, nil)
+				if err != nil {
+					return "", err
+				}
+				return FormatSweep(res), nil
+			},
+		},
+		{
+			ID:          "table1",
+			Description: "Table I: online query overhead of all four methods",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunQueryOverhead(cfg)
+				if err != nil {
+					return "", err
+				}
+				return FormatOverhead(res), nil
+			},
+		},
+		{
+			ID:          "table2",
+			Description: "Table II: packet-recording throughput of all four methods",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunThroughput(cfg)
+				if err != nil {
+					return "", err
+				}
+				return FormatThroughput(res), nil
+			},
+		},
+		{
+			ID:          "mem-sweep-size",
+			Description: "Extension: avg abs error vs per-point memory (size, 1-32Mb)",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunMemorySweep(cfg, "mem-sweep-size", "size", nil)
+				if err != nil {
+					return "", err
+				}
+				return FormatMemSweep(res), nil
+			},
+		},
+		{
+			ID:          "mem-sweep-spread",
+			Description: "Extension: avg abs error vs per-point memory (spread, 1-32Mb)",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunMemorySweep(cfg, "mem-sweep-spread", "spread", nil)
+				if err != nil {
+					return "", err
+				}
+				return FormatMemSweep(res), nil
+			},
+		},
+		{
+			ID:          "detect-latency",
+			Description: "DDoS detection latency under a per-epoch query-time budget (consequence of Table I)",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunDetectionLatency(cfg, 2)
+				if err != nil {
+					return "", err
+				}
+				return FormatDetection(res), nil
+			},
+		},
+		{
+			ID:          "ablation-enhance",
+			Description: "Ablation: the Section IV-D enhancement on vs off (spread, 8Mb)",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunEnhancementAblation(cfg, 8)
+				if err != nil {
+					return "", err
+				}
+				return FormatAblation(res), nil
+			},
+		},
+		{
+			ID:          "ablation-upload",
+			Description: "Ablation: cumulative-upload recovery vs a third B sketch (size, 2Mb)",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunUploadModeAblation(cfg, 2)
+				if err != nil {
+					return "", err
+				}
+				return FormatAblation(res), nil
+			},
+		},
+		{
+			ID:          "ablation-estimator",
+			Description: "Ablation: rSkt2 estimator choice HLL vs bitmap vs FM at equal memory",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunEstimatorAblation(cfg, 2, 0, 0)
+				if err != nil {
+					return "", err
+				}
+				return FormatAblation(res), nil
+			},
+		},
+		{
+			ID:          "ablation-core-sketch",
+			Description: "Ablation: full protocol with rSkt2(HLL) vs vHLL epoch sketches at equal memory (2Mb)",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunCoreSketchAblation(cfg, 2)
+				if err != nil {
+					return "", err
+				}
+				return FormatAblation(res), nil
+			},
+		},
+		{
+			ID:          "ablation-m",
+			Description: "Ablation: HLL register count m at fixed memory (spread, 2Mb)",
+			Run: func(cfg Config) (string, error) {
+				res, err := RunRegisterCountAblation(cfg, 2, nil)
+				if err != nil {
+					return "", err
+				}
+				return FormatAblation(res), nil
+			},
+		},
+	}
+	out := make(map[string]Experiment, len(exps))
+	for _, e := range exps {
+		out[e.ID] = e
+	}
+	return out
+}
+
+// IDs returns the registry's experiment ids in stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(cfg Config, id string) (string, error) {
+	exp, ok := Registry()[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return exp.Run(cfg)
+}

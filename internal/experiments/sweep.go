@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/window"
+)
+
+// SweepPoint is one x-axis value of Figure 13.
+type SweepPoint struct {
+	// N is the epochs-per-window value (epoch length h = T/N).
+	N int
+	// ProtocolAvgAbsErr and BaselineAvgAbsErr are the y-values.
+	ProtocolAvgAbsErr float64
+	BaselineAvgAbsErr float64
+}
+
+// SweepResult is the regenerated content of one Figure 13 subplot.
+type SweepResult struct {
+	Label    string
+	Kind     string // "size" or "spread"
+	MemoryMb int
+	Points   []SweepPoint
+}
+
+// DefaultSweepNs are the n values of Figure 13 that divide the 1-minute
+// window evenly (the paper sweeps 5..60).
+var DefaultSweepNs = []int{5, 6, 10, 12, 15, 20, 30, 60}
+
+// RunEpochSweep regenerates one Figure 13 subplot: average absolute error
+// of the design and its baseline as the window is split into more, shorter
+// epochs, at a fixed uniform memory.
+func RunEpochSweep(cfg Config, label, kind string, memMb int, ns []int) (SweepResult, error) {
+	if len(ns) == 0 {
+		ns = DefaultSweepNs
+	}
+	out := SweepResult{Label: label, Kind: kind, MemoryMb: memMb}
+	for _, n := range ns {
+		runCfg := cfg
+		runCfg.Window = window.Config{T: cfg.Window.T, N: n}
+		if runCfg.Window.T.Nanoseconds()%int64(n) != 0 {
+			return SweepResult{}, fmt.Errorf("experiments: n=%d does not divide T=%v", n, cfg.Window.T)
+		}
+		// Keep roughly the same number of scored boundaries per run:
+		// sample once per window's worth of epochs.
+		runCfg.SampleEvery = n
+		// The sweep writes one consolidated CSV itself; suppress the
+		// per-n accuracy CSVs (they would overwrite each other).
+		runCfg.CSVDir = ""
+		mem := []int{memMb, memMb, memMb}
+		var (
+			protoErr, baseErr float64
+		)
+		switch kind {
+		case "size":
+			res, err := RunSizeAccuracy(runCfg, label, mem, 0, false)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			protoErr, baseErr = res.Series[0].Summary.AvgAbsErr, res.Series[1].Summary.AvgAbsErr
+		case "spread":
+			res, err := RunSpreadAccuracy(runCfg, label, mem, 0, false)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			protoErr, baseErr = res.Series[0].Summary.AvgAbsErr, res.Series[1].Summary.AvgAbsErr
+		default:
+			return SweepResult{}, fmt.Errorf("experiments: unknown sweep kind %q", kind)
+		}
+		out.Points = append(out.Points, SweepPoint{
+			N:                 n,
+			ProtocolAvgAbsErr: protoErr,
+			BaselineAvgAbsErr: baseErr,
+		})
+	}
+	if cfg.CSVDir != "" {
+		if err := WriteSweepCSV(cfg.CSVDir, out); err != nil {
+			return SweepResult{}, err
+		}
+	}
+	return out, nil
+}

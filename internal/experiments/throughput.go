@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/hll"
+	"repro/internal/rskt"
+	"repro/internal/slidingsketch"
+	"repro/internal/vate"
+)
+
+// ThroughputResult is the regenerated Table II: the online packet-recording
+// rate of each method in packets per second. The paper's designs record
+// into their two or three local sketches; the baselines record into their
+// own local structure. (All methods record locally — the difference the
+// table shows is the per-packet datapath cost.)
+type ThroughputResult struct {
+	TwoSketchPPS     float64
+	SlidingSketchPPS float64
+	ThreeSketchPPS   float64
+	VATEPPS          float64
+}
+
+// throughputPackets is the number of packets each method is timed over.
+const throughputPackets = 1_000_000
+
+// RunThroughput measures Table II.
+func RunThroughput(cfg Config) (ThroughputResult, error) {
+	var out ThroughputResult
+	seed := cfg.Seed
+	mem := cfg.scaledMem(2)
+	n := cfg.Window.N
+
+	// Pre-generate the packet workload so generation cost is excluded.
+	flows := make([]uint64, throughputPackets)
+	elems := make([]uint64, throughputPackets)
+	rng := uint64(88172645463325252)
+	for i := range flows {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		flows[i] = rng % 10_000
+		elems[i] = rng >> 32
+	}
+
+	sizePt, err := core.NewSizePoint(0, countmin.Params{
+		D:    countmin.DefaultDepth,
+		W:    countmin.WidthForMemory(mem, countmin.DefaultDepth),
+		Seed: seed,
+	}, core.SizeModeCumulative)
+	if err != nil {
+		return out, err
+	}
+	out.TwoSketchPPS = timeRecords(func(i int) {
+		sizePt.Record(flows[i])
+	})
+
+	spreadPt, err := core.NewSpreadPoint(0, rskt.Params{
+		W: rskt.WidthForMemory(mem, hll.DefaultM), M: hll.DefaultM, Seed: seed,
+	})
+	if err != nil {
+		return out, err
+	}
+	out.ThreeSketchPPS = timeRecords(func(i int) {
+		spreadPt.Record(flows[i], elems[i])
+	})
+
+	sliding := slidingsketch.New(slidingsketch.Params{
+		D:     slidingsketch.DefaultDepth,
+		W:     slidingsketch.WidthForMemory(mem, slidingsketch.DefaultDepth, n),
+		Zones: n,
+		Seed:  seed,
+	})
+	out.SlidingSketchPPS = timeRecords(func(i int) {
+		sliding.Record(flows[i])
+	})
+
+	vt := vate.New(vate.Params{
+		VirtualBits:   vate.DefaultVirtualBits,
+		PhysicalCells: vate.CellsForMemory(mem, n),
+		WindowN:       n,
+		Seed:          seed,
+	})
+	out.VATEPPS = timeRecords(func(i int) {
+		vt.Record(flows[i], elems[i])
+	})
+	return out, nil
+}
+
+// timeRecords returns the packets-per-second rate of the record function.
+func timeRecords(record func(i int)) float64 {
+	start := time.Now()
+	for i := 0; i < throughputPackets; i++ {
+		record(i)
+	}
+	elapsed := time.Since(start)
+	return float64(throughputPackets) / elapsed.Seconds()
+}

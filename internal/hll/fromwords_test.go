@@ -1,0 +1,54 @@
+package hll
+
+import "testing"
+
+func TestFromWordsRoundTrip(t *testing.T) {
+	r := NewRegs(100)
+	for i := range r {
+		r[i] = uint8(i % 32)
+	}
+	p := Pack(r)
+	back, err := FromWords(100, p.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Unpack().Equal(r) {
+		t.Fatal("FromWords(Words()) changed register state")
+	}
+}
+
+func TestFromWordsLengthMismatch(t *testing.T) {
+	if _, err := FromWords(100, make([]uint64, 3)); err == nil {
+		t.Fatal("expected word-count error")
+	}
+}
+
+func TestFromWordsRejectsPaddingBits(t *testing.T) {
+	// 100 registers * 5 bits = 500 bits = 7.8125 words -> 8 words with 12
+	// padding bits; setting any of them must be rejected (canonical
+	// encodings only).
+	p := NewPacked(100)
+	words := make([]uint64, len(p.Words()))
+	copy(words, p.Words())
+	words[len(words)-1] |= 1 << 63
+	if _, err := FromWords(100, words); err == nil {
+		t.Fatal("expected non-canonical padding error")
+	}
+}
+
+func TestFromWordsExactFit(t *testing.T) {
+	// 64 registers * 5 = 320 bits = exactly 5 words: no padding to check.
+	p := NewPacked(64)
+	for i := 0; i < 64; i++ {
+		p.Set(i, 31)
+	}
+	back, err := FromWords(64, p.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if back.Get(i) != 31 {
+			t.Fatalf("register %d = %d", i, back.Get(i))
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample pairs one flow's true statistic with an estimate.
+type Sample struct {
+	Truth float64
+	Est   float64
+}
+
+// Summary aggregates the paper's accuracy metrics over a flow set Γ
+// (Section VII-A).
+type Summary struct {
+	// Count is |Γ|.
+	Count int
+	// AvgAbsErr is the mean of |est - truth|.
+	AvgAbsErr float64
+	// MeanRelBias is the mean of (est - truth)/truth over flows with
+	// truth > 0.
+	MeanRelBias float64
+	// RelStdErr is sqrt(mean((est/truth - 1)^2)) over flows with
+	// truth > 0.
+	RelStdErr float64
+}
+
+// Summarize computes the summary metrics for a sample set.
+func Summarize(samples []Sample) Summary {
+	var (
+		sumAbs  float64
+		sumBias float64
+		sumSq   float64
+		nonZero int
+	)
+	for _, s := range samples {
+		sumAbs += math.Abs(s.Est - s.Truth)
+		if s.Truth > 0 {
+			r := s.Est/s.Truth - 1
+			sumBias += r
+			sumSq += r * r
+			nonZero++
+		}
+	}
+	out := Summary{Count: len(samples)}
+	if len(samples) > 0 {
+		out.AvgAbsErr = sumAbs / float64(len(samples))
+	}
+	if nonZero > 0 {
+		out.MeanRelBias = sumBias / float64(nonZero)
+		out.RelStdErr = math.Sqrt(sumSq / float64(nonZero))
+	}
+	return out
+}
+
+// Bucket is the per-magnitude aggregation used by the paper's relative
+// bias / relative standard error figures (x-axis: actual value).
+type Bucket struct {
+	// Lo and Hi bound the true values of the bucket (Lo inclusive).
+	Lo, Hi float64
+	// Count is the number of flows in the bucket.
+	Count int
+	// MeanRelBias and RelStdErr are the bucket's metrics.
+	MeanRelBias float64
+	RelStdErr   float64
+}
+
+// BucketByTruth splits samples with truth > 0 into geometric buckets of
+// the true value and summarizes each, producing the series plotted in
+// Figures 3-12 (bias/stderr vs actual size or spread).
+func BucketByTruth(samples []Sample, perDecade int) []Bucket {
+	var pos []Sample
+	for _, s := range samples {
+		if s.Truth > 0 {
+			pos = append(pos, s)
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i].Truth < pos[j].Truth })
+	if perDecade < 1 {
+		perDecade = 1
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	var out []Bucket
+	lo := pos[0].Truth
+	i := 0
+	for i < len(pos) {
+		hi := lo * ratio
+		var (
+			sumBias float64
+			sumSq   float64
+			n       int
+		)
+		for i < len(pos) && pos[i].Truth < hi {
+			r := pos[i].Est/pos[i].Truth - 1
+			sumBias += r
+			sumSq += r * r
+			n++
+			i++
+		}
+		if n > 0 {
+			out = append(out, Bucket{
+				Lo:          lo,
+				Hi:          hi,
+				Count:       n,
+				MeanRelBias: sumBias / float64(n),
+				RelStdErr:   math.Sqrt(sumSq / float64(n)),
+			})
+		}
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeExact(t *testing.T) {
+	s := Summarize([]Sample{
+		{Truth: 100, Est: 110}, // abs 10, rel +0.1
+		{Truth: 100, Est: 90},  // abs 10, rel -0.1
+		{Truth: 0, Est: 5},     // abs 5, skipped for relative metrics
+	})
+	if s.Count != 3 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if math.Abs(s.AvgAbsErr-25.0/3) > 1e-12 {
+		t.Fatalf("AvgAbsErr = %v", s.AvgAbsErr)
+	}
+	if math.Abs(s.MeanRelBias) > 1e-12 {
+		t.Fatalf("MeanRelBias = %v, want 0", s.MeanRelBias)
+	}
+	if math.Abs(s.RelStdErr-0.1) > 1e-12 {
+		t.Fatalf("RelStdErr = %v, want 0.1", s.RelStdErr)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.AvgAbsErr != 0 || s.RelStdErr != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestBucketByTruth(t *testing.T) {
+	var samples []Sample
+	for v := 1.0; v <= 1000; v *= 2 {
+		samples = append(samples, Sample{Truth: v, Est: v * 1.1})
+	}
+	buckets := BucketByTruth(samples, 2)
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Count
+		if b.Lo >= b.Hi {
+			t.Fatalf("bucket bounds inverted: %+v", b)
+		}
+		if math.Abs(b.MeanRelBias-0.1) > 1e-9 {
+			t.Fatalf("bucket bias = %v, want 0.1", b.MeanRelBias)
+		}
+	}
+	if total != len(samples) {
+		t.Fatalf("buckets cover %d samples, want %d", total, len(samples))
+	}
+}
+
+func TestBucketByTruthSkipsZero(t *testing.T) {
+	buckets := BucketByTruth([]Sample{{Truth: 0, Est: 3}}, 3)
+	if buckets != nil {
+		t.Fatal("zero-truth samples should be skipped")
+	}
+}
+
+func TestTruthSizeWindow(t *testing.T) {
+	tr, err := NewTruth(5, 3, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epochs 1..10: flow 7 gets 2 packets per point per epoch at points
+	// 0,1 and 1 packet at point 2.
+	for k := int64(1); k <= 10; k++ {
+		for p := 0; p < 3; p++ {
+			tr.Record(k, p, 7, 0)
+			if p != 2 {
+				tr.Record(k, p, 7, 1)
+			}
+		}
+	}
+	// Query at start of epoch 11 at point 0: all points epochs 7..9
+	// (3 epochs * 5 pkts) + point 0 epoch 10 (2 pkts) = 17.
+	got := tr.SizeTruth(0, 11)
+	if got[7] != 17 {
+		t.Fatalf("size truth = %d, want 17", got[7])
+	}
+	// At point 2 the local epoch contributes only 1 packet: 16.
+	if got2 := tr.SizeTruth(2, 11); got2[7] != 16 {
+		t.Fatalf("size truth at v2 = %d, want 16", got2[7])
+	}
+}
+
+func TestTruthSpreadDeduplicates(t *testing.T) {
+	tr, err := NewTruth(5, 2, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same elements appear at both points and in multiple epochs;
+	// spread must count them once.
+	for k := int64(1); k <= 10; k++ {
+		for p := 0; p < 2; p++ {
+			for e := uint64(0); e < 50; e++ {
+				tr.Record(k, p, 9, e)
+			}
+		}
+	}
+	if got := tr.SpreadTruth(0, 11); got[9] != 50 {
+		t.Fatalf("spread truth = %d, want 50 (deduplicated)", got[9])
+	}
+}
+
+func TestTruthSpreadLocalEpochElements(t *testing.T) {
+	tr, err := NewTruth(5, 2, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elements 0..9 appear networkwide in epoch 8; elements 100..104
+	// appear only at point 1 in epoch 10 (the local epoch for kNext=11).
+	for p := 0; p < 2; p++ {
+		for e := uint64(0); e < 10; e++ {
+			tr.Record(8, p, 1, e)
+		}
+	}
+	for e := uint64(100); e < 105; e++ {
+		tr.Record(10, 1, 1, e)
+	}
+	if got := tr.SpreadTruth(1, 11); got[1] != 15 {
+		t.Fatalf("spread at v1 = %d, want 15", got[1])
+	}
+	if got := tr.SpreadTruth(0, 11); got[1] != 10 {
+		t.Fatalf("spread at v0 = %d, want 10 (no local elements)", got[1])
+	}
+}
+
+func TestTruthExpiresOldEpochs(t *testing.T) {
+	tr, err := NewTruth(5, 1, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Record(1, 0, 3, 0)
+	// Advance far: epoch 1's slot gets recycled.
+	for k := int64(2); k <= 20; k++ {
+		tr.Record(k, 0, 4, 0)
+	}
+	if got := tr.SizeTruth(0, 21); got[3] != 0 {
+		t.Fatalf("expired epoch still counted: %v", got[3])
+	}
+}
+
+func TestNewTruthValidation(t *testing.T) {
+	if _, err := NewTruth(2, 1, true, true); err == nil {
+		t.Fatal("expected error for n < 3")
+	}
+	if _, err := NewTruth(5, 0, true, true); err == nil {
+		t.Fatal("expected error for zero points")
+	}
+}

@@ -1,0 +1,215 @@
+// Package metrics computes exact ground truth for the approximate
+// networkwide T-stream and the paper's three accuracy metrics: absolute
+// error, relative bias and relative standard error (Section VII-A).
+package metrics
+
+import (
+	"fmt"
+)
+
+// Truth tracks exact per-epoch, per-point flow statistics over a sliding
+// ring of recent epochs, so that at any epoch boundary the exact statistic
+// of any flow over the approximate networkwide T-stream can be computed.
+type Truth struct {
+	n      int // window epochs
+	points int
+
+	trackSize   bool
+	trackSpread bool
+
+	slots []truthSlot
+}
+
+type truthSlot struct {
+	epoch  int64
+	size   []map[uint64]int64
+	spread []map[uint64]map[uint64]struct{}
+}
+
+// NewTruth creates a tracker for a window of n epochs across the given
+// number of points. Tracking spread stores per-flow element sets; disable
+// what an experiment does not need.
+func NewTruth(n, points int, trackSize, trackSpread bool) (*Truth, error) {
+	if n < 3 || points < 1 {
+		return nil, fmt.Errorf("metrics: invalid truth dimensions n=%d points=%d", n, points)
+	}
+	t := &Truth{
+		n:           n,
+		points:      points,
+		trackSize:   trackSize,
+		trackSpread: trackSpread,
+		slots:       make([]truthSlot, n+2),
+	}
+	for i := range t.slots {
+		t.slots[i].epoch = -1
+	}
+	return t, nil
+}
+
+// slotFor returns the ring slot for the epoch, recycling expired slots.
+func (t *Truth) slotFor(epoch int64) *truthSlot {
+	s := &t.slots[int(epoch%int64(len(t.slots)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		if t.trackSize {
+			s.size = make([]map[uint64]int64, t.points)
+			for i := range s.size {
+				s.size[i] = make(map[uint64]int64)
+			}
+		}
+		if t.trackSpread {
+			s.spread = make([]map[uint64]map[uint64]struct{}, t.points)
+			for i := range s.spread {
+				s.spread[i] = make(map[uint64]map[uint64]struct{})
+			}
+		}
+	}
+	return s
+}
+
+// Record notes packet <f, e> arriving at point during epoch.
+func (t *Truth) Record(epoch int64, point int, f, e uint64) {
+	s := t.slotFor(epoch)
+	if t.trackSize {
+		s.size[point][f]++
+	}
+	if t.trackSpread {
+		set := s.spread[point][f]
+		if set == nil {
+			set = make(map[uint64]struct{})
+			s.spread[point][f] = set
+		}
+		set[e] = struct{}{}
+	}
+}
+
+// held returns the slot for epoch if it is still resident.
+func (t *Truth) held(epoch int64) *truthSlot {
+	if epoch < 1 {
+		return nil
+	}
+	s := &t.slots[int(epoch%int64(len(t.slots)))]
+	if s.epoch != epoch {
+		return nil
+	}
+	return s
+}
+
+// windowEpochs enumerates the (epoch, pointRestrict) pairs of the
+// approximate networkwide T-stream for a boundary query at the start of
+// epoch kNext at point x: all points for epochs kNext-n+1 .. kNext-2, and
+// point x only for epoch kNext-1. pointRestrict < 0 means all points.
+func (t *Truth) windowEpochs(kNext int64) (first, last int64) {
+	return kNext - int64(t.n) + 1, kNext - 2
+}
+
+// SizeTruth returns the exact per-flow sizes of the approximate networkwide
+// T-stream for a query at the start of epoch kNext at point x.
+func (t *Truth) SizeTruth(x int, kNext int64) map[uint64]int64 {
+	out := make(map[uint64]int64)
+	first, last := t.windowEpochs(kNext)
+	for e := first; e <= last; e++ {
+		s := t.held(e)
+		if s == nil || s.size == nil {
+			continue
+		}
+		for p := 0; p < t.points; p++ {
+			for f, c := range s.size[p] {
+				out[f] += c
+			}
+		}
+	}
+	if s := t.held(kNext - 1); s != nil && s.size != nil {
+		for f, c := range s.size[x] {
+			out[f] += c
+		}
+	}
+	return out
+}
+
+// SizeTruthExact returns the exact per-flow sizes of the *exact*
+// networkwide T-query at the boundary of epoch kNext: all points, all
+// completed window epochs kNext-n+1 .. kNext-1. The Section IV-D
+// enhancement moves the protocol's answers from the approximate stream
+// toward this target.
+func (t *Truth) SizeTruthExact(kNext int64) map[uint64]int64 {
+	out := make(map[uint64]int64)
+	for e := kNext - int64(t.n) + 1; e <= kNext-1; e++ {
+		s := t.held(e)
+		if s == nil || s.size == nil {
+			continue
+		}
+		for p := 0; p < t.points; p++ {
+			for f, c := range s.size[p] {
+				out[f] += c
+			}
+		}
+	}
+	return out
+}
+
+// SpreadTruthExact returns the exact per-flow spreads of the exact
+// networkwide T-query at the boundary of epoch kNext (see SizeTruthExact).
+func (t *Truth) SpreadTruthExact(kNext int64) map[uint64]int64 {
+	sets := make(map[uint64]map[uint64]struct{})
+	for e := kNext - int64(t.n) + 1; e <= kNext-1; e++ {
+		s := t.held(e)
+		if s == nil || s.spread == nil {
+			continue
+		}
+		for p := 0; p < t.points; p++ {
+			for f, es := range s.spread[p] {
+				set := sets[f]
+				if set == nil {
+					set = make(map[uint64]struct{}, len(es))
+					sets[f] = set
+				}
+				for e := range es {
+					set[e] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make(map[uint64]int64, len(sets))
+	for f, set := range sets {
+		out[f] = int64(len(set))
+	}
+	return out
+}
+
+// SpreadTruth returns the exact per-flow spreads (distinct element counts)
+// of the approximate networkwide T-stream for a query at the start of
+// epoch kNext at point x.
+func (t *Truth) SpreadTruth(x int, kNext int64) map[uint64]int64 {
+	sets := make(map[uint64]map[uint64]struct{})
+	first, last := t.windowEpochs(kNext)
+	add := func(per map[uint64]map[uint64]struct{}) {
+		for f, es := range per {
+			set := sets[f]
+			if set == nil {
+				set = make(map[uint64]struct{}, len(es))
+				sets[f] = set
+			}
+			for e := range es {
+				set[e] = struct{}{}
+			}
+		}
+	}
+	for e := first; e <= last; e++ {
+		s := t.held(e)
+		if s == nil || s.spread == nil {
+			continue
+		}
+		for p := 0; p < t.points; p++ {
+			add(s.spread[p])
+		}
+	}
+	if s := t.held(kNext - 1); s != nil && s.spread != nil {
+		add(s.spread[x])
+	}
+	out := make(map[uint64]int64, len(sets))
+	for f, set := range sets {
+		out[f] = int64(len(set))
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// pcapBuilder synthesizes classic pcap files for tests.
+type pcapBuilder struct {
+	buf   bytes.Buffer
+	order binary.ByteOrder
+	nano  bool
+}
+
+func newPcap(order binary.ByteOrder, nano bool, link uint32) *pcapBuilder {
+	b := &pcapBuilder{order: order, nano: nano}
+	magic := uint32(magicMicroLE)
+	if nano {
+		magic = magicNanoLE
+	}
+	// The magic is written in the file's own byte order.
+	var gh [24]byte
+	order.PutUint32(gh[0:4], magic)
+	order.PutUint16(gh[4:6], 2)
+	order.PutUint16(gh[6:8], 4)
+	order.PutUint32(gh[16:20], 65535)
+	order.PutUint32(gh[20:24], link)
+	b.buf.Write(gh[:])
+	return b
+}
+
+func (b *pcapBuilder) record(sec, subsec uint32, frame []byte) {
+	var rh [16]byte
+	b.order.PutUint32(rh[0:4], sec)
+	b.order.PutUint32(rh[4:8], subsec)
+	b.order.PutUint32(rh[8:12], uint32(len(frame)))
+	b.order.PutUint32(rh[12:16], uint32(len(frame)))
+	b.buf.Write(rh[:])
+	b.buf.Write(frame)
+}
+
+// ether builds an Ethernet frame carrying an IPv4 header.
+func etherIPv4(src, dst uint32, vlan bool) []byte {
+	var f []byte
+	f = append(f, make([]byte, 12)...) // MACs
+	if vlan {
+		f = append(f, 0x81, 0x00, 0x00, 0x01) // 802.1Q tag
+	}
+	f = append(f, 0x08, 0x00) // IPv4
+	ip := make([]byte, 20)
+	ip[0] = 0x45
+	binary.BigEndian.PutUint32(ip[12:16], src)
+	binary.BigEndian.PutUint32(ip[16:20], dst)
+	return append(f, ip...)
+}
+
+func TestReadEthernetIPv4(t *testing.T) {
+	b := newPcap(binary.LittleEndian, false, linkEthernet)
+	b.record(100, 500, etherIPv4(0x0a000001, 0xC0A80001, false))
+	b.record(101, 0, etherIPv4(0x0a000002, 0xC0A80001, false))
+
+	r, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TS != 0 {
+		t.Fatalf("first packet TS = %d, want 0 (relative)", p1.TS)
+	}
+	if p1.Flow != 0xC0A80001 || p1.Elem != 0x0a000001 {
+		t.Fatalf("flow/elem = %#x/%#x", p1.Flow, p1.Elem)
+	}
+	if p1.Point < 0 || p1.Point >= 3 {
+		t.Fatalf("point = %d", p1.Point)
+	}
+	p2, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 second minus 500 us later.
+	if want := int64(1e9 - 500e3); p2.TS != want {
+		t.Fatalf("second packet TS = %d, want %d", p2.TS, want)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestFlowBySrc(t *testing.T) {
+	b := newPcap(binary.LittleEndian, false, linkEthernet)
+	b.record(0, 0, etherIPv4(7, 9, false))
+	r, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 2, FlowBy: FlowBySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flow != 7 || p.Elem != 9 {
+		t.Fatalf("FlowBySrc gave flow/elem = %d/%d", p.Flow, p.Elem)
+	}
+}
+
+func TestVLANAndNonIPSkipped(t *testing.T) {
+	b := newPcap(binary.LittleEndian, false, linkEthernet)
+	// ARP frame: skipped.
+	arp := append(make([]byte, 12), 0x08, 0x06, 0, 0)
+	b.record(0, 0, arp)
+	// VLAN-tagged IPv4: parsed.
+	b.record(1, 0, etherIPv4(1, 2, true))
+	r, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flow != 2 || p.Elem != 1 {
+		t.Fatalf("VLAN frame parsed wrong: %+v", p)
+	}
+}
+
+func TestRawIPAndNanoseconds(t *testing.T) {
+	b := newPcap(binary.LittleEndian, true, linkRawIP)
+	ip := make([]byte, 20)
+	ip[0] = 0x45
+	binary.BigEndian.PutUint32(ip[12:16], 3)
+	binary.BigEndian.PutUint32(ip[16:20], 4)
+	b.record(0, 0, ip)
+	b.record(0, 42, ip)
+	r, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TS != 42 {
+		t.Fatalf("nanosecond TS = %d, want 42", p.TS)
+	}
+}
+
+func TestBigEndianFile(t *testing.T) {
+	b := newPcap(binary.BigEndian, false, linkEthernet)
+	b.record(5, 0, etherIPv4(1, 2, false))
+	r, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flow != 2 {
+		t.Fatalf("big-endian parse wrong: %+v", p)
+	}
+}
+
+func TestIPv6Fold(t *testing.T) {
+	b := newPcap(binary.LittleEndian, false, linkEthernet)
+	var f []byte
+	f = append(f, make([]byte, 12)...)
+	f = append(f, 0x86, 0xDD)
+	ip := make([]byte, 40)
+	ip[0] = 0x60
+	for i := 8; i < 24; i++ {
+		ip[i] = byte(i) // src
+	}
+	for i := 24; i < 40; i++ {
+		ip[i] = byte(100 + i) // dst
+	}
+	b.record(0, 0, append(f, ip...))
+	r, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flow == 0 || p.Elem == 0 || p.Flow == p.Elem {
+		t.Fatalf("IPv6 fold degenerate: %+v", p)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("short")), Config{Points: 1}); err == nil {
+		t.Fatal("expected header error")
+	}
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24)), Config{Points: 1}); err == nil {
+		t.Fatal("expected magic error")
+	}
+	b := newPcap(binary.LittleEndian, false, linkEthernet)
+	if _, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 0}); err == nil {
+		t.Fatal("expected points error")
+	}
+	if _, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 1, FlowBy: 99}); err == nil {
+		t.Fatal("expected FlowBy error")
+	}
+	// Unsupported link type.
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], magicMicroLE)
+	binary.LittleEndian.PutUint32(gh[20:24], 113)
+	if _, err := NewReader(bytes.NewReader(gh[:]), Config{Points: 1}); err == nil {
+		t.Fatal("expected link-type error")
+	}
+	// Truncated frame payload.
+	tb := newPcap(binary.LittleEndian, false, linkEthernet)
+	var rh [16]byte
+	binary.LittleEndian.PutUint32(rh[8:12], 100)
+	tb.buf.Write(rh[:])
+	tb.buf.Write([]byte{1, 2, 3})
+	r, err := NewReader(bytes.NewReader(tb.buf.Bytes()), Config{Points: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("expected truncation error, got %v", err)
+	}
+}
+
+func TestIteratorFeedsCluster(t *testing.T) {
+	b := newPcap(binary.LittleEndian, false, linkEthernet)
+	for i := 0; i < 50; i++ {
+		b.record(uint32(i/10), uint32(i%10)*1000, etherIPv4(uint32(i%7), 0x0a0a0a0a, false))
+	}
+	r, err := NewReader(bytes.NewReader(b.buf.Bytes()), Config{Points: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := r.Iterate()
+	var _ trace.Iterator = it
+	n := 0
+	var last int64 = -1
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		if p.TS < last {
+			t.Fatal("pcap packets out of order")
+		}
+		last = p.TS
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("iterated %d packets, want 50", n)
+	}
+}

@@ -1,0 +1,89 @@
+package rskt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/hll"
+)
+
+// wireMagic tags the binary encoding of an rSkt2(HLL) sketch.
+const wireMagic = 0xA7
+
+// MarshalBinary encodes the sketch with 5-bit register packing (the
+// paper's memory model), little-endian: magic, W, M, Seed, then per row a
+// word count and the packed words.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	p := s.params
+	wordsPerRow := (p.W*p.M*hll.RegisterBits + 63) / 64
+	out := make([]byte, 0, 1+4+4+8+2*(4+wordsPerRow*8))
+	out = append(out, wireMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.W))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.M))
+	out = binary.LittleEndian.AppendUint64(out, p.Seed)
+	for u := 0; u < 2; u++ {
+		words := hll.Pack(s.rows[u]).Words()
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(words)))
+		for _, w := range words {
+			out = binary.LittleEndian.AppendUint64(out, w)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded by MarshalBinary.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 1+4+4+8 {
+		return fmt.Errorf("rskt: truncated sketch encoding")
+	}
+	if data[0] != wireMagic {
+		return fmt.Errorf("rskt: bad magic byte %#x", data[0])
+	}
+	off := 1
+	w := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	m := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	seed := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	p := Params{W: w, M: m, Seed: seed}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("rskt: decode: %w", err)
+	}
+	// Bound dimensions before trusting them for allocation (see the
+	// decoder fuzz tests).
+	const maxRegisters = 1 << 28
+	if w > maxRegisters || m > maxRegisters || w*m > maxRegisters {
+		return fmt.Errorf("rskt: decode: implausible dimensions %dx%d", w, m)
+	}
+	n := w * m
+	var rows [2]hll.Regs
+	for u := 0; u < 2; u++ {
+		if len(data[off:]) < 4 {
+			return fmt.Errorf("rskt: truncated row header")
+		}
+		count := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if len(data[off:]) < count*8 {
+			return fmt.Errorf("rskt: truncated row payload")
+		}
+		words := make([]uint64, count)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+		}
+		packed, err := hll.FromWords(n, words)
+		if err != nil {
+			return fmt.Errorf("rskt: decode row %d: %w", u, err)
+		}
+		rows[u] = packed.Unpack()
+	}
+	if off != len(data) {
+		return fmt.Errorf("rskt: %d trailing bytes", len(data)-off)
+	}
+	s.params = p
+	s.rows = rows
+	s.lf = make([]uint8, p.M)
+	s.lbar = make([]uint8, p.M)
+	return nil
+}

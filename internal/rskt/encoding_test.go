@@ -1,0 +1,106 @@
+package rskt
+
+import (
+	"encoding"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*Sketch)(nil)
+	_ encoding.BinaryUnmarshaler = (*Sketch)(nil)
+)
+
+func TestEncodingRoundTrip(t *testing.T) {
+	s := New(Params{W: 37, M: 24, Seed: 123}) // odd sizes exercise padding
+	for f := uint64(0); f < 30; f++ {
+		for e := 0; e < 100; e++ {
+			s.Record(f, uint64(e))
+		}
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatal("round trip changed sketch state")
+	}
+}
+
+func TestEncodingEmpty(t *testing.T) {
+	s := New(Params{W: 1, M: 1, Seed: 0})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatal("empty sketch round trip failed")
+	}
+}
+
+func TestEncodingCompactness(t *testing.T) {
+	// The payload must use 5-bit packing: ~2*W*M*5/8 bytes, not one byte
+	// per register.
+	s := New(Params{W: 64, M: 128, Seed: 0})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := 2 * 64 * 128
+	packedBytes := regs * 5 / 8
+	if len(data) > packedBytes+64 {
+		t.Fatalf("encoding %d bytes, want about %d (packed)", len(data), packedBytes)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := New(Params{W: 4, M: 8, Seed: 1})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Sketch
+	if err := g.UnmarshalBinary(nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if err := g.UnmarshalBinary(data[:5]); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 0xFF
+	if err := g.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if err := g.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestEncodingQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64, nPkts uint8) bool {
+		s := New(Params{W: 13, M: 11, Seed: seed})
+		for i := 0; i < int(nPkts); i++ {
+			s.Record(seed%17, uint64(i))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Sketch
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return got.Equal(s)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package rskt implements rSkt2(HLL) (Wang et al., VLDB 2021), the per-flow
+// spread sketch the paper's three-sketch design builds on.
+//
+// The data structure is a pair of rows D[0], D[1], each an array of w HLL
+// estimators of m registers. A packet <f, e> selects estimator column
+// H0(f) mod w and register H1(e) mod m, and is recorded into exactly one of
+// the two rows chosen by the balanced pair bit g(f, H1(e)). For a query on
+// flow f the two rows are reassembled into the flow's "own" virtual
+// estimator L_f (which contains all of f's elements plus about half the
+// colliding noise) and its complement L̄_f (the other half of the noise
+// only); the estimate is V(L_f) - V(L̄_f), cancelling the noise in
+// expectation.
+//
+// All index/bit/geometric decisions depend only on (f, e) and the shared
+// seed, never on which sketch instance records the packet. That is what
+// makes the register-wise max a true multiset union across epochs and
+// measurement points: the same element lands in the same register
+// everywhere, so duplicates collapse.
+package rskt
+
+import (
+	"fmt"
+
+	"repro/internal/hll"
+	"repro/internal/xhash"
+)
+
+// Seed offsets for the independent hash functions of the sketch. All
+// sketches that must be mergeable (across epochs and points) have to share
+// the same base seed.
+const (
+	seedColumn   = 0x5157 // H0: flow -> estimator column
+	seedRegister = 0x9e0f // H1: element -> register index
+	seedPairBit  = 0x1d2b // g(f, i)
+	seedGeo      = 0x71aa // G(f, e)
+)
+
+// Params configures an rSkt2(HLL) sketch.
+type Params struct {
+	// W is the number of estimator columns per row. Under device
+	// diversity, W differs between measurement points (the paper requires
+	// power-of-two ratios).
+	W int
+	// M is the number of HLL registers per estimator. The paper fixes it
+	// networkwide (recommended 128).
+	M int
+	// Seed is the cluster-wide hash seed.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.W <= 0 {
+		return fmt.Errorf("rskt: W must be positive, got %d", p.W)
+	}
+	if p.M <= 0 {
+		return fmt.Errorf("rskt: M must be positive, got %d", p.M)
+	}
+	return nil
+}
+
+// WidthForMemory returns the number of estimator columns w that fit in
+// memBits bits for the given m, under the paper's memory model of
+// 2*w*m registers of hll.RegisterBits bits.
+func WidthForMemory(memBits, m int) int {
+	w := memBits / (2 * m * hll.RegisterBits)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Sketch is an rSkt2(HLL) instance. It is not safe for concurrent use; the
+// measurement point serializes access.
+type Sketch struct {
+	params Params
+	// rows[u] holds W*M registers: column j occupies [j*M, (j+1)*M).
+	rows [2]hll.Regs
+	// lf, lbar are query-path scratch buffers for the virtual estimators
+	// (queries are hot; see Table I).
+	lf, lbar []uint8
+}
+
+// New creates a zeroed sketch. It panics only on programmer error
+// (non-positive dimensions); use Params.Validate to check user input.
+func New(p Params) *Sketch {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Sketch{
+		params: p,
+		rows:   [2]hll.Regs{hll.NewRegs(p.W * p.M), hll.NewRegs(p.W * p.M)},
+		lf:     make([]uint8, p.M),
+		lbar:   make([]uint8, p.M),
+	}
+}
+
+// Params returns the sketch's configuration.
+func (s *Sketch) Params() Params { return s.params }
+
+// Row exposes row u's raw registers for joins and wire encoding.
+func (s *Sketch) Row(u int) hll.Regs { return s.rows[u] }
+
+// Record inserts packet <f, e> into the sketch.
+func (s *Sketch) Record(f, e uint64) {
+	p := &s.params
+	j := xhash.Index(f^p.Seed, seedColumn, p.W)
+	i := xhash.Index(e^p.Seed, seedRegister, p.M)
+	u := xhash.PairBit(f^p.Seed, i, seedPairBit)
+	v := xhash.Geometric(xhash.HashPair(f, e, p.Seed), seedGeo, hll.MaxRegisterValue)
+	s.rows[u].Observe(j*p.M+i, v)
+}
+
+// Estimate returns the spread estimate for flow f: V(L_f) - V(L̄_f). The
+// value can be slightly negative for flows with no or few elements; callers
+// that need a count should clamp at zero.
+func (s *Sketch) Estimate(f uint64) float64 {
+	lf, lbar := s.virtualEstimators(f)
+	return hll.Estimate(lf) - hll.Estimate(lbar)
+}
+
+// virtualEstimators assembles L_f and L̄_f for flow f into the sketch's
+// scratch buffers (valid until the next call; the sketch is not safe for
+// concurrent use).
+func (s *Sketch) virtualEstimators(f uint64) (lf, lbar []uint8) {
+	p := &s.params
+	j := xhash.Index(f^p.Seed, seedColumn, p.W)
+	base := j * p.M
+	lf, lbar = s.lf, s.lbar
+	for i := 0; i < p.M; i++ {
+		u := xhash.PairBit(f^p.Seed, i, seedPairBit)
+		lf[i] = s.rows[u][base+i]
+		lbar[i] = s.rows[1-u][base+i]
+	}
+	return lf, lbar
+}
+
+// MergeMax folds o into s by register-wise max (the paper's U operator for
+// spread, eq. (7)). Sketches must have identical dimensions and seed.
+func (s *Sketch) MergeMax(o *Sketch) error {
+	if s.params != o.params {
+		return fmt.Errorf("rskt: merge parameter mismatch: %+v vs %+v", s.params, o.params)
+	}
+	for u := 0; u < 2; u++ {
+		if err := s.rows[u].MergeMax(o.rows[u]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset zeroes every register.
+func (s *Sketch) Reset() {
+	s.rows[0].Reset()
+	s.rows[1].Reset()
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := New(s.params)
+	copy(c.rows[0], s.rows[0])
+	copy(c.rows[1], s.rows[1])
+	return c
+}
+
+// CopyFrom overwrites s's registers with o's. Dimensions must match. This
+// is the "copy C' to C" epoch-boundary action.
+func (s *Sketch) CopyFrom(o *Sketch) error {
+	if s.params != o.params {
+		return fmt.Errorf("rskt: copy parameter mismatch: %+v vs %+v", s.params, o.params)
+	}
+	copy(s.rows[0], o.rows[0])
+	copy(s.rows[1], o.rows[1])
+	return nil
+}
+
+// Equal reports whether the two sketches hold identical state.
+func (s *Sketch) Equal(o *Sketch) bool {
+	return s.params == o.params && s.rows[0].Equal(o.rows[0]) && s.rows[1].Equal(o.rows[1])
+}
+
+// MemoryBits returns the footprint under the paper's model (2*w*m registers
+// of hll.RegisterBits bits).
+func (s *Sketch) MemoryBits() int {
+	return s.rows[0].MemoryBits() + s.rows[1].MemoryBits()
+}
+
+// ExpandTo column-wise replicates the sketch to wBig estimator columns
+// (eq. (9)): expanded[u][i][j] = s[u][i mod w][j]. wBig must be a multiple
+// of the current width (the paper requires power-of-two ratios).
+func (s *Sketch) ExpandTo(wBig int) (*Sketch, error) {
+	w := s.params.W
+	if wBig%w != 0 {
+		return nil, fmt.Errorf("rskt: expand target %d not a multiple of width %d", wBig, w)
+	}
+	q := s.params
+	q.W = wBig
+	out := New(q)
+	m := s.params.M
+	for u := 0; u < 2; u++ {
+		for col := 0; col < wBig; col++ {
+			src := (col % w) * m
+			copy(out.rows[u][col*m:(col+1)*m], s.rows[u][src:src+m])
+		}
+	}
+	return out, nil
+}
+
+// CompressTo folds the sketch down to wSmall estimator columns by taking
+// the register-wise max over the folded columns (Section IV-C). wSmall must
+// divide the current width.
+func (s *Sketch) CompressTo(wSmall int) (*Sketch, error) {
+	w := s.params.W
+	if w%wSmall != 0 {
+		return nil, fmt.Errorf("rskt: compress target %d does not divide width %d", wSmall, w)
+	}
+	q := s.params
+	q.W = wSmall
+	out := New(q)
+	m := s.params.M
+	for u := 0; u < 2; u++ {
+		for col := 0; col < w; col++ {
+			dst := (col % wSmall) * m
+			src := col * m
+			for i := 0; i < m; i++ {
+				if v := s.rows[u][src+i]; v > out.rows[u][dst+i] {
+					out.rows[u][dst+i] = v
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Width returns the estimator-column count (the paper's w), satisfying
+// the core.SpreadSketch contract.
+func (s *Sketch) Width() int { return s.params.W }
+
+// Compatible reports whether two sketches can be joined after width
+// alignment: same register count per estimator and same hash seed.
+func (s *Sketch) Compatible(o *Sketch) bool {
+	return o != nil && s.params.M == o.params.M && s.params.Seed == o.params.Seed
+}

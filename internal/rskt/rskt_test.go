@@ -1,0 +1,280 @@
+package rskt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hll"
+)
+
+func testParams() Params {
+	return Params{W: 256, M: 128, Seed: 42}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Params
+		wantErr bool
+	}{
+		{name: "ok", give: Params{W: 8, M: 128}},
+		{name: "zero w", give: Params{W: 0, M: 128}, wantErr: true},
+		{name: "negative w", give: Params{W: -1, M: 128}, wantErr: true},
+		{name: "zero m", give: Params{W: 8, M: 0}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWidthForMemory(t *testing.T) {
+	// 2 Mb = 2^21 bits, m=128, r=5 => w = 2097152 / 1280 = 1638.
+	if got := WidthForMemory(1<<21, 128); got != 1638 {
+		t.Fatalf("WidthForMemory(2Mb) = %d, want 1638", got)
+	}
+	if got := WidthForMemory(1, 128); got != 1 {
+		t.Fatalf("WidthForMemory floor = %d, want 1", got)
+	}
+}
+
+func TestEstimateSingleFlow(t *testing.T) {
+	s := New(testParams())
+	const n = 5000
+	f := uint64(7)
+	for e := 0; e < n; e++ {
+		s.Record(f, uint64(e))
+	}
+	got := s.Estimate(f)
+	rel := math.Abs(got-n) / n
+	if rel > 5*hll.StandardError(128) {
+		t.Fatalf("single-flow estimate %.0f for truth %d, rel err %.3f", got, n, rel)
+	}
+}
+
+func TestEstimateDuplicatesIgnored(t *testing.T) {
+	a, b := New(testParams()), New(testParams())
+	for e := 0; e < 1000; e++ {
+		a.Record(3, uint64(e))
+		for k := 0; k < 3; k++ {
+			b.Record(3, uint64(e))
+		}
+	}
+	if !a.Equal(b) {
+		t.Fatal("duplicates changed sketch state")
+	}
+}
+
+func TestEstimateNoiseCancellation(t *testing.T) {
+	// Record heavy background traffic, then check a small flow's estimate
+	// is not inflated: the two-row subtraction should cancel the noise.
+	s := New(Params{W: 16, M: 128, Seed: 1}) // tiny: force collisions
+	for f := uint64(100); f < 200; f++ {
+		for e := 0; e < 500; e++ {
+			s.Record(f, f*100000+uint64(e))
+		}
+	}
+	small := uint64(7)
+	for e := 0; e < 100; e++ {
+		s.Record(small, uint64(e))
+	}
+	got := s.Estimate(small)
+	// With huge collision noise the estimate is noisy but must be in the
+	// right ballpark, not the ~3000+ a plain shared-HLL estimate would give.
+	if math.Abs(got-100) > 1500 {
+		t.Fatalf("noise cancellation failed: estimate %.0f for truth 100", got)
+	}
+}
+
+func TestEstimateUnrecordedFlowNearZero(t *testing.T) {
+	s := New(testParams())
+	for f := uint64(0); f < 50; f++ {
+		for e := 0; e < 100; e++ {
+			s.Record(f, uint64(e))
+		}
+	}
+	// Average estimate over many absent flows should be near zero.
+	sum := 0.0
+	const absent = 200
+	for f := uint64(1000); f < 1000+absent; f++ {
+		sum += s.Estimate(f)
+	}
+	if mean := sum / absent; math.Abs(mean) > 20 {
+		t.Fatalf("mean estimate for absent flows = %.1f, want ~0", mean)
+	}
+}
+
+func TestMergeMaxIsUnionAcrossPoints(t *testing.T) {
+	// The same (f, e) recorded at two "points" must collapse under merge:
+	// merged sketch == sketch that saw the union stream.
+	p := testParams()
+	a, b, u := New(p), New(p), New(p)
+	f := uint64(99)
+	for e := 0; e < 2000; e++ {
+		a.Record(f, uint64(e))
+		u.Record(f, uint64(e))
+	}
+	for e := 1000; e < 3000; e++ { // overlap [1000,2000)
+		b.Record(f, uint64(e))
+		u.Record(f, uint64(e))
+	}
+	if err := a.MergeMax(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(u) {
+		t.Fatal("merge of overlapping streams != union sketch")
+	}
+	truth := 3000.0
+	if rel := math.Abs(a.Estimate(f)-truth) / truth; rel > 5*hll.StandardError(128) {
+		t.Fatalf("merged estimate %.0f, truth %.0f", a.Estimate(f), truth)
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	a := New(Params{W: 8, M: 128, Seed: 1})
+	b := New(Params{W: 16, M: 128, Seed: 1})
+	if err := a.MergeMax(b); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	c := New(Params{W: 8, M: 128, Seed: 2})
+	if err := a.MergeMax(c); err == nil {
+		t.Fatal("expected seed-mismatch error")
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	p := testParams()
+	a, b := New(p), New(p)
+	for e := 0; e < 500; e++ {
+		b.Record(1, uint64(e))
+	}
+	if err := a.CopyFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom did not replicate state")
+	}
+	b.Reset()
+	if a.Equal(b) {
+		t.Fatal("reset of source affected the copy")
+	}
+	if b.Estimate(1) > 1 {
+		t.Fatal("reset sketch should estimate ~0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(testParams())
+	s.Record(1, 2)
+	c := s.Clone()
+	s.Record(1, 3)
+	if s.Equal(c) {
+		t.Fatal("clone aliases original storage")
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	s := New(Params{W: 10, M: 128, Seed: 0})
+	want := 2 * 10 * 128 * hll.RegisterBits
+	if got := s.MemoryBits(); got != want {
+		t.Fatalf("MemoryBits = %d, want %d", got, want)
+	}
+}
+
+func TestExpandPreservesEstimates(t *testing.T) {
+	// Because widths have power-of-two ratios, column expansion maps each
+	// flow to a column with identical contents: estimates are unchanged.
+	small := New(Params{W: 128, M: 128, Seed: 3})
+	for f := uint64(0); f < 20; f++ {
+		for e := 0; e < 300; e++ {
+			small.Record(f, f*1000+uint64(e))
+		}
+	}
+	big, err := small.ExpandTo(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := uint64(0); f < 20; f++ {
+		if got, want := big.Estimate(f), small.Estimate(f); got != want {
+			t.Fatalf("flow %d: expanded estimate %.2f != original %.2f", f, got, want)
+		}
+	}
+}
+
+func TestCompressOfExpandIsIdentity(t *testing.T) {
+	s := New(Params{W: 64, M: 32, Seed: 5})
+	for f := uint64(0); f < 50; f++ {
+		for e := 0; e < 50; e++ {
+			s.Record(f, uint64(e))
+		}
+	}
+	big, err := s.ExpandTo(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := big.CompressTo(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatal("compress(expand(s)) != s")
+	}
+}
+
+func TestExpandCompressErrors(t *testing.T) {
+	s := New(Params{W: 64, M: 32, Seed: 5})
+	if _, err := s.ExpandTo(96); err == nil {
+		t.Fatal("expected error: 96 not multiple of 64")
+	}
+	if _, err := s.CompressTo(48); err == nil {
+		t.Fatal("expected error: 48 does not divide 64")
+	}
+}
+
+func TestCompressDominatesSources(t *testing.T) {
+	// Every register of the compressed sketch is the max over its fold
+	// group, so compressed registers dominate each original column group.
+	err := quick.Check(func(seed uint64) bool {
+		s := New(Params{W: 16, M: 8, Seed: seed})
+		for e := 0; e < 400; e++ {
+			s.Record(seed%13, uint64(e))
+			s.Record(seed%7+100, uint64(e)*3)
+		}
+		c, err := s.CompressTo(4)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < 2; u++ {
+			for col := 0; col < 16; col++ {
+				for i := 0; i < 8; i++ {
+					if c.Row(u)[(col%4)*8+i] < s.Row(u)[col*8+i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordQueryDeterministic(t *testing.T) {
+	err := quick.Check(func(f uint64, n uint16) bool {
+		a, b := New(Params{W: 32, M: 64, Seed: 9}), New(Params{W: 32, M: 64, Seed: 9})
+		for e := 0; e < int(n%512); e++ {
+			a.Record(f, uint64(e))
+			b.Record(f, uint64(e))
+		}
+		return a.Estimate(f) == b.Estimate(f) && a.Equal(b)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package rskt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/xhash"
+)
+
+// The rSkt2 framework (Section IV-A) plugs in different single-flow
+// estimators: bitmap, FM (PCSA) and HLL. The HLL instance (Sketch) is the
+// most accurate and is what the paper's three-sketch design uses; the
+// bitmap and FM instances below share the same two-row noise-cancelling
+// construction and union-by-merge semantics, and exist so the estimator
+// choice can be evaluated (see the ablation-estimator experiment).
+
+// BitmapVariant is rSkt2(bitmap): two rows of w per-flow bitmaps of m bits
+// each. Merging is bit-wise OR; the single-flow estimator is linear
+// counting, and the flow estimate is the difference of the two virtual
+// bitmaps' estimates.
+type BitmapVariant struct {
+	params Params
+	// rows[u] holds W*M bits as bytes (bit i of column j at j*M+i); a
+	// byte-per-bit layout trades memory realism (MemoryBits accounts 1
+	// bit) for record-path speed, exactly like hll.Regs does.
+	rows [2][]uint8
+}
+
+// NewBitmapVariant creates a zeroed rSkt2(bitmap) sketch; M is the bitmap
+// length per estimator.
+func NewBitmapVariant(p Params) (*BitmapVariant, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &BitmapVariant{
+		params: p,
+		rows:   [2][]uint8{make([]uint8, p.W*p.M), make([]uint8, p.W*p.M)},
+	}, nil
+}
+
+// Params returns the sketch's configuration.
+func (s *BitmapVariant) Params() Params { return s.params }
+
+// Record inserts packet <f, e>.
+func (s *BitmapVariant) Record(f, e uint64) {
+	p := &s.params
+	j := xhash.Index(f^p.Seed, seedColumn, p.W)
+	i := xhash.Index(e^p.Seed, seedRegister, p.M)
+	u := xhash.PairBit(f^p.Seed, i, seedPairBit)
+	s.rows[u][j*p.M+i] = 1
+}
+
+// Estimate returns the spread estimate for flow f: the difference of the
+// linear-counting estimates of L_f and L̄_f.
+func (s *BitmapVariant) Estimate(f uint64) float64 {
+	p := &s.params
+	j := xhash.Index(f^p.Seed, seedColumn, p.W)
+	base := j * p.M
+	zerosL, zerosBar := 0, 0
+	for i := 0; i < p.M; i++ {
+		u := xhash.PairBit(f^p.Seed, i, seedPairBit)
+		if s.rows[u][base+i] == 0 {
+			zerosL++
+		}
+		if s.rows[1-u][base+i] == 0 {
+			zerosBar++
+		}
+	}
+	return linearCount(p.M, zerosL) - linearCount(p.M, zerosBar)
+}
+
+func linearCount(m, zeros int) float64 {
+	if zeros <= 0 {
+		zeros = 1 // saturated: report the largest expressible value
+	}
+	return float64(m) * math.Log(float64(m)/float64(zeros))
+}
+
+// MergeOr folds o into s (the U operator for bitmaps).
+func (s *BitmapVariant) MergeOr(o *BitmapVariant) error {
+	if s.params != o.params {
+		return fmt.Errorf("rskt: bitmap merge parameter mismatch: %+v vs %+v", s.params, o.params)
+	}
+	for u := 0; u < 2; u++ {
+		for i, v := range o.rows[u] {
+			s.rows[u][i] |= v
+		}
+	}
+	return nil
+}
+
+// Reset zeroes the sketch.
+func (s *BitmapVariant) Reset() {
+	for u := 0; u < 2; u++ {
+		row := s.rows[u]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// MemoryBits returns the footprint under the paper's model (one bit per
+// bitmap position).
+func (s *BitmapVariant) MemoryBits() int { return 2 * s.params.W * s.params.M }
+
+// BitmapWidthForMemory returns the estimator-column count fitting memBits
+// bits with m-bit bitmaps.
+func BitmapWidthForMemory(memBits, m int) int {
+	w := memBits / (2 * m)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// FMVariant is rSkt2(FM): two rows of w PCSA estimators, each of M 32-bit
+// Flajolet-Martin bitmaps. Merging is bit-wise OR; the single-flow
+// estimate is the classic PCSA formula m/phi * 2^(mean lowest-zero-bit).
+type FMVariant struct {
+	params Params
+	// rows[u] holds W*M FM bitmaps (uint32 each).
+	rows [2][]uint32
+}
+
+// fmPhi is the PCSA magic constant.
+const fmPhi = 0.77351
+
+// FMBits is the length of one FM bitmap.
+const FMBits = 32
+
+// NewFMVariant creates a zeroed rSkt2(FM) sketch; M is the number of FM
+// bitmaps per estimator.
+func NewFMVariant(p Params) (*FMVariant, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &FMVariant{
+		params: p,
+		rows:   [2][]uint32{make([]uint32, p.W*p.M), make([]uint32, p.W*p.M)},
+	}, nil
+}
+
+// Params returns the sketch's configuration.
+func (s *FMVariant) Params() Params { return s.params }
+
+// Record inserts packet <f, e>.
+func (s *FMVariant) Record(f, e uint64) {
+	p := &s.params
+	j := xhash.Index(f^p.Seed, seedColumn, p.W)
+	i := xhash.Index(e^p.Seed, seedRegister, p.M)
+	u := xhash.PairBit(f^p.Seed, i, seedPairBit)
+	g := xhash.Geometric(xhash.HashPair(f, e, p.Seed), seedGeo, FMBits)
+	s.rows[u][j*p.M+i] |= 1 << (g - 1)
+}
+
+// Estimate returns the spread estimate for flow f as the difference of the
+// PCSA estimates of the two virtual estimators.
+func (s *FMVariant) Estimate(f uint64) float64 {
+	p := &s.params
+	j := xhash.Index(f^p.Seed, seedColumn, p.W)
+	base := j * p.M
+	var sumL, sumBar int
+	for i := 0; i < p.M; i++ {
+		u := xhash.PairBit(f^p.Seed, i, seedPairBit)
+		sumL += bits.TrailingZeros32(^s.rows[u][base+i])
+		sumBar += bits.TrailingZeros32(^s.rows[1-u][base+i])
+	}
+	m := float64(p.M)
+	est := func(sum int) float64 {
+		return m / fmPhi * math.Exp2(float64(sum)/m)
+	}
+	// An all-empty estimator has sum 0 and the raw formula reports
+	// m/phi instead of 0; subtracting the same baseline keeps empty
+	// flows near zero.
+	return est(sumL) - est(sumBar)
+}
+
+// MergeOr folds o into s (the U operator for FM bitmaps).
+func (s *FMVariant) MergeOr(o *FMVariant) error {
+	if s.params != o.params {
+		return fmt.Errorf("rskt: fm merge parameter mismatch: %+v vs %+v", s.params, o.params)
+	}
+	for u := 0; u < 2; u++ {
+		for i, v := range o.rows[u] {
+			s.rows[u][i] |= v
+		}
+	}
+	return nil
+}
+
+// Reset zeroes the sketch.
+func (s *FMVariant) Reset() {
+	for u := 0; u < 2; u++ {
+		row := s.rows[u]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// MemoryBits returns the footprint (FMBits per bitmap).
+func (s *FMVariant) MemoryBits() int { return 2 * s.params.W * s.params.M * FMBits }
+
+// FMWidthForMemory returns the estimator-column count fitting memBits bits
+// with m FM bitmaps per estimator.
+func FMWidthForMemory(memBits, m int) int {
+	w := memBits / (2 * m * FMBits)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

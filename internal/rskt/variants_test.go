@@ -1,0 +1,166 @@
+package rskt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBitmapVariantAccuracy(t *testing.T) {
+	s, err := NewBitmapVariant(Params{W: 256, M: 2048, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const truth = 600
+	for e := 0; e < truth; e++ {
+		s.Record(5, uint64(e))
+	}
+	got := s.Estimate(5)
+	if rel := math.Abs(got-truth) / truth; rel > 0.15 {
+		t.Fatalf("bitmap estimate %.0f for truth %d (rel %.3f)", got, truth, rel)
+	}
+}
+
+func TestBitmapVariantDuplicatesIgnored(t *testing.T) {
+	s, err := NewBitmapVariant(Params{W: 64, M: 512, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 5; rep++ {
+		for e := 0; e < 100; e++ {
+			s.Record(1, uint64(e))
+		}
+	}
+	got := s.Estimate(1)
+	if math.Abs(got-100) > 30 {
+		t.Fatalf("duplicate-heavy bitmap estimate %.0f, want ~100", got)
+	}
+}
+
+func TestBitmapVariantMergeIsUnion(t *testing.T) {
+	p := Params{W: 64, M: 512, Seed: 3}
+	a, err := NewBitmapVariant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBitmapVariant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewBitmapVariant(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 200; e++ {
+		a.Record(7, uint64(e))
+		u.Record(7, uint64(e))
+	}
+	for e := 100; e < 300; e++ {
+		b.Record(7, uint64(e))
+		u.Record(7, uint64(e))
+	}
+	if err := a.MergeOr(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Estimate(7), u.Estimate(7); got != want {
+		t.Fatalf("merged bitmap estimate %.2f != union %.2f", got, want)
+	}
+	bad, err := NewBitmapVariant(Params{W: 32, M: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeOr(bad); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestBitmapVariantResetAndMemory(t *testing.T) {
+	s, err := NewBitmapVariant(Params{W: 8, M: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Record(1, 2)
+	s.Reset()
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("estimate after reset = %.2f", got)
+	}
+	if s.MemoryBits() != 2*8*64 {
+		t.Fatalf("MemoryBits = %d", s.MemoryBits())
+	}
+	if BitmapWidthForMemory(1<<21, 2048) != 512 {
+		t.Fatalf("BitmapWidthForMemory = %d", BitmapWidthForMemory(1<<21, 2048))
+	}
+}
+
+func TestFMVariantAccuracy(t *testing.T) {
+	s, err := NewFMVariant(Params{W: 64, M: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const truth = 20000
+	for e := 0; e < truth; e++ {
+		s.Record(3, uint64(e))
+	}
+	got := s.Estimate(3)
+	if rel := math.Abs(got-truth) / truth; rel > 0.3 {
+		t.Fatalf("FM estimate %.0f for truth %d (rel %.3f)", got, truth, rel)
+	}
+}
+
+func TestFMVariantEmptyNearZero(t *testing.T) {
+	s, err := NewFMVariant(Params{W: 64, M: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Estimate(77); got != 0 {
+		t.Fatalf("empty FM estimate = %.2f, want 0", got)
+	}
+}
+
+func TestFMVariantMergeIsUnion(t *testing.T) {
+	p := Params{W: 32, M: 32, Seed: 6}
+	a, _ := NewFMVariant(p)
+	b, _ := NewFMVariant(p)
+	u, _ := NewFMVariant(p)
+	for e := 0; e < 3000; e++ {
+		a.Record(9, uint64(e))
+		u.Record(9, uint64(e))
+	}
+	for e := 1500; e < 4500; e++ {
+		b.Record(9, uint64(e))
+		u.Record(9, uint64(e))
+	}
+	if err := a.MergeOr(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Estimate(9), u.Estimate(9); got != want {
+		t.Fatalf("merged FM estimate %.2f != union %.2f", got, want)
+	}
+	bad, _ := NewFMVariant(Params{W: 16, M: 32, Seed: 6})
+	if err := a.MergeOr(bad); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestFMVariantResetAndMemory(t *testing.T) {
+	s, _ := NewFMVariant(Params{W: 8, M: 16, Seed: 1})
+	s.Record(1, 2)
+	s.Reset()
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("estimate after reset = %.2f", got)
+	}
+	if s.MemoryBits() != 2*8*16*FMBits {
+		t.Fatalf("MemoryBits = %d", s.MemoryBits())
+	}
+	if FMWidthForMemory(1<<21, 64) != 512 {
+		t.Fatalf("FMWidthForMemory = %d", FMWidthForMemory(1<<21, 64))
+	}
+}
+
+func TestVariantConstructorsValidate(t *testing.T) {
+	if _, err := NewBitmapVariant(Params{W: 0, M: 8}); err == nil {
+		t.Fatal("expected bitmap validation error")
+	}
+	if _, err := NewFMVariant(Params{W: 8, M: 0}); err == nil {
+		t.Fatal("expected FM validation error")
+	}
+}

@@ -1,0 +1,130 @@
+package slidingsketch
+
+import (
+	"testing"
+
+	"repro/internal/countmin"
+)
+
+func testParams() Params {
+	return Params{D: 4, W: 512, Zones: 6, Seed: 3}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Params{{D: 0, W: 1, Zones: 1}, {D: 1, W: 0, Zones: 1}, {D: 1, W: 1, Zones: 0}} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("expected error for %+v", bad)
+		}
+	}
+}
+
+func TestWidthForMemory(t *testing.T) {
+	// 2Mb, d=10, zones=11: 2097152/(10*11*32) = 595.
+	if got := WidthForMemory(1<<21, 10, 11); got != 595 {
+		t.Fatalf("WidthForMemory = %d, want 595", got)
+	}
+	if got := WidthForMemory(1, 10, 11); got != 1 {
+		t.Fatalf("floor = %d, want 1", got)
+	}
+}
+
+func TestEstimateWithinWindow(t *testing.T) {
+	s := New(testParams())
+	for i := 0; i < 10; i++ {
+		s.Record(42)
+	}
+	if got := s.Estimate(42); got != 10 {
+		t.Fatalf("Estimate = %d, want 10", got)
+	}
+	if got := s.Estimate(7); got != 0 {
+		t.Fatalf("absent flow = %d, want 0", got)
+	}
+}
+
+func TestExpiryAfterWindow(t *testing.T) {
+	// Zones = 6 keeps 5 completed epochs + current. Data recorded now must
+	// expire after 6 advances.
+	s := New(testParams())
+	s.Record(1)
+	for i := 0; i < 5; i++ {
+		s.Advance()
+		if got := s.Estimate(1); got != 1 {
+			t.Fatalf("after %d advances: estimate %d, want 1 (still in window)", i+1, got)
+		}
+	}
+	s.Advance()
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("after 6 advances: estimate %d, want 0 (expired)", got)
+	}
+}
+
+func TestSlidingAccumulation(t *testing.T) {
+	// Record 2 packets per epoch for 10 epochs; with 6 zones the window
+	// holds the last 6 epochs' worth = 12.
+	s := New(testParams())
+	for k := 0; k < 10; k++ {
+		s.Record(9)
+		s.Record(9)
+		if k < 9 {
+			s.Advance()
+		}
+	}
+	if got := s.Estimate(9); got != 12 {
+		t.Fatalf("windowed estimate = %d, want 12", got)
+	}
+}
+
+func TestOneSidedError(t *testing.T) {
+	s := New(Params{D: 3, W: 32, Zones: 4, Seed: 5}) // force collisions
+	truth := make(map[uint64]int64)
+	for f := uint64(0); f < 200; f++ {
+		n := int64(f%5 + 1)
+		for i := int64(0); i < n; i++ {
+			s.Record(f)
+		}
+		truth[f] = n
+	}
+	for f, want := range truth {
+		if got := s.Estimate(f); got < want {
+			t.Fatalf("flow %d: estimate %d < truth %d", f, got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(testParams())
+	s.Record(1)
+	s.Advance()
+	s.Record(1)
+	s.Reset()
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("after Reset estimate = %d, want 0", got)
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	s := New(Params{D: 10, W: 100, Zones: 11, Seed: 0})
+	want := 10 * 100 * 11 * countmin.CounterBits
+	if got := s.MemoryBits(); got != want {
+		t.Fatalf("MemoryBits = %d, want %d", got, want)
+	}
+}
+
+func TestAdvanceWrapsZones(t *testing.T) {
+	s := New(Params{D: 2, W: 8, Zones: 3, Seed: 1})
+	for k := 0; k < 20; k++ {
+		s.Record(uint64(k))
+		s.Advance()
+	}
+	// Only the last 3 epochs' flows may remain.
+	for k := 0; k < 17; k++ {
+		if got := s.Estimate(uint64(k)); got > 2 {
+			// Small collision noise is possible with W=8; a surviving
+			// full count would be suspicious.
+			t.Fatalf("flow %d should have expired, estimate %d", k, got)
+		}
+	}
+}

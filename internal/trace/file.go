@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format: a 16-byte header ("TQTRACE1" magic + uint32 point count +
+// 4 reserved bytes) followed by fixed 28-byte little-endian records
+// (ts int64, point uint32, flow uint64, elem uint64).
+
+var fileMagic = [8]byte{'T', 'Q', 'T', 'R', 'A', 'C', 'E', '1'}
+
+const recordSize = 8 + 4 + 8 + 8
+
+// Writer streams packets to a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordSize]byte
+}
+
+// NewWriter writes the header for a trace covering the given number of
+// measurement points and returns a record writer.
+func NewWriter(w io.Writer, points int) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write magic: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(points))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one packet record.
+func (tw *Writer) Write(p Packet) error {
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint64(b[0:8], uint64(p.TS))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(p.Point))
+	binary.LittleEndian.PutUint64(b[12:20], p.Flow)
+	binary.LittleEndian.PutUint64(b[20:28], p.Elem)
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered records to the underlying writer.
+func (tw *Writer) Flush() error {
+	return tw.w.Flush()
+}
+
+// Reader streams packets from a trace file.
+type Reader struct {
+	r      *bufio.Reader
+	points int
+	buf    [recordSize]byte
+}
+
+// NewReader validates the header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, errors.New("trace: not a TQTRACE1 file")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	points := int(binary.LittleEndian.Uint32(hdr[:4]))
+	if points <= 0 {
+		return nil, fmt.Errorf("trace: invalid point count %d", points)
+	}
+	return &Reader{r: br, points: points}, nil
+}
+
+// Points returns the number of measurement points declared in the header.
+func (tr *Reader) Points() int { return tr.points }
+
+// Read returns the next packet, or io.EOF at end of trace.
+func (tr *Reader) Read() (Packet, error) {
+	b := tr.buf[:]
+	if _, err := io.ReadFull(tr.r, b); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("trace: read record: %w", err)
+	}
+	return Packet{
+		TS:    int64(binary.LittleEndian.Uint64(b[0:8])),
+		Point: int(binary.LittleEndian.Uint32(b[8:12])),
+		Flow:  binary.LittleEndian.Uint64(b[12:20]),
+		Elem:  binary.LittleEndian.Uint64(b[20:28]),
+	}, nil
+}

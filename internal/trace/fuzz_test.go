@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader checks the trace-file reader never panics on arbitrary input.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Write(Packet{TS: 1, Point: 0, Flow: 2, Elem: 3})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TQTRACE1"))
+	f.Add([]byte("TQTRACE1\x00\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Read(); err != nil {
+				if err != io.EOF && err == nil {
+					t.Fatal("impossible")
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/window"
+)
+
+// Iterator is a stream of packets in timestamp order. Generator implements
+// it; Merge and Burst compose richer workloads (e.g. injecting an attack
+// into background traffic for detection-latency experiments).
+type Iterator interface {
+	Next() (Packet, bool)
+}
+
+var _ Iterator = (*Generator)(nil)
+
+// merged yields two iterators' packets in timestamp order.
+type merged struct {
+	a, b         Iterator
+	pa, pb       Packet
+	haveA, haveB bool
+}
+
+// Merge returns an iterator over both inputs' packets, ordered by
+// timestamp (ties favor the first input).
+func Merge(a, b Iterator) Iterator {
+	m := &merged{a: a, b: b}
+	m.pa, m.haveA = a.Next()
+	m.pb, m.haveB = b.Next()
+	return m
+}
+
+// Next implements Iterator.
+func (m *merged) Next() (Packet, bool) {
+	switch {
+	case !m.haveA && !m.haveB:
+		return Packet{}, false
+	case m.haveA && (!m.haveB || m.pa.TS <= m.pb.TS):
+		p := m.pa
+		m.pa, m.haveA = m.a.Next()
+		return p, true
+	default:
+		p := m.pb
+		m.pb, m.haveB = m.b.Next()
+		return p, true
+	}
+}
+
+// BurstConfig describes a single-flow traffic burst: an attack (or flash
+// crowd) that starts and stops at given virtual times and scatters packets
+// over all measurement points.
+type BurstConfig struct {
+	// Flow is the burst's flow label (e.g. the DDoS victim address).
+	Flow uint64
+	// Start and End bound the burst in virtual time.
+	Start, End window.Time
+	// Packets is the total burst packet count, spaced evenly in
+	// [Start, End).
+	Packets int
+	// Points is the number of measurement points to scatter over.
+	Points int
+	// FreshElements makes every packet carry a new distinct element
+	// (spoofed sources); otherwise elements cycle through ElementPool.
+	FreshElements bool
+	// ElementPool is the distinct element count when FreshElements is
+	// false.
+	ElementPool int
+	// ElemBase offsets element identifiers so bursts don't collide with
+	// background traffic.
+	ElemBase uint64
+	// Seed scatters packets over points.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c BurstConfig) Validate() error {
+	if c.Packets <= 0 || c.Points <= 0 {
+		return fmt.Errorf("trace: burst counts must be positive: %+v", c)
+	}
+	if c.End <= c.Start {
+		return fmt.Errorf("trace: burst end %d not after start %d", c.End, c.Start)
+	}
+	if !c.FreshElements && c.ElementPool <= 0 {
+		return fmt.Errorf("trace: burst needs FreshElements or a positive ElementPool")
+	}
+	return nil
+}
+
+// burst implements Iterator for BurstConfig.
+type burst struct {
+	cfg  BurstConfig
+	i    int
+	step float64
+}
+
+// NewBurst creates a burst iterator.
+func NewBurst(cfg BurstConfig) (Iterator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &burst{
+		cfg:  cfg,
+		step: float64(cfg.End-cfg.Start) / float64(cfg.Packets),
+	}, nil
+}
+
+// Next implements Iterator.
+func (b *burst) Next() (Packet, bool) {
+	if b.i >= b.cfg.Packets {
+		return Packet{}, false
+	}
+	elem := uint64(b.i)
+	if !b.cfg.FreshElements {
+		elem = uint64(b.i % b.cfg.ElementPool)
+	}
+	p := Packet{
+		TS:    b.cfg.Start + window.Time(float64(b.i)*b.step),
+		Point: int(scramble(uint64(b.i)^b.cfg.Seed) % uint64(b.cfg.Points)),
+		Flow:  b.cfg.Flow,
+		Elem:  b.cfg.ElemBase + elem,
+	}
+	b.i++
+	return p, true
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMergeOrdersByTimestamp(t *testing.T) {
+	a, err := NewBurst(BurstConfig{
+		Flow: 1, Start: 0, End: 1000, Packets: 10, Points: 2, FreshElements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBurst(BurstConfig{
+		Flow: 2, Start: 50, End: 500, Packets: 10, Points: 2, FreshElements: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge(a, b)
+	var last int64 = -1
+	n := 0
+	for {
+		p, ok := m.Next()
+		if !ok {
+			break
+		}
+		if p.TS < last {
+			t.Fatalf("merge out of order at packet %d: %d after %d", n, p.TS, last)
+		}
+		last = p.TS
+		n++
+	}
+	if n != 20 {
+		t.Fatalf("merged %d packets, want 20", n)
+	}
+}
+
+func TestMergeWithGenerator(t *testing.T) {
+	gen, err := NewGenerator(Config{
+		Packets: 1000, Flows: 50, Points: 3, Duration: time.Second,
+		ZipfS: 1.2, SpreadCap: 100, SpreadSkew: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := NewBurst(BurstConfig{
+		Flow: 999, Start: int64(200 * time.Millisecond), End: int64(800 * time.Millisecond),
+		Packets: 300, Points: 3, FreshElements: true, ElemBase: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge(gen, attack)
+	var last int64 = -1
+	total, attackPkts := 0, 0
+	for {
+		p, ok := m.Next()
+		if !ok {
+			break
+		}
+		if p.TS < last {
+			t.Fatal("merge out of order")
+		}
+		last = p.TS
+		total++
+		if p.Flow == 999 {
+			attackPkts++
+			if p.TS < int64(200*time.Millisecond) || p.TS >= int64(800*time.Millisecond) {
+				t.Fatalf("attack packet outside burst window: ts=%d", p.TS)
+			}
+		}
+	}
+	if total != 1300 || attackPkts != 300 {
+		t.Fatalf("total=%d attack=%d, want 1300/300", total, attackPkts)
+	}
+}
+
+func TestBurstFreshElementsDistinct(t *testing.T) {
+	b, err := NewBurst(BurstConfig{
+		Flow: 1, Start: 0, End: 100, Packets: 50, Points: 2, FreshElements: true, ElemBase: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for {
+		p, ok := b.Next()
+		if !ok {
+			break
+		}
+		if seen[p.Elem] {
+			t.Fatalf("fresh-element burst repeated element %d", p.Elem)
+		}
+		seen[p.Elem] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("distinct elements = %d, want 50", len(seen))
+	}
+}
+
+func TestBurstElementPoolCycles(t *testing.T) {
+	b, err := NewBurst(BurstConfig{
+		Flow: 1, Start: 0, End: 100, Packets: 50, Points: 2, ElementPool: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for {
+		p, ok := b.Next()
+		if !ok {
+			break
+		}
+		seen[p.Elem] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("distinct elements = %d, want 5", len(seen))
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	bads := []BurstConfig{
+		{Flow: 1, Start: 0, End: 10, Packets: 0, Points: 1, FreshElements: true},
+		{Flow: 1, Start: 10, End: 10, Packets: 5, Points: 1, FreshElements: true},
+		{Flow: 1, Start: 0, End: 10, Packets: 5, Points: 0, FreshElements: true},
+		{Flow: 1, Start: 0, End: 10, Packets: 5, Points: 1}, // no pool, no fresh
+	}
+	for i, bad := range bads {
+		if _, err := NewBurst(bad); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}

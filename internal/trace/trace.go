@@ -1,0 +1,216 @@
+// Package trace generates and replays synthetic packet traces that stand
+// in for the CAIDA 2018 capture used by the paper (which is not
+// redistributable).
+//
+// The paper's evaluation properties depend on the *shape* of the traffic,
+// not on the actual addresses: flow sizes follow a heavy-tailed (Zipf)
+// distribution, flow spreads are correlated with sizes, and each packet is
+// assigned uniformly at random to one of the measurement points (exactly
+// how the paper splits the CAIDA trace into three streams). The generator
+// reproduces those properties deterministically from a seed, at a
+// laptop-scale packet count; experiments scale sketch memory by the same
+// factor so per-flow load matches the paper's regime.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/window"
+)
+
+// Packet is one abstracted packet <f, e> arriving at a measurement point.
+type Packet struct {
+	// TS is the virtual arrival time (nanoseconds from trace start).
+	TS window.Time
+	// Point is the measurement point the packet arrives at.
+	Point int
+	// Flow is the flow label (e.g. destination address).
+	Flow uint64
+	// Elem is the element identifier (e.g. source address).
+	Elem uint64
+}
+
+// Config parameterizes a synthetic trace.
+type Config struct {
+	// Packets is the total packet count.
+	Packets int
+	// Flows is the number of distinct flow labels.
+	Flows int
+	// Points is the number of measurement points packets are spread over.
+	Points int
+	// Duration is the trace length in virtual time.
+	Duration time.Duration
+	// ZipfS is the flow-popularity skew (> 1). Packet counts per flow
+	// follow a Zipf distribution with this exponent.
+	ZipfS float64
+	// SpreadCap is the element-universe size of the most popular flow;
+	// flow at popularity rank r draws elements uniformly from a universe
+	// of about SpreadCap/(r+1)^SpreadSkew distinct values.
+	SpreadCap int
+	// SpreadSkew is the decay of spread with popularity rank.
+	SpreadSkew float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// Default returns the configuration used by the experiment harness: a
+// ~100x scale-down of the paper's 30-minute CAIDA slice.
+func Default() Config {
+	return Config{
+		Packets:    2_000_000,
+		Flows:      120_000,
+		Points:     3,
+		Duration:   30 * time.Minute,
+		ZipfS:      1.2,
+		SpreadCap:  20_000,
+		SpreadSkew: 0.9,
+		Seed:       1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Packets <= 0 || c.Flows <= 0 || c.Points <= 0 {
+		return fmt.Errorf("trace: counts must be positive: %+v", c)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("trace: duration must be positive")
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("trace: ZipfS must be > 1, got %v", c.ZipfS)
+	}
+	if c.SpreadCap < 1 || c.SpreadSkew < 0 {
+		return fmt.Errorf("trace: invalid spread parameters")
+	}
+	return nil
+}
+
+// Generator produces the packets of a trace in timestamp order. It is a
+// streaming iterator: traces never need to fit in memory.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	i    int
+	step float64
+}
+
+// NewGenerator creates a generator for the given configuration.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Generator{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Flows-1)),
+		step: float64(cfg.Duration.Nanoseconds()) / float64(cfg.Packets),
+	}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// spreadOf returns the element-universe size of the flow at popularity
+// rank r.
+func (g *Generator) spreadOf(rank uint64) uint64 {
+	u := float64(g.cfg.SpreadCap) / math.Pow(float64(rank+1), g.cfg.SpreadSkew)
+	if u < 1 {
+		return 1
+	}
+	return uint64(u)
+}
+
+// Next returns the next packet. ok is false once the trace is exhausted.
+func (g *Generator) Next() (p Packet, ok bool) {
+	if g.i >= g.cfg.Packets {
+		return Packet{}, false
+	}
+	rank := g.zipf.Uint64()
+	universe := g.spreadOf(rank)
+	p = Packet{
+		TS:    window.Time(float64(g.i) * g.step),
+		Point: g.rng.Intn(g.cfg.Points),
+		// Flow labels are scrambled ranks so hash-based sketches see no
+		// accidental structure; the scramble is a fixed bijection.
+		Flow: scramble(rank),
+		Elem: g.rng.Uint64() % universe,
+	}
+	g.i++
+	return p, true
+}
+
+// scramble is a cheap bijective mixer on 64-bit values (xorshift-multiply,
+// invertible), mapping popularity ranks to flow labels.
+func scramble(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Rank recovers the popularity rank of a scrambled flow label; the inverse
+// of scramble. Used by tests and by ground-truth tooling.
+func Rank(flow uint64) uint64 {
+	flow ^= flow >> 33
+	flow *= 0x4f74430c22a54005 // modular inverse of 0xff51afd7ed558ccd
+	flow ^= flow >> 33
+	return flow
+}
+
+// Each runs fn over every packet of a fresh generator pass.
+func Each(cfg Config, fn func(Packet) error) error {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+	for {
+		p, ok := g.Next()
+		if !ok {
+			return nil
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats summarizes a trace for documentation and sanity checks.
+type Stats struct {
+	Packets       int
+	DistinctFlows int
+	MaxFlowSize   int
+	TopFlowShare  float64
+	PerPoint      []int
+}
+
+// Collect replays the trace and gathers summary statistics. Intended for
+// offline tooling; it holds a per-flow counter map.
+func Collect(cfg Config) (Stats, error) {
+	sizes := make(map[uint64]int)
+	per := make([]int, cfg.Points)
+	n := 0
+	err := Each(cfg, func(p Packet) error {
+		sizes[p.Flow]++
+		per[p.Point]++
+		n++
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Packets: n, DistinctFlows: len(sizes), PerPoint: per}
+	for _, c := range sizes {
+		if c > st.MaxFlowSize {
+			st.MaxFlowSize = c
+		}
+	}
+	if n > 0 {
+		st.TopFlowShare = float64(st.MaxFlowSize) / float64(n)
+	}
+	return st, nil
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func smallConfig() Config {
+	return Config{
+		Packets:    50_000,
+		Flows:      2_000,
+		Points:     3,
+		Duration:   time.Minute,
+		ZipfS:      1.2,
+		SpreadCap:  5_000,
+		SpreadSkew: 0.9,
+		Seed:       7,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{},
+		{Packets: 1, Flows: 1, Points: 1, Duration: time.Second, ZipfS: 1.0, SpreadCap: 1},
+		{Packets: 1, Flows: 1, Points: 1, Duration: 0, ZipfS: 1.2, SpreadCap: 1},
+		{Packets: 1, Flows: 1, Points: 1, Duration: time.Second, ZipfS: 1.2, SpreadCap: 0},
+	}
+	for i, bad := range bads {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a, okA := g1.Next()
+		b, okB := g2.Next()
+		if okA != okB || a != b {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorCountAndOrder(t *testing.T) {
+	cfg := smallConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64 = -1
+	n := 0
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		if p.TS < last {
+			t.Fatalf("timestamps not monotone at packet %d", n)
+		}
+		if p.TS < 0 || p.TS >= cfg.Duration.Nanoseconds() {
+			t.Fatalf("timestamp %d out of range", p.TS)
+		}
+		if p.Point < 0 || p.Point >= cfg.Points {
+			t.Fatalf("point %d out of range", p.Point)
+		}
+		last = p.TS
+		n++
+	}
+	if n != cfg.Packets {
+		t.Fatalf("generated %d packets, want %d", n, cfg.Packets)
+	}
+}
+
+func TestTraceIsHeavyTailed(t *testing.T) {
+	st, err := Collect(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets != 50_000 {
+		t.Fatalf("stats packets = %d", st.Packets)
+	}
+	if st.DistinctFlows < 200 {
+		t.Fatalf("too few distinct flows: %d", st.DistinctFlows)
+	}
+	// Zipf with s=1.2: the top flow should dominate.
+	if st.TopFlowShare < 0.05 {
+		t.Fatalf("top flow share %.4f, expected heavy tail", st.TopFlowShare)
+	}
+	// Points should share the load roughly evenly (uniform split).
+	for i, c := range st.PerPoint {
+		want := float64(st.Packets) / 3
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("point %d got %d packets, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestScrambleBijective(t *testing.T) {
+	err := quick.Check(func(x uint64) bool {
+		return Rank(scramble(x)) == x
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpreadDecaysWithRank(t *testing.T) {
+	g, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.spreadOf(0) < g.spreadOf(100) {
+		t.Fatal("spread should decay with rank")
+	}
+	if g.spreadOf(1<<40) != 1 {
+		t.Fatal("spread floor should be 1")
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	n := 0
+	if err := Each(smallConfig(), func(Packet) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50_000 {
+		t.Fatalf("Each visited %d packets", n)
+	}
+}
+
+func TestEachPropagatesError(t *testing.T) {
+	sentinel := errors.New("stop")
+	err := Each(smallConfig(), func(Packet) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Each returned %v, want sentinel", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Packet
+	g, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p, _ := g.Next()
+		want = append(want, p)
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Points() != 3 {
+		t.Fatalf("header points = %d", r.Points())
+	}
+	for i, wp := range want {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != wp {
+			t.Fatalf("record %d: got %+v want %+v", i, got, wp)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+}

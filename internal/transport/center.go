@@ -1,0 +1,325 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/rskt"
+)
+
+// CenterConfig describes a live measurement-center deployment. The
+// topology (point ids and widths) is declared up front; points must
+// connect with matching Hello messages.
+type CenterConfig struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Kind selects the size or spread design.
+	Kind Kind
+	// WindowN is the paper's n.
+	WindowN int
+	// Widths maps point id to sketch width.
+	Widths map[int]int
+	// M is the HLL register count (spread; 0 = hll default handled by caller).
+	M int
+	// D is the CountMin depth (size).
+	D int
+	// Seed is the cluster-wide hash seed.
+	Seed uint64
+	// Enhance enables pushing the Section IV-D enhancement.
+	Enhance bool
+	// Logf, if set, receives diagnostic messages (defaults to log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// CenterServer is a running measurement center.
+type CenterServer struct {
+	cfg CenterConfig
+	ln  net.Listener
+
+	spread *core.SpreadCenter[*rskt.Sketch]
+	size   *core.SizeCenter
+
+	mu       sync.Mutex
+	conns    map[int]*pointConn
+	received map[int64]int // uploads seen per epoch
+	uploads  int64
+	rounds   int64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+type pointConn struct {
+	point int
+	conn  net.Conn
+	enc   *gob.Encoder
+	mu    sync.Mutex // serializes Push encoding
+}
+
+func (pc *pointConn) push(p Push) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.enc.Encode(p)
+}
+
+// ServeCenter starts a measurement center listening on cfg.Addr. The
+// returned server runs until Close.
+func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &CenterServer{
+		cfg:      cfg,
+		conns:    make(map[int]*pointConn),
+		received: make(map[int64]int),
+	}
+	switch cfg.Kind {
+	case KindSpread:
+		params := make(map[int]rskt.Params, len(cfg.Widths))
+		for id, w := range cfg.Widths {
+			params[id] = rskt.Params{W: w, M: cfg.M, Seed: cfg.Seed}
+		}
+		center, err := core.NewSpreadCenter(cfg.WindowN, params)
+		if err != nil {
+			return nil, err
+		}
+		s.spread = center
+	case KindSize:
+		params := make(map[int]countmin.Params, len(cfg.Widths))
+		for id, w := range cfg.Widths {
+			params[id] = countmin.Params{D: cfg.D, W: w, Seed: cfg.Seed}
+		}
+		center, err := core.NewSizeCenter(cfg.WindowN, params, core.SizeModeCumulative)
+		if err != nil {
+			return nil, err
+		}
+		s.size = center
+	default:
+		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *CenterServer) Addr() net.Addr { return s.ln.Addr() }
+
+// CenterStats counts protocol activity at the center.
+type CenterStats struct {
+	// ConnectedPoints is the number of live point connections.
+	ConnectedPoints int
+	// UploadsReceived is the total sketch uploads ingested.
+	UploadsReceived int64
+	// RoundsPushed is the number of completed ST-join rounds pushed out.
+	RoundsPushed int64
+}
+
+// Stats returns a snapshot of the center's counters.
+func (s *CenterServer) Stats() CenterStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CenterStats{
+		ConnectedPoints: len(s.conns),
+		UploadsReceived: s.uploads,
+		RoundsPushed:    s.rounds,
+	}
+}
+
+// Close stops the server and drops all point connections.
+func (s *CenterServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*pointConn, 0, len(s.conns))
+	for _, pc := range s.conns {
+		conns = append(conns, pc)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, pc := range conns {
+		_ = pc.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *CenterServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(conn); err != nil && !s.isClosed() {
+				s.cfg.Logf("transport: center connection error: %v", err)
+			}
+		}()
+	}
+}
+
+func (s *CenterServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *CenterServer) handle(conn net.Conn) error {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	var hello Hello
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("decode hello: %w", err)
+	}
+	wantW, ok := s.cfg.Widths[hello.Point]
+	if !ok || hello.Kind != s.cfg.Kind || hello.W != wantW {
+		return fmt.Errorf("hello mismatch from point %d: %+v", hello.Point, hello)
+	}
+	pc := &pointConn{point: hello.Point, conn: conn, enc: gob.NewEncoder(conn)}
+	s.mu.Lock()
+	if old, dup := s.conns[hello.Point]; dup {
+		// Connection takeover: a reconnecting point (agent restart, NAT
+		// rebinding) replaces its stale connection. The old handler exits
+		// on its closed socket.
+		_ = old.conn.Close()
+	}
+	s.conns[hello.Point] = pc
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		// Only remove the registration if it still belongs to this
+		// connection; a takeover may already have replaced it.
+		if s.conns[hello.Point] == pc {
+			delete(s.conns, hello.Point)
+		}
+		s.mu.Unlock()
+	}()
+
+	for {
+		var up Upload
+		if err := dec.Decode(&up); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("decode upload: %w", err)
+		}
+		if up.Point != hello.Point {
+			return fmt.Errorf("upload claims point %d on connection of point %d", up.Point, hello.Point)
+		}
+		if err := s.ingest(up); err != nil {
+			return err
+		}
+	}
+}
+
+// ingest stores one upload and, once every point reported the epoch,
+// computes and pushes the aggregates for the next epoch.
+func (s *CenterServer) ingest(up Upload) error {
+	switch s.cfg.Kind {
+	case KindSpread:
+		var sk rskt.Sketch
+		if err := sk.UnmarshalBinary(up.Sketch); err != nil {
+			return fmt.Errorf("point %d epoch %d: %w", up.Point, up.Epoch, err)
+		}
+		if err := s.spread.Receive(up.Point, up.Epoch, &sk); err != nil {
+			return err
+		}
+	case KindSize:
+		var sk countmin.Sketch
+		if err := sk.UnmarshalBinary(up.Sketch); err != nil {
+			return fmt.Errorf("point %d epoch %d: %w", up.Point, up.Epoch, err)
+		}
+		if err := s.size.Receive(up.Point, up.Epoch, &sk); err != nil {
+			return err
+		}
+	}
+
+	s.mu.Lock()
+	s.uploads++
+	s.received[up.Epoch]++
+	complete := s.received[up.Epoch] == len(s.cfg.Widths)
+	if complete {
+		delete(s.received, up.Epoch)
+		s.rounds++
+	}
+	s.mu.Unlock()
+	if complete {
+		return s.pushRound(up.Epoch + 1)
+	}
+	return nil
+}
+
+// pushRound computes and sends each point's aggregate (and enhancement)
+// for the given epoch.
+func (s *CenterServer) pushRound(forEpoch int64) error {
+	s.mu.Lock()
+	conns := make([]*pointConn, 0, len(s.conns))
+	for _, pc := range s.conns {
+		conns = append(conns, pc)
+	}
+	s.mu.Unlock()
+	for _, pc := range conns {
+		push := Push{ForEpoch: forEpoch}
+		switch s.cfg.Kind {
+		case KindSpread:
+			agg, err := s.spread.AggregateFor(pc.point, forEpoch)
+			if err != nil {
+				return err
+			}
+			if agg != nil {
+				if push.Aggregate, err = agg.MarshalBinary(); err != nil {
+					return err
+				}
+			}
+			if s.cfg.Enhance {
+				enh, err := s.spread.EnhancementFor(pc.point, forEpoch)
+				if err != nil {
+					return err
+				}
+				if enh != nil {
+					if push.Enhancement, err = enh.MarshalBinary(); err != nil {
+						return err
+					}
+				}
+			}
+		case KindSize:
+			agg, err := s.size.AggregateFor(pc.point, forEpoch)
+			if err != nil {
+				return err
+			}
+			if agg != nil {
+				if push.Aggregate, err = agg.MarshalBinary(); err != nil {
+					return err
+				}
+			}
+			if s.cfg.Enhance {
+				enh, err := s.size.EnhancementFor(pc.point, forEpoch)
+				if err != nil {
+					return err
+				}
+				if enh != nil {
+					if push.Enhancement, err = enh.MarshalBinary(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if err := pc.push(push); err != nil {
+			s.cfg.Logf("transport: push to point %d: %v", pc.point, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Package transport deploys the protocol over real TCP connections: a
+// measurement-center server, measurement-point clients, and the tiny
+// query RPC the baselines need to fetch peer answers (whose round trips
+// are exactly what Table I charges them for).
+//
+// Wire protocol: every point opens one TCP connection to the center and
+// sends a Hello followed by one Upload per epoch, gob-encoded. The center
+// answers with Push messages carrying the ST-join aggregate (and the
+// optional enhancement) for the epoch in progress. Sketch payloads travel
+// as their compact binary encodings, not as gob structures.
+package transport
+
+// Kind discriminates the two designs on the wire.
+type Kind string
+
+const (
+	// KindSize runs the two-sketch flow-size design.
+	KindSize Kind = "size"
+	// KindSpread runs the three-sketch flow-spread design.
+	KindSpread Kind = "spread"
+)
+
+// Hello is the first message on a point connection.
+type Hello struct {
+	Point int
+	Kind  Kind
+	// W is the point's sketch width (estimator columns for spread,
+	// counters per row for size). The remaining sketch parameters are
+	// fixed by the center's topology.
+	W int
+}
+
+// Upload carries one epoch's measurement from a point to the center.
+type Upload struct {
+	Point  int
+	Epoch  int64
+	Sketch []byte
+}
+
+// Push carries the center's ST-join result back to one point. It must be
+// applied during epoch ForEpoch (the round-trip bound guarantees delivery
+// in time on a healthy deployment).
+type Push struct {
+	ForEpoch    int64
+	Aggregate   []byte // empty while the window has no completed epochs
+	Enhancement []byte // empty unless the enhancement is enabled
+}

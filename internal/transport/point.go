@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/rskt"
+)
+
+// PointConfig describes a live measurement point.
+type PointConfig struct {
+	// Addr is the center's address.
+	Addr string
+	// Point is this point's id in the center's topology.
+	Point int
+	// Kind selects the size or spread design.
+	Kind Kind
+	// W, M, D, Seed are the sketch parameters (matching the center).
+	W, M, D int
+	Seed    uint64
+}
+
+// PointStats counts protocol events at a point.
+type PointStats struct {
+	// PushesApplied is the number of center pushes merged into C'/C.
+	PushesApplied int64
+	// PushesLate is the number of pushes that arrived after their target
+	// epoch had already ended and were dropped (round-trip bound
+	// violated).
+	PushesLate int64
+}
+
+// PointClient is a measurement point connected to a live center. Record
+// and Query are local operations; EndEpoch uploads to the center, and a
+// background reader applies the center's pushes.
+type PointClient struct {
+	cfg PointConfig
+
+	// mu guards the connection fields; uploads and redials serialize on
+	// it.
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	done chan struct{}
+
+	spread *core.SpreadPoint[*rskt.Sketch]
+	size   *core.SizePoint
+
+	pushesApplied atomic.Int64
+	pushesLate    atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// DialPoint connects a new measurement point to the center.
+func DialPoint(cfg PointConfig) (*PointClient, error) {
+	c := &PointClient{cfg: cfg}
+	switch cfg.Kind {
+	case KindSpread:
+		pt, err := core.NewSpreadPoint(cfg.Point, rskt.Params{W: cfg.W, M: cfg.M, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		c.spread = pt
+	case KindSize:
+		pt, err := core.NewSizePoint(cfg.Point, countmin.Params{D: cfg.D, W: cfg.W, Seed: cfg.Seed}, core.SizeModeCumulative)
+		if err != nil {
+			return nil, err
+		}
+		c.size = pt
+	default:
+		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials the center, sends the Hello and starts a reader. Callers
+// must not hold c.mu.
+func (c *PointClient) connect() error {
+	conn, err := net.Dial("tcp", c.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial center: %w", err)
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(Hello{Point: c.cfg.Point, Kind: c.cfg.Kind, W: c.cfg.W}); err != nil {
+		conn.Close()
+		return fmt.Errorf("transport: send hello: %w", err)
+	}
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.conn = conn
+	c.enc = enc
+	c.done = done
+	c.mu.Unlock()
+	c.setErr(nil)
+	go c.readLoop(conn, done)
+	return nil
+}
+
+// Redial reconnects to the center after a connection failure, preserving
+// the point's local sketch state. The protocol resumes at the current
+// epoch; uploads missed while disconnected are lost (the spread design
+// tolerates gaps, the size design's recovery requires a fresh center).
+func (c *PointClient) Redial() error {
+	c.mu.Lock()
+	conn, done := c.conn, c.done
+	c.mu.Unlock()
+	_ = conn.Close()
+	<-done
+	return c.connect()
+}
+
+func (c *PointClient) setErr(err error) {
+	c.errMu.Lock()
+	c.lastErr = err
+	c.errMu.Unlock()
+}
+
+func (c *PointClient) getErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.lastErr
+}
+
+// Record inserts a packet. For the size design the element is ignored.
+func (c *PointClient) Record(f, e uint64) {
+	if c.spread != nil {
+		c.spread.Record(f, e)
+		return
+	}
+	c.size.Record(f)
+}
+
+// QuerySpread answers a networkwide T-query (spread design only).
+func (c *PointClient) QuerySpread(f uint64) (float64, error) {
+	if c.spread == nil {
+		return 0, errors.New("transport: point runs the size design")
+	}
+	return c.spread.Query(f), nil
+}
+
+// QuerySize answers a networkwide T-query (size design only).
+func (c *PointClient) QuerySize(f uint64) (int64, error) {
+	if c.size == nil {
+		return 0, errors.New("transport: point runs the spread design")
+	}
+	return c.size.Query(f), nil
+}
+
+// Epoch returns the point's current epoch.
+func (c *PointClient) Epoch() int64 {
+	if c.spread != nil {
+		return c.spread.Epoch()
+	}
+	return c.size.Epoch()
+}
+
+// EndEpoch rolls the point into the next epoch and uploads the completed
+// epoch's measurement to the center.
+func (c *PointClient) EndEpoch() error {
+	if err := c.getErr(); err != nil {
+		return fmt.Errorf("transport: connection failed: %w", err)
+	}
+	var (
+		payload []byte
+		epoch   int64
+		err     error
+	)
+	if c.spread != nil {
+		epoch = c.spread.Epoch()
+		payload, err = c.spread.EndEpoch().MarshalBinary()
+	} else {
+		epoch = c.size.Epoch()
+		payload, err = c.size.EndEpoch().MarshalBinary()
+	}
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Upload{Point: c.cfg.Point, Epoch: epoch, Sketch: payload}); err != nil {
+		return fmt.Errorf("transport: upload epoch %d: %w", epoch, err)
+	}
+	return nil
+}
+
+// Stats returns protocol event counters.
+func (c *PointClient) Stats() PointStats {
+	return PointStats{
+		PushesApplied: c.pushesApplied.Load(),
+		PushesLate:    c.pushesLate.Load(),
+	}
+}
+
+// Close drops the connection.
+func (c *PointClient) Close() error {
+	c.mu.Lock()
+	conn, done := c.conn, c.done
+	c.mu.Unlock()
+	err := conn.Close()
+	<-done
+	return err
+}
+
+func (c *PointClient) readLoop(conn net.Conn, done chan struct{}) {
+	defer close(done)
+	dec := gob.NewDecoder(conn)
+	for {
+		var push Push
+		if err := dec.Decode(&push); err != nil {
+			c.setErr(err)
+			return
+		}
+		if err := c.apply(push); err != nil {
+			c.setErr(err)
+			return
+		}
+	}
+}
+
+// apply merges one push. Pushes that miss their epoch are dropped: merging
+// a stale aggregate into the wrong epoch's C' would corrupt the window.
+// The epoch check happens under the point's lock (ApplyAggregateAt), so a
+// concurrent EndEpoch cannot slip between check and merge.
+func (c *PointClient) apply(push Push) error {
+	var err error
+	if c.spread != nil {
+		if len(push.Aggregate) > 0 {
+			var sk rskt.Sketch
+			if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
+				return uerr
+			}
+			err = c.spread.ApplyAggregateAt(push.ForEpoch, &sk)
+		}
+		if err == nil && len(push.Enhancement) > 0 {
+			var sk rskt.Sketch
+			if uerr := sk.UnmarshalBinary(push.Enhancement); uerr != nil {
+				return uerr
+			}
+			err = c.spread.ApplyEnhancementAt(push.ForEpoch, &sk)
+		}
+	} else {
+		if len(push.Aggregate) > 0 {
+			var sk countmin.Sketch
+			if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
+				return uerr
+			}
+			err = c.size.ApplyAggregateAt(push.ForEpoch, &sk)
+		}
+		if err == nil && len(push.Enhancement) > 0 {
+			var sk countmin.Sketch
+			if uerr := sk.UnmarshalBinary(push.Enhancement); uerr != nil {
+				return uerr
+			}
+			err = c.size.ApplyEnhancementAt(push.ForEpoch, &sk)
+		}
+	}
+	if errors.Is(err, core.ErrStaleEpoch) {
+		c.pushesLate.Add(1)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	c.pushesApplied.Add(1)
+	return nil
+}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// The baseline peer-query RPC: a persistent TCP connection carrying fixed
+// 8-byte little-endian flow-label requests and 8-byte float64 responses.
+// One request is in flight at a time per connection, which is exactly the
+// access pattern of a baseline answering a networkwide query — and the
+// round trip it pays per peer is the cost Table I measures.
+
+// QueryServer serves windowed query answers for one local sketch.
+type QueryServer struct {
+	ln      net.Listener
+	handler func(flow uint64) float64
+	wg      sync.WaitGroup
+}
+
+// ServeQueries starts a query server on addr whose answers come from
+// handler. The handler must be safe for concurrent use.
+func ServeQueries(addr string, handler func(flow uint64) float64) (*QueryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: query listen: %w", err)
+	}
+	s := &QueryServer{ln: ln, handler: handler}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *QueryServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server.
+func (s *QueryServer) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *QueryServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			var buf [8]byte
+			for {
+				if _, err := io.ReadFull(conn, buf[:]); err != nil {
+					return
+				}
+				flow := binary.LittleEndian.Uint64(buf[:])
+				v := s.handler(flow)
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+				if _, err := conn.Write(buf[:]); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// QueryClient issues peer queries over one persistent connection. It
+// implements both baseline peer interfaces (size answers are rounded).
+type QueryClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  [8]byte
+}
+
+// DialQuery connects to a peer's query server.
+func DialQuery(addr string) (*QueryClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial query peer: %w", err)
+	}
+	return &QueryClient{conn: conn}, nil
+}
+
+// Query fetches the peer's windowed estimate for one flow.
+func (c *QueryClient) Query(f uint64) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	binary.LittleEndian.PutUint64(c.buf[:], f)
+	if _, err := c.conn.Write(c.buf[:]); err != nil {
+		return 0, fmt.Errorf("transport: query write: %w", err)
+	}
+	if _, err := io.ReadFull(c.conn, c.buf[:]); err != nil {
+		return 0, fmt.Errorf("transport: query read: %w", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(c.buf[:])), nil
+}
+
+// QuerySpread implements baseline.SpreadPeer.
+func (c *QueryClient) QuerySpread(f uint64) (float64, error) {
+	return c.Query(f)
+}
+
+// QuerySize implements baseline.SizePeer.
+func (c *QueryClient) QuerySize(f uint64) (int64, error) {
+	v, err := c.Query(f)
+	if err != nil {
+		return 0, err
+	}
+	return int64(math.Round(v)), nil
+}
+
+// Close drops the connection.
+func (c *QueryClient) Close() error {
+	return c.conn.Close()
+}

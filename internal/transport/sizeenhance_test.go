@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/countmin"
+)
+
+// TestLiveSizeEnhancementRecovery runs the size design over real sockets
+// with the Section IV-D enhancement enabled. The enhancement contaminates
+// the cumulative uploads, so this exercises the center's compensation
+// (sentEnh subtraction) across the wire: the final answers must equal the
+// ideal sketch over the *enhanced* window (all points, all completed
+// window epochs).
+func TestLiveSizeEnhancementRecovery(t *testing.T) {
+	const (
+		n, p, w, d = 5, 2, 64, 4
+		epochs     = 8
+		seed       = 77
+	)
+	srv, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSize, WindowN: n,
+		Widths: map[int]int{0: w, 1: w}, D: d, Seed: seed,
+		Enhance: true, Logf: quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	points := make([]*PointClient, p)
+	for x := 0; x < p; x++ {
+		pc, err := DialPoint(PointConfig{
+			Addr: srv.Addr().String(), Point: x, Kind: KindSize,
+			W: w, D: d, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pc.Close()
+		points[x] = pc
+	}
+
+	record := func(k, x int, fn func(f uint64)) {
+		for f := uint64(0); f < 15; f++ {
+			for i := 0; i < int(f%4)+x+1; i++ {
+				fn(f)
+			}
+		}
+	}
+	for k := 1; k <= epochs; k++ {
+		for x := 0; x < p; x++ {
+			record(k, x, func(f uint64) { points[x].Record(f, 0) })
+		}
+		for x := 0; x < p; x++ {
+			if err := points[x].EndEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := k
+		waitFor(t, fmt.Sprintf("round %d", k), func() bool {
+			for x := 0; x < p; x++ {
+				st := points[x].Stats()
+				if st.PushesApplied+st.PushesLate < int64(k) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for x := 0; x < p; x++ {
+		if late := points[x].Stats().PushesLate; late != 0 {
+			t.Fatalf("point %d dropped %d pushes", x, late)
+		}
+	}
+
+	// Enhanced window at the boundary of epoch 9: all points, epochs 5-8.
+	kNext := epochs + 1
+	for x := 0; x < p; x++ {
+		ideal := countmin.New(countmin.Params{D: d, W: w, Seed: seed})
+		for k := kNext - n + 1; k <= kNext-1; k++ {
+			for y := 0; y < p; y++ {
+				record(k, y, func(f uint64) { ideal.Record(f) })
+			}
+		}
+		for f := uint64(0); f < 15; f++ {
+			got, err := points[x].QuerySize(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ideal.Estimate(f); got != want {
+				t.Fatalf("point %d flow %d: live enhanced %d != ideal %d", x, f, got, want)
+			}
+		}
+	}
+}

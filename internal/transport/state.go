@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/countmin"
+	"repro/internal/rskt"
+)
+
+// Point-state persistence: an agent can save its sketches and epoch before
+// shutting down and restore them on restart, so a restart does not lose
+// the current window. Format: magic "TQST1" + kind byte + epoch +
+// length-prefixed sketch blobs (B/C/C' for spread, [B]/C/C' for size with
+// a presence flag for B).
+
+var stateMagic = [5]byte{'T', 'Q', 'S', 'T', '1'}
+
+// SaveState writes the point's current protocol state.
+func (c *PointClient) SaveState(w io.Writer) error {
+	if _, err := w.Write(stateMagic[:]); err != nil {
+		return fmt.Errorf("transport: write state magic: %w", err)
+	}
+	kind := byte('z')
+	if c.spread != nil {
+		kind = 's'
+	}
+	if _, err := w.Write([]byte{kind}); err != nil {
+		return err
+	}
+	writeBlob := func(data []byte) error {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(data)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(data)
+		return err
+	}
+	var epochBuf [8]byte
+	if c.spread != nil {
+		epoch, b, cc, cp := c.spread.Snapshot()
+		binary.LittleEndian.PutUint64(epochBuf[:], uint64(epoch))
+		if _, err := w.Write(epochBuf[:]); err != nil {
+			return err
+		}
+		for _, sk := range []*rskt.Sketch{b, cc, cp} {
+			data, err := sk.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			if err := writeBlob(data); err != nil {
+				return fmt.Errorf("transport: write state: %w", err)
+			}
+		}
+		return nil
+	}
+	epoch, b, cc, cp := c.size.Snapshot()
+	binary.LittleEndian.PutUint64(epochBuf[:], uint64(epoch))
+	if _, err := w.Write(epochBuf[:]); err != nil {
+		return err
+	}
+	hasB := byte(0)
+	if b != nil {
+		hasB = 1
+	}
+	if _, err := w.Write([]byte{hasB}); err != nil {
+		return err
+	}
+	sketches := []*countmin.Sketch{cc, cp}
+	if b != nil {
+		sketches = append([]*countmin.Sketch{b}, sketches...)
+	}
+	for _, sk := range sketches {
+		data, err := sk.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := writeBlob(data); err != nil {
+			return fmt.Errorf("transport: write state: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadState restores a previously saved state into the point. The state's
+// design kind and sketch shapes must match the point's configuration.
+func (c *PointClient) LoadState(r io.Reader) error {
+	var magic [5]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("transport: read state magic: %w", err)
+	}
+	if magic != stateMagic {
+		return fmt.Errorf("transport: not a TQST1 state file")
+	}
+	var kind [1]byte
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
+		return err
+	}
+	wantKind := byte('z')
+	if c.spread != nil {
+		wantKind = 's'
+	}
+	if kind[0] != wantKind {
+		return fmt.Errorf("transport: state kind %q does not match the point's design", kind[0])
+	}
+	var epochBuf [8]byte
+	if _, err := io.ReadFull(r, epochBuf[:]); err != nil {
+		return err
+	}
+	epoch := int64(binary.LittleEndian.Uint64(epochBuf[:]))
+	readBlob := func() ([]byte, error) {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		const maxBlob = 1 << 30
+		if n > maxBlob {
+			return nil, fmt.Errorf("transport: implausible state blob size %d", n)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	if c.spread != nil {
+		var sketches [3]*rskt.Sketch
+		for i := range sketches {
+			data, err := readBlob()
+			if err != nil {
+				return fmt.Errorf("transport: read state: %w", err)
+			}
+			var sk rskt.Sketch
+			if err := sk.UnmarshalBinary(data); err != nil {
+				return err
+			}
+			sketches[i] = &sk
+		}
+		return c.spread.RestoreSnapshot(epoch, sketches[0], sketches[1], sketches[2])
+	}
+	var hasB [1]byte
+	if _, err := io.ReadFull(r, hasB[:]); err != nil {
+		return err
+	}
+	count := 2
+	if hasB[0] == 1 {
+		count = 3
+	}
+	sketches := make([]*countmin.Sketch, 0, count)
+	for i := 0; i < count; i++ {
+		data, err := readBlob()
+		if err != nil {
+			return fmt.Errorf("transport: read state: %w", err)
+		}
+		var sk countmin.Sketch
+		if err := sk.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		sketches = append(sketches, &sk)
+	}
+	var b *countmin.Sketch
+	if count == 3 {
+		b = sketches[0]
+		sketches = sketches[1:]
+	}
+	return c.size.RestoreSnapshot(epoch, b, sketches[0], sketches[1])
+}

@@ -1,0 +1,295 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/countmin"
+	"repro/internal/rskt"
+	"repro/internal/vate"
+	"repro/internal/xhash"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func quietLogf(string, ...any) {}
+
+func TestLiveSpreadClusterMatchesIdeal(t *testing.T) {
+	const (
+		n, p, w, m = 5, 3, 32, 16
+		epochs     = 8
+		seed       = 99
+	)
+	widths := map[int]int{0: w, 1: w, 2: w}
+	srv, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSpread, WindowN: n,
+		Widths: widths, M: m, Seed: seed, Logf: quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	points := make([]*PointClient, p)
+	for x := 0; x < p; x++ {
+		pc, err := DialPoint(PointConfig{
+			Addr: srv.Addr().String(), Point: x, Kind: KindSpread,
+			W: w, M: m, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pc.Close()
+		points[x] = pc
+	}
+
+	// Deterministic per-epoch packets, mirrored into an ideal sketch for
+	// the final window.
+	record := func(k, x int, fn func(f, e uint64)) {
+		for f := uint64(0); f < 10; f++ {
+			for i := 0; i < 20; i++ {
+				e := xhash.Hash64(uint64(k*1000+x*100+i), f) % 64
+				fn(f, f<<32|e)
+			}
+		}
+	}
+	for k := 1; k <= epochs; k++ {
+		for x := 0; x < p; x++ {
+			record(k, x, points[x].Record)
+		}
+		for x := 0; x < p; x++ {
+			if err := points[x].EndEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := k
+		waitFor(t, fmt.Sprintf("round %d pushes", k), func() bool {
+			for x := 0; x < p; x++ {
+				st := points[x].Stats()
+				if st.PushesApplied+st.PushesLate < int64(k) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for x := 0; x < p; x++ {
+		if late := points[x].Stats().PushesLate; late != 0 {
+			t.Fatalf("point %d dropped %d pushes on loopback", x, late)
+		}
+	}
+
+	// Ideal: all points epochs kNext-n+1..kNext-2, local epoch kNext-1.
+	kNext := epochs + 1
+	for x := 0; x < p; x++ {
+		ideal := rskt.New(rskt.Params{W: w, M: m, Seed: seed})
+		for k := kNext - n + 1; k <= kNext-2; k++ {
+			for y := 0; y < p; y++ {
+				record(k, y, ideal.Record)
+			}
+		}
+		record(kNext-1, x, ideal.Record)
+		for f := uint64(0); f < 10; f++ {
+			got, err := points[x].QuerySpread(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ideal.Estimate(f); got != want {
+				t.Fatalf("point %d flow %d: live %.4f != ideal %.4f", x, f, got, want)
+			}
+		}
+	}
+}
+
+func TestLiveSizeClusterMatchesIdeal(t *testing.T) {
+	const (
+		n, p, w, d = 5, 2, 64, 4
+		epochs     = 7
+		seed       = 7
+	)
+	srv, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSize, WindowN: n,
+		Widths: map[int]int{0: w, 1: w}, D: d, Seed: seed, Logf: quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	points := make([]*PointClient, p)
+	for x := 0; x < p; x++ {
+		pc, err := DialPoint(PointConfig{
+			Addr: srv.Addr().String(), Point: x, Kind: KindSize,
+			W: w, D: d, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pc.Close()
+		points[x] = pc
+	}
+
+	record := func(k, x int, fn func(f, e uint64)) {
+		for f := uint64(0); f < 20; f++ {
+			for i := 0; i < int(f%5)+k%3+1; i++ {
+				fn(f, 0)
+			}
+		}
+	}
+	for k := 1; k <= epochs; k++ {
+		for x := 0; x < p; x++ {
+			record(k, x, points[x].Record)
+		}
+		for x := 0; x < p; x++ {
+			if err := points[x].EndEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := k
+		waitFor(t, fmt.Sprintf("round %d pushes", k), func() bool {
+			for x := 0; x < p; x++ {
+				st := points[x].Stats()
+				if st.PushesApplied+st.PushesLate < int64(k) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	kNext := epochs + 1
+	for x := 0; x < p; x++ {
+		ideal := countmin.New(countmin.Params{D: d, W: w, Seed: seed})
+		wrap := func(f, e uint64) { ideal.Record(f) }
+		for k := kNext - n + 1; k <= kNext-2; k++ {
+			for y := 0; y < p; y++ {
+				record(k, y, wrap)
+			}
+		}
+		record(kNext-1, x, wrap)
+		for f := uint64(0); f < 20; f++ {
+			got, err := points[x].QuerySize(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ideal.Estimate(f); got != want {
+				t.Fatalf("point %d flow %d: live %d != ideal %d", x, f, got, want)
+			}
+		}
+	}
+}
+
+func TestServeCenterRejectsBadConfig(t *testing.T) {
+	if _, err := ServeCenter(CenterConfig{Addr: "127.0.0.1:0", Kind: "bogus", Logf: quietLogf}); err == nil {
+		t.Fatal("expected kind error")
+	}
+	if _, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSize, WindowN: 1,
+		Widths: map[int]int{0: 4}, D: 4, Logf: quietLogf,
+	}); err == nil {
+		t.Fatal("expected window error")
+	}
+}
+
+func TestHelloMismatchDropsConnection(t *testing.T) {
+	srv, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSize, WindowN: 5,
+		Widths: map[int]int{0: 64}, D: 4, Seed: 1, Logf: quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Wrong width: the center must drop the connection, which surfaces as
+	// an EndEpoch error on the client.
+	pc, err := DialPoint(PointConfig{
+		Addr: srv.Addr().String(), Point: 0, Kind: KindSize, W: 128, D: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	waitFor(t, "connection drop", func() bool {
+		pc.Record(1, 0)
+		return pc.EndEpoch() != nil
+	})
+}
+
+func TestQueryRPCRoundTrip(t *testing.T) {
+	srv, err := ServeQueries("127.0.0.1:0", func(flow uint64) float64 {
+		return float64(flow) * 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	qc, err := DialQuery(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	for f := uint64(0); f < 100; f++ {
+		got, err := qc.Query(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != float64(f)*2 {
+			t.Fatalf("Query(%d) = %v", f, got)
+		}
+	}
+	if v, err := qc.QuerySize(21); err != nil || v != 42 {
+		t.Fatalf("QuerySize = %d, %v", v, err)
+	}
+	if v, err := qc.QuerySpread(21); err != nil || v != 42 {
+		t.Fatalf("QuerySpread = %v, %v", v, err)
+	}
+}
+
+func TestNetworkwideBaselineOverTCP(t *testing.T) {
+	// The paper's baseline deployment: local VATE + remote peers over
+	// real sockets.
+	mk := func() *vate.Sketch {
+		return vate.New(vate.Params{VirtualBits: 512, PhysicalCells: 1 << 16, WindowN: 5, Seed: 4})
+	}
+	peerSketch := mk()
+	for e := 0; e < 200; e++ {
+		peerSketch.Record(3, uint64(e)+5000)
+	}
+	srv, err := ServeQueries("127.0.0.1:0", func(flow uint64) float64 {
+		return peerSketch.Estimate(flow)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	qc, err := DialQuery(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+
+	nw := &baseline.NetworkwideSpread{Local: mk(), Peers: []baseline.SpreadPeer{qc}}
+	for e := 0; e < 300; e++ {
+		nw.Record(3, uint64(e))
+	}
+	got, err := nw.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 350 || got > 650 {
+		t.Fatalf("networkwide spread over TCP = %.0f, want ~500", got)
+	}
+}

@@ -1,0 +1,152 @@
+package vate
+
+import (
+	"math"
+	"testing"
+)
+
+func testParams() Params {
+	return Params{VirtualBits: 2048, PhysicalCells: 1 << 18, WindowN: 5, Seed: 9}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Params{
+		{VirtualBits: 0, PhysicalCells: 8, WindowN: 2},
+		{VirtualBits: 8, PhysicalCells: 0, WindowN: 2},
+		{VirtualBits: 8, PhysicalCells: 8, WindowN: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("expected error for %+v", bad)
+		}
+	}
+}
+
+func TestCellBits(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 2}, {2, 2}, {3, 3}, {6, 3}, {10, 4}, {14, 4}, {30, 5}, {60, 6},
+	}
+	for _, tt := range tests {
+		if got := CellBits(tt.n); got != tt.want {
+			t.Fatalf("CellBits(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestCellsForMemory(t *testing.T) {
+	// 2Mb, n=10 -> 4 bits/cell -> 524288 cells.
+	if got := CellsForMemory(1<<21, 10); got != 524288 {
+		t.Fatalf("CellsForMemory = %d, want 524288", got)
+	}
+	if got := CellsForMemory(1, 10); got != 1 {
+		t.Fatalf("floor = %d", got)
+	}
+}
+
+func TestEstimateSingleFlow(t *testing.T) {
+	s := New(testParams())
+	const truth = 800
+	for e := 0; e < truth; e++ {
+		s.Record(5, uint64(e))
+	}
+	got := s.Estimate(5)
+	if rel := math.Abs(got-truth) / truth; rel > 0.15 {
+		t.Fatalf("estimate %.0f for truth %d (rel %.3f)", got, truth, rel)
+	}
+}
+
+func TestEstimateAbsentFlowNearZero(t *testing.T) {
+	s := New(testParams())
+	for f := uint64(0); f < 50; f++ {
+		for e := 0; e < 200; e++ {
+			s.Record(f, f*1000+uint64(e))
+		}
+	}
+	sum := 0.0
+	for f := uint64(1000); f < 1100; f++ {
+		sum += s.Estimate(f)
+	}
+	if mean := sum / 100; mean > 60 {
+		t.Fatalf("mean absent-flow estimate %.1f, want near 0 after noise correction", mean)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	s := New(testParams()) // window of 5 epochs
+	for e := 0; e < 500; e++ {
+		s.Record(1, uint64(e))
+	}
+	for k := 0; k < 4; k++ {
+		s.Advance()
+		if got := s.Estimate(1); got < 300 {
+			t.Fatalf("estimate %.0f dropped while still in window (advance %d)", got, k+1)
+		}
+	}
+	s.Advance() // epoch 6: epoch-1 stamps leave the window
+	if got := s.Estimate(1); got > 50 {
+		t.Fatalf("estimate %.0f after expiry, want ~0", got)
+	}
+}
+
+func TestSlidingRefresh(t *testing.T) {
+	// Re-recording the same elements every epoch keeps them alive.
+	s := New(testParams())
+	for k := 0; k < 10; k++ {
+		for e := 0; e < 300; e++ {
+			s.Record(2, uint64(e))
+		}
+		s.Advance()
+	}
+	got := s.Estimate(2)
+	if math.Abs(got-300) > 80 {
+		t.Fatalf("refreshed flow estimate %.0f, want ~300", got)
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := New(testParams())
+	for i := 0; i < 50; i++ {
+		for e := 0; e < 100; e++ {
+			s.Record(3, uint64(e))
+		}
+	}
+	got := s.Estimate(3)
+	if math.Abs(got-100) > 40 {
+		t.Fatalf("duplicate-heavy flow estimate %.0f, want ~100", got)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	s := New(testParams())
+	for e := 0; e < 100; e++ {
+		s.Record(1, uint64(e))
+	}
+	s.Reset()
+	if got := s.Estimate(1); got != 0 {
+		t.Fatalf("estimate after reset = %.1f, want 0", got)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch after reset = %d, want 1", s.Epoch())
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	s := New(Params{VirtualBits: 64, PhysicalCells: 1000, WindowN: 10, Seed: 0})
+	if got := s.MemoryBits(); got != 1000*4 {
+		t.Fatalf("MemoryBits = %d, want 4000", got)
+	}
+}
+
+func TestEstimateNonNegative(t *testing.T) {
+	s := New(Params{VirtualBits: 128, PhysicalCells: 1 << 12, WindowN: 3, Seed: 1})
+	for f := uint64(0); f < 200; f++ {
+		s.Record(f, f)
+	}
+	for f := uint64(0); f < 400; f++ {
+		if got := s.Estimate(f); got < 0 {
+			t.Fatalf("negative estimate %.2f for flow %d", got, f)
+		}
+	}
+}

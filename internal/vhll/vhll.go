@@ -1,0 +1,145 @@
+// Package vhll implements the virtual HyperLogLog estimator (Xiao et al.,
+// SIGMETRICS 2015, the paper's reference [18]): per-flow spread estimation
+// by *register sharing*. All flows share one physical array of HLL
+// registers; each flow owns a virtual estimator of s registers scattered
+// pseudo-randomly through the array, and the noise other flows leave in
+// the shared registers is subtracted in expectation using the whole
+// array's estimate.
+//
+// rSkt2 (the sketch the paper builds on) improves on vHLL by cancelling
+// noise per flow with its two-row construction rather than subtracting a
+// global average; this package exists as the comparison substrate (see the
+// ablation-vhll experiment) and as an alternative epoch sketch for
+// single-point deployments.
+package vhll
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hll"
+	"repro/internal/xhash"
+)
+
+// Seed offsets for the sketch's hash functions.
+const (
+	seedVirtual  = 0x77aa
+	seedRegister = 0x3c19
+	seedGeo      = 0x9d05
+)
+
+// DefaultVirtualRegisters is the per-flow virtual estimator size used by
+// the original paper's evaluation.
+const DefaultVirtualRegisters = 128
+
+// Params configures a vHLL sketch.
+type Params struct {
+	// PhysicalRegisters is the size of the shared register array.
+	PhysicalRegisters int
+	// VirtualRegisters is the per-flow virtual estimator size (s).
+	VirtualRegisters int
+	// Seed is the hash seed.
+	Seed uint64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.PhysicalRegisters <= 0 || p.VirtualRegisters <= 0 {
+		return fmt.Errorf("vhll: register counts must be positive: %+v", p)
+	}
+	if p.VirtualRegisters > p.PhysicalRegisters {
+		return fmt.Errorf("vhll: virtual estimator (%d) larger than physical array (%d)",
+			p.VirtualRegisters, p.PhysicalRegisters)
+	}
+	return nil
+}
+
+// PhysicalForMemory returns the physical register count fitting memBits
+// bits at hll.RegisterBits per register.
+func PhysicalForMemory(memBits int) int {
+	m := memBits / hll.RegisterBits
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Sketch is a vHLL instance. Not safe for concurrent use.
+type Sketch struct {
+	params  Params
+	regs    hll.Regs
+	scratch []uint8
+}
+
+// New creates a zeroed sketch.
+func New(p Params) (*Sketch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sketch{
+		params:  p,
+		regs:    hll.NewRegs(p.PhysicalRegisters),
+		scratch: make([]uint8, p.VirtualRegisters),
+	}, nil
+}
+
+// Params returns the configuration.
+func (s *Sketch) Params() Params { return s.params }
+
+// Record inserts packet <f, e>.
+func (s *Sketch) Record(f, e uint64) {
+	p := &s.params
+	i := xhash.Index(e^p.Seed, seedVirtual, p.VirtualRegisters)
+	reg := xhash.HashPair(f, uint64(i), p.Seed^seedRegister) % uint64(p.PhysicalRegisters)
+	s.regs.Observe(int(reg), xhash.Geometric(xhash.HashPair(f, e, p.Seed), seedGeo, hll.MaxRegisterValue))
+}
+
+// Estimate returns the spread estimate for flow f: the virtual estimator's
+// raw estimate minus the expected share of the whole array's cardinality
+// (the register-sharing noise term).
+func (s *Sketch) Estimate(f uint64) float64 {
+	p := &s.params
+	for i := 0; i < p.VirtualRegisters; i++ {
+		reg := xhash.HashPair(f, uint64(i), p.Seed^seedRegister) % uint64(p.PhysicalRegisters)
+		s.scratch[i] = s.regs[reg]
+	}
+	sv := float64(p.VirtualRegisters)
+	m := float64(p.PhysicalRegisters)
+	// n_f ≈ s/(1 - s/m) * (raw(virtual)/s - raw(whole)/m), the vHLL
+	// estimator rearranged; raw() is the plain HLL estimate.
+	nv := hll.Estimate(s.scratch)
+	nt := hll.Estimate(s.regs)
+	est := sv / (1 - sv/m) * (nv/sv - nt/m)
+	if math.IsNaN(est) || est < 0 {
+		return 0
+	}
+	return est
+}
+
+// MergeMax folds o into s (union semantics across epochs/points).
+func (s *Sketch) MergeMax(o *Sketch) error {
+	if s.params != o.params {
+		return fmt.Errorf("vhll: merge parameter mismatch: %+v vs %+v", s.params, o.params)
+	}
+	return s.regs.MergeMax(o.regs)
+}
+
+// Reset zeroes the register array.
+func (s *Sketch) Reset() {
+	s.regs.Reset()
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c, err := New(s.params)
+	if err != nil { // parameters were validated at construction
+		panic(err)
+	}
+	copy(c.regs, s.regs)
+	return c
+}
+
+// MemoryBits returns the footprint under the paper's register model.
+func (s *Sketch) MemoryBits() int {
+	return s.regs.MemoryBits()
+}

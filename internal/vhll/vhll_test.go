@@ -1,0 +1,159 @@
+package vhll
+
+import (
+	"math"
+	"testing"
+)
+
+func testParams() Params {
+	return Params{PhysicalRegisters: 1 << 16, VirtualRegisters: 128, Seed: 5}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Params{
+		{PhysicalRegisters: 0, VirtualRegisters: 8},
+		{PhysicalRegisters: 8, VirtualRegisters: 0},
+		{PhysicalRegisters: 8, VirtualRegisters: 16},
+	}
+	for i, bad := range bads {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := New(Params{}); err == nil {
+		t.Fatal("New must validate")
+	}
+}
+
+func TestPhysicalForMemory(t *testing.T) {
+	// 2Mb at 5 bits/register.
+	if got := PhysicalForMemory(1 << 21); got != (1<<21)/5 {
+		t.Fatalf("PhysicalForMemory = %d", got)
+	}
+	if PhysicalForMemory(1) != 1 {
+		t.Fatal("floor should be 1")
+	}
+}
+
+func TestEstimateSingleFlow(t *testing.T) {
+	s, err := New(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const truth = 5000
+	for e := 0; e < truth; e++ {
+		s.Record(7, uint64(e))
+	}
+	got := s.Estimate(7)
+	if rel := math.Abs(got-truth) / truth; rel > 0.3 {
+		t.Fatalf("estimate %.0f for truth %d (rel %.3f)", got, truth, rel)
+	}
+}
+
+func TestEstimateNoiseSubtraction(t *testing.T) {
+	// Heavy background from other flows raises the shared array; the
+	// noise term must keep a small flow's estimate in the right ballpark.
+	s, err := New(Params{PhysicalRegisters: 1 << 14, VirtualRegisters: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := uint64(100); f < 400; f++ {
+		for e := 0; e < 200; e++ {
+			s.Record(f, f*10_000+uint64(e))
+		}
+	}
+	for e := 0; e < 500; e++ {
+		s.Record(7, uint64(e))
+	}
+	got := s.Estimate(7)
+	if got < 100 || got > 1800 {
+		t.Fatalf("noisy estimate %.0f for truth 500 outside plausible band", got)
+	}
+}
+
+func TestEstimateAbsentFlowNearZero(t *testing.T) {
+	s, err := New(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := uint64(0); f < 100; f++ {
+		for e := 0; e < 100; e++ {
+			s.Record(f, uint64(e))
+		}
+	}
+	sum := 0.0
+	for f := uint64(5000); f < 5100; f++ {
+		sum += s.Estimate(f)
+	}
+	if mean := sum / 100; mean > 60 {
+		t.Fatalf("mean absent-flow estimate %.1f, want near 0", mean)
+	}
+}
+
+func TestMergeIsUnion(t *testing.T) {
+	p := testParams()
+	a, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2000; e++ {
+		a.Record(9, uint64(e))
+		u.Record(9, uint64(e))
+	}
+	for e := 1000; e < 3000; e++ {
+		b.Record(9, uint64(e))
+		u.Record(9, uint64(e))
+	}
+	if err := a.MergeMax(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Estimate(9), u.Estimate(9); got != want {
+		t.Fatalf("merged estimate %.2f != union %.2f", got, want)
+	}
+	other, err := New(Params{PhysicalRegisters: 1 << 10, VirtualRegisters: 128, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeMax(other); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestCloneAndReset(t *testing.T) {
+	s, err := New(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 300; e++ {
+		s.Record(1, uint64(e))
+	}
+	c := s.Clone()
+	s.Reset()
+	if s.Estimate(1) != 0 {
+		t.Fatal("reset sketch should estimate 0")
+	}
+	if c.Estimate(1) < 100 {
+		t.Fatal("clone affected by reset")
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	s, err := New(Params{PhysicalRegisters: 1000, VirtualRegisters: 100, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MemoryBits() != 5000 {
+		t.Fatalf("MemoryBits = %d", s.MemoryBits())
+	}
+}

@@ -1,0 +1,114 @@
+// Package window implements the paper's epoch/window arithmetic.
+//
+// A T-query at time t asks about the sliding window [t-T, t). Time is split
+// into epochs of length h = T/n; epoch k (1-based, as in the paper) covers
+// [(k-1)h, kh). The *approximate networkwide T-stream* answered by the
+// protocol for a query at time t in epoch k is:
+//
+//   - peer points:  epochs k-n+1 .. k-2 (the window's completed epochs,
+//     minus the last one, whose networkwide aggregate cannot have arrived
+//     yet given the round-trip bound);
+//   - local point:  epochs k-n+1 .. k-1 plus the current epoch up to t.
+//
+// Virtual time is int64 nanoseconds from the start of the trace, so the
+// whole simulation is deterministic and independent of the wall clock.
+package window
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is virtual time: nanoseconds since trace start.
+type Time = int64
+
+// Config describes the window model.
+type Config struct {
+	// T is the query window length.
+	T time.Duration
+	// N is the number of epochs per window (the paper's n). Larger N makes
+	// the approximate T-query approach the exact T-query.
+	N int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.T <= 0 {
+		return fmt.Errorf("window: T must be positive, got %v", c.T)
+	}
+	if c.N < 3 {
+		// n-2 completed epochs must be nonempty for the networkwide part.
+		return fmt.Errorf("window: N must be at least 3, got %d", c.N)
+	}
+	if c.T.Nanoseconds()%int64(c.N) != 0 {
+		return fmt.Errorf("window: T (%v) must be divisible by N (%d)", c.T, c.N)
+	}
+	return nil
+}
+
+// H returns the epoch length h = T/N.
+func (c Config) H() time.Duration {
+	return c.T / time.Duration(c.N)
+}
+
+// EpochOf returns the 1-based epoch containing ts (ts >= 0).
+func (c Config) EpochOf(ts Time) int64 {
+	return ts/int64(c.H()) + 1
+}
+
+// EpochStart returns the start time of epoch k.
+func (c Config) EpochStart(k int64) Time {
+	return (k - 1) * int64(c.H())
+}
+
+// EpochEnd returns the end time of epoch k (exclusive).
+func (c Config) EpochEnd(k int64) Time {
+	return k * int64(c.H())
+}
+
+// QueryWindow describes which epochs contribute to the approximate
+// networkwide T-stream for one query. Epoch ranges are inclusive; a range
+// with First > Last is empty. Epochs below 1 are clamped away (trace
+// start-up).
+type QueryWindow struct {
+	// Epoch is the current epoch k at query time.
+	Epoch int64
+	// PeerFirst..PeerLast are the completed epochs whose *networkwide*
+	// data the query covers (k-n+1 .. k-2).
+	PeerFirst, PeerLast int64
+	// LocalFirst..LocalLast are the completed epochs of *local* data
+	// (k-n+1 .. k-1).
+	LocalFirst, LocalLast int64
+	// LocalUntil is the query instant t: local data of the current epoch
+	// is included for [EpochStart(Epoch), t).
+	LocalUntil Time
+}
+
+// ApproxStream returns the approximate networkwide T-stream window for a
+// query at time t.
+func (c Config) ApproxStream(t Time) QueryWindow {
+	k := c.EpochOf(t)
+	q := QueryWindow{
+		Epoch:      k,
+		PeerFirst:  k - int64(c.N) + 1,
+		PeerLast:   k - 2,
+		LocalFirst: k - int64(c.N) + 1,
+		LocalLast:  k - 1,
+		LocalUntil: t,
+	}
+	if q.PeerFirst < 1 {
+		q.PeerFirst = 1
+	}
+	if q.LocalFirst < 1 {
+		q.LocalFirst = 1
+	}
+	return q
+}
+
+// Warm reports whether epoch k is late enough that the protocol's C sketch
+// holds a full window (the center has pushed n-2 completed epochs). Queries
+// before this see a partially-filled window at every design and baseline
+// alike; experiments only score warm epochs.
+func (c Config) Warm(k int64) bool {
+	return k >= int64(c.N)+1
+}

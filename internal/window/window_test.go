@@ -1,0 +1,121 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Config
+		wantErr bool
+	}{
+		{name: "paper default", give: Config{T: time.Minute, N: 10}},
+		{name: "zero T", give: Config{T: 0, N: 10}, wantErr: true},
+		{name: "n too small", give: Config{T: time.Minute, N: 2}, wantErr: true},
+		{name: "indivisible", give: Config{T: time.Minute, N: 7}, wantErr: true},
+		{name: "n=60", give: Config{T: time.Minute, N: 60}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEpochArithmetic(t *testing.T) {
+	c := Config{T: time.Minute, N: 10} // h = 6s
+	if c.H() != 6*time.Second {
+		t.Fatalf("H = %v, want 6s", c.H())
+	}
+	if got := c.EpochOf(0); got != 1 {
+		t.Fatalf("EpochOf(0) = %d, want 1", got)
+	}
+	if got := c.EpochOf(int64(6*time.Second) - 1); got != 1 {
+		t.Fatalf("end of epoch 1 = %d, want 1", got)
+	}
+	if got := c.EpochOf(int64(6 * time.Second)); got != 2 {
+		t.Fatalf("EpochOf(6s) = %d, want 2", got)
+	}
+	if got := c.EpochStart(3); got != int64(12*time.Second) {
+		t.Fatalf("EpochStart(3) = %d", got)
+	}
+	if got := c.EpochEnd(3); got != int64(18*time.Second) {
+		t.Fatalf("EpochEnd(3) = %d", got)
+	}
+}
+
+func TestEpochOfConsistent(t *testing.T) {
+	c := Config{T: time.Minute, N: 12}
+	err := quick.Check(func(ts uint32) bool {
+		k := c.EpochOf(int64(ts))
+		return c.EpochStart(k) <= int64(ts) && int64(ts) < c.EpochEnd(k)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxStreamSteadyState(t *testing.T) {
+	c := Config{T: time.Minute, N: 10}
+	// Query at t in epoch 20 (t = 114s + 3s).
+	tq := int64(117 * time.Second)
+	q := c.ApproxStream(tq)
+	if q.Epoch != 20 {
+		t.Fatalf("epoch = %d, want 20", q.Epoch)
+	}
+	if q.PeerFirst != 11 || q.PeerLast != 18 {
+		t.Fatalf("peer range = [%d,%d], want [11,18]", q.PeerFirst, q.PeerLast)
+	}
+	if q.LocalFirst != 11 || q.LocalLast != 19 {
+		t.Fatalf("local range = [%d,%d], want [11,19]", q.LocalFirst, q.LocalLast)
+	}
+	if q.LocalUntil != tq {
+		t.Fatalf("LocalUntil = %d, want %d", q.LocalUntil, tq)
+	}
+	// Peer window has n-2 = 8 epochs; local has n-1 = 9 completed epochs.
+	if n := q.PeerLast - q.PeerFirst + 1; n != 8 {
+		t.Fatalf("peer epochs = %d, want 8", n)
+	}
+}
+
+func TestApproxStreamAtBoundary(t *testing.T) {
+	c := Config{T: time.Minute, N: 10}
+	// Exactly at the start of epoch 21: local partial epoch is empty.
+	tq := c.EpochStart(21)
+	q := c.ApproxStream(tq)
+	if q.Epoch != 21 {
+		t.Fatalf("epoch = %d, want 21", q.Epoch)
+	}
+	if q.LocalUntil != c.EpochStart(21) {
+		t.Fatal("boundary query should include no current-epoch data")
+	}
+	if q.PeerFirst != 12 || q.PeerLast != 19 || q.LocalLast != 20 {
+		t.Fatalf("unexpected window %+v", q)
+	}
+}
+
+func TestApproxStreamClampsAtStart(t *testing.T) {
+	c := Config{T: time.Minute, N: 10}
+	q := c.ApproxStream(int64(time.Second)) // epoch 1
+	if q.PeerFirst != 1 || q.LocalFirst != 1 {
+		t.Fatalf("start-up window not clamped: %+v", q)
+	}
+	if q.PeerLast != -1 || q.LocalLast != 0 {
+		t.Fatalf("start-up completed ranges should be empty: %+v", q)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	c := Config{T: time.Minute, N: 10}
+	if c.Warm(10) {
+		t.Fatal("epoch n should not be warm")
+	}
+	if !c.Warm(11) {
+		t.Fatal("epoch n+1 should be warm")
+	}
+}

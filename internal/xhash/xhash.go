@@ -1,0 +1,67 @@
+// Package xhash provides the seeded hash functions used by every sketch in
+// this repository: uniform 64-bit hashing of flow labels and element
+// identifiers, the geometric hash G used by HyperLogLog registers, and the
+// balanced pair bit g(f,i) used by rSkt2 to split noise between its two
+// register rows.
+//
+// All functions are pure and deterministic for a given seed, which keeps
+// experiments reproducible. The mixing core is splitmix64 (Steele et al.),
+// whose output is statistically indistinguishable from uniform for the
+// purposes of sketching.
+package xhash
+
+import "math/bits"
+
+// Mix64 applies the splitmix64 finalizer to x, producing a uniformly
+// distributed 64-bit value.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash64 hashes x under the given seed. Distinct seeds yield independent
+// hash functions in the sense required by CountMin rows and HLL register
+// selection.
+func Hash64(x, seed uint64) uint64 {
+	return Mix64(x ^ Mix64(seed))
+}
+
+// HashPair hashes the ordered pair (a, b) under the given seed.
+func HashPair(a, b, seed uint64) uint64 {
+	return Mix64(Mix64(a^Mix64(seed)) ^ b)
+}
+
+// Index maps x to a bucket in [0, n) using hash function seed. n must be
+// positive.
+func Index(x, seed uint64, n int) int {
+	return int(Hash64(x, seed) % uint64(n))
+}
+
+// Geometric returns the geometric hash G(v) in [1, maxVal]: the position of
+// the first 1 bit of a uniform hash of v, capped at maxVal. P[G=x] = 2^-x
+// for x < maxVal. This is the value stored in an HLL register, so maxVal is
+// 2^r - 1 for r-bit registers (31 for the paper's r=5).
+func Geometric(v, seed uint64, maxVal uint8) uint8 {
+	h := Hash64(v, seed)
+	// Number of leading zeros of a uniform 64-bit value is geometric.
+	rho := uint8(bits.LeadingZeros64(h)) + 1
+	if rho > maxVal {
+		rho = maxVal
+	}
+	return rho
+}
+
+// PairBit implements g(f, i): a pseudo-random bit derived from the flow
+// label and a register index, 0 or 1 with equal probability. rSkt2 uses it
+// to decide which of its two rows records flow f at register column i.
+func PairBit(f uint64, i int, seed uint64) int {
+	return int(HashPair(f, uint64(i), seed) & 1)
+}
+
+// Float01 maps x to a float64 in [0, 1) under the given seed. Used by the
+// trace generator for reproducible random draws.
+func Float01(x, seed uint64) float64 {
+	return float64(Hash64(x, seed)>>11) / float64(1<<53)
+}

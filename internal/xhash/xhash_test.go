@@ -1,0 +1,124 @@
+package xhash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(42) != Mix64(42) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	if Mix64(42) == Mix64(43) {
+		t.Fatal("Mix64(42) == Mix64(43): suspicious collision")
+	}
+}
+
+func TestHash64SeedIndependence(t *testing.T) {
+	// Different seeds must produce effectively unrelated hashes.
+	same := 0
+	const trials = 1000
+	for i := uint64(0); i < trials; i++ {
+		if Hash64(i, 1)%16 == Hash64(i, 2)%16 {
+			same++
+		}
+	}
+	// Expect ~1/16 of trials to agree; fail if wildly off.
+	if same > trials/4 {
+		t.Fatalf("seeds look correlated: %d/%d bucket agreements", same, trials)
+	}
+}
+
+func TestHash64Uniformity(t *testing.T) {
+	const buckets = 64
+	const samples = 64000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[Index(uint64(i), 7, buckets)]++
+	}
+	want := float64(samples) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d has %d hits, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestGeometricDistribution(t *testing.T) {
+	// P[G = x] should be ~2^-x.
+	const samples = 200000
+	var counts [33]int
+	for i := 0; i < samples; i++ {
+		counts[Geometric(uint64(i), 9, 31)]++
+	}
+	for x := 1; x <= 6; x++ {
+		want := float64(samples) * math.Pow(2, -float64(x))
+		got := float64(counts[x])
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Fatalf("P[G=%d]: got %d, want ~%.0f", x, int(got), want)
+		}
+	}
+}
+
+func TestGeometricCapped(t *testing.T) {
+	for i := uint64(0); i < 100000; i++ {
+		if g := Geometric(i, 3, 31); g < 1 || g > 31 {
+			t.Fatalf("Geometric out of range: %d", g)
+		}
+	}
+}
+
+func TestPairBitBalanced(t *testing.T) {
+	ones := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		ones += PairBit(uint64(i), i%128, 5)
+	}
+	if math.Abs(float64(ones)-trials/2) > 4*math.Sqrt(trials/4) {
+		t.Fatalf("PairBit biased: %d ones out of %d", ones, trials)
+	}
+}
+
+func TestPairBitDeterministic(t *testing.T) {
+	err := quick.Check(func(f uint64, i uint16, seed uint64) bool {
+		a := PairBit(f, int(i), seed)
+		b := PairBit(f, int(i), seed)
+		return a == b && (a == 0 || a == 1)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	err := quick.Check(func(x, seed uint64) bool {
+		i := Index(x, seed, 1000)
+		return i >= 0 && i < 1000
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat01Range(t *testing.T) {
+	err := quick.Check(func(x, seed uint64) bool {
+		f := Float01(x, seed)
+		return f >= 0 && f < 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat01Mean(t *testing.T) {
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		sum += Float01(uint64(i), 11)
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float01 mean %.4f, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,176 @@
+// Package tquery is the public API of this repository: a Go implementation
+// of "Supporting Real-time Networkwide T-Queries in High-speed Networks"
+// (ICDCS 2022).
+//
+// A T-query asks for a flow's statistic over the sliding window [t-T, t).
+// This package lets a cluster of measurement points answer *networkwide*
+// T-queries — the statistic of a flow across every point — from local
+// memory, in real time, by running the paper's two-sketch (flow size,
+// CountMin-based) or three-sketch (flow spread, rSkt2(HLL)-based) design
+// together with a measurement center that performs the spatial-temporal
+// join between epochs.
+//
+// The Cluster types in this package run all points and the center
+// in-process, driven by packet timestamps (virtual time), which is the
+// deterministic deployment used for experiments and examples. The cmd
+// directory's tqcenter/tqpoint binaries deploy the same protocol over TCP.
+//
+// Basic use:
+//
+//	cl, err := tquery.NewSizeCluster(tquery.Config{
+//		Points: 3,
+//		Window: time.Minute,
+//		Epochs: 10,
+//		Memory: []int{2 << 20, 2 << 20, 2 << 20}, // bits per point
+//	})
+//	...
+//	cl.Record(tquery.Packet{TS: ts, Point: 0, Flow: dstAddr})
+//	size := cl.QuerySize(0, dstAddr) // networkwide, from v0's local memory
+package tquery
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rskt"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// Packet is one abstracted packet <flow, element> arriving at a
+// measurement point at virtual time TS (nanoseconds from cluster start).
+// For flow-size clusters the element is ignored.
+type Packet = trace.Packet
+
+// Config describes a cluster.
+type Config struct {
+	// Points is the number of measurement points (the paper's p > 1).
+	Points int
+	// Window is the T-query window length (the paper's T).
+	Window time.Duration
+	// Epochs is the number of epochs per window (the paper's n >= 3);
+	// the epoch length is Window/Epochs.
+	Epochs int
+	// Memory is the per-point sketch memory budget in bits. Either one
+	// entry per point, or a single entry applied to all points. Budgets
+	// may differ between points (device diversity) as long as their
+	// ratios are integral.
+	Memory []int
+	// Seed fixes the cluster-wide hash functions. Points can only be
+	// aggregated if they share it.
+	Seed uint64
+	// Enhance enables the paper's Section IV-D enhancement, which also
+	// folds the peers' last completed epoch into answers.
+	Enhance bool
+}
+
+func (c Config) memories() ([]int, error) {
+	if c.Points < 2 {
+		return nil, fmt.Errorf("tquery: need at least 2 points, got %d", c.Points)
+	}
+	switch len(c.Memory) {
+	case c.Points:
+		return c.Memory, nil
+	case 1:
+		mem := make([]int, c.Points)
+		for i := range mem {
+			mem[i] = c.Memory[0]
+		}
+		return mem, nil
+	default:
+		return nil, fmt.Errorf("tquery: %d memory budgets for %d points", len(c.Memory), c.Points)
+	}
+}
+
+func (c Config) window() window.Config {
+	return window.Config{T: c.Window, N: c.Epochs}
+}
+
+// SizeCluster answers networkwide flow-size T-queries with the two-sketch
+// design.
+type SizeCluster struct {
+	sim *cluster.SizeSim
+	win window.Config
+}
+
+// NewSizeCluster builds an in-process cluster.
+func NewSizeCluster(cfg Config) (*SizeCluster, error) {
+	mem, err := cfg.memories()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cluster.NewSizeSim(cluster.SizeSimConfig{
+		Window:     cfg.window(),
+		MemoryBits: mem,
+		Seed:       cfg.Seed,
+		Enhance:    cfg.Enhance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SizeCluster{sim: sim, win: cfg.window()}, nil
+}
+
+// Record feeds one packet. Packets must arrive in timestamp order; epoch
+// boundaries (including the center exchange) happen automatically as
+// timestamps advance.
+func (c *SizeCluster) Record(p Packet) error {
+	return c.sim.Feed(p)
+}
+
+// QuerySize answers the approximate real-time networkwide T-query for the
+// flow at the given point, reading only that point's local sketch.
+func (c *SizeCluster) QuerySize(point int, flow uint64) int64 {
+	return c.sim.QueryProtocol(point, flow)
+}
+
+// Epoch returns the cluster's current epoch (1-based).
+func (c *SizeCluster) Epoch() int64 { return c.sim.Epoch() }
+
+// Warm reports whether answers cover a full window yet (the first n
+// epochs are still filling it).
+func (c *SizeCluster) Warm() bool { return c.win.Warm(c.sim.Epoch()) }
+
+// SpreadCluster answers networkwide flow-spread T-queries with the
+// three-sketch design.
+type SpreadCluster struct {
+	sim *cluster.SpreadSim[*rskt.Sketch]
+	win window.Config
+}
+
+// NewSpreadCluster builds an in-process cluster.
+func NewSpreadCluster(cfg Config) (*SpreadCluster, error) {
+	mem, err := cfg.memories()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cluster.NewSpreadSim(cluster.SpreadSimConfig{
+		Window:     cfg.window(),
+		MemoryBits: mem,
+		Seed:       cfg.Seed,
+		Enhance:    cfg.Enhance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SpreadCluster{sim: sim, win: cfg.window()}, nil
+}
+
+// Record feeds one packet. Packets must arrive in timestamp order.
+func (c *SpreadCluster) Record(p Packet) error {
+	return c.sim.Feed(p)
+}
+
+// QuerySpread answers the approximate real-time networkwide T-query for
+// the flow's spread (distinct elements) at the given point. Estimates can
+// be slightly negative for near-empty flows; clamp if a count is needed.
+func (c *SpreadCluster) QuerySpread(point int, flow uint64) float64 {
+	return c.sim.QueryProtocol(point, flow)
+}
+
+// Epoch returns the cluster's current epoch (1-based).
+func (c *SpreadCluster) Epoch() int64 { return c.sim.Epoch() }
+
+// Warm reports whether answers cover a full window yet.
+func (c *SpreadCluster) Warm() bool { return c.win.Warm(c.sim.Epoch()) }

@@ -1,0 +1,116 @@
+package tquery
+
+import (
+	"testing"
+	"time"
+)
+
+func sizeConfig() Config {
+	return Config{
+		Points: 3,
+		Window: 10 * time.Second,
+		Epochs: 5,
+		Memory: []int{1 << 19},
+		Seed:   7,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{name: "ok single memory", mutate: func(*Config) {}},
+		{name: "ok per point", mutate: func(c *Config) { c.Memory = []int{1 << 19, 1 << 20, 1 << 21} }},
+		{name: "too few points", mutate: func(c *Config) { c.Points = 1 }, wantErr: true},
+		{name: "memory count mismatch", mutate: func(c *Config) { c.Memory = []int{1, 2} }, wantErr: true},
+		{name: "bad window", mutate: func(c *Config) { c.Epochs = 0 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := sizeConfig()
+			tt.mutate(&cfg)
+			_, err := NewSizeCluster(cfg)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewSizeCluster err = %v, wantErr %v", err, tt.wantErr)
+			}
+			_, err = NewSpreadCluster(cfg)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewSpreadCluster err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSizeClusterNetworkwideAnswer(t *testing.T) {
+	cl, err := NewSizeCluster(sizeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 42 sends 10 packets per epoch spread over all points for 7
+	// epochs (2s per epoch).
+	ts := int64(0)
+	for k := 0; k < 7; k++ {
+		for i := 0; i < 10; i++ {
+			if err := cl.Record(Packet{TS: ts, Point: i % 3, Flow: 42}); err != nil {
+				t.Fatal(err)
+			}
+			ts += int64(200 * time.Millisecond)
+		}
+	}
+	if !cl.Warm() {
+		t.Fatalf("cluster not warm at epoch %d", cl.Epoch())
+	}
+	// Window at epoch 8 start covers all-points epochs 4..6 plus local
+	// epoch 7: between 30 and 40 packets depending on the local share.
+	got := cl.QuerySize(0, 42)
+	if got < 30 || got > 40 {
+		t.Fatalf("networkwide size = %d, want in [30, 40]", got)
+	}
+	if cl.QuerySize(0, 4242) != 0 {
+		t.Fatal("absent flow should estimate 0")
+	}
+}
+
+func TestSpreadClusterNetworkwideAnswer(t *testing.T) {
+	cfg := sizeConfig()
+	cfg.Memory = []int{1 << 21}
+	cl, err := NewSpreadCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 9: 50 distinct elements per epoch, each seen at two points
+	// (the union must deduplicate networkwide).
+	ts := int64(0)
+	for k := 0; k < 7; k++ {
+		for e := 0; e < 50; e++ {
+			elem := uint64(k*50 + e)
+			for _, pt := range []int{0, 1} {
+				if err := cl.Record(Packet{TS: ts, Point: pt, Flow: 9, Elem: elem}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ts += int64(40 * time.Millisecond)
+		}
+	}
+	got := cl.QuerySpread(0, 9)
+	// Window covers epochs 4..7: 200 distinct elements (each recorded at
+	// two points, counted once).
+	if got < 120 || got > 280 {
+		t.Fatalf("networkwide spread = %.0f, want ~200 (deduplicated)", got)
+	}
+}
+
+func TestRecordRejectsOutOfOrder(t *testing.T) {
+	cl, err := NewSizeCluster(sizeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Record(Packet{TS: 1000, Point: 0, Flow: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Record(Packet{TS: 999, Point: 0, Flow: 1}); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+}
