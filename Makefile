@@ -1,0 +1,28 @@
+# Developer/CI entry points. `make check` is the gate: build, vet, the
+# full test suite under the race detector, and a smoke run of the sharded
+# ingest benchmarks (100 iterations — checks they run, not their numbers).
+
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench
+
+check: build vet race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'ThroughputParallel' -benchtime=100x .
+
+# Full benchmark pass (Tables I/II and the figure pipelines).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1s .

@@ -7,6 +7,7 @@
 package tquery
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -55,6 +56,108 @@ func BenchmarkTable2RecordThreeSketch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pt.Record(uint64(i)%10000, uint64(i))
 	}
+}
+
+// ---- Table II (sharded ingest): parallel record throughput ----
+//
+// These feed the "sharded ingest" line of the regenerated Table II. Each
+// goroutine draws from its own de-correlated xorshift stream (identical
+// streams would collide on one flow-hashed shard and serialize).
+
+// benchRNG is a per-goroutine xorshift64 stream.
+type benchRNG uint64
+
+func newBenchRNG(gid uint64) benchRNG {
+	return benchRNG(gid*0x9E3779B97F4A7C15 + 0x8817264546332525)
+}
+
+func (r *benchRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = benchRNG(x)
+	return x
+}
+
+const benchBatch = 512
+
+func BenchmarkThroughputParallelTwoSketch(b *testing.B) {
+	pt, err := core.NewSizePoint(0, countmin.Params{D: 4, W: 16384, Seed: 1}, core.SizeModeCumulative)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gid atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := newBenchRNG(gid.Add(1))
+		for pb.Next() {
+			pt.Record(rng.next() % 10000)
+		}
+	})
+}
+
+func BenchmarkThroughputParallelTwoSketchBatch(b *testing.B) {
+	pt, err := core.NewSizePoint(0, countmin.Params{D: 4, W: 16384, Seed: 1}, core.SizeModeCumulative)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gid atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := newBenchRNG(gid.Add(1))
+		buf := make([]uint64, 0, benchBatch)
+		for pb.Next() {
+			buf = append(buf, rng.next()%10000)
+			if len(buf) == benchBatch {
+				pt.RecordBatch(buf)
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			pt.RecordBatch(buf)
+		}
+	})
+}
+
+func BenchmarkThroughputParallelThreeSketch(b *testing.B) {
+	pt, err := core.NewSpreadPoint(0, rskt.Params{W: 1638, M: hll.DefaultM, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gid atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := newBenchRNG(gid.Add(1))
+		for pb.Next() {
+			v := rng.next()
+			pt.Record(v%10000, v>>32)
+		}
+	})
+}
+
+func BenchmarkThroughputParallelThreeSketchBatch(b *testing.B) {
+	pt, err := core.NewSpreadPoint(0, rskt.Params{W: 1638, M: hll.DefaultM, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gid atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := newBenchRNG(gid.Add(1))
+		buf := make([]core.SpreadPacket, 0, benchBatch)
+		for pb.Next() {
+			v := rng.next()
+			buf = append(buf, core.SpreadPacket{Flow: v % 10000, Elem: v >> 32})
+			if len(buf) == benchBatch {
+				pt.RecordBatch(buf)
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			pt.RecordBatch(buf)
+		}
+	})
 }
 
 func BenchmarkTable2RecordSlidingSketch(b *testing.B) {

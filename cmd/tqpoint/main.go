@@ -24,10 +24,16 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/window"
 )
+
+// recordBatchSize is how many packets accumulate locally before one
+// RecordBatch call pushes them through the point's sharded ingest path
+// (one shard acquisition per batch instead of one per packet).
+const recordBatchSize = 1024
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -149,17 +155,29 @@ func run(args []string) error {
 	defer traffic.Stop()
 	rng := rand.New(rand.NewSource(int64(*point) + 1))
 	zipf := rand.NewZipf(rng, 1.2, 1, uint64(*flows-1))
+	batch := make([]core.SpreadPacket, 0, recordBatchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			pc.RecordBatch(batch)
+			batch = batch[:0]
+		}
+	}
 	for {
 		select {
 		case <-traffic.C:
 			f := zipf.Uint64()
-			pc.Record(f, rng.Uint64()%1024)
+			batch = append(batch, core.SpreadPacket{Flow: f, Elem: rng.Uint64() % 1024})
+			if len(batch) >= recordBatchSize {
+				flush()
+			}
 		case <-ticker.C:
+			flush()
 			if err := pc.EndEpoch(); err != nil {
 				return err
 			}
 			report()
 		case <-stop:
+			flush()
 			fmt.Printf("tqpoint %d: shutting down\n", *point)
 			return nil
 		}
@@ -180,6 +198,13 @@ func replayTrace(pc *transport.PointClient, path string, point int, epoch time.D
 	}
 	win := window.Config{T: epoch * 10, N: 10} // only epoch arithmetic is used
 	cur := int64(1)
+	batch := make([]core.SpreadPacket, 0, recordBatchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			pc.RecordBatch(batch)
+			batch = batch[:0]
+		}
+	}
 	for {
 		p, err := r.Read()
 		if err == io.EOF {
@@ -189,14 +214,19 @@ func replayTrace(pc *transport.PointClient, path string, point int, epoch time.D
 			return err
 		}
 		for k := win.EpochOf(p.TS); cur < k; cur++ {
+			flush()
 			if err := pc.EndEpoch(); err != nil {
 				return err
 			}
 			report()
 		}
 		if p.Point == point {
-			pc.Record(p.Flow, p.Elem)
+			batch = append(batch, core.SpreadPacket{Flow: p.Flow, Elem: p.Elem})
+			if len(batch) >= recordBatchSize {
+				flush()
+			}
 		}
 	}
+	flush()
 	return pc.EndEpoch()
 }

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+func errNonMonotone(ts, last window.Time) error {
+	return fmt.Errorf("cluster: packet timestamps not monotone (%d after %d)", ts, last)
+}
+
+func errUnknownPoint(x int) error {
+	return fmt.Errorf("cluster: packet for unknown point %d", x)
+}
+
+// DefaultReplayBatch is the pending-packet threshold at which RunParallel
+// flushes accumulated batches into the points' sharded ingest paths.
+const DefaultReplayBatch = 4096
+
+// replayChunk bounds how many packets one RecordBatch call carries, so a
+// flush of a large batch spreads across shards instead of pinning one
+// shard's lock for the whole batch.
+const replayChunk = 1024
+
+// RunParallel replays a packet stream like Run, but records each point's
+// packets through the sharded RecordBatch ingest path, with the points of a
+// flush running concurrently. Epoch choreography, truth tracking and the
+// baselines stay sequential (they model the center and the ground truth,
+// not the data plane), so the simulation's answers are identical to Run's:
+// batches always flush before an epoch boundary is crossed, and the shard
+// fold is exact under the merge algebra.
+//
+// batch is the pending-packet flush threshold (<= 0 selects
+// DefaultReplayBatch).
+func (s *SizeSim) RunParallel(stream trace.Iterator, batch int) error {
+	if batch <= 0 {
+		batch = DefaultReplayBatch
+	}
+	pending := make([][]uint64, len(s.points))
+	total := 0
+	flush := func() {
+		if total == 0 {
+			return
+		}
+		var wg sync.WaitGroup
+		for x, fs := range pending {
+			if len(fs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(pt *core.SizePoint, fs []uint64) {
+				defer wg.Done()
+				for len(fs) > 0 {
+					n := len(fs)
+					if n > replayChunk {
+						n = replayChunk
+					}
+					pt.RecordBatch(fs[:n])
+					fs = fs[n:]
+				}
+			}(s.points[x], fs)
+			pending[x] = fs[:0]
+		}
+		wg.Wait()
+		total = 0
+	}
+	for {
+		p, ok := stream.Next()
+		if !ok {
+			flush()
+			return nil
+		}
+		if p.TS < s.lastTS {
+			flush()
+			return errNonMonotone(p.TS, s.lastTS)
+		}
+		s.lastTS = p.TS
+		if p.Point < 0 || p.Point >= len(s.points) {
+			flush()
+			return errUnknownPoint(p.Point)
+		}
+		if e := s.cfg.Window.EpochOf(p.TS); e > s.epoch {
+			flush()
+			if err := s.advanceTo(e); err != nil {
+				return err
+			}
+		}
+		pending[p.Point] = append(pending[p.Point], p.Flow)
+		total++
+		if s.truth != nil {
+			s.truth.Record(s.epoch, p.Point, p.Flow, 0)
+		}
+		if s.base != nil {
+			s.base[p.Point].Record(p.Flow)
+		}
+		if total >= batch {
+			flush()
+		}
+	}
+}
+
+// RunParallel replays a packet stream like Run, but records each point's
+// packets through the sharded RecordBatch ingest path, with the points of a
+// flush running concurrently. See SizeSim.RunParallel for the equivalence
+// argument; batch <= 0 selects DefaultReplayBatch.
+func (s *SpreadSim[S]) RunParallel(stream trace.Iterator, batch int) error {
+	if batch <= 0 {
+		batch = DefaultReplayBatch
+	}
+	pending := make([][]core.SpreadPacket, len(s.points))
+	total := 0
+	flush := func() {
+		if total == 0 {
+			return
+		}
+		var wg sync.WaitGroup
+		for x, ps := range pending {
+			if len(ps) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(pt *core.SpreadPoint[S], ps []core.SpreadPacket) {
+				defer wg.Done()
+				for len(ps) > 0 {
+					n := len(ps)
+					if n > replayChunk {
+						n = replayChunk
+					}
+					pt.RecordBatch(ps[:n])
+					ps = ps[n:]
+				}
+			}(s.points[x], ps)
+			pending[x] = ps[:0]
+		}
+		wg.Wait()
+		total = 0
+	}
+	for {
+		p, ok := stream.Next()
+		if !ok {
+			flush()
+			return nil
+		}
+		if p.TS < s.lastTS {
+			flush()
+			return errNonMonotone(p.TS, s.lastTS)
+		}
+		s.lastTS = p.TS
+		if p.Point < 0 || p.Point >= len(s.points) {
+			flush()
+			return errUnknownPoint(p.Point)
+		}
+		if e := s.cfg.Window.EpochOf(p.TS); e > s.epoch {
+			flush()
+			if err := s.advanceTo(e); err != nil {
+				return err
+			}
+		}
+		pending[p.Point] = append(pending[p.Point], core.SpreadPacket{Flow: p.Flow, Elem: p.Elem})
+		total++
+		if s.truth != nil {
+			s.truth.Record(s.epoch, p.Point, p.Flow, p.Elem)
+		}
+		if s.base != nil {
+			s.base[p.Point].Record(p.Flow, p.Elem)
+		}
+		if total >= batch {
+			flush()
+		}
+	}
+}

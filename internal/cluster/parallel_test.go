@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/rskt"
+	"repro/internal/trace"
+)
+
+// RunParallel's batched, concurrent ingest must answer every boundary
+// query exactly like the sequential Run: the shard fold is exact and the
+// batches always flush before a boundary is crossed.
+
+func TestSizeSimRunParallelMatchesRun(t *testing.T) {
+	mk := func() *SizeSim {
+		sim, err := NewSizeSim(SizeSimConfig{
+			Window:     testWindow(),
+			MemoryBits: []int{1 << 19, 1 << 19, 1 << 19},
+			Seed:       11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	seq, par := mk(), mk()
+
+	type key struct {
+		k int64
+		f uint64
+	}
+	seqAns, parAns := map[key]int64{}, map[key]int64{}
+	collect := func(sim *SizeSim, into map[key]int64) {
+		sim.OnBoundary = func(kNext int64) error {
+			for f := uint64(0); f < 200; f++ {
+				into[key{kNext, f}] = sim.QueryProtocol(1, f)
+			}
+			return nil
+		}
+	}
+	collect(seq, seqAns)
+	collect(par, parAns)
+
+	gen, err := trace.NewGenerator(testTrace(120_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Run(gen); err != nil {
+		t.Fatal(err)
+	}
+	gen, err = trace.NewGenerator(testTrace(120_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.RunParallel(gen, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seqAns) == 0 || len(seqAns) != len(parAns) {
+		t.Fatalf("boundary sample counts differ: %d vs %d", len(seqAns), len(parAns))
+	}
+	for k, want := range seqAns {
+		if got := parAns[k]; got != want {
+			t.Fatalf("epoch %d flow %d: parallel %d, sequential %d", k.k, k.f, got, want)
+		}
+	}
+	// Final (mid-epoch, unflushed shards) answers agree too.
+	for f := uint64(0); f < 200; f++ {
+		if got, want := par.QueryProtocol(0, f), seq.QueryProtocol(0, f); got != want {
+			t.Fatalf("final query flow %d: parallel %d, sequential %d", f, got, want)
+		}
+	}
+}
+
+func TestSpreadSimRunParallelMatchesRun(t *testing.T) {
+	mk := func() *SpreadSim[*rskt.Sketch] {
+		sim, err := NewSpreadSim(SpreadSimConfig{
+			Window:     testWindow(),
+			MemoryBits: []int{1 << 19, 1 << 19, 1 << 19},
+			M:          32,
+			Seed:       11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	seq, par := mk(), mk()
+
+	type key struct {
+		k int64
+		f uint64
+	}
+	seqAns, parAns := map[key]float64{}, map[key]float64{}
+	collect := func(sim *SpreadSim[*rskt.Sketch], into map[key]float64) {
+		sim.OnBoundary = func(kNext int64) error {
+			for f := uint64(0); f < 200; f++ {
+				into[key{kNext, f}] = sim.QueryProtocol(1, f)
+			}
+			return nil
+		}
+	}
+	collect(seq, seqAns)
+	collect(par, parAns)
+
+	gen, err := trace.NewGenerator(testTrace(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Run(gen); err != nil {
+		t.Fatal(err)
+	}
+	gen, err = trace.NewGenerator(testTrace(100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.RunParallel(gen, 1000); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seqAns) == 0 || len(seqAns) != len(parAns) {
+		t.Fatalf("boundary sample counts differ: %d vs %d", len(seqAns), len(parAns))
+	}
+	for k, want := range seqAns {
+		if got := parAns[k]; got != want {
+			t.Fatalf("epoch %d flow %d: parallel %v, sequential %v", k.k, k.f, got, want)
+		}
+	}
+	for f := uint64(0); f < 200; f++ {
+		if got, want := par.QueryProtocol(0, f), seq.QueryProtocol(0, f); got != want {
+			t.Fatalf("final query flow %d: parallel %v, sequential %v", f, got, want)
+		}
+	}
+}

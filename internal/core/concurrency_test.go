@@ -23,11 +23,21 @@ func TestSpreadPointConcurrentAccess(t *testing.T) {
 		agg.Record(5, uint64(e))
 	}
 	var wg sync.WaitGroup
-	wg.Add(4)
+	wg.Add(5)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 2000; i++ {
 			pt.Record(uint64(i%50), uint64(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		batch := make([]SpreadPacket, 64)
+		for i := 0; i < 30; i++ {
+			for j := range batch {
+				batch[j] = SpreadPacket{Flow: uint64(j % 50), Elem: uint64(i*64 + j)}
+			}
+			pt.RecordBatch(batch)
 		}
 	}()
 	go func() {
@@ -65,11 +75,21 @@ func TestSizePointConcurrentAccess(t *testing.T) {
 	agg := countmin.New(countmin.Params{D: 4, W: 128, Seed: 1})
 	agg.Add(3, 10)
 	var wg sync.WaitGroup
-	wg.Add(4)
+	wg.Add(5)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 5000; i++ {
 			pt.Record(uint64(i % 100))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		batch := make([]uint64, 64)
+		for i := 0; i < 30; i++ {
+			for j := range batch {
+				batch[j] = uint64((i*64 + j) % 100)
+			}
+			pt.RecordBatch(batch)
 		}
 	}()
 	go func() {
@@ -95,6 +115,181 @@ func TestSizePointConcurrentAccess(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+// The sharded ingest path must not change a single estimate: the shard
+// fold is counter-wise add (size) / register-wise max (spread), both exact
+// under the protocol's merge algebra. These tests hammer a sharded point
+// from several goroutines — singles, batches and concurrent queries — and
+// demand the upload and every post-boundary answer be identical to a
+// single-shard point fed the same multiset sequentially.
+
+func TestSizePointShardedEqualsSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode SizeMode
+	}{
+		{"cumulative", SizeModeCumulative},
+		{"delta", SizeModeDelta},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			params := countmin.Params{D: 4, W: 256, Seed: 7}
+			pt, err := NewSizePointShards(0, params, tc.mode, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewSizePointShards(0, params, tc.mode, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers = 4
+			const perWorker = 4000
+			flow := func(w, i int) uint64 { return uint64(w*perWorker+i) % 300 }
+
+			stop := make(chan struct{})
+			var qwg sync.WaitGroup
+			qwg.Add(1)
+			go func() {
+				defer qwg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+						_ = pt.Query(uint64(i % 300))
+					}
+				}
+			}()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if w%2 == 0 {
+						for i := 0; i < perWorker; i++ {
+							pt.Record(flow(w, i))
+						}
+						return
+					}
+					var batch []uint64
+					for i := 0; i < perWorker; i++ {
+						batch = append(batch, flow(w, i))
+						if len(batch) == 64 {
+							pt.RecordBatch(batch)
+							batch = batch[:0]
+						}
+					}
+					pt.RecordBatch(batch)
+				}()
+			}
+			wg.Wait()
+			close(stop)
+			qwg.Wait()
+
+			for w := 0; w < workers; w++ {
+				for i := 0; i < perWorker; i++ {
+					ref.Record(flow(w, i))
+				}
+			}
+			// Mid-epoch answers must already agree (on-the-fly fold).
+			for f := uint64(0); f < 300; f++ {
+				if got, want := pt.Query(f), ref.Query(f); got != want {
+					t.Fatalf("mid-epoch query(%d): sharded %d, sequential %d", f, got, want)
+				}
+			}
+			up, refUp := pt.EndEpoch(), ref.EndEpoch()
+			if !up.Equal(refUp) {
+				t.Fatal("sharded upload differs from sequential upload")
+			}
+			for f := uint64(0); f < 300; f++ {
+				if got, want := pt.Query(f), ref.Query(f); got != want {
+					t.Fatalf("post-boundary query(%d): sharded %d, sequential %d", f, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSpreadPointShardedEqualsSequential(t *testing.T) {
+	params := rskt.Params{W: 64, M: 32, Seed: 7}
+	pt, err := NewSpreadPointShardsOf(0, func() *rskt.Sketch { return rskt.New(params) }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSpreadPointShardsOf(0, func() *rskt.Sketch { return rskt.New(params) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const perWorker = 4000
+	packet := func(w, i int) SpreadPacket {
+		n := uint64(w*perWorker + i)
+		return SpreadPacket{Flow: n % 100, Elem: n * 0x9E3779B97F4A7C15}
+	}
+
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = pt.Query(uint64(i % 100))
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if w%2 == 0 {
+				for i := 0; i < perWorker; i++ {
+					p := packet(w, i)
+					pt.Record(p.Flow, p.Elem)
+				}
+				return
+			}
+			var batch []SpreadPacket
+			for i := 0; i < perWorker; i++ {
+				batch = append(batch, packet(w, i))
+				if len(batch) == 64 {
+					pt.RecordBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			pt.RecordBatch(batch)
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			p := packet(w, i)
+			ref.Record(p.Flow, p.Elem)
+		}
+	}
+	for f := uint64(0); f < 100; f++ {
+		if got, want := pt.Query(f), ref.Query(f); got != want {
+			t.Fatalf("mid-epoch query(%d): sharded %v, sequential %v", f, got, want)
+		}
+	}
+	up, refUp := pt.EndEpoch(), ref.EndEpoch()
+	if !up.Equal(refUp) {
+		t.Fatal("sharded upload differs from sequential upload")
+	}
+	for f := uint64(0); f < 100; f++ {
+		if got, want := pt.Query(f), ref.Query(f); got != want {
+			t.Fatalf("post-boundary query(%d): sharded %v, sequential %v", f, got, want)
+		}
+	}
 }
 
 func TestCentersConcurrentAccess(t *testing.T) {

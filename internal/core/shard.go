@@ -1,0 +1,74 @@
+package core
+
+import (
+	"runtime"
+)
+
+// Ingest sharding (the record-path scaling layer).
+//
+// Every measurement point keeps, next to its authoritative sketch set
+// (B/C/C'), a small array of per-shard *delta* sketches. The record path
+// touches exactly one shard — one sketch update under one per-shard mutex
+// — instead of updating all two or three authoritative sketches under a
+// single point-wide mutex. Because one packet is recorded into B, C and
+// C' identically, a single delta per shard stands in for all three; the
+// deltas are folded into the authoritative set with the designs' own
+// merge algebra (counter-wise addition for size, register-wise max for
+// spread) at every fold point:
+//
+//   - EndEpoch folds all shards before taking the upload snapshot, so the
+//     wire protocol and the center are oblivious to sharding;
+//   - Query folds on the fly (sum/max along the queried row positions
+//     only), so mid-epoch answers still see every recorded packet;
+//   - Snapshot folds before cloning, so persisted state is shard-free.
+//
+// Both joins are associative and commutative, so the folded state is
+// bit-identical to the state a single serialized sketch set would hold
+// after the same multiset of records — the Thm 6.1/6.3 exact-equality
+// invariants are preserved exactly (see DESIGN.md, "Concurrency model").
+
+// SpreadPacket is one <flow, element> packet for batched recording
+// (RecordBatch). For the size design only Flow is meaningful.
+type SpreadPacket struct {
+	Flow, Elem uint64
+}
+
+// maxShards caps the per-point shard count: past a few shards the record
+// path is allocation- and memory-bandwidth-bound, while query-time folding
+// cost keeps growing linearly.
+const maxShards = 8
+
+// defaultShards is the GOMAXPROCS-bounded shard count used by the point
+// constructors.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
+}
+
+// normShards clamps an explicit shard-count request (0 = default).
+func normShards(n int) int {
+	if n <= 0 {
+		return defaultShards()
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	return n
+}
+
+// shardOf maps a flow to its ingest shard (Fibonacci hashing on the flow
+// key). Any placement would be correct — the fold algebra is exact — but a
+// flow-stable choice keeps concurrent recorders of disjoint flow sets on
+// disjoint shards without any shared state.
+func shardOf(f uint64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	return int((f * 0x9E3779B97F4A7C15 >> 33) % uint64(n))
+}

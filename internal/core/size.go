@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/countmin"
 )
@@ -21,10 +22,20 @@ const (
 	SizeModeDelta
 )
 
+// sizeShard is one ingest shard: a delta CountMin receiving a slice of
+// the record stream, folded into the authoritative sketch set at the fold
+// points (see shard.go).
+type sizeShard struct {
+	mu    sync.Mutex
+	dirty atomic.Bool // set on record, cleared on fold; lets readers skip clean shards
+	d     *countmin.Sketch
+}
+
 // SizePoint is one measurement point running the flow-size design. Safe
-// for concurrent use.
+// for concurrent use: the record path is lock-striped across shards, so
+// concurrent recorders do not serialize behind the point mutex.
 type SizePoint struct {
-	mu sync.Mutex
+	mu sync.Mutex // guards epoch and the authoritative sketch set
 
 	id     int
 	params countmin.Params
@@ -34,11 +45,21 @@ type SizePoint struct {
 	b  *countmin.Sketch // only allocated in SizeModeDelta
 	c  *countmin.Sketch // query target; also the upload in cumulative mode
 	cp *countmin.Sketch // C': staging for the next epoch
+
+	shards []*sizeShard
+	rr     atomic.Uint64 // round-robin cursor for batch shard selection
 }
 
-// NewSizePoint creates a measurement point. Points of one cluster must
-// share D and Seed; W may differ (device diversity).
+// NewSizePoint creates a measurement point with the GOMAXPROCS-bounded
+// default ingest-shard count. Points of one cluster must share D and Seed;
+// W may differ (device diversity).
 func NewSizePoint(id int, p countmin.Params, mode SizeMode) (*SizePoint, error) {
+	return NewSizePointShards(id, p, mode, 0)
+}
+
+// NewSizePointShards is NewSizePoint with an explicit ingest-shard count
+// (0 = the GOMAXPROCS-bounded default, 1 = the serial layout).
+func NewSizePointShards(id int, p countmin.Params, mode SizeMode, shards int) (*SizePoint, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,6 +73,10 @@ func NewSizePoint(id int, p countmin.Params, mode SizeMode) (*SizePoint, error) 
 		epoch:  1,
 		c:      countmin.New(p),
 		cp:     countmin.New(p),
+		shards: make([]*sizeShard, normShards(shards)),
+	}
+	for i := range sp.shards {
+		sp.shards[i] = &sizeShard{d: countmin.New(p)}
 	}
 	if mode == SizeModeDelta {
 		sp.b = countmin.New(p)
@@ -75,42 +100,149 @@ func (p *SizePoint) Epoch() int64 {
 	return p.epoch
 }
 
-// Record inserts one packet of flow f.
+// Record inserts one packet of flow f. Only the flow's ingest shard is
+// touched; concurrent recorders of distinct flows proceed in parallel.
 func (p *SizePoint) Record(f uint64) {
-	p.mu.Lock()
-	p.c.Record(f)
-	p.cp.Record(f)
-	if p.b != nil {
-		p.b.Record(f)
+	sh := p.shards[shardOf(f, len(p.shards))]
+	sh.mu.Lock()
+	sh.d.Record(f)
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// RecordBatch inserts one packet per flow in fs. The whole batch lands in
+// a single shard under a single lock acquisition (round-robin with
+// try-lock steering away from busy shards), amortizing synchronization to
+// one atomic and one lock per batch.
+func (p *SizePoint) RecordBatch(fs []uint64) {
+	if len(fs) == 0 {
+		return
+	}
+	sh := p.lockShard()
+	for _, f := range fs {
+		sh.d.Record(f)
+	}
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
+	sh.mu.Unlock()
+}
+
+// RecordBatchPairs is RecordBatch over <flow, element> packets, recording
+// only the flow keys (the size design ignores elements). It lets mixed
+// transports batch without re-slicing.
+func (p *SizePoint) RecordBatchPairs(ps []SpreadPacket) {
+	if len(ps) == 0 {
+		return
+	}
+	sh := p.lockShard()
+	for _, q := range ps {
+		sh.d.Record(q.Flow)
+	}
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
+	sh.mu.Unlock()
+}
+
+// lockShard picks and locks an ingest shard for a batch: round-robin start,
+// try-lock probing past shards another recorder holds.
+func (p *SizePoint) lockShard() *sizeShard {
+	n := len(p.shards)
+	start := int(p.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		sh := p.shards[(start+i)%n]
+		if sh.mu.TryLock() {
+			return sh
+		}
+	}
+	sh := p.shards[start]
+	sh.mu.Lock()
+	return sh
 }
 
 // Query answers the approximate real-time networkwide T-query for flow f
-// from the local C sketch only.
+// from the local C sketch plus the not-yet-folded shard deltas. The
+// on-the-fly fold (counter-wise sum along f's row positions) makes the
+// answer bit-identical to the serial single-sketch path.
 func (p *SizePoint) Query(f uint64) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.c.Estimate(f)
+	var (
+		extras [maxShards]*countmin.Sketch
+		locked [maxShards]*sizeShard
+		n      int
+	)
+	for _, sh := range p.shards {
+		if sh.dirty.Load() {
+			sh.mu.Lock()
+			locked[n] = sh
+			extras[n] = sh.d
+			n++
+		}
+	}
+	est := p.c.EstimateSummed(f, extras[:n])
+	for i := 0; i < n; i++ {
+		locked[i].mu.Unlock()
+	}
+	return est
+}
+
+// flushShardsLocked folds every dirty shard delta into the authoritative
+// sketch set (counter-wise addition into C, C' and, in delta mode, B) and
+// resets it. Caller holds p.mu.
+func (p *SizePoint) flushShardsLocked() {
+	for _, sh := range p.shards {
+		if !sh.dirty.Load() {
+			continue
+		}
+		sh.mu.Lock()
+		mustAddSketch(p.c, sh.d)
+		mustAddSketch(p.cp, sh.d)
+		if p.b != nil {
+			mustAddSketch(p.b, sh.d)
+		}
+		sh.d.Reset()
+		sh.dirty.Store(false)
+		sh.mu.Unlock()
+	}
+}
+
+// mustAddSketch folds src into dst; shards share the point's parameters by
+// construction, so a mismatch is a programmer error.
+func mustAddSketch(dst, src *countmin.Sketch) {
+	if err := dst.AddSketch(src); err != nil {
+		panic("core: shard fold: " + err.Error())
+	}
 }
 
 // EndEpoch performs the epoch-boundary actions and returns the upload for
-// the epoch that just ended: a snapshot of the cumulative C in cumulative
-// mode, or the per-epoch B in delta mode. The returned sketch is owned by
-// the caller.
+// the epoch that just ended: the cumulative C in cumulative mode, or the
+// per-epoch B in delta mode. The returned sketch is owned by the caller.
+//
+// The upload is taken by pointer swap, not by cloning under the lock: in
+// cumulative mode the old C itself is handed to the caller and C' takes
+// its place (with a fresh zeroed C' behind it), so the epoch boundary
+// costs the shard fold plus one allocation instead of a full sketch copy.
+// Recorders are never blocked: they only touch shard deltas, which are
+// folded one shard at a time.
 func (p *SizePoint) EndEpoch() *countmin.Sketch {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.flushShardsLocked()
 	var upload *countmin.Sketch
 	if p.mode == SizeModeCumulative {
-		// The snapshot must be taken before C is overwritten by C'.
-		upload = p.c.Clone()
+		upload = p.c
+		p.c = p.cp
+		p.cp = countmin.New(p.params)
 	} else {
 		upload = p.b
 		p.b = countmin.New(p.params)
+		p.c, p.cp = p.cp, p.c
+		p.cp.Reset()
 	}
-	p.c, p.cp = p.cp, p.c
-	p.cp.Reset()
 	p.epoch++
 	return upload
 }

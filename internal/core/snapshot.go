@@ -8,10 +8,13 @@ import (
 
 // Snapshot returns the point's epoch and deep copies of its three sketches
 // (B, C, C'), taken atomically. Together with RestoreSnapshot it lets an
-// agent persist its state across restarts without losing the window.
+// agent persist its state across restarts without losing the window. The
+// ingest shards are folded first, so persisted state is shard-free and
+// portable across shard-count configurations.
 func (p *SpreadPoint[S]) Snapshot() (epoch int64, b, c, cp S) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.flushShardsLocked()
 	return p.epoch, p.b.Clone(), p.c.Clone(), p.cp.Clone()
 }
 
@@ -35,15 +38,25 @@ func (p *SpreadPoint[S]) RestoreSnapshot(epoch int64, b, c, cp S) error {
 	if err := p.cp.CopyFrom(cp); err != nil {
 		return fmt.Errorf("core: restore C': %w", err)
 	}
+	// The restored snapshot replaces the whole state: drop any unfolded
+	// shard deltas.
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.d.Reset()
+		sh.dirty.Store(false)
+		sh.mu.Unlock()
+	}
 	p.epoch = epoch
 	return nil
 }
 
-// Snapshot returns the size point's epoch and deep copies of its sketches.
-// In cumulative mode the B sketch is nil.
+// Snapshot returns the size point's epoch and deep copies of its sketches,
+// with the ingest shards folded first. In cumulative mode the B sketch is
+// nil.
 func (p *SizePoint) Snapshot() (epoch int64, b, c, cp *countmin.Sketch) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.flushShardsLocked()
 	var bClone *countmin.Sketch
 	if p.b != nil {
 		bClone = p.b.Clone()
@@ -75,6 +88,12 @@ func (p *SizePoint) RestoreSnapshot(epoch int64, b, c, cp *countmin.Sketch) erro
 	}
 	if err := p.cp.CopyFrom(cp); err != nil {
 		return fmt.Errorf("core: restore C': %w", err)
+	}
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.d.Reset()
+		sh.dirty.Store(false)
+		sh.mu.Unlock()
 	}
 	p.epoch = epoch
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rskt"
 )
@@ -20,6 +21,12 @@ type SpreadSketch[S any] interface {
 	Record(f, e uint64)
 	// Estimate answers a flow-spread query.
 	Estimate(f uint64) float64
+	// EstimateUnion answers Estimate(f) over the union of the sketch and
+	// others (as if every other sketch had been MergeMax-ed in first)
+	// without mutating anything. others share the sketch's shape; an empty
+	// slice must be equivalent to Estimate. The sharded ingest path uses
+	// it to fold not-yet-merged shard deltas into query answers.
+	EstimateUnion(f uint64, others []S) float64
 	// MergeMax folds another sketch in with union semantics.
 	MergeMax(S) error
 	// CopyFrom overwrites this sketch's state with another's.
@@ -39,12 +46,22 @@ type SpreadSketch[S any] interface {
 	Compatible(S) bool
 }
 
+// spreadShard is one ingest shard of a spread point: a delta sketch
+// receiving a slice of the record stream, folded into B/C/C' with
+// register-wise max at the fold points (see shard.go).
+type spreadShard[S SpreadSketch[S]] struct {
+	mu    sync.Mutex
+	dirty atomic.Bool
+	d     S
+}
+
 // SpreadPoint is one measurement point running the three-sketch design
 // for flow spread, generic over the epoch sketch. It is safe for
-// concurrent use: the live transport records packets while aggregates
-// arrive from the center.
+// concurrent use: the record path is lock-striped across shards, so the
+// live transport's recorders do not serialize behind the point mutex
+// while aggregates arrive from the center.
 type SpreadPoint[S SpreadSketch[S]] struct {
-	mu sync.Mutex
+	mu sync.Mutex // guards epoch and the authoritative sketch set
 
 	id    int
 	fresh func() S
@@ -53,22 +70,38 @@ type SpreadPoint[S SpreadSketch[S]] struct {
 	b  S // current-epoch measurement, uploaded at epoch end
 	c  S // query target (holds the approximate T-stream)
 	cp S // C': staging for the next epoch
+
+	shards []*spreadShard[S]
+	rr     atomic.Uint64 // round-robin cursor for batch shard selection
 }
 
 // NewSpreadPointOf creates a measurement point whose sketches are built by
-// fresh (called three times up front and once per epoch for the new B).
+// fresh (called three times plus once per ingest shard up front, and once
+// per epoch for the new B), with the GOMAXPROCS-bounded default shard
+// count.
 func NewSpreadPointOf[S SpreadSketch[S]](id int, fresh func() S) (*SpreadPoint[S], error) {
+	return NewSpreadPointShardsOf(id, fresh, 0)
+}
+
+// NewSpreadPointShardsOf is NewSpreadPointOf with an explicit ingest-shard
+// count (0 = the GOMAXPROCS-bounded default, 1 = the serial layout).
+func NewSpreadPointShardsOf[S SpreadSketch[S]](id int, fresh func() S, shards int) (*SpreadPoint[S], error) {
 	if fresh == nil {
 		return nil, fmt.Errorf("core: nil sketch constructor for point %d", id)
 	}
-	return &SpreadPoint[S]{
-		id:    id,
-		fresh: fresh,
-		epoch: 1,
-		b:     fresh(),
-		c:     fresh(),
-		cp:    fresh(),
-	}, nil
+	p := &SpreadPoint[S]{
+		id:     id,
+		fresh:  fresh,
+		epoch:  1,
+		b:      fresh(),
+		c:      fresh(),
+		cp:     fresh(),
+		shards: make([]*spreadShard[S], normShards(shards)),
+	}
+	for i := range p.shards {
+		p.shards[i] = &spreadShard[S]{d: fresh()}
+	}
+	return p, nil
 }
 
 // NewSpreadPoint creates the paper's rSkt2(HLL)-backed measurement point.
@@ -100,32 +133,111 @@ func (p *SpreadPoint[S]) Epoch() int64 {
 	return p.epoch
 }
 
-// Record inserts packet <f, e> into all three sketches (stage 1, local
-// online recording).
+// Record inserts packet <f, e> (stage 1, local online recording). Only
+// the flow's ingest shard is touched — one sketch update instead of
+// three; the delta reaches B, C and C' at the next fold point.
 func (p *SpreadPoint[S]) Record(f, e uint64) {
-	p.mu.Lock()
-	p.b.Record(f, e)
-	p.c.Record(f, e)
-	p.cp.Record(f, e)
-	p.mu.Unlock()
+	sh := p.shards[shardOf(f, len(p.shards))]
+	sh.mu.Lock()
+	sh.d.Record(f, e)
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
+	sh.mu.Unlock()
+}
+
+// RecordBatch inserts a batch of packets. The whole batch lands in a
+// single shard under a single lock acquisition (round-robin with try-lock
+// steering away from busy shards).
+func (p *SpreadPoint[S]) RecordBatch(ps []SpreadPacket) {
+	if len(ps) == 0 {
+		return
+	}
+	n := len(p.shards)
+	start := int(p.rr.Add(1)-1) % n
+	var sh *spreadShard[S]
+	for i := 0; i < n; i++ {
+		if cand := p.shards[(start+i)%n]; cand.mu.TryLock() {
+			sh = cand
+			break
+		}
+	}
+	if sh == nil {
+		sh = p.shards[start]
+		sh.mu.Lock()
+	}
+	for _, q := range ps {
+		sh.d.Record(q.Flow, q.Elem)
+	}
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
+	sh.mu.Unlock()
 }
 
 // Query answers the approximate real-time networkwide T-query for flow f
-// from the local C sketch only. Slightly negative estimates (subtraction
+// from the local C sketch plus the not-yet-folded shard deltas
+// (register-wise max along f's virtual estimator, bit-identical to the
+// serial single-sketch path). Slightly negative estimates (subtraction
 // noise) are possible; callers needing counts should clamp at zero.
 func (p *SpreadPoint[S]) Query(f uint64) float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.c.Estimate(f)
+	var (
+		extras [maxShards]S
+		locked [maxShards]*spreadShard[S]
+		n      int
+	)
+	for _, sh := range p.shards {
+		if sh.dirty.Load() {
+			sh.mu.Lock()
+			locked[n] = sh
+			extras[n] = sh.d
+			n++
+		}
+	}
+	est := p.c.EstimateUnion(f, extras[:n])
+	for i := 0; i < n; i++ {
+		locked[i].mu.Unlock()
+	}
+	return est
+}
+
+// flushShardsLocked folds every dirty shard delta into B, C and C' with
+// register-wise max and resets it. Caller holds p.mu.
+func (p *SpreadPoint[S]) flushShardsLocked() {
+	for _, sh := range p.shards {
+		if !sh.dirty.Load() {
+			continue
+		}
+		sh.mu.Lock()
+		mustMergeMax(p.b, sh.d)
+		mustMergeMax(p.c, sh.d)
+		mustMergeMax(p.cp, sh.d)
+		sh.d.Reset()
+		sh.dirty.Store(false)
+		sh.mu.Unlock()
+	}
+}
+
+// mustMergeMax folds src into dst; shards share the point's sketch shape
+// by construction, so a mismatch is a programmer error.
+func mustMergeMax[S SpreadSketch[S]](dst, src S) {
+	if err := dst.MergeMax(src); err != nil {
+		panic("core: shard fold: " + err.Error())
+	}
 }
 
 // EndEpoch performs the epoch-boundary actions (stage 2, local periodical
-// measurement update): it returns the B sketch of the epoch that just
-// ended (for upload to the center), copies C' into C, and resets both B
-// and C' for the new epoch. The returned sketch is owned by the caller.
+// measurement update): it folds the ingest shards, returns the B sketch of
+// the epoch that just ended (for upload to the center), copies C' into C,
+// and resets both B and C' for the new epoch. The returned sketch is owned
+// by the caller. Recorders are never blocked by the boundary: they only
+// touch shard deltas, which are folded one shard at a time.
 func (p *SpreadPoint[S]) EndEpoch() S {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.flushShardsLocked()
 	upload := p.b
 	p.b = p.fresh()
 	// "Copy C' to C, reset C'" implemented as swap-then-reset to avoid

@@ -119,6 +119,30 @@ func (s *Sketch) Estimate(f uint64) int64 {
 	return est
 }
 
+// EstimateSummed returns the size estimate for flow f over the
+// counter-wise sum of s and extras, without mutating anything:
+// bit-identical to AddSketch-ing every extra into s first and calling
+// Estimate. All extras must share s's parameters (the sharded ingest path
+// guarantees this by construction; behaviour is undefined otherwise).
+func (s *Sketch) EstimateSummed(f uint64, extras []*Sketch) int64 {
+	p := &s.params
+	est := int64(1<<62 - 1)
+	for i := 0; i < p.D; i++ {
+		j := xhash.Index(f^p.Seed, uint64(i)+1, p.W)
+		c := s.rows[i][j]
+		for _, o := range extras {
+			c += o.rows[i][j]
+		}
+		if c < est {
+			est = c
+		}
+	}
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
 // AddSketch folds o into s by counter-wise addition (the U operator for
 // size). Dimensions and seed must match.
 func (s *Sketch) AddSketch(o *Sketch) error {

@@ -149,14 +149,19 @@ func TestThroughputPositive(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name, v := range map[string]float64{
-		"two-sketch":     res.TwoSketchPPS,
-		"three-sketch":   res.ThreeSketchPPS,
-		"sliding sketch": res.SlidingSketchPPS,
-		"vate":           res.VATEPPS,
+		"two-sketch":            res.TwoSketchPPS,
+		"three-sketch":          res.ThreeSketchPPS,
+		"sliding sketch":        res.SlidingSketchPPS,
+		"vate":                  res.VATEPPS,
+		"two-sketch parallel":   res.TwoSketchParallelPPS,
+		"three-sketch parallel": res.ThreeSketchParallelPPS,
 	} {
 		if v < 100_000 {
 			t.Fatalf("%s throughput %.0f pps implausibly low", name, v)
 		}
+	}
+	if res.Workers < 1 {
+		t.Fatalf("parallel measurement reported %d workers", res.Workers)
 	}
 	if out := FormatThroughput(res); !strings.Contains(out, "Table II") {
 		t.Fatal("bad throughput report")

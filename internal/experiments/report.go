@@ -72,6 +72,10 @@ func FormatThroughput(res ThroughputResult) string {
 	fmt.Fprintf(&b, "%-14s %-16s %-14s %-14s\n", "Two-Sketch", "Sliding Sketch", "Three-Sketch", "VATE")
 	fmt.Fprintf(&b, "%-14.2f %-16.2f %-14.2f %-14.2f\n",
 		res.TwoSketchPPS/1e6, res.SlidingSketchPPS/1e6, res.ThreeSketchPPS/1e6, res.VATEPPS/1e6)
+	if res.Workers > 0 {
+		fmt.Fprintf(&b, "sharded ingest (%d workers, batched): Two-Sketch %.2f, Three-Sketch %.2f\n",
+			res.Workers, res.TwoSketchParallelPPS/1e6, res.ThreeSketchParallelPPS/1e6)
+	}
 	return b.String()
 }
 

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -16,11 +19,22 @@ import (
 // into their two or three local sketches; the baselines record into their
 // own local structure. (All methods record locally — the difference the
 // table shows is the per-packet datapath cost.)
+//
+// The Parallel rates measure the sharded ingest path: Workers goroutines
+// (GOMAXPROCS, shard-bounded) feeding one point through RecordBatch.
 type ThroughputResult struct {
 	TwoSketchPPS     float64
 	SlidingSketchPPS float64
 	ThreeSketchPPS   float64
 	VATEPPS          float64
+
+	// Workers is the goroutine count of the parallel measurements.
+	Workers int
+	// TwoSketchParallelPPS is the aggregate rate of Workers goroutines
+	// batch-recording into one sharded size point.
+	TwoSketchParallelPPS float64
+	// ThreeSketchParallelPPS is the same for one sharded spread point.
+	ThreeSketchParallelPPS float64
 }
 
 // throughputPackets is the number of packets each method is timed over.
@@ -45,11 +59,12 @@ func RunThroughput(cfg Config) (ThroughputResult, error) {
 		elems[i] = rng >> 32
 	}
 
-	sizePt, err := core.NewSizePoint(0, countmin.Params{
+	sizeParams := countmin.Params{
 		D:    countmin.DefaultDepth,
 		W:    countmin.WidthForMemory(mem, countmin.DefaultDepth),
 		Seed: seed,
-	}, core.SizeModeCumulative)
+	}
+	sizePt, err := core.NewSizePoint(0, sizeParams, core.SizeModeCumulative)
 	if err != nil {
 		return out, err
 	}
@@ -57,14 +72,38 @@ func RunThroughput(cfg Config) (ThroughputResult, error) {
 		sizePt.Record(flows[i])
 	})
 
-	spreadPt, err := core.NewSpreadPoint(0, rskt.Params{
+	spreadParams := rskt.Params{
 		W: rskt.WidthForMemory(mem, hll.DefaultM), M: hll.DefaultM, Seed: seed,
-	})
+	}
+	spreadPt, err := core.NewSpreadPoint(0, spreadParams)
 	if err != nil {
 		return out, err
 	}
 	out.ThreeSketchPPS = timeRecords(func(i int) {
 		spreadPt.Record(flows[i], elems[i])
+	})
+
+	// Parallel ingest: fresh points (so the sequential timings above are
+	// undisturbed), GOMAXPROCS workers pulling chunk ranges off a shared
+	// counter and feeding them through RecordBatch.
+	out.Workers = runtime.GOMAXPROCS(0)
+	sizeParPt, err := core.NewSizePoint(1, sizeParams, core.SizeModeCumulative)
+	if err != nil {
+		return out, err
+	}
+	out.TwoSketchParallelPPS = timeParallelRecords(out.Workers, func(lo, hi int) {
+		sizeParPt.RecordBatch(flows[lo:hi])
+	})
+	spreadParPt, err := core.NewSpreadPoint(1, spreadParams)
+	if err != nil {
+		return out, err
+	}
+	pkts := make([]core.SpreadPacket, throughputPackets)
+	for i := range pkts {
+		pkts[i] = core.SpreadPacket{Flow: flows[i], Elem: elems[i]}
+	}
+	out.ThreeSketchParallelPPS = timeParallelRecords(out.Workers, func(lo, hi int) {
+		spreadParPt.RecordBatch(pkts[lo:hi])
 	})
 
 	sliding := slidingsketch.New(slidingsketch.Params{
@@ -95,6 +134,42 @@ func timeRecords(record func(i int)) float64 {
 	for i := 0; i < throughputPackets; i++ {
 		record(i)
 	}
+	elapsed := time.Since(start)
+	return float64(throughputPackets) / elapsed.Seconds()
+}
+
+// parallelChunk is the packet count each worker claims per batch in the
+// parallel throughput measurement.
+const parallelChunk = 4096
+
+// timeParallelRecords returns the aggregate packets-per-second rate of
+// `workers` goroutines, each repeatedly claiming a [lo, hi) chunk of the
+// workload off a shared counter and recording it as one batch.
+func timeParallelRecords(workers int, recordRange func(lo, hi int)) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(parallelChunk)) - parallelChunk
+				if lo >= throughputPackets {
+					return
+				}
+				hi := lo + parallelChunk
+				if hi > throughputPackets {
+					hi = throughputPackets
+				}
+				recordRange(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
 	elapsed := time.Since(start)
 	return float64(throughputPackets) / elapsed.Seconds()
 }

@@ -126,6 +126,7 @@ var exp2Neg = func() [MaxRegisterValue + 1]float64 {
 // Estimate returns the HLL cardinality estimate over the register slice.
 // The slice is typically one logical estimator of m registers, but any
 // length >= 1 works (rSkt2 assembles virtual estimators from two rows).
+// Read-only and safe for concurrent callers.
 func Estimate(regs []uint8) float64 {
 	m := len(regs)
 	if m == 0 {
@@ -139,6 +140,37 @@ func Estimate(regs []uint8) float64 {
 			zeros++
 		}
 	}
+	return estimateFrom(m, sum, zeros)
+}
+
+// EstimateUnion returns the HLL estimate over the element-wise max of regs
+// and every slice in others (all equal length), without materializing the
+// union. The sharded spread path uses it to answer queries across
+// not-yet-folded shard deltas.
+func EstimateUnion(regs []uint8, others [][]uint8) float64 {
+	m := len(regs)
+	if m == 0 {
+		return 0
+	}
+	sum := 0.0
+	zeros := 0
+	for i, v := range regs {
+		for _, o := range others {
+			if o[i] > v {
+				v = o[i]
+			}
+		}
+		sum += exp2Neg[v&MaxRegisterValue]
+		if v == 0 {
+			zeros++
+		}
+	}
+	return estimateFrom(m, sum, zeros)
+}
+
+// estimateFrom finishes the bias-corrected estimate from the accumulated
+// harmonic sum and zero-register count.
+func estimateFrom(m int, sum float64, zeros int) float64 {
 	fm := float64(m)
 	e := alpha(m) * fm * fm / sum
 	if e <= 2.5*fm && zeros > 0 {

@@ -1,0 +1,90 @@
+package rskt
+
+import (
+	"sync"
+	"testing"
+)
+
+// Estimate used to assemble the virtual estimators into per-sketch scratch
+// buffers, so concurrent queries on a shared sketch raced and could return
+// garbage. It now uses caller-local buffers; this test fails under
+// `go test -race` (and on any answer divergence) if that regresses.
+func TestEstimateConcurrentReaders(t *testing.T) {
+	s := New(Params{W: 32, M: 128, Seed: 9})
+	for i := 0; i < 50_000; i++ {
+		s.Record(uint64(i%200), uint64(i))
+	}
+	want := make([]float64, 200)
+	for f := range want {
+		want[f] = s.Estimate(uint64(f))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for f := 0; f < 200; f++ {
+					if got := s.Estimate(uint64(f)); got != want[f] {
+						t.Errorf("concurrent Estimate(%d) = %v, want %v", f, got, want[f])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EstimateUnion must be bit-identical to merging and estimating.
+func TestEstimateUnionMatchesMerge(t *testing.T) {
+	p := Params{W: 16, M: 64, Seed: 3}
+	base := New(p)
+	others := []*Sketch{New(p), New(p), New(p)}
+	for i := 0; i < 20_000; i++ {
+		switch i % 4 {
+		case 0:
+			base.Record(uint64(i%50), uint64(i))
+		default:
+			others[i%4-1].Record(uint64(i%50), uint64(i))
+		}
+	}
+	merged := base.Clone()
+	for _, o := range others {
+		if err := merged.MergeMax(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := uint64(0); f < 50; f++ {
+		if got, want := base.EstimateUnion(f, others), merged.Estimate(f); got != want {
+			t.Fatalf("EstimateUnion(%d) = %v, merged Estimate = %v", f, got, want)
+		}
+	}
+	// Empty union degenerates to plain Estimate.
+	for f := uint64(0); f < 50; f++ {
+		if got, want := base.EstimateUnion(f, nil), base.Estimate(f); got != want {
+			t.Fatalf("EstimateUnion(%d, nil) = %v, Estimate = %v", f, got, want)
+		}
+	}
+}
+
+// The heap-fallback path (M above the stack scratch size) must agree with
+// a merged sketch too.
+func TestEstimateUnionLargeM(t *testing.T) {
+	p := Params{W: 4, M: estimatorScratchM * 2, Seed: 5}
+	base := New(p)
+	other := New(p)
+	for i := 0; i < 5_000; i++ {
+		base.Record(uint64(i%10), uint64(i))
+		other.Record(uint64(i%10), uint64(i)+1_000_000)
+	}
+	merged := base.Clone()
+	if err := merged.MergeMax(other); err != nil {
+		t.Fatal(err)
+	}
+	for f := uint64(0); f < 10; f++ {
+		if got, want := base.EstimateUnion(f, []*Sketch{other}), merged.Estimate(f); got != want {
+			t.Fatalf("EstimateUnion(%d) = %v, merged Estimate = %v", f, got, want)
+		}
+	}
+}

@@ -83,7 +83,5 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	}
 	s.params = p
 	s.rows = rows
-	s.lf = make([]uint8, p.M)
-	s.lbar = make([]uint8, p.M)
 	return nil
 }

@@ -70,15 +70,15 @@ func WidthForMemory(memBits, m int) int {
 	return w
 }
 
-// Sketch is an rSkt2(HLL) instance. It is not safe for concurrent use; the
-// measurement point serializes access.
+// Sketch is an rSkt2(HLL) instance. Writes (Record, merges, Reset) are not
+// safe for concurrent use — the measurement point serializes them — but
+// Estimate/EstimateUnion are read-only and safe to call concurrently with
+// each other (queries carry their own virtual-estimator buffers; there is
+// no shared scratch state).
 type Sketch struct {
 	params Params
 	// rows[u] holds W*M registers: column j occupies [j*M, (j+1)*M).
 	rows [2]hll.Regs
-	// lf, lbar are query-path scratch buffers for the virtual estimators
-	// (queries are hot; see Table I).
-	lf, lbar []uint8
 }
 
 // New creates a zeroed sketch. It panics only on programmer error
@@ -90,8 +90,6 @@ func New(p Params) *Sketch {
 	return &Sketch{
 		params: p,
 		rows:   [2]hll.Regs{hll.NewRegs(p.W * p.M), hll.NewRegs(p.W * p.M)},
-		lf:     make([]uint8, p.M),
-		lbar:   make([]uint8, p.M),
 	}
 }
 
@@ -111,28 +109,52 @@ func (s *Sketch) Record(f, e uint64) {
 	s.rows[u].Observe(j*p.M+i, v)
 }
 
+// estimatorScratchM is the largest M whose virtual-estimator buffers fit
+// on the caller's stack; the paper's recommended M is 128.
+const estimatorScratchM = 256
+
 // Estimate returns the spread estimate for flow f: V(L_f) - V(L̄_f). The
 // value can be slightly negative for flows with no or few elements; callers
-// that need a count should clamp at zero.
+// that need a count should clamp at zero. Read-only: concurrent Estimate
+// calls on a shared sketch are safe (each call assembles the virtual
+// estimators into caller-local buffers, not shared scratch).
 func (s *Sketch) Estimate(f uint64) float64 {
-	lf, lbar := s.virtualEstimators(f)
-	return hll.Estimate(lf) - hll.Estimate(lbar)
+	return s.EstimateUnion(f, nil)
 }
 
-// virtualEstimators assembles L_f and L̄_f for flow f into the sketch's
-// scratch buffers (valid until the next call; the sketch is not safe for
-// concurrent use).
-func (s *Sketch) virtualEstimators(f uint64) (lf, lbar []uint8) {
+// EstimateUnion returns the spread estimate for flow f over the
+// register-wise max of s and others, without mutating anything:
+// bit-identical to MergeMax-ing every other sketch into s first and
+// calling Estimate. All others must share s's parameters (the sharded
+// ingest path guarantees this by construction). Read-only and safe for
+// concurrent callers.
+func (s *Sketch) EstimateUnion(f uint64, others []*Sketch) float64 {
 	p := &s.params
 	j := xhash.Index(f^p.Seed, seedColumn, p.W)
 	base := j * p.M
-	lf, lbar = s.lf, s.lbar
+
+	var stack [2 * estimatorScratchM]uint8
+	var lf, lbar []uint8
+	if p.M <= estimatorScratchM {
+		lf, lbar = stack[:p.M], stack[estimatorScratchM:estimatorScratchM+p.M]
+	} else {
+		buf := make([]uint8, 2*p.M)
+		lf, lbar = buf[:p.M], buf[p.M:]
+	}
 	for i := 0; i < p.M; i++ {
 		u := xhash.PairBit(f^p.Seed, i, seedPairBit)
-		lf[i] = s.rows[u][base+i]
-		lbar[i] = s.rows[1-u][base+i]
+		a, b := s.rows[u][base+i], s.rows[1-u][base+i]
+		for _, o := range others {
+			if v := o.rows[u][base+i]; v > a {
+				a = v
+			}
+			if v := o.rows[1-u][base+i]; v > b {
+				b = v
+			}
+		}
+		lf[i], lbar[i] = a, b
 	}
-	return lf, lbar
+	return hll.Estimate(lf) - hll.Estimate(lbar)
 }
 
 // MergeMax folds o into s by register-wise max (the paper's U operator for

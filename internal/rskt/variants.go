@@ -52,7 +52,10 @@ func (s *BitmapVariant) Record(f, e uint64) {
 }
 
 // Estimate returns the spread estimate for flow f: the difference of the
-// linear-counting estimates of L_f and L̄_f.
+// linear-counting estimates of L_f and L̄_f. Read-only and safe for
+// concurrent callers (the zero counts accumulate in locals; unlike the
+// HLL instance's former shared scratch buffers there is no per-sketch
+// query state).
 func (s *BitmapVariant) Estimate(f uint64) float64 {
 	p := &s.params
 	j := xhash.Index(f^p.Seed, seedColumn, p.W)
@@ -155,7 +158,8 @@ func (s *FMVariant) Record(f, e uint64) {
 }
 
 // Estimate returns the spread estimate for flow f as the difference of the
-// PCSA estimates of the two virtual estimators.
+// PCSA estimates of the two virtual estimators. Read-only and safe for
+// concurrent callers (no shared scratch state).
 func (s *FMVariant) Estimate(f uint64) float64 {
 	p := &s.params
 	j := xhash.Index(f^p.Seed, seedColumn, p.W)

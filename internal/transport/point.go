@@ -34,6 +34,10 @@ type PointStats struct {
 	// epoch had already ended and were dropped (round-trip bound
 	// violated).
 	PushesLate int64
+	// UploadsRetried is the number of epoch uploads whose first
+	// transmission failed (connection down) and that were retransmitted
+	// after a successful Redial.
+	UploadsRetried int64
 }
 
 // PointClient is a measurement point connected to a live center. Record
@@ -42,21 +46,36 @@ type PointStats struct {
 type PointClient struct {
 	cfg PointConfig
 
-	// mu guards the connection fields; uploads and redials serialize on
-	// it.
+	// mu guards the connection fields and the pending-upload buffer;
+	// uploads and redials serialize on it.
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	done chan struct{}
+	// pending holds epoch uploads not yet confirmed sent: EndEpoch
+	// appends here first, then drains the buffer over the live
+	// connection. Uploads whose transmission failed stay buffered and are
+	// retransmitted after Redial, so epochs that end while the center is
+	// unreachable are no longer silently lost.
+	pending []pendingUpload
 
 	spread *core.SpreadPoint[*rskt.Sketch]
 	size   *core.SizePoint
 
-	pushesApplied atomic.Int64
-	pushesLate    atomic.Int64
+	pushesApplied  atomic.Int64
+	pushesLate     atomic.Int64
+	uploadsRetried atomic.Int64
 
 	errMu   sync.Mutex
 	lastErr error
+}
+
+// pendingUpload is a buffered epoch upload. attempted marks uploads whose
+// first transmission failed (or that were buffered while disconnected);
+// sending one after reconnect counts as a retry.
+type pendingUpload struct {
+	up        Upload
+	attempted bool
 }
 
 // DialPoint connects a new measurement point to the center.
@@ -104,13 +123,19 @@ func (c *PointClient) connect() error {
 	c.mu.Unlock()
 	c.setErr(nil)
 	go c.readLoop(conn, done)
-	return nil
+	// Retransmit epoch uploads buffered while disconnected, oldest
+	// first, so the center's window stays gap-free.
+	c.mu.Lock()
+	flushErr := c.flushPendingLocked()
+	c.mu.Unlock()
+	return flushErr
 }
 
 // Redial reconnects to the center after a connection failure, preserving
 // the point's local sketch state. The protocol resumes at the current
-// epoch; uploads missed while disconnected are lost (the spread design
-// tolerates gaps, the size design's recovery requires a fresh center).
+// epoch, and epoch uploads buffered while disconnected are retransmitted
+// in order (counted by PointStats.UploadsRetried), so the center's window
+// has no gaps for epochs that ended during the outage.
 func (c *PointClient) Redial() error {
 	c.mu.Lock()
 	conn, done := c.conn, c.done
@@ -141,6 +166,17 @@ func (c *PointClient) Record(f, e uint64) {
 	c.size.Record(f)
 }
 
+// RecordBatch inserts a batch of packets through the sharded ingest path:
+// one shard acquisition covers the whole batch. For the size design each
+// packet's element is ignored.
+func (c *PointClient) RecordBatch(ps []core.SpreadPacket) {
+	if c.spread != nil {
+		c.spread.RecordBatch(ps)
+		return
+	}
+	c.size.RecordBatchPairs(ps)
+}
+
 // QuerySpread answers a networkwide T-query (spread design only).
 func (c *PointClient) QuerySpread(f uint64) (float64, error) {
 	if c.spread == nil {
@@ -166,11 +202,12 @@ func (c *PointClient) Epoch() int64 {
 }
 
 // EndEpoch rolls the point into the next epoch and uploads the completed
-// epoch's measurement to the center.
+// epoch's measurement to the center. The local epoch always advances —
+// wall-clock epochs do not stop for a dead connection — and the upload is
+// buffered first, so a transmission failure leaves it queued for
+// retransmission by the next successful Redial instead of dropping it. The
+// returned error still reports a down connection.
 func (c *PointClient) EndEpoch() error {
-	if err := c.getErr(); err != nil {
-		return fmt.Errorf("transport: connection failed: %w", err)
-	}
 	var (
 		payload []byte
 		epoch   int64
@@ -188,17 +225,46 @@ func (c *PointClient) EndEpoch() error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(Upload{Point: c.cfg.Point, Epoch: epoch, Sketch: payload}); err != nil {
-		return fmt.Errorf("transport: upload epoch %d: %w", epoch, err)
+	c.pending = append(c.pending, pendingUpload{up: Upload{Point: c.cfg.Point, Epoch: epoch, Sketch: payload}})
+	if err := c.getErr(); err != nil {
+		c.markPendingAttemptedLocked()
+		return fmt.Errorf("transport: connection failed: %w", err)
+	}
+	return c.flushPendingLocked()
+}
+
+// flushPendingLocked drains the pending-upload buffer over the live
+// connection, oldest first. On an encode failure the unsent uploads stay
+// buffered and are marked attempted. Callers must hold c.mu.
+func (c *PointClient) flushPendingLocked() error {
+	for len(c.pending) > 0 {
+		p := c.pending[0]
+		if err := c.enc.Encode(p.up); err != nil {
+			c.markPendingAttemptedLocked()
+			return fmt.Errorf("transport: upload epoch %d: %w", p.up.Epoch, err)
+		}
+		if p.attempted {
+			c.uploadsRetried.Add(1)
+		}
+		c.pending = c.pending[1:]
 	}
 	return nil
+}
+
+// markPendingAttemptedLocked records that every buffered upload has missed
+// at least one transmission window. Callers must hold c.mu.
+func (c *PointClient) markPendingAttemptedLocked() {
+	for i := range c.pending {
+		c.pending[i].attempted = true
+	}
 }
 
 // Stats returns protocol event counters.
 func (c *PointClient) Stats() PointStats {
 	return PointStats{
-		PushesApplied: c.pushesApplied.Load(),
-		PushesLate:    c.pushesLate.Load(),
+		PushesApplied:  c.pushesApplied.Load(),
+		PushesLate:     c.pushesLate.Load(),
+		UploadsRetried: c.uploadsRetried.Load(),
 	}
 }
 

@@ -73,6 +73,76 @@ func TestRedialPreservesStateAndResumes(t *testing.T) {
 	})
 }
 
+// Epochs that end while the center is unreachable used to be silently
+// dropped; the point now buffers them and retransmits on Redial, so the
+// center's window has no gaps.
+func TestRedialRetransmitsBufferedUploads(t *testing.T) {
+	srv, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSize, WindowN: 5,
+		Widths: map[int]int{0: 32}, D: 2, Seed: 1, Logf: quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pc, err := DialPoint(PointConfig{
+		Addr: srv.Addr().String(), Point: 0, Kind: KindSize, W: 32, D: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	// One clean epoch.
+	pc.Record(1, 0)
+	if err := pc.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first upload", func() bool { return srv.Stats().UploadsReceived == 1 })
+
+	// Kill the connection under the client and wait until it notices.
+	pc.mu.Lock()
+	conn := pc.conn
+	pc.mu.Unlock()
+	conn.Close()
+	waitFor(t, "failure detected", func() bool { return pc.getErr() != nil })
+
+	// Two epochs end during the outage: EndEpoch must report the outage
+	// but keep rolling the window and buffer both uploads.
+	for k := 0; k < 2; k++ {
+		pc.Record(2, 0)
+		if err := pc.EndEpoch(); err == nil {
+			t.Fatal("EndEpoch succeeded on a dead connection")
+		}
+	}
+	if got := pc.Epoch(); got != 4 {
+		t.Fatalf("epoch stalled during outage: got %d, want 4", got)
+	}
+	if st := srv.Stats(); st.UploadsReceived != 1 {
+		t.Fatalf("center received %d uploads during outage, want 1", st.UploadsReceived)
+	}
+
+	// Reconnect: the buffered epochs are retransmitted in order.
+	if err := pc.Redial(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "buffered uploads retransmitted", func() bool {
+		return srv.Stats().UploadsReceived == 3
+	})
+	if st := pc.Stats(); st.UploadsRetried != 2 {
+		t.Fatalf("UploadsRetried = %d, want 2", st.UploadsRetried)
+	}
+
+	// The protocol resumes cleanly after the recovery.
+	pc.Record(3, 0)
+	if err := pc.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-recovery upload", func() bool {
+		return srv.Stats().UploadsReceived == 4
+	})
+}
+
 func TestCenterStatsCount(t *testing.T) {
 	srv, err := ServeCenter(CenterConfig{
 		Addr: "127.0.0.1:0", Kind: KindSize, WindowN: 5,

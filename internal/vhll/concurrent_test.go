@@ -1,0 +1,76 @@
+package vhll
+
+import (
+	"sync"
+	"testing"
+)
+
+// Estimate used to stage the virtual estimator in a per-sketch scratch
+// slice, racing under concurrent queries. It now uses caller-local
+// buffers; this test fails under `go test -race` (and on any divergence)
+// if that regresses.
+func TestEstimateConcurrentReaders(t *testing.T) {
+	s, err := New(Params{PhysicalRegisters: 4096, VirtualRegisters: 128, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		s.Record(uint64(i%200), uint64(i))
+	}
+	want := make([]float64, 200)
+	for f := range want {
+		want[f] = s.Estimate(uint64(f))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for f := 0; f < 200; f++ {
+					if got := s.Estimate(uint64(f)); got != want[f] {
+						t.Errorf("concurrent Estimate(%d) = %v, want %v", f, got, want[f])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EstimateUnion must be bit-identical to merging and estimating.
+func TestEstimateUnionMatchesMerge(t *testing.T) {
+	p := Params{PhysicalRegisters: 2048, VirtualRegisters: 128, Seed: 3}
+	mk := func() *Sketch {
+		s, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := mk()
+	others := []*Sketch{mk(), mk()}
+	for i := 0; i < 20_000; i++ {
+		switch i % 3 {
+		case 0:
+			base.Record(uint64(i%50), uint64(i))
+		default:
+			others[i%3-1].Record(uint64(i%50), uint64(i))
+		}
+	}
+	merged := base.Clone()
+	for _, o := range others {
+		if err := merged.MergeMax(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := uint64(0); f < 50; f++ {
+		if got, want := base.EstimateUnion(f, others), merged.Estimate(f); got != want {
+			t.Fatalf("EstimateUnion(%d) = %v, merged Estimate = %v", f, got, want)
+		}
+		if got, want := base.EstimateUnion(f, nil), base.Estimate(f); got != want {
+			t.Fatalf("EstimateUnion(%d, nil) = %v, Estimate = %v", f, got, want)
+		}
+	}
+}

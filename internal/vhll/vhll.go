@@ -64,11 +64,12 @@ func PhysicalForMemory(memBits int) int {
 	return m
 }
 
-// Sketch is a vHLL instance. Not safe for concurrent use.
+// Sketch is a vHLL instance. Writes are not safe for concurrent use, but
+// Estimate/EstimateUnion are read-only and safe to call concurrently with
+// each other (each call uses caller-local buffers, not shared scratch).
 type Sketch struct {
-	params  Params
-	regs    hll.Regs
-	scratch []uint8
+	params Params
+	regs   hll.Regs
 }
 
 // New creates a zeroed sketch.
@@ -77,9 +78,8 @@ func New(p Params) (*Sketch, error) {
 		return nil, err
 	}
 	return &Sketch{
-		params:  p,
-		regs:    hll.NewRegs(p.PhysicalRegisters),
-		scratch: make([]uint8, p.VirtualRegisters),
+		params: p,
+		regs:   hll.NewRegs(p.PhysicalRegisters),
 	}, nil
 }
 
@@ -94,21 +94,58 @@ func (s *Sketch) Record(f, e uint64) {
 	s.regs.Observe(int(reg), xhash.Geometric(xhash.HashPair(f, e, p.Seed), seedGeo, hll.MaxRegisterValue))
 }
 
+// estimatorScratchS is the largest virtual-estimator size whose query
+// buffer fits on the caller's stack; the default s is 128.
+const estimatorScratchS = 512
+
 // Estimate returns the spread estimate for flow f: the virtual estimator's
 // raw estimate minus the expected share of the whole array's cardinality
-// (the register-sharing noise term).
+// (the register-sharing noise term). Read-only and safe for concurrent
+// callers.
 func (s *Sketch) Estimate(f uint64) float64 {
+	return s.EstimateUnion(f, nil)
+}
+
+// EstimateUnion returns the spread estimate for flow f over the
+// register-wise max of s and others, without mutating anything:
+// bit-identical to MergeMax-ing every other sketch into s first and calling
+// Estimate. All others must share s's parameters. Read-only and safe for
+// concurrent callers.
+func (s *Sketch) EstimateUnion(f uint64, others []*Sketch) float64 {
 	p := &s.params
+
+	var stack [estimatorScratchS]uint8
+	var virt []uint8
+	if p.VirtualRegisters <= estimatorScratchS {
+		virt = stack[:p.VirtualRegisters]
+	} else {
+		virt = make([]uint8, p.VirtualRegisters)
+	}
 	for i := 0; i < p.VirtualRegisters; i++ {
 		reg := xhash.HashPair(f, uint64(i), p.Seed^seedRegister) % uint64(p.PhysicalRegisters)
-		s.scratch[i] = s.regs[reg]
+		v := s.regs[reg]
+		for _, o := range others {
+			if w := o.regs[reg]; w > v {
+				v = w
+			}
+		}
+		virt[i] = v
 	}
 	sv := float64(p.VirtualRegisters)
 	m := float64(p.PhysicalRegisters)
 	// n_f ≈ s/(1 - s/m) * (raw(virtual)/s - raw(whole)/m), the vHLL
 	// estimator rearranged; raw() is the plain HLL estimate.
-	nv := hll.Estimate(s.scratch)
-	nt := hll.Estimate(s.regs)
+	nv := hll.Estimate(virt)
+	var nt float64
+	if len(others) == 0 {
+		nt = hll.Estimate(s.regs)
+	} else {
+		sets := make([][]uint8, len(others))
+		for i, o := range others {
+			sets[i] = o.regs
+		}
+		nt = hll.EstimateUnion(s.regs, sets)
+	}
 	est := sv / (1 - sv/m) * (nv/sv - nt/m)
 	if math.IsNaN(est) || est < 0 {
 		return 0
