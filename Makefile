@@ -1,12 +1,17 @@
 # Developer/CI entry points. `make check` is the gate: build, vet, the
-# full test suite under the race detector, and a smoke run of the sharded
-# ingest benchmarks (100 iterations — checks they run, not their numbers).
+# full test suite under the race detector, a short fuzz pass over the
+# protocol decode paths, and a smoke run of the sharded ingest benchmarks
+# (100 iterations — checks they run, not their numbers).
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench
+# Seconds of fuzzing per target in fuzz-short. The committed corpus under
+# internal/*/testdata/fuzz seeds each run with protocol-shaped inputs.
+FUZZTIME ?= 30s
 
-check: build vet race bench-smoke
+.PHONY: check build vet test test-race race fuzz-short bench-smoke bench
+
+check: build vet race fuzz-short bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,8 +22,24 @@ vet:
 test:
 	$(GO) test ./...
 
+# The fault matrix and the faultnet fabric must stay deterministic and
+# race-clean; this is the acceptance gate for the failure-model tests.
+test-race:
+	$(GO) test -race ./internal/transport ./internal/faultnet
+
 race:
 	$(GO) test -race ./...
+
+# Short fuzz pass over every decode surface a peer can reach: the protocol
+# streams (center- and point-side), the Push apply path, and the sketch
+# and trace binary decoders.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzCenterConn$$' -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzPointConn$$' -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzPushApply$$' -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/rskt
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/countmin
+	$(GO) test -run '^$$' -fuzz . -fuzztime $(FUZZTIME) ./internal/trace
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'ThroughputParallel' -benchtime=100x .

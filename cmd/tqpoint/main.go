@@ -98,20 +98,21 @@ func run(args []string) error {
 
 	if *queryAddr != "" {
 		// Local network functions (or cmd/tqquery) can ask this point for
-		// networkwide answers; each query reads only local memory.
-		qsrv, err := transport.ServeQueries(*queryAddr, func(f uint64) float64 {
+		// networkwide answers; each query reads only local memory and
+		// reports the window coverage behind it (tqquery -coverage).
+		qsrv, err := transport.ServeQueriesCov(*queryAddr, func(f uint64) (float64, core.Coverage) {
 			if *kind == "spread" {
-				v, err := pc.QuerySpread(f)
+				v, cov, err := pc.QuerySpreadWithCoverage(f)
 				if err != nil {
-					return 0
+					return 0, core.Coverage{}
 				}
-				return v
+				return v, cov
 			}
-			v, err := pc.QuerySize(f)
+			v, cov, err := pc.QuerySizeWithCoverage(f)
 			if err != nil {
-				return 0
+				return 0, core.Coverage{}
 			}
-			return float64(v)
+			return float64(v), cov
 		})
 		if err != nil {
 			return err
@@ -122,8 +123,16 @@ func run(args []string) error {
 
 	report := func() {
 		st := pc.Stats()
-		fmt.Printf("tqpoint %d: epoch %d done (pushes applied=%d late=%d)\n",
-			*point, pc.Epoch()-1, st.PushesApplied, st.PushesLate)
+		cov := pc.Coverage()
+		fmt.Printf("tqpoint %d: epoch %d done (pushes applied=%d late=%d dup=%d; "+
+			"uploads retried=%d dropped=%d; window coverage %d/%d = %.0f%%)\n",
+			*point, pc.Epoch()-1, st.PushesApplied, st.PushesLate, st.PushesDuplicate,
+			st.UploadsRetried, st.UploadsDropped,
+			cov.EpochsMerged, cov.EpochsExpected, cov.Fraction()*100)
+		if !cov.Full() {
+			fmt.Printf("tqpoint %d: DEGRADED — answers cover %.0f%% of the window\n",
+				*point, cov.Fraction()*100)
+		}
 		rng := rand.New(rand.NewSource(int64(pc.Epoch())))
 		for i := 0; i < *queries; i++ {
 			f := uint64(rng.Intn(*flows))
@@ -141,8 +150,26 @@ func run(args []string) error {
 		}
 	}
 
+	// A center outage must not kill the point: the epoch still ends
+	// locally (the upload is buffered, capped at one window), queries keep
+	// answering with degraded coverage, and every epoch boundary retries
+	// the reconnect until the center is back.
+	endEpoch := func() error {
+		err := pc.EndEpoch()
+		if err == nil {
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "tqpoint %d: upload failed (%v), redialing\n", *point, err)
+		if rerr := pc.Redial(); rerr != nil {
+			fmt.Fprintf(os.Stderr, "tqpoint %d: center still unreachable (%v), continuing degraded\n", *point, rerr)
+		} else {
+			fmt.Printf("tqpoint %d: reconnected to %s\n", *point, *addr)
+		}
+		return nil
+	}
+
 	if *traceFile != "" {
-		return replayTrace(pc, *traceFile, *point, *epoch, report)
+		return replayTrace(pc, *traceFile, *point, *epoch, endEpoch, report)
 	}
 
 	// Synthetic traffic mode: wall-clock epochs, Zipf-ish flow draws.
@@ -172,7 +199,7 @@ func run(args []string) error {
 			}
 		case <-ticker.C:
 			flush()
-			if err := pc.EndEpoch(); err != nil {
+			if err := endEpoch(); err != nil {
 				return err
 			}
 			report()
@@ -186,7 +213,7 @@ func run(args []string) error {
 
 // replayTrace feeds the trace file's packets for this point, rolling
 // epochs by virtual time.
-func replayTrace(pc *transport.PointClient, path string, point int, epoch time.Duration, report func()) error {
+func replayTrace(pc *transport.PointClient, path string, point int, epoch time.Duration, endEpoch func() error, report func()) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -215,7 +242,7 @@ func replayTrace(pc *transport.PointClient, path string, point int, epoch time.D
 		}
 		for k := win.EpochOf(p.TS); cur < k; cur++ {
 			flush()
-			if err := pc.EndEpoch(); err != nil {
+			if err := endEpoch(); err != nil {
 				return err
 			}
 			report()
@@ -228,5 +255,5 @@ func replayTrace(pc *transport.PointClient, path string, point int, epoch time.D
 		}
 	}
 	flush()
-	return pc.EndEpoch()
+	return endEpoch()
 }

@@ -6,6 +6,12 @@
 //
 //	tqquery -addr 127.0.0.1:8081 -flow 12345
 //	tqquery -addr 127.0.0.1:8081 -flow 12345 -watch 2s
+//	tqquery -addr 127.0.0.1:8081 -flow 12345 -coverage
+//
+// With -coverage each answer also reports how much of the query window
+// the point actually holds (graceful degradation: during a center outage
+// the estimate is computed from the epochs that survived, and coverage
+// tells you how partial it is).
 package main
 
 import (
@@ -32,6 +38,7 @@ func run(args []string, stdout io.Writer) error {
 		flow  = fs.Uint64("flow", 0, "flow label to query")
 		watch = fs.Duration("watch", 0, "re-query at this interval until interrupted (0 = once)")
 		count = fs.Int("count", 0, "with -watch: stop after this many queries (0 = forever)")
+		cover = fs.Bool("coverage", false, "also report the window coverage behind each answer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +53,20 @@ func run(args []string, stdout io.Writer) error {
 	defer qc.Close()
 
 	ask := func() error {
+		if *cover {
+			v, cov, err := qc.QueryCov(*flow)
+			if err != nil {
+				return err
+			}
+			note := ""
+			if !cov.Full() {
+				note = " DEGRADED"
+			}
+			fmt.Fprintf(stdout, "%s flow %d: %.2f (coverage %d/%d = %.0f%%%s)\n",
+				time.Now().Format(time.TimeOnly), *flow, v,
+				cov.EpochsMerged, cov.EpochsExpected, cov.Fraction()*100, note)
+			return nil
+		}
 		v, err := qc.Query(*flow)
 		if err != nil {
 			return err

@@ -58,7 +58,7 @@ func TestSpreadPointConcurrentAccess(t *testing.T) {
 			// Target a bogus epoch about half the time; stale pushes must
 			// be rejected, not merged.
 			err := pt.ApplyAggregateAt(int64(i%100), agg)
-			if err != nil && !errors.Is(err, ErrStaleEpoch) {
+			if err != nil && !errors.Is(err, ErrStaleEpoch) && !errors.Is(err, ErrDuplicatePush) {
 				t.Errorf("unexpected apply error: %v", err)
 				return
 			}
@@ -108,7 +108,7 @@ func TestSizePointConcurrentAccess(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < 200; i++ {
 			err := pt.ApplyEnhancementAt(int64(i%100), agg)
-			if err != nil && !errors.Is(err, ErrStaleEpoch) {
+			if err != nil && !errors.Is(err, ErrStaleEpoch) && !errors.Is(err, ErrDuplicatePush) {
 				t.Errorf("unexpected apply error: %v", err)
 				return
 			}

@@ -6,7 +6,29 @@ import "errors"
 // had already ended at the point. The protocol's correctness rests on the
 // paper's timing assumption (ST join plus round trip complete within one
 // epoch); a stale push must be dropped rather than merged into the wrong
-// window. For the flow-size design in cumulative mode a dropped push also
-// desynchronizes the center's recovery, so deployments should treat it as
-// an operational alarm.
+// window. The upload-applied flags (UploadMeta) tell the center the push
+// was not merged, so the flow-size design's cumulative recovery stays
+// exact; the point's Coverage reports the resulting window hole.
 var ErrStaleEpoch = errors.New("core: center push missed its epoch")
+
+// ErrDuplicatePush reports that a center push targeted an epoch whose
+// aggregate (or enhancement) the point already merged. The center re-pushes
+// the current round to reconnecting points, so duplicates are a normal
+// consequence of recovery; they must be dropped, not merged twice (the
+// flow-size design's counter addition is not idempotent).
+var ErrDuplicatePush = errors.New("core: duplicate center push for this epoch")
+
+// ErrDuplicateUpload reports that a point upload for an already-ingested
+// epoch was dropped. Retransmission after a partial connection failure can
+// resend an upload the center already has; ingesting it twice would
+// double-count, so the center ignores it and reports this sentinel for
+// observability.
+var ErrDuplicateUpload = errors.New("core: duplicate point upload ignored")
+
+// ErrUploadGap reports that a cumulative-mode size upload arrived after a
+// gap in the point's epoch sequence. The cumulative inversion (Section V-B)
+// needs the previous epoch's recovered delta, so post-gap uploads carry no
+// recoverable measurement until the point sends a rebase upload; the center
+// drops their payload (window coverage shrinks accordingly) and waits for
+// the rebase.
+var ErrUploadGap = errors.New("core: upload after epoch gap dropped pending rebase")

@@ -1,0 +1,27 @@
+package core
+
+// UploadMeta rides along with an epoch upload and tells the center which
+// center-sent sketches the upload's lineage actually absorbed. A healthy
+// deployment always merges every push, so the flags are always true there;
+// under faults (dropped or stale pushes, reconnects) they let the
+// flow-size design's cumulative inversion subtract exactly what the point
+// merged — no more, no less — keeping recovered deltas exact instead of
+// silently corrupting the window.
+type UploadMeta struct {
+	// Epoch is the epoch the upload measures (the epoch that just ended).
+	Epoch int64
+	// AggApplied reports whether the center aggregate belonging to this
+	// upload's lineage was merged: for a cumulative C upload of epoch e,
+	// the aggregate applied during e-1; for a rebase C' upload of epoch e,
+	// the aggregate applied during e.
+	AggApplied bool
+	// EnhApplied reports whether the enhancement applied during the
+	// upload's epoch was merged (cumulative C uploads only; C' never
+	// holds the enhancement).
+	EnhApplied bool
+	// Rebase marks a C' upload sent to reseed cumulative recovery after
+	// the point lost buffered uploads: C' holds only the finished epoch's
+	// delta (plus the aggregate applied during it), so the center can
+	// recover the delta without the missing previous epoch.
+	Rebase bool
+}

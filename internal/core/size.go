@@ -46,6 +46,17 @@ type SizePoint struct {
 	c  *countmin.Sketch // query target; also the upload in cumulative mode
 	cp *countmin.Sketch // C': staging for the next epoch
 
+	// Degradation accounting (see coverage.go and protocol.go).
+	// aggAppliedPrev remembers whether the aggregate was merged during the
+	// previous epoch: the cumulative upload C_e carries the aggregate
+	// applied during e-1, so its UploadMeta needs one epoch of memory.
+	topoPoints, topoN int
+	aggApplied        bool
+	aggAppliedPrev    bool
+	enhApplied        bool
+	covMerged         int
+	covCur            Coverage
+
 	shards []*sizeShard
 	rr     atomic.Uint64 // round-robin cursor for batch shard selection
 }
@@ -98,6 +109,39 @@ func (p *SizePoint) Epoch() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.epoch
+}
+
+// SetTopology tells the point how large its cluster is (point count and
+// window n), which is what Coverage measures queries against. A standalone
+// point (the default) expects nothing and always reports full coverage.
+func (p *SizePoint) SetTopology(points, windowN int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.topoPoints, p.topoN = points, windowN
+}
+
+// AdvanceTo fast-forwards the point's epoch clock without touching sketch
+// state. A point that restarts without persisted state rejoins its cluster
+// at the cluster's current epoch; everything before it is gone, so the
+// current window's coverage is reset to empty.
+func (p *SizePoint) AdvanceTo(epoch int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch <= p.epoch {
+		return
+	}
+	p.epoch = epoch
+	p.covCur = Coverage{EpochsExpected: expectedPointEpochs(p.topoPoints, p.topoN, epoch-1)}
+	p.covMerged = 0
+	p.aggApplied, p.aggAppliedPrev, p.enhApplied = false, false, false
+}
+
+// Coverage returns the eq. (1)/(2) window coverage of the current query
+// target (see Coverage).
+func (p *SizePoint) Coverage() Coverage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.covCur
 }
 
 // Record inserts one packet of flow f. Only the flow's ingest shard is
@@ -190,6 +234,32 @@ func (p *SizePoint) Query(f uint64) int64 {
 	return est
 }
 
+// QueryWithCoverage answers Query(f) together with the coverage of the
+// window the answer was computed from, read atomically so the pair is
+// consistent across a concurrent epoch boundary.
+func (p *SizePoint) QueryWithCoverage(f uint64) (int64, Coverage) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var (
+		extras [maxShards]*countmin.Sketch
+		locked [maxShards]*sizeShard
+		n      int
+	)
+	for _, sh := range p.shards {
+		if sh.dirty.Load() {
+			sh.mu.Lock()
+			locked[n] = sh
+			extras[n] = sh.d
+			n++
+		}
+	}
+	est := p.c.EstimateSummed(f, extras[:n])
+	for i := 0; i < n; i++ {
+		locked[i].mu.Unlock()
+	}
+	return est, p.covCur
+}
+
 // flushShardsLocked folds every dirty shard delta into the authoritative
 // sketch set (counter-wise addition into C, C' and, in delta mode, B) and
 // resets it. Caller holds p.mu.
@@ -229,22 +299,65 @@ func mustAddSketch(dst, src *countmin.Sketch) {
 // Recorders are never blocked: they only touch shard deltas, which are
 // folded one shard at a time.
 func (p *SizePoint) EndEpoch() *countmin.Sketch {
+	upload, _ := p.EndEpochMeta(false)
+	return upload
+}
+
+// EndEpochMeta is EndEpoch returning the upload's protocol metadata (which
+// center pushes its lineage absorbed — see UploadMeta). With rebase set, a
+// cumulative-mode point uploads a clone of C' instead of C: C' holds only
+// the finished epoch's delta plus the aggregate applied during it, letting
+// the center reseed its recovery chain after the point lost buffered
+// uploads. Rebase is meaningless (and ignored) in delta mode.
+func (p *SizePoint) EndEpochMeta(rebase bool) (*countmin.Sketch, UploadMeta) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.flushShardsLocked()
+	meta := UploadMeta{Epoch: p.epoch}
 	var upload *countmin.Sketch
 	if p.mode == SizeModeCumulative {
-		upload = p.c
-		p.c = p.cp
-		p.cp = countmin.New(p.params)
+		if rebase {
+			meta.Rebase = true
+			meta.AggApplied = p.aggApplied
+			upload = p.cp.Clone()
+			p.c = p.cp
+			p.cp = countmin.New(p.params)
+		} else {
+			meta.AggApplied = p.aggAppliedPrev
+			meta.EnhApplied = p.enhApplied
+			upload = p.c
+			p.c = p.cp
+			p.cp = countmin.New(p.params)
+		}
 	} else {
+		meta.AggApplied = p.aggAppliedPrev
+		meta.EnhApplied = p.enhApplied
 		upload = p.b
 		p.b = countmin.New(p.params)
 		p.c, p.cp = p.cp, p.c
 		p.cp.Reset()
 	}
+	p.rollCoverageLocked()
 	p.epoch++
-	return upload
+	return upload, meta
+}
+
+// rollCoverageLocked moves the staged aggregate's coverage onto the query
+// target (C' becomes C at this boundary) and opens a fresh slot for the
+// next epoch's push. Caller holds p.mu with p.epoch still the epoch that
+// is ending.
+func (p *SizePoint) rollCoverageLocked() {
+	exp := expectedPointEpochs(p.topoPoints, p.topoN, p.epoch)
+	m := p.covMerged
+	if m < 0 || m > exp {
+		// Aggregate applied through the coverage-oblivious path: trust it
+		// to be whole.
+		m = exp
+	}
+	p.covCur = Coverage{EpochsMerged: m, EpochsExpected: exp}
+	p.covMerged = 0
+	p.aggAppliedPrev, p.aggApplied = p.aggApplied, false
+	p.enhApplied = false
 }
 
 // ApplyAggregate adds the center's ST-join result into C'.
@@ -257,6 +370,8 @@ func (p *SizePoint) ApplyAggregate(agg *countmin.Sketch) error {
 	if err := p.cp.AddSketch(agg); err != nil {
 		return fmt.Errorf("size point %d: apply aggregate: %w", p.id, err)
 	}
+	p.aggApplied = true
+	p.covMerged = -1
 	return nil
 }
 
@@ -272,12 +387,27 @@ func (p *SizePoint) ApplyEnhancement(enh *countmin.Sketch) error {
 	if err := p.c.AddSketch(enh); err != nil {
 		return fmt.Errorf("size point %d: apply enhancement: %w", p.id, err)
 	}
+	p.enhApplied = true
 	return nil
 }
 
 // ApplyAggregateAt is ApplyAggregate guarded by an epoch check under the
-// point's lock; returns ErrStaleEpoch if the point has moved past epoch k.
+// point's lock; returns ErrStaleEpoch if the point has moved past epoch k,
+// and ErrDuplicatePush if this epoch's aggregate was already merged (a
+// reconnect re-push — merging twice would double the counters).
 func (p *SizePoint) ApplyAggregateAt(k int64, agg *countmin.Sketch) error {
+	return p.applyAggregateAt(k, agg, -1)
+}
+
+// ApplyAggregateCovAt is ApplyAggregateAt carrying the aggregate's
+// coverage: how many point-epoch uploads the center actually joined into
+// it. Queries answered from the window this aggregate lands in report that
+// coverage (QueryWithCoverage).
+func (p *SizePoint) ApplyAggregateCovAt(k int64, agg *countmin.Sketch, merged int) error {
+	return p.applyAggregateAt(k, agg, merged)
+}
+
+func (p *SizePoint) applyAggregateAt(k int64, agg *countmin.Sketch, merged int) error {
 	if agg == nil {
 		return nil
 	}
@@ -286,14 +416,20 @@ func (p *SizePoint) ApplyAggregateAt(k int64, agg *countmin.Sketch) error {
 	if p.epoch != k {
 		return ErrStaleEpoch
 	}
+	if p.aggApplied {
+		return ErrDuplicatePush
+	}
 	if err := p.cp.AddSketch(agg); err != nil {
 		return fmt.Errorf("size point %d: apply aggregate: %w", p.id, err)
 	}
+	p.aggApplied = true
+	p.covMerged = merged
 	return nil
 }
 
 // ApplyEnhancementAt is ApplyEnhancement guarded by an epoch check under
-// the point's lock.
+// the point's lock, with the same duplicate-push guard as
+// ApplyAggregateAt.
 func (p *SizePoint) ApplyEnhancementAt(k int64, enh *countmin.Sketch) error {
 	if enh == nil {
 		return nil
@@ -303,9 +439,13 @@ func (p *SizePoint) ApplyEnhancementAt(k int64, enh *countmin.Sketch) error {
 	if p.epoch != k {
 		return ErrStaleEpoch
 	}
+	if p.enhApplied {
+		return ErrDuplicatePush
+	}
 	if err := p.c.AddSketch(enh); err != nil {
 		return fmt.Errorf("size point %d: apply enhancement: %w", p.id, err)
 	}
+	p.enhApplied = true
 	return nil
 }
 
@@ -330,6 +470,11 @@ type SizeCenter struct {
 	sentEnh map[int]map[int64]*countmin.Sketch
 	// lastEpoch[point] is the last upload epoch, to enforce sequencing.
 	lastEpoch map[int]int64
+	// chainBroken[point] marks a cumulative-mode point whose recovery
+	// chain lost an epoch (upload gap): the inversion needs the previous
+	// epoch's delta, so post-gap uploads are unusable until the point
+	// sends a rebase upload (see UploadMeta.Rebase).
+	chainBroken map[int]bool
 }
 
 // NewSizeCenter creates a center for a cluster whose points use the given
@@ -370,9 +515,10 @@ func NewSizeCenter(windowN int, points map[int]countmin.Params, mode SizeMode) (
 		params:    make(map[int]countmin.Params, len(points)),
 		wMax:      wMax,
 		deltas:    make(map[int]map[int64]*countmin.Sketch, len(points)),
-		sentAgg:   make(map[int]map[int64]*countmin.Sketch, len(points)),
-		sentEnh:   make(map[int]map[int64]*countmin.Sketch, len(points)),
-		lastEpoch: make(map[int]int64, len(points)),
+		sentAgg:     make(map[int]map[int64]*countmin.Sketch, len(points)),
+		sentEnh:     make(map[int]map[int64]*countmin.Sketch, len(points)),
+		lastEpoch:   make(map[int]int64, len(points)),
+		chainBroken: make(map[int]bool, len(points)),
 	}
 	for id, p := range points {
 		c.params[id] = p
@@ -384,8 +530,22 @@ func NewSizeCenter(windowN int, points map[int]countmin.Params, mode SizeMode) (
 }
 
 // Receive ingests point's upload for the given epoch and recovers that
-// epoch's measurement. Uploads must arrive in epoch order per point.
+// epoch's measurement, assuming every center push was applied (the healthy
+// in-process path). Transports that can lose pushes use ReceiveMeta.
 func (c *SizeCenter) Receive(point int, epoch int64, upload *countmin.Sketch) error {
+	return c.ReceiveMeta(point, epoch, upload, UploadMeta{Epoch: epoch, AggApplied: true, EnhApplied: true})
+}
+
+// ReceiveMeta ingests point's upload for the given epoch and recovers that
+// epoch's measurement, subtracting only the pushes the upload's lineage
+// actually absorbed (meta). Degraded sequences are tolerated rather than
+// fatal: an epoch at or before the last ingested one is dropped
+// idempotently (ErrDuplicateUpload); in cumulative mode an epoch gap
+// breaks the recovery chain, so post-gap uploads are dropped
+// (ErrUploadGap) until a rebase upload reseeds the chain; in delta mode
+// uploads are independent and gaps merely leave window holes, which
+// CoverageFor reports.
+func (c *SizeCenter) ReceiveMeta(point int, epoch int64, upload *countmin.Sketch, meta UploadMeta) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	params, ok := c.params[point]
@@ -396,28 +556,60 @@ func (c *SizeCenter) Receive(point int, epoch int64, upload *countmin.Sketch) er
 		return fmt.Errorf("core: upload from point %d has parameters %+v, want %+v",
 			point, upload.Params(), params)
 	}
-	if last := c.lastEpoch[point]; epoch != last+1 {
-		return fmt.Errorf("core: point %d uploaded epoch %d, want %d", point, epoch, last+1)
+	last := c.lastEpoch[point]
+	if epoch <= last {
+		return ErrDuplicateUpload
 	}
 
 	delta := upload.Clone()
 	if c.mode == SizeModeCumulative {
-		// Invert the cumulative upload (Section V-B):
-		//   C_{x,k} = agg sent during k-1 + enh sent during k
-		//           + delta_{x,k-1} + delta_{x,k}.
-		if prev, ok := c.deltas[point][epoch-1]; ok {
-			if err := delta.SubSketch(prev); err != nil {
+		sub := func(sk *countmin.Sketch, ok bool) error {
+			if !ok {
+				return nil
+			}
+			if err := delta.SubSketch(sk); err != nil {
 				return fmt.Errorf("core: recover point %d epoch %d: %w", point, epoch, err)
 			}
+			return nil
 		}
-		if agg, ok := c.sentAgg[point][epoch-1]; ok {
-			if err := delta.SubSketch(agg); err != nil {
-				return fmt.Errorf("core: recover point %d epoch %d: %w", point, epoch, err)
+		switch {
+		case meta.Rebase:
+			// C' = delta_{x,epoch} + agg applied during epoch: a clean
+			// reseed regardless of what came before.
+			if meta.AggApplied {
+				agg, ok := c.sentAgg[point][epoch]
+				if err := sub(agg, ok); err != nil {
+					return err
+				}
 			}
-		}
-		if enh, ok := c.sentEnh[point][epoch]; ok {
-			if err := delta.SubSketch(enh); err != nil {
-				return fmt.Errorf("core: recover point %d epoch %d: %w", point, epoch, err)
+			c.chainBroken[point] = false
+		case epoch != last+1 || c.chainBroken[point]:
+			// The chain lost an epoch: C contains the missing previous
+			// delta and nothing can subtract it. Drop the payload, keep
+			// the sequence position, wait for a rebase.
+			c.chainBroken[point] = true
+			c.lastEpoch[point] = epoch
+			c.trimLocked(epoch)
+			return ErrUploadGap
+		default:
+			// Invert the cumulative upload (Section V-B):
+			//   C_{x,k} = agg applied during k-1 + enh applied during k
+			//           + delta_{x,k-1} + delta_{x,k}.
+			prev, ok := c.deltas[point][epoch-1]
+			if err := sub(prev, ok); err != nil {
+				return err
+			}
+			if meta.AggApplied {
+				agg, ok := c.sentAgg[point][epoch-1]
+				if err := sub(agg, ok); err != nil {
+					return err
+				}
+			}
+			if meta.EnhApplied {
+				enh, ok := c.sentEnh[point][epoch]
+				if err := sub(enh, ok); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -425,6 +617,48 @@ func (c *SizeCenter) Receive(point int, epoch int64, upload *countmin.Sketch) er
 	c.lastEpoch[point] = epoch
 	c.trimLocked(epoch)
 	return nil
+}
+
+// LastEpoch returns the most recent epoch the point has uploaded (0 if
+// none). The transport layer uses it to resynchronize reconnecting points.
+func (c *SizeCenter) LastEpoch(point int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastEpoch[point]
+}
+
+// MaxEpoch returns the most recent epoch any point has uploaded (0 if
+// none) — the cluster's epoch clock as the center sees it.
+func (c *SizeCenter) MaxEpoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m int64
+	for _, e := range c.lastEpoch {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// CoverageFor counts, for the aggregate pushed during epoch k, how many
+// point-epoch measurements the center actually holds in the eq. (5) join
+// range versus how many a fully healthy window would contribute.
+func (c *SizeCenter) CoverageFor(k int64) (merged, expected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first, last, ok := aggregateSpan(k, c.windowN)
+	if !ok {
+		return 0, 0
+	}
+	for _, per := range c.deltas {
+		for e := first; e <= last; e++ {
+			if _, ok := per[e]; ok {
+				merged++
+			}
+		}
+	}
+	return merged, len(c.deltas) * int(last-first+1)
 }
 
 // Delta returns the recovered measurement of one epoch at one point (a

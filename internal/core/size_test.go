@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/countmin"
@@ -287,14 +288,26 @@ func TestSizeCenterSequencing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := center.Receive(0, 2, countmin.New(params)); err == nil {
-		t.Fatal("expected out-of-order error")
-	}
 	if err := center.Receive(0, 1, countmin.New(params)); err != nil {
 		t.Fatal(err)
 	}
-	if err := center.Receive(0, 1, countmin.New(params)); err == nil {
-		t.Fatal("expected duplicate error")
+	if err := center.Receive(0, 1, countmin.New(params)); !errors.Is(err, ErrDuplicateUpload) {
+		t.Fatalf("duplicate upload: got %v, want ErrDuplicateUpload", err)
+	}
+	// A cumulative-mode epoch gap breaks the recovery chain: the post-gap
+	// upload is dropped pending a rebase, and so is the next in-order one.
+	if err := center.Receive(0, 3, countmin.New(params)); !errors.Is(err, ErrUploadGap) {
+		t.Fatalf("gap upload: got %v, want ErrUploadGap", err)
+	}
+	if err := center.Receive(0, 4, countmin.New(params)); !errors.Is(err, ErrUploadGap) {
+		t.Fatalf("post-gap upload: got %v, want ErrUploadGap", err)
+	}
+	// A rebase upload reseeds the chain; in-order uploads recover again.
+	if err := center.ReceiveMeta(0, 5, countmin.New(params), UploadMeta{Epoch: 5, Rebase: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := center.Receive(0, 6, countmin.New(params)); err != nil {
+		t.Fatal(err)
 	}
 	if err := center.Receive(5, 1, countmin.New(params)); err == nil {
 		t.Fatal("expected unknown-point error")

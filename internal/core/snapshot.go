@@ -47,6 +47,11 @@ func (p *SpreadPoint[S]) RestoreSnapshot(epoch int64, b, c, cp S) error {
 		sh.mu.Unlock()
 	}
 	p.epoch = epoch
+	// Snapshots are taken from healthy state and carry whatever aggregates
+	// were merged; report the restored window as whole.
+	p.covMerged = -1
+	p.covCur = Coverage{}
+	p.aggApplied, p.enhApplied = true, true
 	return nil
 }
 
@@ -96,5 +101,11 @@ func (p *SizePoint) RestoreSnapshot(epoch int64, b, c, cp *countmin.Sketch) erro
 		sh.mu.Unlock()
 	}
 	p.epoch = epoch
+	// Snapshots are taken from healthy state and carry whatever aggregates
+	// were merged (the pre-flag protocol's assumption); report the restored
+	// window as whole and the lineage flags as applied.
+	p.covMerged = -1
+	p.covCur = Coverage{}
+	p.aggApplied, p.aggAppliedPrev, p.enhApplied = true, true, true
 	return nil
 }

@@ -71,6 +71,18 @@ type SpreadPoint[S SpreadSketch[S]] struct {
 	c  S // query target (holds the approximate T-stream)
 	cp S // C': staging for the next epoch
 
+	// Degradation accounting (see coverage.go). topoPoints/topoN describe
+	// the cluster (0 = standalone, coverage always reports full);
+	// aggApplied/enhApplied guard against duplicate center pushes within
+	// one epoch; covMerged is the point-epoch count of the aggregate
+	// staged in C' (-1 = applied without coverage info, assume full);
+	// covCur is the coverage of the current query target C.
+	topoPoints, topoN int
+	aggApplied        bool
+	enhApplied        bool
+	covMerged         int
+	covCur            Coverage
+
 	shards []*spreadShard[S]
 	rr     atomic.Uint64 // round-robin cursor for batch shard selection
 }
@@ -131,6 +143,39 @@ func (p *SpreadPoint[S]) Epoch() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.epoch
+}
+
+// SetTopology tells the point how large its cluster is (point count and
+// window n), which is what Coverage measures queries against. A standalone
+// point (the default) expects nothing and always reports full coverage.
+func (p *SpreadPoint[S]) SetTopology(points, windowN int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.topoPoints, p.topoN = points, windowN
+}
+
+// AdvanceTo fast-forwards the point's epoch clock without touching sketch
+// state. A point that restarts without persisted state rejoins its cluster
+// at the cluster's current epoch; everything before it is gone, so the
+// current window's coverage is reset to empty.
+func (p *SpreadPoint[S]) AdvanceTo(epoch int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch <= p.epoch {
+		return
+	}
+	p.epoch = epoch
+	p.covCur = Coverage{EpochsExpected: expectedPointEpochs(p.topoPoints, p.topoN, epoch-1)}
+	p.covMerged = 0
+	p.aggApplied, p.enhApplied = false, false
+}
+
+// Coverage returns the eq. (1)/(2) window coverage of the current query
+// target (see Coverage).
+func (p *SpreadPoint[S]) Coverage() Coverage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.covCur
 }
 
 // Record inserts packet <f, e> (stage 1, local online recording). Only
@@ -203,6 +248,32 @@ func (p *SpreadPoint[S]) Query(f uint64) float64 {
 	return est
 }
 
+// QueryWithCoverage answers Query(f) together with the coverage of the
+// window the answer was computed from, read atomically so the pair is
+// consistent across a concurrent epoch boundary.
+func (p *SpreadPoint[S]) QueryWithCoverage(f uint64) (float64, Coverage) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var (
+		extras [maxShards]S
+		locked [maxShards]*spreadShard[S]
+		n      int
+	)
+	for _, sh := range p.shards {
+		if sh.dirty.Load() {
+			sh.mu.Lock()
+			locked[n] = sh
+			extras[n] = sh.d
+			n++
+		}
+	}
+	est := p.c.EstimateUnion(f, extras[:n])
+	for i := 0; i < n; i++ {
+		locked[i].mu.Unlock()
+	}
+	return est, p.covCur
+}
+
 // flushShardsLocked folds every dirty shard delta into B, C and C' with
 // register-wise max and resets it. Caller holds p.mu.
 func (p *SpreadPoint[S]) flushShardsLocked() {
@@ -244,8 +315,26 @@ func (p *SpreadPoint[S]) EndEpoch() S {
 	// the copy: C takes C''s content, the old C becomes the zeroed C'.
 	p.c, p.cp = p.cp, p.c
 	p.cp.Reset()
+	p.rollCoverageLocked()
 	p.epoch++
 	return upload
+}
+
+// rollCoverageLocked moves the staged aggregate's coverage onto the query
+// target (C' becomes C at this boundary) and opens a fresh slot for the
+// next epoch's push. Caller holds p.mu with p.epoch still the epoch that
+// is ending.
+func (p *SpreadPoint[S]) rollCoverageLocked() {
+	exp := expectedPointEpochs(p.topoPoints, p.topoN, p.epoch)
+	m := p.covMerged
+	if m < 0 || m > exp {
+		// Aggregate applied through the coverage-oblivious path: trust it
+		// to be whole.
+		m = exp
+	}
+	p.covCur = Coverage{EpochsMerged: m, EpochsExpected: exp}
+	p.covMerged = 0
+	p.aggApplied, p.enhApplied = false, false
 }
 
 // ApplyAggregate merges the center's ST-join result (the networkwide union
@@ -260,6 +349,8 @@ func (p *SpreadPoint[S]) ApplyAggregate(agg S) error {
 	if err := p.cp.MergeMax(agg); err != nil {
 		return fmt.Errorf("spread point %d: apply aggregate: %w", p.id, err)
 	}
+	p.aggApplied = true
+	p.covMerged = -1
 	return nil
 }
 
@@ -275,14 +366,29 @@ func (p *SpreadPoint[S]) ApplyEnhancement(enh S) error {
 	if err := p.c.MergeMax(enh); err != nil {
 		return fmt.Errorf("spread point %d: apply enhancement: %w", p.id, err)
 	}
+	p.enhApplied = true
 	return nil
 }
 
 // ApplyAggregateAt is ApplyAggregate guarded by an epoch check performed
 // under the point's lock: the merge happens only if the point is still in
 // epoch k. Returns ErrStaleEpoch otherwise (the push missed the round-trip
-// bound and must be dropped, not merged into the wrong window).
+// bound and must be dropped, not merged into the wrong window), and
+// ErrDuplicatePush if this epoch's aggregate was already merged (a
+// reconnect re-push).
 func (p *SpreadPoint[S]) ApplyAggregateAt(k int64, agg S) error {
+	return p.applyAggregateAt(k, agg, -1)
+}
+
+// ApplyAggregateCovAt is ApplyAggregateAt carrying the aggregate's
+// coverage: how many point-epoch uploads the center actually joined into
+// it. Queries answered from the window this aggregate lands in report that
+// coverage (QueryWithCoverage).
+func (p *SpreadPoint[S]) ApplyAggregateCovAt(k int64, agg S, merged int) error {
+	return p.applyAggregateAt(k, agg, merged)
+}
+
+func (p *SpreadPoint[S]) applyAggregateAt(k int64, agg S, merged int) error {
 	if isNilSketch(agg) {
 		return nil
 	}
@@ -291,14 +397,20 @@ func (p *SpreadPoint[S]) ApplyAggregateAt(k int64, agg S) error {
 	if p.epoch != k {
 		return ErrStaleEpoch
 	}
+	if p.aggApplied {
+		return ErrDuplicatePush
+	}
 	if err := p.cp.MergeMax(agg); err != nil {
 		return fmt.Errorf("spread point %d: apply aggregate: %w", p.id, err)
 	}
+	p.aggApplied = true
+	p.covMerged = merged
 	return nil
 }
 
 // ApplyEnhancementAt is ApplyEnhancement guarded by an epoch check under
-// the point's lock.
+// the point's lock, with the same duplicate-push guard as
+// ApplyAggregateAt.
 func (p *SpreadPoint[S]) ApplyEnhancementAt(k int64, enh S) error {
 	if isNilSketch(enh) {
 		return nil
@@ -308,9 +420,13 @@ func (p *SpreadPoint[S]) ApplyEnhancementAt(k int64, enh S) error {
 	if p.epoch != k {
 		return ErrStaleEpoch
 	}
+	if p.enhApplied {
+		return ErrDuplicatePush
+	}
 	if err := p.c.MergeMax(enh); err != nil {
 		return fmt.Errorf("spread point %d: apply enhancement: %w", p.id, err)
 	}
+	p.enhApplied = true
 	return nil
 }
 

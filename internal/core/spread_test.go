@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -297,8 +298,19 @@ func TestSpreadCenterReceiveErrors(t *testing.T) {
 	if err := center.Receive(0, 1, rskt.New(params)); err != nil {
 		t.Fatal(err)
 	}
-	if err := center.Receive(0, 1, rskt.New(params)); err == nil {
-		t.Fatal("expected duplicate-upload error")
+	if err := center.Receive(0, 1, rskt.New(params)); !errors.Is(err, ErrDuplicateUpload) {
+		t.Fatalf("duplicate upload: got %v, want ErrDuplicateUpload", err)
+	}
+	// Spread uploads are independent per epoch: late, out-of-order arrivals
+	// fill window holes instead of erroring.
+	if err := center.Receive(0, 4, rskt.New(params)); err != nil {
+		t.Fatal(err)
+	}
+	if err := center.Receive(0, 2, rskt.New(params)); err != nil {
+		t.Fatal(err)
+	}
+	if got := center.LastEpoch(0); got != 4 {
+		t.Fatalf("LastEpoch = %d, want 4", got)
 	}
 }
 

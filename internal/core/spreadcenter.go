@@ -19,6 +19,9 @@ type SpreadCenter[S SpreadSketch[S]] struct {
 	// uploads[point][epoch] is the B sketch point uploaded at that epoch's
 	// end. Old epochs are trimmed once outside every window.
 	uploads map[int]map[int64]S
+	// lastEpoch[point] is the most recent epoch the point uploaded; the
+	// transport layer uses it to resynchronize reconnecting points.
+	lastEpoch map[int]int64
 }
 
 // NewSpreadCenterOf creates a center for a cluster whose points use the
@@ -56,10 +59,11 @@ func NewSpreadCenterOf[S SpreadSketch[S]](windowN int, protos map[int]S) (*Sprea
 		}
 	}
 	c := &SpreadCenter[S]{
-		windowN: windowN,
-		protos:  make(map[int]S, len(protos)),
-		wMax:    wMax,
-		uploads: make(map[int]map[int64]S, len(protos)),
+		windowN:   windowN,
+		protos:    make(map[int]S, len(protos)),
+		wMax:      wMax,
+		uploads:   make(map[int]map[int64]S, len(protos)),
+		lastEpoch: make(map[int]int64, len(protos)),
 	}
 	for id, p := range protos {
 		c.protos[id] = p.Clone()
@@ -82,6 +86,10 @@ func NewSpreadCenter(windowN int, points map[int]rskt.Params) (*SpreadCenter[*rs
 }
 
 // Receive stores the B sketch that point uploaded at the end of epoch.
+// Per-epoch spread uploads are independent, so degraded sequences are
+// tolerated rather than fatal: a duplicate epoch is dropped idempotently
+// (ErrDuplicateUpload), and a late upload that arrives out of order fills
+// its window hole and improves future joins' coverage.
 func (c *SpreadCenter[S]) Receive(point int, epoch int64, b S) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -94,11 +102,56 @@ func (c *SpreadCenter[S]) Receive(point int, epoch int64, b S) error {
 		return fmt.Errorf("core: upload from point %d does not match its declared sketch", point)
 	}
 	if _, dup := per[epoch]; dup {
-		return fmt.Errorf("core: duplicate upload from point %d for epoch %d", point, epoch)
+		return ErrDuplicateUpload
 	}
 	per[epoch] = b
-	c.trimLocked(epoch)
+	if epoch > c.lastEpoch[point] {
+		c.lastEpoch[point] = epoch
+	}
+	c.trimLocked(c.lastEpoch[point])
 	return nil
+}
+
+// LastEpoch returns the most recent epoch the point has uploaded (0 if
+// none).
+func (c *SpreadCenter[S]) LastEpoch(point int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastEpoch[point]
+}
+
+// MaxEpoch returns the most recent epoch any point has uploaded (0 if
+// none) — the cluster's epoch clock as the center sees it.
+func (c *SpreadCenter[S]) MaxEpoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m int64
+	for _, e := range c.lastEpoch {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// CoverageFor counts, for the aggregate pushed during epoch k, how many
+// point-epoch uploads the center actually holds in the eq. (5) join range
+// versus how many a fully healthy window would contribute.
+func (c *SpreadCenter[S]) CoverageFor(k int64) (merged, expected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first, last, ok := aggregateSpan(k, c.windowN)
+	if !ok {
+		return 0, 0
+	}
+	for _, per := range c.uploads {
+		for e := first; e <= last; e++ {
+			if _, ok := per[e]; ok {
+				merged++
+			}
+		}
+	}
+	return merged, len(c.uploads) * int(last-first+1)
 }
 
 // trimLocked drops uploads too old to contribute to any future join.

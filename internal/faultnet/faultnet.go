@@ -1,0 +1,442 @@
+// Package faultnet is an in-memory network fabric for deterministic
+// fault-injection tests of the center↔point protocol. It provides a
+// net.Listener and dialers whose connections are plain in-process byte
+// pipes, plus scriptable fault controls that act at message boundaries:
+//
+//   - Link.Cut severs a point's current connection (both directions fail
+//     like a reset TCP connection, buffered bytes are discarded);
+//   - Link.HoldPushes / Link.HoldUploads stall one direction without
+//     dropping it (slow-link injection) until the matching Release;
+//   - Link.FailDials makes the next k redial attempts fail;
+//   - Network.Partition takes the center off the network (dials fail,
+//     existing connections are cut) until Network.Heal.
+//
+// Because every fault is triggered explicitly by the test between protocol
+// steps — never by a timer — each failure scenario is reproducible
+// byte-for-byte and clean under the race detector. The seeded Rand lets a
+// test script derive fault schedules (which epoch to drop, which point to
+// restart) that are random-looking but fixed for a given seed.
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCut is returned by reads and writes on a connection severed by fault
+// injection (Link.Cut, Network.Partition), mimicking a reset connection.
+var ErrCut = errors.New("faultnet: connection cut by fault injection")
+
+// ErrDown is returned by dials while the center is unreachable
+// (Network.Partition or Link.FailDials).
+var ErrDown = errors.New("faultnet: center unreachable")
+
+type fakeAddr string
+
+func (a fakeAddr) Network() string { return "faultnet" }
+func (a fakeAddr) String() string  { return string(a) }
+
+// buffer is one direction of a connection pair: an unbounded byte queue
+// with graceful-close, cut and hold states.
+type buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool // graceful close: readers drain, then EOF; writers fail
+	cut    bool // fault: both sides fail immediately, queued bytes dropped
+	held   bool // slow link: readers stall until released
+}
+
+func newBuffer() *buffer {
+	b := &buffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *buffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.cut {
+			return 0, ErrCut
+		}
+		if !b.held {
+			if len(b.data) > 0 {
+				n := copy(p, b.data)
+				b.data = b.data[n:]
+				return n, nil
+			}
+			if b.closed {
+				return 0, io.EOF
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *buffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cut {
+		return 0, ErrCut
+	}
+	if b.closed {
+		return 0, net.ErrClosed
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *buffer) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *buffer) doCut() {
+	b.mu.Lock()
+	b.cut = true
+	b.data = nil
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *buffer) hold(h bool) {
+	b.mu.Lock()
+	b.held = h
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// pair is one logical connection: the two directional buffers shared by
+// its endpoints.
+type pair struct {
+	up   *buffer // client (point) → server (center)
+	down *buffer // server (center) → client (point)
+}
+
+func (p *pair) cut() {
+	p.up.doCut()
+	p.down.doCut()
+}
+
+// Conn is one endpoint of an in-memory connection. It implements net.Conn;
+// deadlines are accepted and ignored (the harness never relies on timers).
+type Conn struct {
+	rb, wb        *buffer
+	local, remote fakeAddr
+	closed        atomic.Bool
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	n, err := c.rb.read(p)
+	if err != nil && c.closed.Load() {
+		err = net.ErrClosed
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	n, err := c.wb.write(p)
+	if err != nil && c.closed.Load() {
+		err = net.ErrClosed
+	}
+	return n, err
+}
+
+// Close implements net.Conn: the peer drains buffered bytes and then sees
+// EOF; further operations on this endpoint fail with net.ErrClosed.
+func (c *Conn) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		c.wb.close()
+		c.rb.close()
+	}
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn as a no-op.
+func (c *Conn) SetDeadline(t time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn as a no-op.
+func (c *Conn) SetReadDeadline(t time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// Listener is the center's in-memory accept queue. It implements
+// net.Listener and plugs into transport.CenterConfig.Listener.
+type Listener struct {
+	addr   fakeAddr
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Conn
+	closed bool
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.queue) == 0 {
+		return nil, net.ErrClosed
+	}
+	c := l.queue[0]
+	l.queue = l.queue[1:]
+	return c, nil
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// Network is one test's fabric: a single center listener, any number of
+// point links, and global partition control.
+type Network struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	lis   *Listener
+	pairs []*pair
+	down  bool
+	seq   int
+}
+
+// New creates a fabric whose Rand is seeded deterministically.
+func New(seed int64) *Network {
+	return &Network{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the fabric's seeded source for scripting fault schedules.
+// It is not safe for concurrent use; call it from the test goroutine only.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Listen creates the center's listener. It may be called once per Network.
+func (n *Network) Listen() *Listener {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.lis != nil {
+		panic("faultnet: Listen called twice")
+	}
+	l := &Listener{addr: "faultnet:center"}
+	l.cond = sync.NewCond(&l.mu)
+	n.lis = l
+	return l
+}
+
+// Dial opens a raw connection to the center listener. The addr argument is
+// ignored (there is one listener); it exists so the method satisfies
+// transport.PointConfig.Dial directly.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	c, _, err := n.dial()
+	return c, err
+}
+
+// dial builds a connection pair, queues the server end on the listener and
+// returns the client end plus the pair handle for fault control.
+func (n *Network) dial() (*Conn, *pair, error) {
+	n.mu.Lock()
+	if n.down {
+		n.mu.Unlock()
+		return nil, nil, ErrDown
+	}
+	l := n.lis
+	if l == nil {
+		n.mu.Unlock()
+		return nil, nil, errors.New("faultnet: dial before Listen")
+	}
+	n.seq++
+	id := n.seq
+	n.mu.Unlock()
+
+	p := &pair{up: newBuffer(), down: newBuffer()}
+	client := &Conn{rb: p.down, wb: p.up,
+		local: fakeAddr("faultnet:point-" + itoa(id)), remote: "faultnet:center"}
+	server := &Conn{rb: p.up, wb: p.down,
+		local: "faultnet:center", remote: fakeAddr("faultnet:point-" + itoa(id))}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, nil, ErrDown
+	}
+	l.queue = append(l.queue, server)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	n.mu.Lock()
+	n.pairs = append(n.pairs, p)
+	n.mu.Unlock()
+	return client, p, nil
+}
+
+// Partition takes the center off the network: existing connections are cut
+// and dials fail with ErrDown until Heal.
+func (n *Network) Partition() {
+	n.mu.Lock()
+	n.down = true
+	pairs := append([]*pair(nil), n.pairs...)
+	n.mu.Unlock()
+	for _, p := range pairs {
+		p.cut()
+	}
+}
+
+// Heal restores dialing after a Partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.down = false
+	n.mu.Unlock()
+}
+
+// CutAll severs every live connection without taking the center down:
+// immediate redials succeed.
+func (n *Network) CutAll() {
+	n.mu.Lock()
+	pairs := append([]*pair(nil), n.pairs...)
+	n.mu.Unlock()
+	for _, p := range pairs {
+		p.cut()
+	}
+}
+
+// Link returns one point's attachment to the fabric: a dialer for
+// transport.PointConfig.Dial plus fault controls scoped to that point's
+// most recent connection.
+func (n *Network) Link() *Link {
+	return &Link{n: n}
+}
+
+// Link is a per-point dialer with connection-scoped fault controls.
+type Link struct {
+	n         *Network
+	mu        sync.Mutex
+	cur       *pair
+	failDials int
+	dials     int
+}
+
+// Dial satisfies transport.PointConfig.Dial.
+func (l *Link) Dial(addr string) (net.Conn, error) {
+	l.mu.Lock()
+	if l.failDials > 0 {
+		l.failDials--
+		l.mu.Unlock()
+		return nil, ErrDown
+	}
+	l.mu.Unlock()
+	c, p, err := l.n.dial()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.cur = p
+	l.dials++
+	l.mu.Unlock()
+	return c, nil
+}
+
+// Dials reports how many connections this link has established.
+func (l *Link) Dials() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dials
+}
+
+// FailDials makes the next k dial attempts fail with ErrDown, modelling a
+// point whose route to the center flaps during reconnection.
+func (l *Link) FailDials(k int) {
+	l.mu.Lock()
+	l.failDials = k
+	l.mu.Unlock()
+}
+
+// Cut severs the point's current connection at a message boundary. Both
+// endpoints fail with ErrCut; bytes in flight (including held pushes) are
+// discarded, which is how a test drops an upload or a push on the floor.
+func (l *Link) Cut() {
+	if p := l.current(); p != nil {
+		p.cut()
+	}
+}
+
+// HoldPushes stalls the center→point direction: pushes queue up in the
+// fabric instead of reaching the point (slow link). Cut discards them;
+// ReleasePushes delivers them.
+func (l *Link) HoldPushes() {
+	if p := l.current(); p != nil {
+		p.down.hold(true)
+	}
+}
+
+// ReleasePushes ends a HoldPushes stall and delivers queued pushes.
+func (l *Link) ReleasePushes() {
+	if p := l.current(); p != nil {
+		p.down.hold(false)
+	}
+}
+
+// HoldUploads stalls the point→center direction; the point's writes still
+// succeed locally (the fabric buffers them), modelling a slow uplink.
+func (l *Link) HoldUploads() {
+	if p := l.current(); p != nil {
+		p.up.hold(true)
+	}
+}
+
+// ReleaseUploads ends a HoldUploads stall and delivers queued uploads.
+func (l *Link) ReleaseUploads() {
+	if p := l.current(); p != nil {
+		p.up.hold(false)
+	}
+}
+
+func (l *Link) current() *pair {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cur
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -19,6 +19,9 @@ import (
 type CenterConfig struct {
 	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
 	Addr string
+	// Listener, if set, is used instead of listening on Addr. Fault
+	// harnesses (internal/faultnet) inject in-memory listeners here.
+	Listener net.Listener
 	// Kind selects the size or spread design.
 	Kind Kind
 	// WindowN is the paper's n.
@@ -46,10 +49,15 @@ type CenterServer struct {
 	size   *core.SizeCenter
 
 	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on every counter change (Wait* helpers)
 	conns    map[int]*pointConn
 	received map[int64]int // uploads seen per epoch
 	uploads  int64
 	rounds   int64
+	dups     int64
+	gaps     int64
+	repushes int64
+	lastPush int64 // most recent ForEpoch pushed (0 = none yet)
 	closed   bool
 
 	wg sync.WaitGroup
@@ -68,6 +76,12 @@ func (pc *pointConn) push(p Push) error {
 	return pc.enc.Encode(p)
 }
 
+func (pc *pointConn) send(v any) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.enc.Encode(v)
+}
+
 // ServeCenter starts a measurement center listening on cfg.Addr. The
 // returned server runs until Close.
 func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
@@ -79,6 +93,7 @@ func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
 		conns:    make(map[int]*pointConn),
 		received: make(map[int64]int),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	switch cfg.Kind {
 	case KindSpread:
 		params := make(map[int]rskt.Params, len(cfg.Widths))
@@ -103,9 +118,12 @@ func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
 	default:
 		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen: %w", err)
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		if ln, err = net.Listen("tcp", cfg.Addr); err != nil {
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
 	}
 	s.ln = ln
 	s.wg.Add(1)
@@ -124,6 +142,13 @@ type CenterStats struct {
 	UploadsReceived int64
 	// RoundsPushed is the number of completed ST-join rounds pushed out.
 	RoundsPushed int64
+	// UploadsDuplicate counts retransmitted uploads dropped idempotently.
+	UploadsDuplicate int64
+	// UploadsGap counts cumulative-mode uploads dropped after an epoch
+	// gap, pending a rebase (core.ErrUploadGap).
+	UploadsGap int64
+	// Repushes counts current-round pushes re-sent to reconnecting points.
+	Repushes int64
 }
 
 // Stats returns a snapshot of the center's counters.
@@ -131,10 +156,44 @@ func (s *CenterServer) Stats() CenterStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return CenterStats{
-		ConnectedPoints: len(s.conns),
-		UploadsReceived: s.uploads,
-		RoundsPushed:    s.rounds,
+		ConnectedPoints:  len(s.conns),
+		UploadsReceived:  s.uploads,
+		RoundsPushed:     s.rounds,
+		UploadsDuplicate: s.dups,
+		UploadsGap:       s.gaps,
+		Repushes:         s.repushes,
 	}
+}
+
+// WaitUploads blocks until the center has ingested (or idempotently
+// dropped) at least n uploads, or the center closes. It returns the
+// condition's truth at return time, giving deterministic tests a
+// synchronization point that needs no sleeping.
+func (s *CenterServer) WaitUploads(n int64) bool {
+	return s.waitCond(func() bool { return s.uploads+s.dups+s.gaps >= n })
+}
+
+// WaitRounds blocks until at least n ST-join rounds have been pushed, or
+// the center closes.
+func (s *CenterServer) WaitRounds(n int64) bool {
+	return s.waitCond(func() bool { return s.rounds >= n })
+}
+
+// WaitConnected blocks until exactly n points are connected, or the
+// center closes.
+func (s *CenterServer) WaitConnected(n int) bool {
+	return s.waitCond(func() bool { return len(s.conns) == n })
+}
+
+// waitCond blocks on the stats condition variable until cond (evaluated
+// under s.mu) holds or the center closes.
+func (s *CenterServer) waitCond(cond func() bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !cond() && !s.closed {
+		s.cond.Wait()
+	}
+	return cond()
 }
 
 // Close stops the server and drops all point connections.
@@ -145,6 +204,7 @@ func (s *CenterServer) Close() error {
 	for _, pc := range s.conns {
 		conns = append(conns, pc)
 	}
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	err := s.ln.Close()
 	for _, pc := range conns {
@@ -177,8 +237,17 @@ func (s *CenterServer) isClosed() bool {
 	return s.closed
 }
 
-func (s *CenterServer) handle(conn net.Conn) error {
+func (s *CenterServer) handle(conn net.Conn) (err error) {
 	defer conn.Close()
+	// A malformed message must never take the whole center down: the
+	// decode and unmarshal paths below return errors on everything the
+	// fuzzers generate, and this guard turns any survivor panic into a
+	// dropped connection.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic handling connection: %v", r)
+		}
+	}()
 	dec := gob.NewDecoder(conn)
 	var hello Hello
 	if err := dec.Decode(&hello); err != nil {
@@ -189,6 +258,9 @@ func (s *CenterServer) handle(conn net.Conn) error {
 		return fmt.Errorf("hello mismatch from point %d: %+v", hello.Point, hello)
 	}
 	pc := &pointConn{point: hello.Point, conn: conn, enc: gob.NewEncoder(conn)}
+	if err := pc.send(s.welcomeFor(hello.Point)); err != nil {
+		return fmt.Errorf("send welcome to point %d: %w", hello.Point, err)
+	}
 	s.mu.Lock()
 	if old, dup := s.conns[hello.Point]; dup {
 		// Connection takeover: a reconnecting point (agent restart, NAT
@@ -197,6 +269,8 @@ func (s *CenterServer) handle(conn net.Conn) error {
 		_ = old.conn.Close()
 	}
 	s.conns[hello.Point] = pc
+	lastPush := s.lastPush
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -205,8 +279,23 @@ func (s *CenterServer) handle(conn net.Conn) error {
 		if s.conns[hello.Point] == pc {
 			delete(s.conns, hello.Point)
 		}
+		s.cond.Broadcast()
 		s.mu.Unlock()
 	}()
+
+	// Re-push the current round so a point reconnecting mid-epoch does not
+	// lose the aggregate it missed while away. The point drops it if it is
+	// stale or already merged (ErrStaleEpoch / ErrDuplicatePush).
+	if lastPush > 0 {
+		if err := s.pushTo(pc, lastPush); err != nil {
+			s.cfg.Logf("transport: re-push to point %d: %v", hello.Point, err)
+		} else {
+			s.mu.Lock()
+			s.repushes++
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
 
 	for {
 		var up Upload
@@ -225,41 +314,140 @@ func (s *CenterServer) handle(conn net.Conn) error {
 	}
 }
 
+// welcomeFor builds the handshake reply for one point from the center's
+// view of the epoch clock.
+func (s *CenterServer) welcomeFor(point int) Welcome {
+	w := Welcome{WindowN: s.cfg.WindowN, Points: len(s.cfg.Widths)}
+	switch s.cfg.Kind {
+	case KindSpread:
+		w.ResumeEpoch = s.spread.MaxEpoch() + 1
+		w.PointEpoch = s.spread.LastEpoch(point)
+	case KindSize:
+		w.ResumeEpoch = s.size.MaxEpoch() + 1
+		w.PointEpoch = s.size.LastEpoch(point)
+	}
+	return w
+}
+
 // ingest stores one upload and, once every point reported the epoch,
-// computes and pushes the aggregates for the next epoch.
+// computes and pushes the aggregates for the next epoch. Duplicate
+// uploads (retransmits after a redial) and post-gap uploads awaiting a
+// rebase are counted and dropped without killing the connection.
 func (s *CenterServer) ingest(up Upload) error {
+	var rcvErr error
 	switch s.cfg.Kind {
 	case KindSpread:
 		var sk rskt.Sketch
 		if err := sk.UnmarshalBinary(up.Sketch); err != nil {
 			return fmt.Errorf("point %d epoch %d: %w", up.Point, up.Epoch, err)
 		}
-		if err := s.spread.Receive(up.Point, up.Epoch, &sk); err != nil {
-			return err
-		}
+		rcvErr = s.spread.Receive(up.Point, up.Epoch, &sk)
 	case KindSize:
 		var sk countmin.Sketch
 		if err := sk.UnmarshalBinary(up.Sketch); err != nil {
 			return fmt.Errorf("point %d epoch %d: %w", up.Point, up.Epoch, err)
 		}
-		if err := s.size.Receive(up.Point, up.Epoch, &sk); err != nil {
-			return err
+		meta := core.UploadMeta{
+			Epoch:      up.Epoch,
+			AggApplied: up.AggApplied,
+			EnhApplied: up.EnhApplied,
+			Rebase:     up.Rebase,
 		}
+		rcvErr = s.size.ReceiveMeta(up.Point, up.Epoch, &sk, meta)
 	}
 
 	s.mu.Lock()
-	s.uploads++
+	switch {
+	case errors.Is(rcvErr, core.ErrDuplicateUpload):
+		// Idempotent drop: the point retransmitted after a redial but the
+		// first copy had already arrived. No round progress.
+		s.dups++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil
+	case errors.Is(rcvErr, core.ErrUploadGap):
+		// Cumulative chain broke; the payload was dropped but the point's
+		// epoch clock advanced, so the round still counts it as reported.
+		s.gaps++
+	case rcvErr != nil:
+		s.mu.Unlock()
+		return rcvErr
+	default:
+		s.uploads++
+	}
 	s.received[up.Epoch]++
-	complete := s.received[up.Epoch] == len(s.cfg.Widths)
+	complete := s.received[up.Epoch] >= len(s.cfg.Widths)
 	if complete {
 		delete(s.received, up.Epoch)
-		s.rounds++
 	}
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	if complete {
 		return s.pushRound(up.Epoch + 1)
 	}
 	return nil
+}
+
+// buildPush assembles one point's Push for the given epoch, stamping the
+// aggregate's window coverage.
+func (s *CenterServer) buildPush(point int, forEpoch int64) (Push, error) {
+	push := Push{ForEpoch: forEpoch}
+	switch s.cfg.Kind {
+	case KindSpread:
+		agg, err := s.spread.AggregateFor(point, forEpoch)
+		if err != nil {
+			return push, err
+		}
+		if agg != nil {
+			if push.Aggregate, err = agg.MarshalBinary(); err != nil {
+				return push, err
+			}
+		}
+		if s.cfg.Enhance {
+			enh, err := s.spread.EnhancementFor(point, forEpoch)
+			if err != nil {
+				return push, err
+			}
+			if enh != nil {
+				if push.Enhancement, err = enh.MarshalBinary(); err != nil {
+					return push, err
+				}
+			}
+		}
+		push.CovMerged, push.CovExpected = s.spread.CoverageFor(forEpoch)
+	case KindSize:
+		agg, err := s.size.AggregateFor(point, forEpoch)
+		if err != nil {
+			return push, err
+		}
+		if agg != nil {
+			if push.Aggregate, err = agg.MarshalBinary(); err != nil {
+				return push, err
+			}
+		}
+		if s.cfg.Enhance {
+			enh, err := s.size.EnhancementFor(point, forEpoch)
+			if err != nil {
+				return push, err
+			}
+			if enh != nil {
+				if push.Enhancement, err = enh.MarshalBinary(); err != nil {
+					return push, err
+				}
+			}
+		}
+		push.CovMerged, push.CovExpected = s.size.CoverageFor(forEpoch)
+	}
+	return push, nil
+}
+
+// pushTo sends one point its Push for forEpoch.
+func (s *CenterServer) pushTo(pc *pointConn, forEpoch int64) error {
+	push, err := s.buildPush(pc.point, forEpoch)
+	if err != nil {
+		return err
+	}
+	return pc.push(push)
 }
 
 // pushRound computes and sends each point's aggregate (and enhancement)
@@ -272,54 +460,16 @@ func (s *CenterServer) pushRound(forEpoch int64) error {
 	}
 	s.mu.Unlock()
 	for _, pc := range conns {
-		push := Push{ForEpoch: forEpoch}
-		switch s.cfg.Kind {
-		case KindSpread:
-			agg, err := s.spread.AggregateFor(pc.point, forEpoch)
-			if err != nil {
-				return err
-			}
-			if agg != nil {
-				if push.Aggregate, err = agg.MarshalBinary(); err != nil {
-					return err
-				}
-			}
-			if s.cfg.Enhance {
-				enh, err := s.spread.EnhancementFor(pc.point, forEpoch)
-				if err != nil {
-					return err
-				}
-				if enh != nil {
-					if push.Enhancement, err = enh.MarshalBinary(); err != nil {
-						return err
-					}
-				}
-			}
-		case KindSize:
-			agg, err := s.size.AggregateFor(pc.point, forEpoch)
-			if err != nil {
-				return err
-			}
-			if agg != nil {
-				if push.Aggregate, err = agg.MarshalBinary(); err != nil {
-					return err
-				}
-			}
-			if s.cfg.Enhance {
-				enh, err := s.size.EnhancementFor(pc.point, forEpoch)
-				if err != nil {
-					return err
-				}
-				if enh != nil {
-					if push.Enhancement, err = enh.MarshalBinary(); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		if err := pc.push(push); err != nil {
+		if err := s.pushTo(pc, forEpoch); err != nil {
 			s.cfg.Logf("transport: push to point %d: %v", pc.point, err)
 		}
 	}
+	s.mu.Lock()
+	if forEpoch > s.lastPush {
+		s.lastPush = forEpoch
+	}
+	s.rounds++
+	s.cond.Broadcast()
+	s.mu.Unlock()
 	return nil
 }

@@ -4,10 +4,14 @@
 // are exactly what Table I charges them for).
 //
 // Wire protocol: every point opens one TCP connection to the center and
-// sends a Hello followed by one Upload per epoch, gob-encoded. The center
-// answers with Push messages carrying the ST-join aggregate (and the
-// optional enhancement) for the epoch in progress. Sketch payloads travel
-// as their compact binary encodings, not as gob structures.
+// sends a Hello, receives a Welcome (topology and epoch resync), then
+// sends one Upload per epoch, gob-encoded. The center answers with Push
+// messages carrying the ST-join aggregate (and the optional enhancement)
+// for the epoch in progress, plus the aggregate's window coverage. Sketch
+// payloads travel as their compact binary encodings, not as gob
+// structures. Golden encodings of every message live in testdata/golden
+// (see golden_test.go): a change that breaks point↔center version
+// compatibility fails those tests loudly.
 package transport
 
 // Kind discriminates the two designs on the wire.
@@ -30,18 +34,48 @@ type Hello struct {
 	W int
 }
 
-// Upload carries one epoch's measurement from a point to the center.
+// Welcome is the center's reply to a Hello. It tells the point the
+// cluster's shape (for Coverage accounting) and where to rejoin the epoch
+// clock after a restart or a long outage.
+type Welcome struct {
+	// WindowN is the paper's n; Points is the cluster's point count.
+	WindowN int
+	Points  int
+	// ResumeEpoch is the cluster's current epoch as the center sees it
+	// (max uploaded epoch + 1). A point whose local epoch is behind (a
+	// stateless restart) fast-forwards to it.
+	ResumeEpoch int64
+	// PointEpoch is the last epoch the center ingested from this point
+	// (0 if none). The point compares it against its retransmit buffer to
+	// decide whether the center lost epochs and a rebase upload is needed
+	// (cumulative size design).
+	PointEpoch int64
+}
+
+// Upload carries one epoch's measurement from a point to the center. The
+// flags mirror core.UploadMeta: they tell the center which of its pushes
+// the uploaded sketch's lineage actually absorbed, so the flow-size
+// design's cumulative recovery subtracts exactly what was merged even
+// when pushes were lost, and Rebase marks a chain-reseeding C' upload.
 type Upload struct {
-	Point  int
-	Epoch  int64
-	Sketch []byte
+	Point      int
+	Epoch      int64
+	Sketch     []byte
+	AggApplied bool
+	EnhApplied bool
+	Rebase     bool
 }
 
 // Push carries the center's ST-join result back to one point. It must be
 // applied during epoch ForEpoch (the round-trip bound guarantees delivery
-// in time on a healthy deployment).
+// in time on a healthy deployment). CovMerged/CovExpected report how many
+// point-epoch uploads the aggregate actually joined versus how many a
+// fully healthy window would hold; the point surfaces the ratio as the
+// per-query Coverage.
 type Push struct {
 	ForEpoch    int64
 	Aggregate   []byte // empty while the window has no completed epochs
 	Enhancement []byte // empty unless the enhancement is enabled
+	CovMerged   int
+	CovExpected int
 }

@@ -24,6 +24,9 @@ type PointConfig struct {
 	// W, M, D, Seed are the sketch parameters (matching the center).
 	W, M, D int
 	Seed    uint64
+	// Dial, if set, replaces net.Dial for reaching the center. Fault
+	// harnesses (internal/faultnet) inject in-memory dialers here.
+	Dial func(addr string) (net.Conn, error)
 }
 
 // PointStats counts protocol events at a point.
@@ -34,10 +37,18 @@ type PointStats struct {
 	// epoch had already ended and were dropped (round-trip bound
 	// violated).
 	PushesLate int64
+	// PushesDuplicate is the number of pushes dropped because the target
+	// epoch's aggregate had already been merged (center re-push after a
+	// reconnect that the point did not actually miss).
+	PushesDuplicate int64
 	// UploadsRetried is the number of epoch uploads whose first
 	// transmission failed (connection down) and that were retransmitted
 	// after a successful Redial.
 	UploadsRetried int64
+	// UploadsDropped is the number of buffered epoch uploads discarded
+	// because the retransmit buffer exceeded one window (the center's
+	// sliding window can no longer use them).
+	UploadsDropped int64
 }
 
 // PointClient is a measurement point connected to a live center. Record
@@ -56,15 +67,33 @@ type PointClient struct {
 	// appends here first, then drains the buffer over the live
 	// connection. Uploads whose transmission failed stay buffered and are
 	// retransmitted after Redial, so epochs that end while the center is
-	// unreachable are no longer silently lost.
+	// unreachable are not silently lost. The buffer is capped at one
+	// window (n epochs): anything older falls outside every live ST-join,
+	// so buffering it only wastes memory during a long outage.
 	pending []pendingUpload
+	// windowN and points arrive in the center's Welcome.
+	windowN int
+	points  int
+	// needRebase marks that the cumulative chain at the center no longer
+	// matches this point's C lineage (restart, dropped uploads); the next
+	// EndEpoch sends a rebase upload to reseed it.
+	needRebase bool
 
 	spread *core.SpreadPoint[*rskt.Sketch]
 	size   *core.SizePoint
 
 	pushesApplied  atomic.Int64
 	pushesLate     atomic.Int64
+	pushesDup      atomic.Int64
 	uploadsRetried atomic.Int64
+	uploadsDropped atomic.Int64
+
+	// pushMu/pushCond let tests wait deterministically for the reader to
+	// process pushes (WaitPushes) without sleep-polling.
+	pushMu   sync.Mutex
+	pushCond *sync.Cond
+	pushSeen int64
+	closed   bool
 
 	errMu   sync.Mutex
 	lastErr error
@@ -81,6 +110,7 @@ type pendingUpload struct {
 // DialPoint connects a new measurement point to the center.
 func DialPoint(cfg PointConfig) (*PointClient, error) {
 	c := &PointClient{cfg: cfg}
+	c.pushCond = sync.NewCond(&c.pushMu)
 	switch cfg.Kind {
 	case KindSpread:
 		pt, err := core.NewSpreadPoint(cfg.Point, rskt.Params{W: cfg.W, M: cfg.M, Seed: cfg.Seed})
@@ -103,10 +133,14 @@ func DialPoint(cfg PointConfig) (*PointClient, error) {
 	return c, nil
 }
 
-// connect dials the center, sends the Hello and starts a reader. Callers
-// must not hold c.mu.
+// connect dials the center, performs the Hello↔Welcome handshake and
+// starts a reader. Callers must not hold c.mu.
 func (c *PointClient) connect() error {
-	conn, err := net.Dial("tcp", c.cfg.Addr)
+	dial := c.cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(c.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("transport: dial center: %w", err)
 	}
@@ -115,6 +149,13 @@ func (c *PointClient) connect() error {
 		conn.Close()
 		return fmt.Errorf("transport: send hello: %w", err)
 	}
+	dec := gob.NewDecoder(conn)
+	var welcome Welcome
+	if err := dec.Decode(&welcome); err != nil {
+		conn.Close()
+		return fmt.Errorf("transport: receive welcome: %w", err)
+	}
+	c.applyWelcome(welcome)
 	done := make(chan struct{})
 	c.mu.Lock()
 	c.conn = conn
@@ -122,13 +163,54 @@ func (c *PointClient) connect() error {
 	c.done = done
 	c.mu.Unlock()
 	c.setErr(nil)
-	go c.readLoop(conn, done)
+	go c.readLoop(dec, done)
 	// Retransmit epoch uploads buffered while disconnected, oldest
 	// first, so the center's window stays gap-free.
 	c.mu.Lock()
 	flushErr := c.flushPendingLocked()
 	c.mu.Unlock()
 	return flushErr
+}
+
+// applyWelcome resynchronizes the point with the center's view of the
+// cluster: topology for Coverage accounting, the epoch clock after a
+// restart, and — for the cumulative size design — whether the recovery
+// chain at the center can still be extended by replaying the retransmit
+// buffer or needs a rebase upload.
+func (c *PointClient) applyWelcome(w Welcome) {
+	advanced := false
+	if c.spread != nil {
+		c.spread.SetTopology(w.Points, w.WindowN)
+		if w.ResumeEpoch > c.spread.Epoch() {
+			c.spread.AdvanceTo(w.ResumeEpoch)
+			advanced = true
+		}
+	} else {
+		c.size.SetTopology(w.Points, w.WindowN)
+		if w.ResumeEpoch > c.size.Epoch() {
+			c.size.AdvanceTo(w.ResumeEpoch)
+			advanced = true
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.windowN = w.WindowN
+	c.points = w.Points
+	if c.size == nil {
+		return
+	}
+	// The chain survives the outage only if the next upload the center will
+	// see is exactly PointEpoch+1. A fast-forwarded epoch clock means the
+	// local C never held the chain the center has; a retransmit buffer
+	// whose oldest entry is past PointEpoch+1 means epochs were lost.
+	next := w.PointEpoch + 1
+	oldest := c.size.Epoch() // next upload's epoch when nothing is buffered
+	if len(c.pending) > 0 {
+		oldest = c.pending[0].up.Epoch
+	}
+	if advanced || oldest > next {
+		c.needRebase = true
+	}
 }
 
 // Redial reconnects to the center after a connection failure, preserving
@@ -193,6 +275,37 @@ func (c *PointClient) QuerySize(f uint64) (int64, error) {
 	return c.size.Query(f), nil
 }
 
+// QuerySpreadWithCoverage answers a networkwide spread T-query together
+// with the Coverage of the window the answer was computed over, taken
+// atomically with the estimate.
+func (c *PointClient) QuerySpreadWithCoverage(f uint64) (float64, core.Coverage, error) {
+	if c.spread == nil {
+		return 0, core.Coverage{}, errors.New("transport: point runs the size design")
+	}
+	v, cov := c.spread.QueryWithCoverage(f)
+	return v, cov, nil
+}
+
+// QuerySizeWithCoverage answers a networkwide size T-query together with
+// the Coverage of the window the answer was computed over, taken
+// atomically with the estimate.
+func (c *PointClient) QuerySizeWithCoverage(f uint64) (int64, core.Coverage, error) {
+	if c.size == nil {
+		return 0, core.Coverage{}, errors.New("transport: point runs the spread design")
+	}
+	v, cov := c.size.QueryWithCoverage(f)
+	return v, cov, nil
+}
+
+// Coverage reports the window coverage backing the point's current query
+// answers (epochs merged into C versus a healthy window's worth).
+func (c *PointClient) Coverage() core.Coverage {
+	if c.spread != nil {
+		return c.spread.Coverage()
+	}
+	return c.size.Coverage()
+}
+
 // Epoch returns the point's current epoch.
 func (c *PointClient) Epoch() int64 {
 	if c.spread != nil {
@@ -211,26 +324,61 @@ func (c *PointClient) EndEpoch() error {
 	var (
 		payload []byte
 		epoch   int64
+		meta    core.UploadMeta
 		err     error
 	)
 	if c.spread != nil {
 		epoch = c.spread.Epoch()
 		payload, err = c.spread.EndEpoch().MarshalBinary()
+		meta = core.UploadMeta{Epoch: epoch}
 	} else {
+		c.mu.Lock()
+		rebase := c.needRebase
+		c.needRebase = false
+		c.mu.Unlock()
 		epoch = c.size.Epoch()
-		payload, err = c.size.EndEpoch().MarshalBinary()
+		var sk *countmin.Sketch
+		sk, meta = c.size.EndEpochMeta(rebase)
+		payload, err = sk.MarshalBinary()
 	}
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.pending = append(c.pending, pendingUpload{up: Upload{Point: c.cfg.Point, Epoch: epoch, Sketch: payload}})
+	c.pending = append(c.pending, pendingUpload{up: Upload{
+		Point:      c.cfg.Point,
+		Epoch:      epoch,
+		Sketch:     payload,
+		AggApplied: meta.AggApplied,
+		EnhApplied: meta.EnhApplied,
+		Rebase:     meta.Rebase,
+	}})
+	c.capPendingLocked()
 	if err := c.getErr(); err != nil {
 		c.markPendingAttemptedLocked()
 		return fmt.Errorf("transport: connection failed: %w", err)
 	}
 	return c.flushPendingLocked()
+}
+
+// capPendingLocked bounds the retransmit buffer at one window of epochs.
+// Once the window has slid past an upload, no live ST-join can use it, so
+// buffering more than n epochs during an outage only delays memory
+// reclamation without improving recovery. Dropped uploads break the
+// cumulative size chain, so the next upload after a drop is a rebase.
+// Callers must hold c.mu.
+func (c *PointClient) capPendingLocked() {
+	capN := c.windowN
+	if capN <= 0 || len(c.pending) <= capN {
+		return
+	}
+	drop := len(c.pending) - capN
+	c.uploadsDropped.Add(int64(drop))
+	c.pending = append(c.pending[:0], c.pending[drop:]...)
+	if c.size != nil {
+		c.needRebase = true
+	}
 }
 
 // flushPendingLocked drains the pending-upload buffer over the live
@@ -262,10 +410,25 @@ func (c *PointClient) markPendingAttemptedLocked() {
 // Stats returns protocol event counters.
 func (c *PointClient) Stats() PointStats {
 	return PointStats{
-		PushesApplied:  c.pushesApplied.Load(),
-		PushesLate:     c.pushesLate.Load(),
-		UploadsRetried: c.uploadsRetried.Load(),
+		PushesApplied:   c.pushesApplied.Load(),
+		PushesLate:      c.pushesLate.Load(),
+		PushesDuplicate: c.pushesDup.Load(),
+		UploadsRetried:  c.uploadsRetried.Load(),
+		UploadsDropped:  c.uploadsDropped.Load(),
 	}
+}
+
+// WaitPushes blocks until the reader has processed (merged or
+// deliberately dropped) at least n pushes over the client's lifetime, or
+// the client closes. It gives deterministic tests a synchronization point
+// that needs no sleeping.
+func (c *PointClient) WaitPushes(n int64) bool {
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	for c.pushSeen < n && !c.closed {
+		c.pushCond.Wait()
+	}
+	return c.pushSeen >= n
 }
 
 // Close drops the connection.
@@ -275,12 +438,16 @@ func (c *PointClient) Close() error {
 	c.mu.Unlock()
 	err := conn.Close()
 	<-done
+	c.pushMu.Lock()
+	c.closed = true
+	c.pushCond.Broadcast()
+	c.pushMu.Unlock()
 	return err
 }
 
-func (c *PointClient) readLoop(conn net.Conn, done chan struct{}) {
+// readLoop consumes the connection's decoder (already past the Welcome).
+func (c *PointClient) readLoop(dec *gob.Decoder, done chan struct{}) {
 	defer close(done)
-	dec := gob.NewDecoder(conn)
 	for {
 		var push Push
 		if err := dec.Decode(&push); err != nil {
@@ -306,7 +473,7 @@ func (c *PointClient) apply(push Push) error {
 			if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
 				return uerr
 			}
-			err = c.spread.ApplyAggregateAt(push.ForEpoch, &sk)
+			err = c.spread.ApplyAggregateCovAt(push.ForEpoch, &sk, push.CovMerged)
 		}
 		if err == nil && len(push.Enhancement) > 0 {
 			var sk rskt.Sketch
@@ -321,7 +488,7 @@ func (c *PointClient) apply(push Push) error {
 			if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
 				return uerr
 			}
-			err = c.size.ApplyAggregateAt(push.ForEpoch, &sk)
+			err = c.size.ApplyAggregateCovAt(push.ForEpoch, &sk, push.CovMerged)
 		}
 		if err == nil && len(push.Enhancement) > 0 {
 			var sk countmin.Sketch
@@ -331,13 +498,19 @@ func (c *PointClient) apply(push Push) error {
 			err = c.size.ApplyEnhancementAt(push.ForEpoch, &sk)
 		}
 	}
-	if errors.Is(err, core.ErrStaleEpoch) {
+	switch {
+	case errors.Is(err, core.ErrStaleEpoch):
 		c.pushesLate.Add(1)
-		return nil
-	}
-	if err != nil {
+	case errors.Is(err, core.ErrDuplicatePush):
+		c.pushesDup.Add(1)
+	case err != nil:
 		return err
+	default:
+		c.pushesApplied.Add(1)
 	}
-	c.pushesApplied.Add(1)
+	c.pushMu.Lock()
+	c.pushSeen++
+	c.pushCond.Broadcast()
+	c.pushMu.Unlock()
 	return nil
 }

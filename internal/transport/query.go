@@ -7,6 +7,8 @@ import (
 	"math"
 	"net"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // The baseline peer-query RPC: a persistent TCP connection carrying fixed
@@ -14,17 +16,37 @@ import (
 // One request is in flight at a time per connection, which is exactly the
 // access pattern of a baseline answering a networkwide query — and the
 // round trip it pays per peer is the cost Table I measures.
+//
+// Coverage extension: the reserved flow label covMagic (all ones — never a
+// real flow) prefixes a 16-byte request [magic, flow] whose response is 24
+// bytes [estimate, epochs merged, epochs expected]. Plain 8-byte requests
+// keep their 8-byte responses, so old clients interoperate with new
+// servers unchanged.
+
+// covMagic is the reserved flow label that upgrades one request to the
+// coverage-carrying form.
+const covMagic = ^uint64(0)
 
 // QueryServer serves windowed query answers for one local sketch.
 type QueryServer struct {
 	ln      net.Listener
-	handler func(flow uint64) float64
+	handler func(flow uint64) (float64, core.Coverage)
 	wg      sync.WaitGroup
 }
 
 // ServeQueries starts a query server on addr whose answers come from
-// handler. The handler must be safe for concurrent use.
+// handler. The handler must be safe for concurrent use. Coverage requests
+// are answered with a whole window (legacy handlers have no degradation
+// signal to report).
 func ServeQueries(addr string, handler func(flow uint64) float64) (*QueryServer, error) {
+	return ServeQueriesCov(addr, func(flow uint64) (float64, core.Coverage) {
+		return handler(flow), core.Coverage{}
+	})
+}
+
+// ServeQueriesCov is ServeQueries for handlers that report per-query
+// window coverage (graceful degradation under center or point faults).
+func ServeQueriesCov(addr string, handler func(flow uint64) (float64, core.Coverage)) (*QueryServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: query listen: %w", err)
@@ -56,15 +78,32 @@ func (s *QueryServer) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			var buf [8]byte
+			var buf [24]byte
 			for {
-				if _, err := io.ReadFull(conn, buf[:]); err != nil {
+				if _, err := io.ReadFull(conn, buf[:8]); err != nil {
 					return
 				}
-				flow := binary.LittleEndian.Uint64(buf[:])
-				v := s.handler(flow)
-				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-				if _, err := conn.Write(buf[:]); err != nil {
+				flow := binary.LittleEndian.Uint64(buf[:8])
+				if flow == covMagic {
+					// Coverage form: the real flow label follows the
+					// magic, and the response carries the window
+					// coverage alongside the estimate.
+					if _, err := io.ReadFull(conn, buf[:8]); err != nil {
+						return
+					}
+					flow = binary.LittleEndian.Uint64(buf[:8])
+					v, cov := s.handler(flow)
+					binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(v))
+					binary.LittleEndian.PutUint64(buf[8:16], uint64(cov.EpochsMerged))
+					binary.LittleEndian.PutUint64(buf[16:24], uint64(cov.EpochsExpected))
+					if _, err := conn.Write(buf[:]); err != nil {
+						return
+					}
+					continue
+				}
+				v, _ := s.handler(flow)
+				binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(v))
+				if _, err := conn.Write(buf[:8]); err != nil {
 					return
 				}
 			}
@@ -77,7 +116,7 @@ func (s *QueryServer) acceptLoop() {
 type QueryClient struct {
 	mu   sync.Mutex
 	conn net.Conn
-	buf  [8]byte
+	buf  [24]byte
 }
 
 // DialQuery connects to a peer's query server.
@@ -93,14 +132,37 @@ func DialQuery(addr string) (*QueryClient, error) {
 func (c *QueryClient) Query(f uint64) (float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	binary.LittleEndian.PutUint64(c.buf[:], f)
-	if _, err := c.conn.Write(c.buf[:]); err != nil {
+	binary.LittleEndian.PutUint64(c.buf[:8], f)
+	if _, err := c.conn.Write(c.buf[:8]); err != nil {
 		return 0, fmt.Errorf("transport: query write: %w", err)
 	}
-	if _, err := io.ReadFull(c.conn, c.buf[:]); err != nil {
+	if _, err := io.ReadFull(c.conn, c.buf[:8]); err != nil {
 		return 0, fmt.Errorf("transport: query read: %w", err)
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(c.buf[:])), nil
+	return math.Float64frombits(binary.LittleEndian.Uint64(c.buf[:8])), nil
+}
+
+// QueryCov fetches the peer's windowed estimate together with the window
+// coverage behind it. The peer must be a coverage-aware server
+// (ServeQueriesCov or newer ServeQueries); an old 8-byte-only server would
+// misread the magic prefix as a flow label.
+func (c *QueryClient) QueryCov(f uint64) (float64, core.Coverage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	binary.LittleEndian.PutUint64(c.buf[0:8], covMagic)
+	binary.LittleEndian.PutUint64(c.buf[8:16], f)
+	if _, err := c.conn.Write(c.buf[:16]); err != nil {
+		return 0, core.Coverage{}, fmt.Errorf("transport: query write: %w", err)
+	}
+	if _, err := io.ReadFull(c.conn, c.buf[:24]); err != nil {
+		return 0, core.Coverage{}, fmt.Errorf("transport: query read: %w", err)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.buf[0:8]))
+	cov := core.Coverage{
+		EpochsMerged:   int(binary.LittleEndian.Uint64(c.buf[8:16])),
+		EpochsExpected: int(binary.LittleEndian.Uint64(c.buf[16:24])),
+	}
+	return v, cov, nil
 }
 
 // QuerySpread implements baseline.SpreadPeer.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/countmin"
 	"repro/internal/rskt"
 	"repro/internal/vate"
@@ -213,19 +214,15 @@ func TestHelloMismatchDropsConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	// Wrong width: the center must drop the connection, which surfaces as
-	// an EndEpoch error on the client.
+	// Wrong width: the center drops the connection without sending a
+	// Welcome, so the handshake fails at dial time.
 	pc, err := DialPoint(PointConfig{
 		Addr: srv.Addr().String(), Point: 0, Kind: KindSize, W: 128, D: 4, Seed: 1,
 	})
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		pc.Close()
+		t.Fatal("expected dial to fail on hello mismatch")
 	}
-	defer pc.Close()
-	waitFor(t, "connection drop", func() bool {
-		pc.Record(1, 0)
-		return pc.EndEpoch() != nil
-	})
 }
 
 func TestQueryRPCRoundTrip(t *testing.T) {
@@ -255,6 +252,56 @@ func TestQueryRPCRoundTrip(t *testing.T) {
 	}
 	if v, err := qc.QuerySpread(21); err != nil || v != 42 {
 		t.Fatalf("QuerySpread = %v, %v", v, err)
+	}
+}
+
+func TestQueryRPCCoverage(t *testing.T) {
+	cov := core.Coverage{EpochsMerged: 5, EpochsExpected: 8}
+	srv, err := ServeQueriesCov("127.0.0.1:0", func(flow uint64) (float64, core.Coverage) {
+		return float64(flow) + 0.5, cov
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	qc, err := DialQuery(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+
+	// Plain and coverage requests interleave on one connection.
+	for f := uint64(0); f < 20; f++ {
+		if got, err := qc.Query(f); err != nil || got != float64(f)+0.5 {
+			t.Fatalf("Query(%d) = %v, %v", f, got, err)
+		}
+		got, gotCov, err := qc.QueryCov(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != float64(f)+0.5 || gotCov != cov {
+			t.Fatalf("QueryCov(%d) = %v, %+v", f, got, gotCov)
+		}
+	}
+
+	// A legacy handler served through ServeQueries answers coverage
+	// requests with a whole (empty-expected) window.
+	legacy, err := ServeQueries("127.0.0.1:0", func(flow uint64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	qc2, err := DialQuery(legacy.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc2.Close()
+	v, c2, err := qc2.QueryCov(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || !c2.Full() || c2.Fraction() != 1 {
+		t.Fatalf("legacy QueryCov = %v, %+v", v, c2)
 	}
 }
 
