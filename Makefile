@@ -9,9 +9,9 @@ GO ?= go
 # internal/*/testdata/fuzz seeds each run with protocol-shaped inputs.
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test test-race race fuzz-short bench-smoke bench
+.PHONY: check build vet test test-race race crash-test fuzz-short bench-smoke bench
 
-check: build vet race fuzz-short bench-smoke
+check: build vet race crash-test fuzz-short bench-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ test-race:
 race:
 	$(GO) test -race ./...
 
+# The crash-restart matrix: process-death scenarios against the durable
+# checkpoint store, plus the store's own corruption/fallback tests, all
+# under the race detector.
+crash-test:
+	$(GO) test -race -run '^TestFaultCrash' -count=1 ./internal/transport
+	$(GO) test -race ./internal/durable
+
 # Short fuzz pass over every decode surface a peer can reach: the protocol
 # streams (center- and point-side), the Push apply path, and the sketch
 # and trace binary decoders.
@@ -39,6 +46,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzPushApply$$' -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/rskt
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/countmin
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/durable
 	$(GO) test -run '^$$' -fuzz . -fuzztime $(FUZZTIME) ./internal/trace
 
 bench-smoke:

@@ -31,14 +31,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tqcenter", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:7070", "listen address")
-		kind    = fs.String("kind", "size", `design: "size" or "spread"`)
-		n       = fs.Int("n", 10, "epochs per window (the paper's n)")
-		widths  = fs.String("widths", "", "topology as id:width pairs, e.g. 0:1638,1:3276,2:6552")
-		m       = fs.Int("m", 128, "HLL registers per estimator (spread)")
-		d       = fs.Int("d", 4, "CountMin rows (size)")
-		seed    = fs.Uint64("seed", 42, "cluster-wide hash seed")
-		enhance = fs.Bool("enhance", false, "push the Section IV-D enhancement")
+		addr     = fs.String("addr", "127.0.0.1:7070", "listen address")
+		kind     = fs.String("kind", "size", `design: "size" or "spread"`)
+		n        = fs.Int("n", 10, "epochs per window (the paper's n)")
+		widths   = fs.String("widths", "", "topology as id:width pairs, e.g. 0:1638,1:3276,2:6552")
+		m        = fs.Int("m", 128, "HLL registers per estimator (spread)")
+		d        = fs.Int("d", 4, "CountMin rows (size)")
+		seed     = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		enhance  = fs.Bool("enhance", false, "push the Section IV-D enhancement")
+		ckptDir  = fs.String("checkpoint-dir", "", "write atomic checkpoints of the window store here and recover from them on restart")
+		ckptEvry = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,14 +50,16 @@ func run(args []string) error {
 		return err
 	}
 	srv, err := transport.ServeCenter(transport.CenterConfig{
-		Addr:    *addr,
-		Kind:    transport.Kind(*kind),
-		WindowN: *n,
-		Widths:  topo,
-		M:       *m,
-		D:       *d,
-		Seed:    *seed,
-		Enhance: *enhance,
+		Addr:            *addr,
+		Kind:            transport.Kind(*kind),
+		WindowN:         *n,
+		Widths:          topo,
+		M:               *m,
+		D:               *d,
+		Seed:            *seed,
+		Enhance:         *enhance,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvry,
 	})
 	if err != nil {
 		return err
@@ -63,6 +67,12 @@ func run(args []string) error {
 	defer srv.Close()
 	fmt.Printf("tqcenter: %s design, n=%d, %d points, listening on %s\n",
 		*kind, *n, len(topo), srv.Addr())
+	if *ckptDir != "" {
+		if gen := srv.Stats().RestoredGeneration; gen > 0 {
+			fmt.Printf("tqcenter: recovered window from checkpoint generation %d\n", gen)
+		}
+		fmt.Printf("tqcenter: checkpointing to %s every %d round(s)\n", *ckptDir, max(*ckptEvry, 1))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/window"
@@ -59,6 +61,7 @@ func run(args []string) error {
 		queries   = fs.Int("queries", 3, "sample networkwide queries printed per epoch")
 		queryAddr = fs.String("query-addr", "", "also serve networkwide T-queries on this TCP address (see cmd/tqquery)")
 		stateFile = fs.String("state", "", "load protocol state from this file on start (if present) and save it on shutdown")
+		ckptDir   = fs.String("checkpoint-dir", "", "write an atomic checkpoint every epoch and recover from it on restart (supersedes -state)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,12 +70,16 @@ func run(args []string) error {
 	pc, err := transport.DialPoint(transport.PointConfig{
 		Addr: *addr, Point: *point, Kind: transport.Kind(*kind),
 		W: *w, M: *m, D: *d, Seed: *seed,
+		CheckpointDir: *ckptDir,
 	})
 	if err != nil {
 		return err
 	}
 	defer pc.Close()
 	fmt.Printf("tqpoint %d: connected to %s (%s design, w=%d)\n", *point, *addr, *kind, *w)
+	if *ckptDir != "" && pc.Epoch() > 1 {
+		fmt.Printf("tqpoint %d: recovered checkpoint (epoch %d)\n", *point, pc.Epoch())
+	}
 
 	if *stateFile != "" {
 		if f, err := os.Open(*stateFile); err == nil {
@@ -84,13 +91,14 @@ func run(args []string) error {
 			fmt.Printf("tqpoint %d: restored state (epoch %d)\n", *point, pc.Epoch())
 		}
 		defer func() {
-			f, err := os.Create(*stateFile)
-			if err != nil {
+			// Atomic replace: encoding into the live file would destroy the
+			// previous good state the moment a save fails or is cut short.
+			var buf bytes.Buffer
+			if err := pc.SaveState(&buf); err != nil {
 				fmt.Fprintf(os.Stderr, "tqpoint: save state: %v\n", err)
 				return
 			}
-			defer f.Close()
-			if err := pc.SaveState(f); err != nil {
+			if err := durable.WriteFileAtomic(*stateFile, buf.Bytes(), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "tqpoint: save state: %v\n", err)
 			}
 		}()

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/countmin"
+)
+
+// Serializable center state: the window store a center must carry across a
+// restart to keep answering aggregate requests for epochs that predate the
+// new process. Export/Import move the whole store at once — they are
+// checkpoint primitives, not incremental replication. Sketches travel as
+// opaque byte blobs so the transport layer can frame them with whatever
+// codec it already uses for the wire (see internal/transport).
+
+// SpreadCenterState is the durable form of a SpreadCenter's window store:
+// every retained per-point per-epoch upload plus the upload sequence
+// positions. Sketch blobs are produced by the marshal function given to
+// ExportState.
+type SpreadCenterState struct {
+	// LastEpoch[point] is the most recent epoch the point uploaded.
+	LastEpoch map[int]int64
+	// Uploads[point][epoch] is the marshaled B sketch the point uploaded
+	// at that epoch's end.
+	Uploads map[int]map[int64][]byte
+}
+
+// ExportState snapshots the center's window store, marshaling each retained
+// upload with marshal. The snapshot is taken atomically under the center's
+// lock.
+func (c *SpreadCenter[S]) ExportState(marshal func(S) ([]byte, error)) (*SpreadCenterState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &SpreadCenterState{
+		LastEpoch: make(map[int]int64, len(c.lastEpoch)),
+		Uploads:   make(map[int]map[int64][]byte, len(c.uploads)),
+	}
+	for id, e := range c.lastEpoch {
+		st.LastEpoch[id] = e
+	}
+	for id, per := range c.uploads {
+		m := make(map[int64][]byte, len(per))
+		for e, sk := range per {
+			data, err := marshal(sk)
+			if err != nil {
+				return nil, fmt.Errorf("core: export point %d epoch %d: %w", id, e, err)
+			}
+			m[e] = data
+		}
+		st.Uploads[id] = m
+	}
+	return st, nil
+}
+
+// ImportState replaces the center's window store with a previously exported
+// snapshot, unmarshaling each upload with unmarshal. Every point id must be
+// known to the center and every sketch must match the point's declared
+// shape — a checkpoint from a differently configured cluster is rejected
+// before any state is replaced. A nil state is a no-op.
+func (c *SpreadCenter[S]) ImportState(st *SpreadCenterState, unmarshal func([]byte) (S, error)) error {
+	if st == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	uploads := make(map[int]map[int64]S, len(c.protos))
+	for id := range c.protos {
+		uploads[id] = make(map[int64]S)
+	}
+	for id, per := range st.Uploads {
+		proto, ok := c.protos[id]
+		if !ok {
+			return fmt.Errorf("core: import: unknown spread point %d", id)
+		}
+		for e, data := range per {
+			sk, err := unmarshal(data)
+			if err != nil {
+				return fmt.Errorf("core: import point %d epoch %d: %w", id, e, err)
+			}
+			if isNilSketch(sk) || !proto.Compatible(sk) || proto.Width() != sk.Width() {
+				return fmt.Errorf("core: import point %d epoch %d: sketch does not match the declared shape", id, e)
+			}
+			uploads[id][e] = sk
+		}
+	}
+	lastEpoch := make(map[int]int64, len(st.LastEpoch))
+	for id, e := range st.LastEpoch {
+		if _, ok := c.protos[id]; !ok {
+			return fmt.Errorf("core: import: unknown spread point %d", id)
+		}
+		lastEpoch[id] = e
+	}
+	c.uploads = uploads
+	c.lastEpoch = lastEpoch
+	return nil
+}
+
+// SizeCenterState is the durable form of a SizeCenter's recovery state:
+// the per-epoch deltas plus everything the cumulative-mode inversion needs
+// to keep subtracting correctly after a restart (sent pushes, sequence
+// positions, chain-break marks).
+type SizeCenterState struct {
+	// LastEpoch[point] is the last upload epoch per point.
+	LastEpoch map[int]int64
+	// ChainBroken marks cumulative-mode points whose recovery chain lost
+	// an epoch and awaits a rebase upload.
+	ChainBroken map[int]bool
+	// Deltas[point][epoch] is the recovered single-epoch measurement.
+	Deltas map[int]map[int64][]byte
+	// SentAgg[point][epoch] is the aggregate pushed to point during that
+	// epoch, exactly as sent.
+	SentAgg map[int]map[int64][]byte
+	// SentEnh[point][epoch] is the enhancement pushed during that epoch.
+	SentEnh map[int]map[int64][]byte
+}
+
+// ExportState snapshots the center's recovery state atomically.
+func (c *SizeCenter) ExportState() (*SizeCenterState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &SizeCenterState{
+		LastEpoch:   make(map[int]int64, len(c.lastEpoch)),
+		ChainBroken: make(map[int]bool, len(c.chainBroken)),
+	}
+	for id, e := range c.lastEpoch {
+		st.LastEpoch[id] = e
+	}
+	for id, broken := range c.chainBroken {
+		if broken {
+			st.ChainBroken[id] = true
+		}
+	}
+	var err error
+	if st.Deltas, err = marshalSizeMaps(c.deltas); err != nil {
+		return nil, err
+	}
+	if st.SentAgg, err = marshalSizeMaps(c.sentAgg); err != nil {
+		return nil, err
+	}
+	if st.SentEnh, err = marshalSizeMaps(c.sentEnh); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ImportState replaces the center's recovery state with a previously
+// exported snapshot. Every point id must be known and every sketch must
+// carry the point's declared parameters — a checkpoint from a differently
+// configured cluster is rejected before any state is replaced. A nil state
+// is a no-op.
+func (c *SizeCenter) ImportState(st *SizeCenterState) error {
+	if st == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deltas, err := c.unmarshalSizeMapsLocked(st.Deltas, "delta")
+	if err != nil {
+		return err
+	}
+	sentAgg, err := c.unmarshalSizeMapsLocked(st.SentAgg, "sent aggregate")
+	if err != nil {
+		return err
+	}
+	sentEnh, err := c.unmarshalSizeMapsLocked(st.SentEnh, "sent enhancement")
+	if err != nil {
+		return err
+	}
+	lastEpoch := make(map[int]int64, len(st.LastEpoch))
+	for id, e := range st.LastEpoch {
+		if _, ok := c.params[id]; !ok {
+			return fmt.Errorf("core: import: unknown size point %d", id)
+		}
+		lastEpoch[id] = e
+	}
+	chainBroken := make(map[int]bool, len(st.ChainBroken))
+	for id, broken := range st.ChainBroken {
+		if _, ok := c.params[id]; !ok {
+			return fmt.Errorf("core: import: unknown size point %d", id)
+		}
+		if broken {
+			chainBroken[id] = true
+		}
+	}
+	c.deltas = deltas
+	c.sentAgg = sentAgg
+	c.sentEnh = sentEnh
+	c.lastEpoch = lastEpoch
+	c.chainBroken = chainBroken
+	return nil
+}
+
+// HasUpload reports whether the center holds point's upload for epoch.
+// The transport layer uses it after an ImportState to rebuild its
+// round-completion accounting for epochs the restored rounds had not yet
+// pushed.
+func (c *SpreadCenter[S]) HasUpload(point int, epoch int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.uploads[point][epoch]
+	return ok
+}
+
+// HasDelta reports whether the center holds point's recovered delta for
+// epoch (see SpreadCenter.HasUpload).
+func (c *SizeCenter) HasDelta(point int, epoch int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.deltas[point][epoch]
+	return ok
+}
+
+func marshalSizeMaps(src map[int]map[int64]*countmin.Sketch) (map[int]map[int64][]byte, error) {
+	out := make(map[int]map[int64][]byte, len(src))
+	for id, per := range src {
+		m := make(map[int64][]byte, len(per))
+		for e, sk := range per {
+			data, err := sk.MarshalBinary()
+			if err != nil {
+				return nil, fmt.Errorf("core: export point %d epoch %d: %w", id, e, err)
+			}
+			m[e] = data
+		}
+		out[id] = m
+	}
+	return out, nil
+}
+
+func (c *SizeCenter) unmarshalSizeMapsLocked(src map[int]map[int64][]byte, what string) (map[int]map[int64]*countmin.Sketch, error) {
+	out := make(map[int]map[int64]*countmin.Sketch, len(c.params))
+	for id := range c.params {
+		out[id] = make(map[int64]*countmin.Sketch)
+	}
+	for id, per := range src {
+		params, ok := c.params[id]
+		if !ok {
+			return nil, fmt.Errorf("core: import: unknown size point %d", id)
+		}
+		for e, data := range per {
+			var sk countmin.Sketch
+			if err := sk.UnmarshalBinary(data); err != nil {
+				return nil, fmt.Errorf("core: import %s point %d epoch %d: %w", what, id, e, err)
+			}
+			if sk.Params() != params {
+				return nil, fmt.Errorf("core: import %s point %d epoch %d: parameters %+v, want %+v",
+					what, id, e, sk.Params(), params)
+			}
+			out[id][e] = &sk
+		}
+	}
+	return out, nil
+}

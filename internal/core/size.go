@@ -54,8 +54,12 @@ type SizePoint struct {
 	aggApplied        bool
 	aggAppliedPrev    bool
 	enhApplied        bool
-	covMerged         int
-	covCur            Coverage
+	// backfilled guards against duplicate backfill pushes (a center-sent
+	// aggregate merged directly into C after a restart; see
+	// ApplyBackfillCovAt). Reset at every epoch boundary.
+	backfilled bool
+	covMerged  int
+	covCur     Coverage
 
 	shards []*sizeShard
 	rr     atomic.Uint64 // round-robin cursor for batch shard selection
@@ -133,7 +137,7 @@ func (p *SizePoint) AdvanceTo(epoch int64) {
 	p.epoch = epoch
 	p.covCur = Coverage{EpochsExpected: expectedPointEpochs(p.topoPoints, p.topoN, epoch-1)}
 	p.covMerged = 0
-	p.aggApplied, p.aggAppliedPrev, p.enhApplied = false, false, false
+	p.aggApplied, p.aggAppliedPrev, p.enhApplied, p.backfilled = false, false, false, false
 }
 
 // Coverage returns the eq. (1)/(2) window coverage of the current query
@@ -357,7 +361,7 @@ func (p *SizePoint) rollCoverageLocked() {
 	p.covCur = Coverage{EpochsMerged: m, EpochsExpected: exp}
 	p.covMerged = 0
 	p.aggAppliedPrev, p.aggApplied = p.aggApplied, false
-	p.enhApplied = false
+	p.enhApplied, p.backfilled = false, false
 }
 
 // ApplyAggregate adds the center's ST-join result into C'.
@@ -510,11 +514,11 @@ func NewSizeCenter(windowN int, points map[int]countmin.Params, mode SizeMode) (
 		}
 	}
 	c := &SizeCenter{
-		windowN:   windowN,
-		mode:      mode,
-		params:    make(map[int]countmin.Params, len(points)),
-		wMax:      wMax,
-		deltas:    make(map[int]map[int64]*countmin.Sketch, len(points)),
+		windowN:     windowN,
+		mode:        mode,
+		params:      make(map[int]countmin.Params, len(points)),
+		wMax:        wMax,
+		deltas:      make(map[int]map[int64]*countmin.Sketch, len(points)),
 		sentAgg:     make(map[int]map[int64]*countmin.Sketch, len(points)),
 		sentEnh:     make(map[int]map[int64]*countmin.Sketch, len(points)),
 		lastEpoch:   make(map[int]int64, len(points)),

@@ -80,8 +80,12 @@ type SpreadPoint[S SpreadSketch[S]] struct {
 	topoPoints, topoN int
 	aggApplied        bool
 	enhApplied        bool
-	covMerged         int
-	covCur            Coverage
+	// backfilled guards against duplicate backfill pushes (a center-sent
+	// aggregate merged directly into C after a restart; see
+	// ApplyBackfillCovAt). Reset at every epoch boundary.
+	backfilled bool
+	covMerged  int
+	covCur     Coverage
 
 	shards []*spreadShard[S]
 	rr     atomic.Uint64 // round-robin cursor for batch shard selection
@@ -167,7 +171,7 @@ func (p *SpreadPoint[S]) AdvanceTo(epoch int64) {
 	p.epoch = epoch
 	p.covCur = Coverage{EpochsExpected: expectedPointEpochs(p.topoPoints, p.topoN, epoch-1)}
 	p.covMerged = 0
-	p.aggApplied, p.enhApplied = false, false
+	p.aggApplied, p.enhApplied, p.backfilled = false, false, false
 }
 
 // Coverage returns the eq. (1)/(2) window coverage of the current query
@@ -334,7 +338,7 @@ func (p *SpreadPoint[S]) rollCoverageLocked() {
 	}
 	p.covCur = Coverage{EpochsMerged: m, EpochsExpected: exp}
 	p.covMerged = 0
-	p.aggApplied, p.enhApplied = false, false
+	p.aggApplied, p.enhApplied, p.backfilled = false, false, false
 }
 
 // ApplyAggregate merges the center's ST-join result (the networkwide union

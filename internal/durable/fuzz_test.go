@@ -1,0 +1,106 @@
+package durable
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// The checkpoint decoder reads files that a crash may have truncated or a
+// disk may have scrambled at any byte: it must reject them with an error,
+// never panic, hang or over-allocate. Seeds live both in f.Add calls and as
+// a committed corpus under testdata/fuzz (regenerate with -gen-corpus),
+// matching the transport fuzz targets' convention.
+
+var genCorpus = flag.Bool("gen-corpus", false, "rewrite the committed fuzz seed corpus in testdata/fuzz")
+
+// headerCRC computes the 4-byte little-endian CRC the container expects
+// after the 9 header bytes.
+func headerCRC(hdr []byte) []byte {
+	sum := crc32.ChecksumIEEE(hdr)
+	return []byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)}
+}
+
+func fuzzSeeds(t interface{ Fatal(args ...any) }) [][]byte {
+	encode := func(sections []Section) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, sections); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ok := encode([]Section{
+		{Name: "state", Data: []byte("sketch bytes")},
+		{Name: "meta", Data: []byte{1, 2, 3}},
+	})
+	empty := encode(nil)
+	torn := ok[:len(ok)*2/3]
+	flipped := append([]byte(nil), ok...)
+	flipped[len(flipped)/2] ^= 0xFF
+	// A hostile length prefix: a valid header claiming one section, then a
+	// name length promising 2 GiB (the decoder's allocation bound).
+	hugeLen := []byte{'T', 'Q', 'C', 'K', 1, 1, 0, 0, 0}
+	hugeLen = append(hugeLen, headerCRC(hugeLen)...)
+	hugeLen = append(hugeLen, 0xFF, 0xFF, 0xFF, 0x7F)
+	return [][]byte{
+		{},
+		ok,
+		empty,
+		torn,
+		flipped,
+		hugeLen,
+		[]byte("TQCK"),
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the checkpoint decoder. If the bytes
+// decode, they must re-encode and decode to the same sections (the format
+// is unambiguous).
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, sections); err != nil {
+			t.Fatalf("decoded sections do not re-encode: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		if !sectionsEqual(sections, again) {
+			t.Fatalf("decode/encode/decode mismatch: %+v != %+v", sections, again)
+		}
+	})
+}
+
+// TestGenerateFuzzCorpus rewrites the committed seed corpus when run with
+// -gen-corpus, in the `go test fuzz v1` format the fuzzer reads from
+// testdata/fuzz/FuzzDecode.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if !*genCorpus {
+		t.Skip("run with -gen-corpus to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fuzzSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

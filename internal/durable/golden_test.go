@@ -1,0 +1,109 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The checkpoint container is an on-disk format: files written by one build
+// must load in the next. This golden pins the exact bytes — magic, version,
+// CRC placement, length prefixes — the same way testdata/golden pins the
+// transport wire format. Regenerate deliberately with -update and treat any
+// diff as a format break to call out in review.
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden checkpoint file in testdata/golden")
+
+func goldenSections() []Section {
+	return []Section{
+		{Name: "state", Data: []byte("TQST1 payload bytes")},
+		{Name: "meta", Data: []byte{0x07, 0x00, 0x2A, 0xFF}},
+		{Name: "uploads", Data: []byte{}},
+	}
+}
+
+func TestGoldenCheckpointFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, goldenSections()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "checkpoint.bin")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("checkpoint format changed (%d bytes, golden %d).\n"+
+			"This breaks loading existing checkpoints; if that is intended, "+
+			"regenerate with -update and bump the version byte.", buf.Len(), len(want))
+	}
+
+	// Decode the golden back: new code must read old files.
+	got, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden no longer decodes: %v", err)
+	}
+	if !sectionsEqual(got, goldenSections()) {
+		t.Fatalf("golden decoded to %+v", got)
+	}
+}
+
+// TestGoldenLayout hand-parses the golden so the version + CRC layout is
+// pinned structurally, not only byte-for-byte: a refactor that moved the
+// CRC or widened a length field would fail here with a precise message.
+func TestGoldenLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, goldenSections()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if string(b[:4]) != "TQCK" {
+		t.Fatalf("magic = %q, want TQCK", b[:4])
+	}
+	if b[4] != 1 {
+		t.Fatalf("version byte = %d, want 1", b[4])
+	}
+	if got := binary.LittleEndian.Uint32(b[5:9]); got != 3 {
+		t.Fatalf("section count = %d, want 3", got)
+	}
+	if got, want := binary.LittleEndian.Uint32(b[9:13]), crc32.ChecksumIEEE(b[:9]); got != want {
+		t.Fatalf("header CRC = %08x, want %08x over bytes 0..8", got, want)
+	}
+	off := 13
+	for _, sec := range goldenSections() {
+		nameLen := binary.LittleEndian.Uint32(b[off : off+4])
+		off += 4
+		if int(nameLen) != len(sec.Name) {
+			t.Fatalf("section %q: name length %d", sec.Name, nameLen)
+		}
+		name := string(b[off : off+int(nameLen)])
+		off += int(nameLen)
+		dataLen := binary.LittleEndian.Uint32(b[off : off+4])
+		off += 4
+		data := b[off : off+int(dataLen)]
+		off += int(dataLen)
+		crc := crc32.NewIEEE()
+		crc.Write([]byte(name))
+		crc.Write(data)
+		if got, want := binary.LittleEndian.Uint32(b[off:off+4]), crc.Sum32(); got != want {
+			t.Fatalf("section %q: CRC %08x, want %08x over name+data", name, got, want)
+		}
+		off += 4
+	}
+	if off != len(b) {
+		t.Fatalf("trailing bytes: parsed %d of %d", off, len(b))
+	}
+}

@@ -221,6 +221,12 @@ func (l *Listener) Close() error {
 // Addr implements net.Listener.
 func (l *Listener) Addr() net.Addr { return l.addr }
 
+func (l *Listener) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
 // Network is one test's fabric: a single center listener, any number of
 // point links, and global partition control.
 type Network struct {
@@ -241,12 +247,14 @@ func New(seed int64) *Network {
 // It is not safe for concurrent use; call it from the test goroutine only.
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
-// Listen creates the center's listener. It may be called once per Network.
+// Listen creates the center's listener. A second call is allowed only
+// after the previous listener closed — that is a center restart, and
+// subsequent dials reach the new listener.
 func (n *Network) Listen() *Listener {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.lis != nil {
-		panic("faultnet: Listen called twice")
+	if n.lis != nil && !n.lis.isClosed() {
+		panic("faultnet: Listen called twice on a live listener")
 	}
 	l := &Listener{addr: "faultnet:center"}
 	l.cond = sync.NewCond(&l.mu)

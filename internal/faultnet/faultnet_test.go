@@ -230,3 +230,39 @@ func TestSeededRandIsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestRelistenAfterClose(t *testing.T) {
+	n := New(1)
+	lis := n.Listen()
+	lis.Close()
+
+	// A closed listener models a crashed center; a new Listen is its
+	// restart, and dials reach the new accept queue.
+	lis2 := n.Listen()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := lis2.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	client, err := n.Dial("")
+	if err != nil {
+		t.Fatalf("dial after re-listen: %v", err)
+	}
+	server, ok := <-done
+	if !ok {
+		t.Fatal("accept on the new listener failed")
+	}
+	client.Close()
+	server.Close()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Listen on a live listener must panic")
+		}
+	}()
+	n.Listen()
+}

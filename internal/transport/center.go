@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/countmin"
+	"repro/internal/durable"
 	"repro/internal/rskt"
 )
 
@@ -36,6 +37,16 @@ type CenterConfig struct {
 	Seed uint64
 	// Enhance enables pushing the Section IV-D enhancement.
 	Enhance bool
+	// CheckpointDir, if set, enables crash-safe durability: the center
+	// writes an atomic checkpoint of its window store at epoch boundaries
+	// (internal/durable, last two generations retained) and restores the
+	// newest intact one on startup, resuming pushes and re-accepting
+	// uploads idempotently where it left off.
+	CheckpointDir string
+	// CheckpointEvery is the number of push rounds between checkpoints
+	// (default 1: every round). Larger values trade recovery freshness for
+	// write amplification.
+	CheckpointEvery int
 	// Logf, if set, receives diagnostic messages (defaults to log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -48,17 +59,24 @@ type CenterServer struct {
 	spread *core.SpreadCenter[*rskt.Sketch]
 	size   *core.SizeCenter
 
-	mu       sync.Mutex
-	cond     *sync.Cond // broadcast on every counter change (Wait* helpers)
-	conns    map[int]*pointConn
-	received map[int64]int // uploads seen per epoch
-	uploads  int64
-	rounds   int64
-	dups     int64
-	gaps     int64
-	repushes int64
-	lastPush int64 // most recent ForEpoch pushed (0 = none yet)
-	closed   bool
+	ckpt        *durable.Store // nil when durability is disabled
+	ckptEvery   int64
+	ckptMu      sync.Mutex // serializes checkpoint writes
+	restoredGen uint64     // generation restored at startup (0 = fresh)
+
+	mu          sync.Mutex
+	cond        *sync.Cond // broadcast on every counter change (Wait* helpers)
+	conns       map[int]*pointConn
+	received    map[int64]int // uploads seen per epoch
+	uploads     int64
+	rounds      int64
+	dups        int64
+	gaps        int64
+	repushes    int64
+	backfills   int64
+	checkpoints int64
+	lastPush    int64 // most recent ForEpoch pushed (0 = none yet)
+	closed      bool
 
 	wg sync.WaitGroup
 }
@@ -118,6 +136,39 @@ func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
 	default:
 		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
 	}
+	s.ckptEvery = int64(cfg.CheckpointEvery)
+	if s.ckptEvery < 1 {
+		s.ckptEvery = 1
+	}
+	if cfg.CheckpointDir != "" {
+		store, err := durable.Open(cfg.CheckpointDir, "center")
+		if err != nil {
+			return nil, fmt.Errorf("transport: open checkpoint store: %w", err)
+		}
+		s.ckpt = store
+		sections, gen, err := store.Load()
+		switch {
+		case errors.Is(err, durable.ErrNoCheckpoint):
+			// Fresh start: nothing to restore.
+		case err != nil:
+			// Every retained generation is corrupt. Refusing to start is
+			// safer than silently discarding the window: the operator can
+			// clear the directory to accept the loss explicitly.
+			return nil, fmt.Errorf("transport: load center checkpoint: %w", err)
+		default:
+			if err := s.restoreCheckpoint(sections); err != nil {
+				return nil, fmt.Errorf("transport: restore center checkpoint (generation %d): %w", gen, err)
+			}
+			s.restoredGen = gen
+			// Rounds the restored state had completed but not pushed fire
+			// now, so the first reconnecting points find lastPush current.
+			for _, e := range s.recomputeReceived() {
+				if err := s.pushRound(e + 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
@@ -149,6 +200,14 @@ type CenterStats struct {
 	UploadsGap int64
 	// Repushes counts current-round pushes re-sent to reconnecting points.
 	Repushes int64
+	// Backfills counts backfill exchanges run for state-behind points
+	// (Push.IntoCurrent sent on reconnect).
+	Backfills int64
+	// CheckpointsWritten counts durable checkpoints written successfully.
+	CheckpointsWritten int64
+	// RestoredGeneration is the checkpoint generation restored at startup
+	// (0 = started fresh).
+	RestoredGeneration uint64
 }
 
 // Stats returns a snapshot of the center's counters.
@@ -156,12 +215,15 @@ func (s *CenterServer) Stats() CenterStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return CenterStats{
-		ConnectedPoints:  len(s.conns),
-		UploadsReceived:  s.uploads,
-		RoundsPushed:     s.rounds,
-		UploadsDuplicate: s.dups,
-		UploadsGap:       s.gaps,
-		Repushes:         s.repushes,
+		ConnectedPoints:    len(s.conns),
+		UploadsReceived:    s.uploads,
+		RoundsPushed:       s.rounds,
+		UploadsDuplicate:   s.dups,
+		UploadsGap:         s.gaps,
+		Repushes:           s.repushes,
+		Backfills:          s.backfills,
+		CheckpointsWritten: s.checkpoints,
+		RestoredGeneration: s.restoredGen,
 	}
 }
 
@@ -258,7 +320,8 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 		return fmt.Errorf("hello mismatch from point %d: %+v", hello.Point, hello)
 	}
 	pc := &pointConn{point: hello.Point, conn: conn, enc: gob.NewEncoder(conn)}
-	if err := pc.send(s.welcomeFor(hello.Point)); err != nil {
+	welcome := s.welcomeFor(hello.Point)
+	if err := pc.send(welcome); err != nil {
 		return fmt.Errorf("send welcome to point %d: %w", hello.Point, err)
 	}
 	s.mu.Lock()
@@ -283,10 +346,23 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 		s.mu.Unlock()
 	}()
 
-	// Re-push the current round so a point reconnecting mid-epoch does not
-	// lose the aggregate it missed while away. The point drops it if it is
-	// stale or already merged (ErrStaleEpoch / ErrDuplicatePush).
-	if lastPush > 0 {
+	// K is the epoch the point lives in after the handshake: its own clock,
+	// or the cluster's if that is ahead (Welcome.ResumeEpoch fast-forwards
+	// it). A point whose state is behind K lost its window — a restart
+	// without (or from an old) checkpoint — and gets the backfill exchange;
+	// a point merely reconnecting mid-epoch gets the plain re-push of the
+	// current round, which it drops if already merged (ErrStaleEpoch /
+	// ErrDuplicatePush).
+	K := welcome.ResumeEpoch
+	if hello.StateEpoch > K {
+		K = hello.StateEpoch
+	}
+	switch {
+	case hello.StateEpoch < K && K > 1:
+		if err := s.backfillTo(pc, K); err != nil {
+			s.cfg.Logf("transport: backfill to point %d: %v", hello.Point, err)
+		}
+	case lastPush > 0:
 		if err := s.pushTo(pc, lastPush); err != nil {
 			s.cfg.Logf("transport: re-push to point %d: %v", hello.Point, err)
 		} else {
@@ -468,6 +544,15 @@ func (s *CenterServer) pushRound(forEpoch int64) error {
 	if forEpoch > s.lastPush {
 		s.lastPush = forEpoch
 	}
+	doCkpt := s.ckpt != nil && (s.rounds+1)%s.ckptEvery == 0
+	s.mu.Unlock()
+	if doCkpt {
+		// Checkpoint before the round becomes observable through the
+		// rounds counter (WaitRounds), so at the default cadence "round n
+		// pushed" implies "round n durable".
+		s.writeCheckpoint()
+	}
+	s.mu.Lock()
 	s.rounds++
 	s.cond.Broadcast()
 	s.mu.Unlock()

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/rskt"
+)
+
+// Center-side durability: the center's whole recovery state — window
+// store, push position, and the topology that produced them — travels as
+// one gob blob inside a durable checkpoint container (internal/durable,
+// section "center"). The topology fields let a restarted center reject a
+// checkpoint written under a different configuration instead of merging
+// incompatible sketches.
+type centerCheckpoint struct {
+	Kind    Kind
+	WindowN int
+	Widths  map[int]int
+	M       int
+	D       int
+	Seed    uint64
+	// LastPush is the most recent round pushed before the checkpoint.
+	LastPush int64
+	// Exactly one of Spread/Size is set, matching Kind.
+	Spread *core.SpreadCenterState
+	Size   *core.SizeCenterState
+}
+
+// writeCheckpoint exports the center's state and saves it as a new durable
+// generation. Failures are logged, not fatal: the center keeps serving and
+// retries at the next boundary, degrading recovery freshness rather than
+// availability.
+func (s *CenterServer) writeCheckpoint() {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	ck := centerCheckpoint{
+		Kind:    s.cfg.Kind,
+		WindowN: s.cfg.WindowN,
+		Widths:  s.cfg.Widths,
+		M:       s.cfg.M,
+		D:       s.cfg.D,
+		Seed:    s.cfg.Seed,
+	}
+	s.mu.Lock()
+	ck.LastPush = s.lastPush
+	s.mu.Unlock()
+	var err error
+	switch s.cfg.Kind {
+	case KindSpread:
+		ck.Spread, err = s.spread.ExportState(func(sk *rskt.Sketch) ([]byte, error) {
+			return sk.MarshalBinary()
+		})
+	case KindSize:
+		ck.Size, err = s.size.ExportState()
+	}
+	if err != nil {
+		s.cfg.Logf("transport: export center checkpoint: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		s.cfg.Logf("transport: encode center checkpoint: %v", err)
+		return
+	}
+	if err := s.ckpt.Save([]durable.Section{{Name: "center", Data: buf.Bytes()}}); err != nil {
+		s.cfg.Logf("transport: write center checkpoint: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.checkpoints++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// restoreCheckpoint replaces the center's fresh state with a loaded
+// checkpoint, after verifying it was written under the same topology.
+// Called from ServeCenter before the listener exists.
+func (s *CenterServer) restoreCheckpoint(sections []durable.Section) error {
+	var data []byte
+	for _, sec := range sections {
+		if sec.Name == "center" {
+			data = sec.Data
+		}
+	}
+	if data == nil {
+		return fmt.Errorf("checkpoint has no center section")
+	}
+	var ck centerCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	if ck.Kind != s.cfg.Kind || ck.WindowN != s.cfg.WindowN || ck.Seed != s.cfg.Seed {
+		return fmt.Errorf("checkpoint topology (%s, n=%d, seed=%d) does not match the configured (%s, n=%d, seed=%d)",
+			ck.Kind, ck.WindowN, ck.Seed, s.cfg.Kind, s.cfg.WindowN, s.cfg.Seed)
+	}
+	switch s.cfg.Kind {
+	case KindSpread:
+		if ck.M != s.cfg.M {
+			return fmt.Errorf("checkpoint M=%d does not match the configured M=%d", ck.M, s.cfg.M)
+		}
+	case KindSize:
+		if ck.D != s.cfg.D {
+			return fmt.Errorf("checkpoint D=%d does not match the configured D=%d", ck.D, s.cfg.D)
+		}
+	}
+	if len(ck.Widths) != len(s.cfg.Widths) {
+		return fmt.Errorf("checkpoint has %d points, configured %d", len(ck.Widths), len(s.cfg.Widths))
+	}
+	for id, w := range s.cfg.Widths {
+		if ck.Widths[id] != w {
+			return fmt.Errorf("checkpoint width %d for point %d, configured %d", ck.Widths[id], id, w)
+		}
+	}
+	switch s.cfg.Kind {
+	case KindSpread:
+		err := s.spread.ImportState(ck.Spread, func(data []byte) (*rskt.Sketch, error) {
+			var sk rskt.Sketch
+			if err := sk.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		})
+		if err != nil {
+			return err
+		}
+	case KindSize:
+		if err := s.size.ImportState(ck.Size); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.lastPush = ck.LastPush
+	s.mu.Unlock()
+	return nil
+}
+
+// recomputeReceived rebuilds the per-epoch upload counters the crashed
+// process lost, for epochs the restored window holds but the restored
+// rounds had not pushed yet. It returns, in ascending order, the epochs
+// every point had already reported: their rounds never fired, so the
+// caller fires them before accepting connections.
+func (s *CenterServer) recomputeReceived() []int64 {
+	var maxE int64
+	var reported func(id int, e int64) bool
+	switch s.cfg.Kind {
+	case KindSpread:
+		maxE = s.spread.MaxEpoch()
+		reported = func(id int, e int64) bool { return s.spread.HasUpload(id, e) }
+	case KindSize:
+		maxE = s.size.MaxEpoch()
+		// A gap-dropped upload leaves no delta but advances the point's
+		// sequence position; it still counted toward the round.
+		reported = func(id int, e int64) bool {
+			return s.size.HasDelta(id, e) || s.size.LastEpoch(id) >= e
+		}
+	}
+	var complete []int64
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.lastPush
+	if start < 1 {
+		start = 1
+	}
+	for e := start; e <= maxE; e++ {
+		n := 0
+		for id := range s.cfg.Widths {
+			if reported(id, e) {
+				n++
+			}
+		}
+		switch {
+		case n == 0:
+		case n >= len(s.cfg.Widths):
+			complete = append(complete, e)
+		default:
+			s.received[e] = n
+		}
+	}
+	return complete
+}
+
+// backfillTo runs the backfill exchange for a point that rejoined epoch K
+// without its window state (restart with no checkpoint, or from one the
+// cluster has moved past): first an IntoCurrent push carrying the
+// aggregate the center sent during K-1 — exactly the center part of epoch
+// K's window, which the point merges straight into its query target —
+// then the regular staged push for K, so the point's next epoch boundary
+// proceeds as if it had never been away.
+func (s *CenterServer) backfillTo(pc *pointConn, K int64) error {
+	fill, err := s.buildPush(pc.point, K-1)
+	if err != nil {
+		return err
+	}
+	if len(fill.Aggregate) > 0 {
+		fill.ForEpoch = K
+		fill.IntoCurrent = true
+		// The K-1 enhancement targets an epoch the point no longer holds;
+		// the aggregate already covers its span.
+		fill.Enhancement = nil
+		if err := pc.push(fill); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.backfills++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	return s.pushTo(pc, K)
+}
+
+// WaitCheckpoints blocks until at least n checkpoints have been written
+// this process lifetime, or the center closes.
+func (s *CenterServer) WaitCheckpoints(n int64) bool {
+	return s.waitCond(func() bool { return s.checkpoints >= n })
+}

@@ -35,6 +35,12 @@ type fcluster struct {
 	srv   *CenterServer
 	links []*faultnet.Link
 	pts   []*PointClient
+
+	// Durability knobs, set by the crash matrix (crash_test.go); zero
+	// values leave checkpointing off, as the plain fault matrix runs.
+	ckptDir   string   // center checkpoint directory
+	ckptEvery int      // center checkpoint cadence
+	ptDirs    []string // per-point checkpoint directories
 }
 
 func newFCluster(t *testing.T, kind Kind) *fcluster {
@@ -71,10 +77,14 @@ func newFCluster(t *testing.T, kind Kind) *fcluster {
 }
 
 func (c *fcluster) pointConfig(x int, link *faultnet.Link) PointConfig {
-	return PointConfig{
+	cfg := PointConfig{
 		Addr: "faultnet", Point: x, Kind: c.kind,
 		W: fmW, M: fmM, D: fmD, Seed: fmSeed, Dial: link.Dial,
 	}
+	if x < len(c.ptDirs) {
+		cfg.CheckpointDir = c.ptDirs[x]
+	}
+	return cfg
 }
 
 // record feeds epoch k's deterministic packets for point x into fn. The
@@ -409,9 +419,11 @@ func TestFaultCenterOutage(t *testing.T) {
 }
 
 // Scenario 4: a point restarts mid-window with no persisted state. The
-// Welcome resynchronizes its epoch clock, the reconnect re-push restores
-// the current round, and (cumulative size) a rebase upload reseeds the
-// center's recovery chain — no gap, full coverage one epoch later.
+// Welcome resynchronizes its epoch clock, the backfill exchange restores
+// the aggregate it lost (IntoCurrent push, merged straight into C) plus
+// the current round's staged push, and (cumulative size) a rebase upload
+// reseeds the center's recovery chain — no gap, full coverage within the
+// restart epoch.
 func TestFaultPointRestart(t *testing.T) {
 	forBothKinds(t, func(t *testing.T, kind Kind) {
 		c := newFCluster(t, kind)
@@ -430,14 +442,31 @@ func TestFaultPointRestart(t *testing.T) {
 		if got := pc.Epoch(); got != 5 {
 			t.Fatalf("restarted point resumed at epoch %d, want 5", got)
 		}
-		// The reconnect re-push replays round 4 into the fresh point.
-		pushWant[0] = 1
-		if !pc.WaitPushes(1) {
-			t.Fatal("restarted point never saw the re-push")
+		// The fresh Hello carries StateEpoch 1 against cluster epoch 5, so
+		// the center runs the backfill exchange: the round-4 aggregate
+		// (epochs 1..3, both points) into C, then the staged round-5 push.
+		pushWant[0] = 2
+		if !pc.WaitPushes(2) {
+			t.Fatal("restarted point never saw the backfill + staged push")
 		}
-		if got := pc.Stats().PushesApplied; got != 1 {
-			t.Fatalf("restarted point PushesApplied = %d, want 1", got)
+		st := pc.Stats()
+		if st.BackfillsApplied != 1 || st.PushesApplied != 1 {
+			t.Fatalf("restarted point BackfillsApplied/PushesApplied = %d/%d, want 1/1",
+				st.BackfillsApplied, st.PushesApplied)
 		}
+		// The backfill restores the lost window immediately: coverage is
+		// whole and queries match an oracle over the backfilled span before
+		// the point records anything new.
+		if cov := pc.Coverage(); !cov.Full() {
+			t.Fatalf("post-backfill coverage %+v, want full", cov)
+		}
+		backfilled := []pe{}
+		for k := 1; k <= 3; k++ {
+			for y := 0; y < fmP; y++ {
+				backfilled = append(backfilled, pe{y, k})
+			}
+		}
+		c.checkOracle(0, backfilled, "after backfill")
 
 		c.recordAll(5)
 		for x := range c.pts {
@@ -452,8 +481,8 @@ func TestFaultPointRestart(t *testing.T) {
 		if ss.UploadsGap != 0 {
 			t.Fatalf("UploadsGap = %d, want 0 (rebase must reseed the chain)", ss.UploadsGap)
 		}
-		if ss.Repushes != 1 {
-			t.Fatalf("Repushes = %d, want 1", ss.Repushes)
+		if ss.Backfills != 1 || ss.Repushes != 0 {
+			t.Fatalf("Backfills/Repushes = %d/%d, want 1/0", ss.Backfills, ss.Repushes)
 		}
 		for x := range c.pts {
 			if cov := c.pts[x].Coverage(); !cov.Full() {

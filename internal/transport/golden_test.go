@@ -38,7 +38,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden wire-format fi
 func goldenMessages(t *testing.T) map[string]any {
 	t.Helper()
 	return map[string]any{
-		"hello": Hello{Point: 3, Kind: KindSpread, W: 32},
+		"hello": Hello{Point: 3, Kind: KindSpread, W: 32, StateEpoch: 15},
 		"welcome": Welcome{
 			WindowN: 5, Points: 4, ResumeEpoch: 17, PointEpoch: 15,
 		},
@@ -48,7 +48,7 @@ func goldenMessages(t *testing.T) map[string]any {
 		},
 		"push": Push{
 			ForEpoch: 17, Aggregate: fuzzSpreadSketchBytes(t),
-			CovMerged: 9, CovExpected: 12,
+			CovMerged: 9, CovExpected: 12, IntoCurrent: true,
 		},
 	}
 }
@@ -124,7 +124,8 @@ func TestGoldenDecodable(t *testing.T) {
 	wp := want["push"].(Push)
 	if p.ForEpoch != wp.ForEpoch || !bytes.Equal(p.Aggregate, wp.Aggregate) ||
 		!bytes.Equal(p.Enhancement, wp.Enhancement) ||
-		p.CovMerged != wp.CovMerged || p.CovExpected != wp.CovExpected {
+		p.CovMerged != wp.CovMerged || p.CovExpected != wp.CovExpected ||
+		p.IntoCurrent != wp.IntoCurrent {
 		t.Errorf("push decoded to %+v", p)
 	}
 }

@@ -32,6 +32,13 @@ type Hello struct {
 	// counters per row for size). The remaining sketch parameters are
 	// fixed by the center's topology.
 	W int
+	// StateEpoch is the point's local epoch at dial time (1 for a fresh
+	// point). The center compares it against the cluster clock: a point
+	// whose state is behind (restart from an old checkpoint, or no
+	// checkpoint at all) is offered a backfill push (Push.IntoCurrent)
+	// rebuilding the window it missed. Old centers ignore the field; old
+	// points leave it zero, which the center treats like a fresh point.
+	StateEpoch int64
 }
 
 // Welcome is the center's reply to a Hello. It tells the point the
@@ -78,4 +85,10 @@ type Push struct {
 	Enhancement []byte // empty unless the enhancement is enabled
 	CovMerged   int
 	CovExpected int
+	// IntoCurrent marks a backfill push: the aggregate is the one the
+	// center sent during epoch ForEpoch-1 and must be merged directly into
+	// the current query target C (not staged into C'), restoring the
+	// window a restarted point lost. Sent once per reconnect of a
+	// state-behind point; the point's backfill guard drops duplicates.
+	IntoCurrent bool
 }

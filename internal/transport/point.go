@@ -4,12 +4,15 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/countmin"
+	"repro/internal/durable"
 	"repro/internal/rskt"
 )
 
@@ -27,6 +30,24 @@ type PointConfig struct {
 	// Dial, if set, replaces net.Dial for reaching the center. Fault
 	// harnesses (internal/faultnet) inject in-memory dialers here.
 	Dial func(addr string) (net.Conn, error)
+	// DialTimeout bounds each TCP dial when Dial is nil (default 10s). An
+	// unbounded dial would stall the epoch clock's EndEpoch loop for the
+	// whole kernel timeout when the center's host drops off the network.
+	DialTimeout time.Duration
+	// RedialAttempts is how many connection attempts one Redial makes
+	// before giving up (default 3). Attempts after the first are separated
+	// by jittered exponential backoff starting at RedialBackoff (default
+	// 200ms) and capped at RedialBackoffMax (default 2s), so a cluster of
+	// points does not hammer a restarting center in lockstep.
+	RedialAttempts   int
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+	// CheckpointDir, if set, enables crash-safe durability: the point
+	// writes an atomic checkpoint (sketches, degradation accounting, and
+	// the retransmit buffer) at every epoch boundary and restores the
+	// newest intact one on the next DialPoint, so a crashed point rejoins
+	// with its window instead of empty.
+	CheckpointDir string
 }
 
 // PointStats counts protocol events at a point.
@@ -46,9 +67,15 @@ type PointStats struct {
 	// after a successful Redial.
 	UploadsRetried int64
 	// UploadsDropped is the number of buffered epoch uploads discarded
-	// because the retransmit buffer exceeded one window (the center's
-	// sliding window can no longer use them).
+	// unsent because the retransmit buffer exceeded one window (the
+	// center's sliding window can no longer use them).
 	UploadsDropped int64
+	// BackfillsApplied is the number of backfill pushes (Push.IntoCurrent)
+	// merged into the query target after a restart.
+	BackfillsApplied int64
+	// CheckpointsWritten is the number of durable checkpoints written at
+	// epoch boundaries.
+	CheckpointsWritten int64
 }
 
 // PointClient is a measurement point connected to a live center. Record
@@ -63,13 +90,16 @@ type PointClient struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	done chan struct{}
-	// pending holds epoch uploads not yet confirmed sent: EndEpoch
-	// appends here first, then drains the buffer over the live
-	// connection. Uploads whose transmission failed stay buffered and are
+	// pending holds the last window of epoch uploads: EndEpoch appends
+	// here first, then drains the unsent entries over the live
+	// connection. Uploads whose transmission failed stay unsent and are
 	// retransmitted after Redial, so epochs that end while the center is
-	// unreachable are not silently lost. The buffer is capped at one
-	// window (n epochs): anything older falls outside every live ST-join,
-	// so buffering it only wastes memory during a long outage.
+	// unreachable are not silently lost. Entries that were sent are
+	// retained (sent=true) instead of discarded: if a restarted center
+	// restores a checkpoint that predates them, the Welcome handshake
+	// requeues exactly the epochs the center lost. The buffer is capped at
+	// one window (n epochs): anything older falls outside every live
+	// ST-join, so retaining it only wastes memory.
 	pending []pendingUpload
 	// windowN and points arrive in the center's Welcome.
 	windowN int
@@ -82,11 +112,19 @@ type PointClient struct {
 	spread *core.SpreadPoint[*rskt.Sketch]
 	size   *core.SizePoint
 
-	pushesApplied  atomic.Int64
-	pushesLate     atomic.Int64
-	pushesDup      atomic.Int64
-	uploadsRetried atomic.Int64
-	uploadsDropped atomic.Int64
+	// ckpt is the durable checkpoint store (nil when durability is
+	// disabled); sleep is the backoff delay hook (time.Sleep outside
+	// tests).
+	ckpt  *durable.Store
+	sleep func(time.Duration)
+
+	pushesApplied    atomic.Int64
+	pushesLate       atomic.Int64
+	pushesDup        atomic.Int64
+	uploadsRetried   atomic.Int64
+	uploadsDropped   atomic.Int64
+	backfillsApplied atomic.Int64
+	checkpoints      atomic.Int64
 
 	// pushMu/pushCond let tests wait deterministically for the reader to
 	// process pushes (WaitPushes) without sleep-polling.
@@ -97,19 +135,26 @@ type PointClient struct {
 
 	errMu   sync.Mutex
 	lastErr error
+	ckptErr error // last checkpoint-write failure (nil after a success)
 }
 
 // pendingUpload is a buffered epoch upload. attempted marks uploads whose
 // first transmission failed (or that were buffered while disconnected);
-// sending one after reconnect counts as a retry.
+// sending one after reconnect counts as a retry. sent marks uploads the
+// encoder accepted; they stay buffered as history for center-restart
+// requeues until the window slides past them.
 type pendingUpload struct {
 	up        Upload
 	attempted bool
+	sent      bool
 }
 
-// DialPoint connects a new measurement point to the center.
+// DialPoint connects a new measurement point to the center. With
+// PointConfig.CheckpointDir set, the newest intact checkpoint is restored
+// first, so the point rejoins the cluster with the window, accounting and
+// retransmit buffer it crashed with.
 func DialPoint(cfg PointConfig) (*PointClient, error) {
-	c := &PointClient{cfg: cfg}
+	c := &PointClient{cfg: cfg, sleep: time.Sleep}
 	c.pushCond = sync.NewCond(&c.pushMu)
 	switch cfg.Kind {
 	case KindSpread:
@@ -127,6 +172,24 @@ func DialPoint(cfg PointConfig) (*PointClient, error) {
 	default:
 		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
 	}
+	if cfg.CheckpointDir != "" {
+		store, err := durable.Open(cfg.CheckpointDir, fmt.Sprintf("point-%d", cfg.Point))
+		if err != nil {
+			return nil, fmt.Errorf("transport: open checkpoint store: %w", err)
+		}
+		c.ckpt = store
+		sections, gen, err := store.Load()
+		switch {
+		case errors.Is(err, durable.ErrNoCheckpoint):
+			// Fresh start: nothing to restore.
+		case err != nil:
+			return nil, fmt.Errorf("transport: load point checkpoint: %w", err)
+		default:
+			if err := c.restoreCheckpoint(sections); err != nil {
+				return nil, fmt.Errorf("transport: restore point checkpoint (generation %d): %w", gen, err)
+			}
+		}
+	}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -138,14 +201,18 @@ func DialPoint(cfg PointConfig) (*PointClient, error) {
 func (c *PointClient) connect() error {
 	dial := c.cfg.Dial
 	if dial == nil {
-		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+		timeout := c.cfg.DialTimeout
+		if timeout <= 0 {
+			timeout = 10 * time.Second
+		}
+		dial = func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
 	}
 	conn, err := dial(c.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("transport: dial center: %w", err)
 	}
 	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(Hello{Point: c.cfg.Point, Kind: c.cfg.Kind, W: c.cfg.W}); err != nil {
+	if err := enc.Encode(Hello{Point: c.cfg.Point, Kind: c.cfg.Kind, W: c.cfg.W, StateEpoch: c.Epoch()}); err != nil {
 		conn.Close()
 		return fmt.Errorf("transport: send hello: %w", err)
 	}
@@ -183,12 +250,17 @@ func (c *PointClient) applyWelcome(w Welcome) {
 		c.spread.SetTopology(w.Points, w.WindowN)
 		if w.ResumeEpoch > c.spread.Epoch() {
 			c.spread.AdvanceTo(w.ResumeEpoch)
+			// The window the point held belongs to epochs the cluster has
+			// moved past; merging it under the new epoch would double-count
+			// against the backfill aggregate the center is about to send.
+			c.spread.ResetWindow()
 			advanced = true
 		}
 	} else {
 		c.size.SetTopology(w.Points, w.WindowN)
 		if w.ResumeEpoch > c.size.Epoch() {
 			c.size.AdvanceTo(w.ResumeEpoch)
+			c.size.ResetWindow()
 			advanced = true
 		}
 	}
@@ -196,17 +268,30 @@ func (c *PointClient) applyWelcome(w Welcome) {
 	defer c.mu.Unlock()
 	c.windowN = w.WindowN
 	c.points = w.Points
+	// Requeue sent history the center no longer has: a center that
+	// restored an old checkpoint reports the PointEpoch it actually holds,
+	// and everything after it must be uploaded again (idempotent at the
+	// center if the restore turns out fresher than advertised).
+	for i := range c.pending {
+		if c.pending[i].sent && c.pending[i].up.Epoch > w.PointEpoch {
+			c.pending[i].sent = false
+			c.pending[i].attempted = true
+		}
+	}
 	if c.size == nil {
 		return
 	}
 	// The chain survives the outage only if the next upload the center will
 	// see is exactly PointEpoch+1. A fast-forwarded epoch clock means the
-	// local C never held the chain the center has; a retransmit buffer
-	// whose oldest entry is past PointEpoch+1 means epochs were lost.
+	// local C never held the chain the center has; an unsent buffer whose
+	// oldest entry is past PointEpoch+1 means epochs were lost.
 	next := w.PointEpoch + 1
 	oldest := c.size.Epoch() // next upload's epoch when nothing is buffered
-	if len(c.pending) > 0 {
-		oldest = c.pending[0].up.Epoch
+	for i := range c.pending {
+		if !c.pending[i].sent {
+			oldest = c.pending[i].up.Epoch
+			break
+		}
 	}
 	if advanced || oldest > next {
 		c.needRebase = true
@@ -217,14 +302,45 @@ func (c *PointClient) applyWelcome(w Welcome) {
 // the point's local sketch state. The protocol resumes at the current
 // epoch, and epoch uploads buffered while disconnected are retransmitted
 // in order (counted by PointStats.UploadsRetried), so the center's window
-// has no gaps for epochs that ended during the outage.
+// has no gaps for epochs that ended during the outage. Up to
+// RedialAttempts connection attempts are made, separated by jittered
+// exponential backoff (see PointConfig); the last attempt's error is
+// returned if all fail.
 func (c *PointClient) Redial() error {
 	c.mu.Lock()
 	conn, done := c.conn, c.done
 	c.mu.Unlock()
 	_ = conn.Close()
 	<-done
-	return c.connect()
+	attempts := c.cfg.RedialAttempts
+	if attempts < 1 {
+		attempts = 3
+	}
+	backoff := c.cfg.RedialBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	maxBackoff := c.cfg.RedialBackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// Full jitter over [backoff/2, backoff]: points knocked out by
+			// the same center restart spread their retries instead of
+			// redialing in lockstep.
+			delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			c.sleep(delay)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		if err = c.connect(); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 func (c *PointClient) setErr(err error) {
@@ -355,6 +471,11 @@ func (c *PointClient) EndEpoch() error {
 		Rebase:     meta.Rebase,
 	}})
 	c.capPendingLocked()
+	// Checkpoint after the upload is buffered and before it is sent:
+	// at-least-once across a crash (the center drops the duplicate
+	// idempotently), never silently lost. Checkpoint failures degrade
+	// durability, not liveness (see LastCheckpointErr).
+	c.saveCheckpointLocked()
 	if err := c.getErr(); err != nil {
 		c.markPendingAttemptedLocked()
 		return fmt.Errorf("transport: connection failed: %w", err)
@@ -362,31 +483,44 @@ func (c *PointClient) EndEpoch() error {
 	return c.flushPendingLocked()
 }
 
-// capPendingLocked bounds the retransmit buffer at one window of epochs.
-// Once the window has slid past an upload, no live ST-join can use it, so
-// buffering more than n epochs during an outage only delays memory
-// reclamation without improving recovery. Dropped uploads break the
-// cumulative size chain, so the next upload after a drop is a rebase.
-// Callers must hold c.mu.
+// capPendingLocked bounds the upload buffer (unsent retransmits plus sent
+// history) at one window of epochs. Once the window has slid past an
+// upload, no live ST-join can use it, so retaining more than n epochs only
+// delays memory reclamation without improving recovery. Dropping an
+// UNSENT upload loses a measurement (counted, and it breaks the
+// cumulative size chain, so the next upload after such a drop is a
+// rebase); dropping sent history is free. Callers must hold c.mu.
 func (c *PointClient) capPendingLocked() {
 	capN := c.windowN
 	if capN <= 0 || len(c.pending) <= capN {
 		return
 	}
 	drop := len(c.pending) - capN
-	c.uploadsDropped.Add(int64(drop))
-	c.pending = append(c.pending[:0], c.pending[drop:]...)
-	if c.size != nil {
-		c.needRebase = true
+	unsent := 0
+	for _, p := range c.pending[:drop] {
+		if !p.sent {
+			unsent++
+		}
 	}
+	if unsent > 0 {
+		c.uploadsDropped.Add(int64(unsent))
+		if c.size != nil {
+			c.needRebase = true
+		}
+	}
+	c.pending = append(c.pending[:0], c.pending[drop:]...)
 }
 
-// flushPendingLocked drains the pending-upload buffer over the live
-// connection, oldest first. On an encode failure the unsent uploads stay
-// buffered and are marked attempted. Callers must hold c.mu.
+// flushPendingLocked sends the buffer's unsent uploads over the live
+// connection, oldest first, keeping them as sent history afterwards. On an
+// encode failure the remaining unsent uploads stay and are marked
+// attempted. Callers must hold c.mu.
 func (c *PointClient) flushPendingLocked() error {
-	for len(c.pending) > 0 {
-		p := c.pending[0]
+	for i := range c.pending {
+		p := &c.pending[i]
+		if p.sent {
+			continue
+		}
 		if err := c.enc.Encode(p.up); err != nil {
 			c.markPendingAttemptedLocked()
 			return fmt.Errorf("transport: upload epoch %d: %w", p.up.Epoch, err)
@@ -394,28 +528,42 @@ func (c *PointClient) flushPendingLocked() error {
 		if p.attempted {
 			c.uploadsRetried.Add(1)
 		}
-		c.pending = c.pending[1:]
+		p.sent = true
 	}
 	return nil
 }
 
-// markPendingAttemptedLocked records that every buffered upload has missed
-// at least one transmission window. Callers must hold c.mu.
+// markPendingAttemptedLocked records that every unsent buffered upload has
+// missed at least one transmission window. Callers must hold c.mu.
 func (c *PointClient) markPendingAttemptedLocked() {
 	for i := range c.pending {
-		c.pending[i].attempted = true
+		if !c.pending[i].sent {
+			c.pending[i].attempted = true
+		}
 	}
 }
 
 // Stats returns protocol event counters.
 func (c *PointClient) Stats() PointStats {
 	return PointStats{
-		PushesApplied:   c.pushesApplied.Load(),
-		PushesLate:      c.pushesLate.Load(),
-		PushesDuplicate: c.pushesDup.Load(),
-		UploadsRetried:  c.uploadsRetried.Load(),
-		UploadsDropped:  c.uploadsDropped.Load(),
+		PushesApplied:      c.pushesApplied.Load(),
+		PushesLate:         c.pushesLate.Load(),
+		PushesDuplicate:    c.pushesDup.Load(),
+		UploadsRetried:     c.uploadsRetried.Load(),
+		UploadsDropped:     c.uploadsDropped.Load(),
+		BackfillsApplied:   c.backfillsApplied.Load(),
+		CheckpointsWritten: c.checkpoints.Load(),
 	}
+}
+
+// LastCheckpointErr reports the most recent checkpoint-write failure (nil
+// when the last write succeeded or durability is disabled). EndEpoch never
+// fails on a checkpoint error — a broken disk must not stop measurement —
+// so operators poll this to notice durability loss.
+func (c *PointClient) LastCheckpointErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.ckptErr
 }
 
 // WaitPushes blocks until the reader has processed (merged or
@@ -464,9 +612,43 @@ func (c *PointClient) readLoop(dec *gob.Decoder, done chan struct{}) {
 // apply merges one push. Pushes that miss their epoch are dropped: merging
 // a stale aggregate into the wrong epoch's C' would corrupt the window.
 // The epoch check happens under the point's lock (ApplyAggregateAt), so a
-// concurrent EndEpoch cannot slip between check and merge.
+// concurrent EndEpoch cannot slip between check and merge. Backfill pushes
+// (IntoCurrent) go straight into the query target C, rebuilding the window
+// a restart lost.
 func (c *PointClient) apply(push Push) error {
 	var err error
+	if push.IntoCurrent {
+		if len(push.Aggregate) > 0 {
+			if c.spread != nil {
+				var sk rskt.Sketch
+				if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
+					return uerr
+				}
+				err = c.spread.ApplyBackfillCovAt(push.ForEpoch, &sk, push.CovMerged)
+			} else {
+				var sk countmin.Sketch
+				if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
+					return uerr
+				}
+				err = c.size.ApplyBackfillCovAt(push.ForEpoch, &sk, push.CovMerged)
+			}
+		}
+		switch {
+		case errors.Is(err, core.ErrStaleEpoch):
+			c.pushesLate.Add(1)
+		case errors.Is(err, core.ErrDuplicatePush):
+			c.pushesDup.Add(1)
+		case err != nil:
+			return err
+		default:
+			c.backfillsApplied.Add(1)
+		}
+		c.pushMu.Lock()
+		c.pushSeen++
+		c.pushCond.Broadcast()
+		c.pushMu.Unlock()
+		return nil
+	}
 	if c.spread != nil {
 		if len(push.Aggregate) > 0 {
 			var sk rskt.Sketch
