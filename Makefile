@@ -9,12 +9,18 @@ GO ?= go
 # internal/*/testdata/fuzz seeds each run with protocol-shaped inputs.
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test test-race race crash-test fuzz-short bench-smoke bench
+.PHONY: check build lint vet test test-race race crash-test fuzz-short bench-smoke bench
 
-check: build vet race crash-test fuzz-short bench-smoke
+check: build lint race crash-test fuzz-short bench-smoke
 
 build:
 	$(GO) build ./...
+
+# Static gate: go vet plus a gofmt diff check (fails listing the
+# unformatted files).
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

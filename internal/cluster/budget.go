@@ -1,0 +1,36 @@
+package cluster
+
+import "fmt"
+
+// WidthsForMemory is the single budget→parameter helper both designs
+// build on: it converts per-point memory budgets (bits) into sketch
+// widths with exact integer ratios, so the expand-and-compress join's
+// divisibility requirement holds. regCost is the memory per width unit —
+// 2*m*registerBits for rSkt2, registerBits for vHLL's physical array,
+// d*counterBits for CountMin.
+func WidthsForMemory(memBits []int, regCost int) ([]int, error) {
+	if len(memBits) == 0 {
+		return nil, fmt.Errorf("cluster: no memory budgets")
+	}
+	minMem := memBits[0]
+	for _, m := range memBits {
+		if m <= 0 {
+			return nil, fmt.Errorf("cluster: memory budgets must be positive")
+		}
+		if m < minMem {
+			minMem = m
+		}
+	}
+	base := minMem / regCost
+	if base < 1 {
+		base = 1
+	}
+	widths := make([]int, len(memBits))
+	for i, m := range memBits {
+		if m%minMem != 0 {
+			return nil, fmt.Errorf("cluster: memory %d not an integer multiple of the smallest budget %d", m, minMem)
+		}
+		widths[i] = base * (m / minMem)
+	}
+	return widths, nil
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestMixedBudgetSims runs all three deployments through the unified
+// budget→params helper with heterogeneous (and unsorted) per-point
+// budgets, checking the resulting widths keep the budgets' exact ratios
+// and that the expand-and-compress join accepts them end to end.
+func TestMixedBudgetSims(t *testing.T) {
+	// 4:1:2 — the smallest budget is not first.
+	mem := []int{1 << 21, 1 << 19, 1 << 20}
+
+	size, err := NewSizeSim(SizeSimConfig{
+		Window: testWindow(), MemoryBits: mem, Seed: 3, TrackTruth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, pt := range size.Points() {
+		want := size.Points()[1].Params().W * (mem[x] / mem[1])
+		if got := pt.Params().W; got != want {
+			t.Fatalf("size point %d width = %d, want %d (budget ratio %d)",
+				x, got, want, mem[x]/mem[1])
+		}
+	}
+
+	spread, err := NewSpreadSim(SpreadSimConfig{
+		Window: testWindow(), MemoryBits: mem, Seed: 3, TrackTruth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, pt := range spread.Points() {
+		want := spread.Points()[1].Params().W * (mem[x] / mem[1])
+		if got := pt.Params().W; got != want {
+			t.Fatalf("spread point %d width = %d, want %d (budget ratio %d)",
+				x, got, want, mem[x]/mem[1])
+		}
+	}
+
+	vhllSim, err := NewVhllSpreadSim(SpreadSimConfig{
+		Window: testWindow(), MemoryBits: mem, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The join must hold with mixed widths: drive every sim over the same
+	// trace and sanity-check a warm-window answer against truth.
+	for _, run := range []func(trace.Iterator) error{size.Run, spread.Run, vhllSim.Run} {
+		gen, err := trace.NewGenerator(testTrace(40_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truth, err := size.TruthAt(1, size.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, want := range truth {
+		if got := size.QueryProtocol(1, f); got < want {
+			t.Fatalf("flow %d: size estimate %d below truth %d with mixed budgets", f, got, want)
+		}
+	}
+	struth, err := spread.TruthAt(1, spread.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for f, want := range struth {
+		if want < 50 {
+			continue
+		}
+		got := spread.QueryProtocol(1, f)
+		if got < 0.2*float64(want) || got > 5*float64(want) {
+			t.Fatalf("flow %d: spread estimate %.0f far from truth %d with mixed budgets", f, got, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no large flows to check")
+	}
+}

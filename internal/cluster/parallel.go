@@ -32,86 +32,16 @@ const replayChunk = 1024
 // baselines stay sequential (they model the center and the ground truth,
 // not the data plane), so the simulation's answers are identical to Run's:
 // batches always flush before an epoch boundary is crossed, and the shard
-// fold is exact under the merge algebra.
+// fold is exact under the merge algebra. The size design's sketch ignores
+// the packet's element, so one replay loop serves both designs.
 //
 // batch is the pending-packet flush threshold (<= 0 selects
 // DefaultReplayBatch).
-func (s *SizeSim) RunParallel(stream trace.Iterator, batch int) error {
+func (s *simCore[S]) RunParallel(stream trace.Iterator, batch int) error {
 	if batch <= 0 {
 		batch = DefaultReplayBatch
 	}
-	pending := make([][]uint64, len(s.points))
-	total := 0
-	flush := func() {
-		if total == 0 {
-			return
-		}
-		var wg sync.WaitGroup
-		for x, fs := range pending {
-			if len(fs) == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(pt *core.SizePoint, fs []uint64) {
-				defer wg.Done()
-				for len(fs) > 0 {
-					n := len(fs)
-					if n > replayChunk {
-						n = replayChunk
-					}
-					pt.RecordBatch(fs[:n])
-					fs = fs[n:]
-				}
-			}(s.points[x], fs)
-			pending[x] = fs[:0]
-		}
-		wg.Wait()
-		total = 0
-	}
-	for {
-		p, ok := stream.Next()
-		if !ok {
-			flush()
-			return nil
-		}
-		if p.TS < s.lastTS {
-			flush()
-			return errNonMonotone(p.TS, s.lastTS)
-		}
-		s.lastTS = p.TS
-		if p.Point < 0 || p.Point >= len(s.points) {
-			flush()
-			return errUnknownPoint(p.Point)
-		}
-		if e := s.cfg.Window.EpochOf(p.TS); e > s.epoch {
-			flush()
-			if err := s.advanceTo(e); err != nil {
-				return err
-			}
-		}
-		pending[p.Point] = append(pending[p.Point], p.Flow)
-		total++
-		if s.truth != nil {
-			s.truth.Record(s.epoch, p.Point, p.Flow, 0)
-		}
-		if s.base != nil {
-			s.base[p.Point].Record(p.Flow)
-		}
-		if total >= batch {
-			flush()
-		}
-	}
-}
-
-// RunParallel replays a packet stream like Run, but records each point's
-// packets through the sharded RecordBatch ingest path, with the points of a
-// flush running concurrently. See SizeSim.RunParallel for the equivalence
-// argument; batch <= 0 selects DefaultReplayBatch.
-func (s *SpreadSim[S]) RunParallel(stream trace.Iterator, batch int) error {
-	if batch <= 0 {
-		batch = DefaultReplayBatch
-	}
-	pending := make([][]core.SpreadPacket, len(s.points))
+	pending := make([][]core.SpreadPacket, len(s.engines))
 	total := 0
 	flush := func() {
 		if total == 0 {
@@ -123,7 +53,7 @@ func (s *SpreadSim[S]) RunParallel(stream trace.Iterator, batch int) error {
 				continue
 			}
 			wg.Add(1)
-			go func(pt *core.SpreadPoint[S], ps []core.SpreadPacket) {
+			go func(pt *core.Point[S], ps []core.SpreadPacket) {
 				defer wg.Done()
 				for len(ps) > 0 {
 					n := len(ps)
@@ -133,7 +63,7 @@ func (s *SpreadSim[S]) RunParallel(stream trace.Iterator, batch int) error {
 					pt.RecordBatch(ps[:n])
 					ps = ps[n:]
 				}
-			}(s.points[x], ps)
+			}(s.engines[x], ps)
 			pending[x] = ps[:0]
 		}
 		wg.Wait()
@@ -150,11 +80,11 @@ func (s *SpreadSim[S]) RunParallel(stream trace.Iterator, batch int) error {
 			return errNonMonotone(p.TS, s.lastTS)
 		}
 		s.lastTS = p.TS
-		if p.Point < 0 || p.Point >= len(s.points) {
+		if p.Point < 0 || p.Point >= len(s.engines) {
 			flush()
 			return errUnknownPoint(p.Point)
 		}
-		if e := s.cfg.Window.EpochOf(p.TS); e > s.epoch {
+		if e := s.win.EpochOf(p.TS); e > s.epoch {
 			flush()
 			if err := s.advanceTo(e); err != nil {
 				return err
@@ -163,10 +93,14 @@ func (s *SpreadSim[S]) RunParallel(stream trace.Iterator, batch int) error {
 		pending[p.Point] = append(pending[p.Point], core.SpreadPacket{Flow: p.Flow, Elem: p.Elem})
 		total++
 		if s.truth != nil {
-			s.truth.Record(s.epoch, p.Point, p.Flow, p.Elem)
+			e := uint64(0)
+			if s.truthElem {
+				e = p.Elem
+			}
+			s.truth.Record(s.epoch, p.Point, p.Flow, e)
 		}
-		if s.base != nil {
-			s.base[p.Point].Record(p.Flow, p.Elem)
+		if s.baseRecord != nil {
+			s.baseRecord(p.Point, p.Flow, p.Elem)
 		}
 		if total >= batch {
 			flush()

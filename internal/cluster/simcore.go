@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// simCore is the design-independent half of a simulation: the epoch
+// clock, the boundary choreography against the generic epoch engine,
+// ground-truth tracking, and the replay loops. SpreadSim and SizeSim
+// embed it and add only the design wrappers — typed queries and the
+// design's networkwide baseline.
+type simCore[S core.Sketch[S]] struct {
+	win     window.Config
+	enhance bool
+	// engines are the design wrappers' underlying generic points,
+	// index-aligned with the wrappers the embedding sim exposes.
+	engines []*core.Point[S]
+	ctr     *core.Center[S]
+	// recv delivers one upload through the design wrapper's Receive
+	// (spread: independent per-epoch store; size: cumulative delta
+	// recovery).
+	recv  func(x int, k int64, up S) error
+	truth *metrics.Truth
+	// truthElem: the spread truth tracks distinct elements; the size
+	// truth tracks packet counts only.
+	truthElem bool
+	// Baseline hooks; nil when the baseline is disabled.
+	baseAdvance func()
+	baseRecord  func(x int, f, e uint64)
+
+	epoch  int64
+	lastTS window.Time
+
+	// OnBoundary, if set, runs right after the exchange at every epoch
+	// boundary; kNext is the epoch that just began. Query methods report
+	// the state at the boundary instant.
+	OnBoundary func(kNext int64) error
+}
+
+// Epoch returns the current epoch.
+func (s *simCore[S]) Epoch() int64 { return s.epoch }
+
+// advanceTo rolls the cluster forward to the packet's epoch, running the
+// boundary choreography for every crossed boundary.
+func (s *simCore[S]) advanceTo(epoch int64) error {
+	for s.epoch < epoch {
+		k := s.epoch
+		for x, pt := range s.engines {
+			if err := s.recv(x, k, pt.EndEpoch()); err != nil {
+				return err
+			}
+		}
+		if s.baseAdvance != nil {
+			s.baseAdvance()
+		}
+		for x, pt := range s.engines {
+			agg, err := s.ctr.AggregateFor(x, k+1)
+			if err != nil {
+				return err
+			}
+			if err := pt.ApplyAggregate(agg); err != nil {
+				return err
+			}
+			if s.enhance {
+				enh, err := s.ctr.EnhancementFor(x, k+1)
+				if err != nil {
+					return err
+				}
+				if err := pt.ApplyEnhancement(enh); err != nil {
+					return err
+				}
+			}
+		}
+		s.epoch = k + 1
+		if s.OnBoundary != nil {
+			if err := s.OnBoundary(s.epoch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Feed processes one trace packet. Packets must arrive in timestamp order.
+func (s *simCore[S]) Feed(p trace.Packet) error {
+	if p.TS < s.lastTS {
+		return errNonMonotone(p.TS, s.lastTS)
+	}
+	s.lastTS = p.TS
+	if p.Point < 0 || p.Point >= len(s.engines) {
+		return errUnknownPoint(p.Point)
+	}
+	if err := s.advanceTo(s.win.EpochOf(p.TS)); err != nil {
+		return err
+	}
+	s.engines[p.Point].Record(p.Flow, p.Elem)
+	if s.truth != nil {
+		e := uint64(0)
+		if s.truthElem {
+			e = p.Elem
+		}
+		s.truth.Record(s.epoch, p.Point, p.Flow, e)
+	}
+	if s.baseRecord != nil {
+		s.baseRecord(p.Point, p.Flow, p.Elem)
+	}
+	return nil
+}
+
+// Run replays a whole packet stream through the simulation.
+func (s *simCore[S]) Run(stream trace.Iterator) error {
+	for {
+		p, ok := stream.Next()
+		if !ok {
+			return nil
+		}
+		if err := s.Feed(p); err != nil {
+			return err
+		}
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"repro/internal/countmin"
 	"repro/internal/metrics"
 	"repro/internal/slidingsketch"
-	"repro/internal/trace"
 	"repro/internal/window"
 )
 
@@ -38,20 +37,14 @@ type SizeSimConfig struct {
 	TrackTruth bool
 }
 
-// SizeSim is a running flow-size simulation.
+// SizeSim is a running flow-size simulation: the shared engine loop
+// instantiated with the flow-size design.
 type SizeSim struct {
+	simCore[*countmin.Sketch]
 	cfg    SizeSimConfig
 	points []*core.SizePoint
 	center *core.SizeCenter
-	truth  *metrics.Truth
 	base   []*baseline.NetworkwideSize
-
-	epoch  int64
-	lastTS window.Time
-
-	// OnBoundary, if set, runs right after the exchange at every epoch
-	// boundary; kNext is the epoch that just began.
-	OnBoundary func(kNext int64) error
 }
 
 // NewSizeSim builds the simulation.
@@ -88,7 +81,19 @@ func NewSizeSim(cfg SizeSimConfig) (*SizeSim, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim := &SizeSim{cfg: cfg, points: points, center: center, epoch: 1}
+	sim := &SizeSim{cfg: cfg, points: points, center: center}
+	engines := make([]*core.Point[*countmin.Sketch], p)
+	for x, pt := range points {
+		engines[x] = pt.Point
+	}
+	sim.simCore = simCore[*countmin.Sketch]{
+		win:     cfg.Window,
+		enhance: cfg.Enhance,
+		engines: engines,
+		ctr:     center.Center,
+		recv:    center.Receive,
+		epoch:   1,
+	}
 	if cfg.TrackTruth {
 		tr, err := metrics.NewTruth(cfg.Window.N, p, true, false)
 		if err != nil {
@@ -116,94 +121,21 @@ func NewSizeSim(cfg SizeSimConfig) (*SizeSim, error) {
 			}
 			sim.base[x] = nw
 		}
+		sim.baseAdvance = func() {
+			for _, b := range sim.base {
+				b.Advance()
+			}
+		}
+		sim.baseRecord = func(x int, f, _ uint64) { sim.base[x].Record(f) }
 	}
 	return sim, nil
 }
-
-// Epoch returns the current epoch.
-func (s *SizeSim) Epoch() int64 { return s.epoch }
 
 // Points exposes the protocol points.
 func (s *SizeSim) Points() []*core.SizePoint { return s.points }
 
 // Center exposes the measurement center (for diagnostics and ablations).
 func (s *SizeSim) Center() *core.SizeCenter { return s.center }
-
-func (s *SizeSim) advanceTo(epoch int64) error {
-	for s.epoch < epoch {
-		k := s.epoch
-		for x, pt := range s.points {
-			if err := s.center.Receive(x, k, pt.EndEpoch()); err != nil {
-				return err
-			}
-		}
-		if s.base != nil {
-			for _, b := range s.base {
-				b.Advance()
-			}
-		}
-		for x, pt := range s.points {
-			agg, err := s.center.AggregateFor(x, k+1)
-			if err != nil {
-				return err
-			}
-			if err := pt.ApplyAggregate(agg); err != nil {
-				return err
-			}
-			if s.cfg.Enhance {
-				enh, err := s.center.EnhancementFor(x, k+1)
-				if err != nil {
-					return err
-				}
-				if err := pt.ApplyEnhancement(enh); err != nil {
-					return err
-				}
-			}
-		}
-		s.epoch = k + 1
-		if s.OnBoundary != nil {
-			if err := s.OnBoundary(s.epoch); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// Feed processes one trace packet. Packets must arrive in timestamp order.
-func (s *SizeSim) Feed(p trace.Packet) error {
-	if p.TS < s.lastTS {
-		return fmt.Errorf("cluster: packet timestamps not monotone (%d after %d)", p.TS, s.lastTS)
-	}
-	s.lastTS = p.TS
-	if p.Point < 0 || p.Point >= len(s.points) {
-		return fmt.Errorf("cluster: packet for unknown point %d", p.Point)
-	}
-	if err := s.advanceTo(s.cfg.Window.EpochOf(p.TS)); err != nil {
-		return err
-	}
-	s.points[p.Point].Record(p.Flow)
-	if s.truth != nil {
-		s.truth.Record(s.epoch, p.Point, p.Flow, 0)
-	}
-	if s.base != nil {
-		s.base[p.Point].Record(p.Flow)
-	}
-	return nil
-}
-
-// Run replays a whole packet stream through the simulation.
-func (s *SizeSim) Run(stream trace.Iterator) error {
-	for {
-		p, ok := stream.Next()
-		if !ok {
-			return nil
-		}
-		if err := s.Feed(p); err != nil {
-			return err
-		}
-	}
-}
 
 // QueryProtocol answers the T-query for flow f at point x from the
 // protocol's local C sketch.

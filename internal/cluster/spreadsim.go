@@ -8,6 +8,10 @@
 // modelled by delivering the center's push before the first packet of the
 // next epoch; the live TCP deployment in internal/transport enforces the
 // same assumption with real communication.
+//
+// Both simulations share one design-independent engine loop (simCore);
+// SpreadSim and SizeSim add only the typed query surface and the design's
+// networkwide baseline.
 package cluster
 
 import (
@@ -18,42 +22,10 @@ import (
 	"repro/internal/hll"
 	"repro/internal/metrics"
 	"repro/internal/rskt"
-	"repro/internal/trace"
 	"repro/internal/vate"
 	"repro/internal/vhll"
 	"repro/internal/window"
 )
-
-// WidthsForMemory converts per-point memory budgets (bits) into sketch
-// widths with exact integer ratios, so the expand-and-compress join's
-// divisibility requirement holds. regCost is the memory per width unit
-// (2*m*registerBits for rSkt2, d*counterBits for CountMin).
-func WidthsForMemory(memBits []int, regCost int) ([]int, error) {
-	if len(memBits) == 0 {
-		return nil, fmt.Errorf("cluster: no memory budgets")
-	}
-	minMem := memBits[0]
-	for _, m := range memBits {
-		if m <= 0 {
-			return nil, fmt.Errorf("cluster: memory budgets must be positive")
-		}
-		if m < minMem {
-			minMem = m
-		}
-	}
-	base := minMem / regCost
-	if base < 1 {
-		base = 1
-	}
-	widths := make([]int, len(memBits))
-	for i, m := range memBits {
-		if m%minMem != 0 {
-			return nil, fmt.Errorf("cluster: memory %d not an integer multiple of the smallest budget %d", m, minMem)
-		}
-		widths[i] = base * (m / minMem)
-	}
-	return widths, nil
-}
 
 // SpreadSimConfig configures a flow-spread simulation.
 type SpreadSimConfig struct {
@@ -83,19 +55,11 @@ type SpreadSimConfig struct {
 // rSkt2(HLL) deployment; NewVhllSpreadSim builds the vHLL-backed variant
 // used by the core-sketch ablation.
 type SpreadSim[S core.SpreadSketch[S]] struct {
+	simCore[S]
 	cfg    SpreadSimConfig
 	points []*core.SpreadPoint[S]
 	center *core.SpreadCenter[S]
-	truth  *metrics.Truth
 	base   []*baseline.NetworkwideSpread
-
-	epoch  int64
-	lastTS window.Time
-
-	// OnBoundary, if set, runs right after the exchange at every epoch
-	// boundary; kNext is the epoch that just began. Query methods report
-	// the state at the boundary instant.
-	OnBoundary func(kNext int64) error
 }
 
 // NewSpreadSim builds the paper's rSkt2(HLL)-backed simulation.
@@ -170,13 +134,27 @@ func NewVhllSpreadSim(cfg SpreadSimConfig) (*SpreadSim[*vhll.Sketch], error) {
 	return newSpreadSim(cfg, points, center)
 }
 
-// newSpreadSim wires the sketch-independent parts (truth, baseline).
+// newSpreadSim wires the shared engine loop and the sketch-independent
+// extras (truth, baseline).
 func newSpreadSim[S core.SpreadSketch[S]](cfg SpreadSimConfig, points []*core.SpreadPoint[S], center *core.SpreadCenter[S]) (*SpreadSim[S], error) {
 	if cfg.VirtualBits == 0 {
 		cfg.VirtualBits = vate.DefaultVirtualBits
 	}
 	p := len(points)
-	sim := &SpreadSim[S]{cfg: cfg, points: points, center: center, epoch: 1}
+	sim := &SpreadSim[S]{cfg: cfg, points: points, center: center}
+	engines := make([]*core.Point[S], p)
+	for x, pt := range points {
+		engines[x] = pt.Point
+	}
+	sim.simCore = simCore[S]{
+		win:       cfg.Window,
+		enhance:   cfg.Enhance,
+		engines:   engines,
+		ctr:       center.Center,
+		recv:      center.Receive,
+		truthElem: true,
+		epoch:     1,
+	}
 	if cfg.TrackTruth {
 		tr, err := metrics.NewTruth(cfg.Window.N, p, false, true)
 		if err != nil {
@@ -204,93 +182,18 @@ func newSpreadSim[S core.SpreadSketch[S]](cfg SpreadSimConfig, points []*core.Sp
 			}
 			sim.base[x] = nw
 		}
+		sim.baseAdvance = func() {
+			for _, b := range sim.base {
+				b.Advance()
+			}
+		}
+		sim.baseRecord = func(x int, f, e uint64) { sim.base[x].Record(f, e) }
 	}
 	return sim, nil
 }
 
-// Epoch returns the current epoch.
-func (s *SpreadSim[S]) Epoch() int64 { return s.epoch }
-
 // Points exposes the protocol points.
 func (s *SpreadSim[S]) Points() []*core.SpreadPoint[S] { return s.points }
-
-// advanceTo rolls the cluster forward to the packet's epoch, running the
-// boundary choreography for every crossed boundary.
-func (s *SpreadSim[S]) advanceTo(epoch int64) error {
-	for s.epoch < epoch {
-		k := s.epoch
-		for x, pt := range s.points {
-			if err := s.center.Receive(x, k, pt.EndEpoch()); err != nil {
-				return err
-			}
-		}
-		if s.base != nil {
-			for _, b := range s.base {
-				b.Advance()
-			}
-		}
-		for x, pt := range s.points {
-			agg, err := s.center.AggregateFor(x, k+1)
-			if err != nil {
-				return err
-			}
-			if err := pt.ApplyAggregate(agg); err != nil {
-				return err
-			}
-			if s.cfg.Enhance {
-				enh, err := s.center.EnhancementFor(x, k+1)
-				if err != nil {
-					return err
-				}
-				if err := pt.ApplyEnhancement(enh); err != nil {
-					return err
-				}
-			}
-		}
-		s.epoch = k + 1
-		if s.OnBoundary != nil {
-			if err := s.OnBoundary(s.epoch); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// Feed processes one trace packet. Packets must arrive in timestamp order.
-func (s *SpreadSim[S]) Feed(p trace.Packet) error {
-	if p.TS < s.lastTS {
-		return fmt.Errorf("cluster: packet timestamps not monotone (%d after %d)", p.TS, s.lastTS)
-	}
-	s.lastTS = p.TS
-	if p.Point < 0 || p.Point >= len(s.points) {
-		return fmt.Errorf("cluster: packet for unknown point %d", p.Point)
-	}
-	if err := s.advanceTo(s.cfg.Window.EpochOf(p.TS)); err != nil {
-		return err
-	}
-	s.points[p.Point].Record(p.Flow, p.Elem)
-	if s.truth != nil {
-		s.truth.Record(s.epoch, p.Point, p.Flow, p.Elem)
-	}
-	if s.base != nil {
-		s.base[p.Point].Record(p.Flow, p.Elem)
-	}
-	return nil
-}
-
-// Run replays a whole packet stream through the simulation.
-func (s *SpreadSim[S]) Run(stream trace.Iterator) error {
-	for {
-		p, ok := stream.Next()
-		if !ok {
-			return nil
-		}
-		if err := s.Feed(p); err != nil {
-			return err
-		}
-	}
-}
 
 // QueryProtocol answers the T-query for flow f at point x from the
 // protocol's local C sketch.

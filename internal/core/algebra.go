@@ -1,0 +1,116 @@
+package core
+
+import "fmt"
+
+// The sketch algebra: the complete contract the generic epoch engine
+// (Point, Center) needs from a per-flow sketch. The paper notes both of
+// its designs "can be easily modified to work with other sketches"
+// (Section IV-B); this interface is that modification point, shared by the
+// three-sketch spread design (register-max merge) and the two-sketch size
+// design (counter-add merge). A backend supplies the operations; the
+// engine supplies the epoch choreography, the ST join, the coverage
+// accounting and the durable state — exactly once.
+//
+// Implementations are pointer-shaped: the zero value of S is nil, which
+// the engine uses as the "no sketch" signal (IsNil).
+type Sketch[S any] interface {
+	// Record inserts packet <f, e>. Designs that only need the flow key
+	// (size) ignore e.
+	Record(f, e uint64)
+	// EstimateUnion answers the flow-f estimate over the merge of the
+	// sketch and others (as if every other sketch had been Merge-d in
+	// first) without mutating anything. others share the sketch's shape;
+	// an empty slice answers from the sketch alone. The sharded ingest
+	// path uses it to fold not-yet-merged shard deltas into query answers.
+	EstimateUnion(f uint64, others []S) float64
+	// Merge folds another sketch in under the design's merge algebra:
+	// register-wise max for spread sketches, counter-wise addition for
+	// size sketches.
+	Merge(S) error
+	// CopyFrom overwrites this sketch's state with another's.
+	CopyFrom(S) error
+	// Reset zeroes the sketch.
+	Reset()
+	// Clone returns a deep copy.
+	Clone() S
+	// ExpandTo/CompressTo implement the expand-and-compress nonuniform
+	// join (Sections IV-C, V-C); widths must have integral ratios.
+	ExpandTo(w int) (S, error)
+	CompressTo(w int) (S, error)
+	// Width is the sketch's column count (the paper's w — the dimension
+	// that varies under device diversity).
+	Width() int
+	// Compatible reports whether two sketches may be joined after width
+	// alignment (same estimator shape and hash seed).
+	Compatible(S) bool
+	// MarshalBinary/UnmarshalBinary are the sketch's durable form, used
+	// by the wire protocol and the checkpoint export/import paths.
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary([]byte) error
+}
+
+// Mode selects how a measurement point uploads its per-epoch data.
+type Mode int
+
+const (
+	// ModeCumulative is the paper's two-sketch design: the point uploads
+	// its cumulative C sketch and the center recovers each epoch's delta
+	// by subtraction (Section V-B). Two sketches of memory. Requires an
+	// invertible (additive) merge.
+	ModeCumulative Mode = iota + 1
+	// ModeDelta keeps a third B sketch and uploads the per-epoch delta
+	// directly: the three-sketch spread design, and the size design's
+	// ablation variant.
+	ModeDelta
+)
+
+// EngineConfig fixes a design's discipline when instantiating the generic
+// epoch engine: how the point uploads (Mode), whether the merge algebra is
+// additive, and how errors name the design.
+type EngineConfig[S any] struct {
+	// Design names the instantiation in error messages ("spread", "size").
+	Design string
+	// Mode is the upload discipline. ModeCumulative requires Additive.
+	Mode Mode
+	// Additive marks a counter-style algebra (size): merging the same
+	// sketch twice double-counts. It drives everything that differs
+	// between the two designs beyond the merge operator itself — upload
+	// metadata carries push lineage (UploadMeta flags with the one-epoch
+	// AggAppliedPrev memory), the center enforces strict upload
+	// sequencing, clones on receive, and records every sent push so the
+	// cumulative inversion (and an idempotent re-push) stays exact. A
+	// max-style algebra (spread) needs none of that: merges are
+	// idempotent, uploads are independent, and late uploads fill window
+	// holes.
+	Additive bool
+	// Sub undoes a Merge (dst -= src), required in ModeCumulative for the
+	// center's Section V-B recovery; unused otherwise.
+	Sub func(dst, src S) error
+	// Shards is the ingest-shard count (0 = the GOMAXPROCS-bounded
+	// default, 1 = the serial layout).
+	Shards int
+}
+
+func (c EngineConfig[S]) validate() error {
+	if c.Mode != ModeCumulative && c.Mode != ModeDelta {
+		return fmt.Errorf("core: invalid mode %d", c.Mode)
+	}
+	return nil
+}
+
+// IsNil reports whether a sketch value is absent: sketch implementations
+// are pointer types, and a nil pointer is the "no aggregate yet" signal
+// during cluster start-up. Not on the hot path (at most a few calls per
+// epoch).
+func IsNil[S any](s S) bool {
+	var zero S
+	return any(s) == any(zero)
+}
+
+// mustMerge folds src into dst; shards share the point's sketch shape by
+// construction, so a mismatch is a programmer error.
+func mustMerge[S Sketch[S]](dst, src S) {
+	if err := dst.Merge(src); err != nil {
+		panic("core: shard fold: " + err.Error())
+	}
+}

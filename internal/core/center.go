@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The generic measurement center: the single implementation of the
+// center-side epoch engine — upload ingestion, the spatio-temporal join
+// (eq. (5)), enhancement, coverage accounting and window trimming.
+// SpreadCenter and SizeCenter are thin instantiations; the differences
+// between the designs hang off EngineConfig:
+//
+//   - A max-merge design (spread) stores uploads as independent per-epoch
+//     facts: duplicates are dropped idempotently, late uploads fill window
+//     holes, and pushes need no bookkeeping because re-merging is free.
+//   - An additive design (size) enforces strict upload sequencing, clones
+//     on receive, records every sent push, and — in cumulative mode —
+//     inverts each upload into a per-epoch delta by subtraction
+//     (Section V-B).
+type Center[S Sketch[S]] struct {
+	mu sync.Mutex
+
+	windowN  int
+	design   string
+	mode     Mode
+	additive bool
+	sub      func(dst, src S) error
+
+	protos map[int]S // zero-state prototype per point (width + shape)
+	wMax   int
+
+	// uploads[point][epoch] is the single-epoch measurement: the uploaded
+	// B sketch for a delta-mode max design, the recovered delta for the
+	// size design. Old epochs are trimmed once outside every window.
+	uploads map[int]map[int64]S
+	// sentAgg[point][epoch] is the aggregate pushed to point during that
+	// epoch, exactly as sent (customized width); additive designs need it
+	// to invert cumulative uploads and to re-push idempotently.
+	sentAgg map[int]map[int64]S
+	// sentEnh[point][epoch] is the enhancement pushed during that epoch.
+	sentEnh map[int]map[int64]S
+	// lastEpoch[point] is the most recent epoch the point uploaded; the
+	// transport layer uses it to resynchronize reconnecting points.
+	// Additive designs also use it to enforce sequencing.
+	lastEpoch map[int]int64
+	// chainBroken[point] marks a cumulative-mode point whose recovery
+	// chain lost an epoch (upload gap): the inversion needs the previous
+	// epoch's delta, so post-gap uploads are unusable until the point
+	// sends a rebase upload (see UploadMeta.Rebase).
+	chainBroken map[int]bool
+}
+
+// NewCenter creates a center for a cluster whose points use the given
+// sketch prototypes (keyed by point id), with the design discipline fixed
+// by cfg. All prototypes must be mutually compatible, and the maximum
+// width must be a multiple of every width (power-of-two-ratio widths
+// satisfy this). ModeCumulative requires cfg.Sub.
+func NewCenter[S Sketch[S]](windowN int, protos map[int]S, cfg EngineConfig[S]) (*Center[S], error) {
+	if windowN < 3 {
+		return nil, fmt.Errorf("core: window n must be >= 3, got %d", windowN)
+	}
+	if len(protos) == 0 {
+		return nil, fmt.Errorf("core: no measurement points")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == ModeCumulative && cfg.Sub == nil {
+		return nil, fmt.Errorf("core: cumulative mode requires a subtraction operator")
+	}
+	wMax := 0
+	var ref S
+	haveRef := false
+	for _, p := range protos {
+		if IsNil(p) {
+			return nil, fmt.Errorf("core: nil sketch prototype")
+		}
+		if p.Width() > wMax {
+			wMax = p.Width()
+		}
+		if !haveRef {
+			ref = p
+			haveRef = true
+		}
+	}
+	for id, p := range protos {
+		if !ref.Compatible(p) {
+			return nil, fmt.Errorf("core: point %d's sketch is incompatible with the cluster", id)
+		}
+		if wMax%p.Width() != 0 {
+			return nil, fmt.Errorf("core: width %d of point %d does not divide max width %d", p.Width(), id, wMax)
+		}
+	}
+	c := &Center[S]{
+		windowN:   windowN,
+		design:    cfg.Design,
+		mode:      cfg.Mode,
+		additive:  cfg.Additive,
+		sub:       cfg.Sub,
+		protos:    make(map[int]S, len(protos)),
+		wMax:      wMax,
+		uploads:   make(map[int]map[int64]S, len(protos)),
+		lastEpoch: make(map[int]int64, len(protos)),
+	}
+	if cfg.Additive {
+		c.sentAgg = make(map[int]map[int64]S, len(protos))
+		c.sentEnh = make(map[int]map[int64]S, len(protos))
+		c.chainBroken = make(map[int]bool, len(protos))
+	}
+	for id, p := range protos {
+		c.protos[id] = p.Clone()
+		c.uploads[id] = make(map[int64]S)
+		if cfg.Additive {
+			c.sentAgg[id] = make(map[int64]S)
+			c.sentEnh[id] = make(map[int64]S)
+		}
+	}
+	return c, nil
+}
+
+// ReceiveMeta ingests point's upload for the given epoch and stores (for
+// an additive design: recovers) that epoch's measurement, subtracting only
+// the pushes the upload's lineage actually absorbed (meta; max-merge
+// designs ignore it). Degraded sequences are tolerated rather than fatal.
+//
+// Max-merge designs treat per-epoch uploads as independent: a duplicate
+// epoch is dropped idempotently (ErrDuplicateUpload) and a late upload
+// that arrives out of order fills its window hole and improves future
+// joins' coverage. Additive designs enforce sequencing: an epoch at or
+// before the last ingested one is dropped idempotently
+// (ErrDuplicateUpload); in cumulative mode an epoch gap breaks the
+// recovery chain, so post-gap uploads are dropped (ErrUploadGap) until a
+// rebase upload reseeds the chain; in delta mode uploads are independent
+// and gaps merely leave window holes, which CoverageFor reports.
+func (c *Center[S]) ReceiveMeta(point int, epoch int64, upload S, meta UploadMeta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	per, ok := c.uploads[point]
+	if !ok {
+		return fmt.Errorf("core: unknown %s point %d", c.design, point)
+	}
+	proto := c.protos[point]
+	if IsNil(upload) || !proto.Compatible(upload) || proto.Width() != upload.Width() {
+		return fmt.Errorf("core: upload from point %d does not match its declared sketch", point)
+	}
+	if !c.additive {
+		if _, dup := per[epoch]; dup {
+			return ErrDuplicateUpload
+		}
+		// Stored without cloning: re-merging a max sketch is idempotent, so
+		// the center may alias the caller's (ownership-transferred) upload.
+		per[epoch] = upload
+		if epoch > c.lastEpoch[point] {
+			c.lastEpoch[point] = epoch
+		}
+		c.trimLocked(c.lastEpoch[point])
+		return nil
+	}
+	last := c.lastEpoch[point]
+	if epoch <= last {
+		return ErrDuplicateUpload
+	}
+	delta := upload.Clone()
+	if c.mode == ModeCumulative {
+		sub := func(sk S, ok bool) error {
+			if !ok {
+				return nil
+			}
+			if err := c.sub(delta, sk); err != nil {
+				return fmt.Errorf("core: recover point %d epoch %d: %w", point, epoch, err)
+			}
+			return nil
+		}
+		switch {
+		case meta.Rebase:
+			// C' = delta_{x,epoch} + agg applied during epoch: a clean
+			// reseed regardless of what came before.
+			if meta.AggApplied {
+				agg, ok := c.sentAgg[point][epoch]
+				if err := sub(agg, ok); err != nil {
+					return err
+				}
+			}
+			c.chainBroken[point] = false
+		case epoch != last+1 || c.chainBroken[point]:
+			// The chain lost an epoch: C contains the missing previous
+			// delta and nothing can subtract it. Drop the payload, keep
+			// the sequence position, wait for a rebase.
+			c.chainBroken[point] = true
+			c.lastEpoch[point] = epoch
+			c.trimLocked(epoch)
+			return ErrUploadGap
+		default:
+			// Invert the cumulative upload (Section V-B):
+			//   C_{x,k} = agg applied during k-1 + enh applied during k
+			//           + delta_{x,k-1} + delta_{x,k}.
+			prev, ok := per[epoch-1]
+			if err := sub(prev, ok); err != nil {
+				return err
+			}
+			if meta.AggApplied {
+				agg, ok := c.sentAgg[point][epoch-1]
+				if err := sub(agg, ok); err != nil {
+					return err
+				}
+			}
+			if meta.EnhApplied {
+				enh, ok := c.sentEnh[point][epoch]
+				if err := sub(enh, ok); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	per[epoch] = delta
+	c.lastEpoch[point] = epoch
+	c.trimLocked(epoch)
+	return nil
+}
+
+// LastEpoch returns the most recent epoch the point has uploaded (0 if
+// none).
+func (c *Center[S]) LastEpoch(point int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastEpoch[point]
+}
+
+// MaxEpoch returns the most recent epoch any point has uploaded (0 if
+// none) — the cluster's epoch clock as the center sees it.
+func (c *Center[S]) MaxEpoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m int64
+	for _, e := range c.lastEpoch {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// CoverageFor counts, for the aggregate pushed during epoch k, how many
+// point-epoch measurements the center actually holds in the eq. (5) join
+// range versus how many a fully healthy window would contribute.
+func (c *Center[S]) CoverageFor(k int64) (merged, expected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first, last, ok := aggregateSpan(k, c.windowN)
+	if !ok {
+		return 0, 0
+	}
+	for _, per := range c.uploads {
+		for e := first; e <= last; e++ {
+			if _, ok := per[e]; ok {
+				merged++
+			}
+		}
+	}
+	return merged, len(c.uploads) * int(last-first+1)
+}
+
+// HasUpload reports whether the center holds point's measurement for
+// epoch. The transport layer uses it after an ImportState to rebuild its
+// round-completion accounting for epochs the restored rounds had not yet
+// pushed.
+func (c *Center[S]) HasUpload(point int, epoch int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.uploads[point][epoch]
+	return ok
+}
+
+// trimLocked drops measurements (and, for additive designs, sent pushes)
+// too old to contribute to any future join.
+func (c *Center[S]) trimLocked(latest int64) {
+	floor := latest - int64(c.windowN) - 1
+	trim := func(maps map[int]map[int64]S) {
+		for _, per := range maps {
+			for e := range per {
+				if e < floor {
+					delete(per, e)
+				}
+			}
+		}
+	}
+	trim(c.uploads)
+	if c.additive {
+		trim(c.sentAgg)
+		trim(c.sentEnh)
+	}
+}
+
+// temporalJoinLocked merges point's measurements over epochs [first,
+// last], or a nil sketch if the range is empty or nothing was uploaded.
+func (c *Center[S]) temporalJoinLocked(point int, first, last int64) (S, error) {
+	var acc S
+	have := false
+	for e := first; e <= last; e++ {
+		d, ok := c.uploads[point][e]
+		if !ok {
+			continue
+		}
+		if !have {
+			acc = d.Clone()
+			have = true
+			continue
+		}
+		if err := acc.Merge(d); err != nil {
+			return acc, fmt.Errorf("core: temporal join point %d epoch %d: %w", point, e, err)
+		}
+	}
+	return acc, nil
+}
+
+// spatialJoinLocked expands every per-point aggregate to the maximum width
+// and merges them (the uniform join degenerates to a plain merge).
+func (c *Center[S]) spatialJoinLocked(parts map[int]S) (S, error) {
+	var acc S
+	have := false
+	for point, s := range parts {
+		if IsNil(s) {
+			continue
+		}
+		e, err := s.ExpandTo(c.wMax)
+		if err != nil {
+			return acc, fmt.Errorf("core: expand point %d: %w", point, err)
+		}
+		if !have {
+			acc = e
+			have = true
+			continue
+		}
+		if err := acc.Merge(e); err != nil {
+			return acc, fmt.Errorf("core: spatial join point %d: %w", point, err)
+		}
+	}
+	return acc, nil
+}
+
+// AggregateFor computes, during epoch k, the networkwide join of epochs
+// k-n+2 .. k-1 (eq. (3)'s center-provided part, eq. (5)), compressed to
+// the requesting point's width. It returns a nil sketch when no epoch in
+// the range has data (cluster start-up). For additive designs the result
+// is recorded as sent (required for recovery in cumulative mode) and the
+// call is idempotent per (point, k): repeated calls return the recorded
+// aggregate.
+func (c *Center[S]) AggregateFor(point int, k int64) (S, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero S
+	proto, ok := c.protos[point]
+	if !ok {
+		return zero, fmt.Errorf("core: unknown %s point %d", c.design, point)
+	}
+	if c.additive {
+		if sent, ok := c.sentAgg[point][k]; ok {
+			return sent.Clone(), nil
+		}
+	}
+	first, last := k-int64(c.windowN)+2, k-1
+	parts := make(map[int]S, len(c.uploads))
+	for id := range c.uploads {
+		tj, err := c.temporalJoinLocked(id, first, last)
+		if err != nil {
+			return zero, err
+		}
+		parts[id] = tj
+	}
+	joined, err := c.spatialJoinLocked(parts)
+	if err != nil || IsNil(joined) {
+		return zero, err
+	}
+	out, err := joined.CompressTo(proto.Width())
+	if err != nil {
+		return zero, err
+	}
+	if c.additive {
+		c.sentAgg[point][k] = out.Clone()
+	}
+	return out, nil
+}
+
+// EnhancementFor computes, during epoch k, the join over peers (all points
+// except the requester) of the last completed epoch k-1, compressed to the
+// requesting point's width (Section IV-D). It returns a nil sketch when no
+// peer has data for that epoch. For additive designs the result is
+// recorded as sent; idempotent per (point, k).
+func (c *Center[S]) EnhancementFor(point int, k int64) (S, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero S
+	proto, ok := c.protos[point]
+	if !ok {
+		return zero, fmt.Errorf("core: unknown %s point %d", c.design, point)
+	}
+	if c.additive {
+		if sent, ok := c.sentEnh[point][k]; ok {
+			return sent.Clone(), nil
+		}
+	}
+	parts := make(map[int]S, len(c.uploads))
+	for id, per := range c.uploads {
+		if id == point {
+			continue
+		}
+		if d, ok := per[k-1]; ok {
+			parts[id] = d
+		}
+	}
+	joined, err := c.spatialJoinLocked(parts)
+	if err != nil || IsNil(joined) {
+		return zero, err
+	}
+	out, err := joined.CompressTo(proto.Width())
+	if err != nil {
+		return zero, err
+	}
+	if c.additive {
+		c.sentEnh[point][k] = out.Clone()
+	}
+	return out, nil
+}

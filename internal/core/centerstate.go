@@ -11,7 +11,9 @@ import (
 // new process. Export/Import move the whole store at once — they are
 // checkpoint primitives, not incremental replication. Sketches travel as
 // opaque byte blobs so the transport layer can frame them with whatever
-// codec it already uses for the wire (see internal/transport).
+// codec it already uses for the wire (see internal/transport). The map
+// marshaling/unmarshaling machinery is generic; the state structs keep
+// their design-specific (gob-frozen) shapes.
 
 // SpreadCenterState is the durable form of a SpreadCenter's window store:
 // every retained per-point per-epoch upload plus the upload sequence
@@ -23,76 +25,6 @@ type SpreadCenterState struct {
 	// Uploads[point][epoch] is the marshaled B sketch the point uploaded
 	// at that epoch's end.
 	Uploads map[int]map[int64][]byte
-}
-
-// ExportState snapshots the center's window store, marshaling each retained
-// upload with marshal. The snapshot is taken atomically under the center's
-// lock.
-func (c *SpreadCenter[S]) ExportState(marshal func(S) ([]byte, error)) (*SpreadCenterState, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := &SpreadCenterState{
-		LastEpoch: make(map[int]int64, len(c.lastEpoch)),
-		Uploads:   make(map[int]map[int64][]byte, len(c.uploads)),
-	}
-	for id, e := range c.lastEpoch {
-		st.LastEpoch[id] = e
-	}
-	for id, per := range c.uploads {
-		m := make(map[int64][]byte, len(per))
-		for e, sk := range per {
-			data, err := marshal(sk)
-			if err != nil {
-				return nil, fmt.Errorf("core: export point %d epoch %d: %w", id, e, err)
-			}
-			m[e] = data
-		}
-		st.Uploads[id] = m
-	}
-	return st, nil
-}
-
-// ImportState replaces the center's window store with a previously exported
-// snapshot, unmarshaling each upload with unmarshal. Every point id must be
-// known to the center and every sketch must match the point's declared
-// shape — a checkpoint from a differently configured cluster is rejected
-// before any state is replaced. A nil state is a no-op.
-func (c *SpreadCenter[S]) ImportState(st *SpreadCenterState, unmarshal func([]byte) (S, error)) error {
-	if st == nil {
-		return nil
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	uploads := make(map[int]map[int64]S, len(c.protos))
-	for id := range c.protos {
-		uploads[id] = make(map[int64]S)
-	}
-	for id, per := range st.Uploads {
-		proto, ok := c.protos[id]
-		if !ok {
-			return fmt.Errorf("core: import: unknown spread point %d", id)
-		}
-		for e, data := range per {
-			sk, err := unmarshal(data)
-			if err != nil {
-				return fmt.Errorf("core: import point %d epoch %d: %w", id, e, err)
-			}
-			if isNilSketch(sk) || !proto.Compatible(sk) || proto.Width() != sk.Width() {
-				return fmt.Errorf("core: import point %d epoch %d: sketch does not match the declared shape", id, e)
-			}
-			uploads[id][e] = sk
-		}
-	}
-	lastEpoch := make(map[int]int64, len(st.LastEpoch))
-	for id, e := range st.LastEpoch {
-		if _, ok := c.protos[id]; !ok {
-			return fmt.Errorf("core: import: unknown spread point %d", id)
-		}
-		lastEpoch[id] = e
-	}
-	c.uploads = uploads
-	c.lastEpoch = lastEpoch
-	return nil
 }
 
 // SizeCenterState is the durable form of a SizeCenter's recovery state:
@@ -114,6 +46,104 @@ type SizeCenterState struct {
 	SentEnh map[int]map[int64][]byte
 }
 
+// marshalSketchMaps marshals a per-point per-epoch sketch store into the
+// durable blob form.
+func marshalSketchMaps[S Sketch[S]](src map[int]map[int64]S, marshal func(S) ([]byte, error)) (map[int]map[int64][]byte, error) {
+	out := make(map[int]map[int64][]byte, len(src))
+	for id, per := range src {
+		m := make(map[int64][]byte, len(per))
+		for e, sk := range per {
+			data, err := marshal(sk)
+			if err != nil {
+				return nil, fmt.Errorf("core: export point %d epoch %d: %w", id, e, err)
+			}
+			m[e] = data
+		}
+		out[id] = m
+	}
+	return out, nil
+}
+
+// importSketchMapsLocked rebuilds a per-point per-epoch sketch store from
+// its durable blob form: every point id must be known to the center and
+// every decoded sketch must pass check. label prefixes decode errors (""
+// or "delta " / "sent aggregate " / ...). Caller holds c.mu.
+func (c *Center[S]) importSketchMapsLocked(src map[int]map[int64][]byte, label string,
+	unmarshal func([]byte) (S, error), check func(id int, epoch int64, sk S) error) (map[int]map[int64]S, error) {
+	out := make(map[int]map[int64]S, len(c.protos))
+	for id := range c.protos {
+		out[id] = make(map[int64]S)
+	}
+	for id, per := range src {
+		if _, ok := c.protos[id]; !ok {
+			return nil, fmt.Errorf("core: import: unknown %s point %d", c.design, id)
+		}
+		for e, data := range per {
+			sk, err := unmarshal(data)
+			if err != nil {
+				return nil, fmt.Errorf("core: import %spoint %d epoch %d: %w", label, id, e, err)
+			}
+			if err := check(id, e, sk); err != nil {
+				return nil, err
+			}
+			out[id][e] = sk
+		}
+	}
+	return out, nil
+}
+
+// ExportState snapshots the center's window store, marshaling each retained
+// upload with marshal. The snapshot is taken atomically under the center's
+// lock.
+func (c *SpreadCenter[S]) ExportState(marshal func(S) ([]byte, error)) (*SpreadCenterState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &SpreadCenterState{
+		LastEpoch: make(map[int]int64, len(c.lastEpoch)),
+	}
+	for id, e := range c.lastEpoch {
+		st.LastEpoch[id] = e
+	}
+	var err error
+	if st.Uploads, err = marshalSketchMaps(c.uploads, marshal); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ImportState replaces the center's window store with a previously exported
+// snapshot, unmarshaling each upload with unmarshal. Every point id must be
+// known to the center and every sketch must match the point's declared
+// shape — a checkpoint from a differently configured cluster is rejected
+// before any state is replaced. A nil state is a no-op.
+func (c *SpreadCenter[S]) ImportState(st *SpreadCenterState, unmarshal func([]byte) (S, error)) error {
+	if st == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	uploads, err := c.importSketchMapsLocked(st.Uploads, "", unmarshal, func(id int, e int64, sk S) error {
+		proto := c.protos[id]
+		if IsNil(sk) || !proto.Compatible(sk) || proto.Width() != sk.Width() {
+			return fmt.Errorf("core: import point %d epoch %d: sketch does not match the declared shape", id, e)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	lastEpoch := make(map[int]int64, len(st.LastEpoch))
+	for id, e := range st.LastEpoch {
+		if _, ok := c.protos[id]; !ok {
+			return fmt.Errorf("core: import: unknown spread point %d", id)
+		}
+		lastEpoch[id] = e
+	}
+	c.uploads = uploads
+	c.lastEpoch = lastEpoch
+	return nil
+}
+
 // ExportState snapshots the center's recovery state atomically.
 func (c *SizeCenter) ExportState() (*SizeCenterState, error) {
 	c.mu.Lock()
@@ -130,14 +160,15 @@ func (c *SizeCenter) ExportState() (*SizeCenterState, error) {
 			st.ChainBroken[id] = true
 		}
 	}
+	marshal := func(sk *countmin.Sketch) ([]byte, error) { return sk.MarshalBinary() }
 	var err error
-	if st.Deltas, err = marshalSizeMaps(c.deltas); err != nil {
+	if st.Deltas, err = marshalSketchMaps(c.uploads, marshal); err != nil {
 		return nil, err
 	}
-	if st.SentAgg, err = marshalSizeMaps(c.sentAgg); err != nil {
+	if st.SentAgg, err = marshalSketchMaps(c.sentAgg, marshal); err != nil {
 		return nil, err
 	}
-	if st.SentEnh, err = marshalSizeMaps(c.sentEnh); err != nil {
+	if st.SentEnh, err = marshalSketchMaps(c.sentEnh, marshal); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -154,15 +185,31 @@ func (c *SizeCenter) ImportState(st *SizeCenterState) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	deltas, err := c.unmarshalSizeMapsLocked(st.Deltas, "delta")
+	unmarshal := func(data []byte) (*countmin.Sketch, error) {
+		var sk countmin.Sketch
+		if err := sk.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return &sk, nil
+	}
+	check := func(what string) func(int, int64, *countmin.Sketch) error {
+		return func(id int, e int64, sk *countmin.Sketch) error {
+			if sk.Params() != c.params[id] {
+				return fmt.Errorf("core: import %s point %d epoch %d: parameters %+v, want %+v",
+					what, id, e, sk.Params(), c.params[id])
+			}
+			return nil
+		}
+	}
+	deltas, err := c.importSketchMapsLocked(st.Deltas, "delta ", unmarshal, check("delta"))
 	if err != nil {
 		return err
 	}
-	sentAgg, err := c.unmarshalSizeMapsLocked(st.SentAgg, "sent aggregate")
+	sentAgg, err := c.importSketchMapsLocked(st.SentAgg, "sent aggregate ", unmarshal, check("sent aggregate"))
 	if err != nil {
 		return err
 	}
-	sentEnh, err := c.unmarshalSizeMapsLocked(st.SentEnh, "sent enhancement")
+	sentEnh, err := c.importSketchMapsLocked(st.SentEnh, "sent enhancement ", unmarshal, check("sent enhancement"))
 	if err != nil {
 		return err
 	}
@@ -182,71 +229,10 @@ func (c *SizeCenter) ImportState(st *SizeCenterState) error {
 			chainBroken[id] = true
 		}
 	}
-	c.deltas = deltas
+	c.uploads = deltas
 	c.sentAgg = sentAgg
 	c.sentEnh = sentEnh
 	c.lastEpoch = lastEpoch
 	c.chainBroken = chainBroken
 	return nil
-}
-
-// HasUpload reports whether the center holds point's upload for epoch.
-// The transport layer uses it after an ImportState to rebuild its
-// round-completion accounting for epochs the restored rounds had not yet
-// pushed.
-func (c *SpreadCenter[S]) HasUpload(point int, epoch int64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.uploads[point][epoch]
-	return ok
-}
-
-// HasDelta reports whether the center holds point's recovered delta for
-// epoch (see SpreadCenter.HasUpload).
-func (c *SizeCenter) HasDelta(point int, epoch int64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.deltas[point][epoch]
-	return ok
-}
-
-func marshalSizeMaps(src map[int]map[int64]*countmin.Sketch) (map[int]map[int64][]byte, error) {
-	out := make(map[int]map[int64][]byte, len(src))
-	for id, per := range src {
-		m := make(map[int64][]byte, len(per))
-		for e, sk := range per {
-			data, err := sk.MarshalBinary()
-			if err != nil {
-				return nil, fmt.Errorf("core: export point %d epoch %d: %w", id, e, err)
-			}
-			m[e] = data
-		}
-		out[id] = m
-	}
-	return out, nil
-}
-
-func (c *SizeCenter) unmarshalSizeMapsLocked(src map[int]map[int64][]byte, what string) (map[int]map[int64]*countmin.Sketch, error) {
-	out := make(map[int]map[int64]*countmin.Sketch, len(c.params))
-	for id := range c.params {
-		out[id] = make(map[int64]*countmin.Sketch)
-	}
-	for id, per := range src {
-		params, ok := c.params[id]
-		if !ok {
-			return nil, fmt.Errorf("core: import: unknown size point %d", id)
-		}
-		for e, data := range per {
-			var sk countmin.Sketch
-			if err := sk.UnmarshalBinary(data); err != nil {
-				return nil, fmt.Errorf("core: import %s point %d epoch %d: %w", what, id, e, err)
-			}
-			if sk.Params() != params {
-				return nil, fmt.Errorf("core: import %s point %d epoch %d: parameters %+v, want %+v",
-					what, id, e, sk.Params(), params)
-			}
-			out[id][e] = &sk
-		}
-	}
-	return out, nil
 }

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The generic measurement point: the single implementation of the
+// point-side epoch engine. The paper describes two designs — three-sketch
+// spread (Section IV) and two-sketch size (Section V) — whose epoch
+// choreography is identical: record locally, upload at the epoch boundary,
+// copy C' to C, merge the center's pushes into C'/C. Everything that
+// differs is captured by EngineConfig (upload mode, merge additivity) and
+// the Sketch algebra; SpreadPoint and SizePoint are thin instantiations.
+
+// pointShard is one ingest shard of a measurement point: a delta sketch
+// receiving a slice of the record stream, folded into B/C/C' with the
+// design's merge algebra at the fold points (see shard.go).
+type pointShard[S Sketch[S]] struct {
+	mu    sync.Mutex
+	dirty atomic.Bool // set on record, cleared on fold; lets readers skip clean shards
+	d     S
+}
+
+// Point is one measurement point of the generic epoch engine. It is safe
+// for concurrent use: the record path is lock-striped across shards, so the
+// live transport's recorders do not serialize behind the point mutex while
+// aggregates arrive from the center.
+type Point[S Sketch[S]] struct {
+	mu sync.Mutex // guards epoch and the authoritative sketch set
+
+	id       int
+	design   string // names the instantiation in error messages
+	mode     Mode
+	additive bool
+	fresh    func() S
+	epoch    int64 // current epoch k (1-based)
+
+	b  S // per-epoch measurement (ModeDelta only; zero otherwise)
+	c  S // query target (holds the approximate T-stream); the upload in cumulative mode
+	cp S // C': staging for the next epoch
+
+	// Degradation accounting (see coverage.go and protocol.go).
+	// topoPoints/topoN describe the cluster (0 = standalone, coverage
+	// always reports full); aggApplied/enhApplied guard against duplicate
+	// center pushes within one epoch; covMerged is the point-epoch count of
+	// the aggregate staged in C' (-1 = applied without coverage info,
+	// assume full); covCur is the coverage of the current query target C.
+	// aggAppliedPrev (additive designs only) remembers whether the
+	// aggregate was merged during the previous epoch: the cumulative
+	// upload C_e carries the aggregate applied during e-1, so its
+	// UploadMeta needs one epoch of memory.
+	topoPoints, topoN int
+	aggApplied        bool
+	aggAppliedPrev    bool
+	enhApplied        bool
+	// backfilled guards against duplicate backfill pushes (a center-sent
+	// aggregate merged directly into C after a restart; see
+	// ApplyBackfillCovAt). Reset at every epoch boundary.
+	backfilled bool
+	covMerged  int
+	covCur     Coverage
+
+	shards []*pointShard[S]
+	rr     atomic.Uint64 // round-robin cursor for batch shard selection
+}
+
+// NewPoint creates a measurement point whose sketches are built by fresh
+// (called two or three times plus once per ingest shard up front, and once
+// per epoch for the new upload sketch in delta mode), with the design
+// discipline fixed by cfg.
+func NewPoint[S Sketch[S]](id int, fresh func() S, cfg EngineConfig[S]) (*Point[S], error) {
+	if fresh == nil {
+		return nil, fmt.Errorf("core: nil sketch constructor for point %d", id)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &Point[S]{
+		id:       id,
+		design:   cfg.Design,
+		mode:     cfg.Mode,
+		additive: cfg.Additive,
+		fresh:    fresh,
+		epoch:    1,
+		c:        fresh(),
+		cp:       fresh(),
+		shards:   make([]*pointShard[S], normShards(cfg.Shards)),
+	}
+	if cfg.Mode == ModeDelta {
+		p.b = fresh()
+	}
+	for i := range p.shards {
+		p.shards[i] = &pointShard[S]{d: fresh()}
+	}
+	return p, nil
+}
+
+// ID returns the point's identifier.
+func (p *Point[S]) ID() int { return p.id }
+
+// Mode returns the upload mode.
+func (p *Point[S]) Mode() Mode { return p.mode }
+
+// Epoch returns the current (1-based) epoch index.
+func (p *Point[S]) Epoch() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// SetTopology tells the point how large its cluster is (point count and
+// window n), which is what Coverage measures queries against. A standalone
+// point (the default) expects nothing and always reports full coverage.
+func (p *Point[S]) SetTopology(points, windowN int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.topoPoints, p.topoN = points, windowN
+}
+
+// AdvanceTo fast-forwards the point's epoch clock without touching sketch
+// state. A point that restarts without persisted state rejoins its cluster
+// at the cluster's current epoch; everything before it is gone, so the
+// current window's coverage is reset to empty.
+func (p *Point[S]) AdvanceTo(epoch int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch <= p.epoch {
+		return
+	}
+	p.epoch = epoch
+	p.covCur = Coverage{EpochsExpected: expectedPointEpochs(p.topoPoints, p.topoN, epoch-1)}
+	p.covMerged = 0
+	p.aggApplied, p.aggAppliedPrev, p.enhApplied, p.backfilled = false, false, false, false
+}
+
+// Coverage returns the eq. (1)/(2) window coverage of the current query
+// target (see Coverage).
+func (p *Point[S]) Coverage() Coverage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.covCur
+}
+
+// Record inserts packet <f, e> (stage 1, local online recording). Only the
+// flow's ingest shard is touched — one sketch update instead of two or
+// three; the delta reaches the authoritative set at the next fold point.
+func (p *Point[S]) Record(f, e uint64) {
+	sh := p.shards[shardOf(f, len(p.shards))]
+	sh.mu.Lock()
+	sh.d.Record(f, e)
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
+	sh.mu.Unlock()
+}
+
+// RecordBatch inserts a batch of packets. The whole batch lands in a
+// single shard under a single lock acquisition (round-robin with try-lock
+// steering away from busy shards), amortizing synchronization to one
+// atomic and one lock per batch.
+func (p *Point[S]) RecordBatch(ps []SpreadPacket) {
+	if len(ps) == 0 {
+		return
+	}
+	sh := p.lockShard()
+	for _, q := range ps {
+		sh.d.Record(q.Flow, q.Elem)
+	}
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
+	sh.mu.Unlock()
+}
+
+// RecordBatchFlows is RecordBatch over bare flow keys (element zero), for
+// designs that ignore which element arrived.
+func (p *Point[S]) RecordBatchFlows(fs []uint64) {
+	if len(fs) == 0 {
+		return
+	}
+	sh := p.lockShard()
+	for _, f := range fs {
+		sh.d.Record(f, 0)
+	}
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
+	sh.mu.Unlock()
+}
+
+// lockShard picks and locks an ingest shard for a batch: round-robin start,
+// try-lock probing past shards another recorder holds.
+func (p *Point[S]) lockShard() *pointShard[S] {
+	n := len(p.shards)
+	start := int(p.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		sh := p.shards[(start+i)%n]
+		if sh.mu.TryLock() {
+			return sh
+		}
+	}
+	sh := p.shards[start]
+	sh.mu.Lock()
+	return sh
+}
+
+// Query answers the approximate real-time networkwide T-query for flow f
+// from the local C sketch plus the not-yet-folded shard deltas. The
+// on-the-fly fold (the algebra's union along f's row positions only) makes
+// the answer bit-identical to the serial single-sketch path. Estimator
+// noise can make spread answers slightly negative; callers needing counts
+// should clamp at zero.
+func (p *Point[S]) Query(f uint64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queryLocked(f)
+}
+
+// QueryWithCoverage answers Query(f) together with the coverage of the
+// window the answer was computed from, read atomically so the pair is
+// consistent across a concurrent epoch boundary.
+func (p *Point[S]) QueryWithCoverage(f uint64) (float64, Coverage) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queryLocked(f), p.covCur
+}
+
+func (p *Point[S]) queryLocked(f uint64) float64 {
+	var (
+		extras [maxShards]S
+		locked [maxShards]*pointShard[S]
+		n      int
+	)
+	for _, sh := range p.shards {
+		if sh.dirty.Load() {
+			sh.mu.Lock()
+			locked[n] = sh
+			extras[n] = sh.d
+			n++
+		}
+	}
+	est := p.c.EstimateUnion(f, extras[:n])
+	for i := 0; i < n; i++ {
+		locked[i].mu.Unlock()
+	}
+	return est
+}
+
+// flushShardsLocked folds every dirty shard delta into the authoritative
+// sketch set (C, C' and, in delta mode, B) with the design's merge algebra
+// and resets it. Caller holds p.mu.
+func (p *Point[S]) flushShardsLocked() {
+	for _, sh := range p.shards {
+		if !sh.dirty.Load() {
+			continue
+		}
+		sh.mu.Lock()
+		if !IsNil(p.b) {
+			mustMerge(p.b, sh.d)
+		}
+		mustMerge(p.c, sh.d)
+		mustMerge(p.cp, sh.d)
+		sh.d.Reset()
+		sh.dirty.Store(false)
+		sh.mu.Unlock()
+	}
+}
+
+// EndEpoch performs the epoch-boundary actions (stage 2, local periodical
+// measurement update) and returns the upload for the epoch that just
+// ended: the per-epoch B in delta mode, or the cumulative C in cumulative
+// mode. The returned sketch is owned by the caller.
+//
+// The upload is taken by pointer swap, not by cloning under the lock: the
+// epoch boundary costs the shard fold plus one allocation instead of a
+// full sketch copy ("copy C' to C, reset C'" becomes swap-then-reset in
+// delta mode). Recorders are never blocked by the boundary: they only
+// touch shard deltas, which are folded one shard at a time.
+func (p *Point[S]) EndEpoch() S {
+	upload, _ := p.EndEpochMeta(false)
+	return upload
+}
+
+// EndEpochMeta is EndEpoch returning the upload's protocol metadata (which
+// center pushes its lineage absorbed — see UploadMeta; only additive
+// designs track lineage, a max-merge upload is safe to re-merge blindly).
+// With rebase set, a cumulative-mode point uploads a clone of C' instead
+// of C: C' holds only the finished epoch's delta plus the aggregate
+// applied during it, letting the center reseed its recovery chain after
+// the point lost buffered uploads. Rebase is meaningless (and ignored) in
+// delta mode.
+func (p *Point[S]) EndEpochMeta(rebase bool) (S, UploadMeta) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushShardsLocked()
+	meta := UploadMeta{Epoch: p.epoch}
+	var upload S
+	if p.mode == ModeCumulative {
+		if rebase {
+			meta.Rebase = true
+			meta.AggApplied = p.aggApplied
+			upload = p.cp.Clone()
+			p.c = p.cp
+			p.cp = p.fresh()
+		} else {
+			if p.additive {
+				meta.AggApplied = p.aggAppliedPrev
+				meta.EnhApplied = p.enhApplied
+			}
+			upload = p.c
+			p.c = p.cp
+			p.cp = p.fresh()
+		}
+	} else {
+		if p.additive {
+			meta.AggApplied = p.aggAppliedPrev
+			meta.EnhApplied = p.enhApplied
+		}
+		upload = p.b
+		p.b = p.fresh()
+		p.c, p.cp = p.cp, p.c
+		p.cp.Reset()
+	}
+	p.rollCoverageLocked()
+	p.epoch++
+	return upload, meta
+}
+
+// rollCoverageLocked moves the staged aggregate's coverage onto the query
+// target (C' becomes C at this boundary) and opens a fresh slot for the
+// next epoch's push. Caller holds p.mu with p.epoch still the epoch that
+// is ending.
+func (p *Point[S]) rollCoverageLocked() {
+	exp := expectedPointEpochs(p.topoPoints, p.topoN, p.epoch)
+	m := p.covMerged
+	if m < 0 || m > exp {
+		// Aggregate applied through the coverage-oblivious path: trust it
+		// to be whole.
+		m = exp
+	}
+	p.covCur = Coverage{EpochsMerged: m, EpochsExpected: exp}
+	p.covMerged = 0
+	if p.additive {
+		// One epoch of memory for the cumulative upload's lineage flag.
+		p.aggAppliedPrev = p.aggApplied
+	}
+	p.aggApplied, p.enhApplied, p.backfilled = false, false, false
+}
+
+// ApplyAggregate merges the center's ST-join result (the networkwide join
+// of the window's completed epochs, customized to this point's width) into
+// C' (Task 3). A nil aggregate is a no-op.
+func (p *Point[S]) ApplyAggregate(agg S) error {
+	if IsNil(agg) {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.cp.Merge(agg); err != nil {
+		return fmt.Errorf("%s point %d: apply aggregate: %w", p.design, p.id, err)
+	}
+	p.aggApplied = true
+	p.covMerged = -1
+	return nil
+}
+
+// ApplyEnhancement merges the peers' last-completed-epoch join directly
+// into C (the Section IV-D enhancement), tightening the current epoch's
+// answers toward the exact networkwide T-query. In cumulative mode the
+// center compensates for this at recovery time.
+func (p *Point[S]) ApplyEnhancement(enh S) error {
+	if IsNil(enh) {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.c.Merge(enh); err != nil {
+		return fmt.Errorf("%s point %d: apply enhancement: %w", p.design, p.id, err)
+	}
+	p.enhApplied = true
+	return nil
+}
+
+// ApplyAggregateAt is ApplyAggregate guarded by an epoch check performed
+// under the point's lock: the merge happens only if the point is still in
+// epoch k. Returns ErrStaleEpoch otherwise (the push missed the round-trip
+// bound and must be dropped, not merged into the wrong window), and
+// ErrDuplicatePush if this epoch's aggregate was already merged (a
+// reconnect re-push — in an additive design merging twice would double the
+// counters).
+func (p *Point[S]) ApplyAggregateAt(k int64, agg S) error {
+	return p.applyAggregateAt(k, agg, -1)
+}
+
+// ApplyAggregateCovAt is ApplyAggregateAt carrying the aggregate's
+// coverage: how many point-epoch uploads the center actually joined into
+// it. Queries answered from the window this aggregate lands in report that
+// coverage (QueryWithCoverage).
+func (p *Point[S]) ApplyAggregateCovAt(k int64, agg S, merged int) error {
+	return p.applyAggregateAt(k, agg, merged)
+}
+
+func (p *Point[S]) applyAggregateAt(k int64, agg S, merged int) error {
+	if IsNil(agg) {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epoch != k {
+		return ErrStaleEpoch
+	}
+	if p.aggApplied {
+		return ErrDuplicatePush
+	}
+	if err := p.cp.Merge(agg); err != nil {
+		return fmt.Errorf("%s point %d: apply aggregate: %w", p.design, p.id, err)
+	}
+	p.aggApplied = true
+	p.covMerged = merged
+	return nil
+}
+
+// ApplyEnhancementAt is ApplyEnhancement guarded by an epoch check under
+// the point's lock, with the same duplicate-push guard as
+// ApplyAggregateAt.
+func (p *Point[S]) ApplyEnhancementAt(k int64, enh S) error {
+	if IsNil(enh) {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epoch != k {
+		return ErrStaleEpoch
+	}
+	if p.enhApplied {
+		return ErrDuplicatePush
+	}
+	if err := p.c.Merge(enh); err != nil {
+		return fmt.Errorf("%s point %d: apply enhancement: %w", p.design, p.id, err)
+	}
+	p.enhApplied = true
+	return nil
+}

@@ -1,7 +1,5 @@
 package core
 
-import "repro/internal/countmin"
-
 // Point-side durability helpers. RestoreSnapshot restores the sketch set
 // but deliberately assumes a healthy lineage (all pushes applied, coverage
 // whole) — the right call for a clean shutdown/restart. A crash-recovery
@@ -22,8 +20,8 @@ type PointMeta struct {
 	TopoPoints int
 	TopoN      int
 	// AggApplied/EnhApplied record whether this epoch's center pushes were
-	// merged (into C' and C respectively). AggAppliedPrev is the size
-	// design's one-epoch memory of AggApplied (the cumulative upload C_e
+	// merged (into C' and C respectively). AggAppliedPrev is the additive
+	// designs' one-epoch memory of AggApplied (the cumulative upload C_e
 	// carries the aggregate applied during e-1); the spread design ignores
 	// it. Backfilled records whether a restart backfill was merged into C
 	// this epoch.
@@ -39,36 +37,8 @@ type PointMeta struct {
 }
 
 // Meta returns the point's degradation-accounting state, read atomically.
-func (p *SpreadPoint[S]) Meta() PointMeta {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return PointMeta{
-		TopoPoints: p.topoPoints,
-		TopoN:      p.topoN,
-		AggApplied: p.aggApplied,
-		EnhApplied: p.enhApplied,
-		Backfilled: p.backfilled,
-		CovMerged:  p.covMerged,
-		Cov:        p.covCur,
-	}
-}
-
-// RestoreMeta overwrites the point's degradation accounting, typically
-// right after RestoreSnapshot replaced the sketches with a checkpoint
-// (undoing RestoreSnapshot's healthy-lineage assumption).
-func (p *SpreadPoint[S]) RestoreMeta(m PointMeta) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.topoPoints, p.topoN = m.TopoPoints, m.TopoN
-	p.aggApplied = m.AggApplied
-	p.enhApplied = m.EnhApplied
-	p.backfilled = m.Backfilled
-	p.covMerged = m.CovMerged
-	p.covCur = m.Cov
-}
-
-// Meta returns the point's degradation-accounting state, read atomically.
-func (p *SizePoint) Meta() PointMeta {
+// AggAppliedPrev stays false for non-additive designs, which never set it.
+func (p *Point[S]) Meta() PointMeta {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PointMeta{
@@ -84,8 +54,9 @@ func (p *SizePoint) Meta() PointMeta {
 }
 
 // RestoreMeta overwrites the point's degradation accounting, typically
-// right after RestoreSnapshot replaced the sketches with a checkpoint.
-func (p *SizePoint) RestoreMeta(m PointMeta) {
+// right after RestoreSnapshot replaced the sketches with a checkpoint
+// (undoing RestoreSnapshot's healthy-lineage assumption).
+func (p *Point[S]) RestoreMeta(m PointMeta) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.topoPoints, p.topoN = m.TopoPoints, m.TopoN
@@ -103,29 +74,10 @@ func (p *SizePoint) RestoreMeta(m PointMeta) {
 // the stale window must not pollute the backfilled one the center is about
 // to send (merging an old C under a new epoch would double-count epochs
 // the backfill aggregate already contains).
-func (p *SpreadPoint[S]) ResetWindow() {
+func (p *Point[S]) ResetWindow() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.b.Reset()
-	p.c.Reset()
-	p.cp.Reset()
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		sh.d.Reset()
-		sh.dirty.Store(false)
-		sh.mu.Unlock()
-	}
-	p.covCur = Coverage{EpochsExpected: expectedPointEpochs(p.topoPoints, p.topoN, p.epoch-1)}
-	p.covMerged = 0
-	p.aggApplied, p.enhApplied, p.backfilled = false, false, false
-}
-
-// ResetWindow zeroes the size point's whole sketch set and resets coverage
-// to empty at the current epoch (see SpreadPoint.ResetWindow).
-func (p *SizePoint) ResetWindow() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.b != nil {
+	if !IsNil(p.b) {
 		p.b.Reset()
 	}
 	p.c.Reset()
@@ -149,8 +101,13 @@ func (p *SizePoint) ResetWindow() {
 // other push appliers: ErrStaleEpoch if the point moved past epoch k,
 // ErrDuplicatePush if a backfill was already merged this epoch. merged < 0
 // means "coverage unknown, assume whole".
-func (p *SpreadPoint[S]) ApplyBackfillCovAt(k int64, agg S, merged int) error {
-	if isNilSketch(agg) {
+//
+// In cumulative mode the backfill inflates C with epochs the center
+// already holds, so the next upload MUST be a rebase (EndEpochMeta(true))
+// — the transport layer arranges that whenever a restart advanced the
+// epoch clock.
+func (p *Point[S]) ApplyBackfillCovAt(k int64, agg S, merged int) error {
+	if IsNil(agg) {
 		return nil
 	}
 	p.mu.Lock()
@@ -161,33 +118,7 @@ func (p *SpreadPoint[S]) ApplyBackfillCovAt(k int64, agg S, merged int) error {
 	if p.backfilled {
 		return ErrDuplicatePush
 	}
-	if err := p.c.MergeMax(agg); err != nil {
-		return err
-	}
-	p.backfilled = true
-	p.covCur = backfillCoverage(p.topoPoints, p.topoN, k, merged)
-	return nil
-}
-
-// ApplyBackfillCovAt merges a center-resent aggregate directly into the
-// size point's current query target C (see SpreadPoint.ApplyBackfillCovAt).
-// In cumulative mode the backfill inflates C with epochs the center already
-// holds, so the next upload MUST be a rebase (EndEpochMeta(true)) — the
-// transport layer arranges that whenever a restart advanced the epoch
-// clock.
-func (p *SizePoint) ApplyBackfillCovAt(k int64, agg *countmin.Sketch, merged int) error {
-	if agg == nil {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.epoch != k {
-		return ErrStaleEpoch
-	}
-	if p.backfilled {
-		return ErrDuplicatePush
-	}
-	if err := p.c.AddSketch(agg); err != nil {
+	if err := p.c.Merge(agg); err != nil {
 		return err
 	}
 	p.backfilled = true

@@ -150,7 +150,7 @@ func TestSizeProtocolMatchesIdealRandomized(t *testing.T) {
 						continue
 					}
 					for _, p := range sched.pkts[ek][ex] {
-						ideal.Record(p.f)
+						ideal.Record(p.f, 0)
 					}
 				}
 			}

@@ -2,67 +2,41 @@ package core
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/countmin"
 )
 
-// SizeMode selects how a size measurement point uploads its per-epoch data.
-type SizeMode int
+// The flow-size design as a thin instantiation of the generic epoch
+// engine: CountMin sketches under the additive (counter-add) merge
+// discipline, with the paper's cumulative-upload mode or the ablation's
+// delta mode. SizePoint and SizeCenter keep the historical int64-valued
+// query surface and parameter-keyed construction; the epoch choreography,
+// coverage accounting and durable state live in Point/Center.
+
+// SizeMode selects how a size measurement point uploads its per-epoch
+// data. It is the generic engine's Mode under its historical name.
+type SizeMode = Mode
 
 const (
 	// SizeModeCumulative is the paper's two-sketch design: the point
 	// uploads its cumulative C sketch and the center recovers each epoch's
 	// delta by subtraction (Section V-B). Two sketches of memory.
-	SizeModeCumulative SizeMode = iota + 1
+	SizeModeCumulative = ModeCumulative
 	// SizeModeDelta is the ablation variant: the point keeps a third B
 	// sketch like the spread design and uploads the per-epoch delta
 	// directly. Same information at the center, three sketches of memory.
-	SizeModeDelta
+	SizeModeDelta = ModeDelta
 )
 
-// sizeShard is one ingest shard: a delta CountMin receiving a slice of
-// the record stream, folded into the authoritative sketch set at the fold
-// points (see shard.go).
-type sizeShard struct {
-	mu    sync.Mutex
-	dirty atomic.Bool // set on record, cleared on fold; lets readers skip clean shards
-	d     *countmin.Sketch
-}
+// subCountMin is the size design's inversion operator (dst -= src), needed
+// by the center's cumulative recovery.
+func subCountMin(dst, src *countmin.Sketch) error { return dst.SubSketch(src) }
 
 // SizePoint is one measurement point running the flow-size design. Safe
-// for concurrent use: the record path is lock-striped across shards, so
-// concurrent recorders do not serialize behind the point mutex.
+// for concurrent use (see Point).
 type SizePoint struct {
-	mu sync.Mutex // guards epoch and the authoritative sketch set
-
-	id     int
+	*Point[*countmin.Sketch]
 	params countmin.Params
-	mode   SizeMode
-	epoch  int64
-
-	b  *countmin.Sketch // only allocated in SizeModeDelta
-	c  *countmin.Sketch // query target; also the upload in cumulative mode
-	cp *countmin.Sketch // C': staging for the next epoch
-
-	// Degradation accounting (see coverage.go and protocol.go).
-	// aggAppliedPrev remembers whether the aggregate was merged during the
-	// previous epoch: the cumulative upload C_e carries the aggregate
-	// applied during e-1, so its UploadMeta needs one epoch of memory.
-	topoPoints, topoN int
-	aggApplied        bool
-	aggAppliedPrev    bool
-	enhApplied        bool
-	// backfilled guards against duplicate backfill pushes (a center-sent
-	// aggregate merged directly into C after a restart; see
-	// ApplyBackfillCovAt). Reset at every epoch boundary.
-	backfilled bool
-	covMerged  int
-	covCur     Coverage
-
-	shards []*sizeShard
-	rr     atomic.Uint64 // round-robin cursor for batch shard selection
 }
 
 // NewSizePoint creates a measurement point with the GOMAXPROCS-bounded
@@ -81,404 +55,57 @@ func NewSizePointShards(id int, p countmin.Params, mode SizeMode, shards int) (*
 	if mode != SizeModeCumulative && mode != SizeModeDelta {
 		return nil, fmt.Errorf("core: invalid size mode %d", mode)
 	}
-	sp := &SizePoint{
-		id:     id,
-		params: p,
-		mode:   mode,
-		epoch:  1,
-		c:      countmin.New(p),
-		cp:     countmin.New(p),
-		shards: make([]*sizeShard, normShards(shards)),
+	pt, err := NewPoint[*countmin.Sketch](id, func() *countmin.Sketch { return countmin.New(p) },
+		EngineConfig[*countmin.Sketch]{
+			Design:   "size",
+			Mode:     mode,
+			Additive: true,
+			Shards:   shards,
+		})
+	if err != nil {
+		return nil, err
 	}
-	for i := range sp.shards {
-		sp.shards[i] = &sizeShard{d: countmin.New(p)}
-	}
-	if mode == SizeModeDelta {
-		sp.b = countmin.New(p)
-	}
-	return sp, nil
+	return &SizePoint{Point: pt, params: p}, nil
 }
-
-// ID returns the point's identifier.
-func (p *SizePoint) ID() int { return p.id }
 
 // Params returns the point's sketch parameters.
 func (p *SizePoint) Params() countmin.Params { return p.params }
 
-// Mode returns the upload mode.
-func (p *SizePoint) Mode() SizeMode { return p.mode }
-
-// Epoch returns the current (1-based) epoch index.
-func (p *SizePoint) Epoch() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.epoch
-}
-
-// SetTopology tells the point how large its cluster is (point count and
-// window n), which is what Coverage measures queries against. A standalone
-// point (the default) expects nothing and always reports full coverage.
-func (p *SizePoint) SetTopology(points, windowN int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.topoPoints, p.topoN = points, windowN
-}
-
-// AdvanceTo fast-forwards the point's epoch clock without touching sketch
-// state. A point that restarts without persisted state rejoins its cluster
-// at the cluster's current epoch; everything before it is gone, so the
-// current window's coverage is reset to empty.
-func (p *SizePoint) AdvanceTo(epoch int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if epoch <= p.epoch {
-		return
-	}
-	p.epoch = epoch
-	p.covCur = Coverage{EpochsExpected: expectedPointEpochs(p.topoPoints, p.topoN, epoch-1)}
-	p.covMerged = 0
-	p.aggApplied, p.aggAppliedPrev, p.enhApplied, p.backfilled = false, false, false, false
-}
-
-// Coverage returns the eq. (1)/(2) window coverage of the current query
-// target (see Coverage).
-func (p *SizePoint) Coverage() Coverage {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.covCur
-}
-
 // Record inserts one packet of flow f. Only the flow's ingest shard is
 // touched; concurrent recorders of distinct flows proceed in parallel.
-func (p *SizePoint) Record(f uint64) {
-	sh := p.shards[shardOf(f, len(p.shards))]
-	sh.mu.Lock()
-	sh.d.Record(f)
-	if !sh.dirty.Load() {
-		sh.dirty.Store(true)
-	}
-	sh.mu.Unlock()
-}
+func (p *SizePoint) Record(f uint64) { p.Point.Record(f, 0) }
 
 // RecordBatch inserts one packet per flow in fs. The whole batch lands in
 // a single shard under a single lock acquisition (round-robin with
 // try-lock steering away from busy shards), amortizing synchronization to
 // one atomic and one lock per batch.
-func (p *SizePoint) RecordBatch(fs []uint64) {
-	if len(fs) == 0 {
-		return
-	}
-	sh := p.lockShard()
-	for _, f := range fs {
-		sh.d.Record(f)
-	}
-	if !sh.dirty.Load() {
-		sh.dirty.Store(true)
-	}
-	sh.mu.Unlock()
-}
+func (p *SizePoint) RecordBatch(fs []uint64) { p.Point.RecordBatchFlows(fs) }
 
 // RecordBatchPairs is RecordBatch over <flow, element> packets, recording
 // only the flow keys (the size design ignores elements). It lets mixed
 // transports batch without re-slicing.
-func (p *SizePoint) RecordBatchPairs(ps []SpreadPacket) {
-	if len(ps) == 0 {
-		return
-	}
-	sh := p.lockShard()
-	for _, q := range ps {
-		sh.d.Record(q.Flow)
-	}
-	if !sh.dirty.Load() {
-		sh.dirty.Store(true)
-	}
-	sh.mu.Unlock()
-}
-
-// lockShard picks and locks an ingest shard for a batch: round-robin start,
-// try-lock probing past shards another recorder holds.
-func (p *SizePoint) lockShard() *sizeShard {
-	n := len(p.shards)
-	start := int(p.rr.Add(1)-1) % n
-	for i := 0; i < n; i++ {
-		sh := p.shards[(start+i)%n]
-		if sh.mu.TryLock() {
-			return sh
-		}
-	}
-	sh := p.shards[start]
-	sh.mu.Lock()
-	return sh
-}
+func (p *SizePoint) RecordBatchPairs(ps []SpreadPacket) { p.Point.RecordBatch(ps) }
 
 // Query answers the approximate real-time networkwide T-query for flow f
-// from the local C sketch plus the not-yet-folded shard deltas. The
-// on-the-fly fold (counter-wise sum along f's row positions) makes the
-// answer bit-identical to the serial single-sketch path.
-func (p *SizePoint) Query(f uint64) int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var (
-		extras [maxShards]*countmin.Sketch
-		locked [maxShards]*sizeShard
-		n      int
-	)
-	for _, sh := range p.shards {
-		if sh.dirty.Load() {
-			sh.mu.Lock()
-			locked[n] = sh
-			extras[n] = sh.d
-			n++
-		}
-	}
-	est := p.c.EstimateSummed(f, extras[:n])
-	for i := 0; i < n; i++ {
-		locked[i].mu.Unlock()
-	}
-	return est
-}
+// from the local C sketch plus the not-yet-folded shard deltas. CountMin
+// counters are exact integers well below 2^53, so the generic engine's
+// float-valued fold converts back to int64 losslessly.
+func (p *SizePoint) Query(f uint64) int64 { return int64(p.Point.Query(f)) }
 
 // QueryWithCoverage answers Query(f) together with the coverage of the
 // window the answer was computed from, read atomically so the pair is
 // consistent across a concurrent epoch boundary.
 func (p *SizePoint) QueryWithCoverage(f uint64) (int64, Coverage) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var (
-		extras [maxShards]*countmin.Sketch
-		locked [maxShards]*sizeShard
-		n      int
-	)
-	for _, sh := range p.shards {
-		if sh.dirty.Load() {
-			sh.mu.Lock()
-			locked[n] = sh
-			extras[n] = sh.d
-			n++
-		}
-	}
-	est := p.c.EstimateSummed(f, extras[:n])
-	for i := 0; i < n; i++ {
-		locked[i].mu.Unlock()
-	}
-	return est, p.covCur
-}
-
-// flushShardsLocked folds every dirty shard delta into the authoritative
-// sketch set (counter-wise addition into C, C' and, in delta mode, B) and
-// resets it. Caller holds p.mu.
-func (p *SizePoint) flushShardsLocked() {
-	for _, sh := range p.shards {
-		if !sh.dirty.Load() {
-			continue
-		}
-		sh.mu.Lock()
-		mustAddSketch(p.c, sh.d)
-		mustAddSketch(p.cp, sh.d)
-		if p.b != nil {
-			mustAddSketch(p.b, sh.d)
-		}
-		sh.d.Reset()
-		sh.dirty.Store(false)
-		sh.mu.Unlock()
-	}
-}
-
-// mustAddSketch folds src into dst; shards share the point's parameters by
-// construction, so a mismatch is a programmer error.
-func mustAddSketch(dst, src *countmin.Sketch) {
-	if err := dst.AddSketch(src); err != nil {
-		panic("core: shard fold: " + err.Error())
-	}
-}
-
-// EndEpoch performs the epoch-boundary actions and returns the upload for
-// the epoch that just ended: the cumulative C in cumulative mode, or the
-// per-epoch B in delta mode. The returned sketch is owned by the caller.
-//
-// The upload is taken by pointer swap, not by cloning under the lock: in
-// cumulative mode the old C itself is handed to the caller and C' takes
-// its place (with a fresh zeroed C' behind it), so the epoch boundary
-// costs the shard fold plus one allocation instead of a full sketch copy.
-// Recorders are never blocked: they only touch shard deltas, which are
-// folded one shard at a time.
-func (p *SizePoint) EndEpoch() *countmin.Sketch {
-	upload, _ := p.EndEpochMeta(false)
-	return upload
-}
-
-// EndEpochMeta is EndEpoch returning the upload's protocol metadata (which
-// center pushes its lineage absorbed — see UploadMeta). With rebase set, a
-// cumulative-mode point uploads a clone of C' instead of C: C' holds only
-// the finished epoch's delta plus the aggregate applied during it, letting
-// the center reseed its recovery chain after the point lost buffered
-// uploads. Rebase is meaningless (and ignored) in delta mode.
-func (p *SizePoint) EndEpochMeta(rebase bool) (*countmin.Sketch, UploadMeta) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.flushShardsLocked()
-	meta := UploadMeta{Epoch: p.epoch}
-	var upload *countmin.Sketch
-	if p.mode == SizeModeCumulative {
-		if rebase {
-			meta.Rebase = true
-			meta.AggApplied = p.aggApplied
-			upload = p.cp.Clone()
-			p.c = p.cp
-			p.cp = countmin.New(p.params)
-		} else {
-			meta.AggApplied = p.aggAppliedPrev
-			meta.EnhApplied = p.enhApplied
-			upload = p.c
-			p.c = p.cp
-			p.cp = countmin.New(p.params)
-		}
-	} else {
-		meta.AggApplied = p.aggAppliedPrev
-		meta.EnhApplied = p.enhApplied
-		upload = p.b
-		p.b = countmin.New(p.params)
-		p.c, p.cp = p.cp, p.c
-		p.cp.Reset()
-	}
-	p.rollCoverageLocked()
-	p.epoch++
-	return upload, meta
-}
-
-// rollCoverageLocked moves the staged aggregate's coverage onto the query
-// target (C' becomes C at this boundary) and opens a fresh slot for the
-// next epoch's push. Caller holds p.mu with p.epoch still the epoch that
-// is ending.
-func (p *SizePoint) rollCoverageLocked() {
-	exp := expectedPointEpochs(p.topoPoints, p.topoN, p.epoch)
-	m := p.covMerged
-	if m < 0 || m > exp {
-		// Aggregate applied through the coverage-oblivious path: trust it
-		// to be whole.
-		m = exp
-	}
-	p.covCur = Coverage{EpochsMerged: m, EpochsExpected: exp}
-	p.covMerged = 0
-	p.aggAppliedPrev, p.aggApplied = p.aggApplied, false
-	p.enhApplied, p.backfilled = false, false
-}
-
-// ApplyAggregate adds the center's ST-join result into C'.
-func (p *SizePoint) ApplyAggregate(agg *countmin.Sketch) error {
-	if agg == nil {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.cp.AddSketch(agg); err != nil {
-		return fmt.Errorf("size point %d: apply aggregate: %w", p.id, err)
-	}
-	p.aggApplied = true
-	p.covMerged = -1
-	return nil
-}
-
-// ApplyEnhancement adds the peers' last-completed-epoch sum directly into C
-// (Section IV-D applied to size). In cumulative mode the center compensates
-// for this at recovery time.
-func (p *SizePoint) ApplyEnhancement(enh *countmin.Sketch) error {
-	if enh == nil {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.c.AddSketch(enh); err != nil {
-		return fmt.Errorf("size point %d: apply enhancement: %w", p.id, err)
-	}
-	p.enhApplied = true
-	return nil
-}
-
-// ApplyAggregateAt is ApplyAggregate guarded by an epoch check under the
-// point's lock; returns ErrStaleEpoch if the point has moved past epoch k,
-// and ErrDuplicatePush if this epoch's aggregate was already merged (a
-// reconnect re-push — merging twice would double the counters).
-func (p *SizePoint) ApplyAggregateAt(k int64, agg *countmin.Sketch) error {
-	return p.applyAggregateAt(k, agg, -1)
-}
-
-// ApplyAggregateCovAt is ApplyAggregateAt carrying the aggregate's
-// coverage: how many point-epoch uploads the center actually joined into
-// it. Queries answered from the window this aggregate lands in report that
-// coverage (QueryWithCoverage).
-func (p *SizePoint) ApplyAggregateCovAt(k int64, agg *countmin.Sketch, merged int) error {
-	return p.applyAggregateAt(k, agg, merged)
-}
-
-func (p *SizePoint) applyAggregateAt(k int64, agg *countmin.Sketch, merged int) error {
-	if agg == nil {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.epoch != k {
-		return ErrStaleEpoch
-	}
-	if p.aggApplied {
-		return ErrDuplicatePush
-	}
-	if err := p.cp.AddSketch(agg); err != nil {
-		return fmt.Errorf("size point %d: apply aggregate: %w", p.id, err)
-	}
-	p.aggApplied = true
-	p.covMerged = merged
-	return nil
-}
-
-// ApplyEnhancementAt is ApplyEnhancement guarded by an epoch check under
-// the point's lock, with the same duplicate-push guard as
-// ApplyAggregateAt.
-func (p *SizePoint) ApplyEnhancementAt(k int64, enh *countmin.Sketch) error {
-	if enh == nil {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.epoch != k {
-		return ErrStaleEpoch
-	}
-	if p.enhApplied {
-		return ErrDuplicatePush
-	}
-	if err := p.c.AddSketch(enh); err != nil {
-		return fmt.Errorf("size point %d: apply enhancement: %w", p.id, err)
-	}
-	p.enhApplied = true
-	return nil
+	est, cov := p.Point.QueryWithCoverage(f)
+	return int64(est), cov
 }
 
 // SizeCenter is the measurement center for the flow-size design. In
-// cumulative mode it recovers per-epoch deltas from the cumulative uploads;
-// in delta mode uploads already are deltas.
+// cumulative mode it recovers per-epoch deltas from the cumulative
+// uploads; in delta mode uploads already are deltas.
 type SizeCenter struct {
-	mu sync.Mutex
-
-	windowN int
-	mode    SizeMode
-	params  map[int]countmin.Params
-	wMax    int
-
-	// deltas[point][epoch] is the recovered single-epoch measurement.
-	deltas map[int]map[int64]*countmin.Sketch
-	// sentAgg[point][epoch] is the aggregate pushed to point during that
-	// epoch, exactly as sent (customized width); needed to invert the
-	// cumulative upload.
-	sentAgg map[int]map[int64]*countmin.Sketch
-	// sentEnh[point][epoch] is the enhancement pushed during that epoch.
-	sentEnh map[int]map[int64]*countmin.Sketch
-	// lastEpoch[point] is the last upload epoch, to enforce sequencing.
-	lastEpoch map[int]int64
-	// chainBroken[point] marks a cumulative-mode point whose recovery
-	// chain lost an epoch (upload gap): the inversion needs the previous
-	// epoch's delta, so post-gap uploads are unusable until the point
-	// sends a rebase upload (see UploadMeta.Rebase).
-	chainBroken map[int]bool
+	*Center[*countmin.Sketch]
+	params map[int]countmin.Params
 }
 
 // NewSizeCenter creates a center for a cluster whose points use the given
@@ -513,24 +140,22 @@ func NewSizeCenter(windowN int, points map[int]countmin.Params, mode SizeMode) (
 			return nil, fmt.Errorf("core: width %d of point %d does not divide max width %d", p.W, id, wMax)
 		}
 	}
-	c := &SizeCenter{
-		windowN:     windowN,
-		mode:        mode,
-		params:      make(map[int]countmin.Params, len(points)),
-		wMax:        wMax,
-		deltas:      make(map[int]map[int64]*countmin.Sketch, len(points)),
-		sentAgg:     make(map[int]map[int64]*countmin.Sketch, len(points)),
-		sentEnh:     make(map[int]map[int64]*countmin.Sketch, len(points)),
-		lastEpoch:   make(map[int]int64, len(points)),
-		chainBroken: make(map[int]bool, len(points)),
-	}
+	protos := make(map[int]*countmin.Sketch, len(points))
+	params := make(map[int]countmin.Params, len(points))
 	for id, p := range points {
-		c.params[id] = p
-		c.deltas[id] = make(map[int64]*countmin.Sketch)
-		c.sentAgg[id] = make(map[int64]*countmin.Sketch)
-		c.sentEnh[id] = make(map[int64]*countmin.Sketch)
+		protos[id] = countmin.New(p)
+		params[id] = p
 	}
-	return c, nil
+	ctr, err := NewCenter(windowN, protos, EngineConfig[*countmin.Sketch]{
+		Design:   "size",
+		Mode:     mode,
+		Additive: true,
+		Sub:      subCountMin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SizeCenter{Center: ctr, params: params}, nil
 }
 
 // Receive ingests point's upload for the given epoch and recovers that
@@ -542,16 +167,9 @@ func (c *SizeCenter) Receive(point int, epoch int64, upload *countmin.Sketch) er
 
 // ReceiveMeta ingests point's upload for the given epoch and recovers that
 // epoch's measurement, subtracting only the pushes the upload's lineage
-// actually absorbed (meta). Degraded sequences are tolerated rather than
-// fatal: an epoch at or before the last ingested one is dropped
-// idempotently (ErrDuplicateUpload); in cumulative mode an epoch gap
-// breaks the recovery chain, so post-gap uploads are dropped
-// (ErrUploadGap) until a rebase upload reseeds the chain; in delta mode
-// uploads are independent and gaps merely leave window holes, which
-// CoverageFor reports.
+// actually absorbed (meta) — see Center.ReceiveMeta for the degraded-
+// sequence semantics (ErrDuplicateUpload, ErrUploadGap).
 func (c *SizeCenter) ReceiveMeta(point int, epoch int64, upload *countmin.Sketch, meta UploadMeta) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	params, ok := c.params[point]
 	if !ok {
 		return fmt.Errorf("core: unknown size point %d", point)
@@ -560,109 +178,7 @@ func (c *SizeCenter) ReceiveMeta(point int, epoch int64, upload *countmin.Sketch
 		return fmt.Errorf("core: upload from point %d has parameters %+v, want %+v",
 			point, upload.Params(), params)
 	}
-	last := c.lastEpoch[point]
-	if epoch <= last {
-		return ErrDuplicateUpload
-	}
-
-	delta := upload.Clone()
-	if c.mode == SizeModeCumulative {
-		sub := func(sk *countmin.Sketch, ok bool) error {
-			if !ok {
-				return nil
-			}
-			if err := delta.SubSketch(sk); err != nil {
-				return fmt.Errorf("core: recover point %d epoch %d: %w", point, epoch, err)
-			}
-			return nil
-		}
-		switch {
-		case meta.Rebase:
-			// C' = delta_{x,epoch} + agg applied during epoch: a clean
-			// reseed regardless of what came before.
-			if meta.AggApplied {
-				agg, ok := c.sentAgg[point][epoch]
-				if err := sub(agg, ok); err != nil {
-					return err
-				}
-			}
-			c.chainBroken[point] = false
-		case epoch != last+1 || c.chainBroken[point]:
-			// The chain lost an epoch: C contains the missing previous
-			// delta and nothing can subtract it. Drop the payload, keep
-			// the sequence position, wait for a rebase.
-			c.chainBroken[point] = true
-			c.lastEpoch[point] = epoch
-			c.trimLocked(epoch)
-			return ErrUploadGap
-		default:
-			// Invert the cumulative upload (Section V-B):
-			//   C_{x,k} = agg applied during k-1 + enh applied during k
-			//           + delta_{x,k-1} + delta_{x,k}.
-			prev, ok := c.deltas[point][epoch-1]
-			if err := sub(prev, ok); err != nil {
-				return err
-			}
-			if meta.AggApplied {
-				agg, ok := c.sentAgg[point][epoch-1]
-				if err := sub(agg, ok); err != nil {
-					return err
-				}
-			}
-			if meta.EnhApplied {
-				enh, ok := c.sentEnh[point][epoch]
-				if err := sub(enh, ok); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	c.deltas[point][epoch] = delta
-	c.lastEpoch[point] = epoch
-	c.trimLocked(epoch)
-	return nil
-}
-
-// LastEpoch returns the most recent epoch the point has uploaded (0 if
-// none). The transport layer uses it to resynchronize reconnecting points.
-func (c *SizeCenter) LastEpoch(point int) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lastEpoch[point]
-}
-
-// MaxEpoch returns the most recent epoch any point has uploaded (0 if
-// none) — the cluster's epoch clock as the center sees it.
-func (c *SizeCenter) MaxEpoch() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var m int64
-	for _, e := range c.lastEpoch {
-		if e > m {
-			m = e
-		}
-	}
-	return m
-}
-
-// CoverageFor counts, for the aggregate pushed during epoch k, how many
-// point-epoch measurements the center actually holds in the eq. (5) join
-// range versus how many a fully healthy window would contribute.
-func (c *SizeCenter) CoverageFor(k int64) (merged, expected int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	first, last, ok := aggregateSpan(k, c.windowN)
-	if !ok {
-		return 0, 0
-	}
-	for _, per := range c.deltas {
-		for e := first; e <= last; e++ {
-			if _, ok := per[e]; ok {
-				merged++
-			}
-		}
-	}
-	return merged, len(c.deltas) * int(last-first+1)
+	return c.Center.ReceiveMeta(point, epoch, upload, meta)
 }
 
 // Delta returns the recovered measurement of one epoch at one point (a
@@ -670,144 +186,15 @@ func (c *SizeCenter) CoverageFor(k int64) (merged, expected int) {
 func (c *SizeCenter) Delta(point int, epoch int64) *countmin.Sketch {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	d, ok := c.deltas[point][epoch]
+	d, ok := c.uploads[point][epoch]
 	if !ok {
 		return nil
 	}
 	return d.Clone()
 }
 
-func (c *SizeCenter) trimLocked(latest int64) {
-	floor := latest - int64(c.windowN) - 1
-	for _, per := range c.deltas {
-		for e := range per {
-			if e < floor {
-				delete(per, e)
-			}
-		}
-	}
-	for _, per := range c.sentAgg {
-		for e := range per {
-			if e < floor {
-				delete(per, e)
-			}
-		}
-	}
-	for _, per := range c.sentEnh {
-		for e := range per {
-			if e < floor {
-				delete(per, e)
-			}
-		}
-	}
-}
-
-// temporalJoinLocked sums point's deltas over epochs [first, last].
-func (c *SizeCenter) temporalJoinLocked(point int, first, last int64) (*countmin.Sketch, error) {
-	var acc *countmin.Sketch
-	for e := first; e <= last; e++ {
-		d, ok := c.deltas[point][e]
-		if !ok {
-			continue
-		}
-		if acc == nil {
-			acc = d.Clone()
-			continue
-		}
-		if err := acc.AddSketch(d); err != nil {
-			return nil, fmt.Errorf("core: temporal join point %d epoch %d: %w", point, e, err)
-		}
-	}
-	return acc, nil
-}
-
-// spatialJoinLocked expands each part to the maximum width and sums.
-func (c *SizeCenter) spatialJoinLocked(parts map[int]*countmin.Sketch) (*countmin.Sketch, error) {
-	var acc *countmin.Sketch
-	for point, s := range parts {
-		if s == nil {
-			continue
-		}
-		e, err := s.ExpandTo(c.wMax)
-		if err != nil {
-			return nil, fmt.Errorf("core: expand point %d: %w", point, err)
-		}
-		if acc == nil {
-			acc = e
-			continue
-		}
-		if err := acc.AddSketch(e); err != nil {
-			return nil, fmt.Errorf("core: spatial join point %d: %w", point, err)
-		}
-	}
-	return acc, nil
-}
-
-// AggregateFor computes, during epoch k, the networkwide sum of epochs
-// k-n+2 .. k-1, compressed to the requesting point's width, and records it
-// as sent (required for recovery in cumulative mode). Idempotent per
-// (point, k): repeated calls return the recorded aggregate.
-func (c *SizeCenter) AggregateFor(point int, k int64) (*countmin.Sketch, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	params, ok := c.params[point]
-	if !ok {
-		return nil, fmt.Errorf("core: unknown size point %d", point)
-	}
-	if sent, ok := c.sentAgg[point][k]; ok {
-		return sent.Clone(), nil
-	}
-	first, last := k-int64(c.windowN)+2, k-1
-	parts := make(map[int]*countmin.Sketch, len(c.deltas))
-	for id := range c.deltas {
-		tj, err := c.temporalJoinLocked(id, first, last)
-		if err != nil {
-			return nil, err
-		}
-		parts[id] = tj
-	}
-	joined, err := c.spatialJoinLocked(parts)
-	if err != nil || joined == nil {
-		return nil, err
-	}
-	out, err := joined.CompressTo(params.W)
-	if err != nil {
-		return nil, err
-	}
-	c.sentAgg[point][k] = out.Clone()
-	return out, nil
-}
-
-// EnhancementFor computes, during epoch k, the sum over peers of epoch k-1,
-// compressed to the requesting point's width, and records it as sent.
-// Idempotent per (point, k).
-func (c *SizeCenter) EnhancementFor(point int, k int64) (*countmin.Sketch, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	params, ok := c.params[point]
-	if !ok {
-		return nil, fmt.Errorf("core: unknown size point %d", point)
-	}
-	if sent, ok := c.sentEnh[point][k]; ok {
-		return sent.Clone(), nil
-	}
-	parts := make(map[int]*countmin.Sketch, len(c.deltas))
-	for id, per := range c.deltas {
-		if id == point {
-			continue
-		}
-		if d, ok := per[k-1]; ok {
-			parts[id] = d
-		}
-	}
-	joined, err := c.spatialJoinLocked(parts)
-	if err != nil || joined == nil {
-		return nil, err
-	}
-	out, err := joined.CompressTo(params.W)
-	if err != nil {
-		return nil, err
-	}
-	c.sentEnh[point][k] = out.Clone()
-	return out, nil
+// HasDelta reports whether the center holds point's recovered delta for
+// epoch (see Center.HasUpload).
+func (c *SizeCenter) HasDelta(point int, epoch int64) bool {
+	return c.HasUpload(point, epoch)
 }

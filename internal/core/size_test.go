@@ -99,7 +99,7 @@ func idealSize(p countmin.Params, packets [][][]uint64, include func(k, x int) b
 				continue
 			}
 			for _, f := range packets[k][x] {
-				s.Record(f)
+				s.Record(f, 0)
 			}
 		}
 	}

@@ -2,35 +2,43 @@ package core
 
 import (
 	"fmt"
-
-	"repro/internal/countmin"
 )
 
-// Snapshot returns the point's epoch and deep copies of its three sketches
-// (B, C, C'), taken atomically. Together with RestoreSnapshot it lets an
-// agent persist its state across restarts without losing the window. The
-// ingest shards are folded first, so persisted state is shard-free and
-// portable across shard-count configurations.
-func (p *SpreadPoint[S]) Snapshot() (epoch int64, b, c, cp S) {
+// Snapshot returns the point's epoch and deep copies of its sketches (B,
+// C, C'), taken atomically. Together with RestoreSnapshot it lets an agent
+// persist its state across restarts without losing the window. The ingest
+// shards are folded first, so persisted state is shard-free and portable
+// across shard-count configurations. In cumulative mode (no B sketch) the
+// returned b is nil.
+func (p *Point[S]) Snapshot() (epoch int64, b, c, cp S) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.flushShardsLocked()
-	return p.epoch, p.b.Clone(), p.c.Clone(), p.cp.Clone()
+	if !IsNil(p.b) {
+		b = p.b.Clone()
+	}
+	return p.epoch, b, p.c.Clone(), p.cp.Clone()
 }
 
 // RestoreSnapshot overwrites the point's state with a snapshot. The
-// sketches must match the point's configured shape.
-func (p *SpreadPoint[S]) RestoreSnapshot(epoch int64, b, c, cp S) error {
+// sketches must match the point's configured shape, and b must be nil
+// exactly when the point keeps no B sketch (cumulative mode).
+func (p *Point[S]) RestoreSnapshot(epoch int64, b, c, cp S) error {
 	if epoch < 1 {
 		return fmt.Errorf("core: invalid snapshot epoch %d", epoch)
 	}
-	if isNilSketch(b) || isNilSketch(c) || isNilSketch(cp) {
+	if IsNil(c) || IsNil(cp) || (!p.additive && IsNil(b)) {
 		return fmt.Errorf("core: nil sketch in snapshot")
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if err := p.b.CopyFrom(b); err != nil {
-		return fmt.Errorf("core: restore B: %w", err)
+	if IsNil(p.b) != IsNil(b) {
+		return fmt.Errorf("core: snapshot upload mode does not match the point's")
+	}
+	if !IsNil(p.b) {
+		if err := p.b.CopyFrom(b); err != nil {
+			return fmt.Errorf("core: restore B: %w", err)
+		}
 	}
 	if err := p.c.CopyFrom(c); err != nil {
 		return fmt.Errorf("core: restore C: %w", err)
@@ -48,64 +56,13 @@ func (p *SpreadPoint[S]) RestoreSnapshot(epoch int64, b, c, cp S) error {
 	}
 	p.epoch = epoch
 	// Snapshots are taken from healthy state and carry whatever aggregates
-	// were merged; report the restored window as whole.
-	p.covMerged = -1
-	p.covCur = Coverage{}
-	p.aggApplied, p.enhApplied = true, true
-	return nil
-}
-
-// Snapshot returns the size point's epoch and deep copies of its sketches,
-// with the ingest shards folded first. In cumulative mode the B sketch is
-// nil.
-func (p *SizePoint) Snapshot() (epoch int64, b, c, cp *countmin.Sketch) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.flushShardsLocked()
-	var bClone *countmin.Sketch
-	if p.b != nil {
-		bClone = p.b.Clone()
-	}
-	return p.epoch, bClone, p.c.Clone(), p.cp.Clone()
-}
-
-// RestoreSnapshot overwrites the size point's state with a snapshot. b
-// must be nil exactly when the point runs in cumulative mode.
-func (p *SizePoint) RestoreSnapshot(epoch int64, b, c, cp *countmin.Sketch) error {
-	if epoch < 1 {
-		return fmt.Errorf("core: invalid snapshot epoch %d", epoch)
-	}
-	if c == nil || cp == nil {
-		return fmt.Errorf("core: nil sketch in snapshot")
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if (p.b == nil) != (b == nil) {
-		return fmt.Errorf("core: snapshot upload mode does not match the point's")
-	}
-	if b != nil {
-		if err := p.b.CopyFrom(b); err != nil {
-			return fmt.Errorf("core: restore B: %w", err)
-		}
-	}
-	if err := p.c.CopyFrom(c); err != nil {
-		return fmt.Errorf("core: restore C: %w", err)
-	}
-	if err := p.cp.CopyFrom(cp); err != nil {
-		return fmt.Errorf("core: restore C': %w", err)
-	}
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		sh.d.Reset()
-		sh.dirty.Store(false)
-		sh.mu.Unlock()
-	}
-	p.epoch = epoch
-	// Snapshots are taken from healthy state and carry whatever aggregates
 	// were merged (the pre-flag protocol's assumption); report the restored
 	// window as whole and the lineage flags as applied.
 	p.covMerged = -1
 	p.covCur = Coverage{}
-	p.aggApplied, p.aggAppliedPrev, p.enhApplied = true, true, true
+	p.aggApplied, p.enhApplied = true, true
+	if p.additive {
+		p.aggAppliedPrev = true
+	}
 	return nil
 }

@@ -1,94 +1,32 @@
 package core
 
 import (
-	"fmt"
-	"reflect"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/rskt"
 )
 
 // SpreadSketch is the contract the three-sketch design needs from its
-// per-flow spread sketch. rSkt2 (with any of its estimators) satisfies it,
-// and so does any union-mergeable sketch whose columns can be expanded and
-// compressed with power-of-two width ratios (e.g. internal/vhll). The
-// paper builds on rSkt2(HLL) and notes the design "can be easily modified
-// to work with other sketches" (Section IV-B); this interface is that
-// modification point.
+// per-flow spread sketch: the generic sketch algebra plus the
+// spread-flavored estimator surface. rSkt2 (with any of its estimators)
+// satisfies it, and so does any union-mergeable sketch whose columns can
+// be expanded and compressed with power-of-two width ratios (e.g.
+// internal/vhll). The paper builds on rSkt2(HLL) and notes the design "can
+// be easily modified to work with other sketches" (Section IV-B); this
+// interface is that modification point.
 type SpreadSketch[S any] interface {
-	// Record inserts packet <f, e>.
-	Record(f, e uint64)
+	Sketch[S]
 	// Estimate answers a flow-spread query.
 	Estimate(f uint64) float64
-	// EstimateUnion answers Estimate(f) over the union of the sketch and
-	// others (as if every other sketch had been MergeMax-ed in first)
-	// without mutating anything. others share the sketch's shape; an empty
-	// slice must be equivalent to Estimate. The sharded ingest path uses
-	// it to fold not-yet-merged shard deltas into query answers.
-	EstimateUnion(f uint64, others []S) float64
-	// MergeMax folds another sketch in with union semantics.
+	// MergeMax folds another sketch in with union semantics — the sketch
+	// algebra's Merge under its spread-design name.
 	MergeMax(S) error
-	// CopyFrom overwrites this sketch's state with another's.
-	CopyFrom(S) error
-	// Reset zeroes the sketch.
-	Reset()
-	// Clone returns a deep copy.
-	Clone() S
-	// ExpandTo/CompressTo implement the expand-and-compress nonuniform
-	// join (Sections IV-C); widths must have integral ratios.
-	ExpandTo(w int) (S, error)
-	CompressTo(w int) (S, error)
-	// Width is the sketch's column count (the paper's w).
-	Width() int
-	// Compatible reports whether two sketches may be joined after width
-	// alignment (same estimator shape and hash seed).
-	Compatible(S) bool
 }
 
-// spreadShard is one ingest shard of a spread point: a delta sketch
-// receiving a slice of the record stream, folded into B/C/C' with
-// register-wise max at the fold points (see shard.go).
-type spreadShard[S SpreadSketch[S]] struct {
-	mu    sync.Mutex
-	dirty atomic.Bool
-	d     S
-}
-
-// SpreadPoint is one measurement point running the three-sketch design
-// for flow spread, generic over the epoch sketch. It is safe for
-// concurrent use: the record path is lock-striped across shards, so the
-// live transport's recorders do not serialize behind the point mutex
-// while aggregates arrive from the center.
+// SpreadPoint is one measurement point running the three-sketch design for
+// flow spread, generic over the epoch sketch: the generic epoch engine
+// instantiated with delta uploads and the non-additive (register-max)
+// merge discipline. Safe for concurrent use (see Point).
 type SpreadPoint[S SpreadSketch[S]] struct {
-	mu sync.Mutex // guards epoch and the authoritative sketch set
-
-	id    int
-	fresh func() S
-	epoch int64 // current epoch k (1-based)
-
-	b  S // current-epoch measurement, uploaded at epoch end
-	c  S // query target (holds the approximate T-stream)
-	cp S // C': staging for the next epoch
-
-	// Degradation accounting (see coverage.go). topoPoints/topoN describe
-	// the cluster (0 = standalone, coverage always reports full);
-	// aggApplied/enhApplied guard against duplicate center pushes within
-	// one epoch; covMerged is the point-epoch count of the aggregate
-	// staged in C' (-1 = applied without coverage info, assume full);
-	// covCur is the coverage of the current query target C.
-	topoPoints, topoN int
-	aggApplied        bool
-	enhApplied        bool
-	// backfilled guards against duplicate backfill pushes (a center-sent
-	// aggregate merged directly into C after a restart; see
-	// ApplyBackfillCovAt). Reset at every epoch boundary.
-	backfilled bool
-	covMerged  int
-	covCur     Coverage
-
-	shards []*spreadShard[S]
-	rr     atomic.Uint64 // round-robin cursor for batch shard selection
+	*Point[S]
 }
 
 // NewSpreadPointOf creates a measurement point whose sketches are built by
@@ -102,22 +40,15 @@ func NewSpreadPointOf[S SpreadSketch[S]](id int, fresh func() S) (*SpreadPoint[S
 // NewSpreadPointShardsOf is NewSpreadPointOf with an explicit ingest-shard
 // count (0 = the GOMAXPROCS-bounded default, 1 = the serial layout).
 func NewSpreadPointShardsOf[S SpreadSketch[S]](id int, fresh func() S, shards int) (*SpreadPoint[S], error) {
-	if fresh == nil {
-		return nil, fmt.Errorf("core: nil sketch constructor for point %d", id)
+	pt, err := NewPoint[S](id, fresh, EngineConfig[S]{
+		Design: "spread",
+		Mode:   ModeDelta,
+		Shards: shards,
+	})
+	if err != nil {
+		return nil, err
 	}
-	p := &SpreadPoint[S]{
-		id:     id,
-		fresh:  fresh,
-		epoch:  1,
-		b:      fresh(),
-		c:      fresh(),
-		cp:     fresh(),
-		shards: make([]*spreadShard[S], normShards(shards)),
-	}
-	for i := range p.shards {
-		p.shards[i] = &spreadShard[S]{d: fresh()}
-	}
-	return p, nil
+	return &SpreadPoint[S]{Point: pt}, nil
 }
 
 // NewSpreadPoint creates the paper's rSkt2(HLL)-backed measurement point.
@@ -130,9 +61,6 @@ func NewSpreadPoint(id int, p rskt.Params) (*SpreadPoint[*rskt.Sketch], error) {
 	return NewSpreadPointOf(id, func() *rskt.Sketch { return rskt.New(p) })
 }
 
-// ID returns the point's identifier.
-func (p *SpreadPoint[S]) ID() int { return p.id }
-
 // Params returns the point's sketch parameters (rSkt2-backed points only;
 // generic callers use Sketch().Width()/Compatible()).
 func (p *SpreadPoint[S]) Params() rskt.Params {
@@ -140,308 +68,4 @@ func (p *SpreadPoint[S]) Params() rskt.Params {
 		return sk.Params()
 	}
 	return rskt.Params{}
-}
-
-// Epoch returns the current (1-based) epoch index.
-func (p *SpreadPoint[S]) Epoch() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.epoch
-}
-
-// SetTopology tells the point how large its cluster is (point count and
-// window n), which is what Coverage measures queries against. A standalone
-// point (the default) expects nothing and always reports full coverage.
-func (p *SpreadPoint[S]) SetTopology(points, windowN int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.topoPoints, p.topoN = points, windowN
-}
-
-// AdvanceTo fast-forwards the point's epoch clock without touching sketch
-// state. A point that restarts without persisted state rejoins its cluster
-// at the cluster's current epoch; everything before it is gone, so the
-// current window's coverage is reset to empty.
-func (p *SpreadPoint[S]) AdvanceTo(epoch int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if epoch <= p.epoch {
-		return
-	}
-	p.epoch = epoch
-	p.covCur = Coverage{EpochsExpected: expectedPointEpochs(p.topoPoints, p.topoN, epoch-1)}
-	p.covMerged = 0
-	p.aggApplied, p.enhApplied, p.backfilled = false, false, false
-}
-
-// Coverage returns the eq. (1)/(2) window coverage of the current query
-// target (see Coverage).
-func (p *SpreadPoint[S]) Coverage() Coverage {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.covCur
-}
-
-// Record inserts packet <f, e> (stage 1, local online recording). Only
-// the flow's ingest shard is touched — one sketch update instead of
-// three; the delta reaches B, C and C' at the next fold point.
-func (p *SpreadPoint[S]) Record(f, e uint64) {
-	sh := p.shards[shardOf(f, len(p.shards))]
-	sh.mu.Lock()
-	sh.d.Record(f, e)
-	if !sh.dirty.Load() {
-		sh.dirty.Store(true)
-	}
-	sh.mu.Unlock()
-}
-
-// RecordBatch inserts a batch of packets. The whole batch lands in a
-// single shard under a single lock acquisition (round-robin with try-lock
-// steering away from busy shards).
-func (p *SpreadPoint[S]) RecordBatch(ps []SpreadPacket) {
-	if len(ps) == 0 {
-		return
-	}
-	n := len(p.shards)
-	start := int(p.rr.Add(1)-1) % n
-	var sh *spreadShard[S]
-	for i := 0; i < n; i++ {
-		if cand := p.shards[(start+i)%n]; cand.mu.TryLock() {
-			sh = cand
-			break
-		}
-	}
-	if sh == nil {
-		sh = p.shards[start]
-		sh.mu.Lock()
-	}
-	for _, q := range ps {
-		sh.d.Record(q.Flow, q.Elem)
-	}
-	if !sh.dirty.Load() {
-		sh.dirty.Store(true)
-	}
-	sh.mu.Unlock()
-}
-
-// Query answers the approximate real-time networkwide T-query for flow f
-// from the local C sketch plus the not-yet-folded shard deltas
-// (register-wise max along f's virtual estimator, bit-identical to the
-// serial single-sketch path). Slightly negative estimates (subtraction
-// noise) are possible; callers needing counts should clamp at zero.
-func (p *SpreadPoint[S]) Query(f uint64) float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var (
-		extras [maxShards]S
-		locked [maxShards]*spreadShard[S]
-		n      int
-	)
-	for _, sh := range p.shards {
-		if sh.dirty.Load() {
-			sh.mu.Lock()
-			locked[n] = sh
-			extras[n] = sh.d
-			n++
-		}
-	}
-	est := p.c.EstimateUnion(f, extras[:n])
-	for i := 0; i < n; i++ {
-		locked[i].mu.Unlock()
-	}
-	return est
-}
-
-// QueryWithCoverage answers Query(f) together with the coverage of the
-// window the answer was computed from, read atomically so the pair is
-// consistent across a concurrent epoch boundary.
-func (p *SpreadPoint[S]) QueryWithCoverage(f uint64) (float64, Coverage) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var (
-		extras [maxShards]S
-		locked [maxShards]*spreadShard[S]
-		n      int
-	)
-	for _, sh := range p.shards {
-		if sh.dirty.Load() {
-			sh.mu.Lock()
-			locked[n] = sh
-			extras[n] = sh.d
-			n++
-		}
-	}
-	est := p.c.EstimateUnion(f, extras[:n])
-	for i := 0; i < n; i++ {
-		locked[i].mu.Unlock()
-	}
-	return est, p.covCur
-}
-
-// flushShardsLocked folds every dirty shard delta into B, C and C' with
-// register-wise max and resets it. Caller holds p.mu.
-func (p *SpreadPoint[S]) flushShardsLocked() {
-	for _, sh := range p.shards {
-		if !sh.dirty.Load() {
-			continue
-		}
-		sh.mu.Lock()
-		mustMergeMax(p.b, sh.d)
-		mustMergeMax(p.c, sh.d)
-		mustMergeMax(p.cp, sh.d)
-		sh.d.Reset()
-		sh.dirty.Store(false)
-		sh.mu.Unlock()
-	}
-}
-
-// mustMergeMax folds src into dst; shards share the point's sketch shape
-// by construction, so a mismatch is a programmer error.
-func mustMergeMax[S SpreadSketch[S]](dst, src S) {
-	if err := dst.MergeMax(src); err != nil {
-		panic("core: shard fold: " + err.Error())
-	}
-}
-
-// EndEpoch performs the epoch-boundary actions (stage 2, local periodical
-// measurement update): it folds the ingest shards, returns the B sketch of
-// the epoch that just ended (for upload to the center), copies C' into C,
-// and resets both B and C' for the new epoch. The returned sketch is owned
-// by the caller. Recorders are never blocked by the boundary: they only
-// touch shard deltas, which are folded one shard at a time.
-func (p *SpreadPoint[S]) EndEpoch() S {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.flushShardsLocked()
-	upload := p.b
-	p.b = p.fresh()
-	// "Copy C' to C, reset C'" implemented as swap-then-reset to avoid
-	// the copy: C takes C''s content, the old C becomes the zeroed C'.
-	p.c, p.cp = p.cp, p.c
-	p.cp.Reset()
-	p.rollCoverageLocked()
-	p.epoch++
-	return upload
-}
-
-// rollCoverageLocked moves the staged aggregate's coverage onto the query
-// target (C' becomes C at this boundary) and opens a fresh slot for the
-// next epoch's push. Caller holds p.mu with p.epoch still the epoch that
-// is ending.
-func (p *SpreadPoint[S]) rollCoverageLocked() {
-	exp := expectedPointEpochs(p.topoPoints, p.topoN, p.epoch)
-	m := p.covMerged
-	if m < 0 || m > exp {
-		// Aggregate applied through the coverage-oblivious path: trust it
-		// to be whole.
-		m = exp
-	}
-	p.covCur = Coverage{EpochsMerged: m, EpochsExpected: exp}
-	p.covMerged = 0
-	p.aggApplied, p.enhApplied, p.backfilled = false, false, false
-}
-
-// ApplyAggregate merges the center's ST-join result (the networkwide union
-// of the window's completed epochs, customized to this point's width) into
-// C' (Task 3). A zero-valued aggregate pointer is a no-op.
-func (p *SpreadPoint[S]) ApplyAggregate(agg S) error {
-	if isNilSketch(agg) {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.cp.MergeMax(agg); err != nil {
-		return fmt.Errorf("spread point %d: apply aggregate: %w", p.id, err)
-	}
-	p.aggApplied = true
-	p.covMerged = -1
-	return nil
-}
-
-// ApplyEnhancement merges the peers' last-completed-epoch union directly
-// into C (the Section IV-D enhancement), tightening the current epoch's
-// answers toward the exact networkwide T-query.
-func (p *SpreadPoint[S]) ApplyEnhancement(enh S) error {
-	if isNilSketch(enh) {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.c.MergeMax(enh); err != nil {
-		return fmt.Errorf("spread point %d: apply enhancement: %w", p.id, err)
-	}
-	p.enhApplied = true
-	return nil
-}
-
-// ApplyAggregateAt is ApplyAggregate guarded by an epoch check performed
-// under the point's lock: the merge happens only if the point is still in
-// epoch k. Returns ErrStaleEpoch otherwise (the push missed the round-trip
-// bound and must be dropped, not merged into the wrong window), and
-// ErrDuplicatePush if this epoch's aggregate was already merged (a
-// reconnect re-push).
-func (p *SpreadPoint[S]) ApplyAggregateAt(k int64, agg S) error {
-	return p.applyAggregateAt(k, agg, -1)
-}
-
-// ApplyAggregateCovAt is ApplyAggregateAt carrying the aggregate's
-// coverage: how many point-epoch uploads the center actually joined into
-// it. Queries answered from the window this aggregate lands in report that
-// coverage (QueryWithCoverage).
-func (p *SpreadPoint[S]) ApplyAggregateCovAt(k int64, agg S, merged int) error {
-	return p.applyAggregateAt(k, agg, merged)
-}
-
-func (p *SpreadPoint[S]) applyAggregateAt(k int64, agg S, merged int) error {
-	if isNilSketch(agg) {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.epoch != k {
-		return ErrStaleEpoch
-	}
-	if p.aggApplied {
-		return ErrDuplicatePush
-	}
-	if err := p.cp.MergeMax(agg); err != nil {
-		return fmt.Errorf("spread point %d: apply aggregate: %w", p.id, err)
-	}
-	p.aggApplied = true
-	p.covMerged = merged
-	return nil
-}
-
-// ApplyEnhancementAt is ApplyEnhancement guarded by an epoch check under
-// the point's lock, with the same duplicate-push guard as
-// ApplyAggregateAt.
-func (p *SpreadPoint[S]) ApplyEnhancementAt(k int64, enh S) error {
-	if isNilSketch(enh) {
-		return nil
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.epoch != k {
-		return ErrStaleEpoch
-	}
-	if p.enhApplied {
-		return ErrDuplicatePush
-	}
-	if err := p.c.MergeMax(enh); err != nil {
-		return fmt.Errorf("spread point %d: apply enhancement: %w", p.id, err)
-	}
-	p.enhApplied = true
-	return nil
-}
-
-// isNilSketch reports whether a sketch value is absent: sketch
-// implementations are pointer types, and a nil pointer is the "no
-// aggregate yet" signal during cluster start-up. Not on the hot path (at
-// most a few calls per epoch).
-func isNilSketch(s any) bool {
-	if s == nil {
-		return true
-	}
-	v := reflect.ValueOf(s)
-	return v.Kind() == reflect.Pointer && v.IsNil()
 }

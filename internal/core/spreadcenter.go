@@ -1,27 +1,17 @@
 package core
 
 import (
-	"fmt"
-	"sync"
-
 	"repro/internal/rskt"
 )
 
 // SpreadCenter is the measurement center for the three-sketch design,
-// generic over the epoch sketch. It stores the per-epoch uploads of every
-// point and performs the ST join.
+// generic over the epoch sketch: the generic epoch engine instantiated
+// with the non-additive (register-max) merge discipline, under which
+// per-epoch uploads are independent facts and no push bookkeeping is
+// needed. It stores the per-epoch uploads of every point and performs the
+// ST join (see Center).
 type SpreadCenter[S SpreadSketch[S]] struct {
-	mu sync.Mutex
-
-	windowN int
-	protos  map[int]S // zero-state prototype per point (width + shape)
-	wMax    int
-	// uploads[point][epoch] is the B sketch point uploaded at that epoch's
-	// end. Old epochs are trimmed once outside every window.
-	uploads map[int]map[int64]S
-	// lastEpoch[point] is the most recent epoch the point uploaded; the
-	// transport layer uses it to resynchronize reconnecting points.
-	lastEpoch map[int]int64
+	*Center[S]
 }
 
 // NewSpreadCenterOf creates a center for a cluster whose points use the
@@ -29,47 +19,14 @@ type SpreadCenter[S SpreadSketch[S]] struct {
 // mutually compatible, and the maximum width must be a multiple of every
 // width (power-of-two-ratio widths satisfy this).
 func NewSpreadCenterOf[S SpreadSketch[S]](windowN int, protos map[int]S) (*SpreadCenter[S], error) {
-	if windowN < 3 {
-		return nil, fmt.Errorf("core: window n must be >= 3, got %d", windowN)
+	ctr, err := NewCenter(windowN, protos, EngineConfig[S]{
+		Design: "spread",
+		Mode:   ModeDelta,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(protos) == 0 {
-		return nil, fmt.Errorf("core: no measurement points")
-	}
-	wMax := 0
-	var ref S
-	haveRef := false
-	for _, p := range protos {
-		if isNilSketch(p) {
-			return nil, fmt.Errorf("core: nil sketch prototype")
-		}
-		if p.Width() > wMax {
-			wMax = p.Width()
-		}
-		if !haveRef {
-			ref = p
-			haveRef = true
-		}
-	}
-	for id, p := range protos {
-		if !ref.Compatible(p) {
-			return nil, fmt.Errorf("core: point %d's sketch is incompatible with the cluster", id)
-		}
-		if wMax%p.Width() != 0 {
-			return nil, fmt.Errorf("core: width %d of point %d does not divide max width %d", p.Width(), id, wMax)
-		}
-	}
-	c := &SpreadCenter[S]{
-		windowN:   windowN,
-		protos:    make(map[int]S, len(protos)),
-		wMax:      wMax,
-		uploads:   make(map[int]map[int64]S, len(protos)),
-		lastEpoch: make(map[int]int64, len(protos)),
-	}
-	for id, p := range protos {
-		c.protos[id] = p.Clone()
-		c.uploads[id] = make(map[int64]S)
-	}
-	return c, nil
+	return &SpreadCenter[S]{Center: ctr}, nil
 }
 
 // NewSpreadCenter creates the paper's rSkt2(HLL)-backed center from
@@ -91,181 +48,5 @@ func NewSpreadCenter(windowN int, points map[int]rskt.Params) (*SpreadCenter[*rs
 // (ErrDuplicateUpload), and a late upload that arrives out of order fills
 // its window hole and improves future joins' coverage.
 func (c *SpreadCenter[S]) Receive(point int, epoch int64, b S) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	per, ok := c.uploads[point]
-	if !ok {
-		return fmt.Errorf("core: unknown spread point %d", point)
-	}
-	proto := c.protos[point]
-	if isNilSketch(b) || !proto.Compatible(b) || proto.Width() != b.Width() {
-		return fmt.Errorf("core: upload from point %d does not match its declared sketch", point)
-	}
-	if _, dup := per[epoch]; dup {
-		return ErrDuplicateUpload
-	}
-	per[epoch] = b
-	if epoch > c.lastEpoch[point] {
-		c.lastEpoch[point] = epoch
-	}
-	c.trimLocked(c.lastEpoch[point])
-	return nil
-}
-
-// LastEpoch returns the most recent epoch the point has uploaded (0 if
-// none).
-func (c *SpreadCenter[S]) LastEpoch(point int) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lastEpoch[point]
-}
-
-// MaxEpoch returns the most recent epoch any point has uploaded (0 if
-// none) — the cluster's epoch clock as the center sees it.
-func (c *SpreadCenter[S]) MaxEpoch() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var m int64
-	for _, e := range c.lastEpoch {
-		if e > m {
-			m = e
-		}
-	}
-	return m
-}
-
-// CoverageFor counts, for the aggregate pushed during epoch k, how many
-// point-epoch uploads the center actually holds in the eq. (5) join range
-// versus how many a fully healthy window would contribute.
-func (c *SpreadCenter[S]) CoverageFor(k int64) (merged, expected int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	first, last, ok := aggregateSpan(k, c.windowN)
-	if !ok {
-		return 0, 0
-	}
-	for _, per := range c.uploads {
-		for e := first; e <= last; e++ {
-			if _, ok := per[e]; ok {
-				merged++
-			}
-		}
-	}
-	return merged, len(c.uploads) * int(last-first+1)
-}
-
-// trimLocked drops uploads too old to contribute to any future join.
-func (c *SpreadCenter[S]) trimLocked(latest int64) {
-	floor := latest - int64(c.windowN) - 1
-	for _, per := range c.uploads {
-		for e := range per {
-			if e < floor {
-				delete(per, e)
-			}
-		}
-	}
-}
-
-// temporalJoinLocked returns the union of point's uploads for epochs
-// [first, last], or a nil sketch if the range is empty or nothing was
-// uploaded.
-func (c *SpreadCenter[S]) temporalJoinLocked(point int, first, last int64) (S, error) {
-	var acc S
-	have := false
-	for e := first; e <= last; e++ {
-		b, ok := c.uploads[point][e]
-		if !ok {
-			continue
-		}
-		if !have {
-			acc = b.Clone()
-			have = true
-			continue
-		}
-		if err := acc.MergeMax(b); err != nil {
-			return acc, fmt.Errorf("core: temporal join point %d epoch %d: %w", point, e, err)
-		}
-	}
-	return acc, nil
-}
-
-// spatialJoinLocked expands every per-point aggregate to the maximum width
-// and unions them (uniform join degenerates to plain register-wise max).
-func (c *SpreadCenter[S]) spatialJoinLocked(parts map[int]S) (S, error) {
-	var acc S
-	have := false
-	for point, s := range parts {
-		if isNilSketch(s) {
-			continue
-		}
-		e, err := s.ExpandTo(c.wMax)
-		if err != nil {
-			return acc, fmt.Errorf("core: expand point %d: %w", point, err)
-		}
-		if !have {
-			acc = e
-			have = true
-			continue
-		}
-		if err := acc.MergeMax(e); err != nil {
-			return acc, fmt.Errorf("core: spatial join point %d: %w", point, err)
-		}
-	}
-	return acc, nil
-}
-
-// AggregateFor computes, during epoch k, the networkwide union of epochs
-// k-n+2 .. k-1 (eq. (3)'s center-provided part, eq. (5)), compressed to the
-// requesting point's width. It returns a nil sketch when no epoch in the
-// range has data (cluster start-up).
-func (c *SpreadCenter[S]) AggregateFor(point int, k int64) (S, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var zero S
-	proto, ok := c.protos[point]
-	if !ok {
-		return zero, fmt.Errorf("core: unknown spread point %d", point)
-	}
-	first, last := k-int64(c.windowN)+2, k-1
-	parts := make(map[int]S, len(c.uploads))
-	for id := range c.uploads {
-		tj, err := c.temporalJoinLocked(id, first, last)
-		if err != nil {
-			return zero, err
-		}
-		parts[id] = tj
-	}
-	joined, err := c.spatialJoinLocked(parts)
-	if err != nil || isNilSketch(joined) {
-		return zero, err
-	}
-	return joined.CompressTo(proto.Width())
-}
-
-// EnhancementFor computes, during epoch k, the union over peers (all points
-// except the requester) of the last completed epoch k-1, compressed to the
-// requesting point's width (Section IV-D). It returns a nil sketch when no
-// peer has data for that epoch.
-func (c *SpreadCenter[S]) EnhancementFor(point int, k int64) (S, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var zero S
-	proto, ok := c.protos[point]
-	if !ok {
-		return zero, fmt.Errorf("core: unknown spread point %d", point)
-	}
-	parts := make(map[int]S, len(c.uploads))
-	for id, per := range c.uploads {
-		if id == point {
-			continue
-		}
-		if b, ok := per[k-1]; ok {
-			parts[id] = b
-		}
-	}
-	joined, err := c.spatialJoinLocked(parts)
-	if err != nil || isNilSketch(joined) {
-		return zero, err
-	}
-	return joined.CompressTo(proto.Width())
+	return c.ReceiveMeta(point, epoch, b, UploadMeta{Epoch: epoch})
 }

@@ -90,8 +90,10 @@ func (s *Sketch) Params() Params { return s.params }
 // Row exposes row i's raw counters for joins and wire encoding.
 func (s *Sketch) Row(i int) []int64 { return s.rows[i] }
 
-// Record adds one occurrence of flow f.
-func (s *Sketch) Record(f uint64) { s.Add(f, 1) }
+// Record adds one occurrence of flow f. The element argument exists for
+// the sketch algebra's shared signature (core.Sketch); per-flow size
+// ignores which element arrived.
+func (s *Sketch) Record(f, _ uint64) { s.Add(f, 1) }
 
 // Add adds delta occurrences of flow f.
 func (s *Sketch) Add(f uint64, delta int64) {
@@ -142,6 +144,18 @@ func (s *Sketch) EstimateSummed(f uint64, extras []*Sketch) int64 {
 	}
 	return est
 }
+
+// EstimateUnion returns the size estimate for flow f over the counter-wise
+// sum of s and others, as the sketch algebra's float-valued estimator.
+// CountMin counters are exact integers well below 2^53, so the conversion
+// is lossless; EstimateSummed is the integer-typed form.
+func (s *Sketch) EstimateUnion(f uint64, others []*Sketch) float64 {
+	return float64(s.EstimateSummed(f, others))
+}
+
+// Merge folds o into s under the size design's merge algebra: counter-wise
+// addition (the U operator, eq. (12)).
+func (s *Sketch) Merge(o *Sketch) error { return s.AddSketch(o) }
 
 // AddSketch folds o into s by counter-wise addition (the U operator for
 // size). Dimensions and seed must match.
@@ -232,6 +246,16 @@ func (s *Sketch) IsZero() bool {
 // CounterBits bits).
 func (s *Sketch) MemoryBits() int {
 	return s.params.D * s.params.W * CounterBits
+}
+
+// Width returns the per-row counter count (the dimension that varies under
+// device diversity and that ExpandTo/CompressTo align).
+func (s *Sketch) Width() int { return s.params.W }
+
+// Compatible reports whether two sketches can be joined after width
+// alignment: same depth and same hash seed.
+func (s *Sketch) Compatible(o *Sketch) bool {
+	return o != nil && s.params.D == o.params.D && s.params.Seed == o.params.Seed
 }
 
 // ExpandTo column-wise replicates the sketch to wBig counters per row

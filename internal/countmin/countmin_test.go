@@ -73,7 +73,7 @@ func TestEstimateOneSidedError(t *testing.T) {
 func TestRecordIsAddOne(t *testing.T) {
 	a, b := New(testParams()), New(testParams())
 	for i := 0; i < 10; i++ {
-		a.Record(5)
+		a.Record(5, uint64(i))
 	}
 	b.Add(5, 10)
 	if !a.Equal(b) {

@@ -171,6 +171,11 @@ func (s *Sketch) MergeMax(o *Sketch) error {
 	return nil
 }
 
+// Merge folds o into s under the spread design's merge algebra —
+// register-wise max. It is the sketch-algebra name for MergeMax
+// (core.Sketch requires one merge spelling across backends).
+func (s *Sketch) Merge(o *Sketch) error { return s.MergeMax(o) }
+
 // Reset zeroes every register.
 func (s *Sketch) Reset() {
 	s.rows[0].Reset()

@@ -9,9 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/countmin"
 	"repro/internal/durable"
-	"repro/internal/rskt"
 )
 
 // CenterConfig describes a live measurement-center deployment. The
@@ -25,11 +23,16 @@ type CenterConfig struct {
 	Listener net.Listener
 	// Kind selects the size or spread design.
 	Kind Kind
+	// Sketch selects the spread design's sketch backend: SketchRskt (the
+	// default, also "") or SketchVhll. Out-of-band configuration — points
+	// must be dialed with the same backend.
+	Sketch string
 	// WindowN is the paper's n.
 	WindowN int
-	// Widths maps point id to sketch width.
+	// Widths maps point id to sketch width (vHLL: physical registers).
 	Widths map[int]int
-	// M is the HLL register count (spread; 0 = hll default handled by caller).
+	// M is the HLL register count (spread; 0 = hll default handled by
+	// caller). For the vHLL backend it is the virtual estimator size.
 	M int
 	// D is the CountMin depth (size).
 	D int
@@ -56,8 +59,8 @@ type CenterServer struct {
 	cfg CenterConfig
 	ln  net.Listener
 
-	spread *core.SpreadCenter[*rskt.Sketch]
-	size   *core.SizeCenter
+	// eng is the design-erased protocol engine (see engine.go).
+	eng centerEngine
 
 	ckpt        *durable.Store // nil when durability is disabled
 	ckptEvery   int64
@@ -112,30 +115,11 @@ func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
 		received: make(map[int64]int),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	switch cfg.Kind {
-	case KindSpread:
-		params := make(map[int]rskt.Params, len(cfg.Widths))
-		for id, w := range cfg.Widths {
-			params[id] = rskt.Params{W: w, M: cfg.M, Seed: cfg.Seed}
-		}
-		center, err := core.NewSpreadCenter(cfg.WindowN, params)
-		if err != nil {
-			return nil, err
-		}
-		s.spread = center
-	case KindSize:
-		params := make(map[int]countmin.Params, len(cfg.Widths))
-		for id, w := range cfg.Widths {
-			params[id] = countmin.Params{D: cfg.D, W: w, Seed: cfg.Seed}
-		}
-		center, err := core.NewSizeCenter(cfg.WindowN, params, core.SizeModeCumulative)
-		if err != nil {
-			return nil, err
-		}
-		s.size = center
-	default:
-		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
+	eng, err := newCenterEngine(cfg)
+	if err != nil {
+		return nil, err
 	}
+	s.eng = eng
 	s.ckptEvery = int64(cfg.CheckpointEvery)
 	if s.ckptEvery < 1 {
 		s.ckptEvery = 1
@@ -393,16 +377,12 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 // welcomeFor builds the handshake reply for one point from the center's
 // view of the epoch clock.
 func (s *CenterServer) welcomeFor(point int) Welcome {
-	w := Welcome{WindowN: s.cfg.WindowN, Points: len(s.cfg.Widths)}
-	switch s.cfg.Kind {
-	case KindSpread:
-		w.ResumeEpoch = s.spread.MaxEpoch() + 1
-		w.PointEpoch = s.spread.LastEpoch(point)
-	case KindSize:
-		w.ResumeEpoch = s.size.MaxEpoch() + 1
-		w.PointEpoch = s.size.LastEpoch(point)
+	return Welcome{
+		WindowN:     s.cfg.WindowN,
+		Points:      len(s.cfg.Widths),
+		ResumeEpoch: s.eng.maxEpoch() + 1,
+		PointEpoch:  s.eng.lastEpoch(point),
 	}
-	return w
 }
 
 // ingest stores one upload and, once every point reported the epoch,
@@ -410,27 +390,7 @@ func (s *CenterServer) welcomeFor(point int) Welcome {
 // uploads (retransmits after a redial) and post-gap uploads awaiting a
 // rebase are counted and dropped without killing the connection.
 func (s *CenterServer) ingest(up Upload) error {
-	var rcvErr error
-	switch s.cfg.Kind {
-	case KindSpread:
-		var sk rskt.Sketch
-		if err := sk.UnmarshalBinary(up.Sketch); err != nil {
-			return fmt.Errorf("point %d epoch %d: %w", up.Point, up.Epoch, err)
-		}
-		rcvErr = s.spread.Receive(up.Point, up.Epoch, &sk)
-	case KindSize:
-		var sk countmin.Sketch
-		if err := sk.UnmarshalBinary(up.Sketch); err != nil {
-			return fmt.Errorf("point %d epoch %d: %w", up.Point, up.Epoch, err)
-		}
-		meta := core.UploadMeta{
-			Epoch:      up.Epoch,
-			AggApplied: up.AggApplied,
-			EnhApplied: up.EnhApplied,
-			Rebase:     up.Rebase,
-		}
-		rcvErr = s.size.ReceiveMeta(up.Point, up.Epoch, &sk, meta)
-	}
+	rcvErr := s.eng.receive(up)
 
 	s.mu.Lock()
 	switch {
@@ -467,54 +427,7 @@ func (s *CenterServer) ingest(up Upload) error {
 // buildPush assembles one point's Push for the given epoch, stamping the
 // aggregate's window coverage.
 func (s *CenterServer) buildPush(point int, forEpoch int64) (Push, error) {
-	push := Push{ForEpoch: forEpoch}
-	switch s.cfg.Kind {
-	case KindSpread:
-		agg, err := s.spread.AggregateFor(point, forEpoch)
-		if err != nil {
-			return push, err
-		}
-		if agg != nil {
-			if push.Aggregate, err = agg.MarshalBinary(); err != nil {
-				return push, err
-			}
-		}
-		if s.cfg.Enhance {
-			enh, err := s.spread.EnhancementFor(point, forEpoch)
-			if err != nil {
-				return push, err
-			}
-			if enh != nil {
-				if push.Enhancement, err = enh.MarshalBinary(); err != nil {
-					return push, err
-				}
-			}
-		}
-		push.CovMerged, push.CovExpected = s.spread.CoverageFor(forEpoch)
-	case KindSize:
-		agg, err := s.size.AggregateFor(point, forEpoch)
-		if err != nil {
-			return push, err
-		}
-		if agg != nil {
-			if push.Aggregate, err = agg.MarshalBinary(); err != nil {
-				return push, err
-			}
-		}
-		if s.cfg.Enhance {
-			enh, err := s.size.EnhancementFor(point, forEpoch)
-			if err != nil {
-				return push, err
-			}
-			if enh != nil {
-				if push.Enhancement, err = enh.MarshalBinary(); err != nil {
-					return push, err
-				}
-			}
-		}
-		push.CovMerged, push.CovExpected = s.size.CoverageFor(forEpoch)
-	}
-	return push, nil
+	return s.eng.buildPush(point, forEpoch, s.cfg.Enhance)
 }
 
 // pushTo sends one point its Push for forEpoch.

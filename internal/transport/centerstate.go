@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/durable"
-	"repro/internal/rskt"
 )
 
 // Center-side durability: the center's whole recovery state — window
@@ -48,16 +47,7 @@ func (s *CenterServer) writeCheckpoint() {
 	s.mu.Lock()
 	ck.LastPush = s.lastPush
 	s.mu.Unlock()
-	var err error
-	switch s.cfg.Kind {
-	case KindSpread:
-		ck.Spread, err = s.spread.ExportState(func(sk *rskt.Sketch) ([]byte, error) {
-			return sk.MarshalBinary()
-		})
-	case KindSize:
-		ck.Size, err = s.size.ExportState()
-	}
-	if err != nil {
+	if err := s.eng.exportState(&ck); err != nil {
 		s.cfg.Logf("transport: export center checkpoint: %v", err)
 		return
 	}
@@ -97,15 +87,13 @@ func (s *CenterServer) restoreCheckpoint(sections []durable.Section) error {
 		return fmt.Errorf("checkpoint topology (%s, n=%d, seed=%d) does not match the configured (%s, n=%d, seed=%d)",
 			ck.Kind, ck.WindowN, ck.Seed, s.cfg.Kind, s.cfg.WindowN, s.cfg.Seed)
 	}
-	switch s.cfg.Kind {
-	case KindSpread:
-		if ck.M != s.cfg.M {
-			return fmt.Errorf("checkpoint M=%d does not match the configured M=%d", ck.M, s.cfg.M)
-		}
-	case KindSize:
-		if ck.D != s.cfg.D {
-			return fmt.Errorf("checkpoint D=%d does not match the configured D=%d", ck.D, s.cfg.D)
-		}
+	// The unused parameter is zero in both the config and the checkpoint,
+	// so both checks apply regardless of design.
+	if ck.M != s.cfg.M {
+		return fmt.Errorf("checkpoint M=%d does not match the configured M=%d", ck.M, s.cfg.M)
+	}
+	if ck.D != s.cfg.D {
+		return fmt.Errorf("checkpoint D=%d does not match the configured D=%d", ck.D, s.cfg.D)
 	}
 	if len(ck.Widths) != len(s.cfg.Widths) {
 		return fmt.Errorf("checkpoint has %d points, configured %d", len(ck.Widths), len(s.cfg.Widths))
@@ -115,22 +103,8 @@ func (s *CenterServer) restoreCheckpoint(sections []durable.Section) error {
 			return fmt.Errorf("checkpoint width %d for point %d, configured %d", ck.Widths[id], id, w)
 		}
 	}
-	switch s.cfg.Kind {
-	case KindSpread:
-		err := s.spread.ImportState(ck.Spread, func(data []byte) (*rskt.Sketch, error) {
-			var sk rskt.Sketch
-			if err := sk.UnmarshalBinary(data); err != nil {
-				return nil, err
-			}
-			return &sk, nil
-		})
-		if err != nil {
-			return err
-		}
-	case KindSize:
-		if err := s.size.ImportState(ck.Size); err != nil {
-			return err
-		}
+	if err := s.eng.importState(&ck); err != nil {
+		return err
 	}
 	s.mu.Lock()
 	s.lastPush = ck.LastPush
@@ -144,20 +118,7 @@ func (s *CenterServer) restoreCheckpoint(sections []durable.Section) error {
 // every point had already reported: their rounds never fired, so the
 // caller fires them before accepting connections.
 func (s *CenterServer) recomputeReceived() []int64 {
-	var maxE int64
-	var reported func(id int, e int64) bool
-	switch s.cfg.Kind {
-	case KindSpread:
-		maxE = s.spread.MaxEpoch()
-		reported = func(id int, e int64) bool { return s.spread.HasUpload(id, e) }
-	case KindSize:
-		maxE = s.size.MaxEpoch()
-		// A gap-dropped upload leaves no delta but advances the point's
-		// sequence position; it still counted toward the round.
-		reported = func(id int, e int64) bool {
-			return s.size.HasDelta(id, e) || s.size.LastEpoch(id) >= e
-		}
-	}
+	maxE := s.eng.maxEpoch()
 	var complete []int64
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -168,7 +129,7 @@ func (s *CenterServer) recomputeReceived() []int64 {
 	for e := start; e <= maxE; e++ {
 		n := 0
 		for id := range s.cfg.Widths {
-			if reported(id, e) {
+			if s.eng.reported(id, e) {
 				n++
 			}
 		}

@@ -54,12 +54,7 @@ func (c *PointClient) checkpointSectionsLocked() ([]durable.Section, error) {
 		return nil, err
 	}
 
-	var meta core.PointMeta
-	if c.spread != nil {
-		meta = c.spread.Meta()
-	} else {
-		meta = c.size.Meta()
-	}
+	meta := c.eng.meta()
 	mbuf := make([]byte, 0, 34)
 	mbuf = append(mbuf, pointMetaVersion)
 	mbuf = binary.LittleEndian.AppendUint32(mbuf, uint32(c.points))
@@ -158,11 +153,7 @@ func (c *PointClient) restoreCheckpoint(sections []durable.Section) error {
 			EpochsExpected: int(int64(binary.LittleEndian.Uint64(mbuf[26:34]))),
 		},
 	}
-	if c.spread != nil {
-		c.spread.RestoreMeta(meta)
-	} else {
-		c.size.RestoreMeta(meta)
-	}
+	c.eng.restoreMeta(meta)
 
 	ubuf, ok := bySection["uploads"]
 	if !ok {

@@ -1,0 +1,377 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/rskt"
+	"repro/internal/vhll"
+)
+
+// The transport speaks to exactly one point-side and one center-side
+// protocol engine, both thin instantiations of the generic epoch engine in
+// internal/core behind a byte-level codec. The design (size/spread) and
+// the spread design's sketch backend (rSkt2 or vHLL) are picked once at
+// construction (newPointEngine / newCenterEngine); every hot path after
+// that is design-agnostic. Sketch selection is out-of-band configuration —
+// the wire messages carry opaque sketch blobs and never name the backend,
+// so both sides of a connection must be configured with the same Sketch
+// (a mismatch surfaces as a blob decode error, killing the connection).
+
+// Sketch backend names for PointConfig.Sketch and CenterConfig.Sketch.
+// The empty string means the design's default backend.
+const (
+	// SketchRskt is the paper's rSkt2(HLL) spread sketch (default).
+	SketchRskt = "rskt"
+	// SketchVhll is the register-sharing vHLL spread sketch, the
+	// core-sketch ablation's backend.
+	SketchVhll = "vhll"
+)
+
+// pointEngine is the design-erased measurement point the PointClient
+// drives. Sketch payloads cross this boundary as their compact binary
+// encodings (the wire and checkpoint representation).
+type pointEngine interface {
+	setTopology(points, n int)
+	advanceTo(epoch int64)
+	resetWindow()
+	epoch() int64
+	coverage() core.Coverage
+	record(f, e uint64)
+	recordBatch(ps []core.SpreadPacket)
+	query(f uint64) float64
+	queryCov(f uint64) (float64, core.Coverage)
+	// endEpoch rolls the epoch and returns the finished epoch's number,
+	// marshaled upload and protocol metadata.
+	endEpoch(rebase bool) (int64, []byte, core.UploadMeta, error)
+	applyAggregate(forEpoch int64, data []byte, merged int) error
+	applyEnhancement(forEpoch int64, data []byte) error
+	applyBackfill(forEpoch int64, data []byte, merged int) error
+	meta() core.PointMeta
+	restoreMeta(m core.PointMeta)
+	// cumulative reports whether uploads form a recovery chain at the
+	// center (the cumulative size design), which is what makes rebase
+	// sequencing and gap tracking meaningful.
+	cumulative() bool
+	saveState(w io.Writer) error
+	loadState(r io.Reader) error
+}
+
+// pointCodec is the design- and backend-specific part of a point engine:
+// how sketch blobs decode, and how the TQST1 state file is framed.
+type pointCodec[S core.Sketch[S]] struct {
+	// dec decodes one sketch blob.
+	dec func([]byte) (S, error)
+	// stateKind is the TQST1 kind byte ('s' spread, 'z' size).
+	stateKind byte
+	// hasBByte marks the size framing, which writes a B-presence byte
+	// (cumulative mode keeps no B sketch); the spread framing always has
+	// all three sketches.
+	hasBByte bool
+}
+
+// enginePoint is the single point-engine implementation, generic over the
+// epoch sketch.
+type enginePoint[S core.Sketch[S]] struct {
+	pt    *core.Point[S]
+	codec pointCodec[S]
+}
+
+func (e *enginePoint[S]) setTopology(points, n int)          { e.pt.SetTopology(points, n) }
+func (e *enginePoint[S]) advanceTo(epoch int64)              { e.pt.AdvanceTo(epoch) }
+func (e *enginePoint[S]) resetWindow()                       { e.pt.ResetWindow() }
+func (e *enginePoint[S]) epoch() int64                       { return e.pt.Epoch() }
+func (e *enginePoint[S]) coverage() core.Coverage            { return e.pt.Coverage() }
+func (e *enginePoint[S]) record(f, el uint64)                { e.pt.Record(f, el) }
+func (e *enginePoint[S]) recordBatch(ps []core.SpreadPacket) { e.pt.RecordBatch(ps) }
+func (e *enginePoint[S]) query(f uint64) float64             { return e.pt.Query(f) }
+func (e *enginePoint[S]) queryCov(f uint64) (float64, core.Coverage) {
+	return e.pt.QueryWithCoverage(f)
+}
+func (e *enginePoint[S]) meta() core.PointMeta         { return e.pt.Meta() }
+func (e *enginePoint[S]) restoreMeta(m core.PointMeta) { e.pt.RestoreMeta(m) }
+func (e *enginePoint[S]) cumulative() bool             { return e.pt.Mode() == core.ModeCumulative }
+
+func (e *enginePoint[S]) endEpoch(rebase bool) (int64, []byte, core.UploadMeta, error) {
+	epoch := e.pt.Epoch()
+	up, meta := e.pt.EndEpochMeta(rebase)
+	data, err := up.MarshalBinary()
+	return epoch, data, meta, err
+}
+
+func (e *enginePoint[S]) applyAggregate(forEpoch int64, data []byte, merged int) error {
+	sk, err := e.codec.dec(data)
+	if err != nil {
+		return err
+	}
+	return e.pt.ApplyAggregateCovAt(forEpoch, sk, merged)
+}
+
+func (e *enginePoint[S]) applyEnhancement(forEpoch int64, data []byte) error {
+	sk, err := e.codec.dec(data)
+	if err != nil {
+		return err
+	}
+	return e.pt.ApplyEnhancementAt(forEpoch, sk)
+}
+
+func (e *enginePoint[S]) applyBackfill(forEpoch int64, data []byte, merged int) error {
+	sk, err := e.codec.dec(data)
+	if err != nil {
+		return err
+	}
+	return e.pt.ApplyBackfillCovAt(forEpoch, sk, merged)
+}
+
+// decodeRskt / decodeVhll / decodeCountMin are the blob decoders behind
+// each codec.
+func decodeRskt(data []byte) (*rskt.Sketch, error) {
+	var sk rskt.Sketch
+	if err := sk.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &sk, nil
+}
+
+func decodeVhll(data []byte) (*vhll.Sketch, error) {
+	var sk vhll.Sketch
+	if err := sk.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &sk, nil
+}
+
+func decodeCountMin(data []byte) (*countmin.Sketch, error) {
+	var sk countmin.Sketch
+	if err := sk.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &sk, nil
+}
+
+// newPointEngine builds the point engine selected by the configuration.
+func newPointEngine(cfg PointConfig) (pointEngine, error) {
+	switch cfg.Kind {
+	case KindSpread:
+		switch cfg.Sketch {
+		case "", SketchRskt:
+			pt, err := core.NewSpreadPoint(cfg.Point, rskt.Params{W: cfg.W, M: cfg.M, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			return &enginePoint[*rskt.Sketch]{pt: pt.Point, codec: pointCodec[*rskt.Sketch]{
+				dec: decodeRskt, stateKind: 's',
+			}}, nil
+		case SketchVhll:
+			params := vhll.Params{PhysicalRegisters: cfg.W, VirtualRegisters: cfg.M, Seed: cfg.Seed}
+			if _, err := vhll.New(params); err != nil {
+				return nil, err
+			}
+			pt, err := core.NewSpreadPointOf(cfg.Point, func() *vhll.Sketch {
+				sk, err := vhll.New(params)
+				if err != nil {
+					panic(err) // params validated above
+				}
+				return sk
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &enginePoint[*vhll.Sketch]{pt: pt.Point, codec: pointCodec[*vhll.Sketch]{
+				dec: decodeVhll, stateKind: 's',
+			}}, nil
+		default:
+			return nil, fmt.Errorf("transport: unknown spread sketch %q", cfg.Sketch)
+		}
+	case KindSize:
+		if cfg.Sketch != "" && cfg.Sketch != SketchRskt {
+			return nil, fmt.Errorf("transport: the size design has no alternate sketch backend (got %q)", cfg.Sketch)
+		}
+		pt, err := core.NewSizePoint(cfg.Point, countmin.Params{D: cfg.D, W: cfg.W, Seed: cfg.Seed}, core.SizeModeCumulative)
+		if err != nil {
+			return nil, err
+		}
+		return &enginePoint[*countmin.Sketch]{pt: pt.Point, codec: pointCodec[*countmin.Sketch]{
+			dec: decodeCountMin, stateKind: 'z', hasBByte: true,
+		}}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
+	}
+}
+
+// centerEngine is the design-erased measurement center the CenterServer
+// drives. Like pointEngine, sketches cross as binary blobs.
+type centerEngine interface {
+	maxEpoch() int64
+	lastEpoch(point int) int64
+	receive(up Upload) error
+	buildPush(point int, forEpoch int64, enhance bool) (Push, error)
+	// reported tells whether the point's upload for the epoch counted
+	// toward its round (stored, or — in cumulative mode — consumed by the
+	// sequence position even when gap-dropped).
+	reported(point int, epoch int64) bool
+	exportState(ck *centerCheckpoint) error
+	importState(ck *centerCheckpoint) error
+}
+
+// engineCenter is the single center-engine implementation, generic over
+// the epoch sketch. The three hooks carry what stays design-specific: the
+// upload validation path and the gob-frozen checkpoint state shapes.
+type engineCenter[S core.Sketch[S]] struct {
+	ctr *core.Center[S]
+	dec func([]byte) (S, error)
+	// recv ingests one decoded upload (the design wrapper's ReceiveMeta,
+	// which for size also checks the sketch parameters).
+	recv func(point int, epoch int64, sk S, meta core.UploadMeta) error
+	// cumulative mirrors pointEngine.cumulative.
+	cum bool
+	// save/load move the window store into/out of the checkpoint's
+	// design-specific field.
+	save func(ck *centerCheckpoint) error
+	load func(ck *centerCheckpoint) error
+}
+
+func (e *engineCenter[S]) maxEpoch() int64                        { return e.ctr.MaxEpoch() }
+func (e *engineCenter[S]) lastEpoch(point int) int64              { return e.ctr.LastEpoch(point) }
+func (e *engineCenter[S]) exportState(ck *centerCheckpoint) error { return e.save(ck) }
+func (e *engineCenter[S]) importState(ck *centerCheckpoint) error { return e.load(ck) }
+
+func (e *engineCenter[S]) receive(up Upload) error {
+	sk, err := e.dec(up.Sketch)
+	if err != nil {
+		return fmt.Errorf("point %d epoch %d: %w", up.Point, up.Epoch, err)
+	}
+	return e.recv(up.Point, up.Epoch, sk, core.UploadMeta{
+		Epoch:      up.Epoch,
+		AggApplied: up.AggApplied,
+		EnhApplied: up.EnhApplied,
+		Rebase:     up.Rebase,
+	})
+}
+
+func (e *engineCenter[S]) buildPush(point int, forEpoch int64, enhance bool) (Push, error) {
+	push := Push{ForEpoch: forEpoch}
+	agg, err := e.ctr.AggregateFor(point, forEpoch)
+	if err != nil {
+		return push, err
+	}
+	if !core.IsNil(agg) {
+		if push.Aggregate, err = agg.MarshalBinary(); err != nil {
+			return push, err
+		}
+	}
+	if enhance {
+		enh, err := e.ctr.EnhancementFor(point, forEpoch)
+		if err != nil {
+			return push, err
+		}
+		if !core.IsNil(enh) {
+			if push.Enhancement, err = enh.MarshalBinary(); err != nil {
+				return push, err
+			}
+		}
+	}
+	push.CovMerged, push.CovExpected = e.ctr.CoverageFor(forEpoch)
+	return push, nil
+}
+
+func (e *engineCenter[S]) reported(point int, epoch int64) bool {
+	if e.ctr.HasUpload(point, epoch) {
+		return true
+	}
+	// A gap-dropped cumulative upload leaves no delta but advances the
+	// point's sequence position; it still counted toward the round.
+	return e.cum && e.ctr.LastEpoch(point) >= epoch
+}
+
+// newCenterEngine builds the center engine selected by the configuration.
+func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
+	switch cfg.Kind {
+	case KindSpread:
+		switch cfg.Sketch {
+		case "", SketchRskt:
+			params := make(map[int]rskt.Params, len(cfg.Widths))
+			for id, w := range cfg.Widths {
+				params[id] = rskt.Params{W: w, M: cfg.M, Seed: cfg.Seed}
+			}
+			ctr, err := core.NewSpreadCenter(cfg.WindowN, params)
+			if err != nil {
+				return nil, err
+			}
+			return &engineCenter[*rskt.Sketch]{
+				ctr:  ctr.Center,
+				dec:  decodeRskt,
+				recv: ctr.ReceiveMeta,
+				save: func(ck *centerCheckpoint) error {
+					st, err := ctr.ExportState(func(sk *rskt.Sketch) ([]byte, error) { return sk.MarshalBinary() })
+					if err != nil {
+						return err
+					}
+					ck.Spread = st
+					return nil
+				},
+				load: func(ck *centerCheckpoint) error { return ctr.ImportState(ck.Spread, decodeRskt) },
+			}, nil
+		case SketchVhll:
+			protos := make(map[int]*vhll.Sketch, len(cfg.Widths))
+			for id, w := range cfg.Widths {
+				proto, err := vhll.New(vhll.Params{PhysicalRegisters: w, VirtualRegisters: cfg.M, Seed: cfg.Seed})
+				if err != nil {
+					return nil, err
+				}
+				protos[id] = proto
+			}
+			ctr, err := core.NewSpreadCenterOf(cfg.WindowN, protos)
+			if err != nil {
+				return nil, err
+			}
+			return &engineCenter[*vhll.Sketch]{
+				ctr:  ctr.Center,
+				dec:  decodeVhll,
+				recv: ctr.ReceiveMeta,
+				save: func(ck *centerCheckpoint) error {
+					st, err := ctr.ExportState(func(sk *vhll.Sketch) ([]byte, error) { return sk.MarshalBinary() })
+					if err != nil {
+						return err
+					}
+					ck.Spread = st
+					return nil
+				},
+				load: func(ck *centerCheckpoint) error { return ctr.ImportState(ck.Spread, decodeVhll) },
+			}, nil
+		default:
+			return nil, fmt.Errorf("transport: unknown spread sketch %q", cfg.Sketch)
+		}
+	case KindSize:
+		if cfg.Sketch != "" && cfg.Sketch != SketchRskt {
+			return nil, fmt.Errorf("transport: the size design has no alternate sketch backend (got %q)", cfg.Sketch)
+		}
+		params := make(map[int]countmin.Params, len(cfg.Widths))
+		for id, w := range cfg.Widths {
+			params[id] = countmin.Params{D: cfg.D, W: w, Seed: cfg.Seed}
+		}
+		ctr, err := core.NewSizeCenter(cfg.WindowN, params, core.SizeModeCumulative)
+		if err != nil {
+			return nil, err
+		}
+		return &engineCenter[*countmin.Sketch]{
+			ctr:  ctr.Center,
+			dec:  decodeCountMin,
+			recv: ctr.ReceiveMeta,
+			cum:  true,
+			save: func(ck *centerCheckpoint) error {
+				st, err := ctr.ExportState()
+				if err != nil {
+					return err
+				}
+				ck.Size = st
+				return nil
+			},
+			load: func(ck *centerCheckpoint) error { return ctr.ImportState(ck.Size) },
+		}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
+	}
+}

@@ -159,7 +159,7 @@ func (c *fcluster) checkOracle(x int, survived []pe, label string) {
 	}
 	ideal := countmin.New(countmin.Params{D: fmD, W: fmW, Seed: fmSeed})
 	for _, s := range survived {
-		record(s.k, s.y, func(f, e uint64) { ideal.Record(f) })
+		record(s.k, s.y, func(f, e uint64) { ideal.Record(f, 0) })
 	}
 	for f := uint64(0); f < 8; f++ {
 		got, err := c.pts[x].QuerySize(f)
@@ -576,10 +576,10 @@ func (r *rawPoint) upload(epoch int, dup bool) {
 		payload, err = sk.MarshalBinary()
 	} else if dup {
 		fork := r.cum.Clone()
-		record(9000+epoch, 0, func(f, e uint64) { fork.Record(f) })
+		record(9000+epoch, 0, func(f, e uint64) { fork.Record(f, 0) })
 		payload, err = fork.MarshalBinary()
 	} else {
-		record(epoch, 0, func(f, e uint64) { r.cum.Record(f) })
+		record(epoch, 0, func(f, e uint64) { r.cum.Record(f, 0) })
 		payload, err = r.cum.MarshalBinary()
 	}
 	if err != nil {

@@ -53,7 +53,7 @@ func fuzzSpreadSketchBytes(t interface{ Fatal(args ...any) }) []byte {
 func fuzzSizeSketchBytes(t interface{ Fatal(args ...any) }) []byte {
 	sk := countmin.New(countmin.Params{D: 2, W: 16, Seed: 5})
 	for i := 0; i < 30; i++ {
-		sk.Record(7)
+		sk.Record(7, 0)
 	}
 	b, err := sk.MarshalBinary()
 	if err != nil {

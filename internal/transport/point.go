@@ -11,9 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/countmin"
 	"repro/internal/durable"
-	"repro/internal/rskt"
 )
 
 // PointConfig describes a live measurement point.
@@ -24,7 +22,13 @@ type PointConfig struct {
 	Point int
 	// Kind selects the size or spread design.
 	Kind Kind
-	// W, M, D, Seed are the sketch parameters (matching the center).
+	// Sketch selects the spread design's sketch backend: SketchRskt (the
+	// default, also "") or SketchVhll. The choice never travels on the
+	// wire — the center must be configured with the same backend.
+	Sketch string
+	// W, M, D, Seed are the sketch parameters (matching the center). For
+	// the vHLL backend W is the physical register count and M the virtual
+	// (per-flow) estimator size.
 	W, M, D int
 	Seed    uint64
 	// Dial, if set, replaces net.Dial for reaching the center. Fault
@@ -109,8 +113,9 @@ type PointClient struct {
 	// EndEpoch sends a rebase upload to reseed it.
 	needRebase bool
 
-	spread *core.SpreadPoint[*rskt.Sketch]
-	size   *core.SizePoint
+	// eng is the design-erased protocol engine (see engine.go): the
+	// generic core epoch engine behind the design's wire codec.
+	eng pointEngine
 
 	// ckpt is the durable checkpoint store (nil when durability is
 	// disabled); sleep is the backoff delay hook (time.Sleep outside
@@ -156,22 +161,11 @@ type pendingUpload struct {
 func DialPoint(cfg PointConfig) (*PointClient, error) {
 	c := &PointClient{cfg: cfg, sleep: time.Sleep}
 	c.pushCond = sync.NewCond(&c.pushMu)
-	switch cfg.Kind {
-	case KindSpread:
-		pt, err := core.NewSpreadPoint(cfg.Point, rskt.Params{W: cfg.W, M: cfg.M, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		c.spread = pt
-	case KindSize:
-		pt, err := core.NewSizePoint(cfg.Point, countmin.Params{D: cfg.D, W: cfg.W, Seed: cfg.Seed}, core.SizeModeCumulative)
-		if err != nil {
-			return nil, err
-		}
-		c.size = pt
-	default:
-		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
+	eng, err := newPointEngine(cfg)
+	if err != nil {
+		return nil, err
 	}
+	c.eng = eng
 	if cfg.CheckpointDir != "" {
 		store, err := durable.Open(cfg.CheckpointDir, fmt.Sprintf("point-%d", cfg.Point))
 		if err != nil {
@@ -246,23 +240,14 @@ func (c *PointClient) connect() error {
 // buffer or needs a rebase upload.
 func (c *PointClient) applyWelcome(w Welcome) {
 	advanced := false
-	if c.spread != nil {
-		c.spread.SetTopology(w.Points, w.WindowN)
-		if w.ResumeEpoch > c.spread.Epoch() {
-			c.spread.AdvanceTo(w.ResumeEpoch)
-			// The window the point held belongs to epochs the cluster has
-			// moved past; merging it under the new epoch would double-count
-			// against the backfill aggregate the center is about to send.
-			c.spread.ResetWindow()
-			advanced = true
-		}
-	} else {
-		c.size.SetTopology(w.Points, w.WindowN)
-		if w.ResumeEpoch > c.size.Epoch() {
-			c.size.AdvanceTo(w.ResumeEpoch)
-			c.size.ResetWindow()
-			advanced = true
-		}
+	c.eng.setTopology(w.Points, w.WindowN)
+	if w.ResumeEpoch > c.eng.epoch() {
+		c.eng.advanceTo(w.ResumeEpoch)
+		// The window the point held belongs to epochs the cluster has
+		// moved past; merging it under the new epoch would double-count
+		// against the backfill aggregate the center is about to send.
+		c.eng.resetWindow()
+		advanced = true
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -278,7 +263,7 @@ func (c *PointClient) applyWelcome(w Welcome) {
 			c.pending[i].attempted = true
 		}
 	}
-	if c.size == nil {
+	if !c.eng.cumulative() {
 		return
 	}
 	// The chain survives the outage only if the next upload the center will
@@ -286,7 +271,7 @@ func (c *PointClient) applyWelcome(w Welcome) {
 	// local C never held the chain the center has; an unsent buffer whose
 	// oldest entry is past PointEpoch+1 means epochs were lost.
 	next := w.PointEpoch + 1
-	oldest := c.size.Epoch() // next upload's epoch when nothing is buffered
+	oldest := c.eng.epoch() // next upload's epoch when nothing is buffered
 	for i := range c.pending {
 		if !c.pending[i].sent {
 			oldest = c.pending[i].up.Epoch
@@ -356,49 +341,39 @@ func (c *PointClient) getErr() error {
 }
 
 // Record inserts a packet. For the size design the element is ignored.
-func (c *PointClient) Record(f, e uint64) {
-	if c.spread != nil {
-		c.spread.Record(f, e)
-		return
-	}
-	c.size.Record(f)
-}
+func (c *PointClient) Record(f, e uint64) { c.eng.record(f, e) }
 
 // RecordBatch inserts a batch of packets through the sharded ingest path:
 // one shard acquisition covers the whole batch. For the size design each
 // packet's element is ignored.
-func (c *PointClient) RecordBatch(ps []core.SpreadPacket) {
-	if c.spread != nil {
-		c.spread.RecordBatch(ps)
-		return
-	}
-	c.size.RecordBatchPairs(ps)
-}
+func (c *PointClient) RecordBatch(ps []core.SpreadPacket) { c.eng.recordBatch(ps) }
 
 // QuerySpread answers a networkwide T-query (spread design only).
 func (c *PointClient) QuerySpread(f uint64) (float64, error) {
-	if c.spread == nil {
+	if c.cfg.Kind != KindSpread {
 		return 0, errors.New("transport: point runs the size design")
 	}
-	return c.spread.Query(f), nil
+	return c.eng.query(f), nil
 }
 
-// QuerySize answers a networkwide T-query (size design only).
+// QuerySize answers a networkwide T-query (size design only). CountMin
+// counters are exact integers well below 2^53, so the engine's
+// float-valued answer converts back losslessly.
 func (c *PointClient) QuerySize(f uint64) (int64, error) {
-	if c.size == nil {
+	if c.cfg.Kind != KindSize {
 		return 0, errors.New("transport: point runs the spread design")
 	}
-	return c.size.Query(f), nil
+	return int64(c.eng.query(f)), nil
 }
 
 // QuerySpreadWithCoverage answers a networkwide spread T-query together
 // with the Coverage of the window the answer was computed over, taken
 // atomically with the estimate.
 func (c *PointClient) QuerySpreadWithCoverage(f uint64) (float64, core.Coverage, error) {
-	if c.spread == nil {
+	if c.cfg.Kind != KindSpread {
 		return 0, core.Coverage{}, errors.New("transport: point runs the size design")
 	}
-	v, cov := c.spread.QueryWithCoverage(f)
+	v, cov := c.eng.queryCov(f)
 	return v, cov, nil
 }
 
@@ -406,29 +381,19 @@ func (c *PointClient) QuerySpreadWithCoverage(f uint64) (float64, core.Coverage,
 // the Coverage of the window the answer was computed over, taken
 // atomically with the estimate.
 func (c *PointClient) QuerySizeWithCoverage(f uint64) (int64, core.Coverage, error) {
-	if c.size == nil {
+	if c.cfg.Kind != KindSize {
 		return 0, core.Coverage{}, errors.New("transport: point runs the spread design")
 	}
-	v, cov := c.size.QueryWithCoverage(f)
-	return v, cov, nil
+	v, cov := c.eng.queryCov(f)
+	return int64(v), cov, nil
 }
 
 // Coverage reports the window coverage backing the point's current query
 // answers (epochs merged into C versus a healthy window's worth).
-func (c *PointClient) Coverage() core.Coverage {
-	if c.spread != nil {
-		return c.spread.Coverage()
-	}
-	return c.size.Coverage()
-}
+func (c *PointClient) Coverage() core.Coverage { return c.eng.coverage() }
 
 // Epoch returns the point's current epoch.
-func (c *PointClient) Epoch() int64 {
-	if c.spread != nil {
-		return c.spread.Epoch()
-	}
-	return c.size.Epoch()
-}
+func (c *PointClient) Epoch() int64 { return c.eng.epoch() }
 
 // EndEpoch rolls the point into the next epoch and uploads the completed
 // epoch's measurement to the center. The local epoch always advances —
@@ -437,26 +402,14 @@ func (c *PointClient) Epoch() int64 {
 // retransmission by the next successful Redial instead of dropping it. The
 // returned error still reports a down connection.
 func (c *PointClient) EndEpoch() error {
-	var (
-		payload []byte
-		epoch   int64
-		meta    core.UploadMeta
-		err     error
-	)
-	if c.spread != nil {
-		epoch = c.spread.Epoch()
-		payload, err = c.spread.EndEpoch().MarshalBinary()
-		meta = core.UploadMeta{Epoch: epoch}
-	} else {
+	rebase := false
+	if c.eng.cumulative() {
 		c.mu.Lock()
-		rebase := c.needRebase
+		rebase = c.needRebase
 		c.needRebase = false
 		c.mu.Unlock()
-		epoch = c.size.Epoch()
-		var sk *countmin.Sketch
-		sk, meta = c.size.EndEpochMeta(rebase)
-		payload, err = sk.MarshalBinary()
 	}
+	epoch, payload, meta, err := c.eng.endEpoch(rebase)
 	if err != nil {
 		return err
 	}
@@ -504,7 +457,7 @@ func (c *PointClient) capPendingLocked() {
 	}
 	if unsent > 0 {
 		c.uploadsDropped.Add(int64(unsent))
-		if c.size != nil {
+		if c.eng.cumulative() {
 			c.needRebase = true
 		}
 	}
@@ -619,19 +572,7 @@ func (c *PointClient) apply(push Push) error {
 	var err error
 	if push.IntoCurrent {
 		if len(push.Aggregate) > 0 {
-			if c.spread != nil {
-				var sk rskt.Sketch
-				if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
-					return uerr
-				}
-				err = c.spread.ApplyBackfillCovAt(push.ForEpoch, &sk, push.CovMerged)
-			} else {
-				var sk countmin.Sketch
-				if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
-					return uerr
-				}
-				err = c.size.ApplyBackfillCovAt(push.ForEpoch, &sk, push.CovMerged)
-			}
+			err = c.eng.applyBackfill(push.ForEpoch, push.Aggregate, push.CovMerged)
 		}
 		switch {
 		case errors.Is(err, core.ErrStaleEpoch):
@@ -649,36 +590,11 @@ func (c *PointClient) apply(push Push) error {
 		c.pushMu.Unlock()
 		return nil
 	}
-	if c.spread != nil {
-		if len(push.Aggregate) > 0 {
-			var sk rskt.Sketch
-			if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
-				return uerr
-			}
-			err = c.spread.ApplyAggregateCovAt(push.ForEpoch, &sk, push.CovMerged)
-		}
-		if err == nil && len(push.Enhancement) > 0 {
-			var sk rskt.Sketch
-			if uerr := sk.UnmarshalBinary(push.Enhancement); uerr != nil {
-				return uerr
-			}
-			err = c.spread.ApplyEnhancementAt(push.ForEpoch, &sk)
-		}
-	} else {
-		if len(push.Aggregate) > 0 {
-			var sk countmin.Sketch
-			if uerr := sk.UnmarshalBinary(push.Aggregate); uerr != nil {
-				return uerr
-			}
-			err = c.size.ApplyAggregateCovAt(push.ForEpoch, &sk, push.CovMerged)
-		}
-		if err == nil && len(push.Enhancement) > 0 {
-			var sk countmin.Sketch
-			if uerr := sk.UnmarshalBinary(push.Enhancement); uerr != nil {
-				return uerr
-			}
-			err = c.size.ApplyEnhancementAt(push.ForEpoch, &sk)
-		}
+	if len(push.Aggregate) > 0 {
+		err = c.eng.applyAggregate(push.ForEpoch, push.Aggregate, push.CovMerged)
+	}
+	if err == nil && len(push.Enhancement) > 0 {
+		err = c.eng.applyEnhancement(push.ForEpoch, push.Enhancement)
 	}
 	switch {
 	case errors.Is(err, core.ErrStaleEpoch):

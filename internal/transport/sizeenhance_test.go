@@ -81,7 +81,7 @@ func TestLiveSizeEnhancementRecovery(t *testing.T) {
 		ideal := countmin.New(countmin.Params{D: d, W: w, Seed: seed})
 		for k := kNext - n + 1; k <= kNext-1; k++ {
 			for y := 0; y < p; y++ {
-				record(k, y, func(f uint64) { ideal.Record(f) })
+				record(k, y, func(f uint64) { ideal.Record(f, 0) })
 			}
 		}
 		for f := uint64(0); f < 15; f++ {

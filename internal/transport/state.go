@@ -5,8 +5,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/countmin"
-	"repro/internal/rskt"
+	"repro/internal/core"
 )
 
 // Point-state persistence: an agent can save its sketches and epoch before
@@ -19,14 +18,20 @@ var stateMagic = [5]byte{'T', 'Q', 'S', 'T', '1'}
 
 // SaveState writes the point's current protocol state.
 func (c *PointClient) SaveState(w io.Writer) error {
+	return c.eng.saveState(w)
+}
+
+// LoadState restores a previously saved state into the point. The state's
+// design kind and sketch shapes must match the point's configuration.
+func (c *PointClient) LoadState(r io.Reader) error {
+	return c.eng.loadState(r)
+}
+
+func (e *enginePoint[S]) saveState(w io.Writer) error {
 	if _, err := w.Write(stateMagic[:]); err != nil {
 		return fmt.Errorf("transport: write state magic: %w", err)
 	}
-	kind := byte('z')
-	if c.spread != nil {
-		kind = 's'
-	}
-	if _, err := w.Write([]byte{kind}); err != nil {
+	if _, err := w.Write([]byte{e.codec.stateKind}); err != nil {
 		return err
 	}
 	writeBlob := func(data []byte) error {
@@ -38,39 +43,24 @@ func (c *PointClient) SaveState(w io.Writer) error {
 		_, err := w.Write(data)
 		return err
 	}
+	epoch, b, cc, cp := e.pt.Snapshot()
 	var epochBuf [8]byte
-	if c.spread != nil {
-		epoch, b, cc, cp := c.spread.Snapshot()
-		binary.LittleEndian.PutUint64(epochBuf[:], uint64(epoch))
-		if _, err := w.Write(epochBuf[:]); err != nil {
-			return err
-		}
-		for _, sk := range []*rskt.Sketch{b, cc, cp} {
-			data, err := sk.MarshalBinary()
-			if err != nil {
-				return err
-			}
-			if err := writeBlob(data); err != nil {
-				return fmt.Errorf("transport: write state: %w", err)
-			}
-		}
-		return nil
-	}
-	epoch, b, cc, cp := c.size.Snapshot()
 	binary.LittleEndian.PutUint64(epochBuf[:], uint64(epoch))
 	if _, err := w.Write(epochBuf[:]); err != nil {
 		return err
 	}
-	hasB := byte(0)
-	if b != nil {
-		hasB = 1
-	}
-	if _, err := w.Write([]byte{hasB}); err != nil {
-		return err
-	}
-	sketches := []*countmin.Sketch{cc, cp}
-	if b != nil {
-		sketches = append([]*countmin.Sketch{b}, sketches...)
+	sketches := []S{b, cc, cp}
+	if e.codec.hasBByte {
+		hasB := byte(0)
+		if !core.IsNil(b) {
+			hasB = 1
+		}
+		if _, err := w.Write([]byte{hasB}); err != nil {
+			return err
+		}
+		if hasB == 0 {
+			sketches = sketches[1:]
+		}
 	}
 	for _, sk := range sketches {
 		data, err := sk.MarshalBinary()
@@ -84,9 +74,7 @@ func (c *PointClient) SaveState(w io.Writer) error {
 	return nil
 }
 
-// LoadState restores a previously saved state into the point. The state's
-// design kind and sketch shapes must match the point's configuration.
-func (c *PointClient) LoadState(r io.Reader) error {
+func (e *enginePoint[S]) loadState(r io.Reader) error {
 	var magic [5]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return fmt.Errorf("transport: read state magic: %w", err)
@@ -98,11 +86,7 @@ func (c *PointClient) LoadState(r io.Reader) error {
 	if _, err := io.ReadFull(r, kind[:]); err != nil {
 		return err
 	}
-	wantKind := byte('z')
-	if c.spread != nil {
-		wantKind = 's'
-	}
-	if kind[0] != wantKind {
+	if kind[0] != e.codec.stateKind {
 		return fmt.Errorf("transport: state kind %q does not match the point's design", kind[0])
 	}
 	var epochBuf [8]byte
@@ -126,45 +110,32 @@ func (c *PointClient) LoadState(r io.Reader) error {
 		}
 		return data, nil
 	}
-	if c.spread != nil {
-		var sketches [3]*rskt.Sketch
-		for i := range sketches {
-			data, err := readBlob()
-			if err != nil {
-				return fmt.Errorf("transport: read state: %w", err)
-			}
-			var sk rskt.Sketch
-			if err := sk.UnmarshalBinary(data); err != nil {
-				return err
-			}
-			sketches[i] = &sk
+	count := 3
+	var b S
+	if e.codec.hasBByte {
+		var hasB [1]byte
+		if _, err := io.ReadFull(r, hasB[:]); err != nil {
+			return err
 		}
-		return c.spread.RestoreSnapshot(epoch, sketches[0], sketches[1], sketches[2])
+		if hasB[0] != 1 {
+			count = 2
+		}
 	}
-	var hasB [1]byte
-	if _, err := io.ReadFull(r, hasB[:]); err != nil {
-		return err
-	}
-	count := 2
-	if hasB[0] == 1 {
-		count = 3
-	}
-	sketches := make([]*countmin.Sketch, 0, count)
+	sketches := make([]S, 0, count)
 	for i := 0; i < count; i++ {
 		data, err := readBlob()
 		if err != nil {
 			return fmt.Errorf("transport: read state: %w", err)
 		}
-		var sk countmin.Sketch
-		if err := sk.UnmarshalBinary(data); err != nil {
+		sk, err := e.codec.dec(data)
+		if err != nil {
 			return err
 		}
-		sketches = append(sketches, &sk)
+		sketches = append(sketches, sk)
 	}
-	var b *countmin.Sketch
 	if count == 3 {
 		b = sketches[0]
 		sketches = sketches[1:]
 	}
-	return c.size.RestoreSnapshot(epoch, b, sketches[0], sketches[1])
+	return e.pt.RestoreSnapshot(epoch, b, sketches[0], sketches[1])
 }

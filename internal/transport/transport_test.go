@@ -174,7 +174,7 @@ func TestLiveSizeClusterMatchesIdeal(t *testing.T) {
 	kNext := epochs + 1
 	for x := 0; x < p; x++ {
 		ideal := countmin.New(countmin.Params{D: d, W: w, Seed: seed})
-		wrap := func(f, e uint64) { ideal.Record(f) }
+		wrap := func(f, e uint64) { ideal.Record(f, 0) }
 		for k := kNext - n + 1; k <= kNext-2; k++ {
 			for y := 0; y < p; y++ {
 				record(k, y, wrap)

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vhll"
+	"repro/internal/xhash"
+)
+
+// TestLiveVhllClusterMatchesIdeal runs the spread protocol over real TCP
+// with the vHLL backend selected on both sides (-sketch vhll in the
+// binaries) and checks the live answers against an ideal vHLL union of
+// the same window, exactly — register-max merging is deterministic.
+func TestLiveVhllClusterMatchesIdeal(t *testing.T) {
+	const (
+		n, p, w, m = 5, 3, 256, 64
+		epochs     = 8
+		seed       = 41
+	)
+	widths := map[int]int{0: w, 1: w, 2: w}
+	srv, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSpread, Sketch: SketchVhll,
+		WindowN: n, Widths: widths, M: m, Seed: seed, Logf: quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	points := make([]*PointClient, p)
+	for x := 0; x < p; x++ {
+		pc, err := DialPoint(PointConfig{
+			Addr: srv.Addr().String(), Point: x, Kind: KindSpread,
+			Sketch: SketchVhll, W: w, M: m, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pc.Close()
+		points[x] = pc
+	}
+
+	record := func(k, x int, fn func(f, e uint64)) {
+		for f := uint64(0); f < 10; f++ {
+			for i := 0; i < 20; i++ {
+				e := xhash.Hash64(uint64(k*1000+x*100+i), f) % 64
+				fn(f, f<<32|e)
+			}
+		}
+	}
+	for k := 1; k <= epochs; k++ {
+		for x := 0; x < p; x++ {
+			record(k, x, points[x].Record)
+		}
+		for x := 0; x < p; x++ {
+			if err := points[x].EndEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := k
+		waitFor(t, fmt.Sprintf("round %d pushes", k), func() bool {
+			for x := 0; x < p; x++ {
+				st := points[x].Stats()
+				if st.PushesApplied+st.PushesLate < int64(k) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for x := 0; x < p; x++ {
+		if late := points[x].Stats().PushesLate; late != 0 {
+			t.Fatalf("point %d dropped %d pushes on loopback", x, late)
+		}
+	}
+
+	// Ideal: all points epochs kNext-n+1..kNext-2, local epoch kNext-1.
+	kNext := epochs + 1
+	for x := 0; x < p; x++ {
+		ideal, err := vhll.New(vhll.Params{PhysicalRegisters: w, VirtualRegisters: m, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := kNext - n + 1; k <= kNext-2; k++ {
+			for y := 0; y < p; y++ {
+				record(k, y, ideal.Record)
+			}
+		}
+		record(kNext-1, x, ideal.Record)
+		for f := uint64(0); f < 10; f++ {
+			got, err := points[x].QuerySpread(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ideal.Estimate(f); got != want {
+				t.Fatalf("point %d flow %d: live %.4f != ideal %.4f", x, f, got, want)
+			}
+		}
+	}
+}
+
+// TestVhllBackendMismatch documents the out-of-band nature of the backend
+// choice: the wire format does not carry it, so a point dialed with the
+// default rSkt2 backend against a vHLL center fails at upload decode, not
+// at handshake.
+func TestVhllPointConfigRejected(t *testing.T) {
+	if _, err := DialPoint(PointConfig{
+		Addr: "127.0.0.1:1", Point: 0, Kind: KindSpread,
+		Sketch: "bogus", W: 32, M: 16, Seed: 1,
+	}); err == nil {
+		t.Fatal("expected unknown-sketch error")
+	}
+	if _, err := DialPoint(PointConfig{
+		Addr: "127.0.0.1:1", Point: 0, Kind: KindSize,
+		Sketch: SketchVhll, W: 32, D: 4, Seed: 1,
+	}); err == nil {
+		t.Fatal("expected size-design sketch error")
+	}
+	if _, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSpread, Sketch: "bogus",
+		WindowN: 5, Widths: map[int]int{0: 32}, M: 16, Seed: 1, Logf: quietLogf,
+	}); err == nil {
+		t.Fatal("expected unknown-sketch error")
+	}
+}

@@ -1,0 +1,80 @@
+package vhll
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/hll"
+)
+
+// wireMagic tags the binary encoding of a vHLL sketch. Deliberately
+// distinct from the rskt magic (0xA7): a transport or checkpoint restored
+// under the wrong -sketch backend fails loudly at decode instead of
+// misreading registers.
+const wireMagic = 0xB3
+
+// MarshalBinary encodes the sketch with 5-bit register packing (the
+// paper's memory model), little-endian: magic, physical and virtual
+// register counts, seed, then a word count and the packed words of the
+// shared register array.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	p := s.params
+	words := hll.Pack(s.regs).Words()
+	out := make([]byte, 0, 1+4+4+8+4+len(words)*8)
+	out = append(out, wireMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.PhysicalRegisters))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.VirtualRegisters))
+	out = binary.LittleEndian.AppendUint64(out, p.Seed)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(words)))
+	for _, w := range words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded by MarshalBinary.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 1+4+4+8+4 {
+		return fmt.Errorf("vhll: truncated sketch encoding")
+	}
+	if data[0] != wireMagic {
+		return fmt.Errorf("vhll: bad magic byte %#x", data[0])
+	}
+	off := 1
+	m := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	v := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	seed := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	p := Params{PhysicalRegisters: m, VirtualRegisters: v, Seed: seed}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("vhll: decode: %w", err)
+	}
+	// Bound dimensions before trusting them for allocation (see the
+	// decoder fuzz tests).
+	const maxRegisters = 1 << 28
+	if m > maxRegisters {
+		return fmt.Errorf("vhll: decode: implausible size %d", m)
+	}
+	count := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if count < 0 || len(data[off:]) < count*8 {
+		return fmt.Errorf("vhll: truncated register payload")
+	}
+	words := make([]uint64, count)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	packed, err := hll.FromWords(m, words)
+	if err != nil {
+		return fmt.Errorf("vhll: decode registers: %w", err)
+	}
+	if off != len(data) {
+		return fmt.Errorf("vhll: %d trailing bytes", len(data)-off)
+	}
+	s.params = p
+	s.regs = packed.Unpack()
+	return nil
+}

@@ -161,6 +161,11 @@ func (s *Sketch) MergeMax(o *Sketch) error {
 	return s.regs.MergeMax(o.regs)
 }
 
+// Merge folds o into s under the spread design's merge algebra —
+// register-wise max. It is the sketch-algebra name for MergeMax
+// (core.Sketch requires one merge spelling across backends).
+func (s *Sketch) Merge(o *Sketch) error { return s.MergeMax(o) }
+
 // Reset zeroes the register array.
 func (s *Sketch) Reset() {
 	s.regs.Reset()
