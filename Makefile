@@ -9,9 +9,9 @@ GO ?= go
 # internal/*/testdata/fuzz seeds each run with protocol-shaped inputs.
 FUZZTIME ?= 30s
 
-.PHONY: check build lint vet test test-race race crash-test fuzz-short bench-smoke bench
+.PHONY: check build lint vet test test-race race crash-test fuzz-short bench-smoke bench bench-short bench-diff
 
-check: build lint race crash-test fuzz-short bench-smoke
+check: build lint race crash-test fuzz-short bench-smoke bench-short
 
 build:
 	$(GO) build ./...
@@ -44,20 +44,52 @@ crash-test:
 	$(GO) test -race ./internal/durable
 
 # Short fuzz pass over every decode surface a peer can reach: the protocol
-# streams (center- and point-side), the Push apply path, and the sketch
-# and trace binary decoders.
+# streams (center- and point-side), the Push apply path, the sketch and
+# trace binary decoders (both codecs — the fixed/compact round-trip
+# targets in hll and vhll cover the packed register layouts the wire and
+# checkpoints now carry), and the SWAR merge against its scalar model.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzCenterConn$$' -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzPointConn$$' -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzPushApply$$' -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/rskt
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/countmin
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/vhll
+	$(GO) test -run '^$$' -fuzz '^FuzzMergeMax$$' -fuzztime $(FUZZTIME) ./internal/hll
+	$(GO) test -run '^$$' -fuzz '^FuzzCompact$$' -fuzztime $(FUZZTIME) ./internal/hll
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/durable
 	$(GO) test -run '^$$' -fuzz . -fuzztime $(FUZZTIME) ./internal/trace
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'ThroughputParallel' -benchtime=100x .
 
-# Full benchmark pass (Tables I/II and the figure pipelines).
+# Benchmark bookkeeping: runs pipe through cmd/benchjson into JSON
+# documents so perf claims ship with evidence. BENCH_PR5.json is the
+# committed trajectory for the hot-path/codec PR (regenerate with
+# `make bench BENCH_JSON=BENCH_PR5.json BENCH_BASELINE=old_bench.txt`).
+BENCH_JSON ?= bench.json
+BENCH_BASELINE ?=
+
+# Full benchmark pass (Tables I/II, the figure pipelines, and the upload
+# codec sizes), converted to $(BENCH_JSON).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime=1s .
+	$(GO) test -run '^$$' -bench . -benchtime=1s . | tee bench.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) \
+		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) < bench.txt
+
+# Sub-minute advisory pass over the hot-path microbenches (record, batch,
+# query, upload codec, epoch boundary); writes bench_short.json. Fixed
+# iteration counts keep it fast — the numbers are advisory (compare with
+# `make bench-diff`), the gate is only that every benchmark still runs.
+bench-short:
+	$(GO) test -run '^$$' \
+		-bench '^Benchmark(Table2Record|ThroughputParallel|Table1Query(Two|Three)SketchLocal|Upload(Spread|Size)|EpochBoundary)' \
+		-benchtime=1000x . | tee bench_short.txt
+	$(GO) run ./cmd/benchjson -o bench_short.json < bench_short.txt
+
+# benchcmp-style ns/op comparison of two benchjson documents, e.g.
+# `make bench-short && make bench-diff OLD=BENCH_PR5.json NEW=bench_short.json`.
+OLD ?= BENCH_PR5.json
+NEW ?= bench_short.json
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)

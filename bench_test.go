@@ -36,6 +36,15 @@ func benchConfig() experiments.Config {
 
 // ---- Table II: packet-recording throughput ----
 
+// reportPacketsPerSec reprints an iteration rate as the packets/s figure
+// Table II quotes (every iteration records exactly one packet), so bench
+// output is directly comparable against the paper's Mpps numbers.
+func reportPacketsPerSec(b *testing.B) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "packets/s")
+	}
+}
+
 func BenchmarkTable2RecordTwoSketch(b *testing.B) {
 	pt, err := core.NewSizePoint(0, countmin.Params{D: 4, W: 16384, Seed: 1}, core.SizeModeCumulative)
 	if err != nil {
@@ -45,6 +54,31 @@ func BenchmarkTable2RecordTwoSketch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pt.Record(uint64(i) % 10000)
 	}
+	reportPacketsPerSec(b)
+}
+
+// BenchmarkTable2RecordTwoSketchBatch is the same single-goroutine packet
+// stream through the batched ingest entry point, isolating the
+// per-packet overhead RecordBatch amortizes (shard acquisition, hashing
+// setup) from the parallel-throughput benchmarks below.
+func BenchmarkTable2RecordTwoSketchBatch(b *testing.B) {
+	pt, err := core.NewSizePoint(0, countmin.Params{D: 4, W: 16384, Seed: 1}, core.SizeModeCumulative)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	buf := make([]uint64, 0, benchBatch)
+	for i := 0; i < b.N; i++ {
+		buf = append(buf, uint64(i)%10000)
+		if len(buf) == benchBatch {
+			pt.RecordBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		pt.RecordBatch(buf)
+	}
+	reportPacketsPerSec(b)
 }
 
 func BenchmarkTable2RecordThreeSketch(b *testing.B) {
@@ -56,6 +90,27 @@ func BenchmarkTable2RecordThreeSketch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pt.Record(uint64(i)%10000, uint64(i))
 	}
+	reportPacketsPerSec(b)
+}
+
+func BenchmarkTable2RecordThreeSketchBatch(b *testing.B) {
+	pt, err := core.NewSpreadPoint(0, rskt.Params{W: 1638, M: hll.DefaultM, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	buf := make([]core.SpreadPacket, 0, benchBatch)
+	for i := 0; i < b.N; i++ {
+		buf = append(buf, core.SpreadPacket{Flow: uint64(i) % 10000, Elem: uint64(i)})
+		if len(buf) == benchBatch {
+			pt.RecordBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		pt.RecordBatch(buf)
+	}
+	reportPacketsPerSec(b)
 }
 
 // ---- Table II (sharded ingest): parallel record throughput ----
@@ -95,6 +150,7 @@ func BenchmarkThroughputParallelTwoSketch(b *testing.B) {
 			pt.Record(rng.next() % 10000)
 		}
 	})
+	reportPacketsPerSec(b)
 }
 
 func BenchmarkThroughputParallelTwoSketchBatch(b *testing.B) {
@@ -118,6 +174,7 @@ func BenchmarkThroughputParallelTwoSketchBatch(b *testing.B) {
 			pt.RecordBatch(buf)
 		}
 	})
+	reportPacketsPerSec(b)
 }
 
 func BenchmarkThroughputParallelThreeSketch(b *testing.B) {
@@ -134,6 +191,7 @@ func BenchmarkThroughputParallelThreeSketch(b *testing.B) {
 			pt.Record(v%10000, v>>32)
 		}
 	})
+	reportPacketsPerSec(b)
 }
 
 func BenchmarkThroughputParallelThreeSketchBatch(b *testing.B) {
@@ -158,6 +216,7 @@ func BenchmarkThroughputParallelThreeSketchBatch(b *testing.B) {
 			pt.RecordBatch(buf)
 		}
 	})
+	reportPacketsPerSec(b)
 }
 
 func BenchmarkTable2RecordSlidingSketch(b *testing.B) {
@@ -166,6 +225,7 @@ func BenchmarkTable2RecordSlidingSketch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Record(uint64(i) % 10000)
 	}
+	reportPacketsPerSec(b)
 }
 
 func BenchmarkTable2RecordVATE(b *testing.B) {
@@ -179,6 +239,67 @@ func BenchmarkTable2RecordVATE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Record(uint64(i)%10000, uint64(i))
 	}
+	reportPacketsPerSec(b)
+}
+
+// ---- Wire codec: per-epoch upload payloads ----
+//
+// One iteration marshals the epoch upload a point would send at a
+// realistic density (10k packets over 1k flows, the paper's 2 Mb
+// configuration), for the legacy fixed-width codec and the packed codec
+// the handshake negotiates. The upload-B/epoch metric is the wire cost
+// BENCH_PR5.json tracks.
+
+func benchSpreadUpload(b *testing.B, marshal func(*rskt.Sketch) ([]byte, error)) {
+	b.Helper()
+	sk := rskt.New(rskt.Params{W: 1638, M: hll.DefaultM, Seed: 7})
+	for i := uint64(0); i < 10000; i++ {
+		sk.Record(i%1000, i)
+	}
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		data, err := marshal(sk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(data)
+	}
+	b.ReportMetric(float64(n), "upload-B/epoch")
+}
+
+func benchSizeUpload(b *testing.B, marshal func(*countmin.Sketch) ([]byte, error)) {
+	b.Helper()
+	sk := countmin.New(countmin.Params{D: 4, W: 16384, Seed: 7})
+	for i := uint64(0); i < 10000; i++ {
+		sk.Add(i%1000, 1)
+	}
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		data, err := marshal(sk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(data)
+	}
+	b.ReportMetric(float64(n), "upload-B/epoch")
+}
+
+func BenchmarkUploadSpreadLegacy(b *testing.B) {
+	benchSpreadUpload(b, (*rskt.Sketch).MarshalBinary)
+}
+
+func BenchmarkUploadSpreadPacked(b *testing.B) {
+	benchSpreadUpload(b, (*rskt.Sketch).MarshalBinaryCompact)
+}
+
+func BenchmarkUploadSizeLegacy(b *testing.B) {
+	benchSizeUpload(b, (*countmin.Sketch).MarshalBinary)
+}
+
+func BenchmarkUploadSizePacked(b *testing.B) {
+	benchSizeUpload(b, (*countmin.Sketch).MarshalBinaryCompact)
 }
 
 // ---- Table I: online query overhead ----

@@ -1,0 +1,223 @@
+// Command benchjson turns `go test -bench` text into a stable JSON
+// document, and compares two such documents benchcmp-style. It backs the
+// Makefile's bench bookkeeping: `make bench` pipes the full run through it
+// to produce the committed trajectory file (BENCH_PR5.json), `make
+// bench-short` writes bench_short.json, and `make bench-diff
+// OLD=a.json NEW=b.json` prints per-benchmark deltas.
+//
+// Usage:
+//
+//	go test -bench . | benchjson -o bench.json [-baseline old_bench.txt] [-note "..."]
+//	benchjson -diff old.json new.json
+//
+// With -baseline, the old run's parsed benchmarks are embedded under
+// "baseline" and a "speedup_ns_per_op" map records baseline/current ns/op
+// for every benchmark present in both — the evidence a perf PR commits
+// alongside its claims.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Metrics holds every "value unit"
+// pair go test printed: ns/op, B/op, allocs/op, and any b.ReportMetric
+// extras (packets/s, upload-B/epoch, proto-abs-err, ...).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the JSON document benchjson emits.
+type Doc struct {
+	Note       string             `json:"note,omitempty"`
+	Env        map[string]string  `json:"env,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Baseline   []Benchmark        `json:"baseline,omitempty"`
+	Speedup    map[string]float64 `json:"speedup_ns_per_op,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "write JSON here instead of stdout")
+		baseline = flag.String("baseline", "", "bench text of the comparison run to embed as baseline")
+		note     = flag.String("note", "", "free-form provenance note stored in the document")
+		diff     = flag.Bool("diff", false, "compare two JSON documents: benchjson -diff old.json new.json")
+	)
+	flag.Parse()
+	if err := run(*out, *baseline, *note, *diff, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, baseline, note string, diff bool, args []string) error {
+	if diff {
+		if len(args) != 2 {
+			return fmt.Errorf("-diff needs exactly two JSON files, got %d", len(args))
+		}
+		return printDiff(os.Stdout, args[0], args[1])
+	}
+	doc, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	doc.Note = note
+	if baseline != "" {
+		f, err := os.Open(baseline)
+		if err != nil {
+			return err
+		}
+		base, perr := parseBench(f)
+		f.Close()
+		if perr != nil {
+			return fmt.Errorf("%s: %w", baseline, perr)
+		}
+		doc.Baseline = base.Benchmarks
+		doc.Speedup = speedups(base.Benchmarks, doc.Benchmarks)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// parseBench reads `go test -bench` text. Repeated runs of one benchmark
+// (-count>1) collapse to the lowest-ns/op sample — the least
+// scheduler-noise estimate, matching benchstat's spirit without its
+// dependency.
+func parseBench(r io.Reader) (*Doc, error) {
+	doc := &Doc{Env: map[string]string{}}
+	index := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Env[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value %q in %q", fields[i], line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if at, seen := index[b.Name]; seen {
+			old := doc.Benchmarks[at]
+			if b.Metrics["ns/op"] < old.Metrics["ns/op"] {
+				doc.Benchmarks[at] = b
+			}
+			continue
+		}
+		index[b.Name] = len(doc.Benchmarks)
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return doc, nil
+}
+
+// speedups maps benchmark name to baseline ns/op divided by current
+// ns/op, for names present in both runs (>1 means the current run is
+// faster).
+func speedups(base, cur []Benchmark) map[string]float64 {
+	old := map[string]float64{}
+	for _, b := range base {
+		if v, ok := b.Metrics["ns/op"]; ok && v > 0 {
+			old[b.Name] = v
+		}
+	}
+	out := map[string]float64{}
+	for _, b := range cur {
+		if v, ok := b.Metrics["ns/op"]; ok && v > 0 {
+			if o, ok := old[b.Name]; ok {
+				out[b.Name] = o / v
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// printDiff prints a benchcmp-style table of every benchmark the two
+// documents share, in the new document's order.
+func printDiff(w io.Writer, oldPath, newPath string) error {
+	load := func(path string) (*Doc, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var d Doc
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &d, nil
+	}
+	od, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	nd, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	old := map[string]Benchmark{}
+	for _, b := range od.Benchmarks {
+		old[b.Name] = b
+	}
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "%-48s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	shared := 0
+	for _, nb := range nd.Benchmarks {
+		ob, ok := old[nb.Name]
+		if !ok {
+			continue
+		}
+		ov, nv := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if ov <= 0 || nv <= 0 {
+			continue
+		}
+		shared++
+		fmt.Fprintf(tw, "%-48s %14.2f %14.2f %+8.2f%%\n", nb.Name, ov, nv, 100*(nv-ov)/ov)
+	}
+	if shared == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	return nil
+}

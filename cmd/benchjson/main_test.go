@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.10GHz
+BenchmarkRecord   	34933384	        30.91 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRecord   	40086415	        29.50 ns/op	       0 B/op	       0 allocs/op
+BenchmarkUpload   	     100	   1083617 ns/op	    262105 upload-B/epoch	  397482 B/op	       2 allocs/op
+PASS
+ok  	repro	8.075s
+`
+
+func TestParseBench(t *testing.T) {
+	doc, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["cpu"] != "Example CPU @ 2.10GHz" || doc.Env["goos"] != "linux" {
+		t.Errorf("env not captured: %v", doc.Env)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (repeats must collapse)", len(doc.Benchmarks))
+	}
+	// -count>1 repeats collapse to the lowest-ns/op sample.
+	if got := doc.Benchmarks[0].Metrics["ns/op"]; got != 29.50 {
+		t.Errorf("BenchmarkRecord ns/op = %v, want the 29.50 minimum", got)
+	}
+	// b.ReportMetric extras ride along with the standard metrics.
+	if got := doc.Benchmarks[1].Metrics["upload-B/epoch"]; got != 262105 {
+		t.Errorf("upload-B/epoch = %v, want 262105", got)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Error("no benchmark lines should be an error, not an empty document")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkRecord", Metrics: map[string]float64{"ns/op": 30}},
+		{Name: "BenchmarkOldOnly", Metrics: map[string]float64{"ns/op": 10}},
+	}
+	cur := []Benchmark{
+		{Name: "BenchmarkRecord", Metrics: map[string]float64{"ns/op": 20}},
+		{Name: "BenchmarkNewOnly", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	sp := speedups(base, cur)
+	if len(sp) != 1 || sp["BenchmarkRecord"] != 1.5 {
+		t.Errorf("speedups = %v, want only BenchmarkRecord: 1.5", sp)
+	}
+}
+
+func TestDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := filepath.Join(dir, "old.json")
+	newJSON := filepath.Join(dir, "new.json")
+	mustRun := func(out, input string) {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			w.WriteString(input)
+			w.Close()
+		}()
+		stdin := os.Stdin
+		os.Stdin = r
+		defer func() { os.Stdin = stdin }()
+		if err := run(out, "", "", false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRun(oldJSON, sampleBench)
+	mustRun(newJSON, strings.ReplaceAll(sampleBench, "29.50", "14.75"))
+
+	var buf bytes.Buffer
+	if err := printDiff(&buf, oldJSON, newJSON); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkRecord") || !strings.Contains(out, "-50.00%") {
+		t.Errorf("diff output missing expected delta:\n%s", out)
+	}
+}

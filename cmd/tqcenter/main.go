@@ -18,6 +18,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/diag"
 	"repro/internal/transport"
 )
 
@@ -31,20 +32,28 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tqcenter", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7070", "listen address")
-		kind     = fs.String("kind", "size", `design: "size" or "spread"`)
-		sketch   = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the points' -sketch)`)
-		n        = fs.Int("n", 10, "epochs per window (the paper's n)")
-		widths   = fs.String("widths", "", "topology as id:width pairs, e.g. 0:1638,1:3276,2:6552")
-		m        = fs.Int("m", 128, "HLL registers per estimator (spread)")
-		d        = fs.Int("d", 4, "CountMin rows (size)")
-		seed     = fs.Uint64("seed", 42, "cluster-wide hash seed")
-		enhance  = fs.Bool("enhance", false, "push the Section IV-D enhancement")
-		ckptDir  = fs.String("checkpoint-dir", "", "write atomic checkpoints of the window store here and recover from them on restart")
-		ckptEvry = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
+		addr      = fs.String("addr", "127.0.0.1:7070", "listen address")
+		kind      = fs.String("kind", "size", `design: "size" or "spread"`)
+		sketch    = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the points' -sketch)`)
+		n         = fs.Int("n", 10, "epochs per window (the paper's n)")
+		widths    = fs.String("widths", "", "topology as id:width pairs, e.g. 0:1638,1:3276,2:6552")
+		m         = fs.Int("m", 128, "HLL registers per estimator (spread)")
+		d         = fs.Int("d", 4, "CountMin rows (size)")
+		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		enhance   = fs.Bool("enhance", false, "push the Section IV-D enhancement")
+		ckptDir   = fs.String("checkpoint-dir", "", "write atomic checkpoints of the window store here and recover from them on restart")
+		ckptEvry  = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		a, err := diag.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tqcenter: pprof on http://%s/debug/pprof/\n", a)
 	}
 	topo, err := parseWidths(*widths)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/durable"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -63,9 +64,17 @@ func run(args []string) error {
 		queryAddr = fs.String("query-addr", "", "also serve networkwide T-queries on this TCP address (see cmd/tqquery)")
 		stateFile = fs.String("state", "", "load protocol state from this file on start (if present) and save it on shutdown")
 		ckptDir   = fs.String("checkpoint-dir", "", "write an atomic checkpoint every epoch and recover from it on restart (supersedes -state)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		a, err := diag.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tqpoint %d: pprof on http://%s/debug/pprof/\n", *point, a)
 	}
 
 	pc, err := transport.DialPoint(transport.PointConfig{

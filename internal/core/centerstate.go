@@ -160,7 +160,9 @@ func (c *SizeCenter) ExportState() (*SizeCenterState, error) {
 			st.ChainBroken[id] = true
 		}
 	}
-	marshal := func(sk *countmin.Sketch) ([]byte, error) { return sk.MarshalBinary() }
+	// Compact blobs: ImportState dispatches on the sketch magic, so
+	// snapshots written by older fixed-encoding binaries keep restoring.
+	marshal := func(sk *countmin.Sketch) ([]byte, error) { return sk.MarshalBinaryCompact() }
 	var err error
 	if st.Deltas, err = marshalSketchMaps(c.uploads, marshal); err != nil {
 		return nil, err

@@ -14,13 +14,36 @@ import (
 // differs is captured by EngineConfig (upload mode, merge additivity) and
 // the Sketch algebra; SpreadPoint and SizePoint are thin instantiations.
 
+// atomicSketch is the optional lock-free ingest capability of a sketch
+// backend. A backend that implements it (the spread design's rskt, whose
+// merge algebra is an idempotent max) records into shard deltas without
+// any lock: RecordAtomic's fast path is a fence-free load that skips
+// saturated registers, and DrainAtomicInto folds a delta by atomically
+// swapping each word out, so no concurrent observe is ever lost. Backends
+// without it (countmin — counter addition has no no-op fast path) keep
+// the per-shard mutex.
+type atomicSketch[S any] interface {
+	// RecordAtomic inserts <f, e>, reporting whether sketch state changed.
+	// Must be safe against concurrent RecordAtomic/DrainAtomicInto and the
+	// backend's union estimator.
+	RecordAtomic(f, e uint64) bool
+	// DrainAtomicInto atomically moves all recorded state into the
+	// destinations (any of which may be the zero S), leaving the receiver
+	// empty. Equivalent to merge-into-each plus reset.
+	DrainAtomicInto(b, c, cp S)
+}
+
 // pointShard is one ingest shard of a measurement point: a delta sketch
 // receiving a slice of the record stream, folded into B/C/C' with the
-// design's merge algebra at the fold points (see shard.go).
+// design's merge algebra at the fold points (see shard.go). ad is d's
+// lock-free capability (nil for locked backends); when set, mu guards
+// nothing — every access to d goes through ad or the backend's atomic
+// reads.
 type pointShard[S Sketch[S]] struct {
 	mu    sync.Mutex
 	dirty atomic.Bool // set on record, cleared on fold; lets readers skip clean shards
 	d     S
+	ad    atomicSketch[S]
 }
 
 // Point is one measurement point of the generic epoch engine. It is safe
@@ -92,7 +115,11 @@ func NewPoint[S Sketch[S]](id int, fresh func() S, cfg EngineConfig[S]) (*Point[
 		p.b = fresh()
 	}
 	for i := range p.shards {
-		p.shards[i] = &pointShard[S]{d: fresh()}
+		sh := &pointShard[S]{d: fresh()}
+		if ad, ok := any(sh.d).(atomicSketch[S]); ok {
+			sh.ad = ad
+		}
+		p.shards[i] = sh
 	}
 	return p, nil
 }
@@ -148,6 +175,15 @@ func (p *Point[S]) Coverage() Coverage {
 // three; the delta reaches the authoritative set at the next fold point.
 func (p *Point[S]) Record(f, e uint64) {
 	sh := p.shards[shardOf(f, len(p.shards))]
+	if sh.ad != nil {
+		// Lock-free path: the dirty flag is raised only after the write
+		// is published, so a query that runs after Record returns either
+		// folds this shard or already sees the value in C.
+		if sh.ad.RecordAtomic(f, e) && !sh.dirty.Load() {
+			sh.dirty.Store(true)
+		}
+		return
+	}
 	sh.mu.Lock()
 	sh.d.Record(f, e)
 	if !sh.dirty.Load() {
@@ -162,6 +198,18 @@ func (p *Point[S]) Record(f, e uint64) {
 // atomic and one lock per batch.
 func (p *Point[S]) RecordBatch(ps []SpreadPacket) {
 	if len(ps) == 0 {
+		return
+	}
+	if sh := p.batchShard(); sh.ad != nil {
+		wrote := false
+		for _, q := range ps {
+			if sh.ad.RecordAtomic(q.Flow, q.Elem) {
+				wrote = true
+			}
+		}
+		if wrote && !sh.dirty.Load() {
+			sh.dirty.Store(true)
+		}
 		return
 	}
 	sh := p.lockShard()
@@ -180,6 +228,18 @@ func (p *Point[S]) RecordBatchFlows(fs []uint64) {
 	if len(fs) == 0 {
 		return
 	}
+	if sh := p.batchShard(); sh.ad != nil {
+		wrote := false
+		for _, f := range fs {
+			if sh.ad.RecordAtomic(f, 0) {
+				wrote = true
+			}
+		}
+		if wrote && !sh.dirty.Load() {
+			sh.dirty.Store(true)
+		}
+		return
+	}
 	sh := p.lockShard()
 	for _, f := range fs {
 		sh.d.Record(f, 0)
@@ -188,6 +248,11 @@ func (p *Point[S]) RecordBatchFlows(fs []uint64) {
 		sh.dirty.Store(true)
 	}
 	sh.mu.Unlock()
+}
+
+// batchShard picks a shard for a batch (round-robin) without locking it.
+func (p *Point[S]) batchShard() *pointShard[S] {
+	return p.shards[int(p.rr.Add(1)-1)%len(p.shards)]
 }
 
 // lockShard picks and locks an ingest shard for a batch: round-robin start,
@@ -231,18 +296,24 @@ func (p *Point[S]) queryLocked(f uint64) float64 {
 	var (
 		extras [maxShards]S
 		locked [maxShards]*pointShard[S]
-		n      int
+		n, nl  int
 	)
 	for _, sh := range p.shards {
-		if sh.dirty.Load() {
-			sh.mu.Lock()
-			locked[n] = sh
-			extras[n] = sh.d
-			n++
+		if !sh.dirty.Load() {
+			continue
 		}
+		// Lock-free deltas are read live: the backend's union estimator
+		// loads their registers atomically, so no lock is needed.
+		if sh.ad == nil {
+			sh.mu.Lock()
+			locked[nl] = sh
+			nl++
+		}
+		extras[n] = sh.d
+		n++
 	}
 	est := p.c.EstimateUnion(f, extras[:n])
-	for i := 0; i < n; i++ {
+	for i := 0; i < nl; i++ {
 		locked[i].mu.Unlock()
 	}
 	return est
@@ -254,6 +325,14 @@ func (p *Point[S]) queryLocked(f uint64) float64 {
 func (p *Point[S]) flushShardsLocked() {
 	for _, sh := range p.shards {
 		if !sh.dirty.Load() {
+			continue
+		}
+		if sh.ad != nil {
+			// Clear dirty before draining: an observe landing after a
+			// word is swapped out re-raises the flag, so the fresh delta
+			// is never left dirty=false with data in it.
+			sh.dirty.Store(false)
+			sh.ad.DrainAtomicInto(p.b, p.c, p.cp)
 			continue
 		}
 		sh.mu.Lock()

@@ -69,6 +69,24 @@ type Sketch struct {
 	// intermediate values possible in adversarial use; clamping happens at
 	// query time.
 	rows [][]int64
+	// Derived per-packet constants, set by initDerived wherever params are
+	// assigned: the precomputed per-row hash seeds (Hash64's inner
+	// Mix64(seed) for row seeds 1..D) and the multiply-based width modulus.
+	rowPre []uint64
+	wDiv   xhash.Divisor
+}
+
+// initDerived recomputes the record-path constants from s.params. Every
+// assignment to s.params must be followed by a call to it.
+func (s *Sketch) initDerived() {
+	if cap(s.rowPre) < s.params.D {
+		s.rowPre = make([]uint64, s.params.D)
+	}
+	s.rowPre = s.rowPre[:s.params.D]
+	for i := range s.rowPre {
+		s.rowPre[i] = xhash.Mix64(uint64(i) + 1)
+	}
+	s.wDiv = xhash.NewDivisor(s.params.W)
 }
 
 // New creates a zeroed sketch. Panics only on programmer error; use
@@ -81,7 +99,9 @@ func New(p Params) *Sketch {
 	for i := range rows {
 		rows[i] = make([]int64, p.W)
 	}
-	return &Sketch{params: p, rows: rows}
+	s := &Sketch{params: p, rows: rows}
+	s.initDerived()
+	return s
 }
 
 // Params returns the sketch's configuration.
@@ -95,22 +115,43 @@ func (s *Sketch) Row(i int) []int64 { return s.rows[i] }
 // ignores which element arrived.
 func (s *Sketch) Record(f, _ uint64) { s.Add(f, 1) }
 
-// Add adds delta occurrences of flow f.
+// Add adds delta occurrences of flow f. The per-row indices are
+// xhash.Index(f^Seed, i+1, W) with the row-seed mix and the division
+// precomputed (bit-identical).
 func (s *Sketch) Add(f uint64, delta int64) {
-	p := &s.params
-	for i := 0; i < p.D; i++ {
-		j := xhash.Index(f^p.Seed, uint64(i)+1, p.W)
+	fs := f ^ s.params.Seed
+	for i, pre := range s.rowPre {
+		j := s.wDiv.Mod(xhash.Mix64(fs ^ pre))
 		s.rows[i][j] += delta
+	}
+}
+
+// Slots fills idx with flow f's per-row counter indices (one per row,
+// len(idx) must be D), hashing once. The indices are valid for any sketch
+// sharing s's parameters, so the two-sketch record path of the size design
+// hashes once and applies the same slots to each sketch via AddSlots.
+func (s *Sketch) Slots(f uint64, idx []int) {
+	fs := f ^ s.params.Seed
+	for i, pre := range s.rowPre {
+		idx[i] = int(s.wDiv.Mod(xhash.Mix64(fs ^ pre)))
+	}
+}
+
+// AddSlots adds delta at a previously computed index set (one counter per
+// row, as filled by Slots on a same-parameter sketch).
+func (s *Sketch) AddSlots(idx []int, delta int64) {
+	for i, row := range s.rows {
+		row[idx[i]] += delta
 	}
 }
 
 // Estimate returns the size estimate for flow f: the minimum counter over
 // the d rows, clamped at zero.
 func (s *Sketch) Estimate(f uint64) int64 {
-	p := &s.params
+	fs := f ^ s.params.Seed
 	est := int64(1<<62 - 1)
-	for i := 0; i < p.D; i++ {
-		j := xhash.Index(f^p.Seed, uint64(i)+1, p.W)
+	for i, pre := range s.rowPre {
+		j := s.wDiv.Mod(xhash.Mix64(fs ^ pre))
 		if c := s.rows[i][j]; c < est {
 			est = c
 		}
@@ -127,10 +168,10 @@ func (s *Sketch) Estimate(f uint64) int64 {
 // Estimate. All extras must share s's parameters (the sharded ingest path
 // guarantees this by construction; behaviour is undefined otherwise).
 func (s *Sketch) EstimateSummed(f uint64, extras []*Sketch) int64 {
-	p := &s.params
+	fs := f ^ s.params.Seed
 	est := int64(1<<62 - 1)
-	for i := 0; i < p.D; i++ {
-		j := xhash.Index(f^p.Seed, uint64(i)+1, p.W)
+	for i, pre := range s.rowPre {
+		j := s.wDiv.Mod(xhash.Mix64(fs ^ pre))
 		c := s.rows[i][j]
 		for _, o := range extras {
 			c += o.rows[i][j]
@@ -164,9 +205,7 @@ func (s *Sketch) AddSketch(o *Sketch) error {
 		return fmt.Errorf("countmin: add parameter mismatch: %+v vs %+v", s.params, o.params)
 	}
 	for i := range s.rows {
-		for j, v := range o.rows[i] {
-			s.rows[i][j] += v
-		}
+		addRows(s.rows[i], o.rows[i])
 	}
 	return nil
 }
@@ -178,11 +217,41 @@ func (s *Sketch) SubSketch(o *Sketch) error {
 		return fmt.Errorf("countmin: sub parameter mismatch: %+v vs %+v", s.params, o.params)
 	}
 	for i := range s.rows {
-		for j, v := range o.rows[i] {
-			s.rows[i][j] -= v
-		}
+		subRows(s.rows[i], o.rows[i])
 	}
 	return nil
+}
+
+// addRows/subRows are the word-wise inner loops of the sketch algebra,
+// unrolled four counters per step (with a scalar tail) so the epoch
+// boundary's merge/recover pass streams rows instead of bounds-checking
+// every element.
+func addRows(dst, src []int64) {
+	src = src[:len(dst)] // equal lengths by params; helps BCE
+	j := 0
+	for ; j+4 <= len(dst); j += 4 {
+		dst[j] += src[j]
+		dst[j+1] += src[j+1]
+		dst[j+2] += src[j+2]
+		dst[j+3] += src[j+3]
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += src[j]
+	}
+}
+
+func subRows(dst, src []int64) {
+	src = src[:len(dst)]
+	j := 0
+	for ; j+4 <= len(dst); j += 4 {
+		dst[j] -= src[j]
+		dst[j+1] -= src[j+1]
+		dst[j+2] -= src[j+2]
+		dst[j+3] -= src[j+3]
+	}
+	for ; j < len(dst); j++ {
+		dst[j] -= src[j]
+	}
 }
 
 // Reset zeroes every counter.

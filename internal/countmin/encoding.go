@@ -5,18 +5,33 @@ import (
 	"fmt"
 )
 
-// wireMagic tags the binary encoding of a CountMin sketch.
-const wireMagic = 0xC3
+// Wire magics for the two binary encodings of a CountMin sketch. The fixed
+// encoding ships 8 bytes per counter; the compact one zigzag-varint
+// encodes the counters (a fresh epoch's counters are mostly zero or small,
+// one byte each) and is negotiated per connection. UnmarshalBinary accepts
+// both, so buffered uploads survive a codec renegotiation and checkpoints
+// written by either codec restore.
+const (
+	wireMagic        = 0xC3
+	wireMagicCompact = 0xC4
+)
+
+// appendHeader writes the shared encoding header: magic, D, W, Seed.
+func (s *Sketch) appendHeader(out []byte, magic byte) []byte {
+	p := s.params
+	out = append(out, magic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.D))
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.W))
+	out = binary.LittleEndian.AppendUint64(out, p.Seed)
+	return out
+}
 
 // MarshalBinary encodes the sketch little-endian: magic, D, W, Seed, then
 // the D*W counters row-major as int64.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
 	p := s.params
 	out := make([]byte, 0, 1+4+4+8+p.D*p.W*8)
-	out = append(out, wireMagic)
-	out = binary.LittleEndian.AppendUint32(out, uint32(p.D))
-	out = binary.LittleEndian.AppendUint32(out, uint32(p.W))
-	out = binary.LittleEndian.AppendUint64(out, p.Seed)
+	out = s.appendHeader(out, wireMagic)
 	for _, row := range s.rows {
 		for _, v := range row {
 			out = binary.LittleEndian.AppendUint64(out, uint64(v))
@@ -25,12 +40,33 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary decodes a sketch previously encoded by MarshalBinary.
+// MarshalBinaryCompact encodes the sketch in the compact form: the same
+// header under wireMagicCompact, then the D*W counters row-major as
+// zigzag varints.
+func (s *Sketch) MarshalBinaryCompact() ([]byte, error) {
+	p := s.params
+	out := make([]byte, 0, 1+4+4+8+p.D*p.W)
+	out = s.appendHeader(out, wireMagicCompact)
+	for _, row := range s.rows {
+		for _, v := range row {
+			out = binary.AppendVarint(out, v)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded by MarshalBinary or
+// MarshalBinaryCompact, dispatching on the magic byte. When s already has
+// the decoded dimensions its counter rows are reused, so a pooled scratch
+// sketch decodes epoch after epoch without allocating; on error the
+// counter contents are unspecified but the sketch stays structurally
+// valid.
 func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if len(data) < 1+4+4+8 {
 		return fmt.Errorf("countmin: truncated sketch encoding")
 	}
-	if data[0] != wireMagic {
+	magic := data[0]
+	if magic != wireMagic && magic != wireMagicCompact {
 		return fmt.Errorf("countmin: bad magic byte %#x", data[0])
 	}
 	off := 1
@@ -50,18 +86,47 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if d > maxCells || w > maxCells || d*w > maxCells {
 		return fmt.Errorf("countmin: decode: implausible dimensions %dx%d", d, w)
 	}
-	if want := d * w * 8; len(data[off:]) != want {
-		return fmt.Errorf("countmin: payload %d bytes, want %d", len(data[off:]), want)
+	rows := s.rows
+	if len(rows) != d {
+		rows = make([][]int64, d)
 	}
-	rows := make([][]int64, d)
 	for i := range rows {
-		rows[i] = make([]int64, w)
-		for j := range rows[i] {
-			rows[i][j] = int64(binary.LittleEndian.Uint64(data[off:]))
-			off += 8
+		if len(rows[i]) != w {
+			rows[i] = make([]int64, w)
+		}
+	}
+	if magic == wireMagic {
+		if want := d * w * 8; len(data[off:]) != want {
+			return fmt.Errorf("countmin: payload %d bytes, want %d", len(data[off:]), want)
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				rows[i][j] = int64(binary.LittleEndian.Uint64(data[off:]))
+				off += 8
+			}
+		}
+	} else {
+		for i := range rows {
+			for j := range rows[i] {
+				v, n := binary.Varint(data[off:])
+				if n <= 0 {
+					return fmt.Errorf("countmin: truncated or malformed counter varint (row %d, col %d)", i, j)
+				}
+				// Reject overlong varints (trailing zero continuation
+				// group): encodings stay canonical.
+				if n > 1 && data[off+n-1] == 0 {
+					return fmt.Errorf("countmin: non-minimal counter varint (row %d, col %d)", i, j)
+				}
+				rows[i][j] = v
+				off += n
+			}
+		}
+		if off != len(data) {
+			return fmt.Errorf("countmin: %d trailing bytes", len(data)-off)
 		}
 	}
 	s.params = p
 	s.rows = rows
+	s.initDerived()
 	return nil
 }

@@ -14,9 +14,15 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	goodCompact, err := s.MarshalBinaryCompact()
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(good)
+	f.Add(goodCompact)
 	f.Add([]byte{})
 	f.Add([]byte{wireMagic, 0, 0, 0})
+	f.Add([]byte{wireMagicCompact, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{1}, 40))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -24,7 +30,14 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		if err := sk.UnmarshalBinary(data); err != nil {
 			return
 		}
-		out, err := sk.MarshalBinary()
+		// Re-encode under the codec the input's magic selected.
+		var out []byte
+		var err error
+		if data[0] == wireMagicCompact {
+			out, err = sk.MarshalBinaryCompact()
+		} else {
+			out, err = sk.MarshalBinary()
+		}
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}

@@ -1,0 +1,60 @@
+package countmin
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var genCorpus = flag.Bool("gen-corpus", false, "rewrite the committed fuzz seed corpus in testdata/fuzz")
+
+// TestGenerateFuzzCorpus rewrites the committed seed corpus when run with
+// -gen-corpus, in the `go test fuzz v1` format the fuzzer reads from
+// testdata/fuzz/<Target>, so `make fuzz-short` starts from both sketch
+// codecs instead of rediscovering the wire magics.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if !*genCorpus {
+		t.Skip("run with -gen-corpus to rewrite testdata/fuzz")
+	}
+	var seeds [][]byte
+	for _, p := range []Params{{D: 2, W: 4, Seed: 9}, {D: 4, W: 64, Seed: 11}} {
+		s := New(p)
+		for f := uint64(0); f < 16; f++ {
+			s.Add(f, int64(f)+1)
+		}
+		s.Add(1, -3) // negative counters exercise the zigzag path
+		fixed, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		compact, err := s.MarshalBinaryCompact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		empty, err := New(p).MarshalBinaryCompact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, fixed, compact, empty, compact[:len(compact)/2])
+	}
+	writeSeedCorpus(t, "FuzzUnmarshalBinary", seeds)
+}
+
+// writeSeedCorpus writes one-[]byte-argument seed files for target.
+func writeSeedCorpus(t *testing.T, target string, seeds [][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package diag exposes operational diagnostics for the live binaries:
+// currently the net/http/pprof profiling endpoint behind the -pprof flag
+// of cmd/tqpoint and cmd/tqcenter.
+package diag
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+)
+
+// ServePprof serves the Go runtime's profiling endpoints
+// (/debug/pprof/...) on addr in a background goroutine and returns the
+// bound address (useful with a ":0" port). The listener stays open for
+// the life of the process: profiling a measurement point must not be able
+// to stop the measurement, so serve errors are dropped after startup.
+func ServePprof(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("diag: pprof listen: %w", err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr(), nil
+}

@@ -1,0 +1,36 @@
+package diag
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty pprof index")
+	}
+}
+
+func TestServePprofBadAddr(t *testing.T) {
+	if _, err := ServePprof("256.0.0.1:99999"); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

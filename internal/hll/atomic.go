@@ -1,0 +1,112 @@
+package hll
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Lock-free register access for ingest deltas.
+//
+// A register array that concurrent recorders update needs word-granular
+// atomic access: Go's sync/atomic has no byte operations, and mixing
+// plain and atomic accesses to the same memory is a data race. AlignedRegs
+// therefore backs the byte view with a []uint64, and the operations below
+// address register i as a byte lane of word i/8.
+//
+// The recording operation is a max, which permits two crucial shortcuts:
+//   - ObserveMaxAtomic reads the word first (a plain MOV on amd64 — atomic
+//     loads carry no fence) and returns without any read-modify-write when
+//     the register already covers the value. Registers saturate
+//     geometrically, so the steady-state record path issues no atomic RMW
+//     at all.
+//   - DrainMaxWords folds a delta by atomically swapping each word to
+//     zero. A concurrent observe lands either before the swap (captured in
+//     this fold) or after (captured by the next one), so no update is ever
+//     lost and the folded state is bit-identical to a serialized fold —
+//     max is commutative and idempotent.
+
+// laneXor folds the host byte order into the register-to-lane mapping
+// branchlessly: lane k of a word sits at bit (k^laneXor)*8, with laneXor 0
+// on little-endian hosts and 7 on big-endian ones.
+var laneXor = func() int {
+	x := uint16(1)
+	if *(*byte)(unsafe.Pointer(&x)) == 0 {
+		return 7
+	}
+	return 0
+}()
+
+// regShift returns the bit offset of register i inside word i/8.
+func regShift(i int) uint {
+	return uint((i&7)^laneXor) * 8
+}
+
+// AlignedRegs returns a zeroed n-register array together with its word
+// backing. The byte view and the word slice alias the same memory: use the
+// byte view for single-owner access (merges, encoding) and the word view
+// for the atomic operations below — never both concurrently.
+func AlignedRegs(n int) (Regs, []uint64) {
+	if n <= 0 {
+		return Regs{}, nil
+	}
+	words := make([]uint64, (n+7)/8)
+	b := unsafe.Slice((*uint8)(unsafe.Pointer(&words[0])), len(words)*8)
+	return Regs(b[:n:n]), words
+}
+
+// LoadRegAtomic atomically reads register i from its word backing.
+func LoadRegAtomic(words []uint64, i int) uint8 {
+	return uint8(atomic.LoadUint64(&words[i>>3]) >> regShift(i))
+}
+
+// ObserveMaxAtomic raises register i to at least v, reporting whether it
+// wrote. The fast path is a fence-free load-and-compare; only a genuinely
+// rising register pays a CAS (retried if a concurrent observe or drain
+// moves the word underneath).
+func ObserveMaxAtomic(words []uint64, i int, v uint8) bool {
+	sh := regShift(i)
+	p := &words[i>>3]
+	for {
+		w := atomic.LoadUint64(p)
+		if uint8(w>>sh) >= v {
+			return false
+		}
+		nw := w&^(0xff<<sh) | uint64(v)<<sh
+		if atomic.CompareAndSwapUint64(p, w, nw) {
+			return true
+		}
+	}
+}
+
+// DrainMaxWords atomically swaps every word of a delta to zero, folding
+// each drained word into all dsts by register-wise max ("swap once, apply
+// thrice"). dsts need not be word-aligned; their registers must extend to
+// at least the drained length and belong to the caller.
+func DrainMaxWords(words []uint64, n int, dsts ...Regs) {
+	for k := range words {
+		w := atomic.SwapUint64(&words[k], 0)
+		if w == 0 {
+			continue
+		}
+		base := k * 8
+		if base+8 <= n {
+			for _, d := range dsts {
+				row := d[base : base+8 : base+8]
+				cur := binary.NativeEndian.Uint64(row)
+				binary.NativeEndian.PutUint64(row, mergeMaxWord(cur, w))
+			}
+			continue
+		}
+		// Tail word: spill to bytes and max the in-range lanes.
+		var tmp [8]uint8
+		binary.NativeEndian.PutUint64(tmp[:], w)
+		for _, d := range dsts {
+			for j := base; j < n; j++ {
+				if v := tmp[j-base]; v > d[j] {
+					d[j] = v
+				}
+			}
+		}
+	}
+}

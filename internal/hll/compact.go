@@ -1,0 +1,221 @@
+package hll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Compact wire encoding for register arrays. Epoch uploads are dominated by
+// register payloads, and a real epoch is sparse: most columns of a spread
+// sketch saw no packet. The compact form exploits that at two levels.
+//
+// The word layer (AppendRunWords/DecodeRunWords) run-length encodes 64-bit
+// words: a stream of varint tokens t, each covering t>>1 words — zero words
+// when t&1 == 0, literal little-endian words (following the token) when
+// t&1 == 1. Runs are maximal and never empty, so every word slice has
+// exactly one encoding and a decoder can reject zero-progress input.
+//
+// The array layer (AppendCompact/DecodeCompact) prefixes one mode byte:
+//
+//	mode 0 (dense):  run-length words of the canonical 5-bit packing
+//	mode 1 (sparse): run-length words of a presence bitmap (one bit per
+//	                 register) followed by the nonzero register values, 5
+//	                 bits each, packed into raw little-endian words
+//
+// The encoder picks sparse exactly when it wins on payload bits
+// (5*nonzero + n < 5*n); the decoder enforces the same rule, plus zero
+// padding bits and nonzero sparse values, so compact encodings stay
+// canonical like the fixed packed form.
+
+// AppendRunWords appends the run-length encoding of words to dst and
+// returns the extended slice.
+func AppendRunWords(dst []byte, words []uint64) []byte {
+	for i := 0; i < len(words); {
+		j := i
+		if words[i] == 0 {
+			for j < len(words) && words[j] == 0 {
+				j++
+			}
+			dst = binary.AppendUvarint(dst, uint64(j-i)<<1)
+		} else {
+			for j < len(words) && words[j] != 0 {
+				j++
+			}
+			dst = binary.AppendUvarint(dst, uint64(j-i)<<1|1)
+			for _, w := range words[i:j] {
+				dst = binary.LittleEndian.AppendUint64(dst, w)
+			}
+		}
+		i = j
+	}
+	return dst
+}
+
+// DecodeRunWords decodes exactly len(dst) run-length-encoded words from the
+// front of data, returning the number of bytes consumed. Decoding is
+// strict: empty or overlong runs, adjacent runs of the same type, and zero
+// words inside a literal run are all rejected, so exactly one byte string
+// decodes to any given word slice.
+func DecodeRunWords(dst []uint64, data []byte) (int, error) {
+	off := 0
+	filled := 0
+	prevType := -1
+	for filled < len(dst) {
+		t, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("hll: truncated or malformed run token")
+		}
+		off += n
+		count := t >> 1
+		runType := int(t & 1)
+		if count == 0 || count > uint64(len(dst)-filled) {
+			return 0, fmt.Errorf("hll: run of %d words with %d expected", count, len(dst)-filled)
+		}
+		if runType == prevType {
+			return 0, fmt.Errorf("hll: non-maximal run encoding")
+		}
+		prevType = runType
+		if runType == 0 {
+			for i := 0; i < int(count); i++ {
+				dst[filled+i] = 0
+			}
+		} else {
+			if len(data)-off < int(count)*8 {
+				return 0, fmt.Errorf("hll: truncated literal run")
+			}
+			for i := 0; i < int(count); i++ {
+				w := binary.LittleEndian.Uint64(data[off:])
+				if w == 0 {
+					return 0, fmt.Errorf("hll: zero word in literal run")
+				}
+				dst[filled+i] = w
+				off += 8
+			}
+		}
+		filled += int(count)
+	}
+	return off, nil
+}
+
+// AppendCompact appends the compact encoding of r to dst and returns the
+// extended slice.
+func AppendCompact(dst []byte, r Regs) []byte {
+	n := len(r)
+	nonzero := 0
+	for _, v := range r {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero*RegisterBits+n < n*RegisterBits {
+		dst = append(dst, 1)
+		bitmap := make([]uint64, (n+63)/64)
+		vals := make([]uint64, PackedWords(nonzero))
+		bit := 0
+		for i, v := range r {
+			if v == 0 {
+				continue
+			}
+			bitmap[i/64] |= 1 << uint(i%64)
+			word, off := bit/64, uint(bit%64)
+			vals[word] |= uint64(v&MaxRegisterValue) << off
+			if off+RegisterBits > 64 {
+				vals[word+1] |= uint64(v&MaxRegisterValue) >> (64 - off)
+			}
+			bit += RegisterBits
+		}
+		dst = AppendRunWords(dst, bitmap)
+		for _, w := range vals {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+		return dst
+	}
+	dst = append(dst, 0)
+	words := make([]uint64, PackedWords(n))
+	PackInto(words, r)
+	return AppendRunWords(dst, words)
+}
+
+// DecodeCompact decodes a compact encoding of exactly len(dst) registers
+// from the front of data, overwriting dst, and returns the number of bytes
+// consumed. Non-canonical encodings (wrong mode for the density, stray
+// padding bits, zero sparse values) are rejected.
+func DecodeCompact(dst Regs, data []byte) (int, error) {
+	if len(data) < 1 {
+		return 0, fmt.Errorf("hll: truncated compact encoding")
+	}
+	n := len(dst)
+	switch data[0] {
+	case 0:
+		words := make([]uint64, PackedWords(n))
+		consumed, err := DecodeRunWords(words, data[1:])
+		if err != nil {
+			return 0, err
+		}
+		if err := UnpackInto(dst, words); err != nil {
+			return 0, err
+		}
+		nonzero := 0
+		for _, v := range dst {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if nonzero*RegisterBits+n < n*RegisterBits {
+			return 0, fmt.Errorf("hll: dense encoding for a sparse array")
+		}
+		return 1 + consumed, nil
+	case 1:
+		bitmap := make([]uint64, (n+63)/64)
+		consumed, err := DecodeRunWords(bitmap, data[1:])
+		if err != nil {
+			return 0, err
+		}
+		off := 1 + consumed
+		if extra := n % 64; extra != 0 && bitmap[len(bitmap)-1]&^((1<<uint(extra))-1) != 0 {
+			return 0, fmt.Errorf("hll: non-canonical bitmap padding")
+		}
+		nonzero := 0
+		for _, w := range bitmap {
+			nonzero += bits.OnesCount64(w)
+		}
+		if nonzero*RegisterBits+n >= n*RegisterBits {
+			return 0, fmt.Errorf("hll: sparse encoding for a dense array")
+		}
+		valWords := PackedWords(nonzero)
+		if len(data)-off < valWords*8 {
+			return 0, fmt.Errorf("hll: truncated sparse values")
+		}
+		vals := make([]uint64, valWords)
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+		}
+		if extra := nonzero * RegisterBits % 64; extra != 0 && vals[valWords-1]&^((1<<uint(extra))-1) != 0 {
+			return 0, fmt.Errorf("hll: non-canonical padding bits in sparse values")
+		}
+		for i := range dst {
+			dst[i] = 0
+		}
+		bit := 0
+		for i := 0; i < n; i++ {
+			if bitmap[i/64]&(1<<uint(i%64)) == 0 {
+				continue
+			}
+			word, o := bit/64, uint(bit%64)
+			v := vals[word] >> o
+			if o+RegisterBits > 64 {
+				v |= vals[word+1] << (64 - o)
+			}
+			reg := uint8(v) & MaxRegisterValue
+			if reg == 0 {
+				return 0, fmt.Errorf("hll: zero register in sparse encoding")
+			}
+			dst[i] = reg
+			bit += RegisterBits
+		}
+		return off, nil
+	}
+	return 0, fmt.Errorf("hll: unknown compact mode %d", data[0])
+}

@@ -1,0 +1,80 @@
+package hll
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var genCorpus = flag.Bool("gen-corpus", false, "rewrite the committed fuzz seed corpus in testdata/fuzz")
+
+// TestGenerateFuzzCorpus rewrites the committed seed corpus when run with
+// -gen-corpus, in the `go test fuzz v1` format the fuzzer reads from
+// testdata/fuzz/<Target>: register pairs shaped to stress the SWAR merge
+// (lane boundaries, saturation) and compact blobs covering both the
+// sparse and dense encodings.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if !*genCorpus {
+		t.Skip("run with -gen-corpus to rewrite testdata/fuzz")
+	}
+	write := func(target string, seeds [][]string) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, args := range seeds {
+			body := "go test fuzz v1\n"
+			for _, a := range args {
+				body += a + "\n"
+			}
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	bs := func(b []byte) string { return "[]byte(" + strconv.Quote(string(b)) + ")" }
+
+	// FuzzMergeMax takes two equal-length register slices. Cover the word
+	// remainder lanes (lengths straddling multiples of 8), saturated
+	// registers, and asymmetric max directions.
+	mixed := make([]byte, 19)
+	flipped := make([]byte, 19)
+	for i := range mixed {
+		mixed[i] = byte(i % 32)
+		flipped[i] = byte(31 - i%32)
+	}
+	saturated := make([]byte, 16)
+	for i := range saturated {
+		saturated[i] = MaxRegisterValue
+	}
+	write("FuzzMergeMax", [][]string{
+		{bs(nil), bs(nil)},
+		{bs(mixed), bs(flipped)},
+		{bs(saturated), bs(make([]byte, 16))},
+		{bs(mixed[:8]), bs(flipped[:8])},
+		{bs(mixed[:9]), bs(flipped[:9])},
+	})
+
+	// FuzzCompact takes a register count and a compact blob. Seed the
+	// encodings the codec actually emits: empty, sparse, dense, and a
+	// truncated dense blob the decoder must reject.
+	u16 := func(n int) string { return fmt.Sprintf("uint16(%d)", n) }
+	sparse := make(Regs, 128)
+	sparse[3], sparse[90] = 7, 31
+	dense := make(Regs, 40)
+	for i := range dense {
+		dense[i] = uint8(1 + i%31)
+	}
+	denseBlob := AppendCompact(nil, dense)
+	write("FuzzCompact", [][]string{
+		{u16(128), bs(AppendCompact(nil, make(Regs, 128)))},
+		{u16(128), bs(AppendCompact(nil, sparse))},
+		{u16(40), bs(denseBlob)},
+		{u16(40), bs(denseBlob[:len(denseBlob)/2])},
+		{u16(0), bs([]byte{0})},
+	})
+}

@@ -16,6 +16,7 @@
 package hll
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 )
@@ -58,11 +59,7 @@ func (r Regs) MergeMax(o Regs) error {
 	if len(r) != len(o) {
 		return fmt.Errorf("hll: merge length mismatch: %d vs %d", len(r), len(o))
 	}
-	for i, v := range o {
-		if r[i] < v {
-			r[i] = v
-		}
-	}
+	MergeMaxBytes(r, o)
 	return nil
 }
 
@@ -82,15 +79,7 @@ func (r Regs) Clone() Regs {
 
 // Equal reports whether r and o hold identical register values.
 func (r Regs) Equal(o Regs) bool {
-	if len(r) != len(o) {
-		return false
-	}
-	for i, v := range r {
-		if o[i] != v {
-			return false
-		}
-	}
-	return true
+	return bytes.Equal(r, o)
 }
 
 // MemoryBits returns the memory footprint of r under the paper's model of

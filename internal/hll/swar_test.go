@@ -1,0 +1,136 @@
+package hll
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalarMergeMax is the reference implementation the SWAR path must match.
+func scalarMergeMax(dst, src []uint8) {
+	for i, v := range src {
+		if dst[i] < v {
+			dst[i] = v
+		}
+	}
+}
+
+func randRegs(rng *rand.Rand, n int) Regs {
+	r := make(Regs, n)
+	for i := range r {
+		switch rng.Intn(4) {
+		case 0:
+			r[i] = 0
+		case 1:
+			r[i] = MaxRegisterValue
+		default:
+			r[i] = uint8(rng.Intn(MaxRegisterValue + 1))
+		}
+	}
+	return r
+}
+
+// TestMergeMaxMatchesScalar pins SWAR MergeMax to the scalar reference for
+// every length 0..130 (covering empty, sub-word, word-multiple, and
+// word+tail shapes) across many random register fills.
+func TestMergeMaxMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 130; n++ {
+		for trial := 0; trial < 20; trial++ {
+			a := randRegs(rng, n)
+			b := randRegs(rng, n)
+			want := a.Clone()
+			scalarMergeMax(want, b)
+			got := a.Clone()
+			if err := got.MergeMax(b); err != nil {
+				t.Fatalf("n=%d: MergeMax: %v", n, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("n=%d trial=%d: SWAR merge diverged from scalar\n a=%v\n b=%v\n got=%v\n want=%v", n, trial, a, b, got, want)
+			}
+			// src must never be written.
+			bCopy := b.Clone()
+			if !b.Equal(bCopy) {
+				t.Fatalf("n=%d: MergeMax mutated src", n)
+			}
+		}
+	}
+}
+
+// TestResetAndIsZero pins Reset/IsZero against the scalar definition for
+// lengths 0..130.
+func TestResetAndIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n <= 130; n++ {
+		r := randRegs(rng, n)
+		allZero := true
+		for _, v := range r {
+			if v != 0 {
+				allZero = false
+			}
+		}
+		if got := r.IsZero(); got != allZero {
+			t.Fatalf("n=%d: IsZero=%v, scalar says %v", n, got, allZero)
+		}
+		r.Reset()
+		if !r.IsZero() {
+			t.Fatalf("n=%d: not zero after Reset", n)
+		}
+		// One nonzero register anywhere must flip IsZero.
+		if n > 0 {
+			i := rng.Intn(n)
+			r[i] = 1
+			if r.IsZero() {
+				t.Fatalf("n=%d: IsZero true with r[%d]=1", n, i)
+			}
+		}
+	}
+}
+
+func TestMergeMaxWordLanes(t *testing.T) {
+	// Exhaustive per-lane check over all 5-bit pairs, each pair placed in
+	// every lane with adversarial neighbors, to rule out cross-lane borrow
+	// contamination.
+	for x := uint64(0); x <= MaxRegisterValue; x++ {
+		for y := uint64(0); y <= MaxRegisterValue; y++ {
+			want := x
+			if y > x {
+				want = y
+			}
+			for lane := 0; lane < 8; lane++ {
+				const neighborsX = 0x1f001f001f001f00
+				const neighborsY = 0x001f001f001f001f
+				xi := neighborsX&^(0xff<<(8*lane)) | x<<(8*lane)
+				yi := neighborsY&^(0xff<<(8*lane)) | y<<(8*lane)
+				got := mergeMaxWord(xi, yi) >> (8 * lane) & 0xff
+				if got != want {
+					t.Fatalf("lane %d: max(%d,%d)=%d, want %d", lane, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func FuzzMergeMax(f *testing.F) {
+	f.Add([]byte{0, 1, 31}, []byte{31, 0, 2})
+	f.Add([]byte{}, []byte{})
+	f.Add(make([]byte, 64), make([]byte, 64))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) != len(b) {
+			return
+		}
+		x := make(Regs, len(a))
+		y := make(Regs, len(b))
+		for i := range a {
+			x[i] = a[i] & MaxRegisterValue
+			y[i] = b[i] & MaxRegisterValue
+		}
+		want := x.Clone()
+		scalarMergeMax(want, y)
+		if err := x.MergeMax(y); err != nil {
+			t.Fatal(err)
+		}
+		if !x.Equal(want) {
+			t.Fatalf("SWAR merge diverged from scalar: got %v want %v", x, want)
+		}
+	})
+}

@@ -16,9 +16,15 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	goodCompact, err := s.MarshalBinaryCompact()
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(good)
+	f.Add(goodCompact)
 	f.Add([]byte{})
 	f.Add([]byte{wireMagic})
+	f.Add([]byte{wireMagicCompact})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -26,8 +32,15 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		if err := sk.UnmarshalBinary(data); err != nil {
 			return // rejected inputs are fine
 		}
-		// Accepted inputs must re-encode to the same canonical bytes.
-		out, err := sk.MarshalBinary()
+		// Accepted inputs must re-encode, under the codec the input's magic
+		// selected, to the same canonical bytes.
+		var out []byte
+		var err error
+		if data[0] == wireMagicCompact {
+			out, err = sk.MarshalBinaryCompact()
+		} else {
+			out, err = sk.MarshalBinary()
+		}
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}

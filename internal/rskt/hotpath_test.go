@@ -1,0 +1,220 @@
+package rskt
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/hll"
+	"repro/internal/xhash"
+)
+
+// recordReference is the original record path, spelled directly over the
+// xhash primitives. Slot/RecordSlot must stay bit-identical to it.
+func recordReference(s *Sketch, f, e uint64) {
+	p := s.Params()
+	j := xhash.Index(f^p.Seed, seedColumn, p.W)
+	i := xhash.Index(e^p.Seed, seedRegister, p.M)
+	u := xhash.PairBit(f^p.Seed, i, seedPairBit)
+	v := xhash.Geometric(xhash.HashPair(f, e, p.Seed), seedGeo, hll.MaxRegisterValue)
+	s.rows[u].Observe(j*p.M+i, v)
+}
+
+// TestSlotMatchesReference pins the precomputed Slot path to the direct
+// xhash expressions, over non-power-of-two and power-of-two widths.
+func TestSlotMatchesReference(t *testing.T) {
+	for _, p := range []Params{
+		{W: 7, M: 8, Seed: 0xdecaf},
+		{W: 16, M: 128, Seed: 1},
+		{W: 1638, M: 128, Seed: 99},
+		{W: 1, M: 1, Seed: 0},
+	} {
+		fast := New(p)
+		ref := New(p)
+		for k := uint64(0); k < 3000; k++ {
+			f := xhash.Mix64(k) % 50
+			e := xhash.Mix64(k + 1)
+			fast.Record(f, e)
+			recordReference(ref, f, e)
+		}
+		if !fast.Equal(ref) {
+			t.Fatalf("params %+v: Slot path diverged from reference", p)
+		}
+		for f := uint64(0); f < 50; f++ {
+			if a, b := fast.Estimate(f), ref.Estimate(f); a != b {
+				t.Fatalf("params %+v flow %d: estimate %v vs %v", p, f, a, b)
+			}
+		}
+	}
+}
+
+// TestRecordSlotSharedAcrossSketches verifies the hash-once-apply-thrice
+// contract: one Slot recorded into several same-parameter sketches equals
+// recording into each directly.
+func TestRecordSlotSharedAcrossSketches(t *testing.T) {
+	p := Params{W: 33, M: 64, Seed: 7}
+	a, b, c := New(p), New(p), New(p)
+	ra, rb, rc := New(p), New(p), New(p)
+	for k := uint64(0); k < 2000; k++ {
+		f, e := k%17, xhash.Mix64(k)
+		sl := a.Slot(f, e)
+		a.RecordSlot(sl)
+		b.RecordSlot(sl)
+		c.RecordSlot(sl)
+		ra.Record(f, e)
+		rb.Record(f, e)
+		rc.Record(f, e)
+	}
+	if !a.Equal(ra) || !b.Equal(rb) || !c.Equal(rc) {
+		t.Fatal("shared slot recording diverged from direct Record")
+	}
+}
+
+// TestRecordAtomicMatchesRecord pins the hand-fused lock-free record path
+// to Record (whose slot computation it mirrors expression for expression),
+// and DrainAtomicInto to merge-then-reset.
+func TestRecordAtomicMatchesRecord(t *testing.T) {
+	p := Params{W: 1638, M: 128, Seed: 99}
+	atomicS, plain := New(p), New(p)
+	for k := uint64(0); k < 5000; k++ {
+		f := xhash.Mix64(k) % 50
+		e := xhash.Mix64(k + 1)
+		atomicS.RecordAtomic(f, e)
+		plain.Record(f, e)
+	}
+	if !atomicS.Equal(plain) {
+		t.Fatal("RecordAtomic diverged from Record")
+	}
+	b, c, cp := New(p), New(p), New(p)
+	c.Record(3, 4) // pre-existing state must survive the max-merge
+	rb, rc, rcp := b.Clone(), c.Clone(), cp.Clone()
+	atomicS.DrainAtomicInto(b, c, cp)
+	for _, d := range []*Sketch{rb, rc, rcp} {
+		if err := d.MergeMax(plain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Equal(rb) || !c.Equal(rc) || !cp.Equal(rcp) {
+		t.Fatal("DrainAtomicInto diverged from MergeMax")
+	}
+	if empty := New(p); !atomicS.Equal(empty) {
+		t.Fatal("DrainAtomicInto left registers behind")
+	}
+	// Drain with a nil destination (delta-less cumulative mode).
+	atomicS.RecordAtomic(1, 2)
+	atomicS.DrainAtomicInto(nil, c, cp)
+	if empty := New(p); !atomicS.Equal(empty) {
+		t.Fatal("nil-destination drain left registers behind")
+	}
+}
+
+// TestConcurrentRecordAtomicExact verifies the lock-free ingest invariant:
+// under concurrent recorders and drains, the union of everything drained
+// plus the residue equals the serial sketch of the same multiset — no
+// observe lost, none duplicated (max-idempotence makes duplication
+// invisible, loss is what the swap-based drain must prevent).
+func TestConcurrentRecordAtomicExact(t *testing.T) {
+	p := Params{W: 97, M: 32, Seed: 11}
+	shared := New(p)
+	serial := New(p)
+	const goroutines, per = 4, 20000
+	for g := 0; g < goroutines; g++ {
+		for k := 0; k < per; k++ {
+			v := xhash.Mix64(uint64(g*per + k))
+			serial.Record(v%701, v>>32)
+		}
+	}
+	drained := New(p)
+	stop := make(chan struct{})
+	drainerDone := make(chan struct{})
+	go func() {
+		defer close(drainerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				shared.DrainAtomicInto(nil, drained, nil)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				v := xhash.Mix64(uint64(g*per + k))
+				shared.RecordAtomic(v%701, v>>32)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-drainerDone
+	shared.DrainAtomicInto(nil, drained, nil)
+	if !drained.Equal(serial) {
+		t.Fatal("concurrent atomic ingest lost or corrupted observes")
+	}
+}
+
+// TestCompactEncodingRoundTrip covers both codecs across densities,
+// including the decode-into-existing-sketch reuse path.
+func TestCompactEncodingRoundTrip(t *testing.T) {
+	p := Params{W: 41, M: 32, Seed: 5}
+	scratch := New(p) // reused across decodes, exercising row reuse
+	for _, packets := range []int{0, 1, 40, 2000} {
+		s := New(p)
+		for k := 0; k < packets; k++ {
+			s.Record(uint64(k%9), uint64(k))
+		}
+		legacy, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		compact, err := s.MarshalBinaryCompact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := s.Clone()
+		mut.Record(77, 123456)
+		for name, enc := range map[string][]byte{"legacy": legacy, "compact": compact} {
+			if err := scratch.UnmarshalBinary(enc); err != nil {
+				t.Fatalf("%s packets=%d: %v", name, packets, err)
+			}
+			if !scratch.Equal(s) {
+				t.Fatalf("%s packets=%d: round-trip mismatch", name, packets)
+			}
+			// The decoded sketch must keep recording identically (derived
+			// state rebuilt).
+			scratch.Record(77, 123456)
+			if !scratch.Equal(mut) {
+				t.Fatalf("%s packets=%d: decoded sketch records differently", name, packets)
+			}
+		}
+		// A sparse epoch must be materially smaller in compact form.
+		if packets == 40 && len(compact) >= len(legacy)/2 {
+			t.Fatalf("compact %d bytes vs legacy %d: expected >2x reduction at this density", len(compact), len(legacy))
+		}
+	}
+}
+
+// TestUnmarshalRejectsCrossCodecTrailing pins clean errors for truncation
+// in the compact framing.
+func TestUnmarshalRejectsCompactTruncation(t *testing.T) {
+	s := New(Params{W: 8, M: 16, Seed: 2})
+	s.Record(1, 2)
+	enc, err := s.MarshalBinaryCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sk Sketch
+	for cut := 1; cut < len(enc); cut++ {
+		if err := sk.UnmarshalBinary(enc[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d/%d bytes", cut, len(enc))
+		}
+	}
+	if err := sk.UnmarshalBinary(append(bytes.Clone(enc), 0)); err == nil {
+		t.Fatal("accepted trailing byte")
+	}
+}

@@ -20,6 +20,7 @@ package rskt
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/hll"
 	"repro/internal/xhash"
@@ -33,6 +34,18 @@ const (
 	seedRegister = 0x9e0f // H1: element -> register index
 	seedPairBit  = 0x1d2b // g(f, i)
 	seedGeo      = 0x71aa // G(f, e)
+)
+
+// The xhash primitives all start by mixing their seed:
+// Hash64(x, s) = Mix64(x ^ Mix64(s)). The seed offsets above are package
+// constants, so the inner Mix64 of each hash function is precomputed here
+// and the record path pays one Mix64 per decision instead of two. The
+// results are bit-identical by construction (same expression, hoisted).
+var (
+	preColumn   = xhash.Mix64(seedColumn)
+	preRegister = xhash.Mix64(seedRegister)
+	prePairBit  = xhash.Mix64(seedPairBit)
+	preGeo      = xhash.Mix64(seedGeo)
 )
 
 // Params configures an rSkt2(HLL) sketch.
@@ -78,7 +91,24 @@ func WidthForMemory(memBits, m int) int {
 type Sketch struct {
 	params Params
 	// rows[u] holds W*M registers: column j occupies [j*M, (j+1)*M).
-	rows [2]hll.Regs
+	// words[u] is the same memory as aligned uint64 words, the unit of the
+	// lock-free ingest operations (RecordAtomic/DrainAtomicInto); rows and
+	// words must always be allocated together via hll.AlignedRegs.
+	rows  [2]hll.Regs
+	words [2][]uint64
+	// Derived per-packet constants, set by initDerived wherever params are
+	// assigned: the precomputed HashPair seed hash and the multiply-based
+	// column/register moduli.
+	preSeed    uint64
+	wDiv, mDiv xhash.Divisor
+}
+
+// initDerived recomputes the record-path constants from s.params. Every
+// assignment to s.params must be followed by a call to it.
+func (s *Sketch) initDerived() {
+	s.preSeed = xhash.Mix64(s.params.Seed)
+	s.wDiv = xhash.NewDivisor(s.params.W)
+	s.mDiv = xhash.NewDivisor(s.params.M)
 }
 
 // New creates a zeroed sketch. It panics only on programmer error
@@ -87,10 +117,12 @@ func New(p Params) *Sketch {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Sketch{
-		params: p,
-		rows:   [2]hll.Regs{hll.NewRegs(p.W * p.M), hll.NewRegs(p.W * p.M)},
+	s := &Sketch{params: p}
+	for u := range s.rows {
+		s.rows[u], s.words[u] = hll.AlignedRegs(p.W * p.M)
 	}
+	s.initDerived()
+	return s
 }
 
 // Params returns the sketch's configuration.
@@ -101,12 +133,92 @@ func (s *Sketch) Row(u int) hll.Regs { return s.rows[u] }
 
 // Record inserts packet <f, e> into the sketch.
 func (s *Sketch) Record(f, e uint64) {
-	p := &s.params
-	j := xhash.Index(f^p.Seed, seedColumn, p.W)
-	i := xhash.Index(e^p.Seed, seedRegister, p.M)
-	u := xhash.PairBit(f^p.Seed, i, seedPairBit)
-	v := xhash.Geometric(xhash.HashPair(f, e, p.Seed), seedGeo, hll.MaxRegisterValue)
-	s.rows[u].Observe(j*p.M+i, v)
+	s.RecordSlot(s.Slot(f, e))
+}
+
+// Slot is a fully resolved per-packet recording decision: which register
+// offset of which row receives which geometric value. It is valid for any
+// sketch sharing the parameters of the sketch that computed it.
+type Slot struct {
+	Idx int   // register offset within the row: column*M + register
+	Row uint8 // which of the two rows records the packet
+	Val uint8 // geometric register value, already clamped
+}
+
+// Slot computes the recording decision (j, i, u, v) for packet <f, e> once,
+// so callers holding several same-parameter sketches (the serial B/C/C'
+// update of the paper's three-sketch design) hash once and apply the slot
+// to each. Bit-identical to the decisions Record has always made: the
+// expressions below are xhash.Index/PairBit/Geometric/HashPair with the
+// seed mixes (preColumn.., preSeed) hoisted and % replaced by Divisor.Mod.
+func (s *Sketch) Slot(f, e uint64) Slot {
+	fs := f ^ s.params.Seed
+	j := s.wDiv.Mod(xhash.Mix64(fs ^ preColumn))
+	i := s.mDiv.Mod(xhash.Mix64((e ^ s.params.Seed) ^ preRegister))
+	u := xhash.Mix64(xhash.Mix64(fs^prePairBit)^i) & 1
+	v := geoValue(xhash.Mix64(xhash.Mix64(xhash.Mix64(f^s.preSeed)^e) ^ preGeo))
+	return Slot{Idx: int(j)*s.params.M + int(i), Row: uint8(u), Val: v}
+}
+
+// RecordSlot applies a previously computed slot to the sketch. The slot
+// must come from a sketch with identical parameters.
+func (s *Sketch) RecordSlot(sl Slot) {
+	row := s.rows[sl.Row]
+	if row[sl.Idx] < sl.Val {
+		row[sl.Idx] = sl.Val
+	}
+}
+
+// RecordAtomic inserts packet <f, e> with lock-free register access,
+// reporting whether a register actually rose. Safe for concurrent use with
+// other RecordAtomic, DrainAtomicInto and EstimateUnion calls on the same
+// sketch. Bit-identical to Record for any serialization of the concurrent
+// calls: the register max is commutative and idempotent, and the fast path
+// skips the write exactly when Record's Observe would have been a no-op.
+func (s *Sketch) RecordAtomic(f, e uint64) bool {
+	// The slot computation is spelled out instead of calling Slot: the
+	// packet path is the hottest code in the system and Slot is beyond the
+	// inliner's budget, so the extra frame would cost ~5% per packet. Must
+	// stay expression-for-expression identical to Slot (pinned by
+	// TestRecordAtomicMatchesRecord and TestSlotMatchesReference).
+	fs := f ^ s.params.Seed
+	j := s.wDiv.Mod(xhash.Mix64(fs ^ preColumn))
+	i := s.mDiv.Mod(xhash.Mix64((e ^ s.params.Seed) ^ preRegister))
+	u := xhash.Mix64(xhash.Mix64(fs^prePairBit)^i) & 1
+	v := geoValue(xhash.Mix64(xhash.Mix64(xhash.Mix64(f^s.preSeed)^e) ^ preGeo))
+	return hll.ObserveMaxAtomic(s.words[u], int(j)*s.params.M+int(i), v)
+}
+
+// DrainAtomicInto atomically moves every register of s into b, c and cp
+// (each may be nil) by register-wise max, leaving s zeroed. Equivalent to
+// MergeMax into each destination followed by Reset, but safe against
+// concurrent RecordAtomic calls: each word is swapped out exactly once, so
+// a racing observe lands either in this drain or in the freshly zeroed
+// delta — never lost, never duplicated. Destinations must share s's
+// parameters and be owned by the caller.
+func (s *Sketch) DrainAtomicInto(b, c, cp *Sketch) {
+	n := s.params.W * s.params.M
+	var dsts [3]hll.Regs
+	for u := 0; u < 2; u++ {
+		k := 0
+		for _, d := range [3]*Sketch{b, c, cp} {
+			if d != nil {
+				dsts[k] = d.rows[u]
+				k++
+			}
+		}
+		hll.DrainMaxWords(s.words[u], n, dsts[:k]...)
+	}
+}
+
+// geoValue finishes xhash.Geometric from the already-mixed hash: leading
+// zeros + 1, capped at the register maximum.
+func geoValue(h uint64) uint8 {
+	rho := uint8(bits.LeadingZeros64(h)) + 1
+	if rho > hll.MaxRegisterValue {
+		rho = hll.MaxRegisterValue
+	}
+	return rho
 }
 
 // estimatorScratchM is the largest M whose virtual-estimator buffers fit
@@ -130,8 +242,9 @@ func (s *Sketch) Estimate(f uint64) float64 {
 // concurrent callers.
 func (s *Sketch) EstimateUnion(f uint64, others []*Sketch) float64 {
 	p := &s.params
-	j := xhash.Index(f^p.Seed, seedColumn, p.W)
-	base := j * p.M
+	base := int(s.wDiv.Mod(xhash.Mix64((f^p.Seed)^preColumn))) * p.M
+	// g(f, i) for all i shares the flow half of the pair hash; mix it once.
+	hf := xhash.Mix64((f ^ p.Seed) ^ prePairBit)
 
 	var stack [2 * estimatorScratchM]uint8
 	var lf, lbar []uint8
@@ -142,13 +255,16 @@ func (s *Sketch) EstimateUnion(f uint64, others []*Sketch) float64 {
 		lf, lbar = buf[:p.M], buf[p.M:]
 	}
 	for i := 0; i < p.M; i++ {
-		u := xhash.PairBit(f^p.Seed, i, seedPairBit)
+		u := int(xhash.Mix64(hf^uint64(i)) & 1)
 		a, b := s.rows[u][base+i], s.rows[1-u][base+i]
+		// others are typically live ingest deltas with concurrent
+		// lock-free recorders; read their registers atomically (free on
+		// amd64 — an atomic load is a plain MOV).
 		for _, o := range others {
-			if v := o.rows[u][base+i]; v > a {
+			if v := hll.LoadRegAtomic(o.words[u], base+i); v > a {
 				a = v
 			}
-			if v := o.rows[1-u][base+i]; v > b {
+			if v := hll.LoadRegAtomic(o.words[1-u], base+i); v > b {
 				b = v
 			}
 		}
@@ -249,11 +365,7 @@ func (s *Sketch) CompressTo(wSmall int) (*Sketch, error) {
 		for col := 0; col < w; col++ {
 			dst := (col % wSmall) * m
 			src := col * m
-			for i := 0; i < m; i++ {
-				if v := s.rows[u][src+i]; v > out.rows[u][dst+i] {
-					out.rows[u][dst+i] = v
-				}
-			}
+			hll.MergeMaxBytes(out.rows[u][dst:dst+m], s.rows[u][src:src+m])
 		}
 	}
 	return out, nil

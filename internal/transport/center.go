@@ -52,6 +52,9 @@ type CenterConfig struct {
 	CheckpointEvery int
 	// Logf, if set, receives diagnostic messages (defaults to log.Printf).
 	Logf func(format string, args ...any)
+	// forceLegacyCodec pins every connection to CodecLegacy regardless of
+	// what points offer. Test hook standing in for a pre-codec binary.
+	forceLegacyCodec bool
 }
 
 // CenterServer is a running measurement center.
@@ -88,6 +91,9 @@ type pointConn struct {
 	point int
 	conn  net.Conn
 	enc   *gob.Encoder
+	// codec is the payload codec negotiated in this connection's
+	// handshake; pushes to the point are marshaled with it.
+	codec int
 	mu    sync.Mutex // serializes Push encoding
 }
 
@@ -303,8 +309,12 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 	if !ok || hello.Kind != s.cfg.Kind || hello.W != wantW {
 		return fmt.Errorf("hello mismatch from point %d: %+v", hello.Point, hello)
 	}
-	pc := &pointConn{point: hello.Point, conn: conn, enc: gob.NewEncoder(conn)}
+	pc := &pointConn{
+		point: hello.Point, conn: conn, enc: gob.NewEncoder(conn),
+		codec: negotiateCodec(hello.Codec, s.ownCodec()),
+	}
 	welcome := s.welcomeFor(hello.Point)
+	welcome.Codec = pc.codec
 	if err := pc.send(welcome); err != nil {
 		return fmt.Errorf("send welcome to point %d: %w", hello.Point, err)
 	}
@@ -374,6 +384,14 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 	}
 }
 
+// ownCodec is the highest payload codec this center advertises.
+func (s *CenterServer) ownCodec() int {
+	if s.cfg.forceLegacyCodec {
+		return CodecLegacy
+	}
+	return CodecPacked
+}
+
 // welcomeFor builds the handshake reply for one point from the center's
 // view of the epoch clock.
 func (s *CenterServer) welcomeFor(point int) Welcome {
@@ -425,14 +443,15 @@ func (s *CenterServer) ingest(up Upload) error {
 }
 
 // buildPush assembles one point's Push for the given epoch, stamping the
-// aggregate's window coverage.
-func (s *CenterServer) buildPush(point int, forEpoch int64) (Push, error) {
-	return s.eng.buildPush(point, forEpoch, s.cfg.Enhance)
+// aggregate's window coverage and marshaling payloads under the codec the
+// point's connection negotiated.
+func (s *CenterServer) buildPush(pc *pointConn, forEpoch int64) (Push, error) {
+	return s.eng.buildPush(pc.point, forEpoch, s.cfg.Enhance, pc.codec >= CodecPacked)
 }
 
 // pushTo sends one point its Push for forEpoch.
 func (s *CenterServer) pushTo(pc *pointConn, forEpoch int64) error {
-	push, err := s.buildPush(pc.point, forEpoch)
+	push, err := s.buildPush(pc, forEpoch)
 	if err != nil {
 		return err
 	}

@@ -152,7 +152,7 @@ func (s *CenterServer) recomputeReceived() []int64 {
 // then the regular staged push for K, so the point's next epoch boundary
 // proceeds as if it had never been away.
 func (s *CenterServer) backfillTo(pc *pointConn, K int64) error {
-	fill, err := s.buildPush(pc.point, K-1)
+	fill, err := s.buildPush(pc, K-1)
 	if err != nil {
 		return err
 	}

@@ -12,7 +12,8 @@ import (
 // Point-side durability: each epoch-boundary checkpoint is a durable
 // container (internal/durable) with three sections.
 //
-//	"state"   — the TQST1 snapshot (epoch + B/C/C' sketches, state.go)
+//	"state"   — the TQST2 snapshot (epoch + B/C/C' sketches, state.go;
+//	            restores from TQST1 checkpoints written by older binaries)
 //	"meta"    — the degradation accounting RestoreSnapshot cannot carry:
 //	            push-lineage flags, staged/current coverage, topology,
 //	            and the rebase marker (fixed-width little-endian)

@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"encoding"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/countmin"
@@ -30,6 +32,51 @@ const (
 	SketchVhll = "vhll"
 )
 
+// compactMarshaler is implemented by every sketch backend: the run-length
+// (CodecPacked) encoding next to the encoding.BinaryMarshaler fixed one.
+type compactMarshaler interface {
+	MarshalBinaryCompact() ([]byte, error)
+}
+
+// marshalSketch encodes one sketch blob under the negotiated codec. Every
+// backend implements compactMarshaler; the fallback keeps a hypothetical
+// future backend without a compact form on the wire rather than failing.
+func marshalSketch[S core.Sketch[S]](sk S, compact bool) ([]byte, error) {
+	if compact {
+		if cm, ok := any(sk).(compactMarshaler); ok {
+			return cm.MarshalBinaryCompact()
+		}
+	}
+	return sk.MarshalBinary()
+}
+
+// sketchPool recycles decoded sketch scratch on paths that never retain
+// the decoded value (merge-only applies at the point, the additive
+// receive at the size center). Decoding into a recycled sketch of the
+// same dimensions reuses its register arrays, so the per-epoch decode
+// path stops allocating once warm. Paths that alias the decoded sketch
+// (the spread center's window store) must not use a pool.
+type sketchPool[S core.Sketch[S]] struct {
+	pool sync.Pool
+	dec  func([]byte) (S, error)
+}
+
+// get decodes data into a recycled sketch, or a fresh one when the pool
+// is empty. Sketches handed out must come back via put after use.
+func (p *sketchPool[S]) get(data []byte) (S, error) {
+	if v := p.pool.Get(); v != nil {
+		sk := v.(S)
+		if err := any(sk).(encoding.BinaryUnmarshaler).UnmarshalBinary(data); err != nil {
+			var zero S
+			return zero, err
+		}
+		return sk, nil
+	}
+	return p.dec(data)
+}
+
+func (p *sketchPool[S]) put(sk S) { p.pool.Put(sk) }
+
 // pointEngine is the design-erased measurement point the PointClient
 // drives. Sketch payloads cross this boundary as their compact binary
 // encodings (the wire and checkpoint representation).
@@ -44,8 +91,9 @@ type pointEngine interface {
 	query(f uint64) float64
 	queryCov(f uint64) (float64, core.Coverage)
 	// endEpoch rolls the epoch and returns the finished epoch's number,
-	// marshaled upload and protocol metadata.
-	endEpoch(rebase bool) (int64, []byte, core.UploadMeta, error)
+	// marshaled upload and protocol metadata. compact selects the
+	// CodecPacked payload encoding negotiated for the connection.
+	endEpoch(rebase, compact bool) (int64, []byte, core.UploadMeta, error)
 	applyAggregate(forEpoch int64, data []byte, merged int) error
 	applyEnhancement(forEpoch int64, data []byte) error
 	applyBackfill(forEpoch int64, data []byte, merged int) error
@@ -77,6 +125,17 @@ type pointCodec[S core.Sketch[S]] struct {
 type enginePoint[S core.Sketch[S]] struct {
 	pt    *core.Point[S]
 	codec pointCodec[S]
+	// scratch recycles decode buffers across pushes: every apply below
+	// merges the decoded sketch and drops it, so the same scratch sketch
+	// can absorb push after push without allocating.
+	scratch sketchPool[S]
+}
+
+// newEnginePoint wires the scratch pool to the codec's decoder.
+func newEnginePoint[S core.Sketch[S]](pt *core.Point[S], codec pointCodec[S]) *enginePoint[S] {
+	e := &enginePoint[S]{pt: pt, codec: codec}
+	e.scratch.dec = codec.dec
+	return e
 }
 
 func (e *enginePoint[S]) setTopology(points, n int)          { e.pt.SetTopology(points, n) }
@@ -94,35 +153,41 @@ func (e *enginePoint[S]) meta() core.PointMeta         { return e.pt.Meta() }
 func (e *enginePoint[S]) restoreMeta(m core.PointMeta) { e.pt.RestoreMeta(m) }
 func (e *enginePoint[S]) cumulative() bool             { return e.pt.Mode() == core.ModeCumulative }
 
-func (e *enginePoint[S]) endEpoch(rebase bool) (int64, []byte, core.UploadMeta, error) {
+func (e *enginePoint[S]) endEpoch(rebase, compact bool) (int64, []byte, core.UploadMeta, error) {
 	epoch := e.pt.Epoch()
 	up, meta := e.pt.EndEpochMeta(rebase)
-	data, err := up.MarshalBinary()
+	data, err := marshalSketch(up, compact)
 	return epoch, data, meta, err
 }
 
 func (e *enginePoint[S]) applyAggregate(forEpoch int64, data []byte, merged int) error {
-	sk, err := e.codec.dec(data)
+	sk, err := e.scratch.get(data)
 	if err != nil {
 		return err
 	}
-	return e.pt.ApplyAggregateCovAt(forEpoch, sk, merged)
+	err = e.pt.ApplyAggregateCovAt(forEpoch, sk, merged)
+	e.scratch.put(sk)
+	return err
 }
 
 func (e *enginePoint[S]) applyEnhancement(forEpoch int64, data []byte) error {
-	sk, err := e.codec.dec(data)
+	sk, err := e.scratch.get(data)
 	if err != nil {
 		return err
 	}
-	return e.pt.ApplyEnhancementAt(forEpoch, sk)
+	err = e.pt.ApplyEnhancementAt(forEpoch, sk)
+	e.scratch.put(sk)
+	return err
 }
 
 func (e *enginePoint[S]) applyBackfill(forEpoch int64, data []byte, merged int) error {
-	sk, err := e.codec.dec(data)
+	sk, err := e.scratch.get(data)
 	if err != nil {
 		return err
 	}
-	return e.pt.ApplyBackfillCovAt(forEpoch, sk, merged)
+	err = e.pt.ApplyBackfillCovAt(forEpoch, sk, merged)
+	e.scratch.put(sk)
+	return err
 }
 
 // decodeRskt / decodeVhll / decodeCountMin are the blob decoders behind
@@ -161,9 +226,9 @@ func newPointEngine(cfg PointConfig) (pointEngine, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &enginePoint[*rskt.Sketch]{pt: pt.Point, codec: pointCodec[*rskt.Sketch]{
+			return newEnginePoint(pt.Point, pointCodec[*rskt.Sketch]{
 				dec: decodeRskt, stateKind: 's',
-			}}, nil
+			}), nil
 		case SketchVhll:
 			params := vhll.Params{PhysicalRegisters: cfg.W, VirtualRegisters: cfg.M, Seed: cfg.Seed}
 			if _, err := vhll.New(params); err != nil {
@@ -179,9 +244,9 @@ func newPointEngine(cfg PointConfig) (pointEngine, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &enginePoint[*vhll.Sketch]{pt: pt.Point, codec: pointCodec[*vhll.Sketch]{
+			return newEnginePoint(pt.Point, pointCodec[*vhll.Sketch]{
 				dec: decodeVhll, stateKind: 's',
-			}}, nil
+			}), nil
 		default:
 			return nil, fmt.Errorf("transport: unknown spread sketch %q", cfg.Sketch)
 		}
@@ -193,9 +258,9 @@ func newPointEngine(cfg PointConfig) (pointEngine, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &enginePoint[*countmin.Sketch]{pt: pt.Point, codec: pointCodec[*countmin.Sketch]{
+		return newEnginePoint(pt.Point, pointCodec[*countmin.Sketch]{
 			dec: decodeCountMin, stateKind: 'z', hasBByte: true,
-		}}, nil
+		}), nil
 	default:
 		return nil, fmt.Errorf("transport: unknown kind %q", cfg.Kind)
 	}
@@ -207,7 +272,9 @@ type centerEngine interface {
 	maxEpoch() int64
 	lastEpoch(point int) int64
 	receive(up Upload) error
-	buildPush(point int, forEpoch int64, enhance bool) (Push, error)
+	// buildPush assembles one point's Push; compact selects the
+	// CodecPacked payload encoding negotiated for that point's connection.
+	buildPush(point int, forEpoch int64, enhance, compact bool) (Push, error)
 	// reported tells whether the point's upload for the epoch counted
 	// toward its round (stored, or — in cumulative mode — consumed by the
 	// sequence position even when gap-dropped).
@@ -227,6 +294,12 @@ type engineCenter[S core.Sketch[S]] struct {
 	recv func(point int, epoch int64, sk S, meta core.UploadMeta) error
 	// cumulative mirrors pointEngine.cumulative.
 	cum bool
+	// scratch, when non-nil, recycles upload decode buffers. Only the
+	// additive size design may pool: its receive path clones the upload
+	// into a recovered delta and drops it, while the spread window store
+	// aliases the decoded sketch outright (core.Center.ReceiveMeta stores
+	// it without cloning), so pooling there would corrupt the window.
+	scratch *sketchPool[S]
 	// save/load move the window store into/out of the checkpoint's
 	// design-specific field.
 	save func(ck *centerCheckpoint) error
@@ -239,26 +312,36 @@ func (e *engineCenter[S]) exportState(ck *centerCheckpoint) error { return e.sav
 func (e *engineCenter[S]) importState(ck *centerCheckpoint) error { return e.load(ck) }
 
 func (e *engineCenter[S]) receive(up Upload) error {
-	sk, err := e.dec(up.Sketch)
+	var sk S
+	var err error
+	if e.scratch != nil {
+		sk, err = e.scratch.get(up.Sketch)
+	} else {
+		sk, err = e.dec(up.Sketch)
+	}
 	if err != nil {
 		return fmt.Errorf("point %d epoch %d: %w", up.Point, up.Epoch, err)
 	}
-	return e.recv(up.Point, up.Epoch, sk, core.UploadMeta{
+	err = e.recv(up.Point, up.Epoch, sk, core.UploadMeta{
 		Epoch:      up.Epoch,
 		AggApplied: up.AggApplied,
 		EnhApplied: up.EnhApplied,
 		Rebase:     up.Rebase,
 	})
+	if e.scratch != nil {
+		e.scratch.put(sk)
+	}
+	return err
 }
 
-func (e *engineCenter[S]) buildPush(point int, forEpoch int64, enhance bool) (Push, error) {
+func (e *engineCenter[S]) buildPush(point int, forEpoch int64, enhance, compact bool) (Push, error) {
 	push := Push{ForEpoch: forEpoch}
 	agg, err := e.ctr.AggregateFor(point, forEpoch)
 	if err != nil {
 		return push, err
 	}
 	if !core.IsNil(agg) {
-		if push.Aggregate, err = agg.MarshalBinary(); err != nil {
+		if push.Aggregate, err = marshalSketch(agg, compact); err != nil {
 			return push, err
 		}
 	}
@@ -268,7 +351,7 @@ func (e *engineCenter[S]) buildPush(point int, forEpoch int64, enhance bool) (Pu
 			return push, err
 		}
 		if !core.IsNil(enh) {
-			if push.Enhancement, err = enh.MarshalBinary(); err != nil {
+			if push.Enhancement, err = marshalSketch(enh, compact); err != nil {
 				return push, err
 			}
 		}
@@ -305,7 +388,10 @@ func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
 				dec:  decodeRskt,
 				recv: ctr.ReceiveMeta,
 				save: func(ck *centerCheckpoint) error {
-					st, err := ctr.ExportState(func(sk *rskt.Sketch) ([]byte, error) { return sk.MarshalBinary() })
+					// Compact blobs in the checkpoint: the import path
+					// dispatches on the sketch magic, so checkpoints written
+					// by older (fixed-encoding) binaries keep restoring.
+					st, err := ctr.ExportState(func(sk *rskt.Sketch) ([]byte, error) { return sk.MarshalBinaryCompact() })
 					if err != nil {
 						return err
 					}
@@ -332,7 +418,7 @@ func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
 				dec:  decodeVhll,
 				recv: ctr.ReceiveMeta,
 				save: func(ck *centerCheckpoint) error {
-					st, err := ctr.ExportState(func(sk *vhll.Sketch) ([]byte, error) { return sk.MarshalBinary() })
+					st, err := ctr.ExportState(func(sk *vhll.Sketch) ([]byte, error) { return sk.MarshalBinaryCompact() })
 					if err != nil {
 						return err
 					}
@@ -357,10 +443,11 @@ func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
 			return nil, err
 		}
 		return &engineCenter[*countmin.Sketch]{
-			ctr:  ctr.Center,
-			dec:  decodeCountMin,
-			recv: ctr.ReceiveMeta,
-			cum:  true,
+			ctr:     ctr.Center,
+			dec:     decodeCountMin,
+			recv:    ctr.ReceiveMeta,
+			cum:     true,
+			scratch: &sketchPool[*countmin.Sketch]{dec: decodeCountMin},
 			save: func(ck *centerCheckpoint) error {
 				st, err := ctr.ExportState()
 				if err != nil {

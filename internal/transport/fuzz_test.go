@@ -62,6 +62,32 @@ func fuzzSizeSketchBytes(t interface{ Fatal(args ...any) }) []byte {
 	return b
 }
 
+// The *Compact variants encode the same sketches under CodecPacked; the
+// packed wire goldens pin them.
+func fuzzSpreadSketchBytesCompact(t interface{ Fatal(args ...any) }) []byte {
+	sk := rskt.New(rskt.Params{W: 16, M: 4, Seed: 5})
+	for e := 0; e < 30; e++ {
+		sk.Record(7, uint64(e))
+	}
+	b, err := sk.MarshalBinaryCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func fuzzSizeSketchBytesCompact(t interface{ Fatal(args ...any) }) []byte {
+	sk := countmin.New(countmin.Params{D: 2, W: 16, Seed: 5})
+	for i := 0; i < 30; i++ {
+		sk.Record(7, 0)
+	}
+	b, err := sk.MarshalBinaryCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 // fuzzCenterSeeds are the committed protocol-shaped inputs for
 // FuzzCenterConn: well-formed handshakes and uploads plus their truncated
 // and corrupted variants.

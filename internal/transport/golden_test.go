@@ -34,13 +34,14 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden wire-format fi
 
 // goldenMessages fixes one representative value per wire message. The
 // sketch payloads are real encodings so the goldens also pin the sketch
-// binary formats that ride inside Upload and Push.
+// binary formats that ride inside Upload and Push — once per codec: the
+// *_packed variants carry CodecPacked payloads, the plain ones legacy.
 func goldenMessages(t *testing.T) map[string]any {
 	t.Helper()
 	return map[string]any{
-		"hello": Hello{Point: 3, Kind: KindSpread, W: 32, StateEpoch: 15},
+		"hello": Hello{Point: 3, Kind: KindSpread, W: 32, StateEpoch: 15, Codec: CodecPacked},
 		"welcome": Welcome{
-			WindowN: 5, Points: 4, ResumeEpoch: 17, PointEpoch: 15,
+			WindowN: 5, Points: 4, ResumeEpoch: 17, PointEpoch: 15, Codec: CodecPacked,
 		},
 		"upload": Upload{
 			Point: 3, Epoch: 16, Sketch: fuzzSizeSketchBytes(t),
@@ -48,6 +49,14 @@ func goldenMessages(t *testing.T) map[string]any {
 		},
 		"push": Push{
 			ForEpoch: 17, Aggregate: fuzzSpreadSketchBytes(t),
+			CovMerged: 9, CovExpected: 12, IntoCurrent: true,
+		},
+		"upload_packed": Upload{
+			Point: 3, Epoch: 16, Sketch: fuzzSizeSketchBytesCompact(t),
+			AggApplied: true, EnhApplied: false, Rebase: true,
+		},
+		"push_packed": Push{
+			ForEpoch: 17, Aggregate: fuzzSpreadSketchBytesCompact(t),
 			CovMerged: 9, CovExpected: 12, IntoCurrent: true,
 		},
 	}
@@ -127,5 +136,62 @@ func TestGoldenDecodable(t *testing.T) {
 		p.CovMerged != wp.CovMerged || p.CovExpected != wp.CovExpected ||
 		p.IntoCurrent != wp.IntoCurrent {
 		t.Errorf("push decoded to %+v", p)
+	}
+
+	// The packed goldens' payloads must decode as valid compact sketches.
+	var up Upload
+	if err := gob.NewDecoder(bytes.NewReader(read("upload_packed"))).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(up.Sketch, want["upload_packed"].(Upload).Sketch) {
+		t.Errorf("packed upload decoded to %+v", up)
+	}
+	if _, err := decodeCountMin(up.Sketch); err != nil {
+		t.Errorf("packed upload payload does not decode: %v", err)
+	}
+	var pp Push
+	if err := gob.NewDecoder(bytes.NewReader(read("push_packed"))).Decode(&pp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pp.Aggregate, want["push_packed"].(Push).Aggregate) {
+		t.Errorf("packed push decoded to %+v", pp)
+	}
+	if _, err := decodeRskt(pp.Aggregate); err != nil {
+		t.Errorf("packed push payload does not decode: %v", err)
+	}
+}
+
+// TestGoldenLegacyHandshakeDecodable proves a pre-codec peer's handshake
+// still reads correctly: the _v1 goldens were written by the message types
+// before the Codec field existed, and gob must leave the field zero —
+// CodecLegacy — when decoding them, which is exactly what keeps old peers
+// on the legacy payload encodings.
+func TestGoldenLegacyHandshakeDecodable(t *testing.T) {
+	read := func(name string) []byte {
+		b, err := os.ReadFile(filepath.Join("testdata", "golden", name+".bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var h Hello
+	if err := gob.NewDecoder(bytes.NewReader(read("hello_v1"))).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Codec != CodecLegacy {
+		t.Errorf("legacy hello decoded with codec %d", h.Codec)
+	}
+	if h.Point != 3 || h.Kind != KindSpread || h.W != 32 || h.StateEpoch != 15 {
+		t.Errorf("legacy hello decoded to %+v", h)
+	}
+	var w Welcome
+	if err := gob.NewDecoder(bytes.NewReader(read("welcome_v1"))).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Codec != CodecLegacy {
+		t.Errorf("legacy welcome decoded with codec %d", w.Codec)
+	}
+	if w.WindowN != 5 || w.Points != 4 || w.ResumeEpoch != 17 || w.PointEpoch != 15 {
+		t.Errorf("legacy welcome decoded to %+v", w)
 	}
 }

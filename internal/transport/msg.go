@@ -14,6 +14,36 @@
 // compatibility fails those tests loudly.
 package transport
 
+// Codec versions for the sketch payloads inside Upload and Push. The
+// version is negotiated per connection in the Hello/Welcome handshake:
+// each side advertises the highest codec it speaks and both adopt the
+// minimum. Gob leaves a missing field zero, so a peer built before the
+// field existed advertises CodecLegacy implicitly and the connection
+// stays on the fixed encodings it understands.
+const (
+	// CodecLegacy is the fixed binary sketch encoding (every register
+	// shipped, 5-bit packed for HLL rows).
+	CodecLegacy = 0
+	// CodecPacked is the compact encoding: run-length HLL register
+	// payloads and varint CountMin rows, typically several times smaller
+	// for the sparse per-epoch sketches the protocol actually ships.
+	CodecPacked = 1
+)
+
+// negotiateCodec picks the connection codec from a peer's advertisement
+// and our own ceiling: the minimum of the two, clamped at legacy for
+// peers advertising nonsense (negative values from a hostile stream).
+func negotiateCodec(peer, own int) int {
+	c := peer
+	if own < c {
+		c = own
+	}
+	if c < CodecLegacy {
+		c = CodecLegacy
+	}
+	return c
+}
+
 // Kind discriminates the two designs on the wire.
 type Kind string
 
@@ -39,6 +69,9 @@ type Hello struct {
 	// rebuilding the window it missed. Old centers ignore the field; old
 	// points leave it zero, which the center treats like a fresh point.
 	StateEpoch int64
+	// Codec is the highest sketch-payload codec the point speaks (see
+	// CodecLegacy/CodecPacked). Old points leave it zero = legacy.
+	Codec int
 }
 
 // Welcome is the center's reply to a Hello. It tells the point the
@@ -57,6 +90,10 @@ type Welcome struct {
 	// decide whether the center lost epochs and a rebase upload is needed
 	// (cumulative size design).
 	PointEpoch int64
+	// Codec is the sketch-payload codec the connection will use: the
+	// minimum of the point's Hello.Codec and the center's own ceiling.
+	// Old centers leave it zero, keeping the connection on legacy.
+	Codec int
 }
 
 // Upload carries one epoch's measurement from a point to the center. The

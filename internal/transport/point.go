@@ -52,6 +52,9 @@ type PointConfig struct {
 	// newest intact one on the next DialPoint, so a crashed point rejoins
 	// with its window instead of empty.
 	CheckpointDir string
+	// forceLegacyCodec pins the point to CodecLegacy regardless of what
+	// the center offers. Test hook standing in for a pre-codec binary.
+	forceLegacyCodec bool
 }
 
 // PointStats counts protocol events at a point.
@@ -112,6 +115,10 @@ type PointClient struct {
 	// matches this point's C lineage (restart, dropped uploads); the next
 	// EndEpoch sends a rebase upload to reseed it.
 	needRebase bool
+	// codec is the sketch-payload codec negotiated with the center in the
+	// last Hello↔Welcome handshake (atomic: EndEpoch reads it without the
+	// connection lock, a Redial may renegotiate concurrently).
+	codec atomic.Int32
 
 	// eng is the design-erased protocol engine (see engine.go): the
 	// generic core epoch engine behind the design's wire codec.
@@ -206,7 +213,10 @@ func (c *PointClient) connect() error {
 		return fmt.Errorf("transport: dial center: %w", err)
 	}
 	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(Hello{Point: c.cfg.Point, Kind: c.cfg.Kind, W: c.cfg.W, StateEpoch: c.Epoch()}); err != nil {
+	if err := enc.Encode(Hello{
+		Point: c.cfg.Point, Kind: c.cfg.Kind, W: c.cfg.W,
+		StateEpoch: c.Epoch(), Codec: c.ownCodec(),
+	}); err != nil {
 		conn.Close()
 		return fmt.Errorf("transport: send hello: %w", err)
 	}
@@ -238,7 +248,19 @@ func (c *PointClient) connect() error {
 // restart, and — for the cumulative size design — whether the recovery
 // chain at the center can still be extended by replaying the retransmit
 // buffer or needs a rebase upload.
+// ownCodec is the highest payload codec this point advertises.
+func (c *PointClient) ownCodec() int {
+	if c.cfg.forceLegacyCodec {
+		return CodecLegacy
+	}
+	return CodecPacked
+}
+
 func (c *PointClient) applyWelcome(w Welcome) {
+	// Adopt the center's codec choice, never exceeding our own ceiling (a
+	// hostile or buggy center must not push us onto a codec we did not
+	// offer). Old centers leave Welcome.Codec zero = legacy.
+	c.codec.Store(int32(negotiateCodec(w.Codec, c.ownCodec())))
 	advanced := false
 	c.eng.setTopology(w.Points, w.WindowN)
 	if w.ResumeEpoch > c.eng.epoch() {
@@ -409,7 +431,10 @@ func (c *PointClient) EndEpoch() error {
 		c.needRebase = false
 		c.mu.Unlock()
 	}
-	epoch, payload, meta, err := c.eng.endEpoch(rebase)
+	// A payload marshaled compact stays valid across a redial downgrade:
+	// decoders dispatch on the sketch magic, so buffered compact uploads
+	// retransmitted on a legacy-negotiated connection still decode.
+	epoch, payload, meta, err := c.eng.endEpoch(rebase, c.codec.Load() >= CodecPacked)
 	if err != nil {
 		return err
 	}

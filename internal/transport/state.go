@@ -10,11 +10,17 @@ import (
 
 // Point-state persistence: an agent can save its sketches and epoch before
 // shutting down and restore them on restart, so a restart does not lose
-// the current window. Format: magic "TQST1" + kind byte + epoch +
-// length-prefixed sketch blobs (B/C/C' for spread, [B]/C/C' for size with
-// a presence flag for B).
+// the current window. Format: magic + kind byte + epoch + length-prefixed
+// sketch blobs (B/C/C' for spread, [B]/C/C' for size with a presence flag
+// for B). Two versions share the framing: TQST1 carries fixed-encoding
+// sketch blobs, TQST2 compact ones. SaveState writes TQST2; LoadState
+// accepts both (the sketch decoders dispatch on each blob's own magic, so
+// the version byte documents provenance rather than switching a parser).
 
-var stateMagic = [5]byte{'T', 'Q', 'S', 'T', '1'}
+var (
+	stateMagicV1 = [5]byte{'T', 'Q', 'S', 'T', '1'}
+	stateMagic   = [5]byte{'T', 'Q', 'S', 'T', '2'}
+)
 
 // SaveState writes the point's current protocol state.
 func (c *PointClient) SaveState(w io.Writer) error {
@@ -63,7 +69,7 @@ func (e *enginePoint[S]) saveState(w io.Writer) error {
 		}
 	}
 	for _, sk := range sketches {
-		data, err := sk.MarshalBinary()
+		data, err := marshalSketch(sk, true)
 		if err != nil {
 			return err
 		}
@@ -79,8 +85,8 @@ func (e *enginePoint[S]) loadState(r io.Reader) error {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return fmt.Errorf("transport: read state magic: %w", err)
 	}
-	if magic != stateMagic {
-		return fmt.Errorf("transport: not a TQST1 state file")
+	if magic != stateMagic && magic != stateMagicV1 {
+		return fmt.Errorf("transport: not a TQST state file")
 	}
 	var kind [1]byte
 	if _, err := io.ReadFull(r, kind[:]); err != nil {

@@ -64,12 +64,30 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		good.Record(i%7, i)
 	}
 	seed, _ := good.MarshalBinary()
+	seedCompact, _ := good.MarshalBinaryCompact()
 	f.Add(seed)
+	f.Add(seedCompact)
 	f.Add([]byte{wireMagic})
+	f.Add([]byte{wireMagicCompact})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var s Sketch
 		if err := s.UnmarshalBinary(data); err != nil {
 			return
+		}
+		// Accepted inputs must re-encode, under the codec the input's magic
+		// selected, to the same canonical bytes.
+		var out []byte
+		var err error
+		if data[0] == wireMagicCompact {
+			out, err = s.MarshalBinaryCompact()
+		} else {
+			out, err = s.MarshalBinary()
+		}
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if string(out) != string(data) {
+			t.Fatalf("accepted non-canonical encoding:\n in: %x\nout: %x", data, out)
 		}
 		// A decoded sketch must be usable.
 		s.Record(1, 2)

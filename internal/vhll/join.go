@@ -1,6 +1,10 @@
 package vhll
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/hll"
+)
 
 // The methods below make vHLL usable as the epoch sketch of the paper's
 // three-sketch design (core.SpreadSketch): the shared register array plays
@@ -62,10 +66,8 @@ func (s *Sketch) CompressTo(mSmall int) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < m; i++ {
-		if v := s.regs[i]; v > out.regs[i%mSmall] {
-			out.regs[i%mSmall] = v
-		}
+	for base := 0; base < m; base += mSmall {
+		hll.MergeMaxBytes(out.regs, s.regs[base:base+mSmall])
 	}
 	return out, nil
 }

@@ -16,6 +16,7 @@ package vhll
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/hll"
 	"repro/internal/xhash"
@@ -26,6 +27,14 @@ const (
 	seedVirtual  = 0x77aa
 	seedRegister = 0x3c19
 	seedGeo      = 0x9d05
+)
+
+// Precomputed inner seed mixes: Hash64(x, s) = Mix64(x ^ Mix64(s)) and the
+// offsets above are constants, so the record path hoists Mix64(seed) here
+// (bit-identical, one Mix64 per decision instead of two).
+var (
+	preVirtual = xhash.Mix64(seedVirtual)
+	preGeo     = xhash.Mix64(seedGeo)
 )
 
 // DefaultVirtualRegisters is the per-flow virtual estimator size used by
@@ -70,6 +79,20 @@ func PhysicalForMemory(memBits int) int {
 type Sketch struct {
 	params Params
 	regs   hll.Regs
+	// Derived per-packet constants, set by initDerived wherever params are
+	// assigned: precomputed seed mixes and multiply-based moduli.
+	preSeed    uint64 // Mix64(Seed), the G(f, e) inner hash
+	preRegSeed uint64 // Mix64(Seed ^ seedRegister), the register-scatter hash
+	vDiv, pDiv xhash.Divisor
+}
+
+// initDerived recomputes the record-path constants from s.params. Every
+// assignment to s.params must be followed by a call to it.
+func (s *Sketch) initDerived() {
+	s.preSeed = xhash.Mix64(s.params.Seed)
+	s.preRegSeed = xhash.Mix64(s.params.Seed ^ seedRegister)
+	s.vDiv = xhash.NewDivisor(s.params.VirtualRegisters)
+	s.pDiv = xhash.NewDivisor(s.params.PhysicalRegisters)
 }
 
 // New creates a zeroed sketch.
@@ -77,10 +100,12 @@ func New(p Params) (*Sketch, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Sketch{
+	s := &Sketch{
 		params: p,
 		regs:   hll.NewRegs(p.PhysicalRegisters),
-	}, nil
+	}
+	s.initDerived()
+	return s, nil
 }
 
 // Params returns the configuration.
@@ -88,10 +113,45 @@ func (s *Sketch) Params() Params { return s.params }
 
 // Record inserts packet <f, e>.
 func (s *Sketch) Record(f, e uint64) {
+	s.RecordSlot(s.Slot(f, e))
+}
+
+// Slot is a fully resolved per-packet recording decision: which shared
+// register receives which geometric value. It is valid for any sketch
+// sharing the parameters of the sketch that computed it.
+type Slot struct {
+	Reg int   // index into the shared physical register array
+	Val uint8 // geometric register value, already clamped
+}
+
+// Slot computes the recording decision for packet <f, e> once, so callers
+// holding several same-parameter sketches hash once and apply the slot to
+// each. Bit-identical to the decisions Record has always made (the xhash
+// calls with seed mixes hoisted and % replaced by Divisor.Mod).
+func (s *Sketch) Slot(f, e uint64) Slot {
 	p := &s.params
-	i := xhash.Index(e^p.Seed, seedVirtual, p.VirtualRegisters)
-	reg := xhash.HashPair(f, uint64(i), p.Seed^seedRegister) % uint64(p.PhysicalRegisters)
-	s.regs.Observe(int(reg), xhash.Geometric(xhash.HashPair(f, e, p.Seed), seedGeo, hll.MaxRegisterValue))
+	i := s.vDiv.Mod(xhash.Mix64((e ^ p.Seed) ^ preVirtual))
+	reg := s.pDiv.Mod(xhash.Mix64(xhash.Mix64(f^s.preRegSeed) ^ i))
+	v := geoValue(xhash.Mix64(xhash.Mix64(xhash.Mix64(f^s.preSeed)^e) ^ preGeo))
+	return Slot{Reg: int(reg), Val: v}
+}
+
+// RecordSlot applies a previously computed slot to the sketch. The slot
+// must come from a sketch with identical parameters.
+func (s *Sketch) RecordSlot(sl Slot) {
+	if s.regs[sl.Reg] < sl.Val {
+		s.regs[sl.Reg] = sl.Val
+	}
+}
+
+// geoValue finishes xhash.Geometric from the already-mixed hash: leading
+// zeros + 1, capped at the register maximum.
+func geoValue(h uint64) uint8 {
+	rho := uint8(bits.LeadingZeros64(h)) + 1
+	if rho > hll.MaxRegisterValue {
+		rho = hll.MaxRegisterValue
+	}
+	return rho
 }
 
 // estimatorScratchS is the largest virtual-estimator size whose query
@@ -121,8 +181,11 @@ func (s *Sketch) EstimateUnion(f uint64, others []*Sketch) float64 {
 	} else {
 		virt = make([]uint8, p.VirtualRegisters)
 	}
+	// The register-scatter hash shares its flow half across all i; mix it
+	// once outside the loop.
+	hf := xhash.Mix64(f ^ s.preRegSeed)
 	for i := 0; i < p.VirtualRegisters; i++ {
-		reg := xhash.HashPair(f, uint64(i), p.Seed^seedRegister) % uint64(p.PhysicalRegisters)
+		reg := s.pDiv.Mod(xhash.Mix64(hf ^ uint64(i)))
 		v := s.regs[reg]
 		for _, o := range others {
 			if w := o.regs[reg]; w > v {

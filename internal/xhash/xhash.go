@@ -65,3 +65,53 @@ func PairBit(f uint64, i int, seed uint64) int {
 func Float01(x, seed uint64) float64 {
 	return float64(Hash64(x, seed)>>11) / float64(1<<53)
 }
+
+// Divisor is a precomputed modulus: Mod(x) == x % N() for every 64-bit x,
+// with the hardware divide replaced by two multiplications (round-down
+// magic with one correction step, after Granlund–Montgomery / Lemire).
+// Sketch record paths reduce one uniform hash per packet per row modulo a
+// fixed width; precomputing the divisor takes the divide off that path
+// while staying bit-identical to %.
+type Divisor struct {
+	n    uint64
+	m    uint64 // floor(2^64 / n); unused when n is a power of two
+	mask uint64 // n - 1 when n is a power of two
+	pow2 bool
+}
+
+// NewDivisor precomputes the reduction constants for divisor n > 0.
+func NewDivisor(n int) Divisor {
+	if n <= 0 {
+		panic("xhash: divisor must be positive")
+	}
+	u := uint64(n)
+	if u&(u-1) == 0 {
+		return Divisor{n: u, mask: u - 1, pow2: true}
+	}
+	// floor(2^64 / u) by 128-bit division: 2^64 is (hi=1, lo=0). u >= 3
+	// here, so the quotient fits in 64 bits.
+	m, _ := bits.Div64(1, 0, u)
+	return Divisor{n: u, m: m}
+}
+
+// N returns the divisor.
+func (d Divisor) N() int { return int(d.n) }
+
+// Mod returns x % N(), bit-identical to the hardware remainder.
+//
+// Correctness of the multiply path: let m = floor(2^64/n) and
+// q = floor(x*m / 2^64). From m <= 2^64/n follows q <= x/n; from
+// m > 2^64/n - 1 follows x*m/2^64 > x/n - x/2^64 > x/n - 1, so
+// q >= floor(x/n) - 1. Hence x - q*n is the true remainder or the true
+// remainder plus n, and one conditional subtraction fixes it.
+func (d Divisor) Mod(x uint64) uint64 {
+	if d.pow2 {
+		return x & d.mask
+	}
+	q, _ := bits.Mul64(x, d.m)
+	r := x - q*d.n
+	if r >= d.n {
+		r -= d.n
+	}
+	return r
+}

@@ -122,3 +122,50 @@ func TestFloat01Mean(t *testing.T) {
 		t.Fatalf("Float01 mean %.4f, want ~0.5", mean)
 	}
 }
+
+// TestDivisorMatchesRemainder pins Divisor.Mod to the hardware remainder
+// across sketch-realistic and adversarial divisors, including the widths
+// the benchmarks use (1638, 13107, 16384, 128).
+func TestDivisorMatchesRemainder(t *testing.T) {
+	divisors := []int{1, 2, 3, 5, 7, 64, 127, 128, 129, 1000, 1638, 4096, 13107, 16384, 1 << 20, 1<<31 - 1, 1 << 31}
+	for _, n := range divisors {
+		d := NewDivisor(n)
+		if d.N() != n {
+			t.Fatalf("N() = %d, want %d", d.N(), n)
+		}
+		check := func(x uint64) {
+			if got, want := d.Mod(x), x%uint64(n); got != want {
+				t.Fatalf("Divisor(%d).Mod(%#x) = %d, want %d", n, x, got, want)
+			}
+		}
+		// Boundary values around multiples of n, plus extremes.
+		for k := uint64(0); k < 4; k++ {
+			base := k * uint64(n)
+			for _, delta := range []uint64{0, 1, uint64(n) - 1} {
+				check(base + delta)
+			}
+		}
+		check(0)
+		check(^uint64(0))
+		check(^uint64(0) - uint64(n))
+		// Mixed pseudo-random coverage via the package's own mixer.
+		x := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < 5000; i++ {
+			x = Mix64(x + uint64(i))
+			check(x)
+		}
+	}
+}
+
+func TestDivisorRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDivisor(%d) did not panic", n)
+				}
+			}()
+			NewDivisor(n)
+		}()
+	}
+}
