@@ -9,7 +9,7 @@ GO ?= go
 # internal/*/testdata/fuzz seeds each run with protocol-shaped inputs.
 FUZZTIME ?= 30s
 
-.PHONY: check build lint vet test test-race race crash-test fuzz-short bench-smoke bench bench-short bench-diff
+.PHONY: check build lint vet test test-race race crash-test fuzz-short bench-smoke bench bench-short bench-diff bench-scaling
 
 check: build lint race crash-test fuzz-short bench-smoke bench-short
 
@@ -86,6 +86,18 @@ bench-short:
 		-bench '^Benchmark(Table2Record|ThroughputParallel|Table1Query(Two|Three)SketchLocal|Upload(Spread|Size)|EpochBoundary)' \
 		-benchtime=1000x . | tee bench_short.txt
 	$(GO) run ./cmd/benchjson -o bench_short.json < bench_short.txt
+
+# Parallel-ingest scaling gate: runs the per-core pipeline benchmarks at
+# 1/2/4/8 workers and fails unless the 4-or-more-worker aggregate rate
+# reaches SCALING_MIN x the single-worker rate. The gated agg-packets/s
+# metric is CPU-projected from per-worker thread CPU time, so the gate is
+# meaningful even on a core-limited box (Linux only; elsewhere the metric
+# is absent and the gate errors rather than passing vacuously).
+SCALING_MIN ?= 2.0
+bench-scaling:
+	$(GO) test -run '^$$' -bench 'ThroughputParallelPipeline' -benchtime=200000x . | tee bench_scaling.txt
+	$(GO) run ./cmd/benchjson -o bench_scaling.json < bench_scaling.txt
+	$(GO) run ./cmd/benchjson -scaling-gate $(SCALING_MIN) bench_scaling.json
 
 # benchcmp-style ns/op comparison of two benchjson documents, e.g.
 # `make bench-short && make bench-diff OLD=BENCH_PR5.json NEW=bench_short.json`.

@@ -9,11 +9,18 @@
 //
 //	go test -bench . | benchjson -o bench.json [-baseline old_bench.txt] [-note "..."]
 //	benchjson -diff old.json new.json
+//	benchjson -scaling-gate 2.0 bench.json
 //
 // With -baseline, the old run's parsed benchmarks are embedded under
 // "baseline" and a "speedup_ns_per_op" map records baseline/current ns/op
 // for every benchmark present in both — the evidence a perf PR commits
-// alongside its claims.
+// alongside its claims. A benchmark both runs name whose ns/op is missing
+// on either side is an error, not a silent omission.
+//
+// With -scaling-gate, the document's .../workers=N benchmark families are
+// checked for parallel-ingest scaling: the 4-or-more-worker aggregate rate
+// must reach the given multiple of the single-worker rate (`make
+// bench-scaling`).
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -51,20 +60,27 @@ func main() {
 		baseline = flag.String("baseline", "", "bench text of the comparison run to embed as baseline")
 		note     = flag.String("note", "", "free-form provenance note stored in the document")
 		diff     = flag.Bool("diff", false, "compare two JSON documents: benchjson -diff old.json new.json")
+		gate     = flag.Float64("scaling-gate", 0, "gate mode: benchjson -scaling-gate MIN doc.json fails unless every */workers=N family's aggregate rate reaches MIN x its single-worker rate at 4+ workers")
 	)
 	flag.Parse()
-	if err := run(*out, *baseline, *note, *diff, flag.Args()); err != nil {
+	if err := run(*out, *baseline, *note, *diff, *gate, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, baseline, note string, diff bool, args []string) error {
+func run(out, baseline, note string, diff bool, gate float64, args []string) error {
 	if diff {
 		if len(args) != 2 {
 			return fmt.Errorf("-diff needs exactly two JSON files, got %d", len(args))
 		}
 		return printDiff(os.Stdout, args[0], args[1])
+	}
+	if gate > 0 {
+		if len(args) != 1 {
+			return fmt.Errorf("-scaling-gate needs exactly one JSON file, got %d", len(args))
+		}
+		return checkScalingGate(os.Stdout, args[0], gate)
 	}
 	doc, err := parseBench(os.Stdin)
 	if err != nil {
@@ -82,7 +98,10 @@ func run(out, baseline, note string, diff bool, args []string) error {
 			return fmt.Errorf("%s: %w", baseline, perr)
 		}
 		doc.Baseline = base.Benchmarks
-		doc.Speedup = speedups(base.Benchmarks, doc.Benchmarks)
+		doc.Speedup, err = speedups(base.Benchmarks, doc.Benchmarks)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", baseline, err)
+		}
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -152,47 +171,138 @@ func parseBench(r io.Reader) (*Doc, error) {
 
 // speedups maps benchmark name to baseline ns/op divided by current
 // ns/op, for names present in both runs (>1 means the current run is
-// faster).
-func speedups(base, cur []Benchmark) map[string]float64 {
-	old := map[string]float64{}
+// faster). A benchmark the runs share whose ns/op is missing or
+// non-positive on either side is an error, not a silently dropped (or
+// zero/NaN) row: a perf PR's committed evidence must not look complete
+// while a comparison is actually absent. Benchmarks present in only one
+// run are fine — they are new or retired, not broken.
+func speedups(base, cur []Benchmark) (map[string]float64, error) {
+	old := map[string]Benchmark{}
 	for _, b := range base {
-		if v, ok := b.Metrics["ns/op"]; ok && v > 0 {
-			old[b.Name] = v
-		}
+		old[b.Name] = b
 	}
 	out := map[string]float64{}
+	shared := 0
 	for _, b := range cur {
-		if v, ok := b.Metrics["ns/op"]; ok && v > 0 {
-			if o, ok := old[b.Name]; ok {
-				out[b.Name] = o / v
+		ob, ok := old[b.Name]
+		if !ok {
+			continue
+		}
+		shared++
+		ov, nv := ob.Metrics["ns/op"], b.Metrics["ns/op"]
+		if ov <= 0 {
+			return nil, fmt.Errorf("benchmark %s: ns/op missing or non-positive in the baseline run", b.Name)
+		}
+		if nv <= 0 {
+			return nil, fmt.Errorf("benchmark %s: ns/op missing or non-positive in the current run", b.Name)
+		}
+		out[b.Name] = ov / nv
+	}
+	if shared == 0 {
+		return nil, fmt.Errorf("no benchmark names shared with the current run")
+	}
+	return out, nil
+}
+
+// scalingFamily matches the scaling sub-benchmark naming convention,
+// Benchmark.../workers=N with go test's optional -GOMAXPROCS suffix.
+var scalingFamily = regexp.MustCompile(`^(.+)/workers=(\d+)(?:-\d+)?$`)
+
+// scalingMetric is the metric the gate reads: the aggregate ingest rate
+// the pipeline benchmarks report (CPU-projected, so it is meaningful on a
+// core-limited box where per-op wall time cannot show parallel speedup).
+const scalingMetric = "agg-packets/s"
+
+// checkScalingGate loads a benchjson document and fails unless, for every
+// benchmark family named .../workers=N, the aggregate rate at the largest
+// measured worker count of at least 4 reaches `minSpeedup` times the
+// workers=1 rate. This is the scaling regression gate behind `make
+// bench-scaling`: a reintroduced shared hot word on the record path drags
+// the 4-worker aggregate back toward 1x and trips it.
+func checkScalingGate(w io.Writer, path string, minSpeedup float64) error {
+	doc, err := loadDoc(path)
+	if err != nil {
+		return err
+	}
+	rates := map[string]map[int]float64{}
+	for _, b := range doc.Benchmarks {
+		m := scalingFamily.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		workers, err := strconv.Atoi(m[2])
+		if err != nil || workers < 1 {
+			continue
+		}
+		v, ok := b.Metrics[scalingMetric]
+		if !ok || v <= 0 {
+			return fmt.Errorf("%s: metric %q missing or non-positive", b.Name, scalingMetric)
+		}
+		if rates[m[1]] == nil {
+			rates[m[1]] = map[int]float64{}
+		}
+		rates[m[1]][workers] = v
+	}
+	if len(rates) == 0 {
+		return fmt.Errorf("%s: no */workers=N scaling benchmarks found", path)
+	}
+	names := make([]string, 0, len(rates))
+	for name := range rates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		byW := rates[name]
+		base, ok := byW[1]
+		if !ok {
+			return fmt.Errorf("%s: no workers=1 baseline row", name)
+		}
+		top := 0
+		for workers := range byW {
+			if workers >= 4 && workers > top {
+				top = workers
 			}
 		}
+		if top == 0 {
+			return fmt.Errorf("%s: no workers>=4 row to gate on", name)
+		}
+		speedup := byW[top] / base
+		status := "ok"
+		if speedup < minSpeedup {
+			status = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.2fx at %d workers (< %.2fx)", name, speedup, top, minSpeedup))
+		}
+		fmt.Fprintf(w, "%-56s %2d workers %6.2fx (min %.2fx) %s\n", name, top, speedup, minSpeedup, status)
 	}
-	if len(out) == 0 {
-		return nil
+	if len(failures) > 0 {
+		return fmt.Errorf("scaling gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
-	return out
+	return nil
+}
+
+// loadDoc reads one benchjson JSON document.
+func loadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
 }
 
 // printDiff prints a benchcmp-style table of every benchmark the two
 // documents share, in the new document's order.
 func printDiff(w io.Writer, oldPath, newPath string) error {
-	load := func(path string) (*Doc, error) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		var d Doc
-		if err := json.Unmarshal(data, &d); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return &d, nil
-	}
-	od, err := load(oldPath)
+	od, err := loadDoc(oldPath)
 	if err != nil {
 		return err
 	}
-	nd, err := load(newPath)
+	nd, err := loadDoc(newPath)
 	if err != nil {
 		return err
 	}

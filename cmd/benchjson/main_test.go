@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,9 +57,98 @@ func TestSpeedups(t *testing.T) {
 		{Name: "BenchmarkRecord", Metrics: map[string]float64{"ns/op": 20}},
 		{Name: "BenchmarkNewOnly", Metrics: map[string]float64{"ns/op": 5}},
 	}
-	sp := speedups(base, cur)
+	sp, err := speedups(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sp) != 1 || sp["BenchmarkRecord"] != 1.5 {
 		t.Errorf("speedups = %v, want only BenchmarkRecord: 1.5", sp)
+	}
+}
+
+// A benchmark both runs know, whose ns/op is absent from the baseline,
+// must be a loud error — not a silently missing speedup row.
+func TestSpeedupsMissingBaselineMetric(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkRecord", Metrics: map[string]float64{"upload-B/epoch": 100}},
+	}
+	cur := []Benchmark{
+		{Name: "BenchmarkRecord", Metrics: map[string]float64{"ns/op": 20}},
+	}
+	if _, err := speedups(base, cur); err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("missing baseline ns/op must error, got %v", err)
+	}
+	// And the symmetric case: current run missing the metric.
+	if _, err := speedups(cur, base); err == nil || !strings.Contains(err.Error(), "current") {
+		t.Fatalf("missing current ns/op must error, got %v", err)
+	}
+	// Zero overlap is an error too: an empty speedup map would read as a
+	// comparison that never happened.
+	if _, err := speedups(base, []Benchmark{{Name: "BenchmarkOther", Metrics: map[string]float64{"ns/op": 1}}}); err == nil {
+		t.Fatal("disjoint runs must error")
+	}
+}
+
+func writeDocFile(t *testing.T, name string, doc Doc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func scalingDoc(agg1, agg4 float64) Doc {
+	return Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkThroughputParallelPipeline/workers=1", Metrics: map[string]float64{"ns/op": 10, "agg-packets/s": agg1}},
+		{Name: "BenchmarkThroughputParallelPipeline/workers=2-8", Metrics: map[string]float64{"ns/op": 10, "agg-packets/s": agg1 * 1.8}},
+		{Name: "BenchmarkThroughputParallelPipeline/workers=4", Metrics: map[string]float64{"ns/op": 10, "agg-packets/s": agg4}},
+		{Name: "BenchmarkUnrelated", Metrics: map[string]float64{"ns/op": 3}},
+	}}
+}
+
+func TestScalingGate(t *testing.T) {
+	var buf bytes.Buffer
+	good := writeDocFile(t, "good.json", scalingDoc(1e6, 3.1e6))
+	if err := checkScalingGate(&buf, good, 2.0); err != nil {
+		t.Fatalf("3.1x at 4 workers must pass a 2.0x gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "3.10x") {
+		t.Errorf("gate table missing speedup:\n%s", buf.String())
+	}
+
+	bad := writeDocFile(t, "bad.json", scalingDoc(1e6, 1.2e6))
+	if err := checkScalingGate(io.Discard, bad, 2.0); err == nil || !strings.Contains(err.Error(), "scaling gate failed") {
+		t.Fatalf("1.2x at 4 workers must fail a 2.0x gate, got %v", err)
+	}
+
+	// A family without the aggregate-rate metric cannot be gated silently.
+	noMetric := writeDocFile(t, "nometric.json", Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkX/workers=1", Metrics: map[string]float64{"ns/op": 10}},
+	}})
+	if err := checkScalingGate(io.Discard, noMetric, 2.0); err == nil || !strings.Contains(err.Error(), "agg-packets/s") {
+		t.Fatalf("missing gate metric must error, got %v", err)
+	}
+
+	// No scaling families at all: the gate must not vacuously pass.
+	none := writeDocFile(t, "none.json", Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkUnrelated", Metrics: map[string]float64{"ns/op": 3}},
+	}})
+	if err := checkScalingGate(io.Discard, none, 2.0); err == nil {
+		t.Fatal("document without workers=N families must error")
+	}
+
+	// Families measured only at low worker counts cannot satisfy the gate.
+	low := writeDocFile(t, "low.json", Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkX/workers=1", Metrics: map[string]float64{"agg-packets/s": 1e6}},
+		{Name: "BenchmarkX/workers=2", Metrics: map[string]float64{"agg-packets/s": 2e6}},
+	}})
+	if err := checkScalingGate(io.Discard, low, 2.0); err == nil {
+		t.Fatal("family without a workers>=4 row must error")
 	}
 }
 
@@ -77,7 +168,7 @@ func TestDiffEndToEnd(t *testing.T) {
 		stdin := os.Stdin
 		os.Stdin = r
 		defer func() { os.Stdin = stdin }()
-		if err := run(out, "", "", false, nil); err != nil {
+		if err := run(out, "", "", false, 0, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		flows   = fs.Int("flows", 0, "override trace flow count")
 		scale   = fs.Int("scale", 0, "override memory scale divisor (paper Mb / scale)")
 		seed    = fs.Int64("seed", 0, "override trace seed")
+		workers = fs.Int("workers", 0, "override the throughput experiment's max pipeline worker count (curve runs 1,2,4,... up to this)")
 		out     = fs.String("out", "", "also append reports to this file")
 		csvDir  = fs.String("csv", "", "also write figure series as CSV files into this directory")
 	)
@@ -70,6 +71,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *seed != 0 {
 		cfg.Trace.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 	cfg.CSVDir = *csvDir
 

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -58,6 +59,7 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
 		epoch     = fs.Duration("epoch", 6*time.Second, "epoch length (synthetic traffic mode)")
 		pps       = fs.Int("pps", 20_000, "synthetic traffic rate, packets/s")
+		ingestW   = fs.Int("ingest-workers", 1, "parallel ingest pipelines (synthetic traffic mode): one run-to-completion generator goroutine each, sharing -pps")
 		flows     = fs.Int("flows", 5_000, "synthetic traffic distinct flows")
 		traceFile = fs.String("trace", "", "replay this trace file instead of synthetic traffic")
 		queries   = fs.Int("queries", 3, "sample networkwide queries printed per epoch")
@@ -195,6 +197,55 @@ func run(args []string) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(*epoch)
 	defer ticker.Stop()
+
+	if *ingestW > 1 {
+		// Parallel data plane: each worker owns a private run-to-completion
+		// ingest pipe (no shared mutable state on the record path) and its
+		// own traffic source; the main goroutine keeps the epoch clock and
+		// reporting. Packets a pipe still buffers at a boundary land in the
+		// next epoch, like packets queued in the NIC.
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < *ingestW; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				pipe := pc.NewIngestPipe()
+				defer pipe.Close()
+				rng := rand.New(rand.NewSource(int64(*point)*1009 + int64(i) + 1))
+				zipf := rand.NewZipf(rng, 1.2, 1, uint64(*flows-1))
+				perTick := time.Duration(*ingestW) * time.Second / time.Duration(max(*pps, 1))
+				src := time.NewTicker(max(perTick, time.Microsecond))
+				defer src.Stop()
+				for {
+					select {
+					case <-src.C:
+						pipe.Record(zipf.Uint64(), rng.Uint64()%1024)
+					case <-done:
+						return
+					}
+				}
+			}(i)
+		}
+		fmt.Printf("tqpoint %d: %d ingest pipelines\n", *point, *ingestW)
+		for {
+			select {
+			case <-ticker.C:
+				if err := endEpoch(); err != nil {
+					close(done)
+					wg.Wait()
+					return err
+				}
+				report()
+			case <-stop:
+				close(done)
+				wg.Wait()
+				fmt.Printf("tqpoint %d: shutting down\n", *point)
+				return nil
+			}
+		}
+	}
+
 	perTick := time.Second / time.Duration(max(*pps, 1))
 	traffic := time.NewTicker(max(perTick, time.Microsecond))
 	defer traffic.Stop()

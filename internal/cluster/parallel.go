@@ -18,29 +18,53 @@ func errUnknownPoint(x int) error {
 }
 
 // DefaultReplayBatch is the pending-packet threshold at which RunParallel
-// flushes accumulated batches into the points' sharded ingest paths.
+// flushes accumulated batches into the points' ingest pipelines.
 const DefaultReplayBatch = 4096
 
-// replayChunk bounds how many packets one RecordBatch call carries, so a
-// flush of a large batch spreads across shards instead of pinning one
-// shard's lock for the whole batch.
-const replayChunk = 1024
-
 // RunParallel replays a packet stream like Run, but records each point's
-// packets through the sharded RecordBatch ingest path, with the points of a
-// flush running concurrently. Epoch choreography, truth tracking and the
-// baselines stay sequential (they model the center and the ground truth,
-// not the data plane), so the simulation's answers are identical to Run's:
-// batches always flush before an epoch boundary is crossed, and the shard
-// fold is exact under the merge algebra. The size design's sketch ignores
-// the packet's element, so one replay loop serves both designs.
+// packets through per-core run-to-completion pipelines (core.Recorder):
+// each worker owns a private delta sketch and touches no shared mutable
+// word on the record path, so concurrent ingest scales with cores instead
+// of collapsing on shared shard locks and round-robin cursors. Epoch
+// choreography, truth tracking and the baselines stay sequential (they
+// model the center and the ground truth, not the data plane), so the
+// simulation's answers are identical to Run's: batches always flush
+// before an epoch boundary is crossed, and the recorder fold is exact
+// under the merge algebra (DESIGN.md §12).
 //
 // batch is the pending-packet flush threshold (<= 0 selects
-// DefaultReplayBatch).
+// DefaultReplayBatch). One pipeline per point; use RunParallelWorkers for
+// a multi-pipeline data plane.
 func (s *simCore[S]) RunParallel(stream trace.Iterator, batch int) error {
+	return s.RunParallelWorkers(stream, batch, 1)
+}
+
+// RunParallelWorkers is RunParallel with an explicit pipeline count per
+// point (<= 0 selects 1), modeling a device whose NIC spreads one point's
+// traffic across that many run-to-completion cores. Pipelines persist
+// across flushes (their delta sketches stay warm) and are closed — with
+// any remainder folded — before the replay returns.
+func (s *simCore[S]) RunParallelWorkers(stream trace.Iterator, batch, workers int) error {
 	if batch <= 0 {
 		batch = DefaultReplayBatch
 	}
+	if workers <= 0 {
+		workers = 1
+	}
+	recs := make([][]*core.Recorder[S], len(s.engines))
+	for x, pt := range s.engines {
+		recs[x] = make([]*core.Recorder[S], workers)
+		for w := range recs[x] {
+			recs[x][w] = pt.NewRecorder()
+		}
+	}
+	defer func() {
+		for _, rs := range recs {
+			for _, r := range rs {
+				r.Close()
+			}
+		}
+	}()
 	pending := make([][]core.SpreadPacket, len(s.engines))
 	total := 0
 	flush := func() {
@@ -52,18 +76,21 @@ func (s *simCore[S]) RunParallel(stream trace.Iterator, batch int) error {
 			if len(ps) == 0 {
 				continue
 			}
-			wg.Add(1)
-			go func(pt *core.Point[S], ps []core.SpreadPacket) {
-				defer wg.Done()
-				for len(ps) > 0 {
-					n := len(ps)
-					if n > replayChunk {
-						n = replayChunk
-					}
-					pt.RecordBatch(ps[:n])
-					ps = ps[n:]
+			// Stripe the point's batch across its pipelines; RecordBatch
+			// drains fully (tail included) before returning, so after
+			// wg.Wait() every packet is visible to the next epoch fold.
+			stripe := (len(ps) + workers - 1) / workers
+			for w := 0; w < workers && w*stripe < len(ps); w++ {
+				lo, hi := w*stripe, (w+1)*stripe
+				if hi > len(ps) {
+					hi = len(ps)
 				}
-			}(s.engines[x], ps)
+				wg.Add(1)
+				go func(r *core.Recorder[S], ps []core.SpreadPacket) {
+					defer wg.Done()
+					r.RecordBatch(ps)
+				}(recs[x][w], ps[lo:hi])
+			}
 			pending[x] = ps[:0]
 		}
 		wg.Wait()

@@ -39,11 +39,21 @@ type atomicSketch[S any] interface {
 // lock-free capability (nil for locked backends); when set, mu guards
 // nothing — every access to d goes through ad or the backend's atomic
 // reads.
+//
+// The hot words (mu, dirty) sit in the struct's first cache line and the
+// tail pad makes the allocation span at least a full line, so two shards
+// allocated back to back never put their hot words on one line. Without
+// the pad the struct is ~40 bytes — Go's 48-byte size class — and
+// adjacent shards false-share: every Record's lock or dirty-check then
+// invalidates the neighboring shard's line and the striped path
+// serializes on coherence traffic instead of scaling (the BENCH_PR5
+// ThroughputParallel collapse; see DESIGN.md §12).
 type pointShard[S Sketch[S]] struct {
 	mu    sync.Mutex
 	dirty atomic.Bool // set on record, cleared on fold; lets readers skip clean shards
 	d     S
 	ad    atomicSketch[S]
+	_     [64]byte // keep the next allocation's hot head off our tail line
 }
 
 // Point is one measurement point of the generic epoch engine. It is safe
@@ -86,7 +96,20 @@ type Point[S Sketch[S]] struct {
 	covCur     Coverage
 
 	shards []*pointShard[S]
-	rr     atomic.Uint64 // round-robin cursor for batch shard selection
+
+	// recs are the registered per-core ingest pipelines (recorder.go),
+	// folded at the same fold points as the shards. Guarded by mu; the
+	// record path never touches this slice (each worker holds its own
+	// *Recorder).
+	recs []*Recorder[S]
+
+	// rr is the round-robin cursor for batch shard selection — a shared
+	// mutable word on the legacy sharded batch path, padded so recorders
+	// hammering it don't false-share with the point's mutex or the shard
+	// slice header above.
+	_  [64]byte
+	rr atomic.Uint64
+	_  [56]byte
 }
 
 // NewPoint creates a measurement point whose sketches are built by fresh
@@ -294,10 +317,10 @@ func (p *Point[S]) QueryWithCoverage(f uint64) (float64, Coverage) {
 
 func (p *Point[S]) queryLocked(f uint64) float64 {
 	var (
-		extras [maxShards]S
-		locked [maxShards]*pointShard[S]
-		n, nl  int
+		stackExtras [maxShards + 4]S
+		stackMu     [maxShards + 4]*sync.Mutex
 	)
+	extras, locked := stackExtras[:0], stackMu[:0]
 	for _, sh := range p.shards {
 		if !sh.dirty.Load() {
 			continue
@@ -306,23 +329,42 @@ func (p *Point[S]) queryLocked(f uint64) float64 {
 		// loads their registers atomically, so no lock is needed.
 		if sh.ad == nil {
 			sh.mu.Lock()
-			locked[nl] = sh
-			nl++
+			locked = append(locked, &sh.mu)
 		}
-		extras[n] = sh.d
-		n++
+		extras = append(extras, sh.d)
 	}
-	est := p.c.EstimateUnion(f, extras[:n])
-	for i := 0; i < nl; i++ {
-		locked[i].mu.Unlock()
+	// Recorder deltas are written with plain stores under the recorder's
+	// mutex, so the fold holds it for the read regardless of backend.
+	for _, r := range p.recs {
+		if !r.dirty.Load() {
+			continue
+		}
+		r.mu.Lock()
+		locked = append(locked, &r.mu)
+		extras = append(extras, r.d)
+	}
+	est := p.c.EstimateUnion(f, extras)
+	for _, mu := range locked {
+		mu.Unlock()
 	}
 	return est
 }
 
-// flushShardsLocked folds every dirty shard delta into the authoritative
-// sketch set (C, C' and, in delta mode, B) with the design's merge algebra
+// foldDeltaLocked merges one ingest delta into the authoritative sketch
+// set (C, C' and, in delta mode, B) with the design's merge algebra.
+// Caller holds p.mu plus whatever guards the delta.
+func (p *Point[S]) foldDeltaLocked(d S) {
+	if !IsNil(p.b) {
+		mustMerge(p.b, d)
+	}
+	mustMerge(p.c, d)
+	mustMerge(p.cp, d)
+}
+
+// flushIngestLocked folds every dirty ingest delta — the striped shards
+// and the per-core recorder pipelines — into the authoritative sketch set
 // and resets it. Caller holds p.mu.
-func (p *Point[S]) flushShardsLocked() {
+func (p *Point[S]) flushIngestLocked() {
 	for _, sh := range p.shards {
 		if !sh.dirty.Load() {
 			continue
@@ -336,14 +378,20 @@ func (p *Point[S]) flushShardsLocked() {
 			continue
 		}
 		sh.mu.Lock()
-		if !IsNil(p.b) {
-			mustMerge(p.b, sh.d)
-		}
-		mustMerge(p.c, sh.d)
-		mustMerge(p.cp, sh.d)
+		p.foldDeltaLocked(sh.d)
 		sh.d.Reset()
 		sh.dirty.Store(false)
 		sh.mu.Unlock()
+	}
+	for _, r := range p.recs {
+		if !r.dirty.Load() {
+			continue
+		}
+		r.mu.Lock()
+		p.foldDeltaLocked(r.d)
+		r.d.Reset()
+		r.dirty.Store(false)
+		r.mu.Unlock()
 	}
 }
 
@@ -373,7 +421,7 @@ func (p *Point[S]) EndEpoch() S {
 func (p *Point[S]) EndEpochMeta(rebase bool) (S, UploadMeta) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.flushShardsLocked()
+	p.flushIngestLocked()
 	meta := UploadMeta{Epoch: p.epoch}
 	var upload S
 	if p.mode == ModeCumulative {

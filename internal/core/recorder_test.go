@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/countmin"
+	"repro/internal/rskt"
+)
+
+// The per-core ingest pipeline must be (a) race-clean against concurrent
+// queries, epoch folds and center pushes, and (b) bit-identical to the
+// serial single-goroutine path after every fold — the run-to-completion
+// deltas reach B/C/C' through the same merge algebra as the shards, so
+// any divergence is a bug, not estimator noise.
+
+func TestSpreadRecorderMatchesSequential(t *testing.T) {
+	params := rskt.Params{W: 64, M: 32, Seed: 7}
+	const packets, flows, workers = 20_000, 300, 4
+
+	seq, err := NewSpreadPointShardsOf(0, func() *rskt.Sketch { return rskt.New(params) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSpreadPointShardsOf(0, func() *rskt.Sketch { return rskt.New(params) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < packets; i++ {
+		seq.Record(uint64(i%flows), uint64(i))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := par.NewRecorder()
+			for i := w; i < packets; i += workers {
+				rec.Record(uint64(i%flows), uint64(i))
+			}
+			rec.Flush()
+		}(w)
+	}
+	wg.Wait()
+
+	for f := uint64(0); f < flows; f++ {
+		if got, want := par.Query(f), seq.Query(f); got != want {
+			t.Fatalf("flow %d: pipeline %v, sequential %v", f, got, want)
+		}
+	}
+	// The epoch upload (the folded B delta) must match bit for bit too.
+	upSeq, upPar := seq.EndEpoch(), par.EndEpoch()
+	if !upSeq.Equal(upPar) {
+		t.Fatal("pipeline epoch upload differs from sequential")
+	}
+}
+
+func TestSizeRecorderMatchesSequential(t *testing.T) {
+	params := countmin.Params{D: 4, W: 512, Seed: 7}
+	const packets, flows, workers = 20_000, 300, 4
+
+	mk := func() *Point[*countmin.Sketch] {
+		pt, err := NewPoint(0, func() *countmin.Sketch { return countmin.New(params) },
+			EngineConfig[*countmin.Sketch]{Design: "size", Mode: ModeCumulative, Additive: true, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	seq, par := mk(), mk()
+
+	for i := 0; i < packets; i++ {
+		seq.Record(uint64(i%flows), 0)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := par.NewRecorder()
+			// Exercise both the buffered-single and the batch entry points.
+			var batch []SpreadPacket
+			for i := w; i < packets; i += workers {
+				if i%3 == 0 {
+					batch = append(batch, SpreadPacket{Flow: uint64(i % flows)})
+					if len(batch) == 100 {
+						rec.RecordBatch(batch)
+						batch = batch[:0]
+					}
+				} else {
+					rec.Record(uint64(i%flows), 0)
+				}
+			}
+			rec.RecordBatch(batch)
+			rec.Flush()
+		}(w)
+	}
+	wg.Wait()
+
+	for f := uint64(0); f < flows; f++ {
+		if got, want := par.Query(f), seq.Query(f); got != want {
+			t.Fatalf("flow %d: pipeline %v, sequential %v", f, got, want)
+		}
+	}
+	upSeq, upPar := seq.EndEpoch(), par.EndEpoch()
+	if !upSeq.Equal(upPar) {
+		t.Fatal("pipeline epoch upload differs from sequential")
+	}
+}
+
+// TestRecorderEpochBoundaryMidStream rolls epochs from one goroutine
+// while pipeline workers record: every packet must land in exactly one
+// epoch's fold (never lost, never duplicated), so the union of all epoch
+// uploads must equal the sequential union. Uses the spread design, whose
+// max-merge makes the union order-independent.
+func TestRecorderEpochBoundaryMidStream(t *testing.T) {
+	params := rskt.Params{W: 64, M: 32, Seed: 9}
+	const packets, flows, workers, epochs = 30_000, 200, 3, 7
+
+	par, err := NewSpreadPointShardsOf(0, func() *rskt.Sketch { return rskt.New(params) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := par.NewRecorder()
+			for i := w; i < packets; i += workers {
+				rec.Record(uint64(i%flows), uint64(i))
+			}
+			rec.Flush()
+		}(w)
+	}
+	// Epoch boundaries land mid-batch: EndEpoch folds whatever the
+	// pipelines have applied so far.
+	uploads := make([]*rskt.Sketch, 0, epochs+1)
+	for k := 0; k < epochs; k++ {
+		uploads = append(uploads, par.EndEpoch())
+	}
+	wg.Wait()
+	uploads = append(uploads, par.EndEpoch()) // the remainder
+
+	union := rskt.New(params)
+	for _, up := range uploads {
+		if err := union.MergeMax(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := rskt.New(params)
+	for i := 0; i < packets; i++ {
+		want.Record(uint64(i%flows), uint64(i))
+	}
+	if !union.Equal(want) {
+		t.Fatal("union of epoch uploads differs from the full packet multiset")
+	}
+}
+
+// TestRecorderConcurrentChaos drives recorders, legacy shard recording,
+// queries, epoch rolls, snapshots and recorder Close at once; exists to
+// fail under -race if the pipeline ever loses its locking.
+func TestRecorderConcurrentChaos(t *testing.T) {
+	pt, err := NewSpreadPoint(0, rskt.Params{W: 64, M: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := pt.NewRecorder()
+			for i := 0; i < 5000; i++ {
+				rec.Record(uint64(i%50), uint64(i))
+			}
+			rec.Close()
+		}(w)
+	}
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			_ = pt.Query(uint64(i % 50))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = pt.EndEpoch()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_, _, _, _ = pt.Snapshot()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestRecorderVisibilityAfterFlush pins the pipeline's visibility
+// contract: packets are invisible until a batch boundary or Flush, and
+// visible to queries immediately after.
+func TestRecorderVisibilityAfterFlush(t *testing.T) {
+	pt, err := NewSizePointShards(0, countmin.Params{D: 2, W: 128, Seed: 3}, SizeModeCumulative, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := pt.Point.NewRecorder()
+	rec.Record(42, 0)
+	if got := pt.Query(42); got != 0 {
+		t.Fatalf("buffered packet visible before flush: %d", got)
+	}
+	rec.Flush()
+	if got := pt.Query(42); got != 1 {
+		t.Fatalf("flushed packet not visible: %d", got)
+	}
+	// A full batch self-applies without an explicit Flush.
+	for i := 0; i < recorderBatch; i++ {
+		rec.Record(43, 0)
+	}
+	if got := pt.Query(43); got != recorderBatch {
+		t.Fatalf("full batch not self-applied: %d", got)
+	}
+}

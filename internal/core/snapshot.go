@@ -13,7 +13,7 @@ import (
 func (p *Point[S]) Snapshot() (epoch int64, b, c, cp S) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.flushShardsLocked()
+	p.flushIngestLocked()
 	if !IsNil(p.b) {
 		b = p.b.Clone()
 	}
@@ -47,12 +47,18 @@ func (p *Point[S]) RestoreSnapshot(epoch int64, b, c, cp S) error {
 		return fmt.Errorf("core: restore C': %w", err)
 	}
 	// The restored snapshot replaces the whole state: drop any unfolded
-	// shard deltas.
+	// shard and recorder deltas.
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		sh.d.Reset()
 		sh.dirty.Store(false)
 		sh.mu.Unlock()
+	}
+	for _, r := range p.recs {
+		r.mu.Lock()
+		r.d.Reset()
+		r.dirty.Store(false)
+		r.mu.Unlock()
 	}
 	p.epoch = epoch
 	// Snapshots are taken from healthy state and carry whatever aggregates

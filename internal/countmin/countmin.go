@@ -16,7 +16,9 @@ package countmin
 
 import (
 	"fmt"
+	"unsafe"
 
+	"repro/internal/prefetch"
 	"repro/internal/xhash"
 )
 
@@ -74,6 +76,11 @@ type Sketch struct {
 	// Mix64(seed) for row seeds 1..D) and the multiply-based width modulus.
 	rowPre []uint64
 	wDiv   xhash.Divisor
+	// batchIdx is RecordAll's slot scratch (D indices per packet), owned by
+	// the sketch like the rest of its mutable state (writes are not safe for
+	// concurrent use). Excluded from Clone/CopyFrom/Equal: it carries no
+	// sketch state between calls.
+	batchIdx []int32
 }
 
 // initDerived recomputes the record-path constants from s.params. Every
@@ -142,6 +149,43 @@ func (s *Sketch) Slots(f uint64, idx []int) {
 func (s *Sketch) AddSlots(idx []int, delta int64) {
 	for i, row := range s.rows {
 		row[idx[i]] += delta
+	}
+}
+
+// RecordAll adds one occurrence of every flow in fs, in order —
+// bit-identical to calling Record per flow (counter addition commutes, and
+// the indices are the same Slots hashes). The element stream is accepted
+// and ignored so the per-core ingest pipeline can drive any backend
+// through one signature.
+//
+// The loop is split into two passes over the batch: the first computes
+// every packet's D counter indices (pure hashing) and issues a software
+// prefetch for each target counter, the second applies the increments.
+// With a batch of a few dozen packets the prefetches of packet k+1..n
+// overlap the writes of packet k, hiding the random-access latency that
+// dominates the single-packet path on sketch sizes past the L2.
+func (s *Sketch) RecordAll(fs []uint64, _ []uint64) {
+	d := s.params.D
+	if need := len(fs) * d; cap(s.batchIdx) < need {
+		s.batchIdx = make([]int32, need)
+	}
+	idx := s.batchIdx[:len(fs)*d]
+	k := 0
+	for _, f := range fs {
+		fj := f ^ s.params.Seed
+		for i, pre := range s.rowPre {
+			j := s.wDiv.Mod(xhash.Mix64(fj ^ pre))
+			idx[k] = int32(j)
+			prefetch.T0(unsafe.Pointer(&s.rows[i][j]))
+			k++
+		}
+	}
+	k = 0
+	for range fs {
+		for i := range s.rows {
+			s.rows[i][idx[k]]++
+			k++
+		}
 	}
 }
 

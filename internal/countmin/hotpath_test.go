@@ -102,3 +102,29 @@ func TestCompactEncodingRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordAllMatchesRecord pins the two-pass batched ingest loop to the
+// one-by-one Record path: identical counters for the same flow multiset,
+// across batch sizes that cover the scratch-growth and reuse paths.
+func TestRecordAllMatchesRecord(t *testing.T) {
+	for _, p := range []Params{
+		{D: 4, W: 7, Seed: 0xdecaf},
+		{D: 3, W: 4096, Seed: 5},
+	} {
+		batched := New(p)
+		serial := New(p)
+		for _, n := range []int{1, 7, 32, 131, 32} {
+			fs := make([]uint64, n)
+			for i := range fs {
+				fs[i] = xhash.Mix64(uint64(n*1000+i)) % 40
+			}
+			batched.RecordAll(fs, nil)
+			for _, f := range fs {
+				serial.Record(f, 0)
+			}
+		}
+		if !batched.Equal(serial) {
+			t.Fatalf("params %+v: RecordAll diverged from Record", p)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+//go:build linux
+
+// Package cputime reads per-thread CPU clocks for the scaling
+// benchmarks. Wall-clock throughput of N workers saturates at the
+// machine's core count; per-worker CPU cost does not — it is the
+// scheduler-independent measure of how much of a core one worker's
+// packet stream consumes, and therefore of how the pipeline would scale
+// given enough cores. A worker that pins its OS thread
+// (runtime.LockOSThread) and reads Thread() before and after its record
+// loop gets exactly the cycles its own pipeline burned, excluding time
+// spent preempted — so the measurement is stable even on a loaded or
+// core-limited box (CI containers are routinely pinned to one core).
+package cputime
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// clockThreadCPUTimeID is CLOCK_THREAD_CPUTIME_ID from <time.h>.
+const clockThreadCPUTimeID = 3
+
+// Thread returns the calling thread's consumed CPU time. The caller must
+// be locked to its OS thread for the value to be attributable to it. ok
+// is false if the clock is unavailable (callers fall back to wall time).
+func Thread() (d time.Duration, ok bool) {
+	var ts syscall.Timespec
+	_, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME,
+		clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0)
+	if errno != 0 {
+		return 0, false
+	}
+	return time.Duration(ts.Sec)*time.Second + time.Duration(ts.Nsec), true
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package cputime
+
+import "time"
+
+// Thread is unavailable off Linux; callers fall back to wall time.
+func Thread() (d time.Duration, ok bool) { return 0, false }

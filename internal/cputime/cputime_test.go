@@ -1,0 +1,40 @@
+package cputime
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestThreadAdvances burns CPU on a locked thread and checks the thread
+// clock moves forward by a plausible amount (and never backwards).
+func TestThreadAdvances(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	start, ok := Thread()
+	if !ok {
+		t.Skip("thread CPU clock unavailable on this platform")
+	}
+	deadline := time.Now().Add(20 * time.Millisecond)
+	x := uint64(1)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+	}
+	if x == 0 { // keep the loop alive
+		t.Log("unreachable")
+	}
+	end, ok := Thread()
+	if !ok {
+		t.Fatal("thread CPU clock disappeared mid-test")
+	}
+	if end < start {
+		t.Fatalf("thread CPU clock went backwards: %v -> %v", start, end)
+	}
+	if end-start == 0 {
+		t.Fatalf("thread CPU clock did not advance over a 20ms busy loop")
+	}
+}

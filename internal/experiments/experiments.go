@@ -43,6 +43,10 @@ type Config struct {
 	FlowSampleMod int
 	// Seed is the cluster-wide hash seed.
 	Seed uint64
+	// Workers is the largest pipeline count of the throughput experiment's
+	// per-core scaling curve, measured at 1, 2, 4, ... up to Workers
+	// (0 = 8, the default curve).
+	Workers int
 	// CSVDir, when non-empty, makes the accuracy and sweep runners also
 	// write their series as CSV files into this directory.
 	CSVDir string

@@ -76,6 +76,14 @@ func FormatThroughput(res ThroughputResult) string {
 		fmt.Fprintf(&b, "sharded ingest (%d workers, batched): Two-Sketch %.2f, Three-Sketch %.2f\n",
 			res.Workers, res.TwoSketchParallelPPS/1e6, res.ThreeSketchParallelPPS/1e6)
 	}
+	for _, row := range res.PipelineScaling {
+		basis := "CPU-projected"
+		if !row.CPUProjected {
+			basis = "wall clock"
+		}
+		fmt.Fprintf(&b, "pipeline ingest x%d (%s): Two-Sketch %.2f, Three-Sketch %.2f\n",
+			row.Workers, basis, row.TwoSketchPPS/1e6, row.ThreeSketchPPS/1e6)
+	}
 	return b.String()
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/countmin"
+	"repro/internal/cputime"
 	"repro/internal/hll"
 	"repro/internal/rskt"
 	"repro/internal/slidingsketch"
@@ -35,6 +36,24 @@ type ThroughputResult struct {
 	TwoSketchParallelPPS float64
 	// ThreeSketchParallelPPS is the same for one sharded spread point.
 	ThreeSketchParallelPPS float64
+
+	// PipelineScaling is the per-core run-to-completion pipeline scaling
+	// curve (DESIGN.md §12): one row per worker count, rates CPU-projected
+	// from per-worker thread CPU time so the curve is meaningful even on a
+	// core-limited box (see timePipelineWorkers).
+	PipelineScaling []PipelineScalingRow
+}
+
+// PipelineScalingRow is one worker count of the pipeline scaling curve.
+type PipelineScalingRow struct {
+	Workers int
+	// TwoSketchPPS / ThreeSketchPPS are the aggregate pipeline ingest
+	// rates for the two designs at this worker count.
+	TwoSketchPPS   float64
+	ThreeSketchPPS float64
+	// CPUProjected tells whether the rates come from per-worker thread
+	// CPU time (true, Linux) or degraded to wall clock (false).
+	CPUProjected bool
 }
 
 // throughputPackets is the number of packets each method is timed over.
@@ -106,6 +125,42 @@ func RunThroughput(cfg Config) (ThroughputResult, error) {
 		spreadParPt.RecordBatch(pkts[lo:hi])
 	})
 
+	// Per-core pipeline scaling curve: fresh points per row so each worker
+	// count starts from cold sketches, 1, 2, 4, ... workers each owning a
+	// private Recorder over a contiguous stripe of the workload.
+	maxW := cfg.Workers
+	if maxW <= 0 {
+		maxW = 8
+	}
+	for w := 1; w <= maxW; w *= 2 {
+		row := PipelineScalingRow{Workers: w}
+		sizePipePt, err := core.NewSizePointShards(2, sizeParams, core.SizeModeCumulative, 1)
+		if err != nil {
+			return out, err
+		}
+		row.TwoSketchPPS, row.CPUProjected = timePipelineWorkers(w, func(worker, workers int) {
+			rec := sizePipePt.Point.NewRecorder()
+			defer rec.Close()
+			lo, hi := stripeOf(worker, workers, throughputPackets)
+			for i := lo; i < hi; i++ {
+				rec.Record(flows[i], 0)
+			}
+		})
+		spreadPipePt, err := core.NewSpreadPointShardsOf(2, func() *rskt.Sketch { return rskt.New(spreadParams) }, 1)
+		if err != nil {
+			return out, err
+		}
+		row.ThreeSketchPPS, _ = timePipelineWorkers(w, func(worker, workers int) {
+			rec := spreadPipePt.NewRecorder()
+			defer rec.Close()
+			lo, hi := stripeOf(worker, workers, throughputPackets)
+			for i := lo; i < hi; i++ {
+				rec.Record(flows[i], elems[i])
+			}
+		})
+		out.PipelineScaling = append(out.PipelineScaling, row)
+	}
+
 	sliding := slidingsketch.New(slidingsketch.Params{
 		D:     slidingsketch.DefaultDepth,
 		W:     slidingsketch.WidthForMemory(mem, slidingsketch.DefaultDepth, n),
@@ -136,6 +191,63 @@ func timeRecords(record func(i int)) float64 {
 	}
 	elapsed := time.Since(start)
 	return float64(throughputPackets) / elapsed.Seconds()
+}
+
+// stripeOf splits [0, n) into `workers` near-equal contiguous ranges and
+// returns worker's.
+func stripeOf(worker, workers, n int) (lo, hi int) {
+	stripe := n / workers
+	lo = worker * stripe
+	hi = lo + stripe
+	if worker == workers-1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+// timePipelineWorkers measures the aggregate rate of `workers` pipeline
+// goroutines, each feeding its stripe of the workload run-to-completion.
+// On a core-limited box wall clock cannot show parallel speedup (the OS
+// timeslices the workers over the same cores), so each worker is pinned
+// to an OS thread and timed with its thread CPU clock: the projected
+// aggregate rate is total packets over the slowest worker's CPU time —
+// exactly the wall-clock aggregate a box with `workers` free cores would
+// see, and a direct readout of whether per-packet cost is independent of
+// the worker count (the run-to-completion property). Falls back to wall
+// clock (reported via the second return) where the thread clock is
+// unavailable.
+func timePipelineWorkers(workers int, feed func(worker, workers int)) (float64, bool) {
+	if workers < 1 {
+		workers = 1
+	}
+	cpu := make([]time.Duration, workers)
+	cpuOK := make([]bool, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			c0, ok0 := cputime.Thread()
+			feed(w, workers)
+			c1, ok1 := cputime.Thread()
+			cpu[w], cpuOK[w] = c1-c0, ok0 && ok1
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var worst time.Duration
+	for w := range cpu {
+		if !cpuOK[w] || cpu[w] <= 0 {
+			return float64(throughputPackets) / wall.Seconds(), false
+		}
+		if cpu[w] > worst {
+			worst = cpu[w]
+		}
+	}
+	return float64(throughputPackets) / worst.Seconds(), true
 }
 
 // parallelChunk is the packet count each worker claims per batch in the

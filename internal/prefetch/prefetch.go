@@ -1,0 +1,20 @@
+// Package prefetch exposes the CPU's software-prefetch hint for the
+// batched record loops. The ingest pipeline computes a batch of sketch
+// slots first (pure hashing, no memory traffic beyond the packet buffer),
+// issues a prefetch for every target cache line, and only then applies the
+// writes — by the time the write pass reaches a register, the line is
+// already in flight or resident. On architectures without an implemented
+// hint the call is a no-op and the two-pass loop still helps (the hash
+// pass and the write pass each stay branch-predictable and tight).
+//
+// A prefetch is only ever a hint: issuing one for any address, valid or
+// not, is architecturally side-effect free. Callers still must not
+// dereference the pointer unless it is valid.
+package prefetch
+
+import "unsafe"
+
+// T0 hints that the cache line containing p will be read or written soon,
+// fetching it into all cache levels (temporal data). No-op where not
+// implemented.
+func T0(p unsafe.Pointer) { t0(p) }

@@ -1,0 +1,10 @@
+//go:build amd64
+
+package prefetch
+
+import "unsafe"
+
+// t0 is implemented in prefetch_amd64.s (PREFETCHT0).
+//
+//go:noescape
+func t0(p unsafe.Pointer)

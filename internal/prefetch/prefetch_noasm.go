@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package prefetch
+
+import "unsafe"
+
+func t0(_ unsafe.Pointer) {}

@@ -218,3 +218,32 @@ func TestUnmarshalRejectsCompactTruncation(t *testing.T) {
 		t.Fatal("accepted trailing byte")
 	}
 }
+
+// TestRecordAllMatchesRecord pins the two-pass batched ingest loop to the
+// one-by-one Record path: identical registers for the same packet
+// multiset, across batch sizes that cover the scratch-growth and reuse
+// paths.
+func TestRecordAllMatchesRecord(t *testing.T) {
+	for _, p := range []Params{
+		{W: 7, M: 8, Seed: 0xdecaf},
+		{W: 512, M: 64, Seed: 5},
+	} {
+		batched := New(p)
+		serial := New(p)
+		for _, n := range []int{1, 7, 32, 131, 32} {
+			fs := make([]uint64, n)
+			es := make([]uint64, n)
+			for i := range fs {
+				fs[i] = xhash.Mix64(uint64(n*1000+i)) % 40
+				es[i] = xhash.Mix64(uint64(n*2000 + i))
+			}
+			batched.RecordAll(fs, es)
+			for i := range fs {
+				serial.Record(fs[i], es[i])
+			}
+		}
+		if !batched.Equal(serial) {
+			t.Fatalf("params %+v: RecordAll diverged from Record", p)
+		}
+	}
+}

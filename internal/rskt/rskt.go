@@ -21,8 +21,10 @@ package rskt
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/hll"
+	"repro/internal/prefetch"
 	"repro/internal/xhash"
 )
 
@@ -101,6 +103,10 @@ type Sketch struct {
 	// column/register moduli.
 	preSeed    uint64
 	wDiv, mDiv xhash.Divisor
+	// batchSlots is RecordAll's slot scratch, owned by the sketch like the
+	// rest of its mutable state (writes are not safe for concurrent use).
+	// Excluded from Clone/CopyFrom/Equal: it carries no sketch state.
+	batchSlots []Slot
 }
 
 // initDerived recomputes the record-path constants from s.params. Every
@@ -166,6 +172,34 @@ func (s *Sketch) RecordSlot(sl Slot) {
 	row := s.rows[sl.Row]
 	if row[sl.Idx] < sl.Val {
 		row[sl.Idx] = sl.Val
+	}
+}
+
+// RecordAll inserts packets <fs[k], es[k]> in order — bit-identical to
+// calling Record per packet (the register max commutes, and the slots are
+// the same Slot hashes).
+//
+// The loop is split into two passes over the batch: the first computes
+// every packet's slot (pure hashing) and issues a software prefetch for
+// the target register's cache line, the second applies the register
+// maxima. With a batch of a few dozen packets the prefetches of packet
+// k+1..n overlap the writes of packet k, hiding the random-access latency
+// that dominates the single-packet path on sketch sizes past the L2.
+func (s *Sketch) RecordAll(fs, es []uint64) {
+	if cap(s.batchSlots) < len(fs) {
+		s.batchSlots = make([]Slot, len(fs))
+	}
+	slots := s.batchSlots[:len(fs)]
+	for k := range fs {
+		sl := s.Slot(fs[k], es[k])
+		slots[k] = sl
+		prefetch.T0(unsafe.Pointer(&s.rows[sl.Row][sl.Idx]))
+	}
+	for _, sl := range slots {
+		row := s.rows[sl.Row]
+		if row[sl.Idx] < sl.Val {
+			row[sl.Idx] = sl.Val
+		}
 	}
 }
 

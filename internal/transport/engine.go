@@ -88,6 +88,7 @@ type pointEngine interface {
 	coverage() core.Coverage
 	record(f, e uint64)
 	recordBatch(ps []core.SpreadPacket)
+	newPipe() IngestPipe
 	query(f uint64) float64
 	queryCov(f uint64) (float64, core.Coverage)
 	// endEpoch rolls the epoch and returns the finished epoch's number,
@@ -105,6 +106,21 @@ type pointEngine interface {
 	cumulative() bool
 	saveState(w io.Writer) error
 	loadState(r io.Reader) error
+}
+
+// IngestPipe is one worker's private run-to-completion ingest pipeline
+// into the point (core.Recorder behind the design-erased boundary). Each
+// pipe buffers packets locally and touches no shared mutable state on the
+// record path, so one pipe per ingest goroutine scales with cores.
+// Record, RecordBatch and Flush must only be called by the owning worker;
+// the engine's queries and epoch rolls may run concurrently with them.
+// Packets are invisible to queries and epoch folds until the pipe's next
+// internal batch boundary or Flush; Close flushes and retires the pipe.
+type IngestPipe interface {
+	Record(f, e uint64)
+	RecordBatch(ps []core.SpreadPacket)
+	Flush()
+	Close()
 }
 
 // pointCodec is the design- and backend-specific part of a point engine:
@@ -145,6 +161,7 @@ func (e *enginePoint[S]) epoch() int64                       { return e.pt.Epoch
 func (e *enginePoint[S]) coverage() core.Coverage            { return e.pt.Coverage() }
 func (e *enginePoint[S]) record(f, el uint64)                { e.pt.Record(f, el) }
 func (e *enginePoint[S]) recordBatch(ps []core.SpreadPacket) { e.pt.RecordBatch(ps) }
+func (e *enginePoint[S]) newPipe() IngestPipe                { return e.pt.NewRecorder() }
 func (e *enginePoint[S]) query(f uint64) float64             { return e.pt.Query(f) }
 func (e *enginePoint[S]) queryCov(f uint64) (float64, core.Coverage) {
 	return e.pt.QueryWithCoverage(f)

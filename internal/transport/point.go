@@ -370,6 +370,14 @@ func (c *PointClient) Record(f, e uint64) { c.eng.record(f, e) }
 // packet's element is ignored.
 func (c *PointClient) RecordBatch(ps []core.SpreadPacket) { c.eng.recordBatch(ps) }
 
+// NewIngestPipe returns a private run-to-completion ingest pipeline for
+// one worker goroutine — the scaling record path: workers never share
+// mutable state, and pipeline deltas fold into the epoch state at every
+// boundary. Create one pipe per ingest goroutine; Flush before an epoch
+// boundary the buffered packets must land in, Close when the worker
+// stops.
+func (c *PointClient) NewIngestPipe() IngestPipe { return c.eng.newPipe() }
+
 // QuerySpread answers a networkwide T-query (spread design only).
 func (c *PointClient) QuerySpread(f uint64) (float64, error) {
 	if c.cfg.Kind != KindSpread {
