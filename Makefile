@@ -9,9 +9,9 @@ GO ?= go
 # internal/*/testdata/fuzz seeds each run with protocol-shaped inputs.
 FUZZTIME ?= 30s
 
-.PHONY: check build lint vet test test-race race crash-test fuzz-short bench-smoke bench bench-short bench-diff bench-scaling
+.PHONY: check build lint vet test test-race race crash-test tree-test fuzz-short bench-smoke bench bench-short bench-diff bench-scaling bench-tree
 
-check: build lint race crash-test fuzz-short bench-smoke bench-short
+check: build lint race crash-test tree-test fuzz-short bench-smoke bench-short
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,16 @@ crash-test:
 	$(GO) test -race -run '^TestFaultCrash' -count=1 ./internal/transport
 	$(GO) test -race ./internal/durable
 
+# The aggregation-tree and shard matrices: relay crash/restart/partition
+# scenarios, shard failover, live tree-vs-flat and sharded-vs-flat
+# equality, the cluster-sim topology property tests, and the relay wire
+# goldens — the correctness gate for hierarchical deployments.
+tree-test:
+	$(GO) test -race -count=1 \
+		-run '^(TestFaultRelay|TestRelayTreeEqualsFlatLive|TestShardedEqualsFlat|TestFaultShardFailover|TestGoldenRelay)' \
+		./internal/transport
+	$(GO) test -race -count=1 -run 'Tree|Topology' ./internal/cluster ./internal/core
+
 # Short fuzz pass over every decode surface a peer can reach: the protocol
 # streams (center- and point-side), the Push apply path, the sketch and
 # trace binary decoders (both codecs — the fixed/compact round-trip
@@ -52,6 +62,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzCenterConn$$' -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzPointConn$$' -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzPushApply$$' -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzRelayConn$$' -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/rskt
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/countmin
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalBinary$$' -fuzztime $(FUZZTIME) ./internal/vhll
@@ -98,6 +109,18 @@ bench-scaling:
 	$(GO) test -run '^$$' -bench 'ThroughputParallelPipeline' -benchtime=200000x . | tee bench_scaling.txt
 	$(GO) run ./cmd/benchjson -o bench_scaling.json < bench_scaling.txt
 	$(GO) run ./cmd/benchjson -scaling-gate $(SCALING_MIN) bench_scaling.json
+
+# Relay fan-in evidence: center-side ingest cost per epoch, p leaf
+# points uploading directly vs through a 2-level tree of 8 relays, at
+# p=64/256. benchjson pairs the topo=flat/topo=tree rows into its
+# relay_fanin_speedup map; BENCH_PR7.json is the committed trajectory
+# (regenerate with `make bench-tree BENCH_TREE_JSON=BENCH_PR7.json`).
+BENCH_TREE_JSON ?= bench_tree.json
+bench-tree:
+	$(GO) test -run '^$$' -bench '^BenchmarkRelayFanIn$$' -benchtime=200x \
+		./internal/transport | tee bench_tree.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_TREE_JSON) \
+		-note "center-side ingest per epoch, flat vs 2-level tree (8 relays)" < bench_tree.txt
 
 # benchcmp-style ns/op comparison of two benchjson documents, e.g.
 # `make bench-short && make bench-diff OLD=BENCH_PR5.json NEW=bench_short.json`.

@@ -52,6 +52,11 @@ type Doc struct {
 	Benchmarks []Benchmark        `json:"benchmarks"`
 	Baseline   []Benchmark        `json:"baseline,omitempty"`
 	Speedup    map[string]float64 `json:"speedup_ns_per_op,omitempty"`
+	// RelayFanIn pairs BenchmarkRelayFanIn's topo=flat/topo=tree rows by
+	// their p= leaf count: flat ns/op over tree ns/op, i.e. how many times
+	// cheaper one center epoch gets behind a 2-level relay tree
+	// (BENCH_PR7.json's headline rows).
+	RelayFanIn map[string]float64 `json:"relay_fanin_speedup,omitempty"`
 }
 
 func main() {
@@ -87,6 +92,9 @@ func run(out, baseline, note string, diff bool, gate float64, args []string) err
 		return err
 	}
 	doc.Note = note
+	if doc.RelayFanIn, err = relayFanIn(doc.Benchmarks); err != nil {
+		return err
+	}
 	if baseline != "" {
 		f, err := os.Open(baseline)
 		if err != nil {
@@ -200,6 +208,47 @@ func speedups(base, cur []Benchmark) (map[string]float64, error) {
 	}
 	if shared == 0 {
 		return nil, fmt.Errorf("no benchmark names shared with the current run")
+	}
+	return out, nil
+}
+
+// fanInRow matches the relay fan-in sub-benchmark naming convention,
+// BenchmarkRelayFanIn/topo=T/p=N with go test's optional -GOMAXPROCS
+// suffix.
+var fanInRow = regexp.MustCompile(`^BenchmarkRelayFanIn/topo=(flat|tree)/(p=\d+)(?:-\d+)?$`)
+
+// relayFanIn derives the fan-in speedup rows: for every p= leaf count
+// measured under both topologies, flat ns/op divided by tree ns/op. A p=
+// present under only one topology is an error — half a comparison must
+// not read as a complete document. Runs without fan-in benchmarks get no
+// rows.
+func relayFanIn(benchmarks []Benchmark) (map[string]float64, error) {
+	byP := map[string]map[string]float64{}
+	for _, b := range benchmarks {
+		m := fanInRow.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		v, ok := b.Metrics["ns/op"]
+		if !ok || v <= 0 {
+			return nil, fmt.Errorf("%s: ns/op missing or non-positive", b.Name)
+		}
+		if byP[m[2]] == nil {
+			byP[m[2]] = map[string]float64{}
+		}
+		byP[m[2]][m[1]] = v
+	}
+	if len(byP) == 0 {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for p, topos := range byP {
+		flat, fok := topos["flat"]
+		tree, tok := topos["tree"]
+		if !fok || !tok {
+			return nil, fmt.Errorf("RelayFanIn %s: need both topo=flat and topo=tree rows", p)
+		}
+		out[p] = flat / tree
 	}
 	return out, nil
 }

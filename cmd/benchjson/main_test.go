@@ -111,6 +111,34 @@ func scalingDoc(agg1, agg4 float64) Doc {
 	}}
 }
 
+func TestRelayFanIn(t *testing.T) {
+	rows := []Benchmark{
+		{Name: "BenchmarkRelayFanIn/topo=flat/p=64-8", Metrics: map[string]float64{"ns/op": 4800}},
+		{Name: "BenchmarkRelayFanIn/topo=tree/p=64-8", Metrics: map[string]float64{"ns/op": 600}},
+		{Name: "BenchmarkRelayFanIn/topo=flat/p=256-8", Metrics: map[string]float64{"ns/op": 34000}},
+		{Name: "BenchmarkRelayFanIn/topo=tree/p=256-8", Metrics: map[string]float64{"ns/op": 850}},
+		{Name: "BenchmarkRecord", Metrics: map[string]float64{"ns/op": 30}},
+	}
+	fi, err := relayFanIn(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fi) != 2 || fi["p=64"] != 8 || fi["p=256"] != 40 {
+		t.Errorf("relay_fanin_speedup = %v, want p=64: 8, p=256: 40", fi)
+	}
+
+	// Runs without fan-in rows get no map at all.
+	fi, err = relayFanIn(rows[4:])
+	if err != nil || fi != nil {
+		t.Errorf("no fan-in rows: got (%v, %v), want (nil, nil)", fi, err)
+	}
+
+	// Half a comparison (flat measured, tree missing) must be loud.
+	if _, err := relayFanIn(rows[:1]); err == nil {
+		t.Error("missing topo=tree row should be an error")
+	}
+}
+
 func TestScalingGate(t *testing.T) {
 	var buf bytes.Buffer
 	good := writeDocFile(t, "good.json", scalingDoc(1e6, 3.1e6))

@@ -40,6 +40,9 @@ func run(args []string) error {
 		m         = fs.Int("m", 128, "HLL registers per estimator (spread)")
 		d         = fs.Int("d", 4, "CountMin rows (size)")
 		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		weights   = fs.String("weights", "", "child weights as id:weight pairs (subtree leaf counts behind tqrelay children; default 1 each)")
+		shard     = fs.String("shard", "", `this center's shard as "i/n" in a flow-sharded deployment (default unsharded)`)
+		delta     = fs.Bool("delta", false, "require per-epoch delta uploads (mandatory when size-design children connect through tqrelay)")
 		enhance   = fs.Bool("enhance", false, "push the Section IV-D enhancement")
 		ckptDir   = fs.String("checkpoint-dir", "", "write atomic checkpoints of the window store here and recover from them on restart")
 		ckptEvry  = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
@@ -59,15 +62,26 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	wts, err := parseWeights(*weights)
+	if err != nil {
+		return err
+	}
+	shardIdx, shardN, err := parseShard(*shard)
+	if err != nil {
+		return err
+	}
 	srv, err := transport.ServeCenter(transport.CenterConfig{
 		Addr:            *addr,
 		Kind:            transport.Kind(*kind),
 		Sketch:          *sketch,
 		WindowN:         *n,
 		Widths:          topo,
+		Weights:         wts,
 		M:               *m,
 		D:               *d,
 		Seed:            *seed,
+		Shard:           shardIdx,
+		DeltaUploads:    *delta,
 		Enhance:         *enhance,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvry,
@@ -78,6 +92,9 @@ func run(args []string) error {
 	defer srv.Close()
 	fmt.Printf("tqcenter: %s design, n=%d, %d points, listening on %s\n",
 		*kind, *n, len(topo), srv.Addr())
+	if shardN > 1 {
+		fmt.Printf("tqcenter: shard %d of %d (flow partition keyed by seed %d)\n", shardIdx, shardN, *seed)
+	}
 	if *ckptDir != "" {
 		if gen := srv.Stats().RestoredGeneration; gen > 0 {
 			fmt.Printf("tqcenter: recovered window from checkpoint generation %d\n", gen)
@@ -97,24 +114,59 @@ func parseWidths(s string) (map[int]int, error) {
 	if s == "" {
 		return nil, fmt.Errorf("missing -widths (e.g. 0:1638,1:1638,2:1638)")
 	}
+	return parsePairs(s, "width")
+}
+
+// parseWeights parses "100:4,1:1" into a weights map (nil for "").
+func parseWeights(s string) (map[int]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	return parsePairs(s, "weight")
+}
+
+func parsePairs(s, what string) (map[int]int, error) {
 	out := make(map[int]int)
 	for _, part := range strings.Split(s, ",") {
-		id, width, ok := strings.Cut(strings.TrimSpace(part), ":")
+		id, val, ok := strings.Cut(strings.TrimSpace(part), ":")
 		if !ok {
-			return nil, fmt.Errorf("bad -widths entry %q", part)
+			return nil, fmt.Errorf("bad -%ss entry %q", what, part)
 		}
 		pid, err := strconv.Atoi(id)
 		if err != nil {
 			return nil, fmt.Errorf("bad point id %q: %w", id, err)
 		}
-		w, err := strconv.Atoi(width)
-		if err != nil || w <= 0 {
-			return nil, fmt.Errorf("bad width %q for point %d", width, pid)
+		v, err := strconv.Atoi(val)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad %s %q for point %d", what, val, pid)
 		}
 		if _, dup := out[pid]; dup {
 			return nil, fmt.Errorf("duplicate point id %d", pid)
 		}
-		out[pid] = w
+		out[pid] = v
 	}
 	return out, nil
+}
+
+// parseShard parses "i/n" into (index, count); "" means unsharded (0, 1).
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf(`bad -shard %q (want "i/n", e.g. 0/2)`, s)
+	}
+	i, err := strconv.Atoi(is)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard index %q: %w", is, err)
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard count %q: %w", ns, err)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("shard %d/%d out of range", i, n)
+	}
+	return i, n, nil
 }

@@ -22,6 +22,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -57,6 +59,8 @@ func run(args []string) error {
 		m         = fs.Int("m", 128, "HLL registers per estimator (spread)")
 		d         = fs.Int("d", 4, "CountMin rows (size)")
 		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		shard     = fs.String("shard", "", `dial shard i of an n-way flow-sharded center deployment, as "i/n"; records only the flows the shard owns (default unsharded)`)
+		delta     = fs.Bool("delta", false, "upload per-epoch deltas instead of cumulative sketches (mandatory behind a tqrelay for the size design; must match the center's -delta)")
 		epoch     = fs.Duration("epoch", 6*time.Second, "epoch length (synthetic traffic mode)")
 		pps       = fs.Int("pps", 20_000, "synthetic traffic rate, packets/s")
 		ingestW   = fs.Int("ingest-workers", 1, "parallel ingest pipelines (synthetic traffic mode): one run-to-completion generator goroutine each, sharing -pps")
@@ -79,9 +83,21 @@ func run(args []string) error {
 		fmt.Printf("tqpoint %d: pprof on http://%s/debug/pprof/\n", *point, a)
 	}
 
+	shardIdx, shardN, err := parseShard(*shard)
+	if err != nil {
+		return err
+	}
+	// owns filters traffic to the flows this shard's partition slice holds
+	// (everything, when unsharded). One tqpoint process per (point, shard)
+	// pair keeps each shard center's view disjoint; cmd/tqquery routes a
+	// flow's queries to its owning shard with the same seed-keyed hash.
+	part := core.NewFlowPartition(*seed, shardN)
+	owns := func(f uint64) bool { return shardN == 1 || part.Shard(f) == shardIdx }
+
 	pc, err := transport.DialPoint(transport.PointConfig{
 		Addr: *addr, Point: *point, Kind: transport.Kind(*kind),
 		Sketch: *sketch, W: *w, M: *m, D: *d, Seed: *seed,
+		Shard: shardIdx, DeltaUploads: *delta,
 		CheckpointDir: *ckptDir,
 	})
 	if err != nil {
@@ -89,6 +105,9 @@ func run(args []string) error {
 	}
 	defer pc.Close()
 	fmt.Printf("tqpoint %d: connected to %s (%s design, w=%d)\n", *point, *addr, *kind, *w)
+	if shardN > 1 {
+		fmt.Printf("tqpoint %d: shard %d/%d (recording only this shard's flows)\n", *point, shardIdx, shardN)
+	}
 	if *ckptDir != "" && pc.Epoch() > 1 {
 		fmt.Printf("tqpoint %d: recovered checkpoint (epoch %d)\n", *point, pc.Epoch())
 	}
@@ -189,7 +208,7 @@ func run(args []string) error {
 	}
 
 	if *traceFile != "" {
-		return replayTrace(pc, *traceFile, *point, *epoch, endEpoch, report)
+		return replayTrace(pc, *traceFile, *point, *epoch, owns, endEpoch, report)
 	}
 
 	// Synthetic traffic mode: wall-clock epochs, Zipf-ish flow draws.
@@ -220,7 +239,9 @@ func run(args []string) error {
 				for {
 					select {
 					case <-src.C:
-						pipe.Record(zipf.Uint64(), rng.Uint64()%1024)
+						if f := zipf.Uint64(); owns(f) {
+							pipe.Record(f, rng.Uint64()%1024)
+						}
 					case <-done:
 						return
 					}
@@ -261,8 +282,9 @@ func run(args []string) error {
 	for {
 		select {
 		case <-traffic.C:
-			f := zipf.Uint64()
-			batch = append(batch, core.SpreadPacket{Flow: f, Elem: rng.Uint64() % 1024})
+			if f := zipf.Uint64(); owns(f) {
+				batch = append(batch, core.SpreadPacket{Flow: f, Elem: rng.Uint64() % 1024})
+			}
 			if len(batch) >= recordBatchSize {
 				flush()
 			}
@@ -280,9 +302,10 @@ func run(args []string) error {
 	}
 }
 
-// replayTrace feeds the trace file's packets for this point, rolling
-// epochs by virtual time.
-func replayTrace(pc *transport.PointClient, path string, point int, epoch time.Duration, endEpoch func() error, report func()) error {
+// replayTrace feeds the trace file's packets for this point (and, in a
+// sharded deployment, for this shard's flow slice), rolling epochs by
+// virtual time.
+func replayTrace(pc *transport.PointClient, path string, point int, epoch time.Duration, owns func(uint64) bool, endEpoch func() error, report func()) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -316,7 +339,7 @@ func replayTrace(pc *transport.PointClient, path string, point int, epoch time.D
 			}
 			report()
 		}
-		if p.Point == point {
+		if p.Point == point && owns(p.Flow) {
 			batch = append(batch, core.SpreadPacket{Flow: p.Flow, Elem: p.Elem})
 			if len(batch) >= recordBatchSize {
 				flush()
@@ -325,4 +348,27 @@ func replayTrace(pc *transport.PointClient, path string, point int, epoch time.D
 	}
 	flush()
 	return endEpoch()
+}
+
+// parseShard parses "i/n" into (index, count); "" means unsharded (0, 1).
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf(`bad -shard %q (want "i/n", e.g. 0/2)`, s)
+	}
+	i, err := strconv.Atoi(is)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard index %q: %w", is, err)
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard count %q: %w", ns, err)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("shard %d/%d out of range", i, n)
+	}
+	return i, n, nil
 }

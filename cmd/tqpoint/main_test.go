@@ -67,7 +67,7 @@ func TestReplayTraceDrivesEpochs(t *testing.T) {
 	}
 
 	reports := 0
-	if err := replayTrace(pc, path, 0, 6*time.Second, pc.EndEpoch, func() { reports++ }); err != nil {
+	if err := replayTrace(pc, path, 0, 6*time.Second, func(uint64) bool { return true }, pc.EndEpoch, func() { reports++ }); err != nil {
 		t.Fatal(err)
 	}
 	// Two boundaries are crossed inside the trace (epochs 1->2 and 2->3),
@@ -97,7 +97,7 @@ func TestReplayTraceMissingFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pc.Close()
-	if err := replayTrace(pc, "/nonexistent/trace.bin", 0, time.Second, pc.EndEpoch, func() {}); err == nil {
+	if err := replayTrace(pc, "/nonexistent/trace.bin", 0, time.Second, func(uint64) bool { return true }, pc.EndEpoch, func() {}); err == nil {
 		t.Fatal("expected error for missing trace file")
 	}
 }
@@ -159,7 +159,7 @@ func TestReplayTraceVhllBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := replayTrace(pc, path, 0, 6*time.Second, pc.EndEpoch, func() {}); err != nil {
+	if err := replayTrace(pc, path, 0, 6*time.Second, func(uint64) bool { return true }, pc.EndEpoch, func() {}); err != nil {
 		t.Fatal(err)
 	}
 	if pc.Epoch() != 4 {

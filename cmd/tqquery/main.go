@@ -7,11 +7,20 @@
 //	tqquery -addr 127.0.0.1:8081 -flow 12345
 //	tqquery -addr 127.0.0.1:8081 -flow 12345 -watch 2s
 //	tqquery -addr 127.0.0.1:8081 -flow 12345 -coverage
+//	tqquery -shards 127.0.0.1:8081,127.0.0.1:8082 -shard-seed 42 -flow 12345
 //
 // With -coverage each answer also reports how much of the query window
 // the point actually holds (graceful degradation: during a center outage
 // the estimate is computed from the epochs that survived, and coverage
 // tells you how partial it is).
+//
+// With -shards, the deployment is flow-sharded (tqcenter/tqpoint -shard
+// i/n): the router hashes the flow with the cluster's seed-keyed
+// partition and dials the owning shard's query endpoint (index i in the
+// list). Because the partition is disjoint, a single-flow T-query lives
+// wholly on one shard and the routed answer is exact — identical to an
+// unsharded deployment's. Cross-flow aggregates (sums over many flows)
+// are the union of per-shard answers: query each endpoint and add.
 package main
 
 import (
@@ -19,8 +28,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/transport"
 )
 
@@ -34,19 +45,34 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tqquery", flag.ContinueOnError)
 	var (
-		addr  = fs.String("addr", "", "measurement point query address (tqpoint -query-addr)")
-		flow  = fs.Uint64("flow", 0, "flow label to query")
-		watch = fs.Duration("watch", 0, "re-query at this interval until interrupted (0 = once)")
-		count = fs.Int("count", 0, "with -watch: stop after this many queries (0 = forever)")
-		cover = fs.Bool("coverage", false, "also report the window coverage behind each answer")
+		addr   = fs.String("addr", "", "measurement point query address (tqpoint -query-addr)")
+		flow   = fs.Uint64("flow", 0, "flow label to query")
+		watch  = fs.Duration("watch", 0, "re-query at this interval until interrupted (0 = once)")
+		count  = fs.Int("count", 0, "with -watch: stop after this many queries (0 = forever)")
+		cover  = fs.Bool("coverage", false, "also report the window coverage behind each answer")
+		shards = fs.String("shards", "", "comma-separated per-shard query endpoints (index = shard id); routes the flow to its owning shard")
+		sseed  = fs.Uint64("shard-seed", 42, "cluster-wide hash seed the shards were started with (tqcenter -seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *addr == "" {
-		return fmt.Errorf("missing -addr")
+	target := *addr
+	if *shards != "" {
+		addrs := strings.Split(*shards, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		// The seed-keyed partition is the same one tqpoint uses to slice
+		// traffic, so the owning shard holds every record for this flow and
+		// the routed single-flow answer is exact.
+		si := core.NewFlowPartition(*sseed, len(addrs)).Shard(*flow)
+		target = addrs[si]
+		fmt.Fprintf(stdout, "flow %d -> shard %d (%s)\n", *flow, si, target)
 	}
-	qc, err := transport.DialQuery(*addr)
+	if target == "" {
+		return fmt.Errorf("missing -addr (or -shards)")
+	}
+	qc, err := transport.DialQuery(target)
 	if err != nil {
 		return err
 	}

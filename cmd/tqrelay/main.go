@@ -1,0 +1,170 @@
+// Command tqrelay runs an aggregation-tree relay: it serves the center
+// protocol to its children (tqpoint agents or deeper tqrelay instances),
+// merges their per-epoch uploads into one combined sketch per round, and
+// speaks the point protocol upstream — so the center (or a higher relay)
+// sees the whole subtree as a single weighted child. Size-design trees
+// require every point to run with -delta: cumulative uploads cannot be
+// pre-merged.
+//
+// Usage:
+//
+//	tqrelay -addr :7071 -upstream 127.0.0.1:7070 -relay 100 \
+//	        -kind spread -n 10 -widths 0:1638,1:3276
+//	tqrelay -addr :7071 -upstream 127.0.0.1:7070 -relay 100 \
+//	        -kind size -n 10 -widths 0:16384,1:16384 -weights 0:1,1:1
+//
+// The upstream topology must list this relay as a direct child whose
+// width is the maximum child width here and whose weight is the subtree's
+// leaf count (-weights sums, default 1 per child).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/diag"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tqrelay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tqrelay", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7071", "child-facing listen address")
+		upstream  = fs.String("upstream", "127.0.0.1:7070", "upstream address (center or higher relay)")
+		relayID   = fs.Int("relay", 100, "this relay's id in the upstream topology")
+		kind      = fs.String("kind", "size", `design: "size" or "spread"`)
+		sketch    = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the tree's -sketch)`)
+		n         = fs.Int("n", 10, "epochs per window (the paper's n)")
+		widths    = fs.String("widths", "", "children as id:width pairs, e.g. 0:1638,1:3276")
+		weights   = fs.String("weights", "", "children as id:weight pairs (subtree leaf counts; default 1 each)")
+		m         = fs.Int("m", 128, "HLL registers per estimator (spread)")
+		d         = fs.Int("d", 4, "CountMin rows (size)")
+		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		shard     = fs.String("shard", "", `center shard this subtree belongs to, as "i/n" (default unsharded)`)
+		ckptDir   = fs.String("checkpoint-dir", "", "write atomic checkpoints of the relay state here and recover from them on restart")
+		ckptEvry  = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pprofAddr != "" {
+		a, err := diag.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tqrelay %d: pprof on http://%s/debug/pprof/\n", *relayID, a)
+	}
+	topo, err := parseIDInts(*widths, "width")
+	if err != nil {
+		return err
+	}
+	if topo == nil {
+		return fmt.Errorf("missing -widths (e.g. 0:1638,1:1638)")
+	}
+	wts, err := parseIDInts(*weights, "weight")
+	if err != nil {
+		return err
+	}
+	shardIdx, _, err := parseShard(*shard)
+	if err != nil {
+		return err
+	}
+
+	srv, err := transport.ServeRelay(transport.RelayConfig{
+		Addr:            *addr,
+		UpstreamAddr:    *upstream,
+		Relay:           *relayID,
+		Kind:            transport.Kind(*kind),
+		Sketch:          *sketch,
+		WindowN:         *n,
+		Widths:          topo,
+		Weights:         wts,
+		M:               *m,
+		D:               *d,
+		Seed:            *seed,
+		Shard:           shardIdx,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvry,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("tqrelay %d: %s design, n=%d, %d children on %s, upstream %s\n",
+		*relayID, *kind, *n, len(topo), srv.Addr(), *upstream)
+	if *ckptDir != "" {
+		if gen := srv.Stats().RestoredGeneration; gen > 0 {
+			fmt.Printf("tqrelay %d: recovered state from checkpoint generation %d\n", *relayID, gen)
+		}
+		fmt.Printf("tqrelay %d: checkpointing to %s every %d round(s)\n", *relayID, *ckptDir, max(*ckptEvry, 1))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("tqrelay %d: shutting down\n", *relayID)
+	return nil
+}
+
+// parseIDInts parses "0:1638,1:3276" into an id→value map (nil for "").
+func parseIDInts(s, what string) (map[int]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[int]int)
+	for _, part := range strings.Split(s, ",") {
+		id, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -%ss entry %q", what, part)
+		}
+		cid, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad child id %q: %w", id, err)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad %s %q for child %d", what, val, cid)
+		}
+		if _, dup := out[cid]; dup {
+			return nil, fmt.Errorf("duplicate child id %d", cid)
+		}
+		out[cid] = v
+	}
+	return out, nil
+}
+
+// parseShard parses "i/n" into (index, count); "" means unsharded (0, 1).
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf(`bad -shard %q (want "i/n", e.g. 0/2)`, s)
+	}
+	i, err := strconv.Atoi(is)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard index %q: %w", is, err)
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard count %q: %w", ns, err)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("shard %d/%d out of range", i, n)
+	}
+	return i, n, nil
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package cluster
+
+// See race_on_test.go: full-length equality sweeps without the detector.
+const raceEnabled = false

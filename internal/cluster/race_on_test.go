@@ -1,0 +1,10 @@
+//go:build race
+
+package cluster
+
+// raceEnabled shrinks the heavyweight equality sweeps when the race
+// detector multiplies every sketch operation ~30x: the tree-vs-flat
+// equality claims are binary (bit-identical or not), so a shorter trace
+// proves the same property while keeping `make race` under a minute for
+// this package.
+const raceEnabled = true

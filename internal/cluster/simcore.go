@@ -31,6 +31,17 @@ type simCore[S core.Sketch[S]] struct {
 	baseAdvance func()
 	baseRecord  func(x int, f, e uint64)
 
+	// Tree routing (nil maps/slices = the flat single-center deployment).
+	// relays/parent route uploads through the aggregation tree; topOf and
+	// leafW drive the push path: the center's aggregate for a leaf's
+	// top-level ancestor, compressed to the leaf's width — exactly what
+	// the chain of relays would deliver hop by hop, since compression
+	// composes along the width chain.
+	relays map[int]*core.Relay[S]
+	parent map[int]int
+	topOf  []int
+	leafW  []int
+
 	epoch  int64
 	lastTS window.Time
 
@@ -43,13 +54,42 @@ type simCore[S core.Sketch[S]] struct {
 // Epoch returns the current epoch.
 func (s *simCore[S]) Epoch() int64 { return s.epoch }
 
+// installTree switches the boundary choreography from the flat
+// single-center deployment to an aggregation tree.
+func (s *simCore[S]) installTree(t *simTree[S]) {
+	s.relays, s.parent, s.topOf, s.leafW = t.relays, t.parent, t.topOf, t.leafW
+}
+
+// deliver hands one node's epoch upload to its parent: the center when
+// the node is top-level, otherwise its relay — and every round the relay
+// completes travels one hop further up, recursively.
+func (s *simCore[S]) deliver(id int, k int64, up S) error {
+	r, ok := s.parent[id]
+	if !ok {
+		return s.recv(id, k, up)
+	}
+	rel := s.relays[r]
+	if err := rel.Receive(id, k, up); err != nil {
+		return err
+	}
+	for {
+		e, combined, ready := rel.Next()
+		if !ready {
+			return nil
+		}
+		if err := s.deliver(r, e, combined); err != nil {
+			return err
+		}
+	}
+}
+
 // advanceTo rolls the cluster forward to the packet's epoch, running the
 // boundary choreography for every crossed boundary.
 func (s *simCore[S]) advanceTo(epoch int64) error {
 	for s.epoch < epoch {
 		k := s.epoch
 		for x, pt := range s.engines {
-			if err := s.recv(x, k, pt.EndEpoch()); err != nil {
+			if err := s.deliver(x, k, pt.EndEpoch()); err != nil {
 				return err
 			}
 		}
@@ -57,9 +97,18 @@ func (s *simCore[S]) advanceTo(epoch int64) error {
 			s.baseAdvance()
 		}
 		for x, pt := range s.engines {
-			agg, err := s.ctr.AggregateFor(x, k+1)
+			top := x
+			if s.topOf != nil {
+				top = s.topOf[x]
+			}
+			agg, err := s.ctr.AggregateFor(top, k+1)
 			if err != nil {
 				return err
+			}
+			if top != x && !core.IsNil(agg) {
+				if agg, err = agg.CompressTo(s.leafW[x]); err != nil {
+					return err
+				}
 			}
 			if err := pt.ApplyAggregate(agg); err != nil {
 				return err

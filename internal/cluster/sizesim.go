@@ -35,6 +35,11 @@ type SizeSimConfig struct {
 	BaselineDepth int
 	// TrackTruth records exact ground truth.
 	TrackTruth bool
+	// Topology, when non-empty, routes uploads through an aggregation
+	// tree of simulated relays (see Topology). Trees require delta-mode
+	// uploads (cumulative sketches cannot be pre-merged): Mode defaults
+	// to delta and explicitly configuring cumulative is an error.
+	Topology Topology
 }
 
 // SizeSim is a running flow-size simulation: the shared engine loop
@@ -57,6 +62,12 @@ func NewSizeSim(cfg SizeSimConfig) (*SizeSim, error) {
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = core.SizeModeCumulative
+		if len(cfg.Topology) > 0 {
+			cfg.Mode = core.SizeModeDelta
+		}
+	}
+	if len(cfg.Topology) > 0 && cfg.Mode != core.SizeModeDelta {
+		return nil, fmt.Errorf("cluster: tree topologies require delta-mode size uploads (cumulative sketches cannot be pre-merged)")
 	}
 	if cfg.BaselineDepth == 0 {
 		cfg.BaselineDepth = slidingsketch.DefaultDepth
@@ -77,9 +88,35 @@ func NewSizeSim(cfg SizeSimConfig) (*SizeSim, error) {
 		}
 		points[x] = pt
 	}
-	center, err := core.NewSizeCenter(cfg.Window.N, params, cfg.Mode)
+	var tree *simTree[*countmin.Sketch]
+	centerParams := params
+	if len(cfg.Topology) > 0 {
+		if cfg.Enhance {
+			return nil, fmt.Errorf("cluster: the enhancement exchange is point-addressed and cannot cross relays; disable Enhance with Topology")
+		}
+		leafProtos := make([]*countmin.Sketch, p)
+		for x := range leafProtos {
+			leafProtos[x] = countmin.New(params[x])
+		}
+		tree, err = buildTree(cfg.Topology, leafProtos, cfg.Window.N, core.EngineConfig[*countmin.Sketch]{
+			Design: "size", Mode: core.ModeDelta, Additive: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		centerParams = make(map[int]countmin.Params, len(tree.topWidth))
+		for t, w := range tree.topWidth {
+			centerParams[t] = countmin.Params{D: cfg.D, W: w, Seed: cfg.Seed}
+		}
+	}
+	center, err := core.NewSizeCenter(cfg.Window.N, centerParams, cfg.Mode)
 	if err != nil {
 		return nil, err
+	}
+	if tree != nil {
+		for t, w := range tree.topWeights {
+			center.SetWeight(t, w)
+		}
 	}
 	sim := &SizeSim{cfg: cfg, points: points, center: center}
 	engines := make([]*core.Point[*countmin.Sketch], p)
@@ -93,6 +130,9 @@ func NewSizeSim(cfg SizeSimConfig) (*SizeSim, error) {
 		ctr:     center.Center,
 		recv:    center.Receive,
 		epoch:   1,
+	}
+	if tree != nil {
+		sim.installTree(tree)
 	}
 	if cfg.TrackTruth {
 		tr, err := metrics.NewTruth(cfg.Window.N, p, true, false)

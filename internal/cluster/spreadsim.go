@@ -48,6 +48,11 @@ type SpreadSimConfig struct {
 	TrackTruth bool
 	// VirtualBits is the VATE virtual bitmap length (0 = paper's 2048).
 	VirtualBits int
+	// Topology, when non-empty, routes uploads through an aggregation
+	// tree of simulated relays and has the center serve the top-level
+	// nodes (see Topology). Incompatible with Enhance: the enhancement
+	// exchange is point-addressed and cannot cross relays.
+	Topology Topology
 }
 
 // SpreadSim is a running flow-spread simulation, generic over the epoch
@@ -84,6 +89,13 @@ func NewSpreadSim(cfg SpreadSimConfig) (*SpreadSim[*rskt.Sketch], error) {
 			return nil, err
 		}
 		points[x] = pt
+	}
+	if len(cfg.Topology) > 0 {
+		protos := make([]*rskt.Sketch, len(widths))
+		for x := range widths {
+			protos[x] = rskt.New(params[x])
+		}
+		return newSpreadTreeSim(cfg, points, protos)
 	}
 	center, err := core.NewSpreadCenter(cfg.Window.N, params)
 	if err != nil {
@@ -127,11 +139,46 @@ func NewVhllSpreadSim(cfg SpreadSimConfig) (*SpreadSim[*vhll.Sketch], error) {
 		}
 		points[x] = pt
 	}
+	if len(cfg.Topology) > 0 {
+		leafProtos := make([]*vhll.Sketch, len(sizes))
+		for x := range sizes {
+			leafProtos[x] = protos[x]
+		}
+		return newSpreadTreeSim(cfg, points, leafProtos)
+	}
 	center, err := core.NewSpreadCenterOf(cfg.Window.N, protos)
 	if err != nil {
 		return nil, err
 	}
 	return newSpreadSim(cfg, points, center)
+}
+
+// newSpreadTreeSim builds the tree-topology variant: simulated relays
+// between the points and a center that serves the top-level nodes,
+// weighted by subtree leaf count.
+func newSpreadTreeSim[S core.SpreadSketch[S]](cfg SpreadSimConfig, points []*core.SpreadPoint[S], leafProtos []S) (*SpreadSim[S], error) {
+	if cfg.Enhance {
+		return nil, fmt.Errorf("cluster: the enhancement exchange is point-addressed and cannot cross relays; disable Enhance with Topology")
+	}
+	tree, err := buildTree(cfg.Topology, leafProtos, cfg.Window.N, core.EngineConfig[S]{
+		Design: "spread", Mode: core.ModeDelta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	center, err := core.NewSpreadCenterOf(cfg.Window.N, tree.topProtos)
+	if err != nil {
+		return nil, err
+	}
+	for t, w := range tree.topWeights {
+		center.SetWeight(t, w)
+	}
+	sim, err := newSpreadSim(cfg, points, center)
+	if err != nil {
+		return nil, err
+	}
+	sim.installTree(tree)
+	return sim, nil
 }
 
 // newSpreadSim wires the shared engine loop and the sketch-independent

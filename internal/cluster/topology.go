@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Topology describes an aggregation tree over the simulated cluster: it
+// maps a node id — a measurement point (0..p-1) or a relay — to its
+// parent relay's id. Nodes absent from the map are direct children of
+// the center; an empty (or nil) Topology is the flat deployment. Relay
+// ids are any integers outside [0, p); a relay exists exactly because
+// some node names it as parent. Trees may nest (relays under relays);
+// cycles and childless relays are rejected.
+//
+// The simulated tree reproduces internal/core's algebra exactly: each
+// relay merges its children's per-epoch uploads (core.Relay) and the
+// center serves the top-level nodes, weighting each by its subtree's
+// leaf count, so coverage accounting still counts leaves. Pushes travel
+// the reverse path, compressed stepwise to each child's width — and
+// because compression composes exactly along divisibility chains, every
+// leaf receives bit-identically the aggregate a flat center would have
+// sent it (the Thm 6.1/6.3 equality matrix in treesim_test.go pins
+// this).
+type Topology map[int]int
+
+// simTree is a built aggregation tree: the relay instances plus the
+// routing tables simCore needs at epoch boundaries.
+type simTree[S core.Sketch[S]] struct {
+	relays map[int]*core.Relay[S]
+	parent map[int]int
+	// topOf[x] is leaf x's center-level ancestor (x itself when direct).
+	topOf []int
+	// leafW[x] is leaf x's sketch width, the target of the push-path
+	// compression chain.
+	leafW []int
+	// topProtos/topWeights/topWidth describe the center's direct children.
+	topProtos  map[int]S
+	topWeights map[int]int
+	topWidth   map[int]int
+}
+
+// buildTree validates a topology over p = len(leafProtos) measurement
+// points and constructs its relays. leafProtos must be fresh zero-state
+// prototypes (not the live point sketches), one per point id.
+func buildTree[S core.Sketch[S]](topo Topology, leafProtos []S, windowN int, cfg core.EngineConfig[S]) (*simTree[S], error) {
+	p := len(leafProtos)
+	children := make(map[int][]int)
+	for child, par := range topo {
+		if par >= 0 && par < p {
+			return nil, fmt.Errorf("cluster: node %d's parent %d is a measurement point; relay ids must lie outside [0,%d)", child, par, p)
+		}
+		children[par] = append(children[par], child)
+	}
+	for child := range topo {
+		if child >= 0 && child < p {
+			continue
+		}
+		if _, isRelay := children[child]; !isRelay {
+			return nil, fmt.Errorf("cluster: node %d has a parent but is neither a point nor a relay with children", child)
+		}
+	}
+	for start := range topo {
+		cur, steps := start, 0
+		for {
+			par, ok := topo[cur]
+			if !ok {
+				break
+			}
+			if steps++; steps > len(topo)+1 {
+				return nil, fmt.Errorf("cluster: topology has a cycle through node %d", start)
+			}
+			cur = par
+		}
+	}
+	for _, kids := range children {
+		sort.Ints(kids)
+	}
+
+	type nodeInfo struct {
+		width, weight int
+		proto         S // a zero-state prototype at exactly this width
+	}
+	info := make(map[int]nodeInfo)
+	var visit func(id int) (nodeInfo, error)
+	visit = func(id int) (nodeInfo, error) {
+		if ni, ok := info[id]; ok {
+			return ni, nil
+		}
+		if id >= 0 && id < p {
+			ni := nodeInfo{width: leafProtos[id].Width(), weight: 1, proto: leafProtos[id]}
+			info[id] = ni
+			return ni, nil
+		}
+		var ni nodeInfo
+		for _, c := range children[id] {
+			ci, err := visit(c)
+			if err != nil {
+				return ni, err
+			}
+			ni.weight += ci.weight
+			if ci.width > ni.width {
+				ni.width, ni.proto = ci.width, ci.proto
+			}
+		}
+		info[id] = ni
+		return ni, nil
+	}
+
+	t := &simTree[S]{
+		relays:     make(map[int]*core.Relay[S], len(children)),
+		parent:     make(map[int]int, len(topo)),
+		topOf:      make([]int, p),
+		leafW:      make([]int, p),
+		topProtos:  make(map[int]S),
+		topWeights: make(map[int]int),
+		topWidth:   make(map[int]int),
+	}
+	for child, par := range topo {
+		t.parent[child] = par
+	}
+	for r, kids := range children {
+		if _, err := visit(r); err != nil {
+			return nil, err
+		}
+		protos := make(map[int]S, len(kids))
+		weights := make(map[int]int, len(kids))
+		for _, c := range kids {
+			ci := info[c]
+			protos[c] = ci.proto.Clone()
+			weights[c] = ci.weight
+		}
+		rel, err := core.NewRelay(windowN, protos, weights, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: relay %d: %w", r, err)
+		}
+		t.relays[r] = rel
+	}
+	addTop := func(id int) error {
+		ni, err := visit(id)
+		if err != nil {
+			return err
+		}
+		t.topProtos[id] = ni.proto.Clone()
+		t.topWeights[id] = ni.weight
+		t.topWidth[id] = ni.width
+		return nil
+	}
+	for x := 0; x < p; x++ {
+		t.leafW[x] = leafProtos[x].Width()
+		if _, hasParent := topo[x]; !hasParent {
+			if err := addTop(x); err != nil {
+				return nil, err
+			}
+		}
+		cur := x
+		for {
+			par, ok := topo[cur]
+			if !ok {
+				break
+			}
+			cur = par
+		}
+		t.topOf[x] = cur
+	}
+	for r := range children {
+		if _, hasParent := topo[r]; !hasParent {
+			if err := addTop(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// The aggregation-tree equality matrix: a cluster fed through relays must
+// answer every T-query bit-identically to the flat deployment on the same
+// trace — for both designs and both spread sketch backends, for balanced
+// and skewed multi-level trees, and with heterogeneous point widths so
+// the expand/compress chain is actually exercised. This is the simulated
+// half of the Thm 6.1/6.3 correctness bar for PR 7; the transport half
+// (live relays over faultnet) lives in internal/transport.
+
+// collectTrace materializes a generated trace so several simulations can
+// replay identical packets.
+func collectTrace(t *testing.T, cfg trace.Config) []trace.Packet {
+	t.Helper()
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps []trace.Packet
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			return ps
+		}
+		ps = append(ps, p)
+	}
+}
+
+// flowsOf returns up to limit distinct flows of a trace, in first-seen
+// order.
+func flowsOf(ps []trace.Packet, limit int) []uint64 {
+	seen := make(map[uint64]bool)
+	var flows []uint64
+	for _, p := range ps {
+		if !seen[p.Flow] {
+			seen[p.Flow] = true
+			flows = append(flows, p.Flow)
+			if len(flows) == limit {
+				break
+			}
+		}
+	}
+	return flows
+}
+
+// treeTestTopologies is the fixed matrix of tree shapes checked against
+// the flat deployment (p = 4 points; relay ids start at 100).
+func treeTestTopologies() map[string]Topology {
+	return map[string]Topology{
+		"two-relays": {0: 100, 1: 100, 2: 101, 3: 101},
+		"skewed":     {0: 100, 1: 100, 2: 100}, // point 3 direct at the center
+		"three-level": {
+			0: 100, 1: 100, // relay 100 under relay 102
+			2: 101, 3: 101, // relay 101 direct at the center
+			100: 102,
+		},
+		"chain": {0: 100, 1: 100, 100: 101, 101: 102}, // 4-deep chain for 0,1
+	}
+}
+
+func treeTestTrace(seed int64) trace.Config {
+	cfg := trace.Config{
+		Packets:    40_000,
+		Flows:      400,
+		Points:     4,
+		Duration:   time.Minute,
+		ZipfS:      1.2,
+		SpreadCap:  800,
+		SpreadSkew: 0.85,
+		Seed:       seed,
+	}
+	if raceEnabled {
+		cfg.Packets = 6_000
+		cfg.Flows = 200
+	}
+	return cfg
+}
+
+// treeMemoryBits gives the four points heterogeneous budgets (1:2:4:4) so
+// relay widths differ from leaf widths and pushes really compress. The
+// race detector multiplies every register operation; smaller sketches
+// with the same 1:2:4:4 shape exercise the identical expand/compress
+// chains at a fraction of the epoch-boundary cost.
+func treeMemoryBits() []int {
+	if raceEnabled {
+		return []int{1 << 14, 1 << 15, 1 << 16, 1 << 16}
+	}
+	return []int{1 << 18, 1 << 19, 1 << 20, 1 << 20}
+}
+
+// runSpreadPair feeds the identical packet slice through a flat and a
+// tree simulation and requires bit-identical estimates at every point for
+// every flow, at a mid-trace boundary region and at the end, plus
+// identical leaf-weighted center coverage.
+func runSpreadPair[S core.SpreadSketch[S]](t *testing.T, flat, tree *SpreadSim[S], ps []trace.Packet, flows []uint64) {
+	t.Helper()
+	compare := func(stage string) {
+		t.Helper()
+		if fe, te := flat.Epoch(), tree.Epoch(); fe != te {
+			t.Fatalf("%s: epochs diverged: flat %d, tree %d", stage, fe, te)
+		}
+		for x := range flat.Points() {
+			for _, f := range flows {
+				a, b := flat.QueryProtocol(x, f), tree.QueryProtocol(x, f)
+				if a != b {
+					t.Fatalf("%s: point %d flow %d: flat %v != tree %v", stage, x, f, a, b)
+				}
+			}
+		}
+		am, ae := flat.center.CoverageFor(flat.Epoch())
+		bm, be := tree.center.CoverageFor(tree.Epoch())
+		if am != bm || ae != be {
+			t.Fatalf("%s: center coverage diverged: flat %d/%d, tree %d/%d", stage, am, ae, bm, be)
+		}
+	}
+	for i, p := range ps {
+		if err := flat.Feed(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Feed(p); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(ps)/2 {
+			compare("mid-trace")
+		}
+	}
+	compare("end")
+}
+
+func TestTreeEqualsFlatSpreadRskt(t *testing.T) {
+	for name, topo := range treeTestTopologies() {
+		t.Run(name, func(t *testing.T) {
+			base := SpreadSimConfig{
+				Window:     testWindow(),
+				MemoryBits: treeMemoryBits(),
+				Seed:       17,
+			}
+			flat, err := NewSpreadSim(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			treeCfg := base
+			treeCfg.Topology = topo
+			tree, err := NewSpreadSim(treeCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := collectTrace(t, treeTestTrace(31))
+			runSpreadPair(t, flat, tree, ps, flowsOf(ps, 200))
+		})
+	}
+}
+
+func TestTreeEqualsFlatSpreadVhll(t *testing.T) {
+	for name, topo := range treeTestTopologies() {
+		t.Run(name, func(t *testing.T) {
+			base := SpreadSimConfig{
+				Window:     testWindow(),
+				MemoryBits: treeMemoryBits(),
+				Seed:       19,
+			}
+			flat, err := NewVhllSpreadSim(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			treeCfg := base
+			treeCfg.Topology = topo
+			tree, err := NewVhllSpreadSim(treeCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := collectTrace(t, treeTestTrace(37))
+			runSpreadPair(t, flat, tree, ps, flowsOf(ps, 150))
+		})
+	}
+}
+
+// TestTreeEqualsFlatSize checks the three-way size equality: the tree
+// (delta mode, forced) equals the flat delta deployment equals the flat
+// cumulative (paper) deployment, exactly, on a healthy trace.
+func TestTreeEqualsFlatSize(t *testing.T) {
+	for name, topo := range treeTestTopologies() {
+		t.Run(name, func(t *testing.T) {
+			base := SizeSimConfig{
+				Window:     testWindow(),
+				MemoryBits: treeMemoryBits(),
+				Seed:       23,
+			}
+			cum, err := NewSizeSim(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deltaCfg := base
+			deltaCfg.Mode = core.SizeModeDelta
+			delta, err := NewSizeSim(deltaCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			treeCfg := base
+			treeCfg.Topology = topo
+			tree, err := NewSizeSim(treeCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := collectTrace(t, treeTestTrace(41))
+			flows := flowsOf(ps, 200)
+			compare := func(stage string) {
+				t.Helper()
+				for x := range tree.Points() {
+					for _, f := range flows {
+						c, d, tr := cum.QueryProtocol(x, f), delta.QueryProtocol(x, f), tree.QueryProtocol(x, f)
+						if c != d || d != tr {
+							t.Fatalf("%s: point %d flow %d: cumulative %d, delta %d, tree %d",
+								stage, x, f, c, d, tr)
+						}
+					}
+				}
+				dm, de := delta.center.CoverageFor(delta.Epoch())
+				tm, te := tree.center.CoverageFor(tree.Epoch())
+				if dm != tm || de != te {
+					t.Fatalf("%s: center coverage diverged: delta %d/%d, tree %d/%d", stage, dm, de, tm, te)
+				}
+			}
+			for i, p := range ps {
+				if err := cum.Feed(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := delta.Feed(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := tree.Feed(p); err != nil {
+					t.Fatal(err)
+				}
+				if i == len(ps)/2 {
+					compare("mid-trace")
+				}
+			}
+			compare("end")
+		})
+	}
+}
+
+// TestTreeTopologyValidation pins the construction errors: cycles, a
+// point as parent, childless relays, enhancement across relays, and
+// cumulative size uploads through a tree.
+func TestTreeTopologyValidation(t *testing.T) {
+	base := SpreadSimConfig{
+		Window:     testWindow(),
+		MemoryBits: []int{1 << 16, 1 << 16},
+		Seed:       7,
+	}
+	bad := []struct {
+		name string
+		topo Topology
+	}{
+		{"cycle", Topology{0: 100, 100: 101, 101: 100}},
+		{"point-parent", Topology{0: 1}},
+		{"childless-relay", Topology{100: 101}},
+	}
+	for _, tc := range bad {
+		cfg := base
+		cfg.Topology = tc.topo
+		if _, err := NewSpreadSim(cfg); err == nil {
+			t.Fatalf("%s: expected construction error", tc.name)
+		}
+	}
+	enh := base
+	enh.Enhance = true
+	enh.Topology = Topology{0: 100, 1: 100}
+	if _, err := NewSpreadSim(enh); err == nil {
+		t.Fatal("expected enhancement+topology to be rejected")
+	}
+	sz := SizeSimConfig{
+		Window:     testWindow(),
+		MemoryBits: []int{1 << 16, 1 << 16},
+		Seed:       7,
+		Mode:       core.SizeModeCumulative,
+		Topology:   Topology{0: 100, 1: 100},
+	}
+	if _, err := NewSizeSim(sz); err == nil {
+		t.Fatal("expected cumulative+topology to be rejected")
+	}
+}
+
+// randomTopology builds a random 1–3 level tree over p points: each point
+// lands at the center or under one of a few first-level relays, and a
+// second-level relay may adopt some first-level relays.
+func randomTopology(rng *rand.Rand, p int) Topology {
+	topo := Topology{}
+	nRelays := 1 + rng.Intn(3)
+	relays := make([]int, nRelays)
+	children := make([]int, nRelays)
+	for i := range relays {
+		relays[i] = 100 + i
+	}
+	for x := 0; x < p; x++ {
+		if rng.Intn(4) > 0 { // 3/4 of points sit under a relay
+			i := rng.Intn(nRelays)
+			topo[x] = relays[i]
+			children[i]++
+		}
+	}
+	if rng.Intn(2) == 0 {
+		super := 200
+		adopted := 0
+		for i, r := range relays {
+			if children[i] > 0 && rng.Intn(2) == 0 {
+				topo[r] = super
+				adopted++
+			}
+		}
+		_ = adopted // zero adoptions simply means no second level
+	}
+	return topo
+}
+
+// TestTreeFlatEquivalenceProperty is the randomized half of the matrix:
+// seeded random tree topologies × random traces must stay bit-identical
+// to the flat deployment, for both spread backends and the size design.
+func TestTreeFlatEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(712))
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	for it := 0; it < iters; it++ {
+		p := 2 + rng.Intn(4)
+		bits := make([]int, p)
+		for x := range bits {
+			bits[x] = 1 << (16 + rng.Intn(3))
+		}
+		topo := randomTopology(rng, p)
+		tcfg := trace.Config{
+			Packets:    15_000,
+			Flows:      250,
+			Points:     p,
+			Duration:   30 * time.Second,
+			ZipfS:      1.2,
+			SpreadCap:  400,
+			SpreadSkew: 0.8,
+			Seed:       rng.Int63(),
+		}
+		ps := collectTrace(t, tcfg)
+		flows := flowsOf(ps, 120)
+		win := window.Config{T: 10 * time.Second, N: 5}
+		seed := uint64(rng.Int63())
+
+		scfg := SpreadSimConfig{Window: win, MemoryBits: bits, Seed: seed}
+		streeCfg := scfg
+		streeCfg.Topology = topo
+		if it%2 == 0 {
+			flat, err := NewSpreadSim(scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := NewSpreadSim(streeCfg)
+			if err != nil {
+				t.Fatalf("iter %d topo %v: %v", it, topo, err)
+			}
+			runSpreadPair(t, flat, tree, ps, flows)
+		} else {
+			flat, err := NewVhllSpreadSim(scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := NewVhllSpreadSim(streeCfg)
+			if err != nil {
+				t.Fatalf("iter %d topo %v: %v", it, topo, err)
+			}
+			runSpreadPair(t, flat, tree, ps, flows)
+		}
+
+		zcfg := SizeSimConfig{Window: win, MemoryBits: bits, Seed: seed, Mode: core.SizeModeDelta}
+		zflat, err := NewSizeSim(zcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ztreeCfg := zcfg
+		ztreeCfg.Topology = topo
+		ztree, err := NewSizeSim(ztreeCfg)
+		if err != nil {
+			t.Fatalf("iter %d topo %v: %v", it, topo, err)
+		}
+		for _, pkt := range ps {
+			if err := zflat.Feed(pkt); err != nil {
+				t.Fatal(err)
+			}
+			if err := ztree.Feed(pkt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for x := 0; x < p; x++ {
+			for _, f := range flows {
+				if a, b := zflat.QueryProtocol(x, f), ztree.QueryProtocol(x, f); a != b {
+					t.Fatalf("iter %d topo %v: size point %d flow %d: flat %d != tree %d", it, topo, x, f, a, b)
+				}
+			}
+		}
+	}
+}

@@ -49,6 +49,12 @@ type Center[S Sketch[S]] struct {
 	// epoch's delta, so post-gap uploads are unusable until the point
 	// sends a rebase upload (see UploadMeta.Rebase).
 	chainBroken map[int]bool
+	// weights[point] is the number of leaf measurement points one upload
+	// from this child represents: 1 for a direct point, the subtree's leaf
+	// count for a relay (see Relay.Weight). Coverage accounting multiplies
+	// by it so a tree-fed center reports the same merged/expected counts a
+	// flat center would.
+	weights map[int]int
 }
 
 // NewCenter creates a center for a cluster whose points use the given
@@ -117,6 +123,53 @@ func NewCenter[S Sketch[S]](windowN int, protos map[int]S, cfg EngineConfig[S]) 
 		}
 	}
 	return c, nil
+}
+
+// SetWeight declares that one upload from the given child represents
+// weight leaf measurement points — used when the child is a relay whose
+// uploads pre-merge a whole subtree (weight = the subtree's leaf count).
+// The default weight is 1 (a direct point). Weights below 1 are clamped
+// to 1; an unknown child is ignored.
+func (c *Center[S]) SetWeight(point, weight int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.protos[point]; !ok {
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if c.weights == nil {
+		c.weights = make(map[int]int, len(c.protos))
+	}
+	c.weights[point] = weight
+}
+
+// Weight returns the leaf count one upload from the child represents
+// (>= 1; 1 unless SetWeight raised it).
+func (c *Center[S]) Weight(point int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.weightLocked(point)
+}
+
+// TotalWeight is the number of leaf measurement points the whole cluster
+// represents — the sum of the direct children's weights.
+func (c *Center[S]) TotalWeight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for id := range c.protos {
+		total += c.weightLocked(id)
+	}
+	return total
+}
+
+func (c *Center[S]) weightLocked(point int) int {
+	if w, ok := c.weights[point]; ok && w > 1 {
+		return w
+	}
+	return 1
 }
 
 // ReceiveMeta ingests point's upload for the given epoch and stores (for
@@ -243,7 +296,11 @@ func (c *Center[S]) MaxEpoch() int64 {
 
 // CoverageFor counts, for the aggregate pushed during epoch k, how many
 // point-epoch measurements the center actually holds in the eq. (5) join
-// range versus how many a fully healthy window would contribute.
+// range versus how many a fully healthy window would contribute. Each
+// child's epochs count with its weight: a relay's combined upload stands
+// for its whole subtree's point-epochs, so a tree-fed center reports the
+// same counts a flat one would (an epoch a relay forwards is, by the
+// all-children barrier, present for every leaf beneath it).
 func (c *Center[S]) CoverageFor(k int64) (merged, expected int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -251,14 +308,17 @@ func (c *Center[S]) CoverageFor(k int64) (merged, expected int) {
 	if !ok {
 		return 0, 0
 	}
-	for _, per := range c.uploads {
+	span := int(last - first + 1)
+	for id, per := range c.uploads {
+		w := c.weightLocked(id)
 		for e := first; e <= last; e++ {
 			if _, ok := per[e]; ok {
-				merged++
+				merged += w
 			}
 		}
+		expected += w * span
 	}
-	return merged, len(c.uploads) * int(last-first+1)
+	return merged, expected
 }
 
 // HasUpload reports whether the center holds point's measurement for

@@ -1,0 +1,43 @@
+package core
+
+import "repro/internal/xhash"
+
+// flowShardTag decorrelates the shard-routing hash from every other use
+// of the flow key (sketch rows, ingest striping): the same seed feeds
+// them all, and an undecorated Hash64(f, seed) is exactly what the
+// sketches row-index with.
+const flowShardTag = 0x7ea8_51ab_c911_f03d
+
+// FlowPartition hash-partitions flow space across n center shards. Every
+// node of a sharded deployment (points routing records, the query router
+// fanning T-queries, relays validating shard ids) must build it from the
+// same (seed, n) pair — the partition is the deployment's contract, and
+// a flow's owner is a pure function of the key.
+//
+// Sharding by flow is what keeps the per-shard answers exact: each flow's
+// packets land wholly in one shard's sub-sketches, so the union of the
+// shards' query states equals the unsharded sketch bit for bit (both
+// merge algebras distribute over a disjoint partition of the input), and
+// the owning shard plus a cross-shard union reproduce the flat answers
+// exactly (Thm 6.1/6.3 survive the split).
+type FlowPartition struct {
+	seed uint64
+	div  xhash.Divisor
+}
+
+// NewFlowPartition creates the routing function for n shards (n >= 1)
+// under the deployment seed.
+func NewFlowPartition(seed uint64, n int) FlowPartition {
+	if n < 1 {
+		n = 1
+	}
+	return FlowPartition{seed: seed ^ flowShardTag, div: xhash.NewDivisor(n)}
+}
+
+// N is the shard count.
+func (p FlowPartition) N() int { return p.div.N() }
+
+// Shard returns the owning shard of flow f, in [0, N).
+func (p FlowPartition) Shard(f uint64) int {
+	return int(p.div.Mod(xhash.Hash64(f, p.seed)))
+}

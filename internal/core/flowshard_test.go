@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+// The partition is the sharded deployment's contract: every node builds
+// it independently from (seed, n), so it must be a stable, total, pure
+// function of the flow key. The cross-layer exactness it buys
+// (shard-union == flat) is asserted end-to-end by
+// transport.TestShardedEqualsFlat; these tests pin the function itself.
+func TestFlowPartitionTopologyContract(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		p := NewFlowPartition(42, n)
+		if p.N() != n {
+			t.Fatalf("N() = %d, want %d", p.N(), n)
+		}
+		q := NewFlowPartition(42, n)
+		hit := make([]int, n)
+		for f := uint64(0); f < 10_000; f++ {
+			s := p.Shard(f)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: Shard(%d) = %d out of range", n, f, s)
+			}
+			if qs := q.Shard(f); qs != s {
+				t.Fatalf("n=%d: independently built partition disagrees on flow %d: %d vs %d", n, f, s, qs)
+			}
+			hit[s]++
+		}
+		// Hash-balanced: no shard may own a wildly skewed slice (10k flows
+		// over <=17 shards; 3x the fair share is far beyond hash noise).
+		for s, c := range hit {
+			if c == 0 {
+				t.Errorf("n=%d: shard %d owns no flows", n, s)
+			}
+			if c > 3*10_000/n {
+				t.Errorf("n=%d: shard %d owns %d of 10000 flows (skewed)", n, s, c)
+			}
+		}
+	}
+}
+
+// Different seeds must permute ownership (the partition is seed-keyed,
+// like every other hash in the deployment), and n<1 clamps to the
+// unsharded identity.
+func TestFlowPartitionTopologySeedAndClamp(t *testing.T) {
+	a, b := NewFlowPartition(1, 8), NewFlowPartition(2, 8)
+	same := 0
+	for f := uint64(0); f < 1_000; f++ {
+		if a.Shard(f) == b.Shard(f) {
+			same++
+		}
+	}
+	if same > 400 { // expect ~125 collisions for n=8
+		t.Errorf("seeds 1 and 2 agree on %d/1000 flows; partition not seed-keyed?", same)
+	}
+	p := NewFlowPartition(7, 0)
+	if p.N() != 1 || p.Shard(123) != 0 {
+		t.Errorf("n=0 must clamp to the single-shard identity, got N=%d Shard=%d", p.N(), p.Shard(123))
+	}
+}

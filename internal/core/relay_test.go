@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/countmin"
+)
+
+func newTestRelay(t *testing.T, windowN int, children ...int) *Relay[*countmin.Sketch] {
+	t.Helper()
+	p := countmin.Params{D: 2, W: 64, Seed: 1}
+	protos := make(map[int]*countmin.Sketch, len(children))
+	for _, c := range children {
+		protos[c] = countmin.New(p)
+	}
+	r, err := NewRelay(windowN, protos, nil, EngineConfig[*countmin.Sketch]{
+		Design: "size", Mode: ModeDelta, Additive: true,
+	})
+	if err != nil {
+		t.Fatalf("NewRelay: %v", err)
+	}
+	return r
+}
+
+func testUpload(epoch int64) *countmin.Sketch {
+	sk := countmin.New(countmin.Params{D: 2, W: 64, Seed: 1})
+	sk.Add(uint64(epoch), 1)
+	return sk
+}
+
+// The post-outage wedge: transports cap each child's retransmit buffer
+// at one window, so after an outage longer than the window a restarted
+// relay (forwarded far behind the live edge) waits at the all-children
+// barrier for epochs NO child can re-supply. Receive must abandon such
+// dead rounds — every child's latest upload a full window past them —
+// so that live traffic unwedges the barrier within one window of the
+// resumption point. (The transport half of the fix resyncs from the
+// reconnecting child's Hello.StateEpoch at the handshake, which skips
+// even that window; this test pins the core safety net alone.)
+func TestRelayTreeAbandonsDeadRounds(t *testing.T) {
+	const n = 3
+	r := newTestRelay(t, n, 0, 1)
+
+	// A relay with no forwarding history hears the cluster resume at
+	// epoch 8: epochs 1..7 are gone from every child's buffer and must
+	// not block the barrier forever.
+	drain := func() []int64 {
+		var got []int64
+		for {
+			e, combined, ok := r.Next()
+			if !ok {
+				return got
+			}
+			if IsNil(combined) {
+				t.Fatalf("epoch %d popped with nil combined sketch", e)
+			}
+			got = append(got, e)
+		}
+	}
+	var popped []int64
+	for e := int64(8); e <= 13; e++ {
+		for _, child := range []int{0, 1} {
+			if err := r.Receive(child, e, testUpload(e)); err != nil {
+				t.Fatalf("child %d epoch %d: %v", child, e, err)
+			}
+		}
+		got := drain()
+		// Within the first window past resumption the barrier is still
+		// allowed to hold (rounds near 8 might yet complete from
+		// retransmits); past it, it MUST have unwedged.
+		if e <= 10 && len(got) != 0 {
+			t.Fatalf("epoch %d: rounds %v forwarded before either child was provably past them", e, got)
+		}
+		popped = append(popped, got...)
+	}
+	// One window past resumption the dead rounds are given up and the
+	// live edge flows: 9..13 forward in order (round 8's data straddled
+	// the stale trim ceiling and is honestly lost with the outage).
+	want := []int64{9, 10, 11, 12, 13}
+	if len(popped) != len(want) {
+		t.Fatalf("forwarded epochs %v, want %v", popped, want)
+	}
+	for i := range want {
+		if popped[i] != want[i] {
+			t.Fatalf("forwarded epochs %v, want %v", popped, want)
+		}
+	}
+	if got := r.Forwarded(); got != 13 {
+		t.Fatalf("forwarded = %d, want 13", got)
+	}
+
+	// Stragglers for abandoned epochs are duplicates, not new rounds.
+	if err := r.Receive(0, 5, testUpload(5)); err != ErrDuplicateUpload {
+		t.Fatalf("upload for abandoned epoch: err = %v, want ErrDuplicateUpload", err)
+	}
+}
+
+// A stall shorter than one window must NOT trigger abandonment: the
+// lagging child's buffer still holds the missing epochs, and the barrier
+// has to wait for them so forwarded uploads stay whole-subtree.
+func TestRelayTreeKeepsRoundsWithinWindow(t *testing.T) {
+	const n = 3
+	r := newTestRelay(t, n, 0, 1)
+	for e := int64(1); e <= n; e++ { // child 0 runs exactly one window ahead
+		if err := r.Receive(0, e, testUpload(e)); err != nil {
+			t.Fatalf("child 0 epoch %d: %v", e, err)
+		}
+	}
+	if err := r.Receive(1, 1, testUpload(1)); err != nil {
+		t.Fatalf("child 1 epoch 1: %v", err)
+	}
+	// min(lastEpoch) = 1: floor = 1-n < 0, nothing abandoned; round 1
+	// completes normally and rounds 2..3 wait for child 1.
+	e, _, ok := r.Next()
+	if !ok || e != 1 {
+		t.Fatalf("Next = (%d, %v), want epoch 1 ready", e, ok)
+	}
+	if _, _, ok := r.Next(); ok {
+		t.Fatalf("round 2 forwarded without child 1's upload")
+	}
+	if got := r.Forwarded(); got != 1 {
+		t.Fatalf("forwarded = %d, want 1", got)
+	}
+}

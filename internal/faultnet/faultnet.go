@@ -11,6 +11,11 @@
 //   - Network.Partition takes the center off the network (dials fail,
 //     existing connections are cut) until Network.Heal.
 //
+// Multi-level fabrics (aggregation relays, sharded centers) register
+// additional listening nodes by name: ListenAt/LinkTo/DialerTo address a
+// node, and PartitionNode/HealNode scope an outage to it. The
+// single-center surface above is the DefaultNode special case.
+//
 // Because every fault is triggered explicitly by the test between protocol
 // steps — never by a timer — each failure scenario is reproducible
 // byte-for-byte and clean under the race detector. The seeded Rand lets a
@@ -227,127 +232,199 @@ func (l *Listener) isClosed() bool {
 	return l.closed
 }
 
-// Network is one test's fabric: a single center listener, any number of
-// point links, and global partition control.
+// DefaultNode is the server name used by the single-center convenience
+// surface (Listen, Link, Partition): the fabric most tests need is one
+// center plus point links, and that shape predates multi-level fabrics.
+const DefaultNode = "center"
+
+// node is one listening endpoint of the fabric (a center shard or a
+// relay) with its own partition state and connection set.
+type node struct {
+	lis   *Listener
+	down  bool
+	pairs []*pair
+}
+
+// Network is one test's fabric: named listening nodes (one per center
+// shard or relay; plain single-center tests use just DefaultNode), any
+// number of links, and per-node partition control.
 type Network struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
-	lis   *Listener
-	pairs []*pair
-	down  bool
+	nodes map[string]*node
 	seq   int
 }
 
 // New creates a fabric whose Rand is seeded deterministically.
 func New(seed int64) *Network {
-	return &Network{rng: rand.New(rand.NewSource(seed))}
+	return &Network{rng: rand.New(rand.NewSource(seed)), nodes: make(map[string]*node)}
 }
 
 // Rand exposes the fabric's seeded source for scripting fault schedules.
 // It is not safe for concurrent use; call it from the test goroutine only.
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
-// Listen creates the center's listener. A second call is allowed only
-// after the previous listener closed — that is a center restart, and
-// subsequent dials reach the new listener.
-func (n *Network) Listen() *Listener {
+// listener returns the node's current listener (nil before ListenAt).
+func (n *Network) listener(name string) *Listener {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.lis != nil && !n.lis.isClosed() {
-		panic("faultnet: Listen called twice on a live listener")
+	return n.nodeLocked(name).lis
+}
+
+func (n *Network) nodeLocked(name string) *node {
+	nd := n.nodes[name]
+	if nd == nil {
+		nd = &node{}
+		n.nodes[name] = nd
 	}
-	l := &Listener{addr: "faultnet:center"}
+	return nd
+}
+
+// ListenAt creates the named node's listener (a center shard, a relay).
+// A second call for the same name is allowed only after the previous
+// listener closed — that is a node restart, and subsequent dials reach
+// the new listener.
+func (n *Network) ListenAt(name string) *Listener {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd := n.nodeLocked(name)
+	if nd.lis != nil && !nd.lis.isClosed() {
+		panic("faultnet: ListenAt(" + name + ") called twice on a live listener")
+	}
+	l := &Listener{addr: fakeAddr("faultnet:" + name)}
 	l.cond = sync.NewCond(&l.mu)
-	n.lis = l
+	nd.lis = l
 	return l
 }
 
+// Listen creates the center's listener (ListenAt(DefaultNode)).
+func (n *Network) Listen() *Listener {
+	return n.ListenAt(DefaultNode)
+}
+
 // Dial opens a raw connection to the center listener. The addr argument is
-// ignored (there is one listener); it exists so the method satisfies
-// transport.PointConfig.Dial directly.
+// ignored (links and dialers are bound to their node by construction); it
+// exists so the method satisfies transport.PointConfig.Dial directly.
 func (n *Network) Dial(addr string) (net.Conn, error) {
-	c, _, err := n.dial()
+	c, _, err := n.dial(DefaultNode)
 	return c, err
 }
 
-// dial builds a connection pair, queues the server end on the listener and
-// returns the client end plus the pair handle for fault control.
-func (n *Network) dial() (*Conn, *pair, error) {
+// DialerTo returns a dialer bound to the named node, in the shape
+// transport configs take. Unlike a Link it carries no fault controls;
+// use it for upstream hops whose faults the test scripts at the server
+// end (PartitionNode, restart).
+func (n *Network) DialerTo(name string) func(string) (net.Conn, error) {
+	return func(string) (net.Conn, error) {
+		c, _, err := n.dial(name)
+		return c, err
+	}
+}
+
+// dial builds a connection pair, queues the server end on the node's
+// listener and returns the client end plus the pair handle for fault
+// control.
+func (n *Network) dial(name string) (*Conn, *pair, error) {
 	n.mu.Lock()
-	if n.down {
+	nd := n.nodeLocked(name)
+	if nd.down {
 		n.mu.Unlock()
 		return nil, nil, ErrDown
 	}
-	l := n.lis
+	l := nd.lis
 	if l == nil {
 		n.mu.Unlock()
-		return nil, nil, errors.New("faultnet: dial before Listen")
+		return nil, nil, errors.New("faultnet: dial " + name + " before ListenAt")
 	}
 	n.seq++
 	id := n.seq
 	n.mu.Unlock()
 
 	p := &pair{up: newBuffer(), down: newBuffer()}
+	server := fakeAddr("faultnet:" + name)
 	client := &Conn{rb: p.down, wb: p.up,
-		local: fakeAddr("faultnet:point-" + itoa(id)), remote: "faultnet:center"}
-	server := &Conn{rb: p.up, wb: p.down,
-		local: "faultnet:center", remote: fakeAddr("faultnet:point-" + itoa(id))}
+		local: fakeAddr("faultnet:point-" + itoa(id)), remote: server}
+	srv := &Conn{rb: p.up, wb: p.down,
+		local: server, remote: fakeAddr("faultnet:point-" + itoa(id))}
 
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return nil, nil, ErrDown
 	}
-	l.queue = append(l.queue, server)
+	l.queue = append(l.queue, srv)
 	l.cond.Broadcast()
 	l.mu.Unlock()
 
 	n.mu.Lock()
-	n.pairs = append(n.pairs, p)
+	nd.pairs = append(nd.pairs, p)
 	n.mu.Unlock()
 	return client, p, nil
 }
 
-// Partition takes the center off the network: existing connections are cut
-// and dials fail with ErrDown until Heal.
-func (n *Network) Partition() {
+// PartitionNode takes one node off the network: its existing connections
+// are cut and dials to it fail with ErrDown until HealNode. Other nodes
+// are untouched — cutting one shard or one relay is how the failover
+// tests isolate a subtree.
+func (n *Network) PartitionNode(name string) {
 	n.mu.Lock()
-	n.down = true
-	pairs := append([]*pair(nil), n.pairs...)
+	nd := n.nodeLocked(name)
+	nd.down = true
+	pairs := append([]*pair(nil), nd.pairs...)
 	n.mu.Unlock()
 	for _, p := range pairs {
 		p.cut()
 	}
+}
+
+// HealNode restores dialing to a node after a PartitionNode.
+func (n *Network) HealNode(name string) {
+	n.mu.Lock()
+	n.nodeLocked(name).down = false
+	n.mu.Unlock()
+}
+
+// Partition takes the center off the network (PartitionNode(DefaultNode)):
+// existing connections are cut and dials fail with ErrDown until Heal.
+func (n *Network) Partition() {
+	n.PartitionNode(DefaultNode)
 }
 
 // Heal restores dialing after a Partition.
 func (n *Network) Heal() {
-	n.mu.Lock()
-	n.down = false
-	n.mu.Unlock()
+	n.HealNode(DefaultNode)
 }
 
-// CutAll severs every live connection without taking the center down:
-// immediate redials succeed.
+// CutAll severs every live connection on every node without taking
+// anything down: immediate redials succeed.
 func (n *Network) CutAll() {
 	n.mu.Lock()
-	pairs := append([]*pair(nil), n.pairs...)
+	var pairs []*pair
+	for _, nd := range n.nodes {
+		pairs = append(pairs, nd.pairs...)
+	}
 	n.mu.Unlock()
 	for _, p := range pairs {
 		p.cut()
 	}
 }
 
-// Link returns one point's attachment to the fabric: a dialer for
-// transport.PointConfig.Dial plus fault controls scoped to that point's
-// most recent connection.
-func (n *Network) Link() *Link {
-	return &Link{n: n}
+// LinkTo returns one client's attachment to the named node: a dialer for
+// transport configs plus fault controls scoped to that client's most
+// recent connection.
+func (n *Network) LinkTo(name string) *Link {
+	return &Link{n: n, node: name}
 }
 
-// Link is a per-point dialer with connection-scoped fault controls.
+// Link returns one point's attachment to the center (LinkTo(DefaultNode)).
+func (n *Network) Link() *Link {
+	return n.LinkTo(DefaultNode)
+}
+
+// Link is a per-client dialer with connection-scoped fault controls.
 type Link struct {
 	n         *Network
+	node      string
 	mu        sync.Mutex
 	cur       *pair
 	failDials int
@@ -363,7 +440,7 @@ func (l *Link) Dial(addr string) (net.Conn, error) {
 		return nil, ErrDown
 	}
 	l.mu.Unlock()
-	c, p, err := l.n.dial()
+	c, p, err := l.n.dial(l.node)
 	if err != nil {
 		return nil, err
 	}

@@ -10,7 +10,7 @@ import (
 func dialPair(t *testing.T, n *Network) (client net.Conn, server net.Conn) {
 	t.Helper()
 	done := make(chan net.Conn, 1)
-	lis := n.lis
+	lis := n.listener(DefaultNode)
 	go func() {
 		c, err := lis.Accept()
 		if err != nil {
@@ -92,7 +92,7 @@ func TestCutFailsBothEndsAndDiscards(t *testing.T) {
 	link := n.Link()
 	done := make(chan net.Conn, 1)
 	go func() {
-		c, _ := n.lis.Accept()
+		c, _ := n.listener(DefaultNode).Accept()
 		done <- c
 	}()
 	client, err := link.Dial("")
@@ -124,7 +124,7 @@ func TestHoldStallsDeliveryUntilRelease(t *testing.T) {
 	link := n.Link()
 	done := make(chan net.Conn, 1)
 	go func() {
-		c, _ := n.lis.Accept()
+		c, _ := n.listener(DefaultNode).Accept()
 		done <- c
 	}()
 	client, err := link.Dial("")
@@ -193,7 +193,7 @@ func TestFailDials(t *testing.T) {
 	}
 	done := make(chan net.Conn, 1)
 	go func() {
-		c, _ := n.lis.Accept()
+		c, _ := n.listener(DefaultNode).Accept()
 		done <- c
 	}()
 	if _, err := link.Dial(""); err != nil {

@@ -30,7 +30,25 @@ type CenterConfig struct {
 	// WindowN is the paper's n.
 	WindowN int
 	// Widths maps point id to sketch width (vHLL: physical registers).
+	// In a tree deployment the ids are the center's DIRECT children —
+	// leaf points and aggregation relays alike.
 	Widths map[int]int
+	// Weights maps a direct child to the number of leaf points one upload
+	// from it represents: omit (or 1) for plain points, the subtree's leaf
+	// count for a relay. Drives coverage accounting and the Welcome's
+	// cluster size; the child's Hello.Weight must match.
+	Weights map[int]int
+	// Shard is this center's shard index in a flow-sharded deployment
+	// (0/absent in the flat one). Connections advertising a different
+	// Hello.Shard are rejected — shards share sketch parameters, so a
+	// misrouted point would otherwise corrupt this shard silently.
+	Shard int
+	// DeltaUploads switches the size design to per-epoch delta uploads
+	// (core.SizeModeDelta) instead of the paper's cumulative chain.
+	// Required on any center fed through relays: relays pre-merge their
+	// children's epochs, and cumulative sketches cannot be pre-merged.
+	// Points must be dialed with the matching PointConfig.DeltaUploads.
+	DeltaUploads bool
 	// M is the HLL register count (spread; 0 = hll default handled by
 	// caller). For the vHLL backend it is the virtual estimator size.
 	M int
@@ -124,6 +142,12 @@ func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
 	eng, err := newCenterEngine(cfg)
 	if err != nil {
 		return nil, err
+	}
+	for id, w := range cfg.Weights {
+		if _, ok := cfg.Widths[id]; !ok {
+			return nil, fmt.Errorf("transport: weight for unknown point %d", id)
+		}
+		eng.setWeight(id, w)
 	}
 	s.eng = eng
 	s.ckptEvery = int64(cfg.CheckpointEvery)
@@ -309,6 +333,12 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 	if !ok || hello.Kind != s.cfg.Kind || hello.W != wantW {
 		return fmt.Errorf("hello mismatch from point %d: %+v", hello.Point, hello)
 	}
+	if hello.Shard != s.cfg.Shard {
+		return fmt.Errorf("point %d dialed shard %d but this center is shard %d", hello.Point, hello.Shard, s.cfg.Shard)
+	}
+	if w := normWeight(hello.Weight); w != normWeight(s.cfg.Weights[hello.Point]) {
+		return fmt.Errorf("point %d announced weight %d, topology says %d", hello.Point, w, normWeight(s.cfg.Weights[hello.Point]))
+	}
 	pc := &pointConn{
 		point: hello.Point, conn: conn, enc: gob.NewEncoder(conn),
 		codec: negotiateCodec(hello.Codec, s.ownCodec()),
@@ -392,12 +422,23 @@ func (s *CenterServer) ownCodec() int {
 	return CodecPacked
 }
 
+// normWeight maps the wire/config weight encoding (0 = unset) to the
+// effective leaf count (>= 1).
+func normWeight(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
 // welcomeFor builds the handshake reply for one point from the center's
-// view of the epoch clock.
+// view of the epoch clock. Points is the cluster's LEAF count (the sum of
+// direct-child weights), which is what every point's coverage accounting
+// measures against — identical tree-fed or flat.
 func (s *CenterServer) welcomeFor(point int) Welcome {
 	return Welcome{
 		WindowN:     s.cfg.WindowN,
-		Points:      len(s.cfg.Widths),
+		Points:      s.eng.totalWeight(),
 		ResumeEpoch: s.eng.maxEpoch() + 1,
 		PointEpoch:  s.eng.lastEpoch(point),
 	}

@@ -22,6 +22,11 @@ type centerCheckpoint struct {
 	M       int
 	D       int
 	Seed    uint64
+	// Weights/Shard/Delta pin the tree/shard topology (gob omits the zero
+	// values, so flat centers keep reading their pre-tree checkpoints).
+	Weights map[int]int
+	Shard   int
+	Delta   bool
 	// LastPush is the most recent round pushed before the checkpoint.
 	LastPush int64
 	// Exactly one of Spread/Size is set, matching Kind.
@@ -43,6 +48,9 @@ func (s *CenterServer) writeCheckpoint() {
 		M:       s.cfg.M,
 		D:       s.cfg.D,
 		Seed:    s.cfg.Seed,
+		Weights: s.cfg.Weights,
+		Shard:   s.cfg.Shard,
+		Delta:   s.cfg.DeltaUploads,
 	}
 	s.mu.Lock()
 	ck.LastPush = s.lastPush
@@ -102,6 +110,16 @@ func (s *CenterServer) restoreCheckpoint(sections []durable.Section) error {
 		if ck.Widths[id] != w {
 			return fmt.Errorf("checkpoint width %d for point %d, configured %d", ck.Widths[id], id, w)
 		}
+		if normWeight(ck.Weights[id]) != normWeight(s.cfg.Weights[id]) {
+			return fmt.Errorf("checkpoint weight %d for point %d, configured %d",
+				normWeight(ck.Weights[id]), id, normWeight(s.cfg.Weights[id]))
+		}
+	}
+	if ck.Shard != s.cfg.Shard {
+		return fmt.Errorf("checkpoint is for shard %d, configured shard %d", ck.Shard, s.cfg.Shard)
+	}
+	if ck.Delta != s.cfg.DeltaUploads {
+		return fmt.Errorf("checkpoint upload mode (delta=%t) does not match the configured (delta=%t)", ck.Delta, s.cfg.DeltaUploads)
 	}
 	if err := s.eng.importState(&ck); err != nil {
 		return err

@@ -104,6 +104,11 @@ type pointEngine interface {
 	// center (the cumulative size design), which is what makes rebase
 	// sequencing and gap tracking meaningful.
 	cumulative() bool
+	// queryUnionCov answers the T-query over the union of this engine's
+	// query state and every peer's — the flat-equivalent answer for a
+	// flow-sharded point set. Peers must be engines of the same design and
+	// backend (sharded sub-points are config clones, so they always are).
+	queryUnionCov(f uint64, peers []pointEngine) (float64, core.Coverage, error)
 	saveState(w io.Writer) error
 	loadState(r io.Reader) error
 }
@@ -169,6 +174,19 @@ func (e *enginePoint[S]) queryCov(f uint64) (float64, core.Coverage) {
 func (e *enginePoint[S]) meta() core.PointMeta         { return e.pt.Meta() }
 func (e *enginePoint[S]) restoreMeta(m core.PointMeta) { e.pt.RestoreMeta(m) }
 func (e *enginePoint[S]) cumulative() bool             { return e.pt.Mode() == core.ModeCumulative }
+
+func (e *enginePoint[S]) queryUnionCov(f uint64, peers []pointEngine) (float64, core.Coverage, error) {
+	pts := make([]*core.Point[S], 0, len(peers))
+	for _, p := range peers {
+		ep, ok := p.(*enginePoint[S])
+		if !ok {
+			return 0, core.Coverage{}, fmt.Errorf("transport: union across mismatched engines")
+		}
+		pts = append(pts, ep.pt)
+	}
+	est, cov := e.pt.QueryUnionWithCoverage(f, pts)
+	return est, cov, nil
+}
 
 func (e *enginePoint[S]) endEpoch(rebase, compact bool) (int64, []byte, core.UploadMeta, error) {
 	epoch := e.pt.Epoch()
@@ -271,7 +289,14 @@ func newPointEngine(cfg PointConfig) (pointEngine, error) {
 		if cfg.Sketch != "" && cfg.Sketch != SketchRskt {
 			return nil, fmt.Errorf("transport: the size design has no alternate sketch backend (got %q)", cfg.Sketch)
 		}
-		pt, err := core.NewSizePoint(cfg.Point, countmin.Params{D: cfg.D, W: cfg.W, Seed: cfg.Seed}, core.SizeModeCumulative)
+		mode := core.SizeModeCumulative
+		if cfg.DeltaUploads {
+			// Per-epoch delta uploads: required behind an aggregation relay
+			// (cumulative sketches cannot be pre-merged), equal to the
+			// cumulative mode's recovered deltas on healthy traces.
+			mode = core.SizeModeDelta
+		}
+		pt, err := core.NewSizePoint(cfg.Point, countmin.Params{D: cfg.D, W: cfg.W, Seed: cfg.Seed}, mode)
 		if err != nil {
 			return nil, err
 		}
@@ -288,6 +313,10 @@ func newPointEngine(cfg PointConfig) (pointEngine, error) {
 type centerEngine interface {
 	maxEpoch() int64
 	lastEpoch(point int) int64
+	// setWeight declares how many leaf points one upload from the child
+	// represents (relay subtrees); totalWeight sums the cluster's leaves.
+	setWeight(point, weight int)
+	totalWeight() int
 	receive(up Upload) error
 	// buildPush assembles one point's Push; compact selects the
 	// CodecPacked payload encoding negotiated for that point's connection.
@@ -325,6 +354,8 @@ type engineCenter[S core.Sketch[S]] struct {
 
 func (e *engineCenter[S]) maxEpoch() int64                        { return e.ctr.MaxEpoch() }
 func (e *engineCenter[S]) lastEpoch(point int) int64              { return e.ctr.LastEpoch(point) }
+func (e *engineCenter[S]) setWeight(point, weight int)            { e.ctr.SetWeight(point, weight) }
+func (e *engineCenter[S]) totalWeight() int                       { return e.ctr.TotalWeight() }
 func (e *engineCenter[S]) exportState(ck *centerCheckpoint) error { return e.save(ck) }
 func (e *engineCenter[S]) importState(ck *centerCheckpoint) error { return e.load(ck) }
 
@@ -455,7 +486,11 @@ func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
 		for id, w := range cfg.Widths {
 			params[id] = countmin.Params{D: cfg.D, W: w, Seed: cfg.Seed}
 		}
-		ctr, err := core.NewSizeCenter(cfg.WindowN, params, core.SizeModeCumulative)
+		mode := core.SizeModeCumulative
+		if cfg.DeltaUploads {
+			mode = core.SizeModeDelta
+		}
+		ctr, err := core.NewSizeCenter(cfg.WindowN, params, mode)
 		if err != nil {
 			return nil, err
 		}
@@ -463,7 +498,7 @@ func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
 			ctr:     ctr.Center,
 			dec:     decodeCountMin,
 			recv:    ctr.ReceiveMeta,
-			cum:     true,
+			cum:     mode == core.SizeModeCumulative,
 			scratch: &sketchPool[*countmin.Sketch]{dec: decodeCountMin},
 			save: func(ck *centerCheckpoint) error {
 				st, err := ctr.ExportState()

@@ -141,18 +141,29 @@ type pe struct {
 // the point's own last-completed epoch.
 func (c *fcluster) checkOracle(x int, survived []pe, label string) {
 	c.t.Helper()
-	if c.kind == KindSpread {
+	checkOracleQueries(c.t, c.kind, survived, label,
+		c.pts[x].QuerySpread, c.pts[x].QuerySize)
+}
+
+// checkOracleQueries is the oracle comparison shared by the flat, tree
+// and sharded fault matrices: any client exposing the two query methods
+// must answer exactly as an ideal single sketch fed the surviving
+// point-epochs.
+func checkOracleQueries(t *testing.T, kind Kind, survived []pe, label string,
+	querySpread func(uint64) (float64, error), querySize func(uint64) (int64, error)) {
+	t.Helper()
+	if kind == KindSpread {
 		ideal := rskt.New(rskt.Params{W: fmW, M: fmM, Seed: fmSeed})
 		for _, s := range survived {
 			record(s.k, s.y, ideal.Record)
 		}
 		for f := uint64(0); f < 8; f++ {
-			got, err := c.pts[x].QuerySpread(f)
+			got, err := querySpread(f)
 			if err != nil {
-				c.t.Fatal(err)
+				t.Fatal(err)
 			}
 			if want := ideal.Estimate(f); got != want {
-				c.t.Fatalf("%s: point %d flow %d: live %.4f != oracle %.4f", label, x, f, got, want)
+				t.Fatalf("%s: flow %d: live %.4f != oracle %.4f", label, f, got, want)
 			}
 		}
 		return
@@ -162,12 +173,12 @@ func (c *fcluster) checkOracle(x int, survived []pe, label string) {
 		record(s.k, s.y, func(f, e uint64) { ideal.Record(f, 0) })
 	}
 	for f := uint64(0); f < 8; f++ {
-		got, err := c.pts[x].QuerySize(f)
+		got, err := querySize(f)
 		if err != nil {
-			c.t.Fatal(err)
+			t.Fatal(err)
 		}
 		if want := ideal.Estimate(f); got != want {
-			c.t.Fatalf("%s: point %d flow %d: live %d != oracle %d", label, x, f, got, want)
+			t.Fatalf("%s: flow %d: live %d != oracle %d", label, f, got, want)
 		}
 	}
 }

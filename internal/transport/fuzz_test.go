@@ -294,6 +294,7 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 	write("FuzzCenterConn", fuzzCenterSeeds(t))
 	write("FuzzPointConn", fuzzPointSeeds(t))
 	write("FuzzPushApply", fuzzPushSeeds(t))
+	write("FuzzRelayConn", fuzzRelaySeeds(t))
 }
 
 var _ net.Conn = (*faultnet.Conn)(nil)

@@ -72,6 +72,16 @@ type Hello struct {
 	// Codec is the highest sketch-payload codec the point speaks (see
 	// CodecLegacy/CodecPacked). Old points leave it zero = legacy.
 	Codec int
+	// Weight is the number of leaf measurement points one upload on this
+	// connection represents: 0 or 1 for a direct point, the subtree's leaf
+	// count for an aggregation relay (see RelayConfig). Gob omits zero
+	// fields, so pre-tree binaries interoperate as weight-1 points.
+	Weight int
+	// Shard is the center shard this connection expects to reach in a
+	// flow-sharded deployment (0 in the flat one). The center rejects a
+	// mismatch: cross-wired shards share sketch parameters, so without the
+	// check a misrouted point would corrupt a shard silently.
+	Shard int
 }
 
 // Welcome is the center's reply to a Hello. It tells the point the

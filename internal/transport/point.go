@@ -52,6 +52,14 @@ type PointConfig struct {
 	// newest intact one on the next DialPoint, so a crashed point rejoins
 	// with its window instead of empty.
 	CheckpointDir string
+	// Shard is the center shard this point dials in a flow-sharded
+	// deployment (0 in the flat one); it travels in the Hello so a
+	// misrouted connection fails loudly instead of corrupting a shard.
+	Shard int
+	// DeltaUploads switches the size design to per-epoch delta uploads
+	// (core.SizeModeDelta). Required when the point uploads through an
+	// aggregation relay; the center must run the matching mode.
+	DeltaUploads bool
 	// forceLegacyCodec pins the point to CodecLegacy regardless of what
 	// the center offers. Test hook standing in for a pre-codec binary.
 	forceLegacyCodec bool
@@ -216,6 +224,7 @@ func (c *PointClient) connect() error {
 	if err := enc.Encode(Hello{
 		Point: c.cfg.Point, Kind: c.cfg.Kind, W: c.cfg.W,
 		StateEpoch: c.Epoch(), Codec: c.ownCodec(),
+		Shard: c.cfg.Shard,
 	}); err != nil {
 		conn.Close()
 		return fmt.Errorf("transport: send hello: %w", err)
