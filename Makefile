@@ -9,9 +9,9 @@ GO ?= go
 # internal/*/testdata/fuzz seeds each run with protocol-shaped inputs.
 FUZZTIME ?= 30s
 
-.PHONY: check build lint vet test test-race race crash-test tree-test fuzz-short bench-smoke bench bench-short bench-diff bench-scaling bench-tree
+.PHONY: check build lint vet test test-race race crash-test tree-test chaos-test chaos-soak fuzz-short bench-smoke bench bench-short bench-diff bench-scaling bench-tree
 
-check: build lint race crash-test tree-test fuzz-short bench-smoke bench-short
+check: build lint race crash-test tree-test chaos-test fuzz-short bench-smoke bench-short
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,24 @@ tree-test:
 		-run '^(TestFaultRelay|TestRelayTreeEqualsFlatLive|TestShardedEqualsFlat|TestFaultShardFailover|TestGoldenRelay)' \
 		./internal/transport
 	$(GO) test -race -count=1 -run 'Tree|Topology' ./internal/cluster ./internal/core
+
+# The chaos gate: the deterministic multi-fault soak matrix — 3 fixed
+# seeds x both designs x all four topology classes (flat, random tree,
+# 2-shard, tree-of-shards), >=25 faults per run, exact-oracle and
+# coverage-algebra audits after every heal — under the race detector.
+# Seeds are fixed so failures replay exactly (see cmd/tqchaos -seed).
+chaos-test:
+	$(GO) test -race -count=1 -run '^TestChaos' ./internal/chaos
+
+# Open-ended randomized soak: runs the same engine with fresh seeds for
+# a time budget (or until CHAOS_EPOCHS epochs survive). Every run prints
+# a benchmark-shaped ChaosSoak row benchjson folds into
+# chaos_epochs_survived; a failing seed prints its exact replay command.
+CHAOS_SEED ?= 1
+CHAOS_SOAK ?= 2m
+chaos-soak:
+	$(GO) run ./cmd/tqchaos -seed $(CHAOS_SEED) -duration $(CHAOS_SOAK) | tee chaos_soak.txt
+	$(GO) run ./cmd/benchjson -o chaos_soak.json < chaos_soak.txt
 
 # Short fuzz pass over every decode surface a peer can reach: the protocol
 # streams (center- and point-side), the Push apply path, the sketch and

@@ -57,6 +57,10 @@ type Doc struct {
 	// cheaper one center epoch gets behind a 2-level relay tree
 	// (BENCH_PR7.json's headline rows).
 	RelayFanIn map[string]float64 `json:"relay_fanin_speedup,omitempty"`
+	// ChaosEpochs maps each tqchaos soak run (class/kind/seed) to the
+	// cluster epochs it survived with every audit green — the soak
+	// evidence rows from `tqchaos | benchjson`.
+	ChaosEpochs map[string]float64 `json:"chaos_epochs_survived,omitempty"`
 }
 
 func main() {
@@ -93,6 +97,9 @@ func run(out, baseline, note string, diff bool, gate float64, args []string) err
 	}
 	doc.Note = note
 	if doc.RelayFanIn, err = relayFanIn(doc.Benchmarks); err != nil {
+		return err
+	}
+	if doc.ChaosEpochs, err = chaosEpochs(doc.Benchmarks); err != nil {
 		return err
 	}
 	if baseline != "" {
@@ -249,6 +256,35 @@ func relayFanIn(benchmarks []Benchmark) (map[string]float64, error) {
 			return nil, fmt.Errorf("RelayFanIn %s: need both topo=flat and topo=tree rows", p)
 		}
 		out[p] = flat / tree
+	}
+	return out, nil
+}
+
+// chaosRow matches cmd/tqchaos's soak output rows,
+// BenchmarkChaosSoak/class=C/kind=K/seed=N with go test's optional
+// -GOMAXPROCS suffix.
+var chaosRow = regexp.MustCompile(`^BenchmarkChaosSoak/(.+?)(?:-\d+)?$`)
+
+// chaosEpochs derives the chaos_epochs_survived rows: every ChaosSoak
+// benchmark keyed by its class/kind/seed subname, valued at its
+// epochs_survived metric. A soak row without the metric is an error —
+// a survived-epochs document must not silently omit a run. Runs without
+// soak rows get no map.
+func chaosEpochs(benchmarks []Benchmark) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, b := range benchmarks {
+		m := chaosRow.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		v, ok := b.Metrics["epochs_survived"]
+		if !ok || v <= 0 {
+			return nil, fmt.Errorf("%s: epochs_survived missing or non-positive", b.Name)
+		}
+		out[m[1]] = v
+	}
+	if len(out) == 0 {
+		return nil, nil
 	}
 	return out, nil
 }

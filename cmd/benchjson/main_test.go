@@ -139,6 +139,33 @@ func TestRelayFanIn(t *testing.T) {
 	}
 }
 
+func TestChaosEpochs(t *testing.T) {
+	rows := []Benchmark{
+		{Name: "BenchmarkChaosSoak/class=flat/kind=spread/seed=5", Metrics: map[string]float64{"ns/op": 1e8, "epochs_survived": 89, "faults": 25}},
+		{Name: "BenchmarkChaosSoak/class=tree/kind=size/seed=6-8", Metrics: map[string]float64{"ns/op": 2e8, "epochs_survived": 97, "faults": 28}},
+		{Name: "BenchmarkRecord", Metrics: map[string]float64{"ns/op": 30}},
+	}
+	ce, err := chaosEpochs(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ce) != 2 || ce["class=flat/kind=spread/seed=5"] != 89 || ce["class=tree/kind=size/seed=6"] != 97 {
+		t.Errorf("chaos_epochs_survived = %v", ce)
+	}
+
+	// Runs without soak rows get no map at all.
+	ce, err = chaosEpochs(rows[2:])
+	if err != nil || ce != nil {
+		t.Errorf("no soak rows: got (%v, %v), want (nil, nil)", ce, err)
+	}
+
+	// A soak row without the metric must be loud, not silently dropped.
+	bad := []Benchmark{{Name: "BenchmarkChaosSoak/class=flat/kind=size/seed=1", Metrics: map[string]float64{"ns/op": 1e8}}}
+	if _, err := chaosEpochs(bad); err == nil {
+		t.Error("missing epochs_survived metric should be an error")
+	}
+}
+
 func TestScalingGate(t *testing.T) {
 	var buf bytes.Buffer
 	good := writeDocFile(t, "good.json", scalingDoc(1e6, 3.1e6))

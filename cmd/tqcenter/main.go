@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/diag"
 	"repro/internal/transport"
@@ -32,21 +33,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tqcenter", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:7070", "listen address")
-		kind      = fs.String("kind", "size", `design: "size" or "spread"`)
-		sketch    = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the points' -sketch)`)
-		n         = fs.Int("n", 10, "epochs per window (the paper's n)")
-		widths    = fs.String("widths", "", "topology as id:width pairs, e.g. 0:1638,1:3276,2:6552")
-		m         = fs.Int("m", 128, "HLL registers per estimator (spread)")
-		d         = fs.Int("d", 4, "CountMin rows (size)")
-		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
-		weights   = fs.String("weights", "", "child weights as id:weight pairs (subtree leaf counts behind tqrelay children; default 1 each)")
-		shard     = fs.String("shard", "", `this center's shard as "i/n" in a flow-sharded deployment (default unsharded)`)
-		delta     = fs.Bool("delta", false, "require per-epoch delta uploads (mandatory when size-design children connect through tqrelay)")
-		enhance   = fs.Bool("enhance", false, "push the Section IV-D enhancement")
-		ckptDir   = fs.String("checkpoint-dir", "", "write atomic checkpoints of the window store here and recover from them on restart")
-		ckptEvry  = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+		addr       = fs.String("addr", "127.0.0.1:7070", "listen address")
+		kind       = fs.String("kind", "size", `design: "size" or "spread"`)
+		sketch     = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the points' -sketch)`)
+		n          = fs.Int("n", 10, "epochs per window (the paper's n)")
+		widths     = fs.String("widths", "", "topology as id:width pairs, e.g. 0:1638,1:3276,2:6552")
+		m          = fs.Int("m", 128, "HLL registers per estimator (spread)")
+		d          = fs.Int("d", 4, "CountMin rows (size)")
+		seed       = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		weights    = fs.String("weights", "", "child weights as id:weight pairs (subtree leaf counts behind tqrelay children; default 1 each)")
+		shard      = fs.String("shard", "", `this center's shard as "i/n" in a flow-sharded deployment (default unsharded)`)
+		delta      = fs.Bool("delta", false, "require per-epoch delta uploads (mandatory when size-design children connect through tqrelay)")
+		enhance    = fs.Bool("enhance", false, "push the Section IV-D enhancement")
+		ckptDir    = fs.String("checkpoint-dir", "", "write atomic checkpoints of the window store here and recover from them on restart")
+		ckptEvry   = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+		healthAddr = fs.String("health", "", "serve /healthz + /readyz on this address, e.g. localhost:8070")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +92,32 @@ func run(args []string) error {
 		return err
 	}
 	defer srv.Close()
+	if *healthAddr != "" {
+		// Ready = at least one child connected. /readyz carries the
+		// wedge evidence either way: connected children, the newest
+		// round's epoch, and how long ago it was pushed.
+		a, err := diag.ServeHealth(*healthAddr, func() diag.Health {
+			st := srv.Stats()
+			mergeAge := -1.0
+			if !st.LastRoundAt.IsZero() {
+				mergeAge = time.Since(st.LastRoundAt).Seconds()
+			}
+			return diag.Health{
+				Ready: st.ConnectedPoints > 0,
+				Detail: map[string]any{
+					"connected_points": st.ConnectedPoints,
+					"last_push_epoch":  st.LastPushEpoch,
+					"last_merge_age_s": mergeAge,
+					"rounds_pushed":    st.RoundsPushed,
+					"evictions":        st.Evictions,
+				},
+			}
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tqcenter: health on http://%s/readyz\n", a)
+	}
 	fmt.Printf("tqcenter: %s design, n=%d, %d points, listening on %s\n",
 		*kind, *n, len(topo), srv.Addr())
 	if shardN > 1 {

@@ -51,26 +51,27 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tqpoint", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:7070", "center address")
-		point     = fs.Int("point", 0, "this point's id")
-		kind      = fs.String("kind", "size", `design: "size" or "spread"`)
-		sketch    = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the center's -sketch)`)
-		w         = fs.Int("w", 16384, "sketch width (must match the center's topology)")
-		m         = fs.Int("m", 128, "HLL registers per estimator (spread)")
-		d         = fs.Int("d", 4, "CountMin rows (size)")
-		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
-		shard     = fs.String("shard", "", `dial shard i of an n-way flow-sharded center deployment, as "i/n"; records only the flows the shard owns (default unsharded)`)
-		delta     = fs.Bool("delta", false, "upload per-epoch deltas instead of cumulative sketches (mandatory behind a tqrelay for the size design; must match the center's -delta)")
-		epoch     = fs.Duration("epoch", 6*time.Second, "epoch length (synthetic traffic mode)")
-		pps       = fs.Int("pps", 20_000, "synthetic traffic rate, packets/s")
-		ingestW   = fs.Int("ingest-workers", 1, "parallel ingest pipelines (synthetic traffic mode): one run-to-completion generator goroutine each, sharing -pps")
-		flows     = fs.Int("flows", 5_000, "synthetic traffic distinct flows")
-		traceFile = fs.String("trace", "", "replay this trace file instead of synthetic traffic")
-		queries   = fs.Int("queries", 3, "sample networkwide queries printed per epoch")
-		queryAddr = fs.String("query-addr", "", "also serve networkwide T-queries on this TCP address (see cmd/tqquery)")
-		stateFile = fs.String("state", "", "load protocol state from this file on start (if present) and save it on shutdown")
-		ckptDir   = fs.String("checkpoint-dir", "", "write an atomic checkpoint every epoch and recover from it on restart (supersedes -state)")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+		addr       = fs.String("addr", "127.0.0.1:7070", "center address")
+		point      = fs.Int("point", 0, "this point's id")
+		kind       = fs.String("kind", "size", `design: "size" or "spread"`)
+		sketch     = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the center's -sketch)`)
+		w          = fs.Int("w", 16384, "sketch width (must match the center's topology)")
+		m          = fs.Int("m", 128, "HLL registers per estimator (spread)")
+		d          = fs.Int("d", 4, "CountMin rows (size)")
+		seed       = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		shard      = fs.String("shard", "", `dial shard i of an n-way flow-sharded center deployment, as "i/n"; records only the flows the shard owns (default unsharded)`)
+		delta      = fs.Bool("delta", false, "upload per-epoch deltas instead of cumulative sketches (mandatory behind a tqrelay for the size design; must match the center's -delta)")
+		epoch      = fs.Duration("epoch", 6*time.Second, "epoch length (synthetic traffic mode)")
+		pps        = fs.Int("pps", 20_000, "synthetic traffic rate, packets/s")
+		ingestW    = fs.Int("ingest-workers", 1, "parallel ingest pipelines (synthetic traffic mode): one run-to-completion generator goroutine each, sharing -pps")
+		flows      = fs.Int("flows", 5_000, "synthetic traffic distinct flows")
+		traceFile  = fs.String("trace", "", "replay this trace file instead of synthetic traffic")
+		queries    = fs.Int("queries", 3, "sample networkwide queries printed per epoch")
+		queryAddr  = fs.String("query-addr", "", "also serve networkwide T-queries on this TCP address (see cmd/tqquery)")
+		stateFile  = fs.String("state", "", "load protocol state from this file on start (if present) and save it on shutdown")
+		ckptDir    = fs.String("checkpoint-dir", "", "write an atomic checkpoint every epoch and recover from it on restart (supersedes -state)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+		healthAddr = fs.String("health", "", "serve /healthz + /readyz on this address, e.g. localhost:8072")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +105,32 @@ func run(args []string) error {
 		return err
 	}
 	defer pc.Close()
+	if *healthAddr != "" {
+		// A point is ready when its uploads are landing: the center's
+		// newest push can trail the local epoch by at most one round
+		// (the in-flight one). A larger lag means the center stopped
+		// hearing from us — wedged link, eviction, or a dead center.
+		a, err := diag.ServeHealth(*healthAddr, func() diag.Health {
+			st := pc.Stats()
+			cov := pc.Coverage()
+			lag := st.Epoch - st.LastPushEpoch
+			return diag.Health{
+				Ready: lag <= 1,
+				Detail: map[string]any{
+					"epoch":           st.Epoch,
+					"last_push_epoch": st.LastPushEpoch,
+					"epoch_lag":       lag,
+					"coverage":        cov.Fraction(),
+					"uploads_dropped": st.UploadsDropped,
+					"write_timeouts":  st.WriteTimeouts,
+				},
+			}
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tqpoint %d: health on http://%s/readyz\n", *point, a)
+	}
 	fmt.Printf("tqpoint %d: connected to %s (%s design, w=%d)\n", *point, *addr, *kind, *w)
 	if shardN > 1 {
 		fmt.Printf("tqpoint %d: shard %d/%d (recording only this shard's flows)\n", *point, shardIdx, shardN)

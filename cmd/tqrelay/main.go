@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/diag"
 	"repro/internal/transport"
@@ -41,21 +42,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tqrelay", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:7071", "child-facing listen address")
-		upstream  = fs.String("upstream", "127.0.0.1:7070", "upstream address (center or higher relay)")
-		relayID   = fs.Int("relay", 100, "this relay's id in the upstream topology")
-		kind      = fs.String("kind", "size", `design: "size" or "spread"`)
-		sketch    = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the tree's -sketch)`)
-		n         = fs.Int("n", 10, "epochs per window (the paper's n)")
-		widths    = fs.String("widths", "", "children as id:width pairs, e.g. 0:1638,1:3276")
-		weights   = fs.String("weights", "", "children as id:weight pairs (subtree leaf counts; default 1 each)")
-		m         = fs.Int("m", 128, "HLL registers per estimator (spread)")
-		d         = fs.Int("d", 4, "CountMin rows (size)")
-		seed      = fs.Uint64("seed", 42, "cluster-wide hash seed")
-		shard     = fs.String("shard", "", `center shard this subtree belongs to, as "i/n" (default unsharded)`)
-		ckptDir   = fs.String("checkpoint-dir", "", "write atomic checkpoints of the relay state here and recover from them on restart")
-		ckptEvry  = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+		addr       = fs.String("addr", "127.0.0.1:7071", "child-facing listen address")
+		upstream   = fs.String("upstream", "127.0.0.1:7070", "upstream address (center or higher relay)")
+		relayID    = fs.Int("relay", 100, "this relay's id in the upstream topology")
+		kind       = fs.String("kind", "size", `design: "size" or "spread"`)
+		sketch     = fs.String("sketch", "rskt", `spread sketch backend: "rskt" or "vhll" (must match the tree's -sketch)`)
+		n          = fs.Int("n", 10, "epochs per window (the paper's n)")
+		widths     = fs.String("widths", "", "children as id:width pairs, e.g. 0:1638,1:3276")
+		weights    = fs.String("weights", "", "children as id:weight pairs (subtree leaf counts; default 1 each)")
+		m          = fs.Int("m", 128, "HLL registers per estimator (spread)")
+		d          = fs.Int("d", 4, "CountMin rows (size)")
+		seed       = fs.Uint64("seed", 42, "cluster-wide hash seed")
+		shard      = fs.String("shard", "", `center shard this subtree belongs to, as "i/n" (default unsharded)`)
+		ckptDir    = fs.String("checkpoint-dir", "", "write atomic checkpoints of the relay state here and recover from them on restart")
+		ckptEvry   = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+		healthAddr = fs.String("health", "", "serve /healthz + /readyz on this address, e.g. localhost:8071")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +105,32 @@ func run(args []string) error {
 		return err
 	}
 	defer srv.Close()
+	if *healthAddr != "" {
+		// A relay is ready only when both sides of the hop are live: the
+		// upstream connection is up AND at least one child is connected.
+		a, err := diag.ServeHealth(*healthAddr, func() diag.Health {
+			st := srv.Stats()
+			mergeAge := -1.0
+			if !st.LastRoundAt.IsZero() {
+				mergeAge = time.Since(st.LastRoundAt).Seconds()
+			}
+			return diag.Health{
+				Ready: st.UpstreamConnected && st.ConnectedChildren > 0,
+				Detail: map[string]any{
+					"connected_children": st.ConnectedChildren,
+					"upstream_connected": st.UpstreamConnected,
+					"last_push_epoch":    st.LastPushEpoch,
+					"last_merge_age_s":   mergeAge,
+					"uploads_dropped":    st.UploadsDropped,
+					"evictions":          st.Evictions,
+				},
+			}
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tqrelay %d: health on http://%s/readyz\n", *relayID, a)
+	}
 	fmt.Printf("tqrelay %d: %s design, n=%d, %d children on %s, upstream %s\n",
 		*relayID, *kind, *n, len(topo), srv.Addr(), *upstream)
 	if *ckptDir != "" {

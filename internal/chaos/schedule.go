@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/faultnet"
+)
+
+// Heal priorities: partitions lift first (a restart must be able to
+// listen and dial), then roots restart, then relays (a restarting relay
+// dials its parent at startup), then held directions release. Leaf
+// redials always run last, in heal().
+const (
+	healPartition = iota
+	healRoot
+	healRelay
+	healHolds
+)
+
+// fault is one injected failure: apply fires at phase start; heal (nil
+// for faults that the post-phase redial alone recovers) restores the
+// component at phase end, ordered by prio.
+type fault struct {
+	kind  string
+	prio  int
+	apply func()
+	heal  func() error
+}
+
+// schedule draws this phase's 2–3 simultaneous faults from the seeded
+// rng. Each draw targets a distinct component (link or node) so faults
+// compose without shadowing each other; when a draw collides it falls
+// back to cutting a free leaf link — the one fault that is always safe
+// and always available.
+func (e *engine) schedule() []fault {
+	nFaults := 2 + e.rng.Intn(2)
+	used := map[string]bool{}
+	var out []fault
+	for len(out) < nFaults {
+		f, target := e.drawFault()
+		if used[target] {
+			f, target = e.cutFallback(used)
+			if f.apply == nil {
+				break // every link busy — run the phase with fewer faults
+			}
+		}
+		used[target] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// drawFault picks one fault from the menu the deployment's shape
+// allows. The menu is rebuilt per draw so the rng stream stays aligned
+// with the run's state (half-open budget, available tiers).
+func (e *engine) drawFault() (fault, string) {
+	d := e.d
+	type entry func() (fault, string)
+	var menu []entry
+
+	// Leaf-link faults exist in every class.
+	menu = append(menu,
+		func() (fault, string) {
+			x, li, l := e.pickLeafLink()
+			return fault{kind: fmt.Sprintf("cut-leaf%d.%d", x, li), apply: l.Cut}, leafTarget(x, li)
+		},
+		func() (fault, string) {
+			x, li, l := e.pickLeafLink()
+			k := 1 + e.rng.Intn(3)
+			return fault{kind: fmt.Sprintf("faildial-leaf%d.%d", x, li), apply: func() {
+				l.FailDials(k)
+				l.Cut()
+			}}, leafTarget(x, li)
+		},
+		func() (fault, string) {
+			x, li, l := e.pickLeafLink()
+			return fault{kind: fmt.Sprintf("hold-uploads-leaf%d.%d", x, li), prio: healHolds,
+				apply: l.HoldUploads,
+				heal:  func() error { l.ReleaseUploads(); return nil }}, leafTarget(x, li)
+		},
+		func() (fault, string) {
+			x, li, l := e.pickLeafLink()
+			return fault{kind: fmt.Sprintf("hold-pushes-leaf%d.%d", x, li), prio: healHolds,
+				apply: l.HoldPushes,
+				heal:  func() error { l.ReleasePushes(); return nil }}, leafTarget(x, li)
+		},
+	)
+	if e.halfOpens < e.cfg.MaxHalfOpen {
+		menu = append(menu, func() (fault, string) {
+			x, li, l := e.pickLeafLink()
+			e.halfOpens++
+			return fault{kind: fmt.Sprintf("halfopen-leaf%d.%d", x, li), apply: l.HalfOpen}, leafTarget(x, li)
+		})
+	}
+	if len(d.relays) > 0 {
+		menu = append(menu,
+			func() (fault, string) {
+				i := e.rng.Intn(len(d.relays))
+				return fault{kind: "cut-upstream-" + d.relays[i].name,
+					apply: d.relays[i].upLink.Cut}, "up:" + d.relays[i].name
+			},
+			func() (fault, string) {
+				i := e.rng.Intn(len(d.relays))
+				rn := d.relays[i]
+				return fault{kind: "crash-" + rn.name, prio: healRelay,
+					apply: func() { _ = rn.srv.Close() },
+					heal:  func() error { return d.restartRelay(i) }}, "node:" + rn.name
+			},
+			func() (fault, string) {
+				i := e.rng.Intn(len(d.relays))
+				rn := d.relays[i]
+				return fault{kind: "partition-" + rn.name, prio: healPartition,
+					apply: func() { d.fnet.PartitionNode(rn.name) },
+					heal:  func() error { d.fnet.HealNode(rn.name); return nil }}, "node:" + rn.name
+			},
+		)
+		if e.halfOpens < e.cfg.MaxHalfOpen {
+			menu = append(menu, func() (fault, string) {
+				i := e.rng.Intn(len(d.relays))
+				e.halfOpens++
+				return fault{kind: "halfopen-upstream-" + d.relays[i].name,
+					apply: d.relays[i].upLink.HalfOpen}, "up:" + d.relays[i].name
+			})
+		}
+	}
+	// Roots are restartable (checkpointed) and partitionable in every
+	// class; with several shards the blast radius is one flow subspace.
+	menu = append(menu,
+		func() (fault, string) {
+			i := e.rng.Intn(len(d.roots))
+			r := d.roots[i]
+			return fault{kind: "crash-" + r.name, prio: healRoot,
+				apply: func() { _ = r.srv.Close() },
+				heal:  func() error { return d.restartRoot(i) }}, "node:" + r.name
+		},
+		func() (fault, string) {
+			i := e.rng.Intn(len(d.roots))
+			r := d.roots[i]
+			return fault{kind: "partition-" + r.name, prio: healPartition,
+				apply: func() { d.fnet.PartitionNode(r.name) },
+				heal:  func() error { d.fnet.HealNode(r.name); return nil }}, "node:" + r.name
+		},
+	)
+	return menu[e.rng.Intn(len(menu))]()
+}
+
+// cutFallback cuts the first leaf link not yet targeted this phase.
+func (e *engine) cutFallback(used map[string]bool) (fault, string) {
+	for x, ln := range e.d.leaves {
+		for li, l := range ln.links {
+			if t := leafTarget(x, li); !used[t] {
+				return fault{kind: fmt.Sprintf("cut-leaf%d.%d", x, li), apply: l.Cut}, t
+			}
+		}
+	}
+	return fault{}, ""
+}
+
+func (e *engine) pickLeafLink() (x, li int, l *faultnet.Link) {
+	x = e.rng.Intn(len(e.d.leaves))
+	li = e.rng.Intn(len(e.d.leaves[x].links))
+	return x, li, e.d.leaves[x].links[li]
+}
+
+func leafTarget(x, li int) string { return fmt.Sprintf("leaf:%d.%d", x, li) }

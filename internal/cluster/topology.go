@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"repro/internal/core"
@@ -25,6 +26,41 @@ import (
 // sent it (the Thm 6.1/6.3 equality matrix in treesim_test.go pins
 // this).
 type Topology map[int]int
+
+// RandomTopology draws a random 1–3 level tree over p points from rng:
+// each point is either a direct child of the center or sits under one of
+// up to three relays, and relays themselves sometimes share a super-relay
+// (making three levels). The distribution exercises every shape the
+// simulator and the chaos engine care about — flat, one relay tier, and
+// nested tiers — while staying deterministic for a seeded rng.
+func RandomTopology(rng *rand.Rand, p int) Topology {
+	topo := Topology{}
+	nRelays := 1 + rng.Intn(3)
+	relays := make([]int, nRelays)
+	children := make([]int, nRelays)
+	for i := range relays {
+		relays[i] = 100 + i
+	}
+	for x := 0; x < p; x++ {
+		if rng.Intn(4) > 0 { // 3/4 of points sit under a relay
+			i := rng.Intn(nRelays)
+			topo[x] = relays[i]
+			children[i]++
+		}
+	}
+	if rng.Intn(2) == 0 {
+		super := 200
+		adopted := 0
+		for i, r := range relays {
+			if children[i] > 0 && rng.Intn(2) == 0 {
+				topo[r] = super
+				adopted++
+			}
+		}
+		_ = adopted // zero adoptions simply means no second level
+	}
+	return topo
+}
 
 // simTree is a built aggregation tree: the relay instances plus the
 // routing tables simCore needs at epoch boundaries.

@@ -292,38 +292,6 @@ func TestTreeTopologyValidation(t *testing.T) {
 	}
 }
 
-// randomTopology builds a random 1–3 level tree over p points: each point
-// lands at the center or under one of a few first-level relays, and a
-// second-level relay may adopt some first-level relays.
-func randomTopology(rng *rand.Rand, p int) Topology {
-	topo := Topology{}
-	nRelays := 1 + rng.Intn(3)
-	relays := make([]int, nRelays)
-	children := make([]int, nRelays)
-	for i := range relays {
-		relays[i] = 100 + i
-	}
-	for x := 0; x < p; x++ {
-		if rng.Intn(4) > 0 { // 3/4 of points sit under a relay
-			i := rng.Intn(nRelays)
-			topo[x] = relays[i]
-			children[i]++
-		}
-	}
-	if rng.Intn(2) == 0 {
-		super := 200
-		adopted := 0
-		for i, r := range relays {
-			if children[i] > 0 && rng.Intn(2) == 0 {
-				topo[r] = super
-				adopted++
-			}
-		}
-		_ = adopted // zero adoptions simply means no second level
-	}
-	return topo
-}
-
 // TestTreeFlatEquivalenceProperty is the randomized half of the matrix:
 // seeded random tree topologies × random traces must stay bit-identical
 // to the flat deployment, for both spread backends and the size design.
@@ -339,7 +307,7 @@ func TestTreeFlatEquivalenceProperty(t *testing.T) {
 		for x := range bits {
 			bits[x] = 1 << (16 + rng.Intn(3))
 		}
-		topo := randomTopology(rng, p)
+		topo := RandomTopology(rng, p)
 		tcfg := trace.Config{
 			Packets:    15_000,
 			Flows:      250,

@@ -1,0 +1,62 @@
+package diag
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Health is one component's liveness/readiness snapshot, produced fresh
+// by a Probe at every scrape.
+type Health struct {
+	// Ready reports whether the component is serving its role right now
+	// (connected, not wedged, merges recent). False turns /readyz into a
+	// 503 so orchestrators stop routing to — or soak harnesses flag — a
+	// wedged component while the process itself keeps running.
+	Ready bool `json:"ready"`
+	// Detail carries the probe's evidence: epoch lag, connected
+	// children, last-merge age, whatever the component knows.
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// Probe reports a component's current health. It is called on every
+// scrape and must be safe for concurrent use.
+type Probe func() Health
+
+// ServeHealth serves the operational health endpoints on addr in a
+// background goroutine and returns the bound address (useful with a
+// ":0" port):
+//
+//   - /healthz — process liveness: 200 as long as the HTTP loop
+//     answers. A wedged transport cannot unbind it, which is the point:
+//     liveness and readiness must fail independently.
+//   - /readyz — component readiness: 200 when probe().Ready, 503
+//     otherwise, with the Health JSON as the body either way.
+//
+// Like ServePprof, the listener stays open for the life of the process:
+// health scraping must not be able to stop the measurement, so serve
+// errors after startup are dropped.
+func ServeHealth(addr string, probe Probe) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(map[string]any{"alive": true})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := probe()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Ready {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr(), nil
+}

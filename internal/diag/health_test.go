@@ -1,0 +1,70 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("non-JSON body %q: %v", body, err)
+	}
+	return resp.StatusCode, m
+}
+
+func TestServeHealth(t *testing.T) {
+	var ready atomic.Bool
+	addr, err := ServeHealth("127.0.0.1:0", func() Health {
+		return Health{
+			Ready:  ready.Load(),
+			Detail: map[string]any{"epoch_lag": 7, "connected_points": 0},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Liveness answers 200 regardless of readiness.
+	code, body := getJSON(t, fmt.Sprintf("http://%s/healthz", addr))
+	if code != http.StatusOK || body["alive"] != true {
+		t.Fatalf("/healthz = %d %v, want 200 alive", code, body)
+	}
+
+	// Not ready: 503, with the probe's evidence in the body.
+	code, body = getJSON(t, fmt.Sprintf("http://%s/readyz", addr))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while wedged = %d, want 503", code)
+	}
+	detail, _ := body["detail"].(map[string]any)
+	if detail["epoch_lag"] != float64(7) {
+		t.Fatalf("/readyz detail = %v, want epoch_lag 7", body)
+	}
+
+	// Recovered: 200.
+	ready.Store(true)
+	code, body = getJSON(t, fmt.Sprintf("http://%s/readyz", addr))
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("/readyz after recovery = %d %v, want 200 ready", code, body)
+	}
+}
+
+func TestServeHealthBadAddr(t *testing.T) {
+	if _, err := ServeHealth("256.0.0.1:99999", func() Health { return Health{} }); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

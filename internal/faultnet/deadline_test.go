@@ -1,0 +1,260 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// isTimeout asserts the error is the honest socket-style deadline error:
+// os.ErrDeadlineExceeded and a net.Error with Timeout() == true.
+func isTimeout(t *testing.T, err error) {
+	t.Helper()
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want os.ErrDeadlineExceeded, got %v", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want net.Error with Timeout()==true, got %v", err)
+	}
+}
+
+func TestReadDeadlineExpiresBlockedRead(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	client, server := dialPair(t, n)
+	defer client.Close()
+	defer server.Close()
+
+	server.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := server.Read(make([]byte, 1))
+	isTimeout(t, err)
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("read returned before the deadline")
+	}
+
+	// The connection survives a timeout: clear the deadline and traffic
+	// flows again, exactly like a real socket.
+	server.SetReadDeadline(time.Time{})
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(server, make([]byte, 1)); err != nil {
+		t.Fatalf("read after clearing deadline: %v", err)
+	}
+}
+
+func TestPastReadDeadlineFailsImmediately(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	client, server := dialPair(t, n)
+	defer client.Close()
+	defer server.Close()
+
+	server.SetReadDeadline(time.Now().Add(-time.Second))
+	_, err := server.Read(make([]byte, 1))
+	isTimeout(t, err)
+}
+
+func TestReadDeadlineDoesNotDropBufferedData(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	client, server := dialPair(t, n)
+	defer client.Close()
+	defer server.Close()
+
+	if _, err := client.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Even an already-expired deadline must not mask data that is ready.
+	server.SetReadDeadline(time.Now().Add(-time.Second))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("buffered data must win over the deadline: %v", err)
+	}
+	if string(buf) != "ok" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestSetDeadlineWakesBlockedReader(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	client, server := dialPair(t, n)
+	defer client.Close()
+	defer server.Close()
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := server.Read(make([]byte, 1))
+		errs <- err
+	}()
+	// Give the reader time to block with no deadline, then arm one
+	// retroactively — it must wake the in-flight Read.
+	time.Sleep(10 * time.Millisecond)
+	server.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	select {
+	case err := <-errs:
+		isTimeout(t, err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked read did not observe the new deadline")
+	}
+}
+
+func TestWriteDeadlineOnHalfOpenPeer(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	link := n.Link()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, _ := n.listener(DefaultNode).Accept()
+		done <- c
+	}()
+	client, err := link.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+	defer client.Close()
+	defer server.Close()
+
+	link.HalfOpen()
+
+	// Writes into a half-open connection block silently; only a write
+	// deadline surfaces the stall.
+	client.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	_, err = client.Write([]byte("upload"))
+	isTimeout(t, err)
+
+	// Reads starve the same way.
+	server.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	_, err = server.Read(make([]byte, 1))
+	isTimeout(t, err)
+}
+
+func TestHalfOpenWriteBlocksWithoutDeadline(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	link := n.Link()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, _ := n.listener(DefaultNode).Accept()
+		done <- c
+	}()
+	client, err := link.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+	defer server.Close()
+
+	link.HalfOpen()
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := client.Write([]byte("stuck"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed on half-open conn: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Closing our own end releases the stuck writer with ErrClosed —
+	// the escape hatch eviction paths rely on.
+	client.Close()
+	if err := <-wrote; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("want net.ErrClosed after own close, got %v", err)
+	}
+}
+
+func TestCloseAbortsReadHeldByHalfOpen(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	link := n.Link()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, _ := n.listener(DefaultNode).Accept()
+		done <- c
+	}()
+	client, err := link.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+	defer server.Close()
+
+	link.HalfOpen()
+	read := make(chan error, 1)
+	go func() {
+		_, err := client.Read(make([]byte, 1))
+		read <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// A client that gives up (deadline elsewhere, redial) closes its end;
+	// the blocked read must not wedge forever behind the held buffer.
+	client.Close()
+	select {
+	case err := <-read:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("want net.ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read stayed wedged after own close")
+	}
+}
+
+func TestCutReleasesHalfOpen(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	link := n.Link()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, _ := n.listener(DefaultNode).Accept()
+		done <- c
+	}()
+	client, err := link.Dial("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+	defer client.Close()
+	defer server.Close()
+
+	link.HalfOpen()
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := client.Write([]byte("x"))
+		wrote <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	link.Cut()
+	if err := <-wrote; !errors.Is(err, ErrCut) {
+		t.Fatalf("want ErrCut, got %v", err)
+	}
+	if _, err := server.Read(make([]byte, 1)); !errors.Is(err, ErrCut) {
+		t.Fatalf("server read after cut: %v", err)
+	}
+}
+
+func TestWriteDeadlineIgnoredOnHealthyConn(t *testing.T) {
+	n := New(1)
+	n.Listen()
+	client, server := dialPair(t, n)
+	defer client.Close()
+	defer server.Close()
+
+	// Healthy fabric writes buffer without blocking, so even an expired
+	// write deadline never fires — matching a socket whose send buffer
+	// has room.
+	client.SetWriteDeadline(time.Now().Add(-time.Second))
+	if _, err := client.Write([]byte("fine")); err != nil {
+		t.Fatalf("buffered write must not time out: %v", err)
+	}
+	if _, err := io.ReadFull(server, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,9 @@
 //   - Link.HoldPushes / Link.HoldUploads stall one direction without
 //     dropping it (slow-link injection) until the matching Release;
 //   - Link.FailDials makes the next k redial attempts fail;
+//   - Link.HalfOpen models a peer host that vanished without FIN: both
+//     directions stall (reads starve, writes block) with no error and no
+//     close, so only deadlines or heartbeat eviction can detect it;
 //   - Network.Partition takes the center off the network (dials fail,
 //     existing connections are cut) until Network.Heal.
 //
@@ -21,6 +24,12 @@
 // byte-for-byte and clean under the race detector. The seeded Rand lets a
 // test script derive fault schedules (which epoch to drop, which point to
 // restart) that are random-looking but fixed for a given seed.
+//
+// Deadlines are honest: SetReadDeadline/SetWriteDeadline arm a timer on
+// the blocked buffer operation and expire with os.ErrDeadlineExceeded
+// (a net.Error with Timeout() == true), exactly like a real socket. They
+// are the only timer-driven part of the fabric, and only tests that set
+// them pay that nondeterminism — everything else stays message-scripted.
 package faultnet
 
 import (
@@ -28,6 +37,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,20 +57,45 @@ func (a fakeAddr) Network() string { return "faultnet" }
 func (a fakeAddr) String() string  { return string(a) }
 
 // buffer is one direction of a connection pair: an unbounded byte queue
-// with graceful-close, cut and hold states.
+// with graceful-close, cut, hold and deadline states. Each buffer has
+// exactly one reading endpoint and one writing endpoint, so the read and
+// write deadlines each have a single owner and never conflict.
 type buffer struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	data   []byte
-	closed bool // graceful close: readers drain, then EOF; writers fail
-	cut    bool // fault: both sides fail immediately, queued bytes dropped
-	held   bool // slow link: readers stall until released
+	mu       sync.Mutex
+	cond     *sync.Cond
+	data     []byte
+	closed   bool // graceful close: readers drain, then EOF; writers fail
+	cut      bool // fault: both sides fail immediately, queued bytes dropped
+	held     bool // slow link: readers stall until released
+	blockedW bool // half-open: writers stall too (peer stopped draining)
+	rdl, wdl time.Time
 }
 
 func newBuffer() *buffer {
 	b := &buffer{}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// waitLocked blocks on the condition variable, additionally waking when
+// the deadline passes. The timer broadcasts rather than signals so it
+// cannot starve another waiter of a genuine wake-up.
+func (b *buffer) waitLocked(deadline time.Time) {
+	if deadline.IsZero() {
+		b.cond.Wait()
+		return
+	}
+	t := time.AfterFunc(time.Until(deadline), func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+	b.cond.Wait()
+	t.Stop()
+}
+
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
 }
 
 func (b *buffer) read(p []byte) (int, error) {
@@ -79,23 +114,60 @@ func (b *buffer) read(p []byte) (int, error) {
 			if b.closed {
 				return 0, io.EOF
 			}
+		} else if b.closed {
+			// A held buffer can never drain; a close while held aborts the
+			// read (queued bytes are lost, like a reset) instead of wedging
+			// the reader forever.
+			return 0, io.EOF
 		}
-		b.cond.Wait()
+		if expired(b.rdl) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		b.waitLocked(b.rdl)
 	}
 }
 
 func (b *buffer) write(p []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.cut {
-		return 0, ErrCut
+	for {
+		if b.cut {
+			return 0, ErrCut
+		}
+		if b.closed {
+			return 0, net.ErrClosed
+		}
+		if !b.blockedW {
+			b.data = append(b.data, p...)
+			b.cond.Broadcast()
+			return len(p), nil
+		}
+		if expired(b.wdl) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		b.waitLocked(b.wdl)
 	}
-	if b.closed {
-		return 0, net.ErrClosed
-	}
-	b.data = append(b.data, p...)
+}
+
+func (b *buffer) setReadDeadline(t time.Time) {
+	b.mu.Lock()
+	b.rdl = t
 	b.cond.Broadcast()
-	return len(p), nil
+	b.mu.Unlock()
+}
+
+func (b *buffer) setWriteDeadline(t time.Time) {
+	b.mu.Lock()
+	b.wdl = t
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *buffer) blockWrites(v bool) {
+	b.mu.Lock()
+	b.blockedW = v
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }
 
 func (b *buffer) close() {
@@ -132,8 +204,18 @@ func (p *pair) cut() {
 	p.down.doCut()
 }
 
-// Conn is one endpoint of an in-memory connection. It implements net.Conn;
-// deadlines are accepted and ignored (the harness never relies on timers).
+// halfOpen stalls both directions without closing or erroring: reads
+// starve and writes block, as if the peer's host vanished mid-connection.
+func (p *pair) halfOpen() {
+	p.up.hold(true)
+	p.up.blockWrites(true)
+	p.down.hold(true)
+	p.down.blockWrites(true)
+}
+
+// Conn is one endpoint of an in-memory connection. It implements net.Conn
+// with honest deadline semantics: a blocked Read or Write wakes when its
+// deadline passes and fails with os.ErrDeadlineExceeded.
 type Conn struct {
 	rb, wb        *buffer
 	local, remote fakeAddr
@@ -180,14 +262,27 @@ func (c *Conn) LocalAddr() net.Addr { return c.local }
 // RemoteAddr implements net.Conn.
 func (c *Conn) RemoteAddr() net.Addr { return c.remote }
 
-// SetDeadline implements net.Conn as a no-op.
-func (c *Conn) SetDeadline(t time.Time) error { return nil }
+// SetDeadline implements net.Conn: it bounds both pending and future
+// Reads and Writes. The zero time clears the deadline.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rb.setReadDeadline(t)
+	c.wb.setWriteDeadline(t)
+	return nil
+}
 
-// SetReadDeadline implements net.Conn as a no-op.
-func (c *Conn) SetReadDeadline(t time.Time) error { return nil }
+// SetReadDeadline implements net.Conn for the read direction.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.rb.setReadDeadline(t)
+	return nil
+}
 
-// SetWriteDeadline implements net.Conn as a no-op.
-func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }
+// SetWriteDeadline implements net.Conn for the write direction. Writes on
+// a healthy fabric buffer without blocking, so the deadline only bites
+// when fault injection (HalfOpen) has stalled the peer.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wb.setWriteDeadline(t)
+	return nil
+}
 
 // Listener is the center's in-memory accept queue. It implements
 // net.Listener and plugs into transport.CenterConfig.Listener.
@@ -503,6 +598,17 @@ func (l *Link) HoldUploads() {
 func (l *Link) ReleaseUploads() {
 	if p := l.current(); p != nil {
 		p.up.hold(false)
+	}
+}
+
+// HalfOpen makes the point's current connection half-open: the remote
+// host "vanishes" without FIN or RST, so both endpoints' reads starve and
+// writes block indefinitely with no error. Neither side learns anything
+// unless it armed a deadline (or gave up and closed its own end). Cut the
+// pair or close either endpoint to release the stuck goroutines.
+func (l *Link) HalfOpen() {
+	if p := l.current(); p != nil {
+		p.halfOpen()
 	}
 }
 

@@ -66,6 +66,11 @@ func DecodeRunWords(dst []uint64, data []byte) (int, error) {
 		if n <= 0 {
 			return 0, fmt.Errorf("hll: truncated or malformed run token")
 		}
+		// A trailing 0x00 group means a shorter encoding of the same token
+		// exists; accepting it would give one word slice two encodings.
+		if n > 1 && data[off+n-1] == 0 {
+			return 0, fmt.Errorf("hll: non-minimal run token")
+		}
 		off += n
 		count := t >> 1
 		runType := int(t & 1)

@@ -52,6 +52,9 @@ func TestDecodeRunWordsRejectsMalformed(t *testing.T) {
 		"overlong zeros":  {5 << 1},
 		"truncated lits":  {2<<1 | 1, 1, 2, 3},
 		"trailing needed": {1 << 1}, // covers 1 of 4 words then runs out
+		// 0x88 0x00 is a two-byte varint for token 8 (canonical: 0x08);
+		// accepting it would give the 4-zero-word slice two encodings.
+		"non-minimal token": {0x88, 0x00},
 	}
 	for name, data := range bad {
 		if _, err := DecodeRunWords(dst, data); err == nil {

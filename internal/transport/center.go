@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/durable"
@@ -70,6 +72,19 @@ type CenterConfig struct {
 	CheckpointEvery int
 	// Logf, if set, receives diagnostic messages (defaults to log.Printf).
 	Logf func(format string, args ...any)
+	// ReadTimeout, when positive, bounds how long the center waits for the
+	// next frame from a child before evicting it as half-open (the read
+	// deadline is re-armed before every decode). A child that is idle
+	// between epochs stays admitted only if it sends heartbeats faster
+	// than this bound (PointConfig.HeartbeatEvery); set ReadTimeout to
+	// several heartbeat intervals. Zero keeps the pre-liveness behavior:
+	// block forever, trust the peer.
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds each push write. A child that
+	// stopped draining (half-open peer, wedged reader) times the write out
+	// and is evicted instead of wedging the push round behind its dead
+	// socket. Zero = block forever.
+	WriteTimeout time.Duration
 	// forceLegacyCodec pins every connection to CodecLegacy regardless of
 	// what points offer. Test hook standing in for a pre-codec binary.
 	forceLegacyCodec bool
@@ -99,7 +114,10 @@ type CenterServer struct {
 	repushes    int64
 	backfills   int64
 	checkpoints int64
+	heartbeats  int64
+	evictions   int64
 	lastPush    int64 // most recent ForEpoch pushed (0 = none yet)
+	lastRoundAt time.Time
 	closed      bool
 
 	wg sync.WaitGroup
@@ -112,19 +130,28 @@ type pointConn struct {
 	// codec is the payload codec negotiated in this connection's
 	// handshake; pushes to the point are marshaled with it.
 	codec int
-	mu    sync.Mutex // serializes Push encoding
+	// wto bounds each encode on the connection (0 = never time out).
+	wto time.Duration
+	mu  sync.Mutex // serializes Push encoding
 }
 
-func (pc *pointConn) push(p Push) error {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return pc.enc.Encode(p)
-}
+func (pc *pointConn) push(p Push) error { return pc.send(p) }
 
 func (pc *pointConn) send(v any) error {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	if pc.wto > 0 {
+		_ = pc.conn.SetWriteDeadline(time.Now().Add(pc.wto))
+		defer pc.conn.SetWriteDeadline(time.Time{})
+	}
 	return pc.enc.Encode(v)
+}
+
+// isWedged reports whether a connection error means the peer is wedged
+// (deadline expired) rather than gone (reset, EOF, closed). Wedged peers
+// are evicted and counted; gone peers just disconnect.
+func isWedged(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded)
 }
 
 // ServeCenter starts a measurement center listening on cfg.Addr. The
@@ -222,6 +249,17 @@ type CenterStats struct {
 	// RestoredGeneration is the checkpoint generation restored at startup
 	// (0 = started fresh).
 	RestoredGeneration uint64
+	// HeartbeatsReceived counts liveness probes (Upload.Heartbeat frames)
+	// accepted from children.
+	HeartbeatsReceived int64
+	// Evictions counts connections dropped because a deadline expired —
+	// a half-open or wedged peer detected by ReadTimeout/WriteTimeout.
+	Evictions int64
+	// LastPushEpoch is the most recent round's ForEpoch (0 = none yet).
+	LastPushEpoch int64
+	// LastRoundAt is when the most recent round was pushed (zero = never);
+	// health endpoints surface it as the last-merge age.
+	LastRoundAt time.Time
 }
 
 // Stats returns a snapshot of the center's counters.
@@ -238,6 +276,10 @@ func (s *CenterServer) Stats() CenterStats {
 		Backfills:          s.backfills,
 		CheckpointsWritten: s.checkpoints,
 		RestoredGeneration: s.restoredGen,
+		HeartbeatsReceived: s.heartbeats,
+		Evictions:          s.evictions,
+		LastPushEpoch:      s.lastPush,
+		LastRoundAt:        s.lastRoundAt,
 	}
 }
 
@@ -261,12 +303,50 @@ func (s *CenterServer) WaitConnected(n int) bool {
 	return s.waitCond(func() bool { return len(s.conns) == n })
 }
 
+// WaitPushEpoch blocks until a round with ForEpoch >= e has been pushed,
+// the timeout elapses, or the center closes. Unlike WaitRounds it needs
+// no model of how many back-rounds a recovery replays, which makes it the
+// watchdog primitive for chaos schedules: "the cluster reached epoch e,
+// or it is wedged".
+func (s *CenterServer) WaitPushEpoch(e int64, timeout time.Duration) bool {
+	return s.waitCondFor(timeout, func() bool { return s.lastPush >= e })
+}
+
+// WaitConnectedFor is WaitConnected with a watchdog timeout.
+func (s *CenterServer) WaitConnectedFor(n int, timeout time.Duration) bool {
+	return s.waitCondFor(timeout, func() bool { return len(s.conns) == n })
+}
+
+// WaitHeartbeats blocks until at least n heartbeat frames have been
+// accepted, the timeout elapses, or the center closes.
+func (s *CenterServer) WaitHeartbeats(n int64, timeout time.Duration) bool {
+	return s.waitCondFor(timeout, func() bool { return s.heartbeats >= n })
+}
+
 // waitCond blocks on the stats condition variable until cond (evaluated
 // under s.mu) holds or the center closes.
 func (s *CenterServer) waitCond(cond func() bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for !cond() && !s.closed {
+		s.cond.Wait()
+	}
+	return cond()
+}
+
+// waitCondFor is waitCond with a deadline: it returns the condition's
+// truth when it first holds, the center closes, or the timeout elapses.
+func (s *CenterServer) waitCondFor(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !cond() && !s.closed && time.Now().Before(deadline) {
 		s.cond.Wait()
 	}
 	return cond()
@@ -326,7 +406,7 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 	}()
 	dec := gob.NewDecoder(conn)
 	var hello Hello
-	if err := dec.Decode(&hello); err != nil {
+	if err := s.decodeBounded(conn, dec, &hello); err != nil {
 		return fmt.Errorf("decode hello: %w", err)
 	}
 	wantW, ok := s.cfg.Widths[hello.Point]
@@ -342,6 +422,7 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 	pc := &pointConn{
 		point: hello.Point, conn: conn, enc: gob.NewEncoder(conn),
 		codec: negotiateCodec(hello.Codec, s.ownCodec()),
+		wto:   s.cfg.WriteTimeout,
 	}
 	welcome := s.welcomeFor(hello.Point)
 	welcome.Codec = pc.codec
@@ -399,19 +480,48 @@ func (s *CenterServer) handle(conn net.Conn) (err error) {
 
 	for {
 		var up Upload
-		if err := dec.Decode(&up); err != nil {
+		if err := s.decodeBounded(conn, dec, &up); err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
+			}
+			if isWedged(err) {
+				s.bumpEvictions()
+				return fmt.Errorf("evicting point %d: no frame within %v (half-open peer?)", hello.Point, s.cfg.ReadTimeout)
 			}
 			return fmt.Errorf("decode upload: %w", err)
 		}
 		if up.Point != hello.Point {
 			return fmt.Errorf("upload claims point %d on connection of point %d", up.Point, hello.Point)
 		}
+		if up.Heartbeat {
+			s.mu.Lock()
+			s.heartbeats++
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			continue
+		}
 		if err := s.ingest(up); err != nil {
 			return err
 		}
 	}
+}
+
+// decodeBounded decodes one frame, arming the connection's read deadline
+// first when ReadTimeout is configured. A child must produce SOME frame
+// (upload or heartbeat) within each window or the decode fails with
+// os.ErrDeadlineExceeded and the caller evicts it.
+func (s *CenterServer) decodeBounded(conn net.Conn, dec *gob.Decoder, v any) error {
+	if s.cfg.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+	return dec.Decode(v)
+}
+
+func (s *CenterServer) bumpEvictions() {
+	s.mu.Lock()
+	s.evictions++
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // ownCodec is the highest payload codec this center advertises.
@@ -511,12 +621,21 @@ func (s *CenterServer) pushRound(forEpoch int64) error {
 	for _, pc := range conns {
 		if err := s.pushTo(pc, forEpoch); err != nil {
 			s.cfg.Logf("transport: push to point %d: %v", pc.point, err)
+			if isWedged(err) {
+				// The child stopped draining pushes: evict it rather than
+				// let its dead socket (and poisoned encoder) linger. Its
+				// handler's next read fails and cleans up; the child
+				// re-admits through the normal resync handshake.
+				_ = pc.conn.Close()
+				s.bumpEvictions()
+			}
 		}
 	}
 	s.mu.Lock()
 	if forEpoch > s.lastPush {
 		s.lastPush = forEpoch
 	}
+	s.lastRoundAt = time.Now()
 	doCkpt := s.ckpt != nil && (s.rounds+1)%s.ckptEvery == 0
 	s.mu.Unlock()
 	if doCkpt {

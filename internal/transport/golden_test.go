@@ -59,6 +59,9 @@ func goldenMessages(t *testing.T) map[string]any {
 			ForEpoch: 17, Aggregate: fuzzSpreadSketchBytesCompact(t),
 			CovMerged: 9, CovExpected: 12, IntoCurrent: true,
 		},
+		// The liveness probe a point sends between epochs (PROTOCOL.md
+		// "Heartbeat"): an Upload frame with no payload and the flag set.
+		"heartbeat": Upload{Point: 3, Epoch: 16, Heartbeat: true},
 	}
 }
 
@@ -159,6 +162,17 @@ func TestGoldenDecodable(t *testing.T) {
 	if _, err := decodeRskt(pp.Aggregate); err != nil {
 		t.Errorf("packed push payload does not decode: %v", err)
 	}
+
+	// The heartbeat golden must round-trip with the flag intact and no
+	// payload — the shape servers dispatch on before ingesting.
+	var hb Upload
+	if err := gob.NewDecoder(bytes.NewReader(read("heartbeat"))).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	whb := want["heartbeat"].(Upload)
+	if !hb.Heartbeat || hb.Point != whb.Point || hb.Epoch != whb.Epoch || len(hb.Sketch) != 0 {
+		t.Errorf("heartbeat decoded to %+v", hb)
+	}
 }
 
 // TestGoldenLegacyHandshakeDecodable proves a pre-codec peer's handshake
@@ -193,5 +207,36 @@ func TestGoldenLegacyHandshakeDecodable(t *testing.T) {
 	}
 	if w.WindowN != 5 || w.Points != 4 || w.ResumeEpoch != 17 || w.PointEpoch != 15 {
 		t.Errorf("legacy welcome decoded to %+v", w)
+	}
+}
+
+// TestGoldenPreHeartbeatUploadDecodable proves an Upload stream written
+// before the Heartbeat field existed still decodes correctly: gob must
+// leave Heartbeat false, so every frame from a pre-heartbeat point is a
+// real measurement and none is mistaken for a probe. The _v2 goldens are
+// the exact bytes upload.bin/upload_packed.bin held before the field was
+// added.
+func TestGoldenPreHeartbeatUploadDecodable(t *testing.T) {
+	want := goldenMessages(t)
+	for old, cur := range map[string]string{
+		"upload_v2":        "upload",
+		"upload_packed_v2": "upload_packed",
+	} {
+		b, err := os.ReadFile(filepath.Join("testdata", "golden", old+".bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var u Upload
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&u); err != nil {
+			t.Fatalf("%s: %v", old, err)
+		}
+		if u.Heartbeat {
+			t.Errorf("%s: pre-heartbeat upload decoded with Heartbeat set", old)
+		}
+		wu := want[cur].(Upload)
+		if u.Point != wu.Point || u.Epoch != wu.Epoch || !bytes.Equal(u.Sketch, wu.Sketch) ||
+			u.AggApplied != wu.AggApplied || u.EnhApplied != wu.EnhApplied || u.Rebase != wu.Rebase {
+			t.Errorf("%s decoded to %+v", old, u)
+		}
 	}
 }

@@ -118,6 +118,15 @@ type Upload struct {
 	AggApplied bool
 	EnhApplied bool
 	Rebase     bool
+	// Heartbeat marks a liveness probe instead of a measurement: Sketch is
+	// empty, Epoch is the point's current local epoch, and the frame must
+	// not be ingested. A server with a read deadline armed uses heartbeats
+	// to tell an idle-but-alive child (sends them between epochs) from a
+	// half-open one (sends nothing, gets evicted). Old servers built before
+	// the field would ingest the frame, so points only emit heartbeats when
+	// HeartbeatEvery is explicitly configured. Gob leaves the field false
+	// for old senders, keeping every pre-heartbeat stream valid.
+	Heartbeat bool
 }
 
 // Push carries the center's ST-join result back to one point. It must be

@@ -60,6 +60,19 @@ type PointConfig struct {
 	// (core.SizeModeDelta). Required when the point uploads through an
 	// aggregation relay; the center must run the matching mode.
 	DeltaUploads bool
+	// WriteTimeout, when positive, bounds each upload or heartbeat write.
+	// Against a half-open center (host vanished, socket never drains) an
+	// unbounded write wedges EndEpoch forever; with the bound the write
+	// fails with a timeout, the connection is closed, and the upload stays
+	// buffered for retransmission after Redial. Zero = block forever.
+	WriteTimeout time.Duration
+	// HeartbeatEvery, when positive, sends a liveness probe
+	// (Upload.Heartbeat) on the connection at this interval so a server
+	// with a read deadline can tell this idle-but-alive point from a dead
+	// one. Set it to a fraction (a third or less) of the server's
+	// ReadTimeout. Zero disables heartbeats — required against servers
+	// built before the heartbeat frame, which would try to ingest it.
+	HeartbeatEvery time.Duration
 	// forceLegacyCodec pins the point to CodecLegacy regardless of what
 	// the center offers. Test hook standing in for a pre-codec binary.
 	forceLegacyCodec bool
@@ -91,6 +104,19 @@ type PointStats struct {
 	// CheckpointsWritten is the number of durable checkpoints written at
 	// epoch boundaries.
 	CheckpointsWritten int64
+	// HeartbeatsSent is the number of liveness probes sent (0 unless
+	// HeartbeatEvery is configured).
+	HeartbeatsSent int64
+	// WriteTimeouts is the number of writes abandoned because the
+	// connection stopped draining (WriteTimeout expired); each one closes
+	// the connection and leaves the upload buffered for retransmission.
+	WriteTimeouts int64
+	// Epoch is the point's current epoch and LastPushEpoch the newest
+	// push ForEpoch the reader has processed (0 = none). Their difference
+	// is the point's epoch lag: 0–1 on a healthy cluster, growing while
+	// the center is unreachable. Health endpoints surface it.
+	Epoch         int64
+	LastPushEpoch int64
 }
 
 // PointClient is a measurement point connected to a live center. Record
@@ -145,13 +171,16 @@ type PointClient struct {
 	uploadsDropped   atomic.Int64
 	backfillsApplied atomic.Int64
 	checkpoints      atomic.Int64
+	heartbeatsSent   atomic.Int64
+	writeTimeouts    atomic.Int64
 
 	// pushMu/pushCond let tests wait deterministically for the reader to
 	// process pushes (WaitPushes) without sleep-polling.
-	pushMu   sync.Mutex
-	pushCond *sync.Cond
-	pushSeen int64
-	closed   bool
+	pushMu      sync.Mutex
+	pushCond    *sync.Cond
+	pushSeen    int64
+	lastPushFor int64 // highest Push.ForEpoch processed (watchdog waits)
+	closed      bool
 
 	errMu   sync.Mutex
 	lastErr error
@@ -210,10 +239,7 @@ func DialPoint(cfg PointConfig) (*PointClient, error) {
 func (c *PointClient) connect() error {
 	dial := c.cfg.Dial
 	if dial == nil {
-		timeout := c.cfg.DialTimeout
-		if timeout <= 0 {
-			timeout = 10 * time.Second
-		}
+		timeout := effectiveDialTimeout(c.cfg.DialTimeout)
 		dial = func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
 	}
 	conn, err := dial(c.cfg.Addr)
@@ -244,12 +270,66 @@ func (c *PointClient) connect() error {
 	c.mu.Unlock()
 	c.setErr(nil)
 	go c.readLoop(dec, done)
+	if hb := c.cfg.HeartbeatEvery; hb > 0 {
+		go c.heartbeatLoop(conn, done, hb)
+	}
 	// Retransmit epoch uploads buffered while disconnected, oldest
 	// first, so the center's window stays gap-free.
 	c.mu.Lock()
 	flushErr := c.flushPendingLocked()
 	c.mu.Unlock()
 	return flushErr
+}
+
+// effectiveDialTimeout maps PointConfig.DialTimeout to the bound actually
+// applied to raw TCP dials (default 10s; the config value wins when set).
+func effectiveDialTimeout(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 10 * time.Second
+	}
+	return d
+}
+
+// heartbeatLoop sends liveness probes on one connection until it dies.
+// Probes share the upload encoder under c.mu, so they interleave cleanly
+// with EndEpoch; a probe that fails (connection lost, or the write timed
+// out against a half-open server) stops the loop — the regular error and
+// redial machinery owns recovery.
+func (c *PointClient) heartbeatLoop(conn net.Conn, done chan struct{}, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		if c.conn != conn {
+			c.mu.Unlock()
+			return
+		}
+		err := c.encodeLocked(Upload{Point: c.cfg.Point, Epoch: c.eng.epoch(), Heartbeat: true})
+		c.mu.Unlock()
+		if err != nil {
+			if isWedged(err) {
+				c.writeTimeouts.Add(1)
+				_ = conn.Close()
+			}
+			return
+		}
+		c.heartbeatsSent.Add(1)
+	}
+}
+
+// encodeLocked encodes one frame on the live connection, bounded by
+// WriteTimeout when configured. Callers must hold c.mu.
+func (c *PointClient) encodeLocked(v any) error {
+	if wto := c.cfg.WriteTimeout; wto > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(wto))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	return c.enc.Encode(v)
 }
 
 // applyWelcome resynchronizes the point with the center's view of the
@@ -516,8 +596,16 @@ func (c *PointClient) flushPendingLocked() error {
 		if p.sent {
 			continue
 		}
-		if err := c.enc.Encode(p.up); err != nil {
+		if err := c.encodeLocked(p.up); err != nil {
 			c.markPendingAttemptedLocked()
+			if isWedged(err) {
+				// The center stopped draining (half-open peer): the encoder
+				// is poisoned mid-frame, so the connection is dead weight.
+				// Close it — the reader unblocks, the upload stays buffered,
+				// and the next Redial retransmits it.
+				c.writeTimeouts.Add(1)
+				_ = c.conn.Close()
+			}
 			return fmt.Errorf("transport: upload epoch %d: %w", p.up.Epoch, err)
 		}
 		if p.attempted {
@@ -540,7 +628,12 @@ func (c *PointClient) markPendingAttemptedLocked() {
 
 // Stats returns protocol event counters.
 func (c *PointClient) Stats() PointStats {
+	c.pushMu.Lock()
+	lastPush := c.lastPushFor
+	c.pushMu.Unlock()
 	return PointStats{
+		Epoch:              c.eng.epoch(),
+		LastPushEpoch:      lastPush,
 		PushesApplied:      c.pushesApplied.Load(),
 		PushesLate:         c.pushesLate.Load(),
 		PushesDuplicate:    c.pushesDup.Load(),
@@ -548,6 +641,8 @@ func (c *PointClient) Stats() PointStats {
 		UploadsDropped:     c.uploadsDropped.Load(),
 		BackfillsApplied:   c.backfillsApplied.Load(),
 		CheckpointsWritten: c.checkpoints.Load(),
+		HeartbeatsSent:     c.heartbeatsSent.Load(),
+		WriteTimeouts:      c.writeTimeouts.Load(),
 	}
 }
 
@@ -572,6 +667,27 @@ func (c *PointClient) WaitPushes(n int64) bool {
 		c.pushCond.Wait()
 	}
 	return c.pushSeen >= n
+}
+
+// WaitPushEpoch blocks until the reader has processed a push whose
+// ForEpoch is at least e, the timeout elapses, or the client closes.
+// Unlike WaitPushes it needs no count of how many rounds a recovery
+// replays — the watchdog primitive chaos schedules use: "this point saw
+// the cluster reach epoch e, or it is wedged".
+func (c *PointClient) WaitPushEpoch(e int64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		c.pushMu.Lock()
+		c.pushCond.Broadcast()
+		c.pushMu.Unlock()
+	})
+	defer timer.Stop()
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	for c.lastPushFor < e && !c.closed && time.Now().Before(deadline) {
+		c.pushCond.Wait()
+	}
+	return c.lastPushFor >= e
 }
 
 // Close drops the connection.
@@ -626,10 +742,7 @@ func (c *PointClient) apply(push Push) error {
 		default:
 			c.backfillsApplied.Add(1)
 		}
-		c.pushMu.Lock()
-		c.pushSeen++
-		c.pushCond.Broadcast()
-		c.pushMu.Unlock()
+		c.notePush(push.ForEpoch)
 		return nil
 	}
 	if len(push.Aggregate) > 0 {
@@ -648,9 +761,17 @@ func (c *PointClient) apply(push Push) error {
 	default:
 		c.pushesApplied.Add(1)
 	}
+	c.notePush(push.ForEpoch)
+	return nil
+}
+
+// notePush records one processed push for the Wait* helpers.
+func (c *PointClient) notePush(forEpoch int64) {
 	c.pushMu.Lock()
 	c.pushSeen++
+	if forEpoch > c.lastPushFor {
+		c.lastPushFor = forEpoch
+	}
 	c.pushCond.Broadcast()
 	c.pushMu.Unlock()
-	return nil
 }

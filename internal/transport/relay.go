@@ -64,6 +64,22 @@ type RelayConfig struct {
 	CheckpointEvery int
 	// Logf, if set, receives diagnostic messages (defaults to log.Printf).
 	Logf func(format string, args ...any)
+	// ReadTimeout, when positive, bounds how long the relay waits for the
+	// next frame from a child before evicting it as half-open (see
+	// CenterConfig.ReadTimeout; children must heartbeat faster than this).
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds every write on both hops: pushes
+	// fanned to children AND combined uploads forwarded upstream. The
+	// upstream bound matters doubly: the forward path encodes while
+	// holding the relay lock, so an unbounded write against a parent that
+	// stopped reading would wedge the entire relay, not just the hop.
+	WriteTimeout time.Duration
+	// HeartbeatEvery, when positive, sends liveness probes on the upstream
+	// hop so a parent with a read deadline keeps this relay admitted
+	// through quiet stretches. It does not change what the relay expects
+	// of its children — configure the children's own HeartbeatEvery for
+	// that.
+	HeartbeatEvery time.Duration
 	// forceLegacyCodec pins every hop to CodecLegacy (test hook).
 	forceLegacyCodec bool
 }
@@ -86,6 +102,11 @@ type RelayStats struct {
 	// UploadsRetried / UploadsDropped for the upstream buffer.
 	ForwardsRetried int64
 	ForwardsDropped int64
+	// UploadsDropped is ForwardsDropped under the name the point client
+	// uses, so operators watching a mixed fleet read one field: combined
+	// uploads discarded unsent because the upstream outage outlasted the
+	// retransmit window.
+	UploadsDropped int64
 	// RoundsForwarded counts pushes received from upstream and fanned to
 	// the children.
 	RoundsForwarded int64
@@ -102,6 +123,23 @@ type RelayStats struct {
 	// RestoredGeneration is the checkpoint generation restored at startup
 	// (0 = started fresh).
 	RestoredGeneration uint64
+	// HeartbeatsReceived counts liveness probes accepted from children;
+	// HeartbeatsSent counts probes sent on the upstream hop.
+	HeartbeatsReceived int64
+	HeartbeatsSent     int64
+	// Evictions counts child connections dropped because a deadline
+	// expired (half-open or wedged child).
+	Evictions int64
+	// UpstreamWriteTimeouts counts upstream writes abandoned because the
+	// parent stopped draining; each one fails the hop over to the redial
+	// loop with the upload still buffered.
+	UpstreamWriteTimeouts int64
+	// LastPushEpoch is the newest upstream round's ForEpoch seen (0 =
+	// none yet); LastRoundAt is when the most recent round finished
+	// fanning to the children (zero = never). Health endpoints surface
+	// them as the epoch lag and last-merge age.
+	LastPushEpoch int64
+	LastRoundAt   time.Time
 }
 
 // RelayServer is a running aggregation relay.
@@ -136,8 +174,9 @@ type RelayServer struct {
 	// keyed by ForEpoch: the source for child re-pushes and backfills. An
 	// upstream IntoCurrent backfill is absorbed here — never forwarded —
 	// because a healthy additive child would double-merge it.
-	cache    map[int64]Push
-	lastPush int64
+	cache       map[int64]Push
+	lastPush    int64
+	lastRoundAt time.Time
 
 	uploads, dups       int64
 	forwards, retries   int64
@@ -147,10 +186,17 @@ type RelayServer struct {
 	absorbed            int64
 	updials             int64
 	checkpoints         int64
+	heartbeats          int64
+	hbSent              int64
+	evictions           int64
+	upTimeouts          int64
 	closed              bool
 
 	sleep func(time.Duration)
-	wg    sync.WaitGroup
+	// stopCh closes when the relay shuts down, releasing timer-driven
+	// loops (upstream heartbeats) promptly instead of at their next tick.
+	stopCh chan struct{}
+	wg     sync.WaitGroup
 }
 
 // ServeRelay starts an aggregation relay: it connects upstream (the
@@ -161,10 +207,11 @@ func ServeRelay(cfg RelayConfig) (*RelayServer, error) {
 		cfg.Logf = log.Printf
 	}
 	s := &RelayServer{
-		cfg:   cfg,
-		conns: make(map[int]*pointConn),
-		cache: make(map[int64]Push),
-		sleep: time.Sleep,
+		cfg:    cfg,
+		conns:  make(map[int]*pointConn),
+		cache:  make(map[int64]Push),
+		sleep:  time.Sleep,
+		stopCh: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	eng, err := newRelayEngine(cfg)
@@ -218,20 +265,27 @@ func (s *RelayServer) Stats() RelayStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return RelayStats{
-		ConnectedChildren:  len(s.conns),
-		UpstreamConnected:  s.upEnc != nil,
-		UploadsReceived:    s.uploads,
-		UploadsDuplicate:   s.dups,
-		Forwards:           s.forwards,
-		ForwardsRetried:    s.retries,
-		ForwardsDropped:    s.drops,
-		RoundsForwarded:    s.rounds,
-		Repushes:           s.repushes,
-		Backfills:          s.backfills,
-		BackfillsAbsorbed:  s.absorbed,
-		UpstreamDials:      s.updials,
-		CheckpointsWritten: s.checkpoints,
-		RestoredGeneration: s.restoredGen,
+		ConnectedChildren:     len(s.conns),
+		UpstreamConnected:     s.upEnc != nil,
+		UploadsReceived:       s.uploads,
+		UploadsDuplicate:      s.dups,
+		Forwards:              s.forwards,
+		ForwardsRetried:       s.retries,
+		ForwardsDropped:       s.drops,
+		UploadsDropped:        s.drops,
+		RoundsForwarded:       s.rounds,
+		Repushes:              s.repushes,
+		Backfills:             s.backfills,
+		BackfillsAbsorbed:     s.absorbed,
+		UpstreamDials:         s.updials,
+		CheckpointsWritten:    s.checkpoints,
+		RestoredGeneration:    s.restoredGen,
+		HeartbeatsReceived:    s.heartbeats,
+		HeartbeatsSent:        s.hbSent,
+		Evictions:             s.evictions,
+		UpstreamWriteTimeouts: s.upTimeouts,
+		LastPushEpoch:         s.lastPush,
+		LastRoundAt:           s.lastRoundAt,
 	}
 }
 
@@ -271,6 +325,23 @@ func (s *RelayServer) WaitUpstream(want bool) bool {
 	return s.waitCond(func() bool { return (s.upEnc != nil) == want })
 }
 
+// WaitPushEpoch blocks until a round with ForEpoch >= e has been received
+// from upstream, the timeout elapses, or the relay closes.
+func (s *RelayServer) WaitPushEpoch(e int64, timeout time.Duration) bool {
+	return s.waitCondFor(timeout, func() bool { return s.lastPush >= e })
+}
+
+// WaitConnectedFor is WaitConnected with a watchdog timeout.
+func (s *RelayServer) WaitConnectedFor(n int, timeout time.Duration) bool {
+	return s.waitCondFor(timeout, func() bool { return len(s.conns) == n })
+}
+
+// WaitHeartbeats blocks until at least n child heartbeats have been
+// accepted, the timeout elapses, or the relay closes.
+func (s *RelayServer) WaitHeartbeats(n int64, timeout time.Duration) bool {
+	return s.waitCondFor(timeout, func() bool { return s.heartbeats >= n })
+}
+
 func (s *RelayServer) waitCond(cond func() bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -280,10 +351,30 @@ func (s *RelayServer) waitCond(cond func() bool) bool {
 	return cond()
 }
 
+// waitCondFor is waitCond with a deadline (see CenterServer.waitCondFor).
+func (s *RelayServer) waitCondFor(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !cond() && !s.closed && time.Now().Before(deadline) {
+		s.cond.Wait()
+	}
+	return cond()
+}
+
 // Close stops the relay: the child listener, every child connection and
 // the upstream hop.
 func (s *RelayServer) Close() error {
 	s.mu.Lock()
+	if !s.closed {
+		close(s.stopCh)
+	}
 	s.closed = true
 	conns := make([]*pointConn, 0, len(s.conns))
 	for _, pc := range s.conns {
@@ -378,10 +469,64 @@ func (s *RelayServer) connectUpstream() error {
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.readUpstream(conn, dec)
+	if hb := s.cfg.HeartbeatEvery; hb > 0 {
+		s.wg.Add(1)
+		go s.heartbeatUpstream(conn, hb)
+	}
 	if flushErr != nil {
 		s.cfg.Logf("transport: relay upstream flush: %v", flushErr)
 	}
 	return nil
+}
+
+// heartbeatUpstream sends liveness probes on one upstream hop until it
+// dies or is replaced, keeping this relay admitted at a parent with a
+// read deadline through stretches where no child completes a round.
+func (s *RelayServer) heartbeatUpstream(conn net.Conn, every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		if s.upConn != conn || s.upEnc == nil {
+			s.mu.Unlock()
+			return
+		}
+		err := s.encodeUpstreamLocked(Upload{
+			Point: s.cfg.Relay, Epoch: s.eng.forwarded(), Heartbeat: true,
+		})
+		if err == nil {
+			s.hbSent++
+		} else if isWedged(err) {
+			s.upTimeouts++
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// encodeUpstreamLocked encodes one frame on the upstream hop, bounded by
+// WriteTimeout when configured. Callers must hold s.mu — which is exactly
+// why the bound exists: an unbounded write here against a parent that
+// stopped reading would wedge every path that takes the relay lock.
+func (s *RelayServer) encodeUpstreamLocked(v any) error {
+	if wto := s.cfg.WriteTimeout; wto > 0 {
+		_ = s.upConn.SetWriteDeadline(time.Now().Add(wto))
+		defer func() {
+			if s.upConn != nil {
+				_ = s.upConn.SetWriteDeadline(time.Time{})
+			}
+		}()
+	}
+	return s.upEnc.Encode(v)
 }
 
 // readUpstream consumes the parent's pushes until the connection dies,
@@ -486,6 +631,16 @@ func (s *RelayServer) handleUpstreamPush(push Push) error {
 	for _, pc := range conns {
 		if err := s.forwardPush(pc, push, false); err != nil {
 			s.cfg.Logf("transport: relay push to child %d: %v", pc.point, err)
+			if isWedged(err) {
+				// The child stopped draining pushes: evict it so the dead
+				// socket cannot stall future rounds; it re-admits through
+				// the resync handshake.
+				_ = pc.conn.Close()
+				s.mu.Lock()
+				s.evictions++
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}
 		}
 	}
 	if doCkpt {
@@ -493,6 +648,7 @@ func (s *RelayServer) handleUpstreamPush(push Push) error {
 	}
 	s.mu.Lock()
 	s.rounds++
+	s.lastRoundAt = time.Now()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	return nil
@@ -536,11 +692,20 @@ func (s *RelayServer) flushUpstreamLocked() error {
 		if p.sent {
 			continue
 		}
-		if err := s.upEnc.Encode(p.up); err != nil {
+		if err := s.encodeUpstreamLocked(p.up); err != nil {
 			for j := i; j < len(s.pending); j++ {
 				if !s.pending[j].sent {
 					s.pending[j].attempted = true
 				}
+			}
+			if isWedged(err) {
+				// The parent stopped reading mid-window: without the write
+				// deadline this encode would block forever holding s.mu and
+				// wedge the whole relay. Fail the hop over to the redial
+				// loop instead; the upload stays buffered (and is counted
+				// in UploadsDropped only if the outage outlasts the window).
+				s.upTimeouts++
+				_ = s.upConn.Close()
 			}
 			return fmt.Errorf("upload epoch %d: %w", p.up.Epoch, err)
 		}
@@ -599,7 +764,7 @@ func (s *RelayServer) handle(conn net.Conn) (err error) {
 	}()
 	dec := gob.NewDecoder(conn)
 	var hello Hello
-	if err := dec.Decode(&hello); err != nil {
+	if err := s.decodeBounded(conn, dec, &hello); err != nil {
 		return fmt.Errorf("decode hello: %w", err)
 	}
 	wantW, ok := s.cfg.Widths[hello.Point]
@@ -615,6 +780,7 @@ func (s *RelayServer) handle(conn net.Conn) (err error) {
 	pc := &pointConn{
 		point: hello.Point, conn: conn, enc: gob.NewEncoder(conn),
 		codec: negotiateCodec(hello.Codec, s.ownCodec()),
+		wto:   s.cfg.WriteTimeout,
 	}
 	welcome := s.childWelcome(hello.Point, hello.StateEpoch)
 	welcome.Codec = pc.codec
@@ -663,19 +829,42 @@ func (s *RelayServer) handle(conn net.Conn) (err error) {
 
 	for {
 		var up Upload
-		if err := dec.Decode(&up); err != nil {
+		if err := s.decodeBounded(conn, dec, &up); err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
+			}
+			if isWedged(err) {
+				s.mu.Lock()
+				s.evictions++
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return fmt.Errorf("evicting child %d: no frame within %v (half-open peer?)", hello.Point, s.cfg.ReadTimeout)
 			}
 			return fmt.Errorf("decode upload: %w", err)
 		}
 		if up.Point != hello.Point {
 			return fmt.Errorf("upload claims child %d on connection of child %d", up.Point, hello.Point)
 		}
+		if up.Heartbeat {
+			s.mu.Lock()
+			s.heartbeats++
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			continue
+		}
 		if err := s.ingestChild(up); err != nil {
 			return err
 		}
 	}
+}
+
+// decodeBounded decodes one child frame under the relay's read deadline
+// (see CenterServer.decodeBounded).
+func (s *RelayServer) decodeBounded(conn net.Conn, dec *gob.Decoder, v any) error {
+	if s.cfg.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+	return dec.Decode(v)
 }
 
 // childWelcome builds the handshake reply for one child. The cluster

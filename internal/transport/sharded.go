@@ -41,6 +41,11 @@ type ShardedPointConfig struct {
 	// DeltaUploads applies to every sub-point (required when shards sit
 	// behind relays).
 	DeltaUploads bool
+	// WriteTimeout and HeartbeatEvery apply to every sub-point (see
+	// PointConfig): each shard connection is kept alive and bounded
+	// independently, so one half-open shard cannot wedge the others.
+	WriteTimeout   time.Duration
+	HeartbeatEvery time.Duration
 }
 
 // ShardedPointClient fans one logical measurement point across N center
@@ -76,6 +81,8 @@ func DialShardedPoint(cfg ShardedPointConfig) (*ShardedPointClient, error) {
 			RedialBackoffMax: cfg.RedialBackoffMax,
 			Shard:            i,
 			DeltaUploads:     cfg.DeltaUploads,
+			WriteTimeout:     cfg.WriteTimeout,
+			HeartbeatEvery:   cfg.HeartbeatEvery,
 		}
 		if cfg.CheckpointDir != "" {
 			sub.CheckpointDir = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("shard-%d", i))
@@ -200,11 +207,17 @@ func (c *ShardedPointClient) Redial() error {
 	return errors.Join(errs...)
 }
 
-// Stats sums the sub-points' counters.
+// Stats sums the sub-points' counters. Epoch is the lockstep epoch;
+// LastPushEpoch is the LOWEST sub-point's, so the reported lag reflects
+// the most-behind shard (the one bounding window coverage).
 func (c *ShardedPointClient) Stats() PointStats {
 	var total PointStats
-	for _, sub := range c.subs {
+	for i, sub := range c.subs {
 		st := sub.Stats()
+		total.Epoch = st.Epoch
+		if i == 0 || st.LastPushEpoch < total.LastPushEpoch {
+			total.LastPushEpoch = st.LastPushEpoch
+		}
 		total.PushesApplied += st.PushesApplied
 		total.PushesLate += st.PushesLate
 		total.PushesDuplicate += st.PushesDuplicate
@@ -212,6 +225,8 @@ func (c *ShardedPointClient) Stats() PointStats {
 		total.UploadsDropped += st.UploadsDropped
 		total.BackfillsApplied += st.BackfillsApplied
 		total.CheckpointsWritten += st.CheckpointsWritten
+		total.HeartbeatsSent += st.HeartbeatsSent
+		total.WriteTimeouts += st.WriteTimeouts
 	}
 	return total
 }
