@@ -9,9 +9,9 @@ GO ?= go
 # internal/*/testdata/fuzz seeds each run with protocol-shaped inputs.
 FUZZTIME ?= 30s
 
-.PHONY: check build lint vet test test-race race crash-test tree-test chaos-test chaos-soak fuzz-short bench-smoke bench bench-short bench-diff bench-scaling bench-tree
+.PHONY: check build lint vet test test-race race crash-test tree-test chaos-test chaos-soak store-test fuzz-short bench-smoke bench bench-short bench-diff bench-scaling bench-tree bench-store
 
-check: build lint race crash-test tree-test chaos-test fuzz-short bench-smoke bench-short
+check: build lint race crash-test tree-test chaos-test store-test fuzz-short bench-smoke bench-short
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,17 @@ chaos-soak:
 	$(GO) run ./cmd/tqchaos -seed $(CHAOS_SEED) -duration $(CHAOS_SOAK) | tee chaos_soak.txt
 	$(GO) run ./cmd/benchjson -o chaos_soak.json < chaos_soak.txt
 
+# The epoch-log store and retrospective-query gate: the log's own
+# format/retention/torn-tail/concurrency tests, the core replay engine,
+# and the end-to-end oracle matrix (-at/-range bit-identical to recorded
+# live answers across flat/tree/sharded topologies, both designs, both
+# spread backends, and a restart that rebuilds the index from disk),
+# all under the race detector.
+store-test:
+	$(GO) test -race -count=1 -run '^(TestLog|TestOpenRejects)' ./internal/durable
+	$(GO) test -race -count=1 -run '^TestHistory' ./internal/core
+	$(GO) test -race -count=1 -run '^TestHistory' ./internal/transport
+
 # Short fuzz pass over every decode surface a peer can reach: the protocol
 # streams (center- and point-side), the Push apply path, the sketch and
 # trace binary decoders (both codecs — the fixed/compact round-trip
@@ -87,6 +98,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzMergeMax$$' -fuzztime $(FUZZTIME) ./internal/hll
 	$(GO) test -run '^$$' -fuzz '^FuzzCompact$$' -fuzztime $(FUZZTIME) ./internal/hll
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/durable
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime $(FUZZTIME) ./internal/durable
 	$(GO) test -run '^$$' -fuzz . -fuzztime $(FUZZTIME) ./internal/trace
 
 bench-smoke:
@@ -139,6 +151,20 @@ bench-tree:
 		./internal/transport | tee bench_tree.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_TREE_JSON) \
 		-note "center-side ingest per epoch, flat vs 2-level tree (8 relays)" < bench_tree.txt
+
+# Epoch-log store evidence: replay latency vs window length (the full
+# ST-join replay behind one tqquery -range), plus the per-cell append and
+# lookup costs the log adds to the ingest path. BENCH_PR9.json is the
+# committed trajectory for the time-indexed store PR (regenerate with
+# `make bench-store BENCH_STORE_JSON=BENCH_PR9.json`).
+BENCH_STORE_JSON ?= bench_store.json
+bench-store:
+	$(GO) test -run '^$$' -bench '^BenchmarkHistoricalQuery$$' -benchtime=50x \
+		./internal/transport | tee bench_store.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkStore(Append|Get)$$' -benchtime=5000x \
+		./internal/durable | tee -a bench_store.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_STORE_JSON) \
+		-note "historical-query replay vs window length; epoch-log append/lookup cost per cell" < bench_store.txt
 
 # benchcmp-style ns/op comparison of two benchjson documents, e.g.
 # `make bench-short && make bench-diff OLD=BENCH_PR5.json NEW=bench_short.json`.

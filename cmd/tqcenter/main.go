@@ -47,6 +47,10 @@ func run(args []string) error {
 		enhance    = fs.Bool("enhance", false, "push the Section IV-D enhancement")
 		ckptDir    = fs.String("checkpoint-dir", "", "write atomic checkpoints of the window store here and recover from them on restart")
 		ckptEvry   = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
+		storeDir   = fs.String("store-dir", "", "append every accepted upload to a time-indexed epoch log here, enabling retrospective T-queries (tqquery -at/-range via -history-addr)")
+		retain     = fs.Int("retain", 0, "epochs of history to keep in the store, 0 = unbounded (with -store-dir; eviction is whole-segment)")
+		storeMax   = fs.Int64("store-max-bytes", 0, "store size budget in bytes, 0 = unbounded (with -store-dir; oldest segments evicted first)")
+		histAddr   = fs.String("history-addr", "", "serve the query RPC (live + historical forms) on this address, e.g. :7071")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 		healthAddr = fs.String("health", "", "serve /healthz + /readyz on this address, e.g. localhost:8070")
 	)
@@ -87,6 +91,10 @@ func run(args []string) error {
 		Enhance:         *enhance,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvry,
+		StoreDir:        *storeDir,
+		RetainEpochs:    *retain,
+		StoreMaxBytes:   *storeMax,
+		HistoryAddr:     *histAddr,
 	})
 	if err != nil {
 		return err
@@ -102,15 +110,35 @@ func run(args []string) error {
 			if !st.LastRoundAt.IsZero() {
 				mergeAge = time.Since(st.LastRoundAt).Seconds()
 			}
+			detail := map[string]any{
+				"connected_points": st.ConnectedPoints,
+				"last_push_epoch":  st.LastPushEpoch,
+				"last_merge_age_s": mergeAge,
+				"rounds_pushed":    st.RoundsPushed,
+				"evictions":        st.Evictions,
+			}
+			if st.StoreEnabled {
+				// Store health: the retained-epoch span bounds what
+				// retrospective queries can answer; a growing error
+				// counter or a stale compaction age is the operator's
+				// early warning before history quietly stops accruing.
+				compactAge := -1.0
+				if !st.StoreLastCompaction.IsZero() {
+					compactAge = time.Since(st.StoreLastCompaction).Seconds()
+				}
+				detail["store_first_epoch"] = st.StoreFirstEpoch
+				detail["store_last_epoch"] = st.StoreLastEpoch
+				detail["store_bytes"] = st.StoreBytes
+				detail["store_segments"] = st.StoreSegments
+				detail["store_appends"] = st.StoreAppends
+				detail["store_append_errors"] = st.StoreAppendErrors
+				detail["store_compactions"] = st.StoreCompactions
+				detail["store_compaction_errors"] = st.StoreCompactionErrors
+				detail["store_last_compaction_age_s"] = compactAge
+			}
 			return diag.Health{
-				Ready: st.ConnectedPoints > 0,
-				Detail: map[string]any{
-					"connected_points": st.ConnectedPoints,
-					"last_push_epoch":  st.LastPushEpoch,
-					"last_merge_age_s": mergeAge,
-					"rounds_pushed":    st.RoundsPushed,
-					"evictions":        st.Evictions,
-				},
+				Ready:  st.ConnectedPoints > 0,
+				Detail: detail,
 			}
 		})
 		if err != nil {
@@ -128,6 +156,18 @@ func run(args []string) error {
 			fmt.Printf("tqcenter: recovered window from checkpoint generation %d\n", gen)
 		}
 		fmt.Printf("tqcenter: checkpointing to %s every %d round(s)\n", *ckptDir, max(*ckptEvry, 1))
+	}
+	if *storeDir != "" {
+		st := srv.Stats()
+		if st.StoreEntries > 0 {
+			fmt.Printf("tqcenter: epoch log at %s holds epochs %d..%d (%d cells, %d bytes)\n",
+				*storeDir, st.StoreFirstEpoch, st.StoreLastEpoch, st.StoreEntries, st.StoreBytes)
+		} else {
+			fmt.Printf("tqcenter: epoch log at %s (empty)\n", *storeDir)
+		}
+	}
+	if a := srv.HistoryQueryAddr(); a != nil {
+		fmt.Printf("tqcenter: history queries on %s\n", a)
 	}
 
 	sig := make(chan os.Signal, 1)

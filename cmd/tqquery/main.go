@@ -8,19 +8,31 @@
 //	tqquery -addr 127.0.0.1:8081 -flow 12345 -watch 2s
 //	tqquery -addr 127.0.0.1:8081 -flow 12345 -coverage
 //	tqquery -shards 127.0.0.1:8081,127.0.0.1:8082 -shard-seed 42 -flow 12345
+//	tqquery -addr 127.0.0.1:7071 -flow 12345 -at 117
+//	tqquery -addr 127.0.0.1:7071 -flow 12345 -range 90:120
 //
 // With -coverage each answer also reports how much of the query window
 // the point actually holds (graceful degradation: during a center outage
 // the estimate is computed from the epochs that survived, and coverage
 // tells you how partial it is).
 //
+// With -at or -range, the answer is retrospective: the server (a
+// tqcenter -history-addr endpoint, or a tqrelay -history-addr proxy in
+// front of one) replays the spatio-temporal join from its epoch-log
+// store. -at k reproduces the windowed answer as it stood at past epoch
+// k, bit-identical to what a live query returned back then when the
+// window is fully retained; -range from:to joins an arbitrary epoch
+// range. Both always report coverage: epochs compacted away by
+// retention show up as merged < expected, never as a silent gap.
+//
 // With -shards, the deployment is flow-sharded (tqcenter/tqpoint -shard
 // i/n): the router hashes the flow with the cluster's seed-keyed
 // partition and dials the owning shard's query endpoint (index i in the
 // list). Because the partition is disjoint, a single-flow T-query lives
 // wholly on one shard and the routed answer is exact — identical to an
-// unsharded deployment's. Cross-flow aggregates (sums over many flows)
-// are the union of per-shard answers: query each endpoint and add.
+// unsharded deployment's. Sharding composes with -at/-range: give
+// -shards the per-shard history endpoints and the replay routes the
+// same way.
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,11 +63,23 @@ func run(args []string, stdout io.Writer) error {
 		watch  = fs.Duration("watch", 0, "re-query at this interval until interrupted (0 = once)")
 		count  = fs.Int("count", 0, "with -watch: stop after this many queries (0 = forever)")
 		cover  = fs.Bool("coverage", false, "also report the window coverage behind each answer")
+		at     = fs.Int64("at", 0, "retrospective: replay the windowed answer as of this past epoch (needs a tqcenter -history-addr endpoint)")
+		rng    = fs.String("range", "", `retrospective: replay an arbitrary epoch range "from:to" (needs a tqcenter -history-addr endpoint)`)
 		shards = fs.String("shards", "", "comma-separated per-shard query endpoints (index = shard id); routes the flow to its owning shard")
 		sseed  = fs.Uint64("shard-seed", 42, "cluster-wide hash seed the shards were started with (tqcenter -seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *at != 0 && *rng != "" {
+		return fmt.Errorf("-at and -range are mutually exclusive")
+	}
+	var rngFrom, rngTo int64
+	if *rng != "" {
+		var err error
+		if rngFrom, rngTo, err = parseEpochRange(*rng); err != nil {
+			return err
+		}
 	}
 	target := *addr
 	if *shards != "" {
@@ -79,6 +104,32 @@ func run(args []string, stdout io.Writer) error {
 	defer qc.Close()
 
 	ask := func() error {
+		if *at != 0 || *rng != "" {
+			var (
+				v    float64
+				cov  core.Coverage
+				when string
+				err  error
+			)
+			if *at != 0 {
+				v, cov, err = qc.QueryAt(*flow, *at)
+				when = fmt.Sprintf("at epoch %d", *at)
+			} else {
+				v, cov, err = qc.QueryRange(*flow, rngFrom, rngTo)
+				when = fmt.Sprintf("epochs %d..%d", rngFrom, rngTo)
+			}
+			if err != nil {
+				return err
+			}
+			note := ""
+			if !cov.Full() {
+				note = " PARTIAL (history outside retention)"
+			}
+			fmt.Fprintf(stdout, "%s flow %d %s: %.2f (coverage %d/%d = %.0f%%%s)\n",
+				time.Now().Format(time.TimeOnly), *flow, when, v,
+				cov.EpochsMerged, cov.EpochsExpected, cov.Fraction()*100, note)
+			return nil
+		}
 		if *cover {
 			v, cov, err := qc.QueryCov(*flow)
 			if err != nil {
@@ -115,4 +166,24 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseEpochRange parses "from:to" into an inclusive epoch range.
+func parseEpochRange(s string) (int64, int64, error) {
+	fromS, toS, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf(`bad -range %q (want "from:to", e.g. 90:120)`, s)
+	}
+	from, err := strconv.ParseInt(strings.TrimSpace(fromS), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -range start %q: %w", fromS, err)
+	}
+	to, err := strconv.ParseInt(strings.TrimSpace(toS), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -range end %q: %w", toS, err)
+	}
+	if from < 1 || to < from {
+		return 0, 0, fmt.Errorf("empty -range %d:%d", from, to)
+	}
+	return from, to, nil
 }

@@ -56,6 +56,8 @@ func run(args []string) error {
 		shard      = fs.String("shard", "", `center shard this subtree belongs to, as "i/n" (default unsharded)`)
 		ckptDir    = fs.String("checkpoint-dir", "", "write atomic checkpoints of the relay state here and recover from them on restart")
 		ckptEvry   = fs.Int("checkpoint-every", 1, "push rounds between checkpoints (with -checkpoint-dir)")
+		histAddr   = fs.String("history-addr", "", "serve a history-query proxy on this address, forwarding tqquery frames to -history-upstream")
+		histUp     = fs.String("history-upstream", "", "the parent's query endpoint (tqcenter -history-addr, or a higher tqrelay -history-addr)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 		healthAddr = fs.String("health", "", "serve /healthz + /readyz on this address, e.g. localhost:8071")
 	)
@@ -86,20 +88,22 @@ func run(args []string) error {
 	}
 
 	srv, err := transport.ServeRelay(transport.RelayConfig{
-		Addr:            *addr,
-		UpstreamAddr:    *upstream,
-		Relay:           *relayID,
-		Kind:            transport.Kind(*kind),
-		Sketch:          *sketch,
-		WindowN:         *n,
-		Widths:          topo,
-		Weights:         wts,
-		M:               *m,
-		D:               *d,
-		Seed:            *seed,
-		Shard:           shardIdx,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvry,
+		Addr:                *addr,
+		UpstreamAddr:        *upstream,
+		Relay:               *relayID,
+		Kind:                transport.Kind(*kind),
+		Sketch:              *sketch,
+		WindowN:             *n,
+		Widths:              topo,
+		Weights:             wts,
+		M:                   *m,
+		D:                   *d,
+		Seed:                *seed,
+		Shard:               shardIdx,
+		CheckpointDir:       *ckptDir,
+		CheckpointEvery:     *ckptEvry,
+		HistoryAddr:         *histAddr,
+		HistoryUpstreamAddr: *histUp,
 	})
 	if err != nil {
 		return err
@@ -133,6 +137,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("tqrelay %d: %s design, n=%d, %d children on %s, upstream %s\n",
 		*relayID, *kind, *n, len(topo), srv.Addr(), *upstream)
+	if a := srv.HistoryQueryAddr(); a != nil {
+		fmt.Printf("tqrelay %d: history queries on %s (proxied to %s)\n", *relayID, a, *histUp)
+	}
 	if *ckptDir != "" {
 		if gen := srv.Stats().RestoredGeneration; gen > 0 {
 			fmt.Printf("tqrelay %d: recovered state from checkpoint generation %d\n", *relayID, gen)

@@ -26,6 +26,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"time"
@@ -339,7 +340,51 @@ func (e *engine) audit(label string) error {
 			return fmt.Errorf("chaos: %s: %w", label, err)
 		}
 	}
+	// Time-travel probe: at every root, the retrospective replay from the
+	// epoch-log store must reproduce the live windowed answer bit for bit
+	// — estimate and coverage — at the newest pushed round. Faults make
+	// this interesting: the store was fed through gaps, retransmits,
+	// restarts and log-index rebuilds, yet after settle it must agree
+	// with the in-memory window exactly.
+	for _, r := range e.d.roots {
+		if err := e.timeTravelCheck(r); err != nil {
+			return fmt.Errorf("chaos: %s: %w", label, err)
+		}
+	}
 	e.res.Checks++
+	return nil
+}
+
+// timeTravelCheck compares root r's HistoryAt replay against its live
+// window at the most recent pushed round. A cell append runs just after
+// its upload becomes visible to round accounting, so the probe retries
+// briefly (watchdog-bounded) before calling a mismatch a verdict.
+func (e *engine) timeTravelCheck(r *rootNode) error {
+	k := r.srv.Stats().LastPushEpoch
+	if k < 2 {
+		return nil // no completed window yet
+	}
+	deadline := time.Now().Add(e.cfg.Watchdog)
+	for f := uint64(0); f < chaosFlows; f++ {
+		want, wantCov, err := r.srv.QueryWindowLive(f, int64(k))
+		if err != nil {
+			return fmt.Errorf("time-travel: root %s live answer: %w", r.name, err)
+		}
+		for {
+			got, cov, err := r.srv.HistoryAt(f, int64(k))
+			if err != nil {
+				return fmt.Errorf("time-travel: root %s replay: %w", r.name, err)
+			}
+			if math.Float64bits(got) == math.Float64bits(want) && cov == wantCov {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("time-travel: root %s flow %d epoch %d: replay %v (cov %+v) != live %v (cov %+v)",
+					r.name, f, k, got, cov, want, wantCov)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
 	return nil
 }
 

@@ -191,6 +191,7 @@ func buildFlat(d *deployment) error {
 		Kind: d.cfg.Kind, Sketch: d.cfg.Sketch, WindowN: chaosWindowN,
 		Widths: widths, M: chaosM, D: chaosD, Seed: uint64(d.cfg.Seed),
 		CheckpointDir: d.ckptDir("center"), CheckpointEvery: 1,
+		StoreDir:    d.ckptDir("center"),
 		ReadTimeout: chaosReadTimeout, WriteTimeout: chaosWriteTimeout,
 		Logf: d.cfg.Logf,
 	}}
@@ -274,6 +275,7 @@ func buildTree(d *deployment, topo cluster.Topology) error {
 		M: chaosM, D: chaosD, Seed: uint64(d.cfg.Seed),
 		DeltaUploads:  d.cfg.Kind == transport.KindSize,
 		CheckpointDir: d.ckptDir("center"), CheckpointEvery: 1,
+		StoreDir:    d.ckptDir("center"),
 		ReadTimeout: chaosReadTimeout, WriteTimeout: chaosWriteTimeout,
 		Logf: d.cfg.Logf,
 	}}
@@ -345,6 +347,7 @@ func buildShard(d *deployment, withRelays bool) error {
 			M: chaosM, D: chaosD, Seed: uint64(d.cfg.Seed), Shard: i,
 			DeltaUploads:  delta,
 			CheckpointDir: d.ckptDir(name), CheckpointEvery: 1,
+			StoreDir:    d.ckptDir(name),
 			ReadTimeout: chaosReadTimeout, WriteTimeout: chaosWriteTimeout,
 			Logf: d.cfg.Logf,
 		}

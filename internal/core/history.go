@@ -1,0 +1,167 @@
+package core
+
+import "fmt"
+
+// Retrospective T-queries: replaying the eq. (5) spatio-temporal join
+// over past epochs from a HistorySource (in practice the durable epoch
+// log) instead of the live window. The replay runs the same algebra the
+// live center runs — per-point temporal join at native width, expansion
+// to the maximum width, spatial join — over canonical sketch encodings,
+// so a fully-retained window reproduces the live answer bit for bit;
+// missing cells (evicted by retention, or lost to faults before they
+// ever reached the center) are skipped and reported as reduced Coverage,
+// never an error.
+
+// HistorySource yields stored (point, epoch) measurements for replay.
+// Cell returns ok=false for a cell the source does not hold — the
+// coverage signal. A returned sketch is owned by the caller (the replay
+// merges into it).
+type HistorySource[S Sketch[S]] interface {
+	Cell(point int, epoch int64) (S, bool, error)
+}
+
+// QueryAtFrom replays the networkwide T-query answer as of epoch k: the
+// join over the same window the live aggregate pushed during k covered
+// (epochs k-n+2 .. k-1). Over a fully-retained window the estimate is
+// bit-identical to the live answer recorded at k (QueryWindowLive).
+func (c *Center[S]) QueryAtFrom(f uint64, k int64, src HistorySource[S]) (float64, Coverage, error) {
+	first, last, ok := aggregateSpan(k, c.windowN)
+	if !ok {
+		return 0, Coverage{}, fmt.Errorf("core: epoch %d has no completed window", k)
+	}
+	return c.queryEpochsFrom(f, first, last, src)
+}
+
+// QueryRangeFrom replays the join over an arbitrary epoch range [from,
+// to] — the "any past window" T-query, decoupled from the live window
+// length n.
+func (c *Center[S]) QueryRangeFrom(f uint64, from, to int64, src HistorySource[S]) (float64, Coverage, error) {
+	if from < 1 {
+		from = 1
+	}
+	if to < from {
+		return 0, Coverage{}, fmt.Errorf("core: empty epoch range [%d, %d]", from, to)
+	}
+	return c.queryEpochsFrom(f, from, to, src)
+}
+
+// queryEpochsFrom is the shared replay: snapshot the cluster shape
+// (children, weights, maximum width) under the lock, then join the
+// source's cells lock-free so long-range queries never stall ingest.
+func (c *Center[S]) queryEpochsFrom(f uint64, first, last int64, src HistorySource[S]) (float64, Coverage, error) {
+	c.mu.Lock()
+	ids := make([]int, 0, len(c.protos))
+	weights := make(map[int]int, len(c.protos))
+	for id := range c.protos {
+		ids = append(ids, id)
+		weights[id] = c.weightLocked(id)
+	}
+	wMax := c.wMax
+	c.mu.Unlock()
+
+	span := int(last - first + 1)
+	var cov Coverage
+	var acc S
+	haveAcc := false
+	for _, id := range ids {
+		cov.EpochsExpected += weights[id] * span
+		var tj S
+		have := false
+		for e := first; e <= last; e++ {
+			cell, ok, err := src.Cell(id, e)
+			if err != nil {
+				return 0, cov, fmt.Errorf("core: history cell (%d, %d): %w", id, e, err)
+			}
+			if !ok {
+				continue
+			}
+			cov.EpochsMerged += weights[id]
+			if !have {
+				tj = cell
+				have = true
+				continue
+			}
+			if err := tj.Merge(cell); err != nil {
+				return 0, cov, fmt.Errorf("core: history temporal join point %d epoch %d: %w", id, e, err)
+			}
+		}
+		if !have {
+			continue
+		}
+		ex, err := tj.ExpandTo(wMax)
+		if err != nil {
+			return 0, cov, fmt.Errorf("core: history expand point %d: %w", id, err)
+		}
+		if !haveAcc {
+			acc = ex
+			haveAcc = true
+			continue
+		}
+		if err := acc.Merge(ex); err != nil {
+			return 0, cov, fmt.Errorf("core: history spatial join point %d: %w", id, err)
+		}
+	}
+	if !haveAcc {
+		return 0, cov, nil
+	}
+	return acc.EstimateUnion(f, nil), cov, nil
+}
+
+// QueryWindowLive answers the networkwide T-query for flow f as of epoch
+// k from the live window — the join the center would push during k,
+// estimated at the maximum width. This is the "live answer recorded at
+// epoch k" the historical replay's exactness contract is defined
+// against; callers snapshot it per epoch and later compare QueryAtFrom.
+func (c *Center[S]) QueryWindowLive(f uint64, k int64) (float64, Coverage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first, last, ok := aggregateSpan(k, c.windowN)
+	if !ok {
+		return 0, Coverage{}, fmt.Errorf("core: epoch %d has no completed window", k)
+	}
+	var cov Coverage
+	span := int(last - first + 1)
+	parts := make(map[int]S, len(c.uploads))
+	for id, per := range c.uploads {
+		w := c.weightLocked(id)
+		cov.EpochsExpected += w * span
+		for e := first; e <= last; e++ {
+			if _, ok := per[e]; ok {
+				cov.EpochsMerged += w
+			}
+		}
+		tj, err := c.temporalJoinLocked(id, first, last)
+		if err != nil {
+			return 0, cov, err
+		}
+		parts[id] = tj
+	}
+	joined, err := c.spatialJoinLocked(parts)
+	if err != nil {
+		return 0, cov, err
+	}
+	if IsNil(joined) {
+		return 0, cov, nil
+	}
+	return joined.EstimateUnion(f, nil), cov, nil
+}
+
+// MarshalUpload encodes the stored single-epoch measurement for (point,
+// epoch) — the uploaded sketch for max-merge designs, the recovered
+// delta for additive ones — under the center lock. ok is false when the
+// center holds no such cell (not yet uploaded, or already trimmed).
+// This is the epoch log's feed: enc must be the canonical encoder so the
+// logged bytes are deterministic.
+func (c *Center[S]) MarshalUpload(point int, epoch int64, enc func(S) ([]byte, error)) ([]byte, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sk, ok := c.uploads[point][epoch]
+	if !ok {
+		return nil, false, nil
+	}
+	b, err := enc(sk)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: marshal upload (%d, %d): %w", point, epoch, err)
+	}
+	return b, true, nil
+}

@@ -1,6 +1,10 @@
-// Package durable is the crash-safety layer under the protocol's state:
-// an atomic, generational checkpoint store used by both ends (the center's
-// window store, the points' sketch state and retransmit history).
+// Package durable is the storage layer under the protocol's state. It has
+// two faces over one directory discipline: the append-only epoch Log (see
+// epochlog.go) keeps the full (point, epoch) → sketch history that
+// retrospective T-queries replay, while the checkpoint Store below is the
+// thin latest-state view — a bounded-generation snapshot used for crash
+// recovery by both ends (the center's window store, the points' sketch
+// state and retransmit history).
 //
 // A checkpoint is a list of named byte sections written as one file:
 //
@@ -234,8 +238,11 @@ func Open(dir, name string) (*Store, error) {
 	if name == "" || strings.ContainsAny(name, "/\\") {
 		return nil, fmt.Errorf("durable: invalid checkpoint name %q", name)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("durable: create checkpoint dir: %w", err)
+	// Probe writability up front: a dir that cannot be created or written
+	// must fail at startup with a clear error, not at the first epoch
+	// boundary when the first Save runs.
+	if err := ensureWritableDir(dir); err != nil {
+		return nil, err
 	}
 	s := &Store{dir: dir, name: name}
 	gens, err := s.generations()

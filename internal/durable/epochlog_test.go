@@ -1,0 +1,330 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func logBlob(point int, epoch int64) []byte {
+	return []byte(fmt.Sprintf("blob-%d-%d", point, epoch))
+}
+
+func mustAppend(t *testing.T, l *Log, point int, epoch int64) {
+	t.Helper()
+	if err := l.Append(point, epoch, logBlob(point, epoch)); err != nil {
+		t.Fatalf("Append(%d,%d): %v", point, epoch, err)
+	}
+}
+
+func wantCell(t *testing.T, l *Log, point int, epoch int64, present bool) {
+	t.Helper()
+	b, ok, err := l.Get(point, epoch)
+	if err != nil {
+		t.Fatalf("Get(%d,%d): %v", point, epoch, err)
+	}
+	if ok != present {
+		t.Fatalf("Get(%d,%d) present=%v, want %v", point, epoch, ok, present)
+	}
+	if present && !bytes.Equal(b, logBlob(point, epoch)) {
+		t.Fatalf("Get(%d,%d) = %q, want %q", point, epoch, b, logBlob(point, epoch))
+	}
+	if l.Has(point, epoch) != present {
+		t.Fatalf("Has(%d,%d) != %v", point, epoch, present)
+	}
+}
+
+func TestLogRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir, MaxSegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := int64(1); epoch <= 9; epoch++ {
+		for point := 0; point < 3; point++ {
+			mustAppend(t, l, point, epoch)
+		}
+	}
+	check := func(l *Log) {
+		t.Helper()
+		for epoch := int64(1); epoch <= 9; epoch++ {
+			for point := 0; point < 3; point++ {
+				wantCell(t, l, point, epoch, true)
+			}
+		}
+		first, last, ok := l.Span()
+		if !ok || first != 1 || last != 9 {
+			t.Fatalf("Span() = %d,%d,%v; want 1,9,true", first, last, ok)
+		}
+		if st := l.Stats(); st.Entries != 27 || st.Segments < 2 {
+			t.Fatalf("Stats() = %+v; want 27 entries across >=2 segments", st)
+		}
+	}
+	check(l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Get(0, 1); !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("Get after Close: %v, want ErrLogClosed", err)
+	}
+
+	// Reopen rebuilds the index from the segment files alone.
+	l2, err := OpenLog(LogConfig{Dir: dir, MaxSegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	check(l2)
+	// And appending continues where the log left off.
+	mustAppend(t, l2, 1, 10)
+	wantCell(t, l2, 1, 10, true)
+}
+
+func TestLogDuplicateAppendOverwrites(t *testing.T) {
+	l, err := OpenLog(LogConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(2, 5, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 2, 5)
+	wantCell(t, l, 2, 5, true)
+	if st := l.Stats(); st.Entries != 1 || st.Appends != 2 {
+		t.Fatalf("Stats() = %+v; want 1 entry from 2 appends", st)
+	}
+}
+
+// A crash can tear the unsynced tail of the active segment. Reopen must
+// keep every entry before the tear, truncate the rest, and keep
+// accepting appends — truncate-and-continue, not an error.
+func TestLogTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 0, 1)
+	mustAppend(t, l, 0, 2)
+	path := l.segPath(1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the second entry.
+	if err := os.WriteFile(path, full[:len(full)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer l2.Close()
+	wantCell(t, l2, 0, 1, true)
+	wantCell(t, l2, 0, 2, false)
+	mustAppend(t, l2, 0, 3)
+	wantCell(t, l2, 0, 3, true)
+
+	// The truncation must be physical: a third open sees the same state.
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	wantCell(t, l3, 0, 1, true)
+	wantCell(t, l3, 0, 3, true)
+}
+
+// A crash inside the 8-byte segment header leaves a final segment that
+// holds nothing; reopen discards it and starts fresh.
+func TestLogTornHeaderDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := l.segPath(1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("TQE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after torn header: %v", err)
+	}
+	defer l2.Close()
+	mustAppend(t, l2, 0, 1)
+	wantCell(t, l2, 0, 1, true)
+}
+
+// Sealed segments were fsync'd; corruption there is real damage and must
+// surface as an open error, not silent data loss.
+func TestLogCorruptSealedSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir, MaxSegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := int64(1); epoch <= 8; epoch++ {
+		mustAppend(t, l, 0, epoch)
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("want >=2 segments, got %+v", st)
+	}
+	path := l.segPath(1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(LogConfig{Dir: dir, MaxSegmentBytes: 64}); err == nil {
+		t.Fatal("OpenLog accepted a corrupt sealed segment")
+	}
+}
+
+func TestLogRetentionKeepN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir, MaxSegmentBytes: 64, RetainEpochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for epoch := int64(1); epoch <= 20; epoch++ {
+		mustAppend(t, l, 0, epoch)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.CompactionErrors != 0 || st.Compactions == 0 {
+		t.Fatalf("Stats() = %+v; want clean compactions", st)
+	}
+	first, last, ok := l.Span()
+	if !ok || last != 20 {
+		t.Fatalf("Span() = %d,%d,%v", first, last, ok)
+	}
+	// Whole-segment retention: everything newer than lastEpoch-N is
+	// guaranteed retained; older cells survive only while sharing a
+	// segment with retained ones.
+	if first > 20-4+1 {
+		t.Fatalf("retention evicted a guaranteed epoch: first=%d", first)
+	}
+	for epoch := int64(17); epoch <= 20; epoch++ {
+		wantCell(t, l, 0, epoch, true)
+	}
+	if first <= 1 {
+		t.Fatalf("compaction evicted nothing: first=%d", first)
+	}
+	for epoch := int64(1); epoch < first; epoch++ {
+		wantCell(t, l, 0, epoch, false)
+	}
+}
+
+func TestLogRetentionMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir, MaxSegmentBytes: 64, MaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for epoch := int64(1); epoch <= 40; epoch++ {
+		mustAppend(t, l, 0, epoch)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Bytes > 256+64 { // active segment may straddle the budget
+		t.Fatalf("MaxBytes not enforced: %+v", st)
+	}
+	if _, last, ok := l.Span(); !ok || last != 40 {
+		t.Fatalf("newest epochs must survive MaxBytes eviction: %+v", st)
+	}
+}
+
+// Compaction must be safe against concurrent readers: this is the -race
+// half of the "compaction racing a concurrent QueryRange" satellite; the
+// query-level half lives in transport.
+func TestLogCompactionRacesReads(t *testing.T) {
+	l, err := OpenLog(LogConfig{Dir: t.TempDir(), MaxSegmentBytes: 64, RetainEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for epoch := int64(1); ; epoch++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if epoch > 60 {
+					epoch = 1
+				}
+				if b, ok, err := l.Get(0, epoch); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				} else if ok && !bytes.Equal(b, logBlob(0, epoch)) {
+					t.Errorf("Get(0,%d) returned wrong bytes", epoch)
+					return
+				}
+				l.Span()
+				l.Stats()
+			}
+		}()
+	}
+	for epoch := int64(1); epoch <= 60; epoch++ {
+		mustAppend(t, l, 0, epoch)
+		if epoch%10 == 0 {
+			if err := l.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// The startup writability probe (shared by checkpoint stores and epoch
+// logs): a directory that cannot be created fails at open time with a
+// clear error instead of at the first epoch boundary.
+func TestOpenRejectsUnusableDir(t *testing.T) {
+	base := t.TempDir()
+	file := filepath.Join(base, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(file, "sub") // MkdirAll through a regular file
+	if _, err := Open(bad, "state"); err == nil || !strings.Contains(err.Error(), "create dir") {
+		t.Fatalf("Open(%q) = %v; want create-dir error", bad, err)
+	}
+	if _, err := OpenLog(LogConfig{Dir: bad}); err == nil || !strings.Contains(err.Error(), "create dir") {
+		t.Fatalf("OpenLog(%q) = %v; want create-dir error", bad, err)
+	}
+}

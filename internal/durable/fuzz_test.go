@@ -85,22 +85,93 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
-// TestGenerateFuzzCorpus rewrites the committed seed corpus when run with
+// segFuzzSeeds are protocol-shaped epoch-log segment images: valid
+// multi-entry segments, a torn tail, a flipped CRC byte, a hostile blob
+// length, and header damage.
+func segFuzzSeeds() [][]byte {
+	hdr := []byte{'T', 'Q', 'E', 'L', 1, 0, 0, 0}
+	seg := append([]byte(nil), hdr...)
+	seg = append(seg, encodeEntry(0, 1, []byte("sketch one"))...)
+	seg = append(seg, encodeEntry(3, 7, []byte("sketch two"))...)
+	seg = append(seg, encodeEntry(3, 7, []byte("sketch two"))...) // dup append
+	torn := seg[:len(seg)-5]
+	flipped := append([]byte(nil), seg...)
+	flipped[len(flipped)-1] ^= 0xFF
+	// A valid header then a blob length promising ~2 GiB (the scanner's
+	// allocation bound).
+	huge := append([]byte(nil), hdr...)
+	huge = append(huge, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F)
+	badVersion := append([]byte(nil), seg...)
+	badVersion[4] = 9
+	badReserved := append([]byte(nil), seg...)
+	badReserved[6] = 1
+	return [][]byte{
+		{},
+		hdr,
+		seg,
+		torn,
+		flipped,
+		huge,
+		badVersion,
+		badReserved,
+		[]byte("TQEL"),
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+}
+
+// FuzzSegmentDecode feeds arbitrary bytes to the epoch-log segment
+// scanner: it must never panic, the reported good prefix must end on an
+// entry boundary inside the input, and a fully-valid image must be
+// exactly reproducible from its decoded entries (the format is
+// canonical — one byte string per entry sequence).
+func FuzzSegmentDecode(f *testing.F) {
+	for _, s := range segFuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rebuilt := []byte{'T', 'Q', 'E', 'L', 1, 0, 0, 0}
+		good, err := scanSegment(data, func(off int64, point int, epoch int64, blob []byte) {
+			if off != int64(len(rebuilt)) {
+				t.Fatalf("entry offset %d, want %d", off, len(rebuilt))
+			}
+			rebuilt = append(rebuilt, encodeEntry(point, epoch, blob)...)
+		})
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("good prefix %d out of range (len %d)", good, len(data))
+		}
+		if err == nil {
+			if good != int64(len(data)) {
+				t.Fatalf("clean scan consumed %d of %d bytes", good, len(data))
+			}
+			if !bytes.Equal(rebuilt, data) {
+				t.Fatalf("valid segment is not canonical:\n got %x\nwant %x", rebuilt, data)
+			}
+		} else if good > 0 && !bytes.Equal(rebuilt, data[:good]) {
+			t.Fatalf("good prefix does not re-encode:\n got %x\nwant %x", rebuilt, data[:good])
+		}
+	})
+}
+
+// TestGenerateFuzzCorpus rewrites the committed seed corpora when run with
 // -gen-corpus, in the `go test fuzz v1` format the fuzzer reads from
-// testdata/fuzz/FuzzDecode.
+// testdata/fuzz/<target>.
 func TestGenerateFuzzCorpus(t *testing.T) {
 	if !*genCorpus {
 		t.Skip("run with -gen-corpus to rewrite testdata/fuzz")
 	}
-	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	for i, s := range fuzzSeeds(t) {
-		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
-		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
-		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+	write := func(target string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
 		}
+		for i, s := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
+	write("FuzzDecode", fuzzSeeds(t))
+	write("FuzzSegmentDecode", segFuzzSeeds())
 }

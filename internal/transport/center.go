@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"os"
 	"sync"
@@ -70,6 +71,28 @@ type CenterConfig struct {
 	// (default 1: every round). Larger values trade recovery freshness for
 	// write amplification.
 	CheckpointEvery int
+	// StoreDir, if set, enables the time-indexed epoch-log store: every
+	// accepted upload's single-epoch cell is appended to a durable
+	// append-only log (internal/durable.Log), from which the center
+	// replays retrospective T-queries (HistoryAt/HistoryRange and the
+	// historical-query RPC) over windows the live store has long trimmed.
+	// Independent of CheckpointDir, though deployments typically point
+	// both at the same directory.
+	StoreDir string
+	// RetainEpochs bounds the store's history: sealed segments whose
+	// newest epoch is more than RetainEpochs behind the log head are
+	// compacted away. Zero retains everything (subject to StoreMaxBytes).
+	RetainEpochs int
+	// StoreMaxBytes bounds the store's size, evicting oldest sealed
+	// segments first. Zero = unbounded.
+	StoreMaxBytes int64
+	// StoreSegmentBytes is the segment-roll threshold (0 = the durable
+	// package default).
+	StoreSegmentBytes int64
+	// HistoryAddr, if set, serves the query RPC (live, coverage, and
+	// historical forms) on this TCP address; tqquery -at/-range dials it
+	// directly or through a relay's history proxy.
+	HistoryAddr string
 	// Logf, if set, receives diagnostic messages (defaults to log.Printf).
 	Logf func(format string, args ...any)
 	// ReadTimeout, when positive, bounds how long the center waits for the
@@ -103,6 +126,9 @@ type CenterServer struct {
 	ckptMu      sync.Mutex // serializes checkpoint writes
 	restoredGen uint64     // generation restored at startup (0 = fresh)
 
+	store   *durable.Log // nil when the epoch-log store is disabled
+	histSrv *QueryServer // nil unless HistoryAddr is set
+
 	mu          sync.Mutex
 	cond        *sync.Cond // broadcast on every counter change (Wait* helpers)
 	conns       map[int]*pointConn
@@ -116,6 +142,7 @@ type CenterServer struct {
 	checkpoints int64
 	heartbeats  int64
 	evictions   int64
+	storeErrs   int64 // epoch-log append failures (never fatal)
 	lastPush    int64 // most recent ForEpoch pushed (0 = none yet)
 	lastRoundAt time.Time
 	closed      bool
@@ -210,10 +237,41 @@ func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
 			}
 		}
 	}
+	if cfg.StoreDir != "" {
+		store, err := durable.OpenLog(durable.LogConfig{
+			Dir:             cfg.StoreDir,
+			RetainEpochs:    cfg.RetainEpochs,
+			MaxBytes:        cfg.StoreMaxBytes,
+			MaxSegmentBytes: cfg.StoreSegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("transport: open epoch-log store: %w", err)
+		}
+		s.store = store
+	}
+	if cfg.HistoryAddr != "" {
+		hs, err := ServeQueriesHist(cfg.HistoryAddr, s.liveAnswer, HistoryHandler{
+			At:    s.HistoryAt,
+			Range: s.HistoryRange,
+		})
+		if err != nil {
+			if s.store != nil {
+				_ = s.store.Close()
+			}
+			return nil, err
+		}
+		s.histSrv = hs
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
 		if ln, err = net.Listen("tcp", cfg.Addr); err != nil {
+			if s.histSrv != nil {
+				_ = s.histSrv.Close()
+			}
+			if s.store != nil {
+				_ = s.store.Close()
+			}
 			return nil, fmt.Errorf("transport: listen: %w", err)
 		}
 	}
@@ -260,13 +318,34 @@ type CenterStats struct {
 	// LastRoundAt is when the most recent round was pushed (zero = never);
 	// health endpoints surface it as the last-merge age.
 	LastRoundAt time.Time
+	// StoreEnabled reports whether the epoch-log store is configured.
+	StoreEnabled bool
+	// StoreAppends counts cells appended to the epoch log.
+	StoreAppends int64
+	// StoreAppendErrors counts failed appends (logged, never fatal: the
+	// live pipeline outlives its history).
+	StoreAppendErrors int64
+	// StoreBytes / StoreSegments / StoreEntries describe the log's
+	// on-disk footprint.
+	StoreBytes    int64
+	StoreSegments int
+	StoreEntries  int
+	// StoreFirstEpoch / StoreLastEpoch span the retained history (0/0
+	// when empty) — the range retrospective queries can fully answer.
+	StoreFirstEpoch int64
+	StoreLastEpoch  int64
+	// StoreCompactions / StoreCompactionErrors count retention passes.
+	StoreCompactions      int64
+	StoreCompactionErrors int64
+	// StoreLastCompaction is when retention last evicted a segment
+	// (zero = never); health endpoints surface it as an age.
+	StoreLastCompaction time.Time
 }
 
 // Stats returns a snapshot of the center's counters.
 func (s *CenterServer) Stats() CenterStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return CenterStats{
+	st := CenterStats{
 		ConnectedPoints:    len(s.conns),
 		UploadsReceived:    s.uploads,
 		RoundsPushed:       s.rounds,
@@ -278,9 +357,89 @@ func (s *CenterServer) Stats() CenterStats {
 		RestoredGeneration: s.restoredGen,
 		HeartbeatsReceived: s.heartbeats,
 		Evictions:          s.evictions,
+		StoreAppendErrors:  s.storeErrs,
 		LastPushEpoch:      s.lastPush,
 		LastRoundAt:        s.lastRoundAt,
 	}
+	s.mu.Unlock()
+	if s.store != nil {
+		ls := s.store.Stats()
+		st.StoreEnabled = true
+		st.StoreAppends = int64(ls.Appends)
+		st.StoreBytes = ls.Bytes
+		st.StoreSegments = ls.Segments
+		st.StoreEntries = ls.Entries
+		st.StoreFirstEpoch = ls.FirstEpoch
+		st.StoreLastEpoch = ls.LastEpoch
+		st.StoreCompactions = int64(ls.Compactions)
+		st.StoreCompactionErrors = int64(ls.CompactionErrors)
+		st.StoreLastCompaction = ls.LastCompaction
+	}
+	return st
+}
+
+// errNoStore is returned by historical queries on a center running
+// without an epoch-log store.
+var errNoStore = errors.New("transport: center has no epoch-log store (StoreDir unset)")
+
+// HistoryAt replays the networkwide T-query answer as of past epoch k
+// from the epoch-log store — bit-identical to the live answer recorded
+// at k when the window is fully retained, reduced Coverage otherwise.
+func (s *CenterServer) HistoryAt(f uint64, k int64) (float64, core.Coverage, error) {
+	if s.store == nil {
+		return 0, core.Coverage{}, errNoStore
+	}
+	return s.eng.historyAt(f, k, s.store)
+}
+
+// HistoryRange replays the join over the arbitrary epoch range
+// [from, to] from the epoch-log store.
+func (s *CenterServer) HistoryRange(f uint64, from, to int64) (float64, core.Coverage, error) {
+	if s.store == nil {
+		return 0, core.Coverage{}, errNoStore
+	}
+	return s.eng.historyRange(f, from, to, s.store)
+}
+
+// QueryWindowLive answers the T-query from the live in-memory window as
+// of epoch k — the reference the historical replay's exactness contract
+// is defined against.
+func (s *CenterServer) QueryWindowLive(f uint64, k int64) (float64, core.Coverage, error) {
+	return s.eng.queryWindowLive(f, k)
+}
+
+// CompactStore forces a synchronous retention pass on the epoch-log
+// store (normally compaction runs in the background off appends).
+func (s *CenterServer) CompactStore() error {
+	if s.store == nil {
+		return errNoStore
+	}
+	return s.store.Compact()
+}
+
+// HistoryQueryAddr returns the bound address of the history query
+// server, or nil when HistoryAddr was not configured.
+func (s *CenterServer) HistoryQueryAddr() net.Addr {
+	if s.histSrv == nil {
+		return nil
+	}
+	return s.histSrv.Addr()
+}
+
+// liveAnswer is the history query server's live handler: the current
+// window's answer, as of the most recent pushed round.
+func (s *CenterServer) liveAnswer(f uint64) (float64, core.Coverage) {
+	s.mu.Lock()
+	k := s.lastPush
+	s.mu.Unlock()
+	if k == 0 {
+		return 0, core.Coverage{}
+	}
+	v, cov, err := s.eng.queryWindowLive(f, k)
+	if err != nil {
+		return math.NaN(), core.Coverage{}
+	}
+	return v, cov
 }
 
 // WaitUploads blocks until the center has ingested (or idempotently
@@ -367,6 +526,14 @@ func (s *CenterServer) Close() error {
 		_ = pc.conn.Close()
 	}
 	s.wg.Wait()
+	if s.histSrv != nil {
+		_ = s.histSrv.Close()
+	}
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -587,10 +754,37 @@ func (s *CenterServer) ingest(up Upload) error {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if rcvErr == nil {
+		// Persist the accepted cell to the epoch-log store, outside s.mu
+		// (exportCell takes the core center lock, Append does disk I/O).
+		s.appendStore(up.Point, up.Epoch)
+	}
 	if complete {
 		return s.pushRound(up.Epoch + 1)
 	}
 	return nil
+}
+
+// appendStore exports the stored single-epoch cell for (point, epoch)
+// and appends it to the epoch log. Failures are counted and logged but
+// never fatal: the live pipeline must outlive its history. Duplicate
+// appends after a checkpoint-restore are benign — canonical encodings
+// make the re-appended bytes identical and the index keeps one entry.
+func (s *CenterServer) appendStore(point int, epoch int64) {
+	if s.store == nil {
+		return
+	}
+	blob, ok, err := s.eng.exportCell(point, epoch)
+	if err == nil && ok {
+		err = s.store.Append(point, epoch, blob)
+	}
+	if err != nil {
+		s.cfg.Logf("transport: epoch-log append (%d, %d): %v", point, epoch, err)
+		s.mu.Lock()
+		s.storeErrs++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
 }
 
 // buildPush assembles one point's Push for the given epoch, stamping the

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/countmin"
+	"repro/internal/durable"
 	"repro/internal/rskt"
 	"repro/internal/vhll"
 )
@@ -327,6 +328,36 @@ type centerEngine interface {
 	reported(point int, epoch int64) bool
 	exportState(ck *centerCheckpoint) error
 	importState(ck *centerCheckpoint) error
+	// exportCell marshals the stored single-epoch measurement for (point,
+	// epoch) in the canonical compact encoding — the epoch log's feed.
+	// ok=false when the center holds no such cell.
+	exportCell(point int, epoch int64) ([]byte, bool, error)
+	// historyAt / historyRange replay the ST join over stored cells
+	// (retrospective T-queries); queryWindowLive answers from the live
+	// window — the reference the replay's exactness contract is against.
+	historyAt(f uint64, k int64, log *durable.Log) (float64, core.Coverage, error)
+	historyRange(f uint64, from, to int64, log *durable.Log) (float64, core.Coverage, error)
+	queryWindowLive(f uint64, k int64) (float64, core.Coverage, error)
+}
+
+// logSource adapts the durable epoch log to core.HistorySource: cells
+// come back as decoded sketches, absence is the coverage signal.
+type logSource[S core.Sketch[S]] struct {
+	log *durable.Log
+	dec func([]byte) (S, error)
+}
+
+func (ls logSource[S]) Cell(point int, epoch int64) (S, bool, error) {
+	var zero S
+	b, ok, err := ls.log.Get(point, epoch)
+	if err != nil || !ok {
+		return zero, false, err
+	}
+	sk, err := ls.dec(b)
+	if err != nil {
+		return zero, false, err
+	}
+	return sk, true, nil
 }
 
 // engineCenter is the single center-engine implementation, generic over
@@ -335,6 +366,9 @@ type centerEngine interface {
 type engineCenter[S core.Sketch[S]] struct {
 	ctr *core.Center[S]
 	dec func([]byte) (S, error)
+	// enc is the canonical (compact) encoder the epoch log stores cells
+	// under — deterministic bytes regardless of connection codec.
+	enc func(S) ([]byte, error)
 	// recv ingests one decoded upload (the design wrapper's ReceiveMeta,
 	// which for size also checks the sketch parameters).
 	recv func(point int, epoch int64, sk S, meta core.UploadMeta) error
@@ -408,6 +442,22 @@ func (e *engineCenter[S]) buildPush(point int, forEpoch int64, enhance, compact 
 	return push, nil
 }
 
+func (e *engineCenter[S]) exportCell(point int, epoch int64) ([]byte, bool, error) {
+	return e.ctr.MarshalUpload(point, epoch, e.enc)
+}
+
+func (e *engineCenter[S]) historyAt(f uint64, k int64, log *durable.Log) (float64, core.Coverage, error) {
+	return e.ctr.QueryAtFrom(f, k, logSource[S]{log: log, dec: e.dec})
+}
+
+func (e *engineCenter[S]) historyRange(f uint64, from, to int64, log *durable.Log) (float64, core.Coverage, error) {
+	return e.ctr.QueryRangeFrom(f, from, to, logSource[S]{log: log, dec: e.dec})
+}
+
+func (e *engineCenter[S]) queryWindowLive(f uint64, k int64) (float64, core.Coverage, error) {
+	return e.ctr.QueryWindowLive(f, k)
+}
+
 func (e *engineCenter[S]) reported(point int, epoch int64) bool {
 	if e.ctr.HasUpload(point, epoch) {
 		return true
@@ -434,6 +484,7 @@ func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
 			return &engineCenter[*rskt.Sketch]{
 				ctr:  ctr.Center,
 				dec:  decodeRskt,
+				enc:  (*rskt.Sketch).MarshalBinaryCompact,
 				recv: ctr.ReceiveMeta,
 				save: func(ck *centerCheckpoint) error {
 					// Compact blobs in the checkpoint: the import path
@@ -464,6 +515,7 @@ func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
 			return &engineCenter[*vhll.Sketch]{
 				ctr:  ctr.Center,
 				dec:  decodeVhll,
+				enc:  (*vhll.Sketch).MarshalBinaryCompact,
 				recv: ctr.ReceiveMeta,
 				save: func(ck *centerCheckpoint) error {
 					st, err := ctr.ExportState(func(sk *vhll.Sketch) ([]byte, error) { return sk.MarshalBinaryCompact() })
@@ -497,6 +549,7 @@ func newCenterEngine(cfg CenterConfig) (centerEngine, error) {
 		return &engineCenter[*countmin.Sketch]{
 			ctr:     ctr.Center,
 			dec:     decodeCountMin,
+			enc:     (*countmin.Sketch).MarshalBinaryCompact,
 			recv:    ctr.ReceiveMeta,
 			cum:     mode == core.SizeModeCumulative,
 			scratch: &sketchPool[*countmin.Sketch]{dec: decodeCountMin},

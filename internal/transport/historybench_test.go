@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Historical-query replay cost as a function of window length. One op is
+// the full server-side work behind a tqquery -range answer: per-cell
+// index lookup and blob decode out of the epoch-log store, the temporal
+// merge per point, and the spatial join across points. Window lengths
+// 4/16/64 show how latency scales with the amount of history replayed.
+func BenchmarkHistoricalQuery(b *testing.B) {
+	const (
+		n, p, w = 4, 3, 1024
+		epochs  = 64
+		seed    = 3
+	)
+	widths := make(map[int]int, p)
+	for x := 0; x < p; x++ {
+		widths[x] = w
+	}
+	srv, err := ServeCenter(CenterConfig{
+		Addr: "127.0.0.1:0", Kind: KindSpread, WindowN: n,
+		Widths: widths, M: 128, Seed: seed,
+		StoreDir: b.TempDir(), Logf: quietLogf,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	points := make([]*PointClient, p)
+	for x := 0; x < p; x++ {
+		pc, err := DialPoint(PointConfig{
+			Addr: srv.Addr().String(), Point: x, Kind: KindSpread,
+			W: w, M: 128, Seed: seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pc.Close()
+		points[x] = pc
+	}
+	for k := 1; k <= epochs; k++ {
+		for x := 0; x < p; x++ {
+			record(k, x, points[x].Record)
+		}
+		for x := 0; x < p; x++ {
+			if err := points[x].EndEpoch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !srv.WaitRounds(int64(k)) {
+			b.Fatalf("center closed before round %d", k)
+		}
+	}
+	// appendStore runs outside the round lock; let the last cells land.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().StoreAppends < p*epochs {
+		if time.Now().After(deadline) {
+			b.Fatalf("store appends stuck at %d", srv.Stats().StoreAppends)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for _, win := range []int64{4, 16, 64} {
+		b.Run(fmt.Sprintf("win=%d", win), func(b *testing.B) {
+			from := int64(epochs) - win + 1
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, cov, err := srv.HistoryRange(1, from, epochs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !cov.Full() {
+					b.Fatalf("partial coverage %+v over retained window", cov)
+				}
+			}
+		})
+	}
+}

@@ -27,10 +27,39 @@ import (
 // coverage-carrying form.
 const covMagic = ^uint64(0)
 
+// Historical-query extension: two more reserved flow labels open the
+// time-travel forms, answered from the durable epoch log instead of the
+// live window (docs/PROTOCOL.md "Historical-query RPC"):
+//
+//	atMagic:    24-byte request [magic, flow, epoch]    — the window as
+//	            of a past epoch (tqquery -at)
+//	rangeMagic: 32-byte request [magic, flow, from, to] — an arbitrary
+//	            epoch range (tqquery -range)
+//
+// Both respond with the 24-byte coverage form [estimate, merged,
+// expected]. A server without a store (or a failed replay) answers
+// NaN with zero coverage, which clients surface as an error — the
+// stream stays framed either way, so history-blind deployments
+// interoperate.
+const (
+	atMagic    = ^uint64(0) - 1
+	rangeMagic = ^uint64(0) - 2
+)
+
+// HistoryHandler answers historical (epoch-log) queries. Either hook may
+// be nil; unanswerable requests produce the NaN error response.
+type HistoryHandler struct {
+	// At answers the windowed T-query as of a past epoch k.
+	At func(flow uint64, k int64) (float64, core.Coverage, error)
+	// Range answers the join over the arbitrary epoch range [from, to].
+	Range func(flow uint64, from, to int64) (float64, core.Coverage, error)
+}
+
 // QueryServer serves windowed query answers for one local sketch.
 type QueryServer struct {
 	ln      net.Listener
 	handler func(flow uint64) (float64, core.Coverage)
+	history HistoryHandler
 	wg      sync.WaitGroup
 }
 
@@ -47,11 +76,17 @@ func ServeQueries(addr string, handler func(flow uint64) float64) (*QueryServer,
 // ServeQueriesCov is ServeQueries for handlers that report per-query
 // window coverage (graceful degradation under center or point faults).
 func ServeQueriesCov(addr string, handler func(flow uint64) (float64, core.Coverage)) (*QueryServer, error) {
+	return ServeQueriesHist(addr, handler, HistoryHandler{})
+}
+
+// ServeQueriesHist is ServeQueriesCov for servers that can additionally
+// answer historical queries from a durable epoch log.
+func ServeQueriesHist(addr string, handler func(flow uint64) (float64, core.Coverage), hist HistoryHandler) (*QueryServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: query listen: %w", err)
 	}
-	s := &QueryServer{ln: ln, handler: handler}
+	s := &QueryServer{ln: ln, handler: handler, history: hist}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -84,7 +119,8 @@ func (s *QueryServer) acceptLoop() {
 					return
 				}
 				flow := binary.LittleEndian.Uint64(buf[:8])
-				if flow == covMagic {
+				switch flow {
+				case covMagic:
 					// Coverage form: the real flow label follows the
 					// magic, and the response carries the window
 					// coverage alongside the estimate.
@@ -93,10 +129,46 @@ func (s *QueryServer) acceptLoop() {
 					}
 					flow = binary.LittleEndian.Uint64(buf[:8])
 					v, cov := s.handler(flow)
-					binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(v))
-					binary.LittleEndian.PutUint64(buf[8:16], uint64(cov.EpochsMerged))
-					binary.LittleEndian.PutUint64(buf[16:24], uint64(cov.EpochsExpected))
-					if _, err := conn.Write(buf[:]); err != nil {
+					if _, err := conn.Write(encodeCovResponse(v, cov)); err != nil {
+						return
+					}
+					continue
+				case atMagic:
+					// Historical form: [flow, epoch] follow the magic.
+					// Always consumed, answered NaN without a store —
+					// the frame boundary survives either way.
+					if _, err := io.ReadFull(conn, buf[:16]); err != nil {
+						return
+					}
+					flow = binary.LittleEndian.Uint64(buf[0:8])
+					k := int64(binary.LittleEndian.Uint64(buf[8:16]))
+					v, cov, err := math.NaN(), core.Coverage{}, error(nil)
+					if s.history.At != nil {
+						v, cov, err = s.history.At(flow, k)
+					}
+					if err != nil {
+						v, cov = math.NaN(), core.Coverage{}
+					}
+					if _, err := conn.Write(encodeCovResponse(v, cov)); err != nil {
+						return
+					}
+					continue
+				case rangeMagic:
+					// Historical range form: [flow, from, to].
+					if _, err := io.ReadFull(conn, buf[:24]); err != nil {
+						return
+					}
+					flow = binary.LittleEndian.Uint64(buf[0:8])
+					from := int64(binary.LittleEndian.Uint64(buf[8:16]))
+					to := int64(binary.LittleEndian.Uint64(buf[16:24]))
+					v, cov, err := math.NaN(), core.Coverage{}, error(nil)
+					if s.history.Range != nil {
+						v, cov, err = s.history.Range(flow, from, to)
+					}
+					if err != nil {
+						v, cov = math.NaN(), core.Coverage{}
+					}
+					if _, err := conn.Write(encodeCovResponse(v, cov)); err != nil {
 						return
 					}
 					continue
@@ -109,6 +181,44 @@ func (s *QueryServer) acceptLoop() {
 			}
 		}()
 	}
+}
+
+// Wire-frame helpers shared by the server, the client, and the protocol
+// golden pins — one encoder per frame so the pinned bytes and the live
+// bytes cannot drift apart.
+
+func encodeCovResponse(v float64, cov core.Coverage) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint64(b[0:8], math.Float64bits(v))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(cov.EpochsMerged))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(cov.EpochsExpected))
+	return b
+}
+
+func encodeAtRequest(f uint64, k int64) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint64(b[0:8], atMagic)
+	binary.LittleEndian.PutUint64(b[8:16], f)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(k))
+	return b
+}
+
+func encodeRangeRequest(f uint64, from, to int64) []byte {
+	b := make([]byte, 32)
+	binary.LittleEndian.PutUint64(b[0:8], rangeMagic)
+	binary.LittleEndian.PutUint64(b[8:16], f)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(from))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(to))
+	return b
+}
+
+func decodeCovResponse(b []byte) (float64, core.Coverage) {
+	v := math.Float64frombits(binary.LittleEndian.Uint64(b[0:8]))
+	cov := core.Coverage{
+		EpochsMerged:   int(binary.LittleEndian.Uint64(b[8:16])),
+		EpochsExpected: int(binary.LittleEndian.Uint64(b[16:24])),
+	}
+	return v, cov
 }
 
 // QueryClient issues peer queries over one persistent connection. It
@@ -157,10 +267,35 @@ func (c *QueryClient) QueryCov(f uint64) (float64, core.Coverage, error) {
 	if _, err := io.ReadFull(c.conn, c.buf[:24]); err != nil {
 		return 0, core.Coverage{}, fmt.Errorf("transport: query read: %w", err)
 	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(c.buf[0:8]))
-	cov := core.Coverage{
-		EpochsMerged:   int(binary.LittleEndian.Uint64(c.buf[8:16])),
-		EpochsExpected: int(binary.LittleEndian.Uint64(c.buf[16:24])),
+	v, cov := decodeCovResponse(c.buf[:24])
+	return v, cov, nil
+}
+
+// QueryAt fetches the peer's historical windowed estimate as of epoch k,
+// replayed from its durable epoch log. A peer without a store (or a
+// failed replay) answers NaN, surfaced here as an error.
+func (c *QueryClient) QueryAt(f uint64, k int64) (float64, core.Coverage, error) {
+	return c.historyCall(encodeAtRequest(f, k))
+}
+
+// QueryRange fetches the peer's historical estimate over the epoch range
+// [from, to].
+func (c *QueryClient) QueryRange(f uint64, from, to int64) (float64, core.Coverage, error) {
+	return c.historyCall(encodeRangeRequest(f, from, to))
+}
+
+func (c *QueryClient) historyCall(req []byte) (float64, core.Coverage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write(req); err != nil {
+		return 0, core.Coverage{}, fmt.Errorf("transport: history query write: %w", err)
+	}
+	if _, err := io.ReadFull(c.conn, c.buf[:24]); err != nil {
+		return 0, core.Coverage{}, fmt.Errorf("transport: history query read: %w", err)
+	}
+	v, cov := decodeCovResponse(c.buf[:24])
+	if math.IsNaN(v) {
+		return 0, cov, fmt.Errorf("transport: peer cannot answer historical query (no store, or replay failed)")
 	}
 	return v, cov, nil
 }

@@ -62,6 +62,13 @@ type RelayConfig struct {
 	// push cache and the upstream retransmit buffer survive a restart.
 	CheckpointDir   string
 	CheckpointEvery int
+	// HistoryAddr, if set, serves a history-query proxy on this address:
+	// query RPC frames (tqquery, including -at/-range) from this subtree
+	// are forwarded verbatim to HistoryUpstreamAddr — the center's
+	// HistoryAddr, or a higher relay's own proxy. Both must be set
+	// together.
+	HistoryAddr         string
+	HistoryUpstreamAddr string
 	// Logf, if set, receives diagnostic messages (defaults to log.Printf).
 	Logf func(format string, args ...any)
 	// ReadTimeout, when positive, bounds how long the relay waits for the
@@ -152,6 +159,7 @@ type RelayServer struct {
 	ckptEvery   int64
 	ckptMu      sync.Mutex
 	restoredGen uint64
+	histRelay   *HistoryRelay // nil unless HistoryAddr is set
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -244,10 +252,23 @@ func ServeRelay(cfg RelayConfig) (*RelayServer, error) {
 	if err := s.connectUpstream(); err != nil {
 		return nil, err
 	}
+	if cfg.HistoryAddr != "" {
+		if cfg.HistoryUpstreamAddr == "" {
+			return nil, fmt.Errorf("transport: relay HistoryAddr set without HistoryUpstreamAddr")
+		}
+		hr, err := ServeHistoryRelay(cfg.HistoryAddr, cfg.HistoryUpstreamAddr)
+		if err != nil {
+			return nil, err
+		}
+		s.histRelay = hr
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
 		if ln, err = net.Listen("tcp", cfg.Addr); err != nil {
+			if s.histRelay != nil {
+				_ = s.histRelay.Close()
+			}
 			return nil, fmt.Errorf("transport: relay listen: %w", err)
 		}
 	}
@@ -391,7 +412,19 @@ func (s *RelayServer) Close() error {
 		_ = up.Close()
 	}
 	s.wg.Wait()
+	if s.histRelay != nil {
+		_ = s.histRelay.Close()
+	}
 	return err
+}
+
+// HistoryQueryAddr returns the bound address of the relay's history
+// proxy, or nil when HistoryAddr was not configured.
+func (s *RelayServer) HistoryQueryAddr() net.Addr {
+	if s.histRelay == nil {
+		return nil
+	}
+	return s.histRelay.Addr()
 }
 
 func (s *RelayServer) isClosed() bool {
