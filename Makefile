@@ -152,19 +152,26 @@ bench-tree:
 	$(GO) run ./cmd/benchjson -o $(BENCH_TREE_JSON) \
 		-note "center-side ingest per epoch, flat vs 2-level tree (8 relays)" < bench_tree.txt
 
-# Epoch-log store evidence: replay latency vs window length (the full
-# ST-join replay behind one tqquery -range), plus the per-cell append and
-# lookup costs the log adds to the ingest path. BENCH_PR9.json is the
-# committed trajectory for the time-indexed store PR (regenerate with
-# `make bench-store BENCH_STORE_JSON=BENCH_PR9.json`).
+# Epoch-log store evidence: replay latency vs window length and cache
+# temperature (cold = full batched-read replay, warm = primed replay
+# cache, slide = per-step cost of a sliding window), plus the per-cell
+# append and lookup costs the log adds to the ingest path. benchjson
+# pairs the cold/warm rows into its store_warm_speedup map and the
+# -store-gate check fails unless every window's warm query is
+# STORE_MIN x cheaper than its cold one. BENCH_PR9.json (cold replay
+# only) and BENCH_PR10.json (cold/warm/slide) are the committed
+# trajectories (regenerate with
+# `make bench-store BENCH_STORE_JSON=BENCH_PR10.json`).
 BENCH_STORE_JSON ?= bench_store.json
+STORE_MIN ?= 5.0
 bench-store:
 	$(GO) test -run '^$$' -bench '^BenchmarkHistoricalQuery$$' -benchtime=50x \
 		./internal/transport | tee bench_store.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkStore(Append|Get)$$' -benchtime=5000x \
 		./internal/durable | tee -a bench_store.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_STORE_JSON) \
-		-note "historical-query replay vs window length; epoch-log append/lookup cost per cell" < bench_store.txt
+		-note "historical-query replay: cold/warm/slide vs window length; epoch-log append/lookup cost per cell" < bench_store.txt
+	$(GO) run ./cmd/benchjson -store-gate $(STORE_MIN) $(BENCH_STORE_JSON)
 
 # benchcmp-style ns/op comparison of two benchjson documents, e.g.
 # `make bench-short && make bench-diff OLD=BENCH_PR5.json NEW=bench_short.json`.

@@ -10,6 +10,7 @@
 //	go test -bench . | benchjson -o bench.json [-baseline old_bench.txt] [-note "..."]
 //	benchjson -diff old.json new.json
 //	benchjson -scaling-gate 2.0 bench.json
+//	benchjson -store-gate 5.0 bench.json
 //
 // With -baseline, the old run's parsed benchmarks are embedded under
 // "baseline" and a "speedup_ns_per_op" map records baseline/current ns/op
@@ -21,6 +22,11 @@
 // checked for parallel-ingest scaling: the 4-or-more-worker aggregate rate
 // must reach the given multiple of the single-worker rate (`make
 // bench-scaling`).
+//
+// With -store-gate, the document's HistoricalQuery/win=N benchmark
+// families are checked for replay-cache effectiveness: each window's
+// warm (cache-primed) query must be the given multiple cheaper than its
+// cold one (`make bench-store`).
 package main
 
 import (
@@ -61,6 +67,11 @@ type Doc struct {
 	// cluster epochs it survived with every audit green — the soak
 	// evidence rows from `tqchaos | benchjson`.
 	ChaosEpochs map[string]float64 `json:"chaos_epochs_survived,omitempty"`
+	// StoreWarm pairs BenchmarkHistoricalQuery's mode=cold/mode=warm rows
+	// by their win= window length: cold ns/op over warm ns/op, i.e. how
+	// many times cheaper a repeated retrospective query gets once the
+	// replay cache is primed (gated by `make bench-store`).
+	StoreWarm map[string]float64 `json:"store_warm_speedup,omitempty"`
 }
 
 func main() {
@@ -70,15 +81,16 @@ func main() {
 		note     = flag.String("note", "", "free-form provenance note stored in the document")
 		diff     = flag.Bool("diff", false, "compare two JSON documents: benchjson -diff old.json new.json")
 		gate     = flag.Float64("scaling-gate", 0, "gate mode: benchjson -scaling-gate MIN doc.json fails unless every */workers=N family's aggregate rate reaches MIN x its single-worker rate at 4+ workers")
+		sgate    = flag.Float64("store-gate", 0, "gate mode: benchjson -store-gate MIN doc.json fails unless every HistoricalQuery win=N family's warm query is MIN x cheaper than its cold one")
 	)
 	flag.Parse()
-	if err := run(*out, *baseline, *note, *diff, *gate, flag.Args()); err != nil {
+	if err := run(*out, *baseline, *note, *diff, *gate, *sgate, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, baseline, note string, diff bool, gate float64, args []string) error {
+func run(out, baseline, note string, diff bool, gate, sgate float64, args []string) error {
 	if diff {
 		if len(args) != 2 {
 			return fmt.Errorf("-diff needs exactly two JSON files, got %d", len(args))
@@ -91,6 +103,12 @@ func run(out, baseline, note string, diff bool, gate float64, args []string) err
 		}
 		return checkScalingGate(os.Stdout, args[0], gate)
 	}
+	if sgate > 0 {
+		if len(args) != 1 {
+			return fmt.Errorf("-store-gate needs exactly one JSON file, got %d", len(args))
+		}
+		return checkStoreGate(os.Stdout, args[0], sgate)
+	}
 	doc, err := parseBench(os.Stdin)
 	if err != nil {
 		return err
@@ -100,6 +118,9 @@ func run(out, baseline, note string, diff bool, gate float64, args []string) err
 		return err
 	}
 	if doc.ChaosEpochs, err = chaosEpochs(doc.Benchmarks); err != nil {
+		return err
+	}
+	if doc.StoreWarm, err = storeWarm(doc.Benchmarks); err != nil {
 		return err
 	}
 	if baseline != "" {
@@ -287,6 +308,88 @@ func chaosEpochs(benchmarks []Benchmark) (map[string]float64, error) {
 		return nil, nil
 	}
 	return out, nil
+}
+
+// storeModeRow matches the historical-query sub-benchmark naming
+// convention, BenchmarkHistoricalQuery/win=N/mode=M with go test's
+// optional -GOMAXPROCS suffix.
+var storeModeRow = regexp.MustCompile(`^Benchmark\w*HistoricalQuery/(win=\d+)/mode=(cold|warm|slide)(?:-\d+)?$`)
+
+// storeWarm derives the store_warm_speedup rows: for every win= window
+// length measured both cold and warm, cold ns/op divided by warm ns/op.
+// A win= with only one temperature is an error — half a comparison must
+// not read as a complete document. mode=slide rows are evidence on their
+// own (per-step cost) and take no part in the ratio. Runs without
+// historical-query benchmarks get no rows.
+func storeWarm(benchmarks []Benchmark) (map[string]float64, error) {
+	byWin := map[string]map[string]float64{}
+	for _, b := range benchmarks {
+		m := storeModeRow.FindStringSubmatch(b.Name)
+		if m == nil || m[2] == "slide" {
+			continue
+		}
+		v, ok := b.Metrics["ns/op"]
+		if !ok || v <= 0 {
+			return nil, fmt.Errorf("%s: ns/op missing or non-positive", b.Name)
+		}
+		if byWin[m[1]] == nil {
+			byWin[m[1]] = map[string]float64{}
+		}
+		byWin[m[1]][m[2]] = v
+	}
+	if len(byWin) == 0 {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for win, modes := range byWin {
+		cold, cok := modes["cold"]
+		warm, wok := modes["warm"]
+		if !cok || !wok {
+			return nil, fmt.Errorf("HistoricalQuery %s: need both mode=cold and mode=warm rows", win)
+		}
+		out[win] = cold / warm
+	}
+	return out, nil
+}
+
+// checkStoreGate loads a benchjson document and fails unless every
+// HistoricalQuery win= family's warm query is at least `minSpeedup`
+// times cheaper than its cold one. This is the read-path regression gate
+// behind `make bench-store`: a replay cache that stops hitting (bad
+// keying, over-eager invalidation) drags warm back toward cold ns/op and
+// trips it.
+func checkStoreGate(w io.Writer, path string, minSpeedup float64) error {
+	doc, err := loadDoc(path)
+	if err != nil {
+		return err
+	}
+	ratios, err := storeWarm(doc.Benchmarks)
+	if err != nil {
+		return err
+	}
+	if len(ratios) == 0 {
+		return fmt.Errorf("%s: no HistoricalQuery win=N/mode=cold|warm benchmarks found", path)
+	}
+	wins := make([]string, 0, len(ratios))
+	for win := range ratios {
+		wins = append(wins, win)
+	}
+	sort.Strings(wins)
+	var failures []string
+	for _, win := range wins {
+		speedup := ratios[win]
+		status := "ok"
+		if speedup < minSpeedup {
+			status = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("HistoricalQuery/%s: warm %.2fx over cold (< %.2fx)", win, speedup, minSpeedup))
+		}
+		fmt.Fprintf(w, "%-56s warm %10.2fx (min %.2fx) %s\n", "HistoricalQuery/"+win, speedup, minSpeedup, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("store gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // scalingFamily matches the scaling sub-benchmark naming convention,

@@ -166,6 +166,62 @@ func TestChaosEpochs(t *testing.T) {
 	}
 }
 
+func storeDoc(cold, warm float64) Doc {
+	return Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkHistoricalQuery/win=4/mode=cold-8", Metrics: map[string]float64{"ns/op": cold}},
+		{Name: "BenchmarkHistoricalQuery/win=4/mode=warm-8", Metrics: map[string]float64{"ns/op": warm}},
+		{Name: "BenchmarkHistoricalQuery/win=4/mode=slide-8", Metrics: map[string]float64{"ns/op": cold / 4}},
+		{Name: "BenchmarkRecord", Metrics: map[string]float64{"ns/op": 30}},
+	}}
+}
+
+func TestStoreWarm(t *testing.T) {
+	rows := storeDoc(9e6, 1e3).Benchmarks
+	sw, err := storeWarm(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw) != 1 || sw["win=4"] != 9000 {
+		t.Errorf("store_warm_speedup = %v, want win=4: 9000", sw)
+	}
+
+	// Runs without historical-query rows get no map at all.
+	sw, err = storeWarm(rows[3:])
+	if err != nil || sw != nil {
+		t.Errorf("no historical rows: got (%v, %v), want (nil, nil)", sw, err)
+	}
+
+	// Half a comparison (cold measured, warm missing) must be loud; a
+	// slide row alone must not stand in for the warm half.
+	if _, err := storeWarm([]Benchmark{rows[0], rows[2]}); err == nil {
+		t.Error("missing mode=warm row should be an error")
+	}
+}
+
+func TestStoreGate(t *testing.T) {
+	var buf bytes.Buffer
+	good := writeDocFile(t, "good.json", storeDoc(9e6, 1e3))
+	if err := checkStoreGate(&buf, good, 5.0); err != nil {
+		t.Fatalf("9000x warm speedup must pass a 5.0x gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "9000.00x") {
+		t.Errorf("gate table missing speedup:\n%s", buf.String())
+	}
+
+	bad := writeDocFile(t, "bad.json", storeDoc(9e6, 3e6))
+	if err := checkStoreGate(io.Discard, bad, 5.0); err == nil || !strings.Contains(err.Error(), "store gate failed") {
+		t.Fatalf("3x warm speedup must fail a 5.0x gate, got %v", err)
+	}
+
+	// No historical-query families at all: the gate must not vacuously pass.
+	none := writeDocFile(t, "none.json", Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkUnrelated", Metrics: map[string]float64{"ns/op": 3}},
+	}})
+	if err := checkStoreGate(io.Discard, none, 5.0); err == nil {
+		t.Fatal("document without HistoricalQuery families must error")
+	}
+}
+
 func TestScalingGate(t *testing.T) {
 	var buf bytes.Buffer
 	good := writeDocFile(t, "good.json", scalingDoc(1e6, 3.1e6))
@@ -223,7 +279,7 @@ func TestDiffEndToEnd(t *testing.T) {
 		stdin := os.Stdin
 		os.Stdin = r
 		defer func() { os.Stdin = stdin }()
-		if err := run(out, "", "", false, 0, nil); err != nil {
+		if err := run(out, "", "", false, 0, 0, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

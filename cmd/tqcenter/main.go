@@ -50,6 +50,7 @@ func run(args []string) error {
 		storeDir   = fs.String("store-dir", "", "append every accepted upload to a time-indexed epoch log here, enabling retrospective T-queries (tqquery -at/-range via -history-addr)")
 		retain     = fs.Int("retain", 0, "epochs of history to keep in the store, 0 = unbounded (with -store-dir; eviction is whole-segment)")
 		storeMax   = fs.Int64("store-max-bytes", 0, "store size budget in bytes, 0 = unbounded (with -store-dir; oldest segments evicted first)")
+		replayCch  = fs.Int64("replay-cache-bytes", 0, "historical-replay cache budget in bytes (with -store-dir; 0 = 64 MiB default, negative disables)")
 		histAddr   = fs.String("history-addr", "", "serve the query RPC (live + historical forms) on this address, e.g. :7071")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 		healthAddr = fs.String("health", "", "serve /healthz + /readyz on this address, e.g. localhost:8070")
@@ -77,24 +78,25 @@ func run(args []string) error {
 		return err
 	}
 	srv, err := transport.ServeCenter(transport.CenterConfig{
-		Addr:            *addr,
-		Kind:            transport.Kind(*kind),
-		Sketch:          *sketch,
-		WindowN:         *n,
-		Widths:          topo,
-		Weights:         wts,
-		M:               *m,
-		D:               *d,
-		Seed:            *seed,
-		Shard:           shardIdx,
-		DeltaUploads:    *delta,
-		Enhance:         *enhance,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvry,
-		StoreDir:        *storeDir,
-		RetainEpochs:    *retain,
-		StoreMaxBytes:   *storeMax,
-		HistoryAddr:     *histAddr,
+		Addr:             *addr,
+		Kind:             transport.Kind(*kind),
+		Sketch:           *sketch,
+		WindowN:          *n,
+		Widths:           topo,
+		Weights:          wts,
+		M:                *m,
+		D:                *d,
+		Seed:             *seed,
+		Shard:            shardIdx,
+		DeltaUploads:     *delta,
+		Enhance:          *enhance,
+		CheckpointDir:    *ckptDir,
+		CheckpointEvery:  *ckptEvry,
+		StoreDir:         *storeDir,
+		RetainEpochs:     *retain,
+		StoreMaxBytes:    *storeMax,
+		ReplayCacheBytes: *replayCch,
+		HistoryAddr:      *histAddr,
 	})
 	if err != nil {
 		return err
@@ -135,6 +137,18 @@ func run(args []string) error {
 				detail["store_compactions"] = st.StoreCompactions
 				detail["store_compaction_errors"] = st.StoreCompactionErrors
 				detail["store_last_compaction_age_s"] = compactAge
+			}
+			if st.ReplayCacheEnabled {
+				// Replay-cache health: hit ratio tells whether repeated
+				// retrospective queries are landing warm; invalidations
+				// track compaction/append churn aging cached windows.
+				detail["replay_cache_hits"] = st.ReplayCacheHits
+				detail["replay_cache_misses"] = st.ReplayCacheMisses
+				detail["replay_cache_window_hits"] = st.ReplayCacheWindowHits
+				detail["replay_cache_evictions"] = st.ReplayCacheEvictions
+				detail["replay_cache_invalidations"] = st.ReplayCacheInvalidations
+				detail["replay_cache_bytes"] = st.ReplayCacheBytes
+				detail["replay_cache_entries"] = st.ReplayCacheEntries
 			}
 			return diag.Health{
 				Ready:  st.ConnectedPoints > 0,

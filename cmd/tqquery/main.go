@@ -30,9 +30,13 @@
 // partition and dials the owning shard's query endpoint (index i in the
 // list). Because the partition is disjoint, a single-flow T-query lives
 // wholly on one shard and the routed answer is exact — identical to an
-// unsharded deployment's. Sharding composes with -at/-range: give
-// -shards the per-shard history endpoints and the replay routes the
-// same way.
+// unsharded deployment's. Live queries dial only the owning shard.
+// Historical queries (-at/-range with -shards pointing at the per-shard
+// history endpoints) scatter-gather instead: the RPC fans to every shard
+// concurrently, the estimate comes from the owning shard, and coverage
+// merges with the union algebra (merged and expected epochs sum across
+// shards), so a retention gap on any shard surfaces honestly in the
+// reported fraction instead of being invisible to a single-shard probe.
 package main
 
 import (
@@ -42,6 +46,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -81,7 +86,10 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	historical := *at != 0 || *rng != ""
 	target := *addr
+	var fan []*transport.QueryClient // historical scatter-gather targets
+	owner := 0
 	if *shards != "" {
 		addrs := strings.Split(*shards, ",")
 		for i := range addrs {
@@ -91,32 +99,65 @@ func run(args []string, stdout io.Writer) error {
 		// traffic, so the owning shard holds every record for this flow and
 		// the routed single-flow answer is exact.
 		si := core.NewFlowPartition(*sseed, len(addrs)).Shard(*flow)
-		target = addrs[si]
-		fmt.Fprintf(stdout, "flow %d -> shard %d (%s)\n", *flow, si, target)
+		if historical && len(addrs) > 1 {
+			// Retrospective queries fan to every shard concurrently: the
+			// owning shard supplies the estimate, every shard contributes
+			// its retention coverage to the merged fraction.
+			owner = si
+			fan = make([]*transport.QueryClient, len(addrs))
+			for i, a := range addrs {
+				c, err := transport.DialQuery(a)
+				if err != nil {
+					for _, prev := range fan[:i] {
+						_ = prev.Close()
+					}
+					return fmt.Errorf("dial shard %d (%s): %w", i, a, err)
+				}
+				fan[i] = c
+				defer c.Close()
+			}
+			fmt.Fprintf(stdout, "flow %d -> shard %d (%s), coverage gathered from %d shards\n",
+				*flow, si, addrs[si], len(addrs))
+		} else {
+			target = addrs[si]
+			fmt.Fprintf(stdout, "flow %d -> shard %d (%s)\n", *flow, si, target)
+		}
 	}
-	if target == "" {
-		return fmt.Errorf("missing -addr (or -shards)")
+	var qc *transport.QueryClient
+	if fan == nil {
+		if target == "" {
+			return fmt.Errorf("missing -addr (or -shards)")
+		}
+		var err error
+		if qc, err = transport.DialQuery(target); err != nil {
+			return err
+		}
+		defer qc.Close()
 	}
-	qc, err := transport.DialQuery(target)
-	if err != nil {
-		return err
-	}
-	defer qc.Close()
 
 	ask := func() error {
-		if *at != 0 || *rng != "" {
+		if historical {
 			var (
 				v    float64
 				cov  core.Coverage
 				when string
 				err  error
 			)
+			call := func(c *transport.QueryClient) (float64, core.Coverage, error) {
+				if *at != 0 {
+					return c.QueryAt(*flow, *at)
+				}
+				return c.QueryRange(*flow, rngFrom, rngTo)
+			}
 			if *at != 0 {
-				v, cov, err = qc.QueryAt(*flow, *at)
 				when = fmt.Sprintf("at epoch %d", *at)
 			} else {
-				v, cov, err = qc.QueryRange(*flow, rngFrom, rngTo)
 				when = fmt.Sprintf("epochs %d..%d", rngFrom, rngTo)
+			}
+			if fan != nil {
+				v, cov, err = scatterHist(fan, owner, call)
+			} else {
+				v, cov, err = call(qc)
 			}
 			if err != nil {
 				return err
@@ -166,6 +207,42 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// scatterHist runs one historical query against every shard
+// concurrently and merges the answers with the union algebra: the
+// estimate is the owning shard's (the disjoint flow partition keeps the
+// flow's history wholly there), and coverage sums merged/expected epochs
+// across shards — exactly how ShardedPointClient unions live coverage.
+// Any shard failing fails the query: a silent miss would overstate
+// coverage.
+func scatterHist(fan []*transport.QueryClient, owner int,
+	call func(*transport.QueryClient) (float64, core.Coverage, error)) (float64, core.Coverage, error) {
+	type answer struct {
+		v   float64
+		cov core.Coverage
+		err error
+	}
+	answers := make([]answer, len(fan))
+	var wg sync.WaitGroup
+	for i := range fan {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := &answers[i]
+			a.v, a.cov, a.err = call(fan[i])
+		}(i)
+	}
+	wg.Wait()
+	var cov core.Coverage
+	for i := range answers {
+		if answers[i].err != nil {
+			return 0, core.Coverage{}, fmt.Errorf("shard %d: %w", i, answers[i].err)
+		}
+		cov.EpochsMerged += answers[i].cov.EpochsMerged
+		cov.EpochsExpected += answers[i].cov.EpochsExpected
+	}
+	return answers[owner].v, cov, nil
 }
 
 // parseEpochRange parses "from:to" into an inclusive epoch range.

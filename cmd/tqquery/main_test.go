@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/transport"
 )
 
@@ -45,5 +47,114 @@ func TestRunMissingAddr(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-flow", "1"}, &out); err == nil {
 		t.Fatal("expected missing-addr error")
+	}
+}
+
+// servesHistShards starts `shards` fake per-shard history endpoints whose
+// -at answers are distinguishable per shard: estimate 100*(i+1), one
+// merged epoch each out of four expected.
+func serveHistShards(t *testing.T, shards int, fail int) []string {
+	t.Helper()
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		hist := transport.HistoryHandler{}
+		if i == fail {
+			broken := func() (float64, core.Coverage, error) {
+				return 0, core.Coverage{}, fmt.Errorf("store offline")
+			}
+			hist.At = func(uint64, int64) (float64, core.Coverage, error) { return broken() }
+			hist.Range = func(uint64, int64, int64) (float64, core.Coverage, error) { return broken() }
+		} else {
+			est := float64(100 * (i + 1))
+			merged := i + 1
+			answer := func() (float64, core.Coverage, error) {
+				return est, core.Coverage{EpochsMerged: merged, EpochsExpected: 4}, nil
+			}
+			hist.At = func(uint64, int64) (float64, core.Coverage, error) { return answer() }
+			hist.Range = func(uint64, int64, int64) (float64, core.Coverage, error) { return answer() }
+		}
+		srv, err := transport.ServeQueriesHist("127.0.0.1:0",
+			func(uint64) (float64, core.Coverage) { return -1, core.Coverage{} }, hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr().String()
+	}
+	return addrs
+}
+
+// A historical query with -shards fans to every shard: the estimate is
+// the owning shard's, coverage sums across shards, and the routing note
+// says so.
+func TestRunHistoricalScatterGather(t *testing.T) {
+	const seed, flow = 42, 14
+	addrs := serveHistShards(t, 2, -1)
+	owner := core.NewFlowPartition(seed, len(addrs)).Shard(flow)
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-shards", strings.Join(addrs, ","), "-shard-seed", "42",
+		"-flow", "14", "-at", "7",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if want := fmt.Sprintf("flow 14 -> shard %d", owner); !strings.Contains(got, want) {
+		t.Fatalf("missing routing note %q in output:\n%s", want, got)
+	}
+	if !strings.Contains(got, "coverage gathered from 2 shards") {
+		t.Fatalf("missing scatter note in output:\n%s", got)
+	}
+	// Estimate from the owner; coverage summed with the union algebra:
+	// merged 1+2=3 of expected 4+4=8, honestly PARTIAL.
+	wantAnswer := fmt.Sprintf("at epoch 7: %d.00 (coverage 3/8 = 38%% PARTIAL", 100*(owner+1))
+	if !strings.Contains(got, wantAnswer) {
+		t.Fatalf("missing answer %q in output:\n%s", wantAnswer, got)
+	}
+}
+
+// Any shard failing fails the whole scatter-gather: a silent miss would
+// overstate coverage.
+func TestRunHistoricalScatterGatherShardError(t *testing.T) {
+	addrs := serveHistShards(t, 2, 1)
+	var out bytes.Buffer
+	err := run([]string{
+		"-shards", strings.Join(addrs, ","), "-shard-seed", "42",
+		"-flow", "14", "-range", "3:9",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("failing shard must fail the query naming the shard, got %v", err)
+	}
+}
+
+// A live query with -shards keeps owner-only routing: only the owning
+// shard is dialed, and the answer is its live response.
+func TestRunLiveShardedRoutesOwnerOnly(t *testing.T) {
+	const seed, flow = 42, 14
+	srv, err := transport.ServeQueries("127.0.0.1:0", func(f uint64) float64 {
+		return float64(f) * 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// The non-owner slot is an address nothing listens on: owner-only
+	// routing never dials it, so the query still succeeds.
+	dead := "127.0.0.1:1"
+	addrs := []string{dead, dead}
+	owner := core.NewFlowPartition(seed, 2).Shard(flow)
+	addrs[owner] = srv.Addr().String()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-shards", strings.Join(addrs, ","), "-shard-seed", "42", "-flow", "14",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flow 14: 28.00") {
+		t.Fatalf("unexpected output: %s", out.String())
 	}
 }

@@ -55,6 +55,15 @@ type Center[S Sketch[S]] struct {
 	// by it so a tree-fed center reports the same merged/expected counts a
 	// flat center would.
 	weights map[int]int
+
+	// topoGen counts topology mutations (SetWeight); replay-cache entries
+	// are keyed by it so partials joined under an old weight map can never
+	// serve a query under the new one. protos are fixed at construction,
+	// so weights are the only post-construction shape change.
+	topoGen uint64
+	// replay, when non-nil, caches per-epoch partials and window memos
+	// for the historical replay path (see ReplayCache).
+	replay *ReplayCache[S]
 }
 
 // NewCenter creates a center for a cluster whose points use the given
@@ -142,7 +151,59 @@ func (c *Center[S]) SetWeight(point, weight int) {
 	if c.weights == nil {
 		c.weights = make(map[int]int, len(c.protos))
 	}
+	if c.weightLocked(point) != weight {
+		c.topoGen++
+	}
 	c.weights[point] = weight
+}
+
+// EnableReplayCache attaches a replay cache with the given byte budget
+// to the historical query path. Passing budgetBytes <= 0 detaches any
+// cache. Safe to call at any time; in-flight queries keep whichever
+// cache they snapshotted.
+func (c *Center[S]) EnableReplayCache(budgetBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if budgetBytes <= 0 {
+		c.replay = nil
+		return
+	}
+	c.replay = NewReplayCache[S](budgetBytes)
+}
+
+// InvalidateReplayEpochs drops cached replay state touching the
+// inclusive epoch span [min, max]. The store layer calls it when
+// compaction evicts epochs and when a (late) append lands, so the cache
+// never serves an evicted epoch or a partial missing a backfilled cell.
+func (c *Center[S]) InvalidateReplayEpochs(min, max int64) {
+	c.mu.Lock()
+	rc := c.replay
+	c.mu.Unlock()
+	if rc != nil {
+		rc.InvalidateEpochs(min, max)
+	}
+}
+
+// ResetReplayCache drops all cached replay state (cold-path benchmarks).
+func (c *Center[S]) ResetReplayCache() {
+	c.mu.Lock()
+	rc := c.replay
+	c.mu.Unlock()
+	if rc != nil {
+		rc.Reset()
+	}
+}
+
+// ReplayCacheStats snapshots the replay cache; ok is false when no cache
+// is attached.
+func (c *Center[S]) ReplayCacheStats() (ReplayCacheStats, bool) {
+	c.mu.Lock()
+	rc := c.replay
+	c.mu.Unlock()
+	if rc == nil {
+		return ReplayCacheStats{}, false
+	}
+	return rc.Stats(), true
 }
 
 // Weight returns the leaf count one upload from the child represents

@@ -1,24 +1,52 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // Retrospective T-queries: replaying the eq. (5) spatio-temporal join
 // over past epochs from a HistorySource (in practice the durable epoch
 // log) instead of the live window. The replay runs the same algebra the
-// live center runs — per-point temporal join at native width, expansion
-// to the maximum width, spatial join — over canonical sketch encodings,
-// so a fully-retained window reproduces the live answer bit for bit;
-// missing cells (evicted by retention, or lost to faults before they
-// ever reached the center) are skipped and reported as reduced Coverage,
-// never an error.
+// live center runs over canonical sketch encodings, so a fully-retained
+// window reproduces the live answer bit for bit; missing cells (evicted
+// by retention, or lost to faults before they ever reached the center)
+// are skipped and reported as reduced Coverage, never an error.
+//
+// The join is assembled epoch-by-epoch rather than point-by-point: each
+// epoch's cells are merged at their native widths, expanded to the
+// maximum width and spatially joined into one per-epoch partial, and the
+// window answer is the merge of its epochs' partials. ExpandTo is
+// positional replication and every backend's Merge is element-wise
+// (register max / integer counter add), so this regrouping is exactly
+// the live answer's register image — and it is what makes the partials
+// cacheable (ReplayCache) and the epochs independently computable
+// (replayWorkers-bounded parallelism for cold windows).
 
 // HistorySource yields stored (point, epoch) measurements for replay.
 // Cell returns ok=false for a cell the source does not hold — the
 // coverage signal. A returned sketch is owned by the caller (the replay
-// merges into it).
+// merges into it). Sources must tolerate concurrent readers: a cold
+// range replay fans epochs across a worker pool.
 type HistorySource[S Sketch[S]] interface {
 	Cell(point int, epoch int64) (S, bool, error)
 }
+
+// EpochSource is an optional batched fast path a HistorySource may
+// implement: EpochCells yields every cell the source retains for one
+// epoch across the given points, in any order. The sketch passed to
+// visit is borrowed decode scratch — valid only for the duration of the
+// call; the replay clones or merges out of it immediately. Implemented
+// by the transport's log adapter over durable.Log.GetEpoch, turning a
+// window replay's per-cell lookup/read/alloc into one sequential pass
+// per segment.
+type EpochSource[S Sketch[S]] interface {
+	EpochCells(epoch int64, points []int, visit func(point int, sk S) error) error
+}
+
+// replayWorkers bounds the per-query worker pool replaying cold epochs.
+const replayWorkers = 8
 
 // QueryAtFrom replays the networkwide T-query answer as of epoch k: the
 // join over the same window the live aggregate pushed during k covered
@@ -45,9 +73,87 @@ func (c *Center[S]) QueryRangeFrom(f uint64, from, to int64, src HistorySource[S
 	return c.queryEpochsFrom(f, from, to, src)
 }
 
+// epochPartial is one epoch's spatial join at the maximum width, plus
+// its coverage share. have is false for an epoch with no retained cells.
+type epochPartial[S Sketch[S]] struct {
+	sk     S
+	have   bool
+	merged int
+}
+
+// computeEpochPartial joins every retained cell of epoch e across ids:
+// cells merge at their native widths first, then each width group
+// expands once to wMax and spatially joins — fewer expansions, same
+// register bits. It prefers the batched EpochSource pass when src
+// implements it.
+func computeEpochPartial[S Sketch[S]](e int64, ids []int, weights map[int]int, wMax int, src HistorySource[S]) (epochPartial[S], error) {
+	var p epochPartial[S]
+	var groups map[int]S
+	var order []int
+	add := func(id int, cell S, owned bool) error {
+		p.merged += weights[id]
+		w := cell.Width()
+		if g, ok := groups[w]; ok {
+			if err := g.Merge(cell); err != nil {
+				return fmt.Errorf("core: history temporal join point %d epoch %d: %w", id, e, err)
+			}
+			return nil
+		}
+		if groups == nil {
+			groups = make(map[int]S, 2)
+		}
+		if owned {
+			groups[w] = cell
+		} else {
+			groups[w] = cell.Clone()
+		}
+		order = append(order, w)
+		return nil
+	}
+	if es, ok := src.(EpochSource[S]); ok {
+		err := es.EpochCells(e, ids, func(id int, cell S) error {
+			return add(id, cell, false)
+		})
+		if err != nil {
+			return p, fmt.Errorf("core: history epoch %d: %w", e, err)
+		}
+	} else {
+		for _, id := range ids {
+			cell, ok, err := src.Cell(id, e)
+			if err != nil {
+				return p, fmt.Errorf("core: history cell (%d, %d): %w", id, e, err)
+			}
+			if !ok {
+				continue
+			}
+			if err := add(id, cell, true); err != nil {
+				return p, err
+			}
+		}
+	}
+	for _, w := range order {
+		ex, err := groups[w].ExpandTo(wMax)
+		if err != nil {
+			return p, fmt.Errorf("core: history expand epoch %d width %d: %w", e, w, err)
+		}
+		if !p.have {
+			p.sk = ex
+			p.have = true
+			continue
+		}
+		if err := p.sk.Merge(ex); err != nil {
+			return p, fmt.Errorf("core: history spatial join epoch %d: %w", e, err)
+		}
+	}
+	return p, nil
+}
+
 // queryEpochsFrom is the shared replay: snapshot the cluster shape
-// (children, weights, maximum width) under the lock, then join the
-// source's cells lock-free so long-range queries never stall ingest.
+// (children, weights, maximum width, topology generation) under the
+// lock, then assemble the window from per-epoch partials lock-free so
+// long-range queries never stall ingest. With a replay cache attached,
+// warm epochs are in-memory merges and only cold epochs touch src —
+// those fan out across a bounded worker pool.
 func (c *Center[S]) queryEpochsFrom(f uint64, first, last int64, src HistorySource[S]) (float64, Coverage, error) {
 	c.mu.Lock()
 	ids := make([]int, 0, len(c.protos))
@@ -57,54 +163,134 @@ func (c *Center[S]) queryEpochsFrom(f uint64, first, last int64, src HistorySour
 		weights[id] = c.weightLocked(id)
 	}
 	wMax := c.wMax
+	gen := c.topoGen
+	cache := c.replay
 	c.mu.Unlock()
 
 	span := int(last - first + 1)
 	var cov Coverage
-	var acc S
-	haveAcc := false
 	for _, id := range ids {
 		cov.EpochsExpected += weights[id] * span
-		var tj S
-		have := false
-		for e := first; e <= last; e++ {
-			cell, ok, err := src.Cell(id, e)
-			if err != nil {
-				return 0, cov, fmt.Errorf("core: history cell (%d, %d): %w", id, e, err)
-			}
-			if !ok {
-				continue
-			}
-			cov.EpochsMerged += weights[id]
-			if !have {
-				tj = cell
-				have = true
-				continue
-			}
-			if err := tj.Merge(cell); err != nil {
-				return 0, cov, fmt.Errorf("core: history temporal join point %d epoch %d: %w", id, e, err)
-			}
+	}
+
+	var verSum uint64
+	if cache != nil {
+		if ans, ok := cache.lookupWindow(f, first, last, gen); ok {
+			return ans.est, ans.cov, nil
 		}
-		if !have {
+		// Snapshot before touching partials: if any epoch in the window
+		// is invalidated between here and insertWindow, the memo insert
+		// is discarded.
+		verSum = cache.versionSum(first, last)
+	}
+
+	type slot struct {
+		p      epochPartial[S]
+		cached bool
+		ver    uint64
+	}
+	slots := make([]slot, span)
+	var cold []int
+	for i := range slots {
+		e := first + int64(i)
+		if cache != nil {
+			if sk, merged, have, ok := cache.lookupPartial(e, gen); ok {
+				slots[i] = slot{p: epochPartial[S]{sk: sk, have: have, merged: merged}, cached: true}
+				continue
+			}
+			slots[i].ver = cache.version(e)
+		}
+		cold = append(cold, i)
+	}
+
+	workers := len(cold)
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers > replayWorkers {
+		workers = replayWorkers
+	}
+	var firstErr error
+	if workers <= 1 {
+		for _, i := range cold {
+			p, err := computeEpochPartial(first+int64(i), ids, weights, wMax, src)
+			if err != nil {
+				return 0, cov, err
+			}
+			slots[i].p = p
+		}
+	} else {
+		var wg sync.WaitGroup
+		var errMu sync.Mutex
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					p, err := computeEpochPartial(first+int64(i), ids, weights, wMax, src)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						continue
+					}
+					slots[i].p = p
+				}
+			}()
+		}
+		for _, i := range cold {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		if firstErr != nil {
+			return 0, cov, firstErr
+		}
+	}
+
+	// Publish cold partials. Once inserted the sketch is shared, so the
+	// final assembly below only reads it (first use clones).
+	if cache != nil {
+		for _, i := range cold {
+			p := slots[i].p
+			cost := int64(64)
+			if p.have {
+				if b, err := p.sk.MarshalBinary(); err == nil {
+					cost += int64(len(b))
+				}
+			}
+			cache.insertPartial(first+int64(i), gen, slots[i].ver, p.sk, p.have, p.merged, cost)
+		}
+	}
+
+	var acc S
+	haveAcc := false
+	for i := range slots {
+		p := slots[i].p
+		cov.EpochsMerged += p.merged
+		if !p.have {
 			continue
 		}
-		ex, err := tj.ExpandTo(wMax)
-		if err != nil {
-			return 0, cov, fmt.Errorf("core: history expand point %d: %w", id, err)
-		}
 		if !haveAcc {
-			acc = ex
+			acc = p.sk.Clone()
 			haveAcc = true
 			continue
 		}
-		if err := acc.Merge(ex); err != nil {
-			return 0, cov, fmt.Errorf("core: history spatial join point %d: %w", id, err)
+		if err := acc.Merge(p.sk); err != nil {
+			return 0, cov, fmt.Errorf("core: history window join epoch %d: %w", first+int64(i), err)
 		}
 	}
 	if !haveAcc {
 		return 0, cov, nil
 	}
-	return acc.EstimateUnion(f, nil), cov, nil
+	est := acc.EstimateUnion(f, nil)
+	if cache != nil {
+		cache.insertWindow(windowKey{f, first, last, gen}, windowAnswer{est, cov}, verSum)
+	}
+	return est, cov, nil
 }
 
 // QueryWindowLive answers the networkwide T-query for flow f as of epoch

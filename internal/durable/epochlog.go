@@ -75,6 +75,12 @@ type LogConfig struct {
 	// MaxBytes, when > 0, evicts oldest sealed segments until the log
 	// fits. 0 is unlimited.
 	MaxBytes int64
+	// OnEvict, when non-nil, is called after any compaction pass that
+	// evicted at least one non-empty segment, with the inclusive epoch
+	// span the evicted segments covered. It runs without log locks held,
+	// so the callback may call back into the Log; replay caches hook it
+	// to drop partials for epochs the store can no longer serve.
+	OnEvict func(minEpoch, maxEpoch int64)
 }
 
 // LogStats is a point-in-time snapshot of the log for health endpoints.
@@ -113,6 +119,22 @@ type segMeta struct {
 	entries  int
 	minEpoch int64
 	maxEpoch int64
+	minPoint int
+	maxPoint int
+	// keys lists every cell ever appended to this segment, so eviction
+	// scrubs exactly its own index entries instead of scanning the whole
+	// index (a cell re-appended into a later segment is skipped by the
+	// seq check in dropSegmentLocked).
+	keys []cellKey
+}
+
+// overlaps reports whether the segment could hold any cell in the
+// epoch × point query window — the segment-level prune that lets batched
+// reads skip index lookups for windows entirely outside retention.
+func (m *segMeta) overlaps(minEpoch, maxEpoch int64, minPoint, maxPoint int) bool {
+	return m.entries > 0 &&
+		m.minEpoch <= maxEpoch && minEpoch <= m.maxEpoch &&
+		m.minPoint <= maxPoint && minPoint <= m.maxPoint
 }
 
 // Log is the append-only (point, epoch) → sketch-blob store. All methods
@@ -236,7 +258,7 @@ func (l *Log) scanSegmentFile(seq uint64, final bool) error {
 		l.index[cellKey{point, epoch}] = entryRef{
 			seq: seq, off: off, n: entryHeaderLen + len(blob) + entryCRCLen,
 		}
-		l.noteEpoch(meta, epoch)
+		l.noteCell(meta, point, epoch)
 	})
 	if scanErr != nil {
 		if !final {
@@ -258,14 +280,21 @@ func (l *Log) scanSegmentFile(seq uint64, final bool) error {
 	return nil
 }
 
-func (l *Log) noteEpoch(meta *segMeta, epoch int64) {
+func (l *Log) noteCell(meta *segMeta, point int, epoch int64) {
 	if meta.entries == 0 || epoch < meta.minEpoch {
 		meta.minEpoch = epoch
 	}
 	if meta.entries == 0 || epoch > meta.maxEpoch {
 		meta.maxEpoch = epoch
 	}
+	if meta.entries == 0 || point < meta.minPoint {
+		meta.minPoint = point
+	}
+	if meta.entries == 0 || point > meta.maxPoint {
+		meta.maxPoint = point
+	}
 	meta.entries++
+	meta.keys = append(meta.keys, cellKey{point, epoch})
 	if !l.haveEpoch || epoch > l.lastEpoch {
 		l.lastEpoch = epoch
 		l.haveEpoch = true
@@ -385,7 +414,7 @@ func (l *Log) Append(point int, epoch int64, blob []byte) error {
 	}
 	l.index[cellKey{point, epoch}] = entryRef{seq: meta.seq, off: meta.bytes, n: len(buf)}
 	meta.bytes += int64(len(buf))
-	l.noteEpoch(meta, epoch)
+	l.noteCell(meta, point, epoch)
 	l.appends++
 	if meta.bytes >= l.cfg.MaxSegmentBytes {
 		if err := l.rollLocked(); err != nil {
@@ -398,11 +427,13 @@ func (l *Log) Append(point int, epoch int64, blob []byte) error {
 		go func() {
 			defer l.wg.Done()
 			l.mu.Lock()
-			defer l.mu.Unlock()
 			l.compacting = false
+			var ev evictSpan
 			if !l.closed {
-				l.compactLocked()
+				ev, _ = l.compactLocked()
 			}
+			l.mu.Unlock()
+			l.notifyEvict(ev)
 		}()
 	}
 	return nil
@@ -464,6 +495,34 @@ func (l *Log) retentionCutoffLocked() (int64, bool) {
 	return l.lastEpoch - int64(l.cfg.RetainEpochs), true
 }
 
+// evictSpan accumulates the inclusive epoch range a compaction pass
+// removed, for the OnEvict callback.
+type evictSpan struct {
+	min, max int64
+	ok       bool
+}
+
+func (s *evictSpan) add(m *segMeta) {
+	if m.entries == 0 {
+		return
+	}
+	if !s.ok || m.minEpoch < s.min {
+		s.min = m.minEpoch
+	}
+	if !s.ok || m.maxEpoch > s.max {
+		s.max = m.maxEpoch
+	}
+	s.ok = true
+}
+
+// notifyEvict fires the OnEvict callback for a non-empty evicted span.
+// Must be called without l.mu held.
+func (l *Log) notifyEvict(ev evictSpan) {
+	if ev.ok && l.cfg.OnEvict != nil {
+		l.cfg.OnEvict(ev.min, ev.max)
+	}
+}
+
 // Compact runs one synchronous compaction pass: sealed segments whose
 // every epoch falls behind the retention cutoff are deleted, then oldest
 // sealed segments go until the log fits MaxBytes. The active segment is
@@ -471,15 +530,19 @@ func (l *Log) retentionCutoffLocked() (int64, bool) {
 // retried on the next pass.
 func (l *Log) Compact() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrLogClosed
 	}
-	return l.compactLocked()
+	ev, err := l.compactLocked()
+	l.mu.Unlock()
+	l.notifyEvict(ev)
+	return err
 }
 
-func (l *Log) compactLocked() error {
+func (l *Log) compactLocked() (evictSpan, error) {
 	var firstErr error
+	var ev evictSpan
 	cutoff, haveCutoff := l.retentionCutoffLocked()
 	keep := l.segs[:0:0]
 	sealed := l.segs[:len(l.segs)-1]
@@ -497,7 +560,9 @@ func (l *Log) compactLocked() error {
 				firstErr = err
 			}
 			keep = append(keep, sealed[i])
+			continue
 		}
+		ev.add(m)
 	}
 	// MaxBytes: evict oldest sealed survivors until the log fits.
 	if l.cfg.MaxBytes > 0 {
@@ -513,6 +578,7 @@ func (l *Log) compactLocked() error {
 				}
 				break
 			}
+			ev.add(m)
 			total -= m.bytes
 			keep = keep[1:]
 		}
@@ -520,11 +586,13 @@ func (l *Log) compactLocked() error {
 	l.segs = append(keep, l.segs[len(l.segs)-1])
 	l.compactions++
 	l.lastCompaction = time.Now()
-	return firstErr
+	return ev, firstErr
 }
 
 // dropSegmentLocked deletes one sealed segment and scrubs its cells from
-// the index.
+// the index via the segment's own key list — O(cells in segment), not
+// O(whole index). A key whose live index entry points at a newer segment
+// (the cell was re-appended) is left alone.
 func (l *Log) dropSegmentLocked(m *segMeta) error {
 	if err := os.Remove(l.segPath(m.seq)); err != nil && !os.IsNotExist(err) {
 		l.compactionErrors++
@@ -537,18 +605,54 @@ func (l *Log) dropSegmentLocked(m *segMeta) error {
 		delete(l.readers, m.seq)
 	}
 	l.rmu.Unlock()
-	for k, ref := range l.index {
-		if ref.seq == m.seq {
+	for _, k := range m.keys {
+		if ref, ok := l.index[k]; ok && ref.seq == m.seq {
 			delete(l.index, k)
 		}
 	}
+	m.keys = nil
 	return nil
+}
+
+// readBuf is a pooled scratch buffer for segment reads. Pooling keeps
+// the per-cell read path at one allocation (the caller-owned copy of the
+// blob) instead of one entry-sized buffer per Get.
+type readBuf struct{ b []byte }
+
+var readBufPool = sync.Pool{New: func() any { return new(readBuf) }}
+
+func getReadBuf(n int) *readBuf {
+	rb := readBufPool.Get().(*readBuf)
+	if cap(rb.b) < n {
+		rb.b = make([]byte, n)
+	}
+	rb.b = rb.b[:n]
+	return rb
+}
+
+func putReadBuf(rb *readBuf) { readBufPool.Put(rb) }
+
+// verifyEntry checks one raw entry image against its index ref: header
+// blob length consistent with the ref, CRC valid. On success it returns
+// the blob sub-slice of buf (borrowed — valid only while buf is).
+func verifyEntry(buf []byte, ref entryRef, point int, epoch int64) ([]byte, error) {
+	blen := binary.LittleEndian.Uint32(buf[12:16])
+	if int(blen) != ref.n-entryHeaderLen-entryCRCLen {
+		return nil, fmt.Errorf("durable: cell (%d,%d) length mismatch", point, epoch)
+	}
+	got := crc32.ChecksumIEEE(buf[:entryHeaderLen+int(blen)])
+	want := binary.LittleEndian.Uint32(buf[entryHeaderLen+int(blen):])
+	if got != want {
+		return nil, fmt.Errorf("durable: cell (%d,%d) CRC mismatch", point, epoch)
+	}
+	return buf[entryHeaderLen : entryHeaderLen+int(blen) : entryHeaderLen+int(blen)], nil
 }
 
 // Get returns the blob stored for (point, epoch). The second return is
 // false when the cell was never appended or has been evicted — that is
 // the coverage signal, not an error. The entry CRC is re-verified on
-// every read.
+// every read. The read itself goes through a pooled buffer; only the
+// returned blob copy crosses the API boundary.
 func (l *Log) Get(point int, epoch int64) ([]byte, bool, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -563,20 +667,142 @@ func (l *Log) Get(point int, epoch int64) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	buf := make([]byte, ref.n)
-	if _, err := f.ReadAt(buf, ref.off); err != nil {
+	rb := getReadBuf(ref.n)
+	defer putReadBuf(rb)
+	if _, err := f.ReadAt(rb.b, ref.off); err != nil {
 		return nil, false, fmt.Errorf("durable: read cell (%d,%d): %w", point, epoch, err)
 	}
-	blen := binary.LittleEndian.Uint32(buf[12:16])
-	if int(blen) != ref.n-entryHeaderLen-entryCRCLen {
-		return nil, false, fmt.Errorf("durable: cell (%d,%d) length mismatch", point, epoch)
+	blob, err := verifyEntry(rb.b, ref, point, epoch)
+	if err != nil {
+		return nil, false, err
 	}
-	got := crc32.ChecksumIEEE(buf[:entryHeaderLen+int(blen)])
-	want := binary.LittleEndian.Uint32(buf[entryHeaderLen+int(blen):])
-	if got != want {
-		return nil, false, fmt.Errorf("durable: cell (%d,%d) CRC mismatch", point, epoch)
+	out := make([]byte, len(blob))
+	copy(out, blob)
+	return out, true, nil
+}
+
+// cellHit is one resolved cell in a batched read, ordered for a
+// sequential pass: ascending (segment, offset).
+type cellHit struct {
+	ref   entryRef
+	point int
+	epoch int64
+}
+
+// readChunkBytes caps how much of a segment one pooled batched read
+// pulls in; runs of cells whose combined span exceeds it are split into
+// multiple sequential reads.
+const readChunkBytes = 256 << 10
+
+// GetMany reads every retained cell in epochs × points, calling visit
+// once per cell found. Cells are grouped by segment and read in offset
+// order — one buffered sequential pass per segment through pooled
+// buffers, CRCs verified in-pass — so a window replay pays O(segments)
+// coalesced reads instead of one syscall + allocation per cell. Segments
+// whose epoch/point spans don't intersect the request are pruned from
+// the index probe entirely.
+//
+// The blob passed to visit is borrowed: it is valid only for the
+// duration of the call and must not be retained or modified. visit must
+// not call back into the Log. Missing cells (never appended, or
+// evicted) are skipped silently — that is the coverage signal. A
+// non-nil error from visit aborts the pass and is returned verbatim.
+func (l *Log) GetMany(epochs []int64, points []int, visit func(point int, epoch int64, blob []byte) error) error {
+	if len(epochs) == 0 || len(points) == 0 {
+		return nil
 	}
-	return buf[entryHeaderLen : entryHeaderLen+int(blen) : entryHeaderLen+int(blen)], true, nil
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return ErrLogClosed
+	}
+	minPt, maxPt := points[0], points[0]
+	for _, pt := range points[1:] {
+		if pt < minPt {
+			minPt = pt
+		}
+		if pt > maxPt {
+			maxPt = pt
+		}
+	}
+	// Segment-level prune: an epoch probes the index only if some
+	// retained segment's spans admit it. With narrow retention and a wide
+	// query window this skips len(points) map lookups per dead epoch.
+	hits := make([]cellHit, 0, len(epochs)*len(points))
+	for _, e := range epochs {
+		admitted := false
+		for _, m := range l.segs {
+			if m.overlaps(e, e, minPt, maxPt) {
+				admitted = true
+				break
+			}
+		}
+		if !admitted {
+			continue
+		}
+		for _, pt := range points {
+			if ref, ok := l.index[cellKey{pt, e}]; ok {
+				hits = append(hits, cellHit{ref, pt, e})
+			}
+		}
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].ref.seq != hits[j].ref.seq {
+			return hits[i].ref.seq < hits[j].ref.seq
+		}
+		return hits[i].ref.off < hits[j].ref.off
+	})
+	for start := 0; start < len(hits); {
+		// One coalesced read: same segment, span under the chunk cap.
+		seq := hits[start].ref.seq
+		end := start + 1
+		spanEnd := hits[start].ref.off + int64(hits[start].ref.n)
+		for end < len(hits) && hits[end].ref.seq == seq {
+			next := hits[end].ref.off + int64(hits[end].ref.n)
+			if next-hits[start].ref.off > readChunkBytes {
+				break
+			}
+			if next > spanEnd {
+				spanEnd = next
+			}
+			end++
+		}
+		f, err := l.reader(seq)
+		if err != nil {
+			return err
+		}
+		base := hits[start].ref.off
+		rb := getReadBuf(int(spanEnd - base))
+		if _, err := f.ReadAt(rb.b, base); err != nil {
+			putReadBuf(rb)
+			return fmt.Errorf("durable: batched read segment %d: %w", seq, err)
+		}
+		for _, h := range hits[start:end] {
+			entry := rb.b[h.ref.off-base : h.ref.off-base+int64(h.ref.n)]
+			blob, err := verifyEntry(entry, h.ref, h.point, h.epoch)
+			if err == nil {
+				err = visit(h.point, h.epoch, blob)
+			}
+			if err != nil {
+				putReadBuf(rb)
+				return err
+			}
+		}
+		putReadBuf(rb)
+		start = end
+	}
+	return nil
+}
+
+// GetEpoch reads every retained cell of one epoch across points; see
+// GetMany for the borrowing and ordering contract.
+func (l *Log) GetEpoch(epoch int64, points []int, visit func(point int, blob []byte) error) error {
+	return l.GetMany([]int64{epoch}, points, func(point int, _ int64, blob []byte) error {
+		return visit(point, blob)
+	})
 }
 
 // Has reports whether the cell (point, epoch) is retained, without

@@ -89,6 +89,14 @@ type CenterConfig struct {
 	// StoreSegmentBytes is the segment-roll threshold (0 = the durable
 	// package default).
 	StoreSegmentBytes int64
+	// ReplayCacheBytes budgets the historical-replay cache (decoded
+	// per-epoch partials + window memos; see core.ReplayCache), which
+	// makes warm repeated HistoryAt queries in-memory and sliding
+	// HistoryRange sweeps O(1 new epoch) per step. Zero picks a default
+	// (64 MiB) whenever the store is enabled; negative disables caching.
+	// Entries are invalidated by store compaction and late appends, so
+	// cached answers stay bit-identical to a cold replay.
+	ReplayCacheBytes int64
 	// HistoryAddr, if set, serves the query RPC (live, coverage, and
 	// historical forms) on this TCP address; tqquery -at/-range dials it
 	// directly or through a relay's history proxy.
@@ -112,6 +120,10 @@ type CenterConfig struct {
 	// what points offer. Test hook standing in for a pre-codec binary.
 	forceLegacyCodec bool
 }
+
+// defaultReplayCacheBytes is the replay-cache budget when the store is
+// enabled and CenterConfig.ReplayCacheBytes is zero.
+const defaultReplayCacheBytes = 64 << 20
 
 // CenterServer is a running measurement center.
 type CenterServer struct {
@@ -243,11 +255,23 @@ func ServeCenter(cfg CenterConfig) (*CenterServer, error) {
 			RetainEpochs:    cfg.RetainEpochs,
 			MaxBytes:        cfg.StoreMaxBytes,
 			MaxSegmentBytes: cfg.StoreSegmentBytes,
+			// Compaction eviction must reach the replay cache before any
+			// query can hit a partial for an epoch the store no longer
+			// holds; the callback fires outside the log's locks.
+			OnEvict: func(minEpoch, maxEpoch int64) {
+				s.eng.invalidateReplayEpochs(minEpoch, maxEpoch)
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("transport: open epoch-log store: %w", err)
 		}
 		s.store = store
+		if budget := cfg.ReplayCacheBytes; budget >= 0 {
+			if budget == 0 {
+				budget = defaultReplayCacheBytes
+			}
+			s.eng.enableReplayCache(budget)
+		}
 	}
 	if cfg.HistoryAddr != "" {
 		hs, err := ServeQueriesHist(cfg.HistoryAddr, s.liveAnswer, HistoryHandler{
@@ -340,6 +364,19 @@ type CenterStats struct {
 	// StoreLastCompaction is when retention last evicted a segment
 	// (zero = never); health endpoints surface it as an age.
 	StoreLastCompaction time.Time
+	// ReplayCacheEnabled reports whether the historical-replay cache is
+	// attached; the remaining ReplayCache* fields mirror
+	// core.ReplayCacheStats (partial hits/misses, whole-window memo hits,
+	// budget evictions, compaction/append invalidations, footprint).
+	ReplayCacheEnabled       bool
+	ReplayCacheHits          int64
+	ReplayCacheMisses        int64
+	ReplayCacheWindowHits    int64
+	ReplayCacheEvictions     int64
+	ReplayCacheInvalidations int64
+	ReplayCacheBytes         int64
+	ReplayCacheEntries       int
+	ReplayCacheBudget        int64
 }
 
 // Stats returns a snapshot of the center's counters.
@@ -374,6 +411,17 @@ func (s *CenterServer) Stats() CenterStats {
 		st.StoreCompactions = int64(ls.Compactions)
 		st.StoreCompactionErrors = int64(ls.CompactionErrors)
 		st.StoreLastCompaction = ls.LastCompaction
+	}
+	if rs, ok := s.eng.replayCacheStats(); ok {
+		st.ReplayCacheEnabled = true
+		st.ReplayCacheHits = int64(rs.Hits)
+		st.ReplayCacheMisses = int64(rs.Misses)
+		st.ReplayCacheWindowHits = int64(rs.WindowHits)
+		st.ReplayCacheEvictions = int64(rs.Evictions)
+		st.ReplayCacheInvalidations = int64(rs.Invalidations)
+		st.ReplayCacheBytes = rs.Bytes
+		st.ReplayCacheEntries = rs.Entries
+		st.ReplayCacheBudget = rs.Budget
 	}
 	return st
 }
@@ -416,6 +464,10 @@ func (s *CenterServer) CompactStore() error {
 	}
 	return s.store.Compact()
 }
+
+// ResetReplayCache drops all cached historical-replay state, forcing the
+// next queries down the cold path (benchmarks and tests).
+func (s *CenterServer) ResetReplayCache() { s.eng.resetReplayCache() }
 
 // HistoryQueryAddr returns the bound address of the history query
 // server, or nil when HistoryAddr was not configured.
@@ -777,6 +829,11 @@ func (s *CenterServer) appendStore(point int, epoch int64) {
 	blob, ok, err := s.eng.exportCell(point, epoch)
 	if err == nil && ok {
 		err = s.store.Append(point, epoch, blob)
+		if err == nil {
+			// A cell landing for this epoch stales any cached partial or
+			// memoized window touching it (late uploads, backfill replays).
+			s.eng.invalidateReplayEpochs(epoch, epoch)
+		}
 	}
 	if err != nil {
 		s.cfg.Logf("transport: epoch-log append (%d, %d): %v", point, epoch, err)

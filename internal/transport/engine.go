@@ -338,13 +338,24 @@ type centerEngine interface {
 	historyAt(f uint64, k int64, log *durable.Log) (float64, core.Coverage, error)
 	historyRange(f uint64, from, to int64, log *durable.Log) (float64, core.Coverage, error)
 	queryWindowLive(f uint64, k int64) (float64, core.Coverage, error)
+	// Replay-cache control (see core.ReplayCache): budget attach,
+	// epoch-span invalidation (compaction / late appends), cold reset for
+	// benchmarks, and counters for /readyz.
+	enableReplayCache(budgetBytes int64)
+	invalidateReplayEpochs(min, max int64)
+	resetReplayCache()
+	replayCacheStats() (core.ReplayCacheStats, bool)
 }
 
 // logSource adapts the durable epoch log to core.HistorySource: cells
-// come back as decoded sketches, absence is the coverage signal.
+// come back as decoded sketches, absence is the coverage signal. It also
+// implements core.EpochSource — the batched read path — decoding through
+// a shared scratch pool: the replay never retains the visited sketch, so
+// one recycled sketch per worker absorbs an entire pass.
 type logSource[S core.Sketch[S]] struct {
-	log *durable.Log
-	dec func([]byte) (S, error)
+	log  *durable.Log
+	dec  func([]byte) (S, error)
+	pool *sketchPool[S]
 }
 
 func (ls logSource[S]) Cell(point int, epoch int64) (S, bool, error) {
@@ -358,6 +369,22 @@ func (ls logSource[S]) Cell(point int, epoch int64) (S, bool, error) {
 		return zero, false, err
 	}
 	return sk, true, nil
+}
+
+// EpochCells streams one epoch's cells out of the log in a single
+// batched pass (durable.Log.GetEpoch): segment-grouped offset-ordered
+// reads, CRCs checked in-pass, blobs borrowed, sketches decoded into
+// pooled scratch that is reclaimed as soon as visit returns.
+func (ls logSource[S]) EpochCells(epoch int64, points []int, visit func(point int, sk S) error) error {
+	return ls.log.GetEpoch(epoch, points, func(point int, blob []byte) error {
+		sk, err := ls.pool.get(blob)
+		if err != nil {
+			return err
+		}
+		err = visit(point, sk)
+		ls.pool.put(sk)
+		return err
+	})
 }
 
 // engineCenter is the single center-engine implementation, generic over
@@ -384,6 +411,15 @@ type engineCenter[S core.Sketch[S]] struct {
 	// design-specific field.
 	save func(ck *centerCheckpoint) error
 	load func(ck *centerCheckpoint) error
+	// histOnce/hist lazily build the shared decode-scratch pool for the
+	// batched history read path (logSource.EpochCells).
+	histOnce sync.Once
+	hist     *sketchPool[S]
+}
+
+func (e *engineCenter[S]) histPool() *sketchPool[S] {
+	e.histOnce.Do(func() { e.hist = &sketchPool[S]{dec: e.dec} })
+	return e.hist
 }
 
 func (e *engineCenter[S]) maxEpoch() int64                        { return e.ctr.MaxEpoch() }
@@ -447,11 +483,20 @@ func (e *engineCenter[S]) exportCell(point int, epoch int64) ([]byte, bool, erro
 }
 
 func (e *engineCenter[S]) historyAt(f uint64, k int64, log *durable.Log) (float64, core.Coverage, error) {
-	return e.ctr.QueryAtFrom(f, k, logSource[S]{log: log, dec: e.dec})
+	return e.ctr.QueryAtFrom(f, k, logSource[S]{log: log, dec: e.dec, pool: e.histPool()})
 }
 
 func (e *engineCenter[S]) historyRange(f uint64, from, to int64, log *durable.Log) (float64, core.Coverage, error) {
-	return e.ctr.QueryRangeFrom(f, from, to, logSource[S]{log: log, dec: e.dec})
+	return e.ctr.QueryRangeFrom(f, from, to, logSource[S]{log: log, dec: e.dec, pool: e.histPool()})
+}
+
+func (e *engineCenter[S]) enableReplayCache(budgetBytes int64) { e.ctr.EnableReplayCache(budgetBytes) }
+func (e *engineCenter[S]) invalidateReplayEpochs(min, max int64) {
+	e.ctr.InvalidateReplayEpochs(min, max)
+}
+func (e *engineCenter[S]) resetReplayCache() { e.ctr.ResetReplayCache() }
+func (e *engineCenter[S]) replayCacheStats() (core.ReplayCacheStats, bool) {
+	return e.ctr.ReplayCacheStats()
 }
 
 func (e *engineCenter[S]) queryWindowLive(f uint64, k int64) (float64, core.Coverage, error) {

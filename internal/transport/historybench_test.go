@@ -6,11 +6,17 @@ import (
 	"time"
 )
 
-// Historical-query replay cost as a function of window length. One op is
-// the full server-side work behind a tqquery -range answer: per-cell
-// index lookup and blob decode out of the epoch-log store, the temporal
-// merge per point, and the spatial join across points. Window lengths
-// 4/16/64 show how latency scales with the amount of history replayed.
+// Historical-query replay cost as a function of window length and cache
+// temperature. One op is the full server-side work behind a tqquery
+// -range answer. mode=cold resets the replay cache every iteration and
+// pays the whole read path: batched segment reads, blob decodes, the
+// per-epoch joins. mode=warm repeats the query against a primed cache —
+// in-memory partial merges and the window memo. mode=slide walks the
+// window one epoch per iteration with a fresh flow per sweep (so the
+// whole-window memo never hits): steady-state it replays zero cells from
+// the store and pays only the in-memory window assembly, the amortized
+// per-step cost of a tqquery -range sweep. The warm/cold ratio is gated
+// by `make bench-store` (benchjson -store-gate).
 func BenchmarkHistoricalQuery(b *testing.B) {
 	const (
 		n, p, w = 4, 3, 1024
@@ -64,18 +70,46 @@ func BenchmarkHistoricalQuery(b *testing.B) {
 		time.Sleep(time.Millisecond)
 	}
 
+	query := func(b *testing.B, f uint64, from, to int64) {
+		b.Helper()
+		_, cov, err := srv.HistoryRange(f, from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cov.Full() {
+			b.Fatalf("partial coverage %+v over retained window", cov)
+		}
+	}
 	for _, win := range []int64{4, 16, 64} {
-		b.Run(fmt.Sprintf("win=%d", win), func(b *testing.B) {
-			from := int64(epochs) - win + 1
+		from := int64(epochs) - win + 1
+		b.Run(fmt.Sprintf("win=%d/mode=cold", win), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				_, cov, err := srv.HistoryRange(1, from, epochs)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if !cov.Full() {
-					b.Fatalf("partial coverage %+v over retained window", cov)
-				}
+				srv.ResetReplayCache()
+				query(b, 1, from, epochs)
+			}
+		})
+		b.Run(fmt.Sprintf("win=%d/mode=warm", win), func(b *testing.B) {
+			srv.ResetReplayCache()
+			query(b, 1, from, epochs) // prime partials + window memo
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				query(b, 1, from, epochs)
+			}
+		})
+		b.Run(fmt.Sprintf("win=%d/mode=slide", win), func(b *testing.B) {
+			positions := int64(epochs) - win + 1
+			srv.ResetReplayCache()
+			query(b, 1, 1, win) // prime the first window's partials
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Step the window; a new flow each sweep keeps the
+				// whole-window memo out of the measurement.
+				pos := int64(i) % positions
+				f := uint64(2 + i/int(positions))
+				query(b, f, 1+pos, win+pos)
 			}
 		})
 	}

@@ -120,9 +120,19 @@ func testHistoryFlatOracle(t *testing.T, kind Kind, sketch string) {
 	}
 	waitStoreAppends(t, srv, p*epochs)
 
-	// First through the RPC against the running center...
+	// First through the RPC against the running center, cold...
 	histAddr := srv.HistoryQueryAddr().String()
+	srv.ResetReplayCache()
 	checkReplay(t, histAddr, recorded)
+
+	// ...then warm: the replay cache now holds every window's partials
+	// and memos, and the repeated pass must stay bit-identical while the
+	// stats prove it actually ran through the cache.
+	checkReplay(t, histAddr, recorded)
+	if st := srv.Stats(); !st.ReplayCacheEnabled || st.ReplayCacheHits == 0 || st.ReplayCacheWindowHits == 0 {
+		t.Fatalf("replay cache idle across a repeated oracle pass: hits=%d windowHits=%d enabled=%v",
+			st.ReplayCacheHits, st.ReplayCacheWindowHits, st.ReplayCacheEnabled)
+	}
 
 	// ...and a range query spanning the whole retained history.
 	qc, err := DialQuery(histAddr)
@@ -365,6 +375,21 @@ func TestHistoryRetentionWindowEdge(t *testing.T) {
 		}
 	}
 	waitStoreAppends(t, srv, p*epochs)
+
+	// Prime the replay cache over the whole history before the explicit
+	// compaction below: evicted epochs must not be resurrected from
+	// cached partials or memos. (Background compaction off Append may
+	// already have trimmed the oldest epochs mid-ingest; the prime
+	// caches whatever survives right now.)
+	prime, err := DialQuery(srv.HistoryQueryAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prime.Close()
+	if _, _, err := prime.QueryRange(1, 1, epochs); err != nil {
+		t.Fatal(err)
+	}
+
 	if err := srv.CompactStore(); err != nil {
 		t.Fatal(err)
 	}
@@ -398,15 +423,28 @@ func TestHistoryRetentionWindowEdge(t *testing.T) {
 	}
 
 	// A range straddling the retention edge: merged counts exactly the
-	// surviving cells, expected the whole range.
+	// surviving cells, expected the whole range — even though the same
+	// range was answered in full from this cache moments before
+	// compaction. The eviction hook must have aged those epochs out.
 	first := st.StoreFirstEpoch
-	_, cov, err = qc.QueryRange(1, 1, epochs)
+	est, cov, err = qc.QueryRange(1, 1, epochs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantMerged := p * int(epochs-first+1)
 	if cov.EpochsMerged != wantMerged || cov.EpochsExpected != p*epochs {
 		t.Fatalf("straddling range coverage %+v, want %d/%d", cov, wantMerged, p*epochs)
+	}
+	// The degraded answer itself caches: a warm repeat is bit-identical.
+	est2, cov2, err := qc.QueryRange(1, 1, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(est2) != math.Float64bits(est) || cov2 != cov {
+		t.Fatalf("warm repeat of degraded range diverged: (%v, %+v) != (%v, %+v)", est2, cov2, est, cov)
+	}
+	if st := srv.Stats(); st.ReplayCacheInvalidations == 0 {
+		t.Fatalf("compaction evicted epochs without invalidating the replay cache: %+v", st)
 	}
 }
 
